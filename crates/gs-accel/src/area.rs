@@ -1,0 +1,128 @@
+//! Area model reproducing the paper's Table I (TSMC 32 nm).
+//!
+//! Per-unit constants are derived from Table I's totals: 4 HFUs = 0.79 mm²,
+//! 2 sorting units = 0.04 mm², 64 rendering units = 2.53 mm², 355 KB SRAM =
+//! 1.95 mm². The HFU is further split into CFU/FFU/shared parts so the
+//! CFU-count sensitivity (Fig. 13's area commentary) can be evaluated.
+
+use crate::config::AccelConfig;
+use serde::{Deserialize, Serialize};
+
+/// mm² of one VSU (Table I).
+pub const VSU_MM2: f64 = 0.06;
+/// mm² of one CFU (55-MAC datapath share of the HFU).
+pub const CFU_MM2: f64 = 0.018;
+/// mm² of one FFU (427-MAC datapath share of the HFU).
+pub const FFU_MM2: f64 = 0.090;
+/// mm² of HFU shared logic (FIFO, control, intersection testers).
+pub const HFU_BASE_MM2: f64 = 0.0355;
+/// mm² of one sorting unit (Table I: 2 units = 0.04).
+pub const SORTER_MM2: f64 = 0.02;
+/// mm² of one rendering unit (Table I: 64 units = 2.53).
+pub const RENDER_UNIT_MM2: f64 = 2.53 / 64.0;
+/// mm² per KB of SRAM (Table I: 355 KB = 1.95 mm² ⇒ ≈0.005493 mm²/KB,
+/// CACTI 7.0 class at 32 nm).
+pub const SRAM_MM2_PER_KB: f64 = 1.95 / 355.0;
+
+/// One row of the area table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// Unit name.
+    pub unit: String,
+    /// Configuration description (e.g. "4 Units").
+    pub configuration: String,
+    /// Area in mm².
+    pub mm2: f64,
+}
+
+/// The full area table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaTable {
+    /// Rows in Table I order.
+    pub rows: Vec<AreaRow>,
+}
+
+impl AreaTable {
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.rows.iter().map(|r| r.mm2).sum()
+    }
+}
+
+/// Computes the area table for a configuration.
+pub fn area_table(cfg: &AccelConfig) -> AreaTable {
+    let hfu_each = HFU_BASE_MM2
+        + cfg.cfus_per_hfu as f64 * CFU_MM2
+        + cfg.ffus_per_hfu as f64 * FFU_MM2;
+    let sram_kb = cfg.sram_bytes() as f64 / 1024.0;
+    AreaTable {
+        rows: vec![
+            AreaRow {
+                unit: "Voxel Sorting Unit".into(),
+                configuration: format!("{} Unit", cfg.n_vsu),
+                mm2: cfg.n_vsu as f64 * VSU_MM2,
+            },
+            AreaRow {
+                unit: "Hierarchical Filtering Unit".into(),
+                configuration: format!("{} Units", cfg.n_hfu),
+                mm2: cfg.n_hfu as f64 * hfu_each,
+            },
+            AreaRow {
+                unit: "Sorting Unit".into(),
+                configuration: format!("{} Units", cfg.n_sorters),
+                mm2: cfg.n_sorters as f64 * SORTER_MM2,
+            },
+            AreaRow {
+                unit: "Rendering Unit".into(),
+                configuration: format!("{} Units", cfg.render_units),
+                mm2: cfg.render_units as f64 * RENDER_UNIT_MM2,
+            },
+            AreaRow {
+                unit: "SRAM (Input Buffer, Codebook, others)".into(),
+                configuration: format!("{sram_kb:.0}KB"),
+                mm2: sram_kb * SRAM_MM2_PER_KB,
+            },
+        ],
+    }
+}
+
+/// GSCore's reported area at 32 nm (DeepScaleTool-scaled), for comparison.
+pub const GSCORE_TOTAL_MM2: f64 = 5.53;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_table1_total() {
+        let t = area_table(&AccelConfig::paper());
+        assert!((t.total_mm2() - 5.37).abs() < 0.1, "total {} mm²", t.total_mm2());
+    }
+
+    #[test]
+    fn per_row_values_match_table1() {
+        let t = area_table(&AccelConfig::paper());
+        let by_name = |n: &str| t.rows.iter().find(|r| r.unit.starts_with(n)).unwrap().mm2;
+        assert!((by_name("Voxel") - 0.06).abs() < 1e-9);
+        assert!((by_name("Hierarchical") - 0.79).abs() < 0.02);
+        assert!((by_name("Sorting Unit") - 0.04).abs() < 1e-9);
+        assert!((by_name("Rendering") - 2.53).abs() < 1e-9);
+        assert!((by_name("SRAM") - 1.95).abs() < 0.01);
+    }
+
+    #[test]
+    fn more_cfus_cost_area() {
+        let base = area_table(&AccelConfig::paper()).total_mm2();
+        let mut cfg = AccelConfig::paper();
+        cfg.cfus_per_hfu = 8;
+        let bigger = area_table(&cfg).total_mm2();
+        assert!(bigger > base);
+    }
+
+    #[test]
+    fn comparable_to_gscore() {
+        let t = area_table(&AccelConfig::paper());
+        // Paper: "similar area compared to GSCore (5.53 mm²)".
+        assert!((t.total_mm2() - GSCORE_TOTAL_MM2).abs() < 0.5);
+    }
+}

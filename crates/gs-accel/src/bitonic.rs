@@ -1,0 +1,159 @@
+//! Bitonic sorting network — the hardware sorter of the paper's sorting
+//! unit (adopted from GSCore's bitonic sort unit).
+//!
+//! A bitonic network for `n = 2^k` elements has `k(k+1)/2` stages of `n/2`
+//! parallel compare-exchange units. The functional sorter here executes the
+//! exact network (padding to the next power of two with +∞ keys), and
+//! [`network_stats`] reports the stage/op counts the cycle model uses.
+
+/// Size/work statistics of a bitonic network.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Elements after padding to a power of two.
+    pub padded_n: usize,
+    /// Compare-exchange stages (sequential depth).
+    pub stages: u32,
+    /// Total compare-exchange operations.
+    pub compare_ops: u64,
+}
+
+/// Stats of the network that sorts `n` elements.
+pub fn network_stats(n: usize) -> NetworkStats {
+    if n <= 1 {
+        return NetworkStats { padded_n: n.max(1), stages: 0, compare_ops: 0 };
+    }
+    let padded = n.next_power_of_two();
+    let k = padded.trailing_zeros();
+    let stages = k * (k + 1) / 2;
+    NetworkStats {
+        padded_n: padded,
+        stages,
+        compare_ops: stages as u64 * (padded as u64 / 2),
+    }
+}
+
+/// Sorts `items` ascending by `key` with the exact bitonic network,
+/// returning the network statistics.
+///
+/// The sort is *unstable* (like the hardware) but total: equal keys may
+/// swap relative order.
+///
+/// ```
+/// use gs_accel::bitonic::bitonic_sort_by_key;
+/// let mut v = vec![5u32, 1, 4, 2, 3];
+/// let stats = bitonic_sort_by_key(&mut v, |x| *x);
+/// assert_eq!(v, vec![1, 2, 3, 4, 5]);
+/// assert_eq!(stats.padded_n, 8);
+/// ```
+pub fn bitonic_sort_by_key<T, K: Ord + Copy, F: Fn(&T) -> K>(
+    items: &mut Vec<T>,
+    key: F,
+) -> NetworkStats {
+    let n = items.len();
+    let stats = network_stats(n);
+    if n <= 1 {
+        return stats;
+    }
+    let padded = stats.padded_n;
+    // Work on an index + key array; pad with None (= +∞).
+    let mut lane: Vec<Option<(K, usize)>> = (0..padded)
+        .map(|i| if i < n { Some((key(&items[i]), i)) } else { None })
+        .collect();
+
+    // Standard bitonic network: block size doubles, inner stride halves.
+    let mut block = 2usize;
+    while block <= padded {
+        let mut stride = block / 2;
+        while stride >= 1 {
+            for i in 0..padded {
+                let j = i ^ stride;
+                if j > i {
+                    // Direction: ascending when the block bit is 0.
+                    let ascending = (i & block) == 0;
+                    let swap = match (&lane[i], &lane[j]) {
+                        (Some((a, _)), Some((b, _))) => {
+                            if ascending {
+                                a > b
+                            } else {
+                                a < b
+                            }
+                        }
+                        // None = +∞: belongs at the "large" end.
+                        (None, Some(_)) => ascending,
+                        (Some(_), None) => !ascending,
+                        (None, None) => false,
+                    };
+                    if swap {
+                        lane.swap(i, j);
+                    }
+                }
+            }
+            stride /= 2;
+        }
+        block *= 2;
+    }
+
+    // Apply the permutation.
+    let order: Vec<usize> = lane.iter().flatten().map(|(_, i)| *i).collect();
+    debug_assert_eq!(order.len(), n);
+    let mut taken: Vec<Option<T>> = items.drain(..).map(Some).collect();
+    items.extend(order.into_iter().map(|i| taken[i].take().expect("permutation")));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_exact_powers_of_two() {
+        let mut v: Vec<u32> = (0..64).rev().collect();
+        let stats = bitonic_sort_by_key(&mut v, |x| *x);
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+        assert_eq!(stats.padded_n, 64);
+        assert_eq!(stats.stages, 21); // k=6 → 6·7/2
+        assert_eq!(stats.compare_ops, 21 * 32);
+    }
+
+    #[test]
+    fn sorts_non_powers_with_padding() {
+        let mut v = vec![9u32, 3, 7, 7, 1, 0, 5];
+        bitonic_sort_by_key(&mut v, |x| *x);
+        assert_eq!(v, vec![0, 1, 3, 5, 7, 7, 9]);
+    }
+
+    #[test]
+    fn sorts_by_custom_key_descending_depths() {
+        let mut v = vec![(1.5f32, 'a'), (0.2, 'b'), (0.9, 'c')];
+        bitonic_sort_by_key(&mut v, |x| x.0.to_bits()); // positive f32 bits are monotone
+        assert_eq!(v.iter().map(|x| x.1).collect::<Vec<_>>(), vec!['b', 'c', 'a']);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u32> = vec![];
+        let s = bitonic_sort_by_key(&mut v, |x| *x);
+        assert_eq!(s.compare_ops, 0);
+        let mut one = vec![7u32];
+        bitonic_sort_by_key(&mut one, |x| *x);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn agrees_with_std_sort_on_pseudorandom_input() {
+        let mut v: Vec<u64> = (0..1000).map(|i: u64| i.wrapping_mul(0x9e3779b97f4a7c15) >> 17).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        bitonic_sort_by_key(&mut v, |x| *x);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn stats_grow_with_n() {
+        let a = network_stats(32);
+        let b = network_stats(256);
+        assert!(b.stages > a.stages);
+        assert!(b.compare_ops > a.compare_ops);
+        assert_eq!(network_stats(1).compare_ops, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Timing/energy model of the StreamingGS accelerator (paper Sec. IV).
+//!
+//! The accelerator processes tiles sequentially; within a tile, voxels are
+//! double-buffered so DRAM streaming overlaps compute, and the four stages
+//! (coarse filter → fine filter → sort → render) form a pipeline at voxel
+//! granularity. The per-tile latency is therefore the *maximum* of the
+//! stage throughput demands plus a per-voxel handoff fill; the VSU for the
+//! next tile runs in the shadow of the current tile's streaming.
+
+use crate::config::{AccelConfig, EnergyConfig};
+use crate::report::PerfReport;
+use gs_core::{COARSE_FILTER_MACS, FINE_FILTER_MACS};
+use gs_mem::dram::DramModel;
+use gs_mem::EnergyBreakdown;
+use gs_voxel::{FrameWorkload, TileWorkload};
+
+/// Per-fragment blend cost in MACs (conic eval, alpha, colour accumulate).
+const BLEND_MACS: u64 = 20;
+
+/// The accelerator model.
+#[derive(Clone, Debug)]
+pub struct StreamingGsModel {
+    /// Unit configuration.
+    pub config: AccelConfig,
+    /// Memory system.
+    pub dram: DramModel,
+    /// Energy constants.
+    pub energy: EnergyConfig,
+}
+
+impl Default for StreamingGsModel {
+    fn default() -> Self {
+        StreamingGsModel {
+            config: AccelConfig::paper(),
+            dram: DramModel::lpddr3_x4(),
+            energy: EnergyConfig::node32nm(),
+        }
+    }
+}
+
+/// Per-tile cycle breakdown (exposed for the sensitivity studies).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct TileCycles {
+    pub vsu: f64,
+    pub fetch: f64,
+    pub coarse: f64,
+    pub fine: f64,
+    pub sort: f64,
+    pub render: f64,
+    pub fill: f64,
+}
+
+impl TileCycles {
+    /// The tile's latency: VSU overlaps the streaming pipeline; the
+    /// streaming pipeline is bounded by its slowest stage plus fill.
+    pub fn latency(&self) -> f64 {
+        let stream = self
+            .fetch
+            .max(self.coarse)
+            .max(self.fine)
+            .max(self.sort)
+            .max(self.render)
+            + self.fill;
+        self.vsu.max(stream)
+    }
+
+    /// Which stage binds this tile (for diagnostics).
+    pub fn bottleneck(&self) -> &'static str {
+        let stream = [
+            (self.fetch, "fetch"),
+            (self.coarse, "coarse"),
+            (self.fine, "fine"),
+            (self.sort, "sort"),
+            (self.render, "render"),
+        ];
+        let (best, name) = stream
+            .iter()
+            .fold((f64::MIN, "fetch"), |acc, (v, n)| if *v > acc.0 { (*v, n) } else { acc });
+        if self.vsu > best + self.fill {
+            "vsu"
+        } else {
+            name
+        }
+    }
+}
+
+impl StreamingGsModel {
+    /// Creates a model with a custom configuration.
+    pub fn new(config: AccelConfig) -> StreamingGsModel {
+        StreamingGsModel { config, ..Default::default() }
+    }
+
+    /// Cycle breakdown for one tile's workload.
+    pub fn tile_cycles(&self, w: &TileWorkload) -> TileCycles {
+        let c = &self.config;
+        // Sustained streaming bandwidth in bytes per cycle (1 cycle = 1 ns
+        // at 1 GHz; scaled for other clocks).
+        let bytes_per_cycle =
+            self.dram.bandwidth() * self.config.seq_dram_efficiency / (c.clock_ghz * 1e9);
+
+        let vsu = w.dda_steps as f64 / (c.vsu_lanes * c.n_vsu) as f64
+            + w.dag_edges as f64
+            + 2.0 * w.voxels_intersected as f64;
+        let fetch = (w.coarse_bytes + w.fine_bytes) as f64 / bytes_per_cycle;
+        let coarse = w.gaussians_streamed as f64 * c.cfu_ii / c.total_cfus() as f64;
+        let fine = w.coarse_survivors as f64 * c.ffu_ii / c.total_ffus() as f64;
+        let sort = w.fine_survivors as f64 / (c.sorter_elems_per_cycle * c.n_sorters as f64);
+        // Render array: 4 Gaussians × 16 pixels per cycle.
+        let render = w.blend_lanes as f64 / c.render_units as f64
+            + w.fine_survivors as f64 / 4.0;
+        let fill = w.voxels_processed as f64 * c.voxel_fill_cycles;
+        TileCycles { vsu, fetch, coarse, fine, sort, render, fill }
+    }
+
+    /// Frame latency/energy from a functional frame workload.
+    pub fn evaluate(&self, frame: &FrameWorkload) -> PerfReport {
+        let mut cycles = 0.0f64;
+        for t in &frame.tiles {
+            cycles += self.tile_cycles(t).latency();
+        }
+        // Pixel writeback overlaps tile compute except for the last tile.
+        let totals = frame.totals();
+        let seconds = cycles / (self.config.clock_ghz * 1e9);
+
+        let dram_bytes = totals.dram_bytes();
+        let macs = totals.gaussians_streamed * COARSE_FILTER_MACS
+            + totals.coarse_survivors * FINE_FILTER_MACS
+            + totals.blend_lanes * BLEND_MACS
+            + totals.dda_steps; // VSU datapath ops
+        // Every DRAM byte lands in SRAM and is read at least once; filter
+        // survivors bounce through the FIFO/sort/render buffers.
+        let sram_bytes = 2 * dram_bytes + totals.fine_survivors * 40 * 3 + totals.blend_lanes * 8;
+
+        let energy = EnergyBreakdown::new(
+            macs as f64 * self.energy.mac_pj,
+            sram_bytes as f64 * self.energy.sram_pj_per_byte,
+            self.dram.dynamic_pj(dram_bytes)
+                + self.dram.static_pj(seconds)
+                + self.energy.static_w * seconds * 1e12,
+        );
+        PerfReport { seconds, dram_bytes, energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(streamed: u64, survivors: u64) -> TileWorkload {
+        TileWorkload {
+            rays: 256,
+            dda_steps: 4_000,
+            voxels_intersected: 20,
+            dag_edges: 30,
+            voxels_processed: 18,
+            gaussians_streamed: streamed,
+            coarse_survivors: survivors,
+            fine_survivors: survivors / 2,
+            blend_lanes: survivors * 40,
+            blend_fragments: survivors * 25,
+            coarse_bytes: streamed * 16,
+            fine_bytes: survivors * 13,
+            pixel_bytes: 4096,
+            ..Default::default()
+        }
+    }
+
+    fn frame(tiles: Vec<TileWorkload>) -> FrameWorkload {
+        FrameWorkload { tiles, width: 160, height: 120, scene_voxels: 100, scene_gaussians: 10_000 }
+    }
+
+    #[test]
+    fn more_cfus_never_slower() {
+        let w = tile(4_000, 1_200);
+        let mut cfg1 = AccelConfig::paper();
+        cfg1.cfus_per_hfu = 1;
+        let mut cfg4 = AccelConfig::paper();
+        cfg4.cfus_per_hfu = 4;
+        let t1 = StreamingGsModel::new(cfg1).tile_cycles(&w).latency();
+        let t4 = StreamingGsModel::new(cfg4).tile_cycles(&w).latency();
+        assert!(t4 <= t1);
+        assert!(t1 / t4 > 1.5, "CFU scaling should matter when coarse-bound");
+    }
+
+    #[test]
+    fn ffus_beyond_cfus_give_little() {
+        // Paper Fig. 13: with 1 CFU the pipeline is coarse-bound, so extra
+        // FFUs change nothing.
+        let w = tile(8_000, 2_000);
+        let mut base = AccelConfig::paper();
+        base.cfus_per_hfu = 1;
+        base.ffus_per_hfu = 1;
+        let mut more_ffu = base;
+        more_ffu.ffus_per_hfu = 4;
+        let t1 = StreamingGsModel::new(base).tile_cycles(&w).latency();
+        let t4 = StreamingGsModel::new(more_ffu).tile_cycles(&w).latency();
+        assert!((t1 - t4).abs() / t1 < 0.02, "FFUs shouldn't matter when coarse-bound");
+    }
+
+    #[test]
+    fn latency_is_max_of_stages_plus_fill() {
+        let m = StreamingGsModel::default();
+        let c = m.tile_cycles(&tile(4_000, 1_000));
+        let stages = [c.fetch, c.coarse, c.fine, c.sort, c.render];
+        let max = stages.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((c.latency() - (max + c.fill).max(c.vsu)).abs() < 1e-9);
+        assert!(!c.bottleneck().is_empty());
+    }
+
+    #[test]
+    fn evaluate_scales_with_tiles() {
+        let m = StreamingGsModel::default();
+        let one = m.evaluate(&frame(vec![tile(4_000, 1_000)]));
+        let two = m.evaluate(&frame(vec![tile(4_000, 1_000); 2]));
+        assert!((two.seconds / one.seconds - 2.0).abs() < 1e-6);
+        assert_eq!(two.dram_bytes, 2 * one.dram_bytes);
+        assert!(two.energy.total_pj() > one.energy.total_pj());
+    }
+
+    #[test]
+    fn traffic_reduction_reduces_energy() {
+        let m = StreamingGsModel::default();
+        let heavy = m.evaluate(&frame(vec![tile(4_000, 4_000)]));
+        let light = m.evaluate(&frame(vec![tile(4_000, 500)]));
+        assert!(light.energy.total_pj() < heavy.energy.total_pj());
+    }
+}

@@ -1,0 +1,70 @@
+//! Common performance-report type returned by every model.
+
+use gs_mem::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Timing + energy result for one frame on one hardware model.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Frame latency in seconds.
+    pub seconds: f64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl PerfReport {
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            1.0 / self.seconds
+        }
+    }
+
+    /// DRAM bandwidth this frame would need at `target_fps`, in GB/s
+    /// (the quantity of paper Fig. 4).
+    pub fn bandwidth_at_fps(&self, target_fps: f64) -> f64 {
+        self.dram_bytes as f64 * target_fps / 1e9
+    }
+
+    /// Speedup of `self` over `other` (latency ratio).
+    pub fn speedup_over(&self, other: &PerfReport) -> f64 {
+        other.seconds / self.seconds
+    }
+
+    /// Energy saving of `self` over `other` (energy ratio).
+    pub fn energy_saving_over(&self, other: &PerfReport) -> f64 {
+        other.energy.total_pj() / self.energy.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let a = PerfReport {
+            seconds: 0.01,
+            dram_bytes: 2_000_000_000,
+            energy: EnergyBreakdown::new(0.0, 0.0, 100.0),
+        };
+        let b = PerfReport {
+            seconds: 0.1,
+            dram_bytes: 0,
+            energy: EnergyBreakdown::new(0.0, 0.0, 500.0),
+        };
+        assert!((a.fps() - 100.0).abs() < 1e-9);
+        assert!((a.speedup_over(&b) - 10.0).abs() < 1e-9);
+        assert!((a.energy_saving_over(&b) - 5.0).abs() < 1e-9);
+        assert!((a.bandwidth_at_fps(90.0) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_latency_fps_is_zero_not_inf() {
+        assert_eq!(PerfReport::default().fps(), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gs-baselines — Mini-Splatting and LightGaussian stand-ins
+//!
+//! Table II of the paper evaluates StreamingGS on three upstream 3DGS
+//! algorithms: original 3DGS, **Mini-Splatting** (Fang & Wang 2024 —
+//! constrained Gaussian budgets via importance-weighted resampling) and
+//! **LightGaussian** (Fan et al. 2023 — global-significance pruning plus SH
+//! distillation). This crate implements the inference-relevant core of both
+//! so the full evaluation matrix can run: each takes a trained cloud and
+//! produces the algorithm's compacted cloud.
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_baselines::{LightGaussianConfig, MiniSplattingConfig};
+//! use gs_baselines::{light_gaussian, mini_splatting};
+//! use gs_scene::{SceneConfig, SceneKind};
+//!
+//! let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+//! let mini = mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default());
+//! let light = light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+//! assert!(mini.len() < scene.trained.len());
+//! assert!(light.len() < scene.trained.len());
+//! ```
+
+pub mod importance;
+pub mod light_gaussian;
+pub mod mini_splatting;
+
+pub use importance::view_importance;
+pub use light_gaussian::{light_gaussian, LightGaussianConfig};
+pub use mini_splatting::{mini_splatting, MiniSplattingConfig};

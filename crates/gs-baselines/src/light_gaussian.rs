@@ -1,0 +1,129 @@
+//! LightGaussian stand-in: global-significance pruning + SH distillation.
+//!
+//! LightGaussian compresses a trained model in three steps: prune by a
+//! global significance score, distill the SH colour to a lower degree, and
+//! vector-quantize the remainder (the VQ step lives in `gs-vq` and is shared
+//! with StreamingGS itself). We reproduce pruning and distillation; both
+//! trade PSNR for size, which is why Table II's LightGaussian rows sit below
+//! the 3DGS rows.
+
+use crate::importance::view_importance;
+use gs_core::camera::Camera;
+use gs_core::sh;
+use gs_scene::GaussianCloud;
+use serde::{Deserialize, Serialize};
+
+/// LightGaussian configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LightGaussianConfig {
+    /// Fraction of Gaussians to keep after significance pruning.
+    pub keep_ratio: f64,
+    /// SH degree kept after distillation (bands above are zeroed).
+    pub distill_degree: u8,
+    /// Attenuation of the highest kept band (distillation is lossy even on
+    /// kept bands).
+    pub kept_band_scale: f32,
+}
+
+impl Default for LightGaussianConfig {
+    fn default() -> Self {
+        LightGaussianConfig { keep_ratio: 0.45, distill_degree: 2, kept_band_scale: 0.85 }
+    }
+}
+
+/// Produces the LightGaussian compacted cloud.
+pub fn light_gaussian(
+    cloud: &GaussianCloud,
+    views: &[Camera],
+    cfg: &LightGaussianConfig,
+) -> GaussianCloud {
+    // Global significance: view importance weighted by volume^(1/3) — large
+    // structural Gaussians survive, tiny redundant ones go (LightGaussian's
+    // GlobalSignificance uses hit-count × opacity × volume weighting).
+    let base = view_importance(cloud, views);
+    let mut scored: Vec<(f64, usize)> = cloud
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let vol = (g.scale.x * g.scale.y * g.scale.z).max(1e-12) as f64;
+            (base[i] * vol.cbrt(), i)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let keep = ((cloud.len() as f64 * cfg.keep_ratio).round() as usize).clamp(1, cloud.len());
+    let mut chosen: Vec<usize> = scored.into_iter().take(keep).map(|(_, i)| i).collect();
+    chosen.sort_unstable();
+
+    let mut out = GaussianCloud::new();
+    for i in chosen {
+        let mut g = cloud.as_slice()[i].clone();
+        // SH distillation: zero bands above `distill_degree`, attenuate the
+        // highest kept band.
+        for degree in 1..=3usize {
+            let range = sh::band_range(degree);
+            for k in range {
+                for c in 0..3 {
+                    let idx = 3 * k + c;
+                    if degree as u8 > cfg.distill_degree {
+                        g.sh[idx] = 0.0;
+                    } else if degree as u8 == cfg.distill_degree {
+                        g.sh[idx] *= cfg.kept_band_scale;
+                    }
+                }
+            }
+        }
+        out.push(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{SceneConfig, SceneKind};
+
+    #[test]
+    fn prunes_to_keep_ratio() {
+        let scene = SceneKind::Train.build(&SceneConfig::tiny());
+        let out = light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+        let expect = (scene.trained.len() as f64 * 0.45).round() as usize;
+        assert_eq!(out.len(), expect);
+    }
+
+    #[test]
+    fn distillation_zeroes_high_bands() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cfg = LightGaussianConfig { distill_degree: 1, ..Default::default() };
+        let out = light_gaussian(&scene.trained, &scene.train_cameras, &cfg);
+        for g in &out {
+            for k in sh::band_range(2).chain(sh::band_range(3)) {
+                for c in 0..3 {
+                    assert_eq!(g.sh[3 * k + c], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quality_below_full_model_but_usable() {
+        use gs_render::{RenderConfig, TileRenderer};
+        let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+        let out = light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+        let r = TileRenderer::new(RenderConfig::default());
+        let cam = &scene.eval_cameras[0];
+        let full = r.render(&scene.trained, cam);
+        let light = r.render(&out, cam);
+        let psnr = light.image.psnr(&full.image);
+        assert!(psnr > 14.0, "lightgaussian unusable: {psnr}");
+        assert!(psnr < 60.0, "pruning 55% should visibly change the image");
+    }
+
+    #[test]
+    fn deterministic() {
+        let scene = SceneKind::Drjohnson.build(&SceneConfig::tiny());
+        let cfg = LightGaussianConfig::default();
+        let a = light_gaussian(&scene.trained, &scene.train_cameras, &cfg);
+        let b = light_gaussian(&scene.trained, &scene.train_cameras, &cfg);
+        assert_eq!(a, b);
+    }
+}

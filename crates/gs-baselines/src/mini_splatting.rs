@@ -1,0 +1,133 @@
+//! Mini-Splatting stand-in: importance-weighted Gaussian resampling.
+//!
+//! Mini-Splatting represents scenes with a constrained number of Gaussians
+//! by *sampling* the trained set with probability proportional to each
+//! Gaussian's rendering importance (rather than hard top-k pruning, which
+//! produces holes). We reproduce that sampling step plus the opacity
+//! renormalization that compensates for removed mass.
+
+use crate::importance::view_importance;
+use gs_core::camera::Camera;
+use gs_scene::GaussianCloud;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mini-Splatting configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MiniSplattingConfig {
+    /// Fraction of Gaussians to keep.
+    pub keep_ratio: f64,
+    /// Opacity multiplier compensating for removed Gaussians.
+    pub opacity_boost: f32,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for MiniSplattingConfig {
+    fn default() -> Self {
+        MiniSplattingConfig { keep_ratio: 0.55, opacity_boost: 1.08, seed: 0x313131 }
+    }
+}
+
+/// Produces the Mini-Splatting compacted cloud.
+///
+/// Deterministic in `(cloud, views, config)`.
+pub fn mini_splatting(
+    cloud: &GaussianCloud,
+    views: &[Camera],
+    cfg: &MiniSplattingConfig,
+) -> GaussianCloud {
+    let scores = view_importance(cloud, views);
+    let keep = ((cloud.len() as f64 * cfg.keep_ratio).round() as usize).clamp(1, cloud.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Weighted sampling without replacement via the exponential-sort trick:
+    // key_i = u_i^(1/w_i) — take the `keep` largest keys.
+    let mut keyed: Vec<(f64, usize)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let key = if w <= 0.0 { -1.0 } else { u.powf(1.0 / w) };
+            (key, i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut chosen: Vec<usize> = keyed.into_iter().take(keep).map(|(_, i)| i).collect();
+    chosen.sort_unstable(); // keep source (voxel-friendly) ordering
+
+    let mut out = GaussianCloud::new();
+    for i in chosen {
+        let mut g = cloud.as_slice()[i].clone();
+        g.opacity = (g.opacity * cfg.opacity_boost).min(0.99);
+        out.push(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{SceneConfig, SceneKind};
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cfg = MiniSplattingConfig { keep_ratio: 0.5, ..Default::default() };
+        let out = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
+        let expect = (scene.trained.len() as f64 * 0.5).round() as usize;
+        assert_eq!(out.len(), expect);
+    }
+
+    #[test]
+    fn deterministic() {
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let cfg = MiniSplattingConfig::default();
+        let a = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
+        let b = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefers_important_gaussians() {
+        // With extreme keep ratios, zero-importance Gaussians (behind all
+        // cameras) must be dropped first.
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let scores = view_importance(&scene.trained, &scene.train_cameras);
+        let cfg = MiniSplattingConfig { keep_ratio: 0.3, ..Default::default() };
+        let out = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
+        // Mean importance of the kept set exceeds the full-cloud mean.
+        let kept_mean: f64 = {
+            // Match kept Gaussians back to indices by position identity.
+            use std::collections::HashMap;
+            let pos_index: HashMap<[u32; 3], usize> = scene
+                .trained
+                .iter()
+                .enumerate()
+                .map(|(i, g)| ([g.pos.x.to_bits(), g.pos.y.to_bits(), g.pos.z.to_bits()], i))
+                .collect();
+            let mut acc = 0.0;
+            for g in &out {
+                let i = pos_index[&[g.pos.x.to_bits(), g.pos.y.to_bits(), g.pos.z.to_bits()]];
+                acc += scores[i];
+            }
+            acc / out.len() as f64
+        };
+        let all_mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(kept_mean > all_mean, "kept {kept_mean} vs all {all_mean}");
+    }
+
+    #[test]
+    fn render_quality_stays_reasonable() {
+        use gs_render::{RenderConfig, TileRenderer};
+        let scene = SceneKind::Palace.build(&SceneConfig::tiny());
+        let out = mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default());
+        let r = TileRenderer::new(RenderConfig::default());
+        let cam = &scene.eval_cameras[0];
+        let full = r.render(&scene.trained, cam);
+        let mini = r.render(&out, cam);
+        let psnr = mini.image.psnr(&full.image);
+        assert!(psnr > 15.0, "mini-splatting destroyed the render: {psnr}");
+    }
+}

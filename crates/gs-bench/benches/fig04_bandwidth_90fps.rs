@@ -1,0 +1,49 @@
+//! Paper Fig. 4: DRAM bandwidth needed for 90 FPS vs. the Orin NX limit.
+//!
+//! Paper reference: real-world scenes demand more than the 102.4 GB/s the
+//! device offers (bars reach ≈250 GB/s); projection + sorting contribute
+//! ≈90 % of the traffic.
+
+use gs_accel::scaling::{scale_render_stats, ScaleFactors};
+use gs_bench::fmt::{banner, pct, Table};
+use gs_bench::setup::build_scene;
+use gs_render::{tile_centric_traffic, RenderConfig, TileRenderer, TrafficModel};
+use gs_scene::SceneKind;
+
+const ORIN_BW_GBS: f64 = 102.4;
+const TARGET_FPS: f64 = 90.0;
+
+fn main() {
+    banner("Fig. 4 — DRAM bandwidth required for 90 FPS (native workload scale)");
+    println!("paper: real-world scenes exceed the 102.4 GB/s Orin NX limit; proj+sort ≈90%\n");
+
+    let renderer = TileRenderer::new(RenderConfig::default());
+    let model = TrafficModel::default();
+    let mut table = Table::new(&[
+        "scene", "proj(GB/s)", "sort(GB/s)", "rend(GB/s)", "total(GB/s)", "exceeds_limit",
+        "proj+sort",
+    ]);
+
+    for kind in SceneKind::ALL {
+        let scene = build_scene(kind);
+        let cam = &scene.eval_cameras[0];
+        let out = renderer.render(&scene.trained, cam);
+        let f = ScaleFactors::for_scene(kind, scene.trained.len(), cam.width(), cam.height());
+        let stats = scale_render_stats(&out.stats, &f);
+        let t = tile_centric_traffic(&stats, &model);
+        let gbs = |b: u64| b as f64 * TARGET_FPS / 1e9;
+        let total = gbs(t.total());
+        let (p, s, _) = t.fractions();
+        table.row(&[
+            kind.name().to_string(),
+            format!("{:.1}", gbs(t.projection())),
+            format!("{:.1}", gbs(t.sorting())),
+            format!("{:.1}", gbs(t.rendering())),
+            format!("{total:.1}"),
+            if total > ORIN_BW_GBS { "YES".into() } else { "no".into() },
+            pct(p + s),
+        ]);
+    }
+    println!("{table}");
+    println!("Orin NX bandwidth limit: {ORIN_BW_GBS} GB/s (the red dashed line)");
+}

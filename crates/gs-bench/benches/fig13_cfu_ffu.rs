@@ -1,0 +1,56 @@
+//! Paper Fig. 13: sensitivity of speedup to the number of CFUs and FFUs.
+//!
+//! Paper reference (train scene, speedup over the GPU):
+//!
+//! ```text
+//!        CFU=1  CFU=2  CFU=3  CFU=4
+//! FFU=1  20.6   31.9   39.7   45.6
+//! FFU=2  20.6   32.2   40.2   46.4
+//! FFU=3  20.6   32.2   40.3   46.7
+//! FFU=4  20.6   32.2   40.3   46.8
+//! ```
+//!
+//! FFUs beyond one barely help; CFUs scale speedup until DRAM binds.
+
+use gs_accel::config::AccelConfig;
+use gs_accel::StreamingGsModel;
+use gs_bench::fmt::{banner, Table};
+use gs_bench::setup::{bench_scale, build_scene};
+use gs_bench::variants::evaluate_scene;
+use gs_scene::SceneKind;
+
+fn main() {
+    banner("Fig. 13 — speedup sensitivity to CFU/FFU counts (train scene)");
+
+    let scene = build_scene(SceneKind::Train);
+    let vq = bench_scale().vq_config();
+    let eval = evaluate_scene(&scene, &scene.trained, &vq, false);
+    let gpu_seconds = eval.gpu.seconds;
+    let workload = &eval.sample_workload;
+
+    let mut table = Table::new(&["", "CFU=1", "CFU=2", "CFU=3", "CFU=4"]);
+    for ffu in 1..=4u32 {
+        let mut cells = vec![format!("FFU={ffu}")];
+        for cfu in 1..=4u32 {
+            let mut cfg = AccelConfig::paper();
+            cfg.cfus_per_hfu = cfu;
+            cfg.ffus_per_hfu = ffu;
+            let report = StreamingGsModel::new(cfg).evaluate(workload);
+            cells.push(format!("{:.1}", gpu_seconds / report.seconds));
+        }
+        table.row(&cells);
+    }
+    println!("{table}");
+    println!("paper row FFU=1: 20.6  31.9  39.7  45.6   (flat in FFU, saturating in CFU)");
+
+    // Area cost of the sweep (the paper's argument against excessive CFUs).
+    let mut area = Table::new(&["", "CFU=1", "CFU=2", "CFU=3", "CFU=4"]);
+    let mut cells = vec!["mm^2".to_string()];
+    for cfu in 1..=4u32 {
+        let mut cfg = AccelConfig::paper();
+        cfg.cfus_per_hfu = cfu;
+        cells.push(format!("{:.2}", gs_accel::area::area_table(&cfg).total_mm2()));
+    }
+    area.row(&cells);
+    println!("\nArea vs CFU count (FFU=1):\n{area}");
+}

@@ -1,0 +1,127 @@
+//! Criterion micro-benches for the compute kernels behind the accelerator
+//! model's cycle constants: EWA projection (the FFU's 427-MAC job), the
+//! coarse 4-parameter projection (the CFU's 55-MAC job), SH evaluation,
+//! DDA traversal (VSU), topological ordering, k-means encoding and tile
+//! blending.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gs_core::camera::Camera;
+use gs_core::ewa::{covariance3d, project_coarse, project_gaussian};
+use gs_core::geom::Ray;
+use gs_core::sh;
+use gs_core::vec::Vec3;
+use gs_scene::{SceneConfig, SceneKind};
+use gs_voxel::dda::traverse;
+use gs_voxel::order::topological_order;
+use gs_voxel::VoxelGrid;
+
+fn bench_projection(c: &mut Criterion) {
+    let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+    let cam = scene.eval_cameras[0];
+    let gaussians: Vec<_> = scene.trained.iter().take(1000).cloned().collect();
+    c.bench_function("ewa_project_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for g in &gaussians {
+                if project_gaussian(&cam, g.pos, covariance3d(g.scale, g.rot)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("coarse_project_1k", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for g in &gaussians {
+                if project_coarse(&cam, g.pos, g.max_scale()).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_sh(c: &mut Criterion) {
+    let coeffs = [0.1f32; sh::SH_COEFFS];
+    let dirs: Vec<Vec3> = (0..256)
+        .map(|i| {
+            let t = i as f32 * 0.1;
+            Vec3::new(t.sin(), t.cos(), (t * 0.7).sin()).normalized()
+        })
+        .collect();
+    c.bench_function("sh_eval_deg3_256", |b| {
+        b.iter(|| {
+            let mut acc = Vec3::ZERO;
+            for d in &dirs {
+                acc += sh::eval_color(&coeffs, *d, 3);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_dda(c: &mut Criterion) {
+    let scene = SceneKind::Train.build(&SceneConfig::tiny());
+    let grid = VoxelGrid::build(&scene.trained, scene.voxel_size);
+    let cam: Camera = scene.eval_cameras[0];
+    let rays: Vec<Ray> = (0..256)
+        .map(|i| cam.pixel_ray((i % 16) as f32 * 4.0 + 0.5, (i / 16) as f32 * 3.0 + 0.5))
+        .collect();
+    c.bench_function("dda_traverse_256_rays", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for ray in &rays {
+                total += traverse(&grid, ray, 256).steps;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_toposort(c: &mut Criterion) {
+    // 64 rays over a 64-node chain with branching suffixes.
+    let lists: Vec<Vec<u32>> = (0..64u32).map(|s| ((s % 8)..64).collect()).collect();
+    c.bench_function("toposort_64rays_64nodes", |b| {
+        b.iter(|| black_box(topological_order(&lists, |v| v as f32).order.len()))
+    });
+}
+
+fn bench_vq_encode(c: &mut Criterion) {
+    use gs_vq::Codebook;
+    let data: Vec<f32> = (0..4096).map(|i| ((i * 37) % 101) as f32 * 0.01).collect();
+    let cb = Codebook::train(&data, 4, 64, 5, 1);
+    let queries: Vec<[f32; 4]> = (0..256)
+        .map(|i| {
+            let f = i as f32 * 0.013;
+            [f.sin(), f.cos(), (2.0 * f).sin(), (3.0 * f).cos()]
+        })
+        .collect();
+    c.bench_function("vq_encode_256x64", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for q in &queries {
+                acc += cb.encode(q).0;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_tile_blend(c: &mut Criterion) {
+    use gs_render::{RenderConfig, TileRenderer};
+    let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+    let renderer = TileRenderer::new(RenderConfig { threads: 1, ..Default::default() });
+    let cam = scene.eval_cameras[0];
+    c.bench_function("tile_render_frame_tiny", |b| {
+        b.iter(|| black_box(renderer.render(&scene.trained, &cam).stats.blended_fragments))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_projection, bench_sh, bench_dda, bench_toposort, bench_vq_encode, bench_tile_blend
+);
+criterion_main!(kernels);

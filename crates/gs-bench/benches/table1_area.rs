@@ -1,0 +1,30 @@
+//! Paper Table I: accelerator configuration and area (TSMC 32 nm).
+//!
+//! Paper reference: VSU 0.06, 4×HFU 0.79, 2×sorters 0.04, 64×render 2.53,
+//! 355 KB SRAM 1.95 — total 5.37 mm² (GSCore: 5.53 mm²).
+
+use gs_accel::area::{area_table, GSCORE_TOTAL_MM2};
+use gs_accel::config::AccelConfig;
+use gs_bench::fmt::{banner, Table};
+
+fn main() {
+    banner("Table I — configuration and area");
+
+    let cfg = AccelConfig::paper();
+    let table = area_table(&cfg);
+    let mut out = Table::new(&["unit", "configuration", "area [mm^2]"]);
+    for row in &table.rows {
+        out.row(&[row.unit.clone(), row.configuration.clone(), format!("{:.2}", row.mm2)]);
+    }
+    out.row(&["Total".into(), String::new(), format!("{:.2}", table.total_mm2())]);
+    println!("{out}");
+
+    println!("paper total: 5.37 mm^2 | GSCore (32 nm scaled): {GSCORE_TOTAL_MM2} mm^2");
+    println!(
+        "SRAM budget: input {} KB (double-buffered) + codebook {} KB + intermediate {} KB = {} KB",
+        cfg.input_buffer_bytes / 1024,
+        cfg.codebook_bytes / 1024,
+        cfg.intermediate_bytes / 1024,
+        cfg.sram_bytes() / 1024
+    );
+}

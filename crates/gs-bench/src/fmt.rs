@@ -1,0 +1,110 @@
+//! Plain-text table formatting for experiment output.
+
+/// A simple aligned-column table printer.
+///
+/// ```
+/// use gs_bench::fmt::Table;
+/// let mut t = Table::new(&["scene", "fps"]);
+/// t.row(&["lego".to_string(), format!("{:.1}", 8.5)]);
+/// let s = t.to_string();
+/// assert!(s.contains("lego"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut r: Vec<String> = cells.to_vec();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Convenience: appends a row of `&str`.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        print_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for r in &self.rows {
+            print_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Formats bytes as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_counts() {
+        let mut t = Table::new(&["a", "longheader"]);
+        t.row_str(&["x", "1"]);
+        t.row(&["yy".into()]); // short row gets padded
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("longheader"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mb(2_500_000), "2.50");
+        assert_eq!(pct(0.423), "42.3%");
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared evaluation of the paper's hardware/algorithm variants on a scene.
+//!
+//! For one Gaussian cloud this renders the tile-centric pipeline (feeding
+//! the GPU and GSCore models) and the three streaming variants of paper
+//! Sec. V-A (w/o VQ+CGF, w/o CGF, full StreamingGS), producing one
+//! [`PerfReport`] per hardware point — the data behind Figs. 11–13.
+
+use gs_accel::scaling::{scale_frame_workload, scale_render_stats, ScaleFactors};
+use gs_accel::{GpuModel, GscoreModel, PerfReport, StreamingGsModel};
+use gs_mem::EnergyBreakdown;
+use gs_render::{RenderConfig, RenderStats, TileRenderer};
+use gs_scene::{GaussianCloud, Scene};
+use gs_voxel::{FrameWorkload, StreamingConfig, StreamingScene};
+use gs_vq::{GaussianQuantizer, VqConfig};
+
+/// The hardware/ablation points of Fig. 11.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Jetson Orin NX (baseline, normalization point).
+    Gpu,
+    /// GSCore accelerator.
+    Gscore,
+    /// Streaming without VQ and without the coarse filter.
+    WithoutVqCgf,
+    /// Streaming with VQ, without the coarse filter.
+    WithoutCgf,
+    /// Full StreamingGS.
+    StreamingGs,
+}
+
+impl Variant {
+    /// Display name matching the paper legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Gpu => "GPU (Orin NX)",
+            Variant::Gscore => "GSCore",
+            Variant::WithoutVqCgf => "w/o VQ+CGF",
+            Variant::WithoutCgf => "w/o CGF",
+            Variant::StreamingGs => "StreamingGS",
+        }
+    }
+}
+
+/// All per-variant results for one scene + cloud.
+#[derive(Clone, Debug)]
+pub struct SceneEvaluation {
+    /// GPU baseline.
+    pub gpu: PerfReport,
+    /// GSCore.
+    pub gscore: PerfReport,
+    /// Streaming w/o VQ+CGF.
+    pub without_vq_cgf: PerfReport,
+    /// Streaming w/o CGF.
+    pub without_cgf: PerfReport,
+    /// Full StreamingGS.
+    pub full: PerfReport,
+    /// Hierarchical-filter kill rate of the full variant (paper: 76.3 %).
+    pub kill_rate: f64,
+    /// Second-half traffic reduction from VQ (paper: 92.3 %).
+    pub vq_reduction: f64,
+    /// Measured (unscaled) tile-centric stats, averaged over views.
+    pub render_stats: RenderStats,
+    /// One native-scaled streaming workload (for unit sweeps).
+    pub sample_workload: FrameWorkload,
+}
+
+impl SceneEvaluation {
+    /// The report for a variant.
+    pub fn report(&self, v: Variant) -> &PerfReport {
+        match v {
+            Variant::Gpu => &self.gpu,
+            Variant::Gscore => &self.gscore,
+            Variant::WithoutVqCgf => &self.without_vq_cgf,
+            Variant::WithoutCgf => &self.without_cgf,
+            Variant::StreamingGs => &self.full,
+        }
+    }
+
+    /// Speedup of a variant over the GPU baseline.
+    pub fn speedup(&self, v: Variant) -> f64 {
+        self.report(v).speedup_over(&self.gpu)
+    }
+
+    /// Energy saving of a variant over the GPU baseline.
+    pub fn energy_saving(&self, v: Variant) -> f64 {
+        self.report(v).energy_saving_over(&self.gpu)
+    }
+}
+
+fn mean_reports(reports: &[PerfReport]) -> PerfReport {
+    let n = reports.len().max(1) as f64;
+    let mut seconds = 0.0;
+    let mut bytes = 0.0;
+    let mut energy = EnergyBreakdown::default();
+    for r in reports {
+        seconds += r.seconds;
+        bytes += r.dram_bytes as f64;
+        energy = energy + r.energy;
+    }
+    PerfReport {
+        seconds: seconds / n,
+        dram_bytes: (bytes / n) as u64,
+        energy: energy.scaled(1.0 / n),
+    }
+}
+
+/// Evaluates every variant of `cloud` in `scene` over its eval views.
+///
+/// When `native_scale` is set, measured workloads are extrapolated to the
+/// native scene size before the timing models run (used for the figures
+/// that quote absolute FPS/bandwidth; ratio figures work either way).
+pub fn evaluate_scene(
+    scene: &Scene,
+    cloud: &GaussianCloud,
+    vq: &VqConfig,
+    native_scale: bool,
+) -> SceneEvaluation {
+    let cams = &scene.eval_cameras;
+    let factors = if native_scale {
+        ScaleFactors::for_scene(scene.kind, cloud.len(), cams[0].width(), cams[0].height())
+    } else {
+        ScaleFactors::identity()
+    };
+
+    // --- tile-centric pipeline (GPU + GSCore inputs) ----------------------
+    let renderer = TileRenderer::new(RenderConfig::default());
+    let gpu_model = GpuModel::default();
+    let gscore_model = GscoreModel::default();
+    let mut gpu_reports = Vec::new();
+    let mut gscore_reports = Vec::new();
+    let mut stats_acc = RenderStats::default();
+    for cam in cams {
+        let out = renderer.render(cloud, cam);
+        let scaled = scale_render_stats(&out.stats, &factors);
+        gpu_reports.push(gpu_model.evaluate(&scaled));
+        gscore_reports.push(gscore_model.evaluate(&scaled));
+        stats_acc += out.stats;
+    }
+
+    // --- streaming variants ------------------------------------------------
+    let voxel = scene.voxel_size;
+    let quant = GaussianQuantizer::train(cloud, vq);
+    let full_scene = StreamingScene::with_quantization(
+        cloud.clone(),
+        quant.clone(),
+        StreamingConfig::full(voxel, *vq),
+    );
+    let no_cgf_scene = StreamingScene::with_quantization(
+        cloud.clone(),
+        quant.clone(),
+        StreamingConfig::without_cgf(voxel, *vq),
+    );
+    let plain_scene =
+        StreamingScene::new(cloud.clone(), StreamingConfig::without_vq_cgf(voxel));
+
+    let accel = StreamingGsModel::default();
+    let run = |s: &StreamingScene| -> (Vec<PerfReport>, f64, Option<FrameWorkload>) {
+        let mut reports = Vec::new();
+        let mut kill_acc = 0.0;
+        let mut sample = None;
+        for cam in cams {
+            let out = s.render(cam);
+            let scaled = scale_frame_workload(&out.workload, &factors);
+            reports.push(accel.evaluate(&scaled));
+            kill_acc += out.workload.totals().filter_kill_rate();
+            if sample.is_none() {
+                sample = Some(scaled);
+            }
+        }
+        (reports, kill_acc / cams.len() as f64, sample)
+    };
+
+    let (full_reports, kill_rate, sample) = run(&full_scene);
+    let (no_cgf_reports, _, _) = run(&no_cgf_scene);
+    let (plain_reports, _, _) = run(&plain_scene);
+
+    SceneEvaluation {
+        gpu: mean_reports(&gpu_reports),
+        gscore: mean_reports(&gscore_reports),
+        without_vq_cgf: mean_reports(&plain_reports),
+        without_cgf: mean_reports(&no_cgf_reports),
+        full: mean_reports(&full_reports),
+        kill_rate,
+        vq_reduction: quant.fine_traffic_reduction(),
+        render_stats: stats_acc,
+        sample_workload: sample.expect("at least one eval view"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{SceneConfig, SceneKind};
+
+    #[test]
+    fn variant_ordering_holds_on_a_real_scene() {
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let eval = evaluate_scene(&scene, &scene.trained, &VqConfig::tiny(), false);
+        // The paper's headline ordering: StreamingGS beats w/o CGF beats
+        // w/o VQ+CGF; all accelerators beat the GPU.
+        let full = eval.speedup(Variant::StreamingGs);
+        let no_cgf = eval.speedup(Variant::WithoutCgf);
+        let plain = eval.speedup(Variant::WithoutVqCgf);
+        let gscore = eval.speedup(Variant::Gscore);
+        assert!(full > no_cgf, "full {full} ≤ w/o CGF {no_cgf}");
+        assert!(no_cgf >= plain, "w/o CGF {no_cgf} < plain {plain}");
+        assert!(gscore > 1.0, "GSCore slower than GPU: {gscore}");
+        assert!(full > gscore, "full {full} ≤ GSCore {gscore}");
+        assert!(eval.kill_rate > 0.3);
+        assert!(eval.vq_reduction > 0.9);
+    }
+}

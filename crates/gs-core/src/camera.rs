@@ -1,0 +1,272 @@
+//! Pinhole camera model: intrinsics, pose, projection and ray generation.
+
+use crate::geom::Ray;
+use crate::mat::Mat3;
+use crate::vec::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Pinhole intrinsics in pixels.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Intrinsics {
+    /// Focal length along x, in pixels.
+    pub fx: f32,
+    /// Focal length along y, in pixels.
+    pub fy: f32,
+    /// Principal point x, in pixels.
+    pub cx: f32,
+    /// Principal point y, in pixels.
+    pub cy: f32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl Intrinsics {
+    /// Builds intrinsics from a horizontal field of view.
+    ///
+    /// The principal point is placed at the image centre and `fy = fx`
+    /// (square pixels).
+    pub fn from_fov(width: u32, height: u32, fov_x: f32) -> Intrinsics {
+        let fx = width as f32 * 0.5 / (fov_x * 0.5).tan();
+        Intrinsics {
+            fx,
+            fy: fx,
+            cx: width as f32 * 0.5,
+            cy: height as f32 * 0.5,
+            width,
+            height,
+        }
+    }
+
+    /// Horizontal field of view in radians.
+    pub fn fov_x(&self) -> f32 {
+        2.0 * (self.width as f32 * 0.5 / self.fx).atan()
+    }
+
+    /// Vertical field of view in radians.
+    pub fn fov_y(&self) -> f32 {
+        2.0 * (self.height as f32 * 0.5 / self.fy).atan()
+    }
+
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+/// Rigid world-to-camera transform: `p_cam = rotation * p_world + translation`.
+///
+/// The camera looks down its local +Z axis (the 3DGS / COLMAP convention).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// World-to-camera rotation.
+    pub rotation: Mat3,
+    /// World-to-camera translation.
+    pub translation: Vec3,
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose { rotation: Mat3::IDENTITY, translation: Vec3::ZERO }
+    }
+}
+
+impl Pose {
+    /// Builds the pose of a camera placed at `eye`, looking at `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `eye == target` or `up` is parallel to the
+    /// viewing direction (the frame is then underdetermined).
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Pose {
+        let forward = (target - eye).normalized();
+        let right = forward.cross(up).normalized();
+        let down = forward.cross(right); // completes the right-handed +Z-forward frame
+        // Camera axes are the rows of the world-to-camera rotation.
+        let rotation = Mat3::from_rows(right.to_array(), down.to_array(), forward.to_array());
+        Pose { rotation, translation: -(rotation * eye) }
+    }
+
+    /// Camera centre in world coordinates.
+    pub fn center(&self) -> Vec3 {
+        -(self.rotation.transpose() * self.translation)
+    }
+
+    /// Viewing direction (+Z of the camera) in world coordinates.
+    pub fn forward(&self) -> Vec3 {
+        self.rotation.row(2)
+    }
+}
+
+/// A full camera: intrinsics plus pose.
+///
+/// ```
+/// use gs_core::camera::Camera;
+/// use gs_core::vec::Vec3;
+/// let cam = Camera::look_at(
+///     Vec3::new(0.0, 0.0, -4.0),
+///     Vec3::ZERO,
+///     Vec3::Y,
+///     320,
+///     240,
+///     std::f32::consts::FRAC_PI_2,
+/// );
+/// // The look-at target projects to the image centre.
+/// let (px, depth) = cam.project(Vec3::ZERO).expect("in front");
+/// assert!((px.x - 160.0).abs() < 1e-3);
+/// assert!((px.y - 120.0).abs() < 1e-3);
+/// assert!((depth - 4.0).abs() < 1e-4);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    pub intrinsics: Intrinsics,
+    pub pose: Pose,
+}
+
+impl Camera {
+    /// Convenience constructor combining [`Pose::look_at`] and
+    /// [`Intrinsics::from_fov`].
+    pub fn look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        width: u32,
+        height: u32,
+        fov_x: f32,
+    ) -> Camera {
+        Camera {
+            intrinsics: Intrinsics::from_fov(width, height, fov_x),
+            pose: Pose::look_at(eye, target, up),
+        }
+    }
+
+    /// Transforms a world point into camera space.
+    pub fn world_to_camera(&self, p: Vec3) -> Vec3 {
+        self.pose.rotation * p + self.pose.translation
+    }
+
+    /// Projects a world point to `(pixel, depth)`.
+    ///
+    /// Returns `None` when the point lies behind (or numerically on) the
+    /// camera plane; callers cull such Gaussians.
+    pub fn project(&self, p: Vec3) -> Option<(Vec2, f32)> {
+        let c = self.world_to_camera(p);
+        if c.z <= 1e-6 {
+            return None;
+        }
+        let inv_z = 1.0 / c.z;
+        Some((
+            Vec2::new(
+                self.intrinsics.fx * c.x * inv_z + self.intrinsics.cx,
+                self.intrinsics.fy * c.y * inv_z + self.intrinsics.cy,
+            ),
+            c.z,
+        ))
+    }
+
+    /// Returns the world-space ray through the centre of pixel `(px, py)`.
+    pub fn pixel_ray(&self, px: f32, py: f32) -> Ray {
+        let dir_cam = Vec3::new(
+            (px - self.intrinsics.cx) / self.intrinsics.fx,
+            (py - self.intrinsics.cy) / self.intrinsics.fy,
+            1.0,
+        );
+        let dir_world = (self.pose.rotation.transpose() * dir_cam).normalized();
+        Ray::new(self.pose.center(), dir_world)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.intrinsics.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.intrinsics.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sample_camera() -> Camera {
+        Camera::look_at(
+            Vec3::new(1.0, 2.0, -5.0),
+            Vec3::new(0.0, 0.5, 0.0),
+            Vec3::Y,
+            640,
+            480,
+            std::f32::consts::FRAC_PI_2,
+        )
+    }
+
+    #[test]
+    fn look_at_center_recovers_eye() {
+        let cam = sample_camera();
+        let eye = Vec3::new(1.0, 2.0, -5.0);
+        assert!((cam.pose.center() - eye).length() < 1e-4);
+    }
+
+    #[test]
+    fn target_projects_to_principal_point() {
+        let cam = sample_camera();
+        let (px, depth) = cam.project(Vec3::new(0.0, 0.5, 0.0)).unwrap();
+        assert!(approx_eq(px.x, cam.intrinsics.cx, 1e-3));
+        assert!(approx_eq(px.y, cam.intrinsics.cy, 1e-3));
+        assert!(depth > 0.0);
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let r = sample_camera().pose.rotation;
+        assert!((r * r.transpose()).distance(&Mat3::IDENTITY) < 1e-5);
+        assert!(approx_eq(r.det(), 1.0, 1e-4));
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        let cam = sample_camera();
+        // A point far behind the eye along the backward direction.
+        let behind = cam.pose.center() - cam.pose.forward() * 10.0;
+        assert!(cam.project(behind).is_none());
+    }
+
+    #[test]
+    fn pixel_ray_hits_projected_point() {
+        let cam = sample_camera();
+        let p = Vec3::new(0.3, 0.8, 1.2);
+        let (px, depth) = cam.project(p).unwrap();
+        let ray = cam.pixel_ray(px.x, px.y);
+        // The point should lie on the ray: distance from ray to p near zero.
+        let t = (p - ray.origin).dot(ray.dir);
+        let closest = ray.origin + ray.dir * t;
+        assert!((closest - p).length() < 1e-3);
+        assert!(t > 0.0 && depth > 0.0);
+    }
+
+    #[test]
+    fn fov_roundtrip() {
+        let intr = Intrinsics::from_fov(800, 600, 1.2);
+        assert!(approx_eq(intr.fov_x(), 1.2, 1e-5));
+        assert_eq!(intr.pixels(), 480_000);
+    }
+
+    #[test]
+    fn up_vector_points_up_in_image() {
+        // A point above the target must land at smaller v (image y grows downward).
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -4.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            320,
+            240,
+            1.0,
+        );
+        let (above, _) = cam.project(Vec3::new(0.0, 0.5, 0.0)).unwrap();
+        let (center, _) = cam.project(Vec3::ZERO).unwrap();
+        assert!(above.y < center.y);
+    }
+}

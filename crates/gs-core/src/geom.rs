@@ -1,0 +1,211 @@
+//! Rays and axis-aligned bounding boxes (voxel grid geometry).
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A ray `origin + t * dir` with (by convention) unit `dir`.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray. `dir` should be normalized by the caller.
+    pub const fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray { origin, dir }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// An axis-aligned bounding box.
+///
+/// ```
+/// use gs_core::geom::{Aabb, Ray};
+/// use gs_core::vec::Vec3;
+/// let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+/// let ray = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+/// let (t0, t1) = b.intersect_ray(&ray).expect("hits");
+/// assert!((t0 - 1.0).abs() < 1e-6 && (t1 - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from corners; components of `min` must not exceed `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Aabb {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted AABB: {min} > {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// The empty box (suitable as a fold identity for [`Aabb::union`]).
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: Vec3::splat(f32::INFINITY),
+            max: Vec3::splat(f32::NEG_INFINITY),
+        }
+    }
+
+    /// `true` when no point is contained (as produced by [`Aabb::empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Smallest box containing both inputs.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The box inflated by `r` on every side.
+    pub fn inflated(&self, r: f32) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(r),
+            max: self.max + Vec3::splat(r),
+        }
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Box extent (`max - min`).
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Box centre.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Slab test: returns the entry/exit parameters `(t0, t1)` of the ray
+    /// against the box, or `None` when the ray misses. `t0` may be negative
+    /// when the origin is inside.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = f32::NEG_INFINITY;
+        let mut t1 = f32::INFINITY;
+        for axis in 0..3 {
+            let o = ray.origin[axis];
+            let d = ray.dir[axis];
+            let (lo, hi) = (self.min[axis], self.max[axis]);
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (mut ta, mut tb) = ((lo - o) * inv, (hi - o) * inv);
+                if ta > tb {
+                    std::mem::swap(&mut ta, &mut tb);
+                }
+                t0 = t0.max(ta);
+                t1 = t1.min(tb);
+                if t0 > t1 {
+                    return None;
+                }
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_contains_nothing_and_unions_correctly() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(Vec3::ZERO));
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(e.union(&b), b);
+    }
+
+    #[test]
+    fn expand_grows_box() {
+        let mut b = Aabb::empty();
+        b.expand(Vec3::new(1.0, -2.0, 3.0));
+        b.expand(Vec3::new(-1.0, 4.0, 0.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max, Vec3::new(1.0, 4.0, 3.0));
+        assert!(b.contains(Vec3::new(0.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn ray_hits_box_from_outside() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let ray = Ray::new(Vec3::new(-1.0, 1.0, 1.0), Vec3::X);
+        let (t0, t1) = b.intersect_ray(&ray).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_from_inside_has_negative_entry() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let ray = Ray::new(Vec3::splat(1.0), Vec3::Z);
+        let (t0, t1) = b.intersect_ray(&ray).unwrap();
+        assert!(t0 < 0.0 && t1 > 0.0);
+    }
+
+    #[test]
+    fn parallel_ray_outside_slab_misses() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let ray = Ray::new(Vec3::new(-0.5, 2.0, 0.5), Vec3::X);
+        assert!(b.intersect_ray(&ray).is_none());
+    }
+
+    #[test]
+    fn diagonal_ray_hits_corner_region() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let dir = Vec3::ONE.normalized();
+        let ray = Ray::new(Vec3::splat(-1.0), dir);
+        assert!(b.intersect_ray(&ray).is_some());
+    }
+
+    #[test]
+    fn inflated_contains_original() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE).inflated(0.5);
+        assert!(b.contains(Vec3::splat(-0.4)));
+        assert_eq!(b.extent(), Vec3::splat(2.0));
+        assert_eq!(b.center(), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn ray_at_parameter() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert_eq!(r.at(2.5), Vec3::new(2.5, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal float RGB image with PSNR and PPM export.
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An RGB image with `f32` channels in `[0, 1]` (values outside are permitted
+/// mid-pipeline and clamped on export).
+///
+/// ```
+/// use gs_core::image::ImageRgb;
+/// use gs_core::vec::Vec3;
+/// let mut img = ImageRgb::new(4, 2);
+/// img.set(1, 0, Vec3::new(1.0, 0.0, 0.0));
+/// assert_eq!(img.get(1, 0).x, 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ImageRgb {
+    width: u32,
+    height: u32,
+    data: Vec<Vec3>,
+}
+
+impl ImageRgb {
+    /// Creates a black image.
+    pub fn new(width: u32, height: u32) -> ImageRgb {
+        ImageRgb {
+            width,
+            height,
+            data: vec![Vec3::ZERO; width as usize * height as usize],
+        }
+    }
+
+    /// Creates an image filled with `color`.
+    pub fn filled(width: u32, height: u32, color: Vec3) -> ImageRgb {
+        ImageRgb {
+            width,
+            height,
+            data: vec![color; width as usize * height as usize],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn pixels(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Reads pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Vec3 {
+        self.data[self.idx(x, y)]
+    }
+
+    /// Writes pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
+        let i = self.idx(x, y);
+        self.data[i] = c;
+    }
+
+    /// Adds `c` into pixel `(x, y)` (used for partial-value accumulation in
+    /// the streaming renderer).
+    #[inline]
+    pub fn accumulate(&mut self, x: u32, y: u32, c: Vec3) {
+        let i = self.idx(x, y);
+        self.data[i] += c;
+    }
+
+    /// Raw pixel slice in row-major order.
+    pub fn as_slice(&self) -> &[Vec3] {
+        &self.data
+    }
+
+    /// Mutable raw pixel slice.
+    pub fn as_mut_slice(&mut self) -> &mut [Vec3] {
+        &mut self.data
+    }
+
+    /// Mean squared error against `other` over all channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn mse(&self, other: &ImageRgb) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions must match"
+        );
+        let mut acc = 0.0f64;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            let d = *a - *b;
+            acc += (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2);
+        }
+        acc / (self.data.len() as f64 * 3.0)
+    }
+
+    /// Peak signal-to-noise ratio in dB against `other`, with peak 1.0.
+    ///
+    /// Returns `f64::INFINITY` for identical images.
+    pub fn psnr(&self, other: &ImageRgb) -> f64 {
+        let mse = self.mse(other);
+        if mse <= 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (1.0 / mse).log10()
+    }
+
+    /// Mean absolute (L1) difference against `other`.
+    pub fn l1(&self, other: &ImageRgb) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        let mut acc = 0.0f64;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            let d = (*a - *b).abs();
+            acc += (d.x + d.y + d.z) as f64;
+        }
+        acc / (self.data.len() as f64 * 3.0)
+    }
+
+    /// Writes a binary PPM (P6). Values are clamped to `[0, 1]` and
+    /// quantized to 8 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_ppm<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(self.data.len() * 3 + 64);
+        write!(buf, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for p in &self.data {
+            let c = p.clamp(0.0, 1.0) * 255.0;
+            buf.push(c.x.round() as u8);
+            buf.push(c.y.round() as u8);
+            buf.push(c.z.round() as u8);
+        }
+        std::fs::write(path, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_image_is_black() {
+        let img = ImageRgb::new(3, 2);
+        assert_eq!(img.pixels(), 6);
+        assert_eq!(img.get(2, 1), Vec3::ZERO);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = ImageRgb::new(4, 4);
+        img.set(3, 2, Vec3::new(0.1, 0.2, 0.3));
+        assert_eq!(img.get(3, 2), Vec3::new(0.1, 0.2, 0.3));
+        img.accumulate(3, 2, Vec3::splat(0.1));
+        assert!((img.get(3, 2) - Vec3::new(0.2, 0.3, 0.4)).length() < 1e-6);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let img = ImageRgb::filled(8, 8, Vec3::splat(0.5));
+        assert!(img.psnr(&img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        let a = ImageRgb::filled(8, 8, Vec3::splat(0.5));
+        let b = ImageRgb::filled(8, 8, Vec3::splat(0.6));
+        // MSE = 0.01 → PSNR = 20 dB (up to f32 rounding of the 0.1 delta).
+        assert!((a.psnr(&b) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_symmetric() {
+        let mut a = ImageRgb::new(4, 4);
+        let mut b = ImageRgb::new(4, 4);
+        a.set(0, 0, Vec3::splat(1.0));
+        b.set(3, 3, Vec3::new(0.3, 0.1, 0.9));
+        assert!((a.psnr(&b) - b.psnr(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_of_constant_offset() {
+        let a = ImageRgb::filled(2, 2, Vec3::splat(0.25));
+        let b = ImageRgb::filled(2, 2, Vec3::splat(0.75));
+        assert!((a.l1(&b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mse_dimension_mismatch_panics() {
+        let a = ImageRgb::new(2, 2);
+        let b = ImageRgb::new(3, 2);
+        let _ = a.mse(&b);
+    }
+
+    #[test]
+    fn ppm_export_has_header_and_size() {
+        let dir = std::env::temp_dir().join("gs_core_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.ppm");
+        let img = ImageRgb::filled(5, 3, Vec3::new(1.0, 0.0, 0.5));
+        img.write_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n5 3\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n5 3\n255\n".len() + 5 * 3 * 3);
+    }
+}

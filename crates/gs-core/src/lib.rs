@@ -1,0 +1,109 @@
+//! # gs-core — math substrate for the StreamingGS reproduction
+//!
+//! This crate provides the numerical foundation shared by every other crate in
+//! the workspace: small fixed-size linear algebra ([`Vec3`], [`Mat3`],
+//! [`Quat`], symmetric matrices), the pinhole [`camera`] model, real
+//! [`sh`] (spherical harmonics) evaluation up to degree 3, the EWA splatting
+//! primitives in [`ewa`] (3-D covariance construction, perspective projection
+//! to a 2-D conic), axis-aligned boxes and rays in [`geom`], and a tiny
+//! float image type with PSNR in [`image`].
+//!
+//! Everything is `f32` (the precision 3DGS renderers use) and dependency-free
+//! apart from `serde` derives.
+//!
+//! ## Example
+//!
+//! Project a single Gaussian onto a camera and evaluate its colour:
+//!
+//! ```
+//! use gs_core::camera::Camera;
+//! use gs_core::ewa::{covariance3d, project_gaussian};
+//! use gs_core::quat::Quat;
+//! use gs_core::vec::Vec3;
+//!
+//! let cam = Camera::look_at(
+//!     Vec3::new(0.0, 0.0, -5.0),
+//!     Vec3::ZERO,
+//!     Vec3::new(0.0, 1.0, 0.0),
+//!     256,
+//!     192,
+//!     60.0_f32.to_radians(),
+//! );
+//! let cov = covariance3d(Vec3::new(0.05, 0.05, 0.05), Quat::IDENTITY);
+//! let proj = project_gaussian(&cam, Vec3::ZERO, cov).expect("in front of camera");
+//! assert!(proj.depth > 0.0);
+//! assert!(proj.radius_px > 0.0);
+//! ```
+
+pub mod camera;
+pub mod ewa;
+pub mod geom;
+pub mod image;
+pub mod mat;
+pub mod quat;
+pub mod sh;
+pub mod sym;
+pub mod vec;
+
+pub use camera::{Camera, Intrinsics, Pose};
+pub use ewa::{covariance3d, project_coarse, project_gaussian, CoarseProjection, Projected};
+pub use geom::{Aabb, Ray};
+pub use image::ImageRgb;
+pub use mat::Mat3;
+pub use quat::Quat;
+pub use sym::{Sym2, Sym3};
+pub use vec::{Vec2, Vec3};
+
+/// Number of parameters a single 3DGS Gaussian carries (paper Sec. II-B):
+/// position (3) + scale (3) + rotation quaternion (4) + opacity (1) +
+/// degree-3 spherical-harmonic coefficients (48).
+pub const GAUSSIAN_PARAMS: usize = 59;
+
+/// Parameters fetched by the coarse-grained filter (paper Sec. III-B):
+/// the 3-D position and the maximum scale.
+pub const COARSE_PARAMS: usize = 4;
+
+/// Parameters belonging to the "second half" of the customized data layout
+/// (paper Fig. 8), fetched only by the fine-grained filter.
+pub const FINE_PARAMS: usize = GAUSSIAN_PARAMS - COARSE_PARAMS;
+
+/// Multiply-accumulate operations of the coarse-grained filter per Gaussian
+/// (paper Sec. IV-C: "from 427 MACs to 55").
+pub const COARSE_FILTER_MACS: u64 = 55;
+
+/// Multiply-accumulate operations of a full (fine-grained) projection per
+/// Gaussian (paper Sec. IV-C).
+pub const FINE_FILTER_MACS: u64 = 427;
+
+/// Relative tolerance helper used across the workspace's tests.
+///
+/// Returns `true` when `a` and `b` agree to `eps` either absolutely or
+/// relatively (whichever is looser), which is the right notion for chained
+/// f32 math.
+pub fn approx_eq(a: f32, b: f32, eps: f32) -> bool {
+    let diff = (a - b).abs();
+    if diff <= eps {
+        return true;
+    }
+    diff <= eps * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5));
+        assert!(approx_eq(1e6, 1e6 * (1.0 + 1e-6), 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn parameter_counts_match_paper() {
+        assert_eq!(GAUSSIAN_PARAMS, 59);
+        assert_eq!(COARSE_PARAMS, 4);
+        assert_eq!(FINE_PARAMS, 55);
+    }
+}

@@ -1,0 +1,249 @@
+//! 3×3 matrices (row-major) for rotations and covariance transforms.
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A 3×3 matrix stored row-major.
+///
+/// Used for world↔camera rotations and for transforming 3-D covariances
+/// during EWA projection.
+///
+/// ```
+/// use gs_core::mat::Mat3;
+/// use gs_core::vec::Vec3;
+/// let r = Mat3::IDENTITY;
+/// assert_eq!(r * Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major entries: `m[r][c]`.
+    pub m: [[f32; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Builds a matrix from rows.
+    pub const fn from_rows(r0: [f32; 3], r1: [f32; 3], r2: [f32; 3]) -> Mat3 {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// Builds a matrix whose columns are the given vectors.
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// A diagonal matrix with the given diagonal.
+    pub fn diagonal(d: Vec3) -> Mat3 {
+        Mat3::from_rows([d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z])
+    }
+
+    /// Returns row `r` as a vector.
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::new(self.m[r][0], self.m[r][1], self.m[r][2])
+    }
+
+    /// Returns column `c` as a vector.
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_cols(self.row(0), self.row(1), self.row(2))
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f32 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Matrix inverse, or `None` when the determinant is (nearly) zero.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let det = self.det();
+        if det.abs() < 1e-20 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let m = &self.m;
+        let mut out = Mat3::ZERO;
+        out.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        out.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        out.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        out.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        out.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        out.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        out.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        out.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        out.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        Some(out)
+    }
+
+    /// Frobenius norm of `self - other` (test helper).
+    pub fn distance(&self, other: &Mat3) -> f32 {
+        let mut acc = 0.0;
+        for r in 0..3 {
+            for c in 0..3 {
+                let d = self.m[r][c] - other.m[r][c];
+                acc += d * d;
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.m.iter().all(|row| row.iter().all(|v| v.is_finite()))
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.row(r).dot(rhs.col(c));
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + rhs.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f32> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, s: f32) -> Mat3 {
+        let mut out = self;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] *= s;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{:?}", self.m[0])?;
+        writeln!(f, " {:?}", self.m[1])?;
+        write!(f, " {:?}]", self.m[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sample() -> Mat3 {
+        Mat3::from_rows([2.0, 1.0, 0.5], [-1.0, 3.0, 2.0], [0.0, -0.5, 1.5])
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample();
+        assert_eq!(a * Mat3::IDENTITY, a);
+        assert_eq!(Mat3::IDENTITY * a, a);
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.row(1), a.transpose().col(1));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = sample();
+        let inv = a.inverse().expect("invertible");
+        let prod = a * inv;
+        assert!(prod.distance(&Mat3::IDENTITY) < 1e-5, "got {prod}");
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn determinant_of_product() {
+        let a = sample();
+        let b = Mat3::diagonal(Vec3::new(2.0, 3.0, 0.5));
+        assert!(approx_eq((a * b).det(), a.det() * b.det(), 1e-4));
+    }
+
+    #[test]
+    fn diagonal_scales_components() {
+        let d = Mat3::diagonal(Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(d * Vec3::ONE, Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = sample();
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let r = a * v;
+        assert!(approx_eq(r.x, 2.0 + 2.0 + 1.5, 1e-6));
+        assert!(approx_eq(r.y, -1.0 + 6.0 + 6.0, 1e-6));
+        assert!(approx_eq(r.z, 0.0 - 1.0 + 4.5, 1e-6));
+    }
+
+    #[test]
+    fn from_cols_matches_columns() {
+        let c0 = Vec3::new(1.0, 2.0, 3.0);
+        let c1 = Vec3::new(4.0, 5.0, 6.0);
+        let c2 = Vec3::new(7.0, 8.0, 9.0);
+        let m = Mat3::from_cols(c0, c1, c2);
+        assert_eq!(m.col(0), c0);
+        assert_eq!(m.col(1), c1);
+        assert_eq!(m.col(2), c2);
+    }
+}

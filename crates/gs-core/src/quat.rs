@@ -1,0 +1,262 @@
+//! Unit quaternions representing Gaussian orientations.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`.
+///
+/// Gaussian rotations are stored as (usually unit) quaternions, exactly as in
+/// the 3DGS parameterization; [`Quat::to_rotation`] converts to the rotation
+/// matrix used when building the 3-D covariance. Conversion normalizes
+/// internally, so slightly denormalized quaternions (e.g. mid-optimization)
+/// are handled gracefully.
+///
+/// ```
+/// use gs_core::quat::Quat;
+/// use gs_core::vec::Vec3;
+/// let q = Quat::from_axis_angle(Vec3::Z, std::f32::consts::FRAC_PI_2);
+/// let r = q.to_rotation();
+/// let v = r * Vec3::X;
+/// assert!((v - Vec3::Y).length() < 1e-5);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    pub w: f32,
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from components.
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Quat {
+        Quat { w, x, y, z }
+    }
+
+    /// Creates a rotation of `angle` radians around `axis`.
+    ///
+    /// The axis does not need to be normalized.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Quat {
+        let axis = axis.normalized();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Quat::new(c, axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Quaternion norm.
+    pub fn norm(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalized (unit) quaternion.
+    ///
+    /// Falls back to the identity when the norm is (nearly) zero, which is the
+    /// safe choice during optimization where a quaternion may collapse.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm();
+        if n < 1e-12 {
+            return Quat::IDENTITY;
+        }
+        Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+    }
+
+    /// Conjugate (inverse for unit quaternions).
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Converts to a rotation matrix. Normalizes first.
+    pub fn to_rotation(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_rotation() * v
+    }
+
+    /// Recovers a quaternion from a rotation matrix (Shepperd's method).
+    ///
+    /// The input must be a proper rotation (orthonormal, det +1); the result
+    /// satisfies `q.to_rotation() ≈ m`.
+    pub fn from_rotation(m: &Mat3) -> Quat {
+        let t = m.m[0][0] + m.m[1][1] + m.m[2][2];
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quat::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        };
+        q.normalized()
+    }
+
+    /// The components as `[w, x, y, z]`.
+    pub fn to_array(self) -> [f32; 4] {
+        [self.w, self.x, self.y, self.z]
+    }
+
+    /// Builds a quaternion from `[w, x, y, z]`.
+    pub fn from_array(a: [f32; 4]) -> Quat {
+        Quat::new(a[0], a[1], a[2], a[3])
+    }
+
+    /// Returns `true` when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    /// Hamilton product: `self * rhs` applies `rhs` first, then `self`.
+    fn mul(self, r: Quat) -> Quat {
+        Quat::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+}
+
+impl fmt::Display for Quat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}i + {}j + {}k)", self.w, self.x, self.y, self.z)
+    }
+}
+
+impl From<[f32; 4]> for Quat {
+    fn from(a: [f32; 4]) -> Quat {
+        Quat::from_array(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_rotation_is_identity_matrix() {
+        assert!(Quat::IDENTITY.to_rotation().distance(&Mat3::IDENTITY) < 1e-6);
+    }
+
+    #[test]
+    fn axis_angle_rotates_correctly() {
+        let q = Quat::from_axis_angle(Vec3::Y, std::f32::consts::FRAC_PI_2);
+        let v = q.rotate(Vec3::X);
+        assert!((v - (-Vec3::Z)).length() < 1e-5, "got {v}");
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quat::new(0.3, -0.4, 0.5, 0.7);
+        let r = q.to_rotation();
+        let rrt = r * r.transpose();
+        assert!(rrt.distance(&Mat3::IDENTITY) < 1e-5);
+        assert!(approx_eq(r.det(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn hamilton_product_composes_rotations() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.7);
+        let b = Quat::from_axis_angle(Vec3::Y, -0.4);
+        let composed = (a * b).to_rotation();
+        let sequential = a.to_rotation() * b.to_rotation();
+        assert!(composed.distance(&sequential) < 1e-5);
+    }
+
+    #[test]
+    fn conjugate_inverts_unit_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let p = q * q.conjugate();
+        assert!(approx_eq(p.w, 1.0, 1e-5));
+        assert!(p.x.abs() < 1e-5 && p.y.abs() < 1e-5 && p.z.abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_quaternion_normalizes_to_identity() {
+        let q = Quat::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(q.normalized(), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn from_rotation_roundtrip() {
+        let cases = [
+            Quat::IDENTITY,
+            Quat::from_axis_angle(Vec3::X, 3.0),  // near-π: stresses the w≈0 branches
+            Quat::from_axis_angle(Vec3::Y, -2.9),
+            Quat::from_axis_angle(Vec3::Z, 3.1),
+            Quat::from_axis_angle(Vec3::new(1.0, -1.0, 0.5), 1.3),
+        ];
+        for q in cases {
+            let m = q.to_rotation();
+            let q2 = Quat::from_rotation(&m);
+            // q and -q encode the same rotation; compare matrices instead.
+            assert!(q2.to_rotation().distance(&m) < 1e-4, "failed for {q}");
+        }
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let q = Quat::new(0.1, 0.2, 0.3, 0.4);
+        assert_eq!(Quat::from_array(q.to_array()), q);
+        assert_eq!(Quat::from([0.1, 0.2, 0.3, 0.4]), q);
+    }
+}

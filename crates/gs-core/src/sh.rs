@@ -1,0 +1,211 @@
+//! Real spherical harmonics up to degree 3 — the 3DGS colour model.
+//!
+//! A Gaussian's view-dependent colour is `clamp(0.5 + Σ_k c_k · Y_k(d), 0, ·)`
+//! per channel, where `d` is the unit direction from the camera centre to the
+//! Gaussian and `Y_k` are the 16 real SH basis functions. Coefficients are
+//! stored channel-interleaved: `coeffs[k]` is the RGB triple for basis `k`,
+//! `coeffs[0]` being the DC term.
+
+use crate::vec::Vec3;
+
+/// Number of SH basis functions at degree 3 (`(3+1)² = 16`).
+pub const SH_BASIS: usize = 16;
+
+/// Number of SH coefficients per Gaussian (16 basis × 3 channels).
+pub const SH_COEFFS: usize = SH_BASIS * 3;
+
+/// Degree-0 normalization constant.
+pub const SH_C0: f32 = 0.282_094_79;
+/// Degree-1 normalization constant.
+pub const SH_C1: f32 = 0.488_602_51;
+/// Degree-2 normalization constants.
+pub const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_215];
+/// Degree-3 normalization constants.
+pub const SH_C3: [f32; 7] = [
+    -0.590_043_59,
+    2.890_611_4,
+    -0.457_045_8,
+    0.373_176_33,
+    -0.457_045_8,
+    1.445_305_7,
+    -0.590_043_59,
+];
+
+/// Evaluates the 16 real SH basis functions at unit direction `d`.
+///
+/// The ordering and sign conventions follow the reference 3DGS CUDA
+/// implementation, so coefficients trained there would evaluate identically.
+pub fn eval_basis(d: Vec3) -> [f32; SH_BASIS] {
+    let (x, y, z) = (d.x, d.y, d.z);
+    let (xx, yy, zz) = (x * x, y * y, z * z);
+    let (xy, yz, xz) = (x * y, y * z, x * z);
+    [
+        SH_C0,
+        -SH_C1 * y,
+        SH_C1 * z,
+        -SH_C1 * x,
+        SH_C2[0] * xy,
+        SH_C2[1] * yz,
+        SH_C2[2] * (2.0 * zz - xx - yy),
+        SH_C2[3] * xz,
+        SH_C2[4] * (xx - yy),
+        SH_C3[0] * y * (3.0 * xx - yy),
+        SH_C3[1] * xy * z,
+        SH_C3[2] * y * (4.0 * zz - xx - yy),
+        SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy),
+        SH_C3[4] * x * (4.0 * zz - xx - yy),
+        SH_C3[5] * z * (xx - yy),
+        SH_C3[6] * x * (xx - 3.0 * yy),
+    ]
+}
+
+/// Evaluates the RGB colour of SH coefficients `coeffs` (length
+/// [`SH_COEFFS`], layout `[basis][rgb]`) seen from direction `d` (unit),
+/// truncated to `degree` (0–3).
+///
+/// Matches 3DGS: a 0.5 offset is added and the result is clamped at zero.
+///
+/// # Panics
+///
+/// Panics when `coeffs.len() != SH_COEFFS` or `degree > 3`.
+///
+/// ```
+/// use gs_core::sh::{eval_color, SH_C0, SH_COEFFS};
+/// use gs_core::vec::Vec3;
+/// // A pure-DC grey Gaussian: colour is direction independent.
+/// let mut coeffs = [0.0_f32; SH_COEFFS];
+/// coeffs[0] = 0.5 / SH_C0; // red DC
+/// let c = eval_color(&coeffs, Vec3::Z, 3);
+/// assert!((c.x - 1.0).abs() < 1e-5);
+/// assert!((c.y - 0.5).abs() < 1e-5);
+/// ```
+pub fn eval_color(coeffs: &[f32], d: Vec3, degree: u8) -> Vec3 {
+    assert_eq!(coeffs.len(), SH_COEFFS, "expected {SH_COEFFS} SH coefficients");
+    assert!(degree <= 3, "SH degree must be 0..=3");
+    let basis = eval_basis(d);
+    let n_basis = ((degree as usize) + 1) * ((degree as usize) + 1);
+    let mut c = Vec3::ZERO;
+    for (k, &b) in basis.iter().take(n_basis).enumerate() {
+        c.x += b * coeffs[3 * k];
+        c.y += b * coeffs[3 * k + 1];
+        c.z += b * coeffs[3 * k + 2];
+    }
+    (c + Vec3::splat(0.5)).max(Vec3::ZERO)
+}
+
+/// Converts a target RGB colour into the DC coefficient triple that
+/// reproduces it exactly (inverse of the degree-0 term of [`eval_color`]).
+pub fn color_to_dc(color: Vec3) -> [f32; 3] {
+    let v = (color - Vec3::splat(0.5)) * (1.0 / SH_C0);
+    [v.x, v.y, v.z]
+}
+
+/// Number of basis functions in each band (degree), `[1, 3, 5, 7]`.
+pub const BAND_SIZES: [usize; 4] = [1, 3, 5, 7];
+
+/// Coefficient index range (in basis indices, not floats) of band `degree`.
+pub fn band_range(degree: usize) -> std::ops::Range<usize> {
+    let start: usize = BAND_SIZES[..degree].iter().sum();
+    start..start + BAND_SIZES[degree]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn basis_dc_is_constant() {
+        let a = eval_basis(Vec3::Z);
+        let b = eval_basis(Vec3::new(0.6, 0.0, 0.8));
+        assert_eq!(a[0], SH_C0);
+        assert_eq!(b[0], SH_C0);
+    }
+
+    #[test]
+    fn basis_degree1_is_linear_in_direction() {
+        let d = Vec3::new(0.36, 0.48, 0.8);
+        let b = eval_basis(d);
+        assert!(approx_eq(b[1], -SH_C1 * d.y, 1e-6));
+        assert!(approx_eq(b[2], SH_C1 * d.z, 1e-6));
+        assert!(approx_eq(b[3], -SH_C1 * d.x, 1e-6));
+    }
+
+    #[test]
+    fn basis_orthogonality_monte_carlo() {
+        // ∫ Y_i Y_j dΩ = δ_ij; with uniform sphere samples the empirical
+        // mean of Y_i·Y_j·4π approximates the identity.
+        let n = 20_000;
+        let mut acc = [[0.0f64; SH_BASIS]; SH_BASIS];
+        // Fibonacci sphere: deterministic, well spread.
+        let golden = std::f32::consts::PI * (3.0 - 5.0_f32.sqrt());
+        for i in 0..n {
+            let z = 1.0 - 2.0 * (i as f32 + 0.5) / n as f32;
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            let th = golden * i as f32;
+            let d = Vec3::new(r * th.cos(), r * th.sin(), z);
+            let b = eval_basis(d);
+            for p in 0..SH_BASIS {
+                for q in 0..SH_BASIS {
+                    acc[p][q] += (b[p] * b[q]) as f64;
+                }
+            }
+        }
+        let scale = 4.0 * std::f64::consts::PI / n as f64;
+        for p in 0..SH_BASIS {
+            for q in 0..SH_BASIS {
+                let v = acc[p][q] * scale;
+                let expected = if p == q { 1.0 } else { 0.0 };
+                assert!(
+                    (v - expected).abs() < 0.02,
+                    "orthogonality violated at ({p},{q}): {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn color_clamped_at_zero() {
+        let mut coeffs = [0.0; SH_COEFFS];
+        coeffs[0] = -10.0; // drives red far negative
+        let c = eval_color(&coeffs, Vec3::Z, 0);
+        assert_eq!(c.x, 0.0);
+        assert!(approx_eq(c.y, 0.5, 1e-6));
+    }
+
+    #[test]
+    fn dc_roundtrip() {
+        let target = Vec3::new(0.9, 0.2, 0.6);
+        let dc = color_to_dc(target);
+        let mut coeffs = [0.0; SH_COEFFS];
+        coeffs[..3].copy_from_slice(&dc);
+        let c = eval_color(&coeffs, Vec3::new(0.0, 0.6, 0.8), 3);
+        assert!((c - target).length() < 1e-5);
+    }
+
+    #[test]
+    fn degree_truncation_ignores_higher_bands() {
+        let mut coeffs = [0.0; SH_COEFFS];
+        coeffs[0] = 1.0;
+        coeffs[3 * 9] = 100.0; // a degree-3 coefficient
+        let d = Vec3::new(0.6, 0.48, 0.64).normalized();
+        let c2 = eval_color(&coeffs, d, 2);
+        let c3 = eval_color(&coeffs, d, 3);
+        assert!(approx_eq(c2.x, 0.5 + SH_C0, 1e-5));
+        assert!((c3.x - c2.x).abs() > 1e-3, "degree-3 term should matter at full degree");
+    }
+
+    #[test]
+    fn band_ranges_partition_basis() {
+        assert_eq!(band_range(0), 0..1);
+        assert_eq!(band_range(1), 1..4);
+        assert_eq!(band_range(2), 4..9);
+        assert_eq!(band_range(3), 9..16);
+    }
+
+    #[test]
+    #[should_panic(expected = "SH coefficients")]
+    fn wrong_coefficient_count_panics() {
+        let _ = eval_color(&[0.0; 10], Vec3::Z, 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! Symmetric 2×2 and 3×3 matrices (covariances and conics).
+//!
+//! Splatting only ever manipulates *symmetric* covariance matrices, so we
+//! store the unique entries: 3 floats for 2-D, 6 floats for 3-D. This is also
+//! exactly the storage layout real 3DGS checkpoints use.
+
+use crate::mat::Mat3;
+use crate::vec::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul};
+
+/// A symmetric 2×2 matrix `[[a, b], [b, c]]`.
+///
+/// Used both for projected 2-D covariances and (inverted) for the conic that
+/// evaluates the Gaussian falloff per pixel.
+///
+/// ```
+/// use gs_core::sym::Sym2;
+/// let cov = Sym2::new(2.0, 0.0, 0.5);
+/// let conic = cov.inverse().expect("positive definite");
+/// assert!((conic.a - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sym2 {
+    pub a: f32,
+    pub b: f32,
+    pub c: f32,
+}
+
+impl Sym2 {
+    /// Creates the matrix `[[a, b], [b, c]]`.
+    pub const fn new(a: f32, b: f32, c: f32) -> Sym2 {
+        Sym2 { a, b, c }
+    }
+
+    /// The identity matrix.
+    pub const IDENTITY: Sym2 = Sym2 { a: 1.0, b: 0.0, c: 1.0 };
+
+    /// Determinant.
+    pub fn det(self) -> f32 {
+        self.a * self.c - self.b * self.b
+    }
+
+    /// Inverse, or `None` when (nearly) singular.
+    pub fn inverse(self) -> Option<Sym2> {
+        let det = self.det();
+        if det.abs() < 1e-20 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Sym2::new(self.c * inv, -self.b * inv, self.a * inv))
+    }
+
+    /// Eigenvalues in `(max, min)` order.
+    ///
+    /// Symmetric 2×2 eigenvalues are available in closed form; the maximum one
+    /// determines the projected Gaussian's screen-space radius.
+    pub fn eigenvalues(self) -> (f32, f32) {
+        let mid = 0.5 * (self.a + self.c);
+        let det = self.det();
+        let disc = (mid * mid - det).max(0.0).sqrt();
+        (mid + disc, mid - disc)
+    }
+
+    /// Evaluates the quadratic form `dᵀ M d`.
+    pub fn quadratic_form(self, d: Vec2) -> f32 {
+        self.a * d.x * d.x + 2.0 * self.b * d.x * d.y + self.c * d.y * d.y
+    }
+
+    /// `true` when the matrix is positive definite.
+    pub fn is_positive_definite(self) -> bool {
+        self.a > 0.0 && self.det() > 0.0
+    }
+
+    /// Returns `true` when every entry is finite.
+    pub fn is_finite(self) -> bool {
+        self.a.is_finite() && self.b.is_finite() && self.c.is_finite()
+    }
+}
+
+impl Add for Sym2 {
+    type Output = Sym2;
+    fn add(self, r: Sym2) -> Sym2 {
+        Sym2::new(self.a + r.a, self.b + r.b, self.c + r.c)
+    }
+}
+
+impl Mul<f32> for Sym2 {
+    type Output = Sym2;
+    fn mul(self, s: f32) -> Sym2 {
+        Sym2::new(self.a * s, self.b * s, self.c * s)
+    }
+}
+
+/// A symmetric 3×3 matrix storing the upper triangle
+/// `[xx, xy, xz, yy, yz, zz]` — the 3-D covariance of a Gaussian.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sym3 {
+    pub xx: f32,
+    pub xy: f32,
+    pub xz: f32,
+    pub yy: f32,
+    pub yz: f32,
+    pub zz: f32,
+}
+
+impl Sym3 {
+    /// Creates a matrix from the upper-triangle entries.
+    pub const fn new(xx: f32, xy: f32, xz: f32, yy: f32, yz: f32, zz: f32) -> Sym3 {
+        Sym3 { xx, xy, xz, yy, yz, zz }
+    }
+
+    /// The identity matrix.
+    pub const IDENTITY: Sym3 = Sym3 { xx: 1.0, xy: 0.0, xz: 0.0, yy: 1.0, yz: 0.0, zz: 1.0 };
+
+    /// A diagonal matrix.
+    pub fn diagonal(d: Vec3) -> Sym3 {
+        Sym3::new(d.x, 0.0, 0.0, d.y, 0.0, d.z)
+    }
+
+    /// Expands to a dense [`Mat3`].
+    pub fn to_mat3(self) -> Mat3 {
+        Mat3::from_rows(
+            [self.xx, self.xy, self.xz],
+            [self.xy, self.yy, self.yz],
+            [self.xz, self.yz, self.zz],
+        )
+    }
+
+    /// Symmetrizes a (numerically almost symmetric) dense matrix.
+    pub fn from_mat3(m: &Mat3) -> Sym3 {
+        Sym3::new(
+            m.m[0][0],
+            0.5 * (m.m[0][1] + m.m[1][0]),
+            0.5 * (m.m[0][2] + m.m[2][0]),
+            m.m[1][1],
+            0.5 * (m.m[1][2] + m.m[2][1]),
+            m.m[2][2],
+        )
+    }
+
+    /// Congruence transform `M Σ Mᵀ` — how covariances move through a linear
+    /// map. The result is symmetric by construction.
+    pub fn congruence(self, m: &Mat3) -> Sym3 {
+        let dense = *m * self.to_mat3() * m.transpose();
+        Sym3::from_mat3(&dense)
+    }
+
+    /// Evaluates the quadratic form `dᵀ Σ d`.
+    pub fn quadratic_form(self, d: Vec3) -> f32 {
+        self.xx * d.x * d.x
+            + self.yy * d.y * d.y
+            + self.zz * d.z * d.z
+            + 2.0 * (self.xy * d.x * d.y + self.xz * d.x * d.z + self.yz * d.y * d.z)
+    }
+
+    /// Trace of the matrix.
+    pub fn trace(self) -> f32 {
+        self.xx + self.yy + self.zz
+    }
+
+    /// `true` when positive semi-definite (up to tolerance), checked via the
+    /// leading principal minors with a small slack for f32 rounding.
+    pub fn is_positive_semidefinite(self, eps: f32) -> bool {
+        let m1 = self.xx;
+        let m2 = self.xx * self.yy - self.xy * self.xy;
+        let m3 = self.to_mat3().det();
+        m1 >= -eps && m2 >= -eps && m3 >= -eps
+    }
+
+    /// The unique entries as `[xx, xy, xz, yy, yz, zz]`.
+    pub fn to_array(self) -> [f32; 6] {
+        [self.xx, self.xy, self.xz, self.yy, self.yz, self.zz]
+    }
+}
+
+impl Add for Sym3 {
+    type Output = Sym3;
+    fn add(self, r: Sym3) -> Sym3 {
+        Sym3::new(
+            self.xx + r.xx,
+            self.xy + r.xy,
+            self.xz + r.xz,
+            self.yy + r.yy,
+            self.yz + r.yz,
+            self.zz + r.zz,
+        )
+    }
+}
+
+impl Mul<f32> for Sym3 {
+    type Output = Sym3;
+    fn mul(self, s: f32) -> Sym3 {
+        Sym3::new(self.xx * s, self.xy * s, self.xz * s, self.yy * s, self.yz * s, self.zz * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::quat::Quat;
+
+    #[test]
+    fn sym2_inverse_roundtrip() {
+        let m = Sym2::new(3.0, 1.0, 2.0);
+        let inv = m.inverse().unwrap();
+        // m * inv should be the identity: compute entries manually.
+        let i00 = m.a * inv.a + m.b * inv.b;
+        let i01 = m.a * inv.b + m.b * inv.c;
+        let i11 = m.b * inv.b + m.c * inv.c;
+        assert!(approx_eq(i00, 1.0, 1e-5));
+        assert!(approx_eq(i01, 0.0, 1e-5));
+        assert!(approx_eq(i11, 1.0, 1e-5));
+    }
+
+    #[test]
+    fn sym2_eigenvalues_of_diagonal() {
+        let (l1, l2) = Sym2::new(5.0, 0.0, 2.0).eigenvalues();
+        assert!(approx_eq(l1, 5.0, 1e-6));
+        assert!(approx_eq(l2, 2.0, 1e-6));
+    }
+
+    #[test]
+    fn sym2_eigenvalues_sum_and_product() {
+        let m = Sym2::new(2.0, 1.5, 4.0);
+        let (l1, l2) = m.eigenvalues();
+        assert!(approx_eq(l1 + l2, m.a + m.c, 1e-5));
+        assert!(approx_eq(l1 * l2, m.det(), 1e-4));
+        assert!(l1 >= l2);
+    }
+
+    #[test]
+    fn sym2_singular_has_no_inverse() {
+        assert!(Sym2::new(1.0, 1.0, 1.0).inverse().is_none());
+    }
+
+    #[test]
+    fn sym2_quadratic_form_positive_for_pd() {
+        let m = Sym2::new(2.0, 0.3, 1.0);
+        assert!(m.is_positive_definite());
+        assert!(m.quadratic_form(Vec2::new(0.7, -1.3)) > 0.0);
+    }
+
+    #[test]
+    fn sym3_congruence_with_rotation_preserves_trace_and_psd() {
+        let sigma = Sym3::diagonal(Vec3::new(1.0, 4.0, 0.25));
+        let r = Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.9).to_rotation();
+        let rotated = sigma.congruence(&r);
+        assert!(approx_eq(rotated.trace(), sigma.trace(), 1e-4));
+        assert!(rotated.is_positive_semidefinite(1e-5));
+    }
+
+    #[test]
+    fn sym3_quadratic_form_matches_dense() {
+        let s = Sym3::new(2.0, 0.5, -0.2, 1.5, 0.1, 3.0);
+        let d = Vec3::new(0.4, -1.2, 0.9);
+        let dense = s.to_mat3() * d;
+        assert!(approx_eq(s.quadratic_form(d), dense.dot(d), 1e-5));
+    }
+
+    #[test]
+    fn sym3_dense_roundtrip() {
+        let s = Sym3::new(1.0, 0.2, 0.3, 2.0, 0.4, 3.0);
+        assert_eq!(Sym3::from_mat3(&s.to_mat3()), s);
+    }
+}

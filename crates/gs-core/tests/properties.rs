@@ -1,0 +1,107 @@
+//! Property-based tests for the math substrate.
+
+use gs_core::camera::Camera;
+use gs_core::ewa::{covariance3d, project_coarse, project_gaussian};
+use gs_core::geom::{Aabb, Ray};
+use gs_core::mat::Mat3;
+use gs_core::quat::Quat;
+use gs_core::vec::Vec3;
+use proptest::prelude::*;
+
+fn finite_vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_quat() -> impl Strategy<Value = Quat> {
+    (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, 0.05f32..1.0)
+        .prop_map(|(x, y, z, w)| Quat::new(w, x, y, z).normalized())
+}
+
+proptest! {
+    #[test]
+    fn rotation_matrices_are_orthonormal(q in unit_quat()) {
+        let r = q.to_rotation();
+        prop_assert!((r * r.transpose()).distance(&Mat3::IDENTITY) < 1e-4);
+        prop_assert!((r.det() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quat_matrix_roundtrip(q in unit_quat()) {
+        let r = q.to_rotation();
+        let q2 = Quat::from_rotation(&r);
+        prop_assert!(q2.to_rotation().distance(&r) < 1e-3);
+    }
+
+    #[test]
+    fn covariance_is_positive_semidefinite(
+        s in (1e-3f32..1.0, 1e-3f32..1.0, 1e-3f32..1.0),
+        q in unit_quat(),
+    ) {
+        let cov = covariance3d(Vec3::new(s.0, s.1, s.2), q);
+        prop_assert!(cov.is_positive_semidefinite(1e-4));
+        // Trace equals the sum of squared scales (rotation invariant).
+        let expect = s.0 * s.0 + s.1 * s.1 + s.2 * s.2;
+        prop_assert!((cov.trace() - expect).abs() < 1e-2 * expect.max(1e-3));
+    }
+
+    #[test]
+    fn coarse_radius_dominates_fine_radius(
+        pos in finite_vec3(2.0),
+        s in (1e-3f32..0.5, 1e-3f32..0.5, 1e-3f32..0.5),
+        q in unit_quat(),
+    ) {
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -6.0), Vec3::ZERO, Vec3::Y, 320, 240, 1.0,
+        );
+        let scale = Vec3::new(s.0, s.1, s.2);
+        let fine = project_gaussian(&cam, pos, covariance3d(scale, q));
+        let coarse = project_coarse(&cam, pos, scale.max_component());
+        if let Some(f) = fine {
+            let c = coarse.expect("coarse must accept whatever fine accepts");
+            prop_assert!(
+                c.radius_px + 1.5 >= f.radius_px,
+                "coarse {} < fine {}", c.radius_px, f.radius_px
+            );
+        }
+    }
+
+    #[test]
+    fn aabb_slab_test_matches_sampling(
+        origin in finite_vec3(4.0),
+        dir in finite_vec3(1.0),
+        lo in finite_vec3(1.5),
+    ) {
+        prop_assume!(dir.length() > 1e-3);
+        let b = Aabb::new(lo, lo + Vec3::new(1.0, 1.5, 0.8));
+        let ray = Ray::new(origin, dir.normalized());
+        match b.intersect_ray(&ray) {
+            Some((t0, t1)) => {
+                prop_assert!(t0 <= t1);
+                // The slab test is a *line* test: the interval may lie at
+                // negative parameters when the box is behind the origin.
+                // Its midpoint always lies inside the (slightly inflated)
+                // box regardless of sign.
+                let mid = ray.at(0.5 * (t0 + t1));
+                prop_assert!(b.inflated(1e-3).contains(mid));
+            }
+            None => {
+                // Sample along the ray: no point may fall inside.
+                for i in 0..100 {
+                    let p = ray.at(i as f32 * 0.2);
+                    prop_assert!(!b.contains(p), "missed intersection at t={}", i as f32 * 0.2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_depth_matches_camera_distance_along_axis(p in finite_vec3(3.0)) {
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 1.0, -8.0), Vec3::ZERO, Vec3::Y, 160, 120, 0.9,
+        );
+        if let Some((_, depth)) = cam.project(p) {
+            let expect = (p - cam.pose.center()).dot(cam.pose.forward());
+            prop_assert!((depth - expect).abs() < 1e-3 * expect.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! LPDDR3-class DRAM bandwidth and energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing/energy parameters.
+///
+/// The paper's memory system is Micron 16 Gb LPDDR3 with 4 channels; at
+/// LPDDR3-1600 each ×32 channel peaks at 6.4 GB/s, 25.6 GB/s aggregate.
+/// Energy per byte follows the Micron power calculator class of numbers
+/// (≈45 pJ/B dynamic for LPDDR3 read+I/O).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// Number of channels.
+    pub channels: u32,
+    /// Peak bandwidth per channel in bytes/second.
+    pub bytes_per_sec_per_channel: f64,
+    /// Sustainable fraction of peak (row misses, refresh, scheduling).
+    pub efficiency: f64,
+    /// Minimum burst granularity in bytes (transactions round up to this).
+    pub burst_bytes: u64,
+    /// Dynamic energy per byte moved, picojoules.
+    pub pj_per_byte: f64,
+    /// Background (refresh + standby) power in milliwatts.
+    pub static_mw: f64,
+}
+
+impl DramModel {
+    /// The paper's configuration: LPDDR3-1600, 4 channels.
+    pub fn lpddr3_x4() -> DramModel {
+        DramModel {
+            channels: 4,
+            bytes_per_sec_per_channel: 6.4e9,
+            efficiency: 1.0,
+            burst_bytes: 32,
+            pj_per_byte: 45.0,
+            static_mw: 40.0,
+        }
+    }
+
+    /// The Jetson Orin NX memory system (128-bit LPDDR5, 102.4 GB/s peak).
+    pub fn orin_nx() -> DramModel {
+        DramModel {
+            channels: 1,
+            bytes_per_sec_per_channel: 102.4e9,
+            efficiency: 0.7,
+            burst_bytes: 64,
+            pj_per_byte: 22.0, // LPDDR5 is roughly 2× more efficient per bit
+            static_mw: 400.0,
+        }
+    }
+
+    /// Aggregate sustained bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.channels as f64 * self.bytes_per_sec_per_channel * self.efficiency
+    }
+
+    /// Rounds a transfer up to burst granularity.
+    pub fn burst_round(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.burst_bytes) * self.burst_bytes
+    }
+
+    /// Time to move `bytes` at sustained bandwidth, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth() * 1e9
+    }
+
+    /// Dynamic energy to move `bytes`, in picojoules.
+    pub fn dynamic_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.pj_per_byte
+    }
+
+    /// Static/background energy over `seconds`, in picojoules.
+    pub fn static_pj(&self, seconds: f64) -> f64 {
+        self.static_mw * 1e-3 * seconds * 1e12
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        DramModel::lpddr3_x4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr3_bandwidth_matches_datasheet_class() {
+        let d = DramModel::lpddr3_x4();
+        assert!((d.bandwidth() - 25.6e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn orin_bandwidth_limit_matches_paper_line() {
+        // Fig. 4 draws the Orin NX limit at 102.4 GB/s (peak).
+        let d = DramModel::orin_nx();
+        assert!((d.channels as f64 * d.bytes_per_sec_per_channel - 102.4e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn burst_rounding() {
+        let d = DramModel::lpddr3_x4();
+        assert_eq!(d.burst_round(1), 32);
+        assert_eq!(d.burst_round(32), 32);
+        assert_eq!(d.burst_round(33), 64);
+        assert_eq!(d.burst_round(0), 0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let d = DramModel::lpddr3_x4();
+        let t1 = d.transfer_ns(1_000_000);
+        let t2 = d.transfer_ns(2_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let d = DramModel::lpddr3_x4();
+        assert!((d.dynamic_pj(100) - 4_500.0).abs() < 1e-9);
+        // 1 ms of standby at 40 mW = 40 µJ = 4e7 pJ.
+        assert!((d.static_pj(1e-3) - 4e7).abs() < 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Energy accounting: compute / SRAM / DRAM picojoule totals.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Energy split by source, in picojoules.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Datapath energy (MACs, comparators, control).
+    pub compute_pj: f64,
+    /// On-chip SRAM access energy.
+    pub sram_pj: f64,
+    /// Off-chip DRAM energy (dynamic + static share).
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Creates a breakdown from components.
+    pub fn new(compute_pj: f64, sram_pj: f64, dram_pj: f64) -> EnergyBreakdown {
+        EnergyBreakdown { compute_pj, sram_pj, dram_pj }
+    }
+
+    /// Total picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.dram_pj
+    }
+
+    /// Total millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1e-9
+    }
+
+    /// Fraction of the total spent in DRAM.
+    pub fn dram_fraction(&self) -> f64 {
+        let t = self.total_pj();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.dram_pj / t
+        }
+    }
+
+    /// Scales every component by `k`.
+    pub fn scaled(&self, k: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj * k,
+            sram_pj: self.sram_pj * k,
+            dram_pj: self.dram_pj * k,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, o: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + o.compute_pj,
+            sram_pj: self.sram_pj + o.sram_pj,
+            dram_pj: self.dram_pj + o.dram_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let e = EnergyBreakdown::new(10.0, 20.0, 70.0);
+        assert!((e.total_pj() - 100.0).abs() < 1e-12);
+        assert!((e.dram_fraction() - 0.7).abs() < 1e-12);
+        assert!((e.total_mj() - 1e-7).abs() < 1e-20);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = EnergyBreakdown::new(1.0, 2.0, 3.0);
+        let b = EnergyBreakdown::new(4.0, 5.0, 6.0);
+        let s = a + b;
+        assert_eq!(s, EnergyBreakdown::new(5.0, 7.0, 9.0));
+        assert_eq!(s.scaled(2.0), EnergyBreakdown::new(10.0, 14.0, 18.0));
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(EnergyBreakdown::default().dram_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-stage DRAM traffic ledger.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Pipeline stages that generate DRAM traffic.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Tile-centric projection stage.
+    Projection,
+    /// Tile-centric global sorting stage.
+    Sorting,
+    /// Tile-centric rendering stage.
+    Rendering,
+    /// Streaming pipeline: coarse-half voxel fetches.
+    VoxelCoarse,
+    /// Streaming pipeline: fine-half (VQ index) fetches.
+    VoxelFine,
+    /// Final pixel writeback.
+    PixelOut,
+}
+
+impl Stage {
+    /// All stages, in display order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Projection,
+        Stage::Sorting,
+        Stage::Rendering,
+        Stage::VoxelCoarse,
+        Stage::VoxelFine,
+        Stage::PixelOut,
+    ];
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Projection => "projection",
+            Stage::Sorting => "sorting",
+            Stage::Rendering => "rendering",
+            Stage::VoxelCoarse => "voxel-coarse",
+            Stage::VoxelFine => "voxel-fine",
+            Stage::PixelOut => "pixel-out",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Traffic direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    Read,
+    Write,
+}
+
+/// Byte counters keyed by `(stage, direction)`.
+///
+/// ```
+/// use gs_mem::ledger::{Direction, Stage, TrafficLedger};
+/// let mut l = TrafficLedger::new();
+/// l.add(Stage::Projection, Direction::Read, 1000);
+/// l.add(Stage::Projection, Direction::Write, 200);
+/// assert_eq!(l.stage_total(Stage::Projection), 1200);
+/// assert_eq!(l.total(), 1200);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficLedger {
+    entries: BTreeMap<(Stage, Direction), u64>,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> TrafficLedger {
+        TrafficLedger::default()
+    }
+
+    /// Adds `bytes` to a counter.
+    pub fn add(&mut self, stage: Stage, dir: Direction, bytes: u64) {
+        *self.entries.entry((stage, dir)).or_insert(0) += bytes;
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, stage: Stage, dir: Direction) -> u64 {
+        self.entries.get(&(stage, dir)).copied().unwrap_or(0)
+    }
+
+    /// Read + write bytes of one stage.
+    pub fn stage_total(&self, stage: Stage) -> u64 {
+        self.get(stage, Direction::Read) + self.get(stage, Direction::Write)
+    }
+
+    /// All bytes.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Fraction of the total contributed by `stage` (0 when empty).
+    pub fn stage_fraction(&self, stage: Stage) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.stage_total(stage) as f64 / t as f64
+        }
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        for (k, v) in &other.entries {
+            *self.entries.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates non-zero `(stage, direction, bytes)` entries in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, Direction, u64)> + '_ {
+        self.entries.iter().map(|((s, d), b)| (*s, *d, *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_totals() {
+        let mut l = TrafficLedger::new();
+        l.add(Stage::Sorting, Direction::Read, 10);
+        l.add(Stage::Sorting, Direction::Read, 5);
+        l.add(Stage::Sorting, Direction::Write, 7);
+        l.add(Stage::Rendering, Direction::Write, 3);
+        assert_eq!(l.get(Stage::Sorting, Direction::Read), 15);
+        assert_eq!(l.stage_total(Stage::Sorting), 22);
+        assert_eq!(l.total(), 25);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_over_used_stages() {
+        let mut l = TrafficLedger::new();
+        l.add(Stage::Projection, Direction::Read, 40);
+        l.add(Stage::Sorting, Direction::Read, 50);
+        l.add(Stage::Rendering, Direction::Read, 10);
+        let sum: f64 = [Stage::Projection, Stage::Sorting, Stage::Rendering]
+            .iter()
+            .map(|s| l.stage_fraction(*s))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_on_samples() {
+        let mut a = TrafficLedger::new();
+        a.add(Stage::Projection, Direction::Read, 1);
+        let mut b = TrafficLedger::new();
+        b.add(Stage::Projection, Direction::Read, 2);
+        b.add(Stage::PixelOut, Direction::Write, 9);
+        let mut c = TrafficLedger::new();
+        c.add(Stage::VoxelFine, Direction::Read, 4);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn empty_ledger_fraction_is_zero() {
+        assert_eq!(TrafficLedger::new().stage_fraction(Stage::Sorting), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Stage::VoxelCoarse.to_string(), "voxel-coarse");
+        assert_eq!(Stage::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gs-mem — DRAM/SRAM models, traffic ledger and energy accounting
+//!
+//! The quantitative backbone of every simulator in the workspace:
+//!
+//! * [`dram::DramModel`] — an LPDDR3-class bandwidth/energy model
+//!   (paper Sec. V-A: Micron 16 Gb LPDDR3, 4 channels),
+//! * [`sram::SramBuffer`] — capacity-checked on-chip buffers with access
+//!   energy (paper: 16 KB double-buffered input, 250 KB codebook, 89 KB
+//!   intermediate),
+//! * [`ledger::TrafficLedger`] — per-stage read/write byte accounting,
+//! * [`energy::EnergyBreakdown`] — compute/SRAM/DRAM picojoule totals.
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_mem::dram::DramModel;
+//! let dram = DramModel::lpddr3_x4();
+//! // Four LPDDR3 channels ≈ 25.6 GB/s aggregate in this model.
+//! let ns = dram.transfer_ns(25_600_000_000 / 1000);
+//! assert!((ns - 1_000_000.0).abs() / 1_000_000.0 < 0.01);
+//! ```
+
+pub mod dram;
+pub mod energy;
+pub mod ledger;
+pub mod sram;
+
+pub use dram::DramModel;
+pub use energy::EnergyBreakdown;
+pub use ledger::{Direction, Stage, TrafficLedger};
+pub use sram::SramBuffer;

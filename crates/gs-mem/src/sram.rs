@@ -1,0 +1,176 @@
+//! Capacity-checked on-chip SRAM buffers with access-energy accounting.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an allocation exceeds the buffer capacity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExceedCapacityError {
+    /// Requested bytes.
+    pub requested: u64,
+    /// Available bytes.
+    pub available: u64,
+}
+
+impl fmt::Display for ExceedCapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sram allocation of {} B exceeds available {} B",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for ExceedCapacityError {}
+
+/// An on-chip buffer: fixed capacity, occupancy tracking, access energy.
+///
+/// The accelerator model uses these to *check* that the paper's buffer
+/// budget (16 KB input, 250 KB codebook, 89 KB intermediate) actually holds
+/// the data the pipeline stages during the measured workloads.
+///
+/// ```
+/// use gs_mem::sram::SramBuffer;
+/// let mut buf = SramBuffer::new("input", 16 * 1024, 0.8);
+/// buf.alloc(4096).expect("fits");
+/// assert_eq!(buf.free(), 12 * 1024);
+/// buf.reset();
+/// assert_eq!(buf.free(), 16 * 1024);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    name: String,
+    capacity: u64,
+    used: u64,
+    /// High-water mark across the run.
+    peak: u64,
+    /// Access energy in picojoules per byte.
+    pj_per_byte: f64,
+    /// Total bytes read or written (for energy).
+    accessed: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer with `capacity` bytes and the given access energy.
+    pub fn new(name: &str, capacity: u64, pj_per_byte: f64) -> SramBuffer {
+        SramBuffer {
+            name: name.to_owned(),
+            capacity,
+            used: 0,
+            peak: 0,
+            pj_per_byte,
+            accessed: 0,
+        }
+    }
+
+    /// Buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Largest occupancy observed.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocates `bytes`, failing when the buffer would overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceedCapacityError`] when `bytes > free()`.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), ExceedCapacityError> {
+        if bytes > self.free() {
+            return Err(ExceedCapacityError { requested: bytes, available: self.free() });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Releases `bytes` (saturating).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Empties the buffer (keeps the peak and energy counters).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Records `bytes` of read or write activity (for energy).
+    pub fn touch(&mut self, bytes: u64) {
+        self.accessed += bytes;
+    }
+
+    /// Total bytes accessed.
+    pub fn accessed(&self) -> u64 {
+        self.accessed
+    }
+
+    /// Access energy so far, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.accessed as f64 * self.pj_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_lifecycle() {
+        let mut b = SramBuffer::new("test", 100, 1.0);
+        b.alloc(60).unwrap();
+        b.alloc(40).unwrap();
+        assert_eq!(b.free(), 0);
+        assert!(b.alloc(1).is_err());
+        b.release(50);
+        assert_eq!(b.used(), 50);
+        b.alloc(10).unwrap();
+        assert_eq!(b.peak(), 100);
+    }
+
+    #[test]
+    fn overflow_error_reports_sizes() {
+        let mut b = SramBuffer::new("x", 10, 1.0);
+        let e = b.alloc(11).unwrap_err();
+        assert_eq!(e.requested, 11);
+        assert_eq!(e.available, 10);
+        assert!(e.to_string().contains("11"));
+    }
+
+    #[test]
+    fn energy_accumulates_with_touch() {
+        let mut b = SramBuffer::new("x", 10, 0.5);
+        b.touch(100);
+        b.touch(50);
+        assert_eq!(b.accessed(), 150);
+        assert!((b.energy_pj() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_keeps_peak() {
+        let mut b = SramBuffer::new("x", 100, 1.0);
+        b.alloc(80).unwrap();
+        b.reset();
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak(), 80);
+    }
+}

@@ -1,0 +1,132 @@
+//! Sorting stage: build (tile, depth) keys and derive per-tile ranges.
+//!
+//! The GPU pipeline materializes one 64-bit key per (Gaussian, tile) pair —
+//! tile id in the high bits, depth bits below — radix-sorts the whole array,
+//! then finds each tile's contiguous range. We reproduce the same key
+//! construction (so ordering semantics match bit-for-bit) and record the
+//! pair count that determines the sorting stage's DRAM traffic.
+
+use crate::projection::Splat;
+
+/// One sort record: key = `tile_id << 32 | depth_bits`, payload = splat index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TileKey {
+    /// Combined sort key.
+    pub key: u64,
+    /// Index into the splat array.
+    pub splat: u32,
+}
+
+/// Converts an f32 depth (> 0) into monotonically ordered u32 bits.
+///
+/// For positive floats the IEEE-754 bit pattern is already monotone, which is
+/// exactly the trick the CUDA implementation relies on.
+pub fn depth_bits(depth: f32) -> u32 {
+    debug_assert!(depth >= 0.0, "depth keys assume positive depths");
+    depth.to_bits()
+}
+
+/// Emits the sorted key list plus, per tile, the `(start, end)` range into it.
+///
+/// `tiles_x`/`tiles_y` define the tile grid; splats outside it were already
+/// clipped by projection.
+pub fn bin_and_sort(
+    splats: &[Splat],
+    tiles_x: u32,
+    tiles_y: u32,
+) -> (Vec<TileKey>, Vec<(u32, u32)>) {
+    let mut keys = Vec::new();
+    for (si, s) in splats.iter().enumerate() {
+        let (x0, y0, x1, y1) = s.tile_rect;
+        let d = depth_bits(s.depth) as u64;
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                let tile_id = (ty * tiles_x + tx) as u64;
+                keys.push(TileKey { key: (tile_id << 32) | d, splat: si as u32 });
+            }
+        }
+    }
+    keys.sort_unstable_by_key(|k| k.key);
+
+    let n_tiles = (tiles_x * tiles_y) as usize;
+    let mut ranges = vec![(0u32, 0u32); n_tiles];
+    let mut i = 0usize;
+    while i < keys.len() {
+        let tile = (keys[i].key >> 32) as usize;
+        let start = i;
+        while i < keys.len() && (keys[i].key >> 32) as usize == tile {
+            i += 1;
+        }
+        ranges[tile] = (start as u32, i as u32);
+    }
+    (keys, ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::sym::Sym2;
+    use gs_core::vec::{Vec2, Vec3};
+
+    fn splat(depth: f32, rect: (u32, u32, u32, u32)) -> Splat {
+        Splat {
+            mean_px: Vec2::ZERO,
+            conic: Sym2::IDENTITY,
+            color: Vec3::ONE,
+            opacity: 0.5,
+            depth,
+            tile_rect: rect,
+        }
+    }
+
+    #[test]
+    fn depth_bits_are_monotone() {
+        let depths = [0.01f32, 0.5, 1.0, 1.5, 2.0, 10.0, 1e6];
+        for w in depths.windows(2) {
+            assert!(depth_bits(w[0]) < depth_bits(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn keys_grouped_by_tile_then_depth() {
+        let splats = vec![
+            splat(2.0, (0, 0, 0, 0)),
+            splat(1.0, (0, 0, 0, 0)),
+            splat(3.0, (1, 0, 1, 0)),
+        ];
+        let (keys, ranges) = bin_and_sort(&splats, 2, 1);
+        assert_eq!(keys.len(), 3);
+        // Tile 0 holds splats 1 (depth 1) then 0 (depth 2).
+        assert_eq!(ranges[0], (0, 2));
+        assert_eq!(keys[0].splat, 1);
+        assert_eq!(keys[1].splat, 0);
+        // Tile 1 holds splat 2.
+        assert_eq!(ranges[1], (2, 3));
+        assert_eq!(keys[2].splat, 2);
+    }
+
+    #[test]
+    fn multi_tile_splat_is_duplicated() {
+        let splats = vec![splat(1.0, (0, 0, 1, 1))];
+        let (keys, ranges) = bin_and_sort(&splats, 2, 2);
+        assert_eq!(keys.len(), 4);
+        for r in ranges {
+            assert_eq!(r.1 - r.0, 1);
+        }
+    }
+
+    #[test]
+    fn empty_tiles_have_empty_ranges() {
+        let splats = vec![splat(1.0, (1, 1, 1, 1))];
+        let (_, ranges) = bin_and_sort(&splats, 2, 2);
+        assert_eq!(ranges[0], (0, 0));
+        assert_eq!(ranges[3], (0, 1)); // tile (1,1) = index 3
+    }
+
+    #[test]
+    fn no_splats_no_keys() {
+        let (keys, ranges) = bin_and_sort(&[], 4, 4);
+        assert!(keys.is_empty());
+        assert_eq!(ranges.len(), 16);
+    }
+}

@@ -1,0 +1,174 @@
+//! Projection stage: EWA-project Gaussians and enumerate intersected tiles.
+
+use crate::TILE_SIZE;
+use gs_core::camera::Camera;
+use gs_core::ewa::project_gaussian;
+use gs_core::sym::Sym2;
+use gs_core::vec::{Vec2, Vec3};
+use gs_scene::Gaussian;
+use serde::{Deserialize, Serialize};
+
+/// A projected Gaussian ready for rasterization — the "processed features"
+/// the tile-centric pipeline writes back to DRAM between stages
+/// (2-D mean, conic, RGB, opacity, depth = 10 floats).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Splat {
+    /// Screen-space mean in pixels.
+    pub mean_px: Vec2,
+    /// Inverse 2-D covariance.
+    pub conic: Sym2,
+    /// View-dependent RGB (SH already evaluated).
+    pub color: Vec3,
+    /// Base opacity.
+    pub opacity: f32,
+    /// Camera-space depth (sort key).
+    pub depth: f32,
+    /// Inclusive tile rectangle this splat touches: `(x0, y0, x1, y1)`.
+    pub tile_rect: (u32, u32, u32, u32),
+}
+
+impl Splat {
+    /// Number of tiles the splat touches.
+    pub fn tile_count(&self) -> u64 {
+        let (x0, y0, x1, y1) = self.tile_rect;
+        (x1 - x0 + 1) as u64 * (y1 - y0 + 1) as u64
+    }
+}
+
+/// Grid dimensions (in tiles) of a `width`×`height` frame.
+pub fn tile_grid(width: u32, height: u32) -> (u32, u32) {
+    (width.div_ceil(TILE_SIZE), height.div_ceil(TILE_SIZE))
+}
+
+/// Computes the inclusive tile rectangle covered by a disc at `center` with
+/// radius `r` (pixels), clipped to the grid; `None` when fully off-screen.
+pub fn tile_rect_of(
+    center: Vec2,
+    radius: f32,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> Option<(u32, u32, u32, u32)> {
+    let min_x = center.x - radius;
+    let max_x = center.x + radius;
+    let min_y = center.y - radius;
+    let max_y = center.y + radius;
+    let limit_x = (tiles_x * TILE_SIZE) as f32;
+    let limit_y = (tiles_y * TILE_SIZE) as f32;
+    if max_x < 0.0 || max_y < 0.0 || min_x >= limit_x || min_y >= limit_y {
+        return None;
+    }
+    let ts = TILE_SIZE as f32;
+    let x0 = (min_x.max(0.0) / ts) as u32;
+    let y0 = (min_y.max(0.0) / ts) as u32;
+    let x1 = ((max_x / ts) as u32).min(tiles_x - 1);
+    let y1 = ((max_y / ts) as u32).min(tiles_y - 1);
+    Some((x0, y0, x1, y1))
+}
+
+/// Projects every Gaussian of `cloud` through `cam`; returns the surviving
+/// splats (with per-splat tile rectangles) in input order, paired with the
+/// index of the source Gaussian.
+pub fn project_cloud(cloud: &[Gaussian], cam: &Camera, sh_degree: u8) -> Vec<(u32, Splat)> {
+    let (tiles_x, tiles_y) = tile_grid(cam.width(), cam.height());
+    let cam_center = cam.pose.center();
+    let mut out = Vec::with_capacity(cloud.len());
+    for (i, g) in cloud.iter().enumerate() {
+        let Some(proj) = project_gaussian(cam, g.pos, g.cov3d()) else {
+            continue;
+        };
+        if proj.radius_px <= 0.0 {
+            continue;
+        }
+        let Some(tile_rect) = tile_rect_of(proj.mean_px, proj.radius_px, tiles_x, tiles_y) else {
+            continue;
+        };
+        let dir = (g.pos - cam_center).normalized();
+        let color = gs_core::sh::eval_color(&g.sh, dir, sh_degree);
+        out.push((
+            i as u32,
+            Splat {
+                mean_px: proj.mean_px,
+                conic: proj.conic,
+                color,
+                opacity: g.opacity,
+                depth: proj.depth,
+                tile_rect,
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::vec::Vec3;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::Y, 128, 96, 1.0)
+    }
+
+    #[test]
+    fn grid_dimensions_round_up() {
+        assert_eq!(tile_grid(128, 96), (8, 6));
+        assert_eq!(tile_grid(130, 97), (9, 7));
+        assert_eq!(tile_grid(16, 16), (1, 1));
+    }
+
+    #[test]
+    fn tile_rect_clips_to_screen() {
+        let r = tile_rect_of(Vec2::new(8.0, 8.0), 500.0, 8, 6).unwrap();
+        assert_eq!(r, (0, 0, 7, 5));
+    }
+
+    #[test]
+    fn tile_rect_offscreen_is_none() {
+        assert!(tile_rect_of(Vec2::new(-50.0, 10.0), 10.0, 8, 6).is_none());
+        assert!(tile_rect_of(Vec2::new(2000.0, 10.0), 10.0, 8, 6).is_none());
+    }
+
+    #[test]
+    fn tile_rect_single_tile() {
+        let r = tile_rect_of(Vec2::new(24.0, 24.0), 2.0, 8, 6).unwrap();
+        assert_eq!(r, (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn center_gaussian_projects_to_center_tiles() {
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.9);
+        let splats = project_cloud(std::slice::from_ref(&g), &cam(), 3);
+        assert_eq!(splats.len(), 1);
+        let (idx, s) = &splats[0];
+        assert_eq!(*idx, 0);
+        assert!((s.mean_px.x - 64.0).abs() < 1.0);
+        assert!((s.mean_px.y - 48.0).abs() < 1.0);
+        assert!(s.tile_count() >= 1);
+    }
+
+    #[test]
+    fn behind_camera_culled() {
+        let g = Gaussian::isotropic(Vec3::new(0.0, 0.0, -10.0), 0.1, Vec3::ONE, 0.9);
+        assert!(project_cloud(std::slice::from_ref(&g), &cam(), 3).is_empty());
+    }
+
+    #[test]
+    fn splat_indices_are_source_indices() {
+        let gs: Vec<Gaussian> = vec![
+            Gaussian::isotropic(Vec3::new(0.0, 0.0, -10.0), 0.1, Vec3::ONE, 0.9), // culled
+            Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.9),
+            Gaussian::isotropic(Vec3::new(0.3, 0.0, 0.0), 0.1, Vec3::ONE, 0.9),
+        ];
+        let splats = project_cloud(&gs, &cam(), 3);
+        let idx: Vec<u32> = splats.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, vec![1, 2]);
+    }
+
+    #[test]
+    fn bigger_gaussian_covers_more_tiles() {
+        let small = Gaussian::isotropic(Vec3::ZERO, 0.02, Vec3::ONE, 0.9);
+        let large = Gaussian::isotropic(Vec3::ZERO, 0.8, Vec3::ONE, 0.9);
+        let s = project_cloud(std::slice::from_ref(&small), &cam(), 3)[0].1.tile_count();
+        let l = project_cloud(std::slice::from_ref(&large), &cam(), 3)[0].1.tile_count();
+        assert!(l > s);
+    }
+}

@@ -1,0 +1,236 @@
+//! Rendering stage: per-tile front-to-back alpha blending.
+
+use crate::binning::TileKey;
+use crate::projection::Splat;
+use crate::{ALPHA_EPS, ALPHA_MAX, TILE_SIZE, TRANSMITTANCE_EPS};
+use gs_core::vec::{Vec2, Vec3};
+
+/// Per-tile rasterization counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TileOutcome {
+    /// Blend operations executed.
+    pub fragments: u64,
+    /// Fragments evaluated but below the alpha threshold.
+    pub skipped: u64,
+    /// Pixels that exhausted transmittance before the list ended.
+    pub early_terminated: u64,
+    /// Sorted-list entries actually fetched before the tile finished (early
+    /// termination lets a tile stop reading its list — this is the quantity
+    /// the rendering stage's DRAM reads scale with).
+    pub consumed_entries: u64,
+}
+
+/// Blends one tile's sorted splat list into `out` (a row-major
+/// `TILE_SIZE × TILE_SIZE` RGB buffer), returning the counters.
+///
+/// `origin` is the tile's top-left pixel; `width`/`height` clip partial
+/// edge tiles. The blend is the exact 3DGS forward model:
+/// `C = Σ cᵢ αᵢ Tᵢ`, `Tᵢ₊₁ = Tᵢ (1 − αᵢ)`, early-out at
+/// [`TRANSMITTANCE_EPS`].
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_tile(
+    splats: &[Splat],
+    keys: &[TileKey],
+    range: (u32, u32),
+    origin: (u32, u32),
+    width: u32,
+    height: u32,
+    background: Vec3,
+    out: &mut [Vec3],
+) -> TileOutcome {
+    debug_assert_eq!(out.len(), (TILE_SIZE * TILE_SIZE) as usize);
+    let mut outcome = TileOutcome::default();
+    let n = TILE_SIZE as usize;
+
+    // Per-pixel transmittance; colour accumulates in `out`.
+    let mut transmittance = [1.0f32; (TILE_SIZE * TILE_SIZE) as usize];
+    let mut done = [false; (TILE_SIZE * TILE_SIZE) as usize];
+    let mut live = (width.saturating_sub(origin.0)).min(TILE_SIZE) as u64
+        * (height.saturating_sub(origin.1)).min(TILE_SIZE) as u64;
+
+    out.fill(Vec3::ZERO);
+    // Off-screen pixels of partial tiles never participate.
+    for ly in 0..n {
+        for lx in 0..n {
+            let px = origin.0 + lx as u32;
+            let py = origin.1 + ly as u32;
+            if px >= width || py >= height {
+                done[ly * n + lx] = true;
+            }
+        }
+    }
+
+    'splat_loop: for ki in range.0..range.1 {
+        outcome.consumed_entries += 1;
+        let s = &splats[keys[ki as usize].splat as usize];
+        for ly in 0..n {
+            for lx in 0..n {
+                let pi = ly * n + lx;
+                if done[pi] {
+                    continue;
+                }
+                let px = (origin.0 + lx as u32) as f32 + 0.5;
+                let py = (origin.1 + ly as u32) as f32 + 0.5;
+                let d = Vec2::new(px - s.mean_px.x, py - s.mean_px.y);
+                let w = gs_core::ewa::falloff(s.conic, d);
+                let alpha = (s.opacity * w).min(ALPHA_MAX);
+                if alpha < ALPHA_EPS {
+                    outcome.skipped += 1;
+                    continue;
+                }
+                let t = transmittance[pi];
+                out[pi] += s.color * (alpha * t);
+                transmittance[pi] = t * (1.0 - alpha);
+                outcome.fragments += 1;
+                if transmittance[pi] < TRANSMITTANCE_EPS {
+                    done[pi] = true;
+                    outcome.early_terminated += 1;
+                    live -= 1;
+                    if live == 0 {
+                        break 'splat_loop;
+                    }
+                }
+            }
+        }
+    }
+
+    // Composite the background through the remaining transmittance.
+    for ly in 0..n {
+        for lx in 0..n {
+            let pi = ly * n + lx;
+            let px = origin.0 + lx as u32;
+            let py = origin.1 + ly as u32;
+            if px < width && py < height {
+                out[pi] += background * transmittance[pi];
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::sym::Sym2;
+
+    fn tight_splat(x: f32, y: f32, color: Vec3, opacity: f32, depth: f32) -> Splat {
+        Splat {
+            mean_px: Vec2::new(x, y),
+            // Very tight conic → only the centre pixel sees meaningful alpha.
+            conic: Sym2::new(8.0, 0.0, 8.0),
+            color,
+            opacity,
+            depth,
+            tile_rect: (0, 0, 0, 0),
+        }
+    }
+
+    fn run(splats: &[Splat], background: Vec3) -> (Vec<Vec3>, TileOutcome) {
+        let keys: Vec<TileKey> = {
+            let mut ks: Vec<TileKey> = splats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| TileKey {
+                    key: crate::binning::depth_bits(s.depth) as u64,
+                    splat: i as u32,
+                })
+                .collect();
+            ks.sort_unstable_by_key(|k| k.key);
+            ks
+        };
+        let mut out = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
+        let o = rasterize_tile(
+            splats,
+            &keys,
+            (0, keys.len() as u32),
+            (0, 0),
+            TILE_SIZE,
+            TILE_SIZE,
+            background,
+            &mut out,
+        );
+        (out, o)
+    }
+
+    #[test]
+    fn empty_tile_is_background() {
+        let bg = Vec3::new(0.1, 0.2, 0.3);
+        let (out, o) = run(&[], bg);
+        assert!(out.iter().all(|p| (*p - bg).length() < 1e-6));
+        assert_eq!(o.fragments, 0);
+    }
+
+    #[test]
+    fn opaque_splat_dominates_its_pixel() {
+        let s = tight_splat(8.5, 8.5, Vec3::new(1.0, 0.0, 0.0), 0.99, 1.0);
+        let (out, o) = run(std::slice::from_ref(&s), Vec3::ZERO);
+        let center = out[8 * TILE_SIZE as usize + 8];
+        assert!(center.x > 0.9, "center {center}");
+        assert!(o.fragments > 0);
+    }
+
+    #[test]
+    fn front_to_back_order_matters() {
+        // A near-opaque red in front of a green: pixel should be mostly red
+        // regardless of submission order (sorting fixes it).
+        let red = tight_splat(8.5, 8.5, Vec3::new(1.0, 0.0, 0.0), 0.95, 1.0);
+        let green = tight_splat(8.5, 8.5, Vec3::new(0.0, 1.0, 0.0), 0.95, 2.0);
+        let (a, _) = run(&[red, green], Vec3::ZERO);
+        let (b, _) = run(&[green, red], Vec3::ZERO);
+        let pa = a[8 * TILE_SIZE as usize + 8];
+        let pb = b[8 * TILE_SIZE as usize + 8];
+        assert!((pa - pb).length() < 1e-6, "sorting should make order irrelevant");
+        assert!(pa.x > pa.y, "red should dominate");
+    }
+
+    #[test]
+    fn transmittance_monotonically_reduces_background() {
+        let s = tight_splat(8.5, 8.5, Vec3::ZERO, 0.9, 1.0);
+        let bg = Vec3::ONE;
+        let (out, _) = run(std::slice::from_ref(&s), bg);
+        let center = out[8 * TILE_SIZE as usize + 8];
+        // Black splat at alpha≈0.9 over a white background → ≈0.1 white left.
+        assert!(center.x < 0.2);
+        let corner = out[0];
+        assert!((corner - bg).length() < 0.05, "far corner nearly untouched");
+    }
+
+    #[test]
+    fn early_termination_counts() {
+        // Many opaque splats on the same pixel: it must terminate early.
+        let splats: Vec<Splat> = (0..20)
+            .map(|i| tight_splat(8.5, 8.5, Vec3::ONE, 0.99, 1.0 + i as f32))
+            .collect();
+        let (_, o) = run(&splats, Vec3::ZERO);
+        assert!(o.early_terminated >= 1);
+    }
+
+    #[test]
+    fn partial_tile_clips_offscreen_pixels() {
+        let s = tight_splat(2.5, 2.5, Vec3::ONE, 0.9, 1.0);
+        let keys = [TileKey { key: 0, splat: 0 }];
+        let mut out = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
+        // Frame is only 4×4 pixels.
+        let o = rasterize_tile(
+            std::slice::from_ref(&s),
+            &keys,
+            (0, 1),
+            (0, 0),
+            4,
+            4,
+            Vec3::ONE,
+            &mut out,
+        );
+        // Offscreen pixel stays black (no background composite).
+        assert_eq!(out[10 * TILE_SIZE as usize + 10], Vec3::ZERO);
+        assert!(o.fragments > 0);
+    }
+
+    #[test]
+    fn alpha_below_eps_is_skipped() {
+        let s = tight_splat(8.5, 8.5, Vec3::ONE, 0.0005, 1.0);
+        let (_, o) = run(std::slice::from_ref(&s), Vec3::ZERO);
+        assert_eq!(o.fragments, 0);
+        assert!(o.skipped > 0);
+    }
+}

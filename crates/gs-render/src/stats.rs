@@ -1,0 +1,116 @@
+//! Functional workload counters collected during a render.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counts of everything the pipeline actually did for one frame.
+///
+/// These are *functional* quantities — independent of the host machine — and
+/// are the inputs to every performance/energy model in `gs-accel`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderStats {
+    /// Gaussians submitted to projection.
+    pub total_gaussians: u64,
+    /// Gaussians surviving frustum/degeneracy culling.
+    pub visible_gaussians: u64,
+    /// (Gaussian, tile) pairs emitted by projection — the sort keys.
+    pub tile_pairs: u64,
+    /// Tiles with at least one Gaussian.
+    pub occupied_tiles: u64,
+    /// Total tiles in the frame.
+    pub total_tiles: u64,
+    /// Pixels in the frame.
+    pub pixels: u64,
+    /// (pixel, Gaussian) blend operations actually executed.
+    pub blended_fragments: u64,
+    /// Fragments whose alpha fell below threshold (computed then skipped).
+    pub skipped_fragments: u64,
+    /// Pixels that terminated early (transmittance exhausted).
+    pub early_terminated_pixels: u64,
+    /// Sorted-list entries the rendering stage actually fetched (tiles stop
+    /// reading once every pixel saturates).
+    pub consumed_entries: u64,
+    /// Longest per-tile Gaussian list.
+    pub max_tile_list: u64,
+}
+
+impl RenderStats {
+    /// Mean Gaussians per occupied tile.
+    pub fn mean_tile_list(&self) -> f64 {
+        if self.occupied_tiles == 0 {
+            0.0
+        } else {
+            self.tile_pairs as f64 / self.occupied_tiles as f64
+        }
+    }
+
+    /// Fraction of submitted Gaussians that survived culling.
+    pub fn visibility_rate(&self) -> f64 {
+        if self.total_gaussians == 0 {
+            0.0
+        } else {
+            self.visible_gaussians as f64 / self.total_gaussians as f64
+        }
+    }
+
+    /// Mean tiles covered per visible Gaussian.
+    pub fn mean_tiles_per_gaussian(&self) -> f64 {
+        if self.visible_gaussians == 0 {
+            0.0
+        } else {
+            self.tile_pairs as f64 / self.visible_gaussians as f64
+        }
+    }
+}
+
+impl AddAssign for RenderStats {
+    fn add_assign(&mut self, o: RenderStats) {
+        self.total_gaussians += o.total_gaussians;
+        self.visible_gaussians += o.visible_gaussians;
+        self.tile_pairs += o.tile_pairs;
+        self.occupied_tiles += o.occupied_tiles;
+        self.total_tiles += o.total_tiles;
+        self.pixels += o.pixels;
+        self.blended_fragments += o.blended_fragments;
+        self.skipped_fragments += o.skipped_fragments;
+        self.early_terminated_pixels += o.early_terminated_pixels;
+        self.consumed_entries += o.consumed_entries;
+        self.max_tile_list = self.max_tile_list.max(o.max_tile_list);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = RenderStats {
+            total_gaussians: 100,
+            visible_gaussians: 50,
+            tile_pairs: 200,
+            occupied_tiles: 40,
+            ..RenderStats::default()
+        };
+        assert!((s.visibility_rate() - 0.5).abs() < 1e-12);
+        assert!((s.mean_tile_list() - 5.0).abs() < 1e-12);
+        assert!((s.mean_tiles_per_gaussian() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let s = RenderStats::default();
+        assert_eq!(s.mean_tile_list(), 0.0);
+        assert_eq!(s.visibility_rate(), 0.0);
+        assert_eq!(s.mean_tiles_per_gaussian(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates_and_maxes() {
+        let mut a = RenderStats { tile_pairs: 10, max_tile_list: 3, ..Default::default() };
+        let b = RenderStats { tile_pairs: 5, max_tile_list: 7, ..Default::default() };
+        a += b;
+        assert_eq!(a.tile_pairs, 15);
+        assert_eq!(a.max_tile_list, 7);
+    }
+}

@@ -1,0 +1,220 @@
+//! DRAM traffic model of the tile-centric pipeline (paper Figs. 2 & 4).
+//!
+//! The functional renderer counts *what* was done ([`RenderStats`]); this
+//! module converts those counts into the bytes a GPU-style execution moves
+//! through DRAM per stage. Byte-size constants mirror the reference 3DGS
+//! CUDA implementation:
+//!
+//! * **Projection** reads all 59 f32 parameters per Gaussian and writes back
+//!   the processed features (10 f32), one 64-bit key + 32-bit payload per
+//!   (Gaussian, tile) pair, and per-Gaussian tile counts.
+//! * **Sorting** radix-sorts the pair array; each pass reads and writes
+//!   key + payload. 64-bit keys with 8-bit digits ⇒ 8 passes (CUB's
+//!   `DeviceRadixSort` on the used bits).
+//! * **Rendering** reads each tile's sorted entries (index + feature) until
+//!   the tile saturates, then writes the final pixels.
+
+use crate::stats::RenderStats;
+use serde::{Deserialize, Serialize};
+
+/// Byte-size and pass-count constants of the traffic model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficModel {
+    /// Bytes of raw Gaussian parameters (59 × f32).
+    pub param_bytes: u64,
+    /// Bytes of the processed per-splat features (mean, conic, RGB, α, depth).
+    pub feature_bytes: u64,
+    /// Sort key bytes (tile id ≪ 32 | depth bits).
+    pub key_bytes: u64,
+    /// Sort payload bytes (splat index).
+    pub payload_bytes: u64,
+    /// Radix sort passes over the pair array.
+    pub radix_passes: u64,
+    /// Bytes written per output pixel (RGBA f32).
+    pub pixel_bytes: u64,
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        TrafficModel {
+            param_bytes: (gs_core::GAUSSIAN_PARAMS as u64) * 4,
+            feature_bytes: 40,
+            key_bytes: 8,
+            payload_bytes: 4,
+            radix_passes: 8,
+            pixel_bytes: 16,
+        }
+    }
+}
+
+/// Per-stage DRAM read/write bytes for one frame.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTraffic {
+    pub projection_read: u64,
+    pub projection_write: u64,
+    pub sorting_read: u64,
+    pub sorting_write: u64,
+    pub rendering_read: u64,
+    pub rendering_write: u64,
+}
+
+impl StageTraffic {
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.projection_read
+            + self.projection_write
+            + self.sorting_read
+            + self.sorting_write
+            + self.rendering_read
+            + self.rendering_write
+    }
+
+    /// Projection-stage bytes (read + write).
+    pub fn projection(&self) -> u64 {
+        self.projection_read + self.projection_write
+    }
+
+    /// Sorting-stage bytes.
+    pub fn sorting(&self) -> u64 {
+        self.sorting_read + self.sorting_write
+    }
+
+    /// Rendering-stage bytes.
+    pub fn rendering(&self) -> u64 {
+        self.rendering_read + self.rendering_write
+    }
+
+    /// `(projection, sorting, rendering)` fractions of the total.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.projection() as f64 / t,
+            self.sorting() as f64 / t,
+            self.rendering() as f64 / t,
+        )
+    }
+
+    /// Bytes that are *intermediate* (written by one stage, read by another,
+    /// never part of input parameters or the final image): everything except
+    /// the projection parameter read and the final pixel write. The paper
+    /// reports this share as 85 %.
+    pub fn intermediate(&self) -> u64 {
+        self.total() - self.projection_read - self.rendering_write
+    }
+
+    /// Scales every component by `k` (used to extrapolate the scaled-down
+    /// stand-in workload to the native scene size).
+    pub fn scaled(&self, k: f64) -> StageTraffic {
+        let s = |v: u64| (v as f64 * k).round() as u64;
+        StageTraffic {
+            projection_read: s(self.projection_read),
+            projection_write: s(self.projection_write),
+            sorting_read: s(self.sorting_read),
+            sorting_write: s(self.sorting_write),
+            rendering_read: s(self.rendering_read),
+            rendering_write: s(self.rendering_write),
+        }
+    }
+}
+
+/// Converts functional counts into tile-centric per-stage traffic.
+pub fn tile_centric_traffic(stats: &RenderStats, model: &TrafficModel) -> StageTraffic {
+    let pair = model.key_bytes + model.payload_bytes;
+    let projection_read = stats.total_gaussians * model.param_bytes;
+    let projection_write = stats.visible_gaussians * model.feature_bytes
+        + stats.tile_pairs * pair
+        + stats.visible_gaussians * 4; // per-gaussian tile-count/offset word
+
+    // Radix sort: every pass streams the full pair array in and out; the
+    // final range scan reads the keys once more.
+    let sorting_read = stats.tile_pairs * pair * model.radix_passes + stats.tile_pairs * model.key_bytes;
+    let sorting_write = stats.tile_pairs * pair * model.radix_passes + stats.total_tiles * 8;
+
+    // Rendering fetches (index + feature) per consumed entry and writes the
+    // frame once.
+    let rendering_read = stats.consumed_entries * (model.payload_bytes + model.feature_bytes);
+    let rendering_write = stats.pixels * model.pixel_bytes;
+
+    StageTraffic {
+        projection_read,
+        projection_write,
+        sorting_read,
+        sorting_write,
+        rendering_read,
+        rendering_write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RenderStats {
+        RenderStats {
+            total_gaussians: 1_000,
+            visible_gaussians: 700,
+            tile_pairs: 2_100,
+            occupied_tiles: 50,
+            total_tiles: 80,
+            pixels: 20_480,
+            blended_fragments: 100_000,
+            skipped_fragments: 5_000,
+            early_terminated_pixels: 1_000,
+            consumed_entries: 1_500,
+            max_tile_list: 120,
+        }
+    }
+
+    #[test]
+    fn projection_read_is_param_traffic() {
+        let t = tile_centric_traffic(&stats(), &TrafficModel::default());
+        assert_eq!(t.projection_read, 1_000 * 236);
+    }
+
+    #[test]
+    fn sorting_scales_with_pairs_and_passes() {
+        let mut model = TrafficModel::default();
+        let t8 = tile_centric_traffic(&stats(), &model);
+        model.radix_passes = 4;
+        let t4 = tile_centric_traffic(&stats(), &model);
+        assert!(t8.sorting() > t4.sorting());
+        assert_eq!(t8.projection(), t4.projection());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = tile_centric_traffic(&stats(), &TrafficModel::default());
+        let (p, s, r) = t.fractions();
+        assert!((p + s + r - 1.0).abs() < 1e-12);
+        assert!(p > 0.0 && s > 0.0 && r > 0.0);
+    }
+
+    #[test]
+    fn intermediate_excludes_inputs_and_final_image() {
+        let t = tile_centric_traffic(&stats(), &TrafficModel::default());
+        assert_eq!(
+            t.intermediate(),
+            t.total() - t.projection_read - t.rendering_write
+        );
+        // Sorting is entirely intermediate traffic.
+        assert!(t.intermediate() >= t.sorting());
+    }
+
+    #[test]
+    fn scaled_multiplies_all_components() {
+        let t = tile_centric_traffic(&stats(), &TrafficModel::default());
+        let t2 = t.scaled(2.0);
+        assert_eq!(t2.projection_read, 2 * t.projection_read);
+        assert_eq!(t2.total(), 2 * t.total());
+    }
+
+    #[test]
+    fn consumed_entries_drive_rendering_reads() {
+        let mut s = stats();
+        let t1 = tile_centric_traffic(&s, &TrafficModel::default());
+        s.consumed_entries *= 3;
+        let t3 = tile_centric_traffic(&s, &TrafficModel::default());
+        assert_eq!(t3.rendering_read, 3 * t1.rendering_read);
+        assert_eq!(t3.rendering_write, t1.rendering_write);
+    }
+}

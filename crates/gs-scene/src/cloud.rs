@@ -1,0 +1,248 @@
+//! A collection of Gaussians plus cloud-level statistics.
+
+use crate::gaussian::Gaussian;
+use gs_core::geom::Aabb;
+use gs_core::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An unordered set of Gaussians — a scene, checkpoint or voxel content.
+///
+/// ```
+/// use gs_scene::{Gaussian, GaussianCloud};
+/// use gs_core::vec::Vec3;
+/// let cloud: GaussianCloud = (0..10)
+///     .map(|i| Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), 0.1, Vec3::ONE, 0.9))
+///     .collect();
+/// assert_eq!(cloud.len(), 10);
+/// assert!(cloud.bounds().contains(Vec3::new(5.0, 0.0, 0.0)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaussianCloud {
+    gaussians: Vec<Gaussian>,
+}
+
+impl GaussianCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> GaussianCloud {
+        GaussianCloud { gaussians: Vec::new() }
+    }
+
+    /// Creates a cloud from a vector of Gaussians.
+    pub fn from_vec(gaussians: Vec<Gaussian>) -> GaussianCloud {
+        GaussianCloud { gaussians }
+    }
+
+    /// Number of Gaussians.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` when the cloud holds no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Appends a Gaussian.
+    pub fn push(&mut self, g: Gaussian) {
+        self.gaussians.push(g);
+    }
+
+    /// Immutable view of the Gaussians.
+    pub fn as_slice(&self) -> &[Gaussian] {
+        &self.gaussians
+    }
+
+    /// Mutable view of the Gaussians.
+    pub fn as_mut_slice(&mut self) -> &mut [Gaussian] {
+        &mut self.gaussians
+    }
+
+    /// Iterates over the Gaussians.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gaussian> {
+        self.gaussians.iter()
+    }
+
+    /// Mutably iterates over the Gaussians.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Gaussian> {
+        self.gaussians.iter_mut()
+    }
+
+    /// Consumes the cloud, returning the underlying vector.
+    pub fn into_inner(self) -> Vec<Gaussian> {
+        self.gaussians
+    }
+
+    /// Tight bounding box of the Gaussian *centres*.
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for g in &self.gaussians {
+            b.expand(g.pos);
+        }
+        b
+    }
+
+    /// Bounding box inflated by each Gaussian's 3σ extent — everything the
+    /// cloud can visibly touch.
+    pub fn render_bounds(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for g in &self.gaussians {
+            let r = g.bounding_radius();
+            b.expand(g.pos - Vec3::splat(r));
+            b.expand(g.pos + Vec3::splat(r));
+        }
+        b
+    }
+
+    /// Summary statistics used by the procedural-generator tests and the
+    /// experiment logs.
+    pub fn stats(&self) -> CloudStats {
+        if self.is_empty() {
+            return CloudStats::default();
+        }
+        let n = self.len() as f32;
+        let mut mean_scale = 0.0;
+        let mut max_scale = 0.0f32;
+        let mut mean_opacity = 0.0;
+        for g in &self.gaussians {
+            mean_scale += g.max_scale();
+            max_scale = max_scale.max(g.max_scale());
+            mean_opacity += g.opacity;
+        }
+        CloudStats {
+            count: self.len(),
+            mean_max_scale: mean_scale / n,
+            max_max_scale: max_scale,
+            mean_opacity: mean_opacity / n,
+            bounds: self.bounds(),
+        }
+    }
+
+    /// Total uncompressed parameter bytes (59 × 4 per Gaussian) — the
+    /// quantity the paper's projection-stage traffic is proportional to.
+    pub fn raw_bytes(&self) -> u64 {
+        self.len() as u64 * (gs_core::GAUSSIAN_PARAMS as u64) * 4
+    }
+
+    /// `true` when every Gaussian is valid (see [`Gaussian::is_valid`]).
+    pub fn is_valid(&self) -> bool {
+        self.gaussians.iter().all(Gaussian::is_valid)
+    }
+}
+
+impl FromIterator<Gaussian> for GaussianCloud {
+    fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> GaussianCloud {
+        GaussianCloud { gaussians: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Gaussian> for GaussianCloud {
+    fn extend<I: IntoIterator<Item = Gaussian>>(&mut self, iter: I) {
+        self.gaussians.extend(iter);
+    }
+}
+
+impl IntoIterator for GaussianCloud {
+    type Item = Gaussian;
+    type IntoIter = std::vec::IntoIter<Gaussian>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gaussians.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a GaussianCloud {
+    type Item = &'a Gaussian;
+    type IntoIter = std::slice::Iter<'a, Gaussian>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gaussians.iter()
+    }
+}
+
+/// Aggregate statistics of a [`GaussianCloud`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CloudStats {
+    /// Number of Gaussians.
+    pub count: usize,
+    /// Mean of per-Gaussian maximum scales.
+    pub mean_max_scale: f32,
+    /// Largest scale in the cloud.
+    pub max_max_scale: f32,
+    /// Mean opacity.
+    pub mean_opacity: f32,
+    /// Bounding box of the centres.
+    pub bounds: Aabb,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloud() -> GaussianCloud {
+        (0..5)
+            .map(|i| {
+                Gaussian::isotropic(
+                    Vec3::new(i as f32, -(i as f32), 2.0 * i as f32),
+                    0.1 * (i + 1) as f32,
+                    Vec3::splat(0.5),
+                    0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collect_and_len() {
+        let c = sample_cloud();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn bounds_cover_all_centers() {
+        let c = sample_cloud();
+        let b = c.bounds();
+        for g in &c {
+            assert!(b.contains(g.pos));
+        }
+        assert_eq!(b.min, Vec3::new(0.0, -4.0, 0.0));
+        assert_eq!(b.max, Vec3::new(4.0, 0.0, 8.0));
+    }
+
+    #[test]
+    fn render_bounds_inflate() {
+        let c = sample_cloud();
+        let b = c.bounds();
+        let rb = c.render_bounds();
+        assert!(rb.min.x <= b.min.x && rb.max.x >= b.max.x);
+        // Largest Gaussian has scale 0.5 → inflation 1.5 beyond its centre.
+        assert!(rb.max.x >= 4.0 + 1.4);
+    }
+
+    #[test]
+    fn stats_reasonable() {
+        let s = sample_cloud().stats();
+        assert_eq!(s.count, 5);
+        assert!((s.mean_opacity - 0.5).abs() < 1e-6);
+        assert!((s.max_max_scale - 0.5).abs() < 1e-6);
+        assert!((s.mean_max_scale - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn raw_bytes_match_param_count() {
+        let c = sample_cloud();
+        assert_eq!(c.raw_bytes(), 5 * 59 * 4);
+    }
+
+    #[test]
+    fn empty_cloud_stats_default() {
+        let s = GaussianCloud::new().stats();
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut c = sample_cloud();
+        c.extend(sample_cloud());
+        assert_eq!(c.len(), 10);
+    }
+}

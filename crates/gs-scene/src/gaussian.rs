@@ -1,0 +1,226 @@
+//! The 59-parameter Gaussian primitive.
+
+use gs_core::ewa::covariance3d;
+use gs_core::sh::{self, SH_COEFFS};
+use gs_core::sym::Sym3;
+use gs_core::vec::Vec3;
+use gs_core::Quat;
+use serde::{Deserialize, Serialize};
+
+/// Offset of the position block in the flat 59-float parameter vector.
+pub const PARAM_POS: usize = 0;
+/// Offset of the scale block.
+pub const PARAM_SCALE: usize = 3;
+/// Offset of the rotation quaternion block.
+pub const PARAM_ROT: usize = 6;
+/// Offset of the opacity scalar.
+pub const PARAM_OPACITY: usize = 10;
+/// Offset of the SH coefficient block.
+pub const PARAM_SH: usize = 11;
+
+/// Bytes of the uncompressed "first half" of the customized layout
+/// (paper Fig. 8): x, y, z and the maximum scale as f32.
+pub const COARSE_BYTES: usize = 4 * 4;
+
+/// Bytes of the uncompressed "second half": the remaining 55 parameters.
+pub const FINE_BYTES_RAW: usize = gs_core::FINE_PARAMS * 4;
+
+/// A single 3-D Gaussian: the atom of 3DGS scenes.
+///
+/// Carries the full 59-parameter payload the paper counts: position (3),
+/// scale (3), rotation (4), opacity (1) and 48 SH colour coefficients.
+///
+/// ```
+/// use gs_scene::Gaussian;
+/// use gs_core::vec::Vec3;
+/// let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::new(1.0, 0.0, 0.0), 0.9);
+/// assert_eq!(g.max_scale(), 0.1);
+/// assert!((g.color_toward(Vec3::Z).x - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// World-space centre.
+    pub pos: Vec3,
+    /// Per-axis standard deviations (linear, not log).
+    pub scale: Vec3,
+    /// Orientation.
+    pub rot: Quat,
+    /// Base opacity in `[0, 1]`.
+    pub opacity: f32,
+    /// SH coefficients, layout `[basis][rgb]`, DC first.
+    #[serde(with = "sh_serde")]
+    pub sh: [f32; SH_COEFFS],
+}
+
+/// Serde support for the 48-element SH array (serde only derives arrays up
+/// to 32 elements).
+mod sh_serde {
+    use super::SH_COEFFS;
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[f32; SH_COEFFS], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f32; SH_COEFFS], D::Error> {
+        let v = Vec::<f32>::deserialize(d)?;
+        v.try_into()
+            .map_err(|v: Vec<f32>| D::Error::invalid_length(v.len(), &"48 SH coefficients"))
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Gaussian {
+            pos: Vec3::ZERO,
+            scale: Vec3::splat(0.01),
+            rot: Quat::IDENTITY,
+            opacity: 1.0,
+            sh: [0.0; SH_COEFFS],
+        }
+    }
+}
+
+impl Gaussian {
+    /// Creates an isotropic Gaussian of the given colour (encoded into the
+    /// DC coefficients) — handy for tests and synthetic content.
+    pub fn isotropic(pos: Vec3, scale: f32, color: Vec3, opacity: f32) -> Gaussian {
+        let mut sh = [0.0; SH_COEFFS];
+        sh[..3].copy_from_slice(&sh::color_to_dc(color));
+        Gaussian {
+            pos,
+            scale: Vec3::splat(scale),
+            rot: Quat::IDENTITY,
+            opacity,
+            sh,
+        }
+    }
+
+    /// Largest of the three scales — the `s` of the coarse-filter layout.
+    pub fn max_scale(&self) -> f32 {
+        self.scale.max_component()
+    }
+
+    /// World-space 3-D covariance.
+    pub fn cov3d(&self) -> Sym3 {
+        covariance3d(self.scale, self.rot)
+    }
+
+    /// View-dependent colour seen from direction `dir` (unit vector from the
+    /// camera centre toward the Gaussian), full SH degree.
+    pub fn color_toward(&self, dir: Vec3) -> Vec3 {
+        sh::eval_color(&self.sh, dir, 3)
+    }
+
+    /// The DC (view-independent) colour.
+    pub fn base_color(&self) -> Vec3 {
+        sh::eval_color(&self.sh, Vec3::Z, 0)
+    }
+
+    /// A conservative world-space bounding radius (3σ of the largest scale).
+    pub fn bounding_radius(&self) -> f32 {
+        3.0 * self.max_scale()
+    }
+
+    /// Serializes to the flat 59-float parameter vector
+    /// (`[pos, scale, rot, opacity, sh]`).
+    pub fn to_params(&self) -> [f32; gs_core::GAUSSIAN_PARAMS] {
+        let mut p = [0.0; gs_core::GAUSSIAN_PARAMS];
+        p[PARAM_POS..PARAM_POS + 3].copy_from_slice(&self.pos.to_array());
+        p[PARAM_SCALE..PARAM_SCALE + 3].copy_from_slice(&self.scale.to_array());
+        p[PARAM_ROT..PARAM_ROT + 4].copy_from_slice(&self.rot.to_array());
+        p[PARAM_OPACITY] = self.opacity;
+        p[PARAM_SH..].copy_from_slice(&self.sh);
+        p
+    }
+
+    /// Deserializes from the flat parameter vector.
+    pub fn from_params(p: &[f32; gs_core::GAUSSIAN_PARAMS]) -> Gaussian {
+        let mut sh = [0.0; SH_COEFFS];
+        sh.copy_from_slice(&p[PARAM_SH..]);
+        Gaussian {
+            pos: Vec3::new(p[0], p[1], p[2]),
+            scale: Vec3::new(p[3], p[4], p[5]),
+            rot: Quat::new(p[6], p[7], p[8], p[9]),
+            opacity: p[PARAM_OPACITY],
+            sh,
+        }
+    }
+
+    /// Returns `true` when all parameters are finite and physically valid
+    /// (positive scales, opacity in `[0, 1]`).
+    pub fn is_valid(&self) -> bool {
+        self.pos.is_finite()
+            && self.scale.is_finite()
+            && self.scale.min_component() > 0.0
+            && self.rot.is_finite()
+            && self.opacity.is_finite()
+            && (0.0..=1.0).contains(&self.opacity)
+            && self.sh.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_roundtrip() {
+        let mut g = Gaussian::isotropic(Vec3::new(1.0, 2.0, 3.0), 0.25, Vec3::new(0.2, 0.4, 0.8), 0.7);
+        g.scale = Vec3::new(0.1, 0.2, 0.3);
+        g.rot = Quat::new(0.9, 0.1, -0.2, 0.3);
+        g.sh[20] = 0.5;
+        let p = g.to_params();
+        assert_eq!(Gaussian::from_params(&p), g);
+    }
+
+    #[test]
+    fn param_layout_offsets() {
+        let g = Gaussian::isotropic(Vec3::new(7.0, 8.0, 9.0), 0.5, Vec3::splat(0.5), 0.25);
+        let p = g.to_params();
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p[PARAM_SCALE], 0.5);
+        assert_eq!(p[PARAM_ROT], 1.0); // identity quaternion w
+        assert_eq!(p[PARAM_OPACITY], 0.25);
+    }
+
+    #[test]
+    fn max_scale_and_radius() {
+        let mut g = Gaussian::default();
+        g.scale = Vec3::new(0.1, 0.4, 0.2);
+        assert_eq!(g.max_scale(), 0.4);
+        assert!((g.bounding_radius() - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isotropic_color_is_direction_independent() {
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::new(0.9, 0.1, 0.3), 1.0);
+        let a = g.color_toward(Vec3::Z);
+        let b = g.color_toward(Vec3::new(0.6, 0.0, 0.8));
+        assert!((a - b).length() < 1e-6);
+        assert!((a - Vec3::new(0.9, 0.1, 0.3)).length() < 1e-5);
+    }
+
+    #[test]
+    fn validity_checks() {
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::splat(0.5), 0.5);
+        assert!(g.is_valid());
+        let mut bad = g.clone();
+        bad.opacity = 1.5;
+        assert!(!bad.is_valid());
+        let mut bad2 = g.clone();
+        bad2.scale.y = 0.0;
+        assert!(!bad2.is_valid());
+        let mut bad3 = g;
+        bad3.sh[5] = f32::NAN;
+        assert!(!bad3.is_valid());
+    }
+
+    #[test]
+    fn layout_byte_sizes_match_paper() {
+        assert_eq!(COARSE_BYTES, 16);
+        assert_eq!(FINE_BYTES_RAW, 220);
+        assert_eq!(COARSE_BYTES + FINE_BYTES_RAW, gs_core::GAUSSIAN_PARAMS * 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! Binary serialization of Gaussian clouds (a minimal checkpoint format).
+//!
+//! Layout: magic `GSCL`, version `u32` LE, count `u64` LE, then `count`
+//! records of 59 `f32` LE parameters each ([`crate::gaussian`] layout).
+
+use crate::cloud::GaussianCloud;
+use crate::gaussian::Gaussian;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GSCL";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding a cloud file.
+#[derive(Debug)]
+pub enum ReadCloudError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The payload ended before `count` records were read.
+    Truncated,
+}
+
+impl fmt::Display for ReadCloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadCloudError::Io(e) => write!(f, "i/o error reading cloud: {e}"),
+            ReadCloudError::BadMagic => write!(f, "not a GSCL cloud file"),
+            ReadCloudError::BadVersion(v) => write!(f, "unsupported cloud version {v}"),
+            ReadCloudError::Truncated => write!(f, "cloud file truncated"),
+        }
+    }
+}
+
+impl Error for ReadCloudError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadCloudError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadCloudError {
+    fn from(e: io::Error) -> Self {
+        ReadCloudError::Io(e)
+    }
+}
+
+/// Writes a cloud to any writer. Pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_cloud<W: Write>(mut w: W, cloud: &GaussianCloud) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(cloud.len() as u64).to_le_bytes())?;
+    for g in cloud {
+        for v in g.to_params() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a cloud from any reader. Pass `&mut reader` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`ReadCloudError`] on malformed input or I/O failure.
+pub fn read_cloud<R: Read>(mut r: R) -> Result<GaussianCloud, ReadCloudError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadCloudError::BadMagic);
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(ReadCloudError::BadVersion(version));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8) as usize;
+
+    let mut cloud = GaussianCloud::new();
+    let mut record = [0f32; gs_core::GAUSSIAN_PARAMS];
+    let mut raw = vec![0u8; gs_core::GAUSSIAN_PARAMS * 4];
+    for _ in 0..count {
+        r.read_exact(&mut raw).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ReadCloudError::Truncated
+            } else {
+                ReadCloudError::Io(e)
+            }
+        })?;
+        for (i, chunk) in raw.chunks_exact(4).enumerate() {
+            record[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        cloud.push(Gaussian::from_params(&record));
+    }
+    Ok(cloud)
+}
+
+/// Writes a cloud to a file path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_cloud<P: AsRef<Path>>(path: P, cloud: &GaussianCloud) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16 + cloud.len() * gs_core::GAUSSIAN_PARAMS * 4);
+    write_cloud(&mut buf, cloud)?;
+    std::fs::write(path, buf)
+}
+
+/// Reads a cloud from a file path.
+///
+/// # Errors
+///
+/// Returns [`ReadCloudError`] on malformed input or I/O failure.
+pub fn load_cloud<P: AsRef<Path>>(path: P) -> Result<GaussianCloud, ReadCloudError> {
+    let bytes = std::fs::read(path).map_err(ReadCloudError::Io)?;
+    read_cloud(bytes.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::vec::Vec3;
+
+    fn sample() -> GaussianCloud {
+        (0..17)
+            .map(|i| {
+                let mut g = Gaussian::isotropic(
+                    Vec3::new(i as f32, 0.5 * i as f32, -(i as f32)),
+                    0.05 + 0.01 * i as f32,
+                    Vec3::new(0.1, 0.5, 0.9),
+                    0.33,
+                );
+                g.sh[30] = i as f32 * 0.01;
+                g
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_cloud(&mut buf, &cloud).unwrap();
+        let back = read_cloud(buf.as_slice()).unwrap();
+        assert_eq!(back, cloud);
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("gs_scene_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cloud.gscl");
+        let cloud = sample();
+        save_cloud(&path, &cloud).unwrap();
+        assert_eq!(load_cloud(&path).unwrap(), cloud);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_cloud(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, ReadCloudError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GSCL");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_cloud(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadCloudError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let cloud = sample();
+        let mut buf = Vec::new();
+        write_cloud(&mut buf, &cloud).unwrap();
+        buf.truncate(buf.len() - 10);
+        let err = read_cloud(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadCloudError::Truncated));
+    }
+
+    #[test]
+    fn empty_cloud_roundtrip() {
+        let cloud = GaussianCloud::new();
+        let mut buf = Vec::new();
+        write_cloud(&mut buf, &cloud).unwrap();
+        assert_eq!(read_cloud(buf.as_slice()).unwrap(), cloud);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(ReadCloudError::BadMagic.to_string().contains("GSCL"));
+        assert!(ReadCloudError::Truncated.to_string().contains("truncated"));
+    }
+}

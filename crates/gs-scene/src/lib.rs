@@ -1,0 +1,39 @@
+//! # gs-scene — Gaussian scene model and procedural stand-in datasets
+//!
+//! The StreamingGS paper evaluates on trained 3DGS checkpoints of six scenes
+//! (Lego, Palace, Train, Truck, Playroom, Drjohnson). Trained checkpoints are
+//! not available offline, so this crate provides:
+//!
+//! * the [`Gaussian`]/[`GaussianCloud`] data model (the paper's 59-parameter
+//!   representation),
+//! * a deterministic procedural generator ([`procgen`]) that builds
+//!   surface-aligned Gaussian clouds for six *stand-in* scenes with the same
+//!   qualitative statistics (compact synthetic objects vs. large real-world
+//!   scans — see `DESIGN.md` §2 for the substitution argument),
+//! * a perturbation model ([`perturb`]) that turns a ground-truth cloud into
+//!   a "trained" cloud whose render-vs-ground-truth PSNR lands in the paper's
+//!   per-scene range, and
+//! * camera rigs and trajectories ([`trajectory`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_scene::scenes::{SceneConfig, SceneKind};
+//!
+//! let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+//! assert!(scene.ground_truth.len() > 100);
+//! assert!(!scene.eval_cameras.is_empty());
+//! ```
+
+pub mod cloud;
+pub mod gaussian;
+pub mod io;
+pub mod perturb;
+pub mod procgen;
+pub mod scenes;
+pub mod trajectory;
+
+pub use cloud::GaussianCloud;
+pub use gaussian::Gaussian;
+pub use perturb::PerturbConfig;
+pub use scenes::{Scene, SceneConfig, SceneKind};

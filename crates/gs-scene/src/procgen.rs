@@ -1,0 +1,534 @@
+//! Procedural generation of surface-aligned Gaussian clouds.
+//!
+//! Trained 3DGS checkpoints place flat, surface-aligned Gaussians on scene
+//! geometry with view-dependent colour. This module reproduces those
+//! statistics procedurally: primitives (spheres, boxes, cylinders, planes)
+//! are sampled uniformly by area, and each sample becomes an anisotropic
+//! Gaussian in the surface's tangent frame, coloured by a seeded value-noise
+//! texture. Real-world scans additionally get low-opacity "floater"
+//! Gaussians, mimicking reconstruction noise.
+//!
+//! Everything is deterministic given the seed.
+
+use crate::cloud::GaussianCloud;
+use crate::gaussian::Gaussian;
+use gs_core::geom::Aabb;
+use gs_core::mat::Mat3;
+use gs_core::sh;
+use gs_core::vec::Vec3;
+use gs_core::Quat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Seeded value noise (texture synthesis)
+// ---------------------------------------------------------------------------
+
+/// Integer lattice hash → `[0, 1)`.
+fn hash3(x: i32, y: i32, z: i32, seed: u32) -> f32 {
+    let mut h = seed ^ 0x9e37_79b9;
+    for v in [x as u32, y as u32, z as u32] {
+        h ^= v.wrapping_mul(0x85eb_ca6b);
+        h = h.rotate_left(13).wrapping_mul(0xc2b2_ae35);
+    }
+    h ^= h >> 16;
+    (h & 0x00ff_ffff) as f32 / 16_777_216.0
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Trilinear value noise on the unit lattice, range `[0, 1)`.
+pub fn value_noise(p: Vec3, seed: u32) -> f32 {
+    let base = Vec3::new(p.x.floor(), p.y.floor(), p.z.floor());
+    let f = p - base;
+    let (ix, iy, iz) = (base.x as i32, base.y as i32, base.z as i32);
+    let (u, v, w) = (smoothstep(f.x), smoothstep(f.y), smoothstep(f.z));
+    let mut acc = 0.0;
+    for (dz, wz) in [(0, 1.0 - w), (1, w)] {
+        for (dy, wy) in [(0, 1.0 - v), (1, v)] {
+            for (dx, wx) in [(0, 1.0 - u), (1, u)] {
+                acc += wx * wy * wz * hash3(ix + dx, iy + dy, iz + dz, seed);
+            }
+        }
+    }
+    acc
+}
+
+/// Fractal Brownian motion: `octaves` layers of [`value_noise`], range ≈ `[0, 1)`.
+pub fn fbm(p: Vec3, octaves: u32, seed: u32) -> f32 {
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut acc = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        acc += amp * value_noise(p * freq, seed.wrapping_add(o));
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.03;
+    }
+    acc / norm.max(1e-6)
+}
+
+// ---------------------------------------------------------------------------
+// Palettes
+// ---------------------------------------------------------------------------
+
+/// A two-colour noise-mixed material palette.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Palette {
+    /// Primary colour.
+    pub a: Vec3,
+    /// Secondary colour.
+    pub b: Vec3,
+    /// Spatial frequency of the mixing texture.
+    pub frequency: f32,
+    /// Noise seed.
+    pub seed: u32,
+}
+
+impl Palette {
+    /// Creates a palette mixing `a` and `b` with noise of the given frequency.
+    pub fn new(a: Vec3, b: Vec3, frequency: f32, seed: u32) -> Palette {
+        Palette { a, b, frequency, seed }
+    }
+
+    /// Evaluates the albedo at world position `p`.
+    pub fn color_at(&self, p: Vec3) -> Vec3 {
+        let t = fbm(p * self.frequency, 3, self.seed);
+        self.a.lerp(self.b, t).clamp(0.02, 0.98)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Surface primitives
+// ---------------------------------------------------------------------------
+
+/// A point sampled on a primitive's surface.
+#[derive(Copy, Clone, Debug)]
+pub struct SurfaceSample {
+    /// Surface point.
+    pub pos: Vec3,
+    /// Outward unit normal.
+    pub normal: Vec3,
+}
+
+/// Parametric surfaces the generator can sample by area.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// Full sphere surface.
+    Sphere { center: Vec3, radius: f32 },
+    /// Upper half-sphere (`z >= center.z` hemisphere around `up`).
+    Dome { center: Vec3, radius: f32 },
+    /// All six faces of an axis-aligned box.
+    BoxSurface { aabb: Aabb },
+    /// Open cylinder side plus both caps, axis-aligned along `axis`
+    /// (0 = x, 1 = y, 2 = z).
+    Cylinder { base: Vec3, axis: usize, radius: f32, height: f32 },
+    /// Rectangle spanned by `u_vec` × `v_vec` from `origin`, normal
+    /// `u_vec × v_vec` normalized.
+    Rect { origin: Vec3, u_vec: Vec3, v_vec: Vec3 },
+}
+
+impl Primitive {
+    /// Total surface area (used to distribute sample budgets).
+    pub fn area(&self) -> f32 {
+        match self {
+            Primitive::Sphere { radius, .. } => 4.0 * std::f32::consts::PI * radius * radius,
+            Primitive::Dome { radius, .. } => 2.0 * std::f32::consts::PI * radius * radius,
+            Primitive::BoxSurface { aabb } => {
+                let e = aabb.extent();
+                2.0 * (e.x * e.y + e.y * e.z + e.x * e.z)
+            }
+            Primitive::Cylinder { radius, height, .. } => {
+                2.0 * std::f32::consts::PI * radius * height
+                    + 2.0 * std::f32::consts::PI * radius * radius
+            }
+            Primitive::Rect { u_vec, v_vec, .. } => u_vec.cross(*v_vec).length(),
+        }
+    }
+
+    /// Draws one uniform-by-area surface sample.
+    pub fn sample(&self, rng: &mut StdRng) -> SurfaceSample {
+        match self {
+            Primitive::Sphere { center, radius } => {
+                let n = sample_unit_sphere(rng);
+                SurfaceSample { pos: *center + n * *radius, normal: n }
+            }
+            Primitive::Dome { center, radius } => {
+                let mut n = sample_unit_sphere(rng);
+                n.z = n.z.abs();
+                SurfaceSample { pos: *center + n * *radius, normal: n }
+            }
+            Primitive::BoxSurface { aabb } => sample_box_surface(aabb, rng),
+            Primitive::Cylinder { base, axis, radius, height } => {
+                sample_cylinder(*base, *axis, *radius, *height, rng)
+            }
+            Primitive::Rect { origin, u_vec, v_vec } => {
+                let (su, sv) = (rng.gen::<f32>(), rng.gen::<f32>());
+                SurfaceSample {
+                    pos: *origin + *u_vec * su + *v_vec * sv,
+                    normal: u_vec.cross(*v_vec).normalized(),
+                }
+            }
+        }
+    }
+}
+
+fn sample_unit_sphere(rng: &mut StdRng) -> Vec3 {
+    // Marsaglia rejection-free: z uniform, azimuth uniform.
+    let z: f32 = rng.gen_range(-1.0..1.0);
+    let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let r = (1.0 - z * z).max(0.0).sqrt();
+    Vec3::new(r * theta.cos(), r * theta.sin(), z)
+}
+
+fn sample_box_surface(aabb: &Aabb, rng: &mut StdRng) -> SurfaceSample {
+    let e = aabb.extent();
+    // Face areas: ±x, ±y, ±z pairs.
+    let areas = [e.y * e.z, e.y * e.z, e.x * e.z, e.x * e.z, e.x * e.y, e.x * e.y];
+    let total: f32 = areas.iter().sum();
+    let mut pick = rng.gen_range(0.0..total.max(1e-12));
+    let mut face = 0;
+    for (i, a) in areas.iter().enumerate() {
+        if pick < *a {
+            face = i;
+            break;
+        }
+        pick -= a;
+    }
+    let (u, v) = (rng.gen::<f32>(), rng.gen::<f32>());
+    let (pos, normal) = match face {
+        0 => (Vec3::new(aabb.min.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z), -Vec3::X),
+        1 => (Vec3::new(aabb.max.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z), Vec3::X),
+        2 => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y, aabb.min.z + v * e.z), -Vec3::Y),
+        3 => (Vec3::new(aabb.min.x + u * e.x, aabb.max.y, aabb.min.z + v * e.z), Vec3::Y),
+        4 => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.min.z), -Vec3::Z),
+        _ => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.max.z), Vec3::Z),
+    };
+    SurfaceSample { pos, normal }
+}
+
+fn sample_cylinder(base: Vec3, axis: usize, radius: f32, height: f32, rng: &mut StdRng) -> SurfaceSample {
+    let side_area = std::f32::consts::TAU * radius * height;
+    let cap_area = std::f32::consts::PI * radius * radius;
+    let total = side_area + 2.0 * cap_area;
+    let pick: f32 = rng.gen_range(0.0..total);
+    let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    // Local frame: axis direction `w`, radial in the orthogonal plane.
+    let (u_axis, v_axis, w_axis) = match axis {
+        0 => (Vec3::Y, Vec3::Z, Vec3::X),
+        1 => (Vec3::Z, Vec3::X, Vec3::Y),
+        _ => (Vec3::X, Vec3::Y, Vec3::Z),
+    };
+    if pick < side_area {
+        let h: f32 = rng.gen_range(0.0..height);
+        let radial = u_axis * theta.cos() + v_axis * theta.sin();
+        SurfaceSample { pos: base + radial * radius + w_axis * h, normal: radial }
+    } else {
+        let top = pick >= side_area + cap_area;
+        let r = radius * rng.gen::<f32>().sqrt();
+        let radial = u_axis * theta.cos() + v_axis * theta.sin();
+        let h = if top { height } else { 0.0 };
+        let normal = if top { w_axis } else { -w_axis };
+        SurfaceSample { pos: base + radial * r + w_axis * h, normal }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Knobs shared by all emitted Gaussians of one surface batch.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SurfaceStyle {
+    /// Mean tangent-plane extent (standard deviation) of a splat.
+    pub patch: f32,
+    /// Ratio of the normal-direction scale to the tangent scales
+    /// (≈0.15 for flat, surface-hugging splats).
+    pub flatness: f32,
+    /// Mean opacity.
+    pub opacity: f32,
+    /// Strength of random higher-order SH (view dependence).
+    pub sh_detail: f32,
+}
+
+impl Default for SurfaceStyle {
+    fn default() -> Self {
+        SurfaceStyle { patch: 0.02, flatness: 0.15, opacity: 0.85, sh_detail: 0.08 }
+    }
+}
+
+/// Accumulates primitives into a Gaussian cloud with one seeded RNG.
+///
+/// ```
+/// use gs_scene::procgen::{Palette, Primitive, SceneBuilder, SurfaceStyle};
+/// use gs_core::vec::Vec3;
+/// let mut b = SceneBuilder::new(7);
+/// let pal = Palette::new(Vec3::new(0.8, 0.2, 0.2), Vec3::new(0.9, 0.8, 0.2), 2.0, 1);
+/// b.add_surface(
+///     &Primitive::Sphere { center: Vec3::ZERO, radius: 1.0 },
+///     500,
+///     &pal,
+///     &SurfaceStyle::default(),
+/// );
+/// let cloud = b.finish();
+/// assert_eq!(cloud.len(), 500);
+/// assert!(cloud.is_valid());
+/// ```
+#[derive(Debug)]
+pub struct SceneBuilder {
+    rng: StdRng,
+    cloud: GaussianCloud,
+}
+
+impl SceneBuilder {
+    /// Creates a builder with a deterministic seed.
+    pub fn new(seed: u64) -> SceneBuilder {
+        SceneBuilder { rng: StdRng::seed_from_u64(seed), cloud: GaussianCloud::new() }
+    }
+
+    /// Number of Gaussians emitted so far.
+    pub fn len(&self) -> usize {
+        self.cloud.len()
+    }
+
+    /// `true` when nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.cloud.is_empty()
+    }
+
+    /// Emits `count` surface-aligned Gaussians on `prim`.
+    pub fn add_surface(
+        &mut self,
+        prim: &Primitive,
+        count: usize,
+        palette: &Palette,
+        style: &SurfaceStyle,
+    ) {
+        for _ in 0..count {
+            let s = prim.sample(&mut self.rng);
+            let g = self.surface_gaussian(&s, palette, style);
+            self.cloud.push(g);
+        }
+    }
+
+    /// Emits low-opacity volumetric "floaters" inside `volume` — the
+    /// reconstruction noise real-world 3DGS scans exhibit.
+    pub fn add_floaters(&mut self, volume: &Aabb, count: usize, palette: &Palette, scale: f32) {
+        let e = volume.extent();
+        for _ in 0..count {
+            let pos = volume.min
+                + Vec3::new(
+                    self.rng.gen::<f32>() * e.x,
+                    self.rng.gen::<f32>() * e.y,
+                    self.rng.gen::<f32>() * e.z,
+                );
+            let s = scale * (0.5 + self.rng.gen::<f32>());
+            let color = palette.color_at(pos);
+            let mut g = Gaussian::isotropic(pos, s, color, 0.04 + 0.10 * self.rng.gen::<f32>());
+            g.scale = Vec3::new(
+                s * (0.6 + 0.8 * self.rng.gen::<f32>()),
+                s * (0.6 + 0.8 * self.rng.gen::<f32>()),
+                s * (0.6 + 0.8 * self.rng.gen::<f32>()),
+            );
+            g.rot = random_rotation(&mut self.rng);
+            self.cloud.push(g);
+        }
+    }
+
+    /// Finishes and returns the cloud.
+    pub fn finish(self) -> GaussianCloud {
+        self.cloud
+    }
+
+    fn surface_gaussian(
+        &mut self,
+        s: &SurfaceSample,
+        palette: &Palette,
+        style: &SurfaceStyle,
+    ) -> Gaussian {
+        let rng = &mut self.rng;
+        // Tangent frame: normal = local z.
+        let n = s.normal;
+        let helper = if n.x.abs() < 0.8 { Vec3::X } else { Vec3::Y };
+        let t = n.cross(helper).normalized();
+        let b = n.cross(t);
+        // Random in-plane spin so splats are not aligned.
+        let spin: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let tp = t * spin.cos() + b * spin.sin();
+        let bp = n.cross(tp);
+        let rot = Quat::from_rotation(&Mat3::from_cols(tp, bp, n));
+
+        let patch = style.patch * (0.55 + 0.9 * rng.gen::<f32>());
+        let aniso = 0.6 + 0.8 * rng.gen::<f32>();
+        let scale = Vec3::new(patch * aniso, patch / aniso, patch * style.flatness).max(Vec3::splat(1e-4));
+
+        let color = palette.color_at(s.pos);
+        let mut g = Gaussian {
+            pos: s.pos,
+            scale,
+            rot,
+            opacity: (style.opacity + 0.12 * (rng.gen::<f32>() - 0.5)).clamp(0.05, 0.99),
+            sh: [0.0; sh::SH_COEFFS],
+        };
+        g.sh[..3].copy_from_slice(&sh::color_to_dc(color));
+        // Mild view dependence: band-1/2 coefficients, decaying with band.
+        for k in 1..sh::SH_BASIS {
+            let band = (k as f32).sqrt().floor();
+            let amp = style.sh_detail / (1.0 + band);
+            for c in 0..3 {
+                g.sh[3 * k + c] = amp * (rng.gen::<f32>() - 0.5);
+            }
+        }
+        g
+    }
+}
+
+fn random_rotation(rng: &mut StdRng) -> Quat {
+    let axis = sample_unit_sphere(rng);
+    let angle: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    Quat::from_axis_angle(axis, angle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let p = Vec3::new(1.3, -2.7, 0.4);
+        let a = value_noise(p, 42);
+        let b = value_noise(p, 42);
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(value_noise(p, 43), a);
+        let f = fbm(p, 4, 7);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        let q = p + Vec3::splat(1e-3);
+        assert!((value_noise(p, 1) - value_noise(q, 1)).abs() < 0.05);
+    }
+
+    #[test]
+    fn sphere_samples_lie_on_sphere_with_outward_normals() {
+        let prim = Primitive::Sphere { center: Vec3::new(1.0, 2.0, 3.0), radius: 2.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = prim.sample(&mut rng);
+            let r = (s.pos - Vec3::new(1.0, 2.0, 3.0)).length();
+            assert!((r - 2.0).abs() < 1e-4);
+            let out = (s.pos - Vec3::new(1.0, 2.0, 3.0)).normalized();
+            assert!(out.dot(s.normal) > 0.999);
+        }
+    }
+
+    #[test]
+    fn box_samples_lie_on_faces() {
+        let aabb = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 1.0, 3.0));
+        let prim = Primitive::BoxSurface { aabb };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let s = prim.sample(&mut rng);
+            let on_face = (s.pos.x - 0.0).abs() < 1e-5
+                || (s.pos.x - 2.0).abs() < 1e-5
+                || (s.pos.y - 0.0).abs() < 1e-5
+                || (s.pos.y - 1.0).abs() < 1e-5
+                || (s.pos.z - 0.0).abs() < 1e-5
+                || (s.pos.z - 3.0).abs() < 1e-5;
+            assert!(on_face, "sample not on a face: {}", s.pos);
+            assert!((s.normal.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cylinder_samples_within_bounds() {
+        let prim = Primitive::Cylinder { base: Vec3::ZERO, axis: 2, radius: 1.0, height: 2.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let s = prim.sample(&mut rng);
+            let r = (s.pos.x * s.pos.x + s.pos.y * s.pos.y).sqrt();
+            assert!(r <= 1.0 + 1e-4);
+            assert!((-1e-4..=2.0001).contains(&s.pos.z));
+        }
+    }
+
+    #[test]
+    fn dome_samples_in_upper_half() {
+        let prim = Primitive::Dome { center: Vec3::ZERO, radius: 1.5 };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = prim.sample(&mut rng);
+            assert!(s.pos.z >= -1e-5);
+        }
+    }
+
+    #[test]
+    fn areas_are_positive_and_sane() {
+        let sphere = Primitive::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        assert!((sphere.area() - 4.0 * std::f32::consts::PI).abs() < 1e-4);
+        let rect = Primitive::Rect {
+            origin: Vec3::ZERO,
+            u_vec: Vec3::new(2.0, 0.0, 0.0),
+            v_vec: Vec3::new(0.0, 3.0, 0.0),
+        };
+        assert!((rect.area() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let pal = Palette::new(Vec3::splat(0.2), Vec3::splat(0.8), 1.0, 5);
+        let make = || {
+            let mut b = SceneBuilder::new(99);
+            b.add_surface(
+                &Primitive::Sphere { center: Vec3::ZERO, radius: 1.0 },
+                100,
+                &pal,
+                &SurfaceStyle::default(),
+            );
+            b.finish()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn surface_gaussians_are_flat_and_valid() {
+        let pal = Palette::new(Vec3::splat(0.3), Vec3::splat(0.7), 1.0, 5);
+        let mut b = SceneBuilder::new(11);
+        b.add_surface(
+            &Primitive::Rect {
+                origin: Vec3::ZERO,
+                u_vec: Vec3::new(1.0, 0.0, 0.0),
+                v_vec: Vec3::new(0.0, 1.0, 0.0),
+            },
+            200,
+            &pal,
+            &SurfaceStyle::default(),
+        );
+        let cloud = b.finish();
+        assert!(cloud.is_valid());
+        for g in &cloud {
+            // Flat: smallest scale well below the largest.
+            assert!(g.scale.min_component() < 0.5 * g.max_scale());
+        }
+    }
+
+    #[test]
+    fn floaters_have_low_opacity() {
+        let pal = Palette::new(Vec3::splat(0.4), Vec3::splat(0.6), 1.0, 5);
+        let mut b = SceneBuilder::new(12);
+        let vol = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+        b.add_floaters(&vol, 150, &pal, 0.3);
+        let cloud = b.finish();
+        assert_eq!(cloud.len(), 150);
+        for g in &cloud {
+            assert!(g.opacity < 0.2);
+            assert!(vol.contains(g.pos));
+        }
+    }
+}

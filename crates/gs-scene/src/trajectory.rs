@@ -1,0 +1,113 @@
+//! Camera rigs: orbit rings and walkthrough paths.
+
+use gs_core::camera::Camera;
+use gs_core::vec::Vec3;
+
+/// Parameters shared by the rig constructors.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RigSpec {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Horizontal field of view in radians.
+    pub fov_x: f32,
+}
+
+impl Default for RigSpec {
+    fn default() -> Self {
+        RigSpec { width: 320, height: 240, fov_x: 1.0 }
+    }
+}
+
+/// `n` cameras on a horizontal ring of the given radius and height, all
+/// looking at `center`. `phase` rotates the ring (use different phases for
+/// train vs. eval views).
+///
+/// ```
+/// use gs_scene::trajectory::{orbit, RigSpec};
+/// use gs_core::vec::Vec3;
+/// let cams = orbit(Vec3::ZERO, 4.0, 1.0, 8, 0.0, &RigSpec::default());
+/// assert_eq!(cams.len(), 8);
+/// // All cameras look at the origin: it projects near the image centre.
+/// for cam in &cams {
+///     let (px, _) = cam.project(Vec3::ZERO).expect("visible");
+///     assert!((px.x - 160.0).abs() < 1.0);
+/// }
+/// ```
+pub fn orbit(center: Vec3, radius: f32, height: f32, n: usize, phase: f32, spec: &RigSpec) -> Vec<Camera> {
+    (0..n)
+        .map(|i| {
+            let a = phase + std::f32::consts::TAU * i as f32 / n as f32;
+            let eye = center + Vec3::new(radius * a.cos(), height, radius * a.sin());
+            Camera::look_at(eye, center, Vec3::Y, spec.width, spec.height, spec.fov_x)
+        })
+        .collect()
+}
+
+/// `n` cameras interpolated from `from` to `to`, each looking at
+/// `look_target` — a straight walkthrough segment (the VR example's path).
+pub fn walkthrough(from: Vec3, to: Vec3, look_target: Vec3, n: usize, spec: &RigSpec) -> Vec<Camera> {
+    assert!(n >= 1, "a walkthrough needs at least one frame");
+    (0..n)
+        .map(|i| {
+            let t = if n == 1 { 0.0 } else { i as f32 / (n - 1) as f32 };
+            let eye = from.lerp(to, t);
+            Camera::look_at(eye, look_target, Vec3::Y, spec.width, spec.height, spec.fov_x)
+        })
+        .collect()
+}
+
+/// A two-height orbit ("dome") rig: half the cameras low, half elevated —
+/// closer to the inward-facing capture rigs the real datasets use.
+pub fn dome(center: Vec3, radius: f32, n: usize, phase: f32, spec: &RigSpec) -> Vec<Camera> {
+    let low = orbit(center, radius, 0.25 * radius, n / 2 + n % 2, phase, spec);
+    let high = orbit(center, 0.8 * radius, 0.6 * radius, n / 2, phase + 0.3, spec);
+    low.into_iter().chain(high).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbit_cameras_at_radius() {
+        let cams = orbit(Vec3::new(1.0, 0.0, 2.0), 5.0, 2.0, 6, 0.1, &RigSpec::default());
+        assert_eq!(cams.len(), 6);
+        for cam in &cams {
+            let c = cam.pose.center();
+            let horizontal =
+                Vec3::new(c.x - 1.0, 0.0, c.z - 2.0).length();
+            assert!((horizontal - 5.0).abs() < 1e-3);
+            assert!((c.y - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn phase_rotates_ring() {
+        let spec = RigSpec::default();
+        let a = orbit(Vec3::ZERO, 3.0, 0.0, 4, 0.0, &spec);
+        let b = orbit(Vec3::ZERO, 3.0, 0.0, 4, 0.5, &spec);
+        assert!((a[0].pose.center() - b[0].pose.center()).length() > 0.1);
+    }
+
+    #[test]
+    fn walkthrough_endpoints() {
+        let cams = walkthrough(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 5.0), 5, &RigSpec::default());
+        assert_eq!(cams.len(), 5);
+        assert!((cams[0].pose.center() - Vec3::ZERO).length() < 1e-4);
+        assert!((cams[4].pose.center() - Vec3::new(10.0, 0.0, 0.0)).length() < 1e-3);
+    }
+
+    #[test]
+    fn walkthrough_single_frame() {
+        let cams = walkthrough(Vec3::ZERO, Vec3::X, Vec3::Z, 1, &RigSpec::default());
+        assert_eq!(cams.len(), 1);
+    }
+
+    #[test]
+    fn dome_counts() {
+        let cams = dome(Vec3::ZERO, 4.0, 9, 0.0, &RigSpec::default());
+        assert_eq!(cams.len(), 9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Adam optimizer over per-Gaussian parameter groups.
+
+use crate::diff::GaussGrad;
+use gs_core::sh;
+use gs_core::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Per-group learning-rate multipliers (3DGS uses much smaller rates for
+/// geometry than for appearance).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LearningRates {
+    /// Log-scale parameters.
+    pub scale: f32,
+    /// Quaternion parameters.
+    pub rot: f32,
+    /// Logit-opacity parameter.
+    pub opacity: f32,
+    /// SH coefficients.
+    pub sh: f32,
+}
+
+impl Default for LearningRates {
+    fn default() -> Self {
+        LearningRates { scale: 5e-3, rot: 1e-3, opacity: 2.5e-2, sh: 2.5e-3 }
+    }
+}
+
+/// First/second moment state for one Gaussian (56 trainable scalars).
+#[derive(Clone, Debug, PartialEq)]
+struct Moments {
+    m: [f32; 56],
+    v: [f32; 56],
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments { m: [0.0; 56], v: [0.0; 56] }
+    }
+}
+
+/// Adam over a cloud's trainable parameters.
+///
+/// Parameters are optimized in *transformed* space — `ln(scale)`,
+/// `logit(opacity)`, raw quaternion, raw SH — so box constraints hold by
+/// construction; [`Adam::step`] converts the incoming raw-space gradients.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lrs: LearningRates,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    state: Vec<Moments>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` Gaussians.
+    pub fn new(n: usize, lrs: LearningRates) -> Adam {
+        Adam { lrs, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: vec![Moments::default(); n] }
+    }
+
+    /// Number of optimized Gaussians.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// `true` when managing no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Applies one Adam step given raw-space gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grads.len()` differs from the cloud length.
+    pub fn step(&mut self, cloud: &mut gs_scene::GaussianCloud, grads: &[GaussGrad]) {
+        assert_eq!(cloud.len(), grads.len(), "gradient count mismatch");
+        assert_eq!(cloud.len(), self.state.len(), "optimizer state mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+
+        for ((g, gr), st) in cloud.iter_mut().zip(grads).zip(self.state.iter_mut()) {
+            // Transformed-space gradients: 56 scalars.
+            let mut tg = [0.0f32; 56];
+            let mut lr = [0.0f32; 56];
+            // scale: s = exp(ls) ⇒ dL/dls = dL/ds · s.
+            for a in 0..3 {
+                tg[a] = gr.scale[a] * g.scale[a];
+                lr[a] = self.lrs.scale;
+            }
+            // rotation: raw quaternion (renormalized after the step).
+            for c in 0..4 {
+                tg[3 + c] = gr.rot[c];
+                lr[3 + c] = self.lrs.rot;
+            }
+            // opacity: o = sigmoid(lo) ⇒ dL/dlo = dL/do · o(1−o).
+            tg[7] = gr.opacity * g.opacity * (1.0 - g.opacity);
+            lr[7] = self.lrs.opacity;
+            for i in 0..sh::SH_COEFFS {
+                tg[8 + i] = gr.sh[i];
+                lr[8 + i] = self.lrs.sh;
+            }
+
+            let mut delta = [0.0f32; 56];
+            for i in 0..56 {
+                st.m[i] = self.beta1 * st.m[i] + (1.0 - self.beta1) * tg[i];
+                st.v[i] = self.beta2 * st.v[i] + (1.0 - self.beta2) * tg[i] * tg[i];
+                let mh = st.m[i] / bc1;
+                let vh = st.v[i] / bc2;
+                delta[i] = lr[i] * mh / (vh.sqrt() + self.eps);
+            }
+
+            // Apply in transformed space, map back.
+            let ls = Vec3::new(
+                g.scale.x.ln() - delta[0],
+                g.scale.y.ln() - delta[1],
+                g.scale.z.ln() - delta[2],
+            );
+            g.scale = Vec3::new(ls.x.exp(), ls.y.exp(), ls.z.exp()).max(Vec3::splat(1e-6));
+            g.rot = gs_core::Quat::new(
+                g.rot.w - delta[3],
+                g.rot.x - delta[4],
+                g.rot.y - delta[5],
+                g.rot.z - delta[6],
+            )
+            .normalized();
+            let lo = logit(g.opacity) - delta[7];
+            g.opacity = sigmoid(lo).clamp(1e-4, 0.9999);
+            for i in 0..sh::SH_COEFFS {
+                g.sh[i] -= delta[8 + i];
+            }
+        }
+    }
+}
+
+fn logit(p: f32) -> f32 {
+    let p = p.clamp(1e-5, 1.0 - 1e-5);
+    (p / (1.0 - p)).ln()
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{Gaussian, GaussianCloud};
+
+    fn cloud() -> GaussianCloud {
+        (0..3)
+            .map(|i| Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), 0.1, Vec3::ONE, 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut c = cloud();
+        let mut opt = Adam::new(c.len(), LearningRates::default());
+        let mut grads = vec![GaussGrad::default(); c.len()];
+        grads[0].opacity = 1.0; // positive gradient ⇒ opacity must decrease
+        grads[1].opacity = -1.0; // negative ⇒ increase
+        let before0 = c.as_slice()[0].opacity;
+        let before1 = c.as_slice()[1].opacity;
+        opt.step(&mut c, &grads);
+        assert!(c.as_slice()[0].opacity < before0);
+        assert!(c.as_slice()[1].opacity > before1);
+        assert_eq!(c.as_slice()[2].opacity, 0.5);
+    }
+
+    #[test]
+    fn scale_stays_positive_under_huge_gradients() {
+        let mut c = cloud();
+        let mut opt = Adam::new(c.len(), LearningRates { scale: 0.5, ..Default::default() });
+        let mut grads = vec![GaussGrad::default(); c.len()];
+        grads[0].scale = Vec3::splat(1e6);
+        for _ in 0..50 {
+            opt.step(&mut c, &grads);
+        }
+        assert!(c.as_slice()[0].scale.min_component() > 0.0);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn quaternion_stays_normalized() {
+        let mut c = cloud();
+        let mut opt = Adam::new(c.len(), LearningRates { rot: 0.1, ..Default::default() });
+        let mut grads = vec![GaussGrad::default(); c.len()];
+        grads[0].rot = [0.3, -0.5, 0.2, 0.9];
+        for _ in 0..20 {
+            opt.step(&mut c, &grads);
+        }
+        assert!((c.as_slice()[0].rot.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn mismatched_grads_panic() {
+        let mut c = cloud();
+        let mut opt = Adam::new(c.len(), LearningRates::default());
+        let grads = vec![GaussGrad::default(); 1];
+        opt.step(&mut c, &grads);
+    }
+}

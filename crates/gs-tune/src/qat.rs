@@ -1,0 +1,160 @@
+//! Quantization-aware fine-tuning (paper Sec. III-C).
+//!
+//! Following Compact-3DGS (paper ref. [9]): the forward pass renders the
+//! *decoded* (quantized) parameters, gradients flow to the underlying
+//! continuous parameters via the straight-through estimator, and the
+//! codebooks are periodically refreshed on the updated parameters so the
+//! indices "capture feature variations without loss of detail".
+
+use crate::adam::{Adam, LearningRates};
+use crate::diff::{render_with_gradients, DiffConfig, Loss};
+use gs_core::camera::Camera;
+use gs_core::image::ImageRgb;
+use gs_scene::GaussianCloud;
+use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
+use serde::{Deserialize, Serialize};
+
+/// QAT configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QatConfig {
+    /// Optimization iterations (paper: 5000; scaled-down default).
+    pub iters: u32,
+    /// Learning rates.
+    pub lrs: LearningRates,
+    /// Codebook configuration.
+    pub vq: VqConfig,
+    /// Re-train codebooks every this many iterations.
+    pub refresh_every: u32,
+    /// Image loss flavour.
+    pub loss: Loss,
+}
+
+impl Default for QatConfig {
+    fn default() -> Self {
+        QatConfig {
+            iters: 200,
+            lrs: LearningRates::default(),
+            vq: VqConfig::small(),
+            refresh_every: 50,
+            loss: Loss::L1,
+        }
+    }
+}
+
+/// Runs quantization-aware fine-tuning; returns the tuned continuous cloud
+/// and the final trained quantizer over it.
+///
+/// # Panics
+///
+/// Panics when `targets` is empty.
+pub fn quantization_aware_finetune(
+    trained: &GaussianCloud,
+    targets: &[(Camera, ImageRgb)],
+    cfg: &QatConfig,
+) -> (GaussianCloud, QuantizedCloud) {
+    assert!(!targets.is_empty(), "QAT needs at least one target view");
+    let mut cloud = trained.clone();
+    let mut opt = Adam::new(cloud.len(), cfg.lrs);
+    let diff_cfg = DiffConfig { loss: cfg.loss, ..Default::default() };
+
+    let mut quant = GaussianQuantizer::train(&cloud, &cfg.vq);
+    for it in 0..cfg.iters {
+        if it > 0 && it % cfg.refresh_every == 0 {
+            quant = GaussianQuantizer::train(&cloud, &cfg.vq);
+        }
+        let decoded = quant.decode();
+        let (cam, target) = &targets[it as usize % targets.len()];
+        // Forward/backward on the decoded parameters; straight-through:
+        // apply the decoded-parameter gradients to the continuous ones.
+        let out = render_with_gradients(&decoded, cam, target, &diff_cfg);
+        opt.step(&mut cloud, &out.grads);
+        // Keep the quantizer's index assignment in sync with the moving
+        // parameters (re-encode against the current codebooks).
+        for (i, g) in cloud.iter().enumerate() {
+            quant.records[i] = quant.encode_gaussian(g);
+            quant.coarse[i] = (g.pos, g.max_scale());
+        }
+    }
+    let quant = GaussianQuantizer::train(&cloud, &cfg.vq);
+    (cloud, quant)
+}
+
+/// Convenience: PSNR of the decoded cloud against targets, averaged.
+pub fn decoded_psnr(
+    quant: &QuantizedCloud,
+    targets: &[(Camera, ImageRgb)],
+) -> f64 {
+    use gs_render::{RenderConfig, TileRenderer};
+    let decoded = quant.decode();
+    let r = TileRenderer::new(RenderConfig::default());
+    let mut acc = 0.0;
+    for (cam, tgt) in targets {
+        acc += r.render(&decoded, cam).image.psnr(tgt).min(99.0);
+    }
+    acc / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_render::{RenderConfig, TileRenderer};
+    use gs_scene::{SceneConfig, SceneKind};
+
+    fn setup() -> (GaussianCloud, Vec<(Camera, ImageRgb)>) {
+        // A quantization-dominated setup: strong perturbation and (below)
+        // very coarse codebooks, so VQ error is the binding quality factor.
+        let scene = SceneKind::Palace.build(&SceneConfig {
+            gaussians: 800,
+            width: 64,
+            height: 48,
+            train_views: 2,
+            eval_views: 1,
+            noise_scale: 6.0,
+            ..SceneConfig::tiny()
+        });
+        let r = TileRenderer::new(RenderConfig::default());
+        let targets: Vec<(Camera, ImageRgb)> = scene
+            .train_cameras
+            .iter()
+            .map(|c| (*c, r.render(&scene.ground_truth, c).image))
+            .collect();
+        (scene.trained, targets)
+    }
+
+    fn coarse_vq() -> VqConfig {
+        VqConfig {
+            scale_entries: 8,
+            rot_entries: 8,
+            dc_entries: 8,
+            sh_entries: 8,
+            ..VqConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn qat_preserves_decoded_quality() {
+        let (trained, targets) = setup();
+        let cfg = QatConfig { iters: 30, refresh_every: 15, vq: coarse_vq(), ..Default::default() };
+        // PSNR of plain (no QAT) quantization.
+        let plain = GaussianQuantizer::train(&trained, &cfg.vq);
+        let before = decoded_psnr(&plain, &targets);
+        // PSNR after QAT: must stay at least as good as plain quantization
+        // (measured: slightly better at this scale).
+        let (_, tuned) = quantization_aware_finetune(&trained, &targets, &cfg);
+        let after = decoded_psnr(&tuned, &targets);
+        assert!(
+            after > before - 0.2,
+            "QAT degraded decoded quality: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn positions_never_move() {
+        let (trained, targets) = setup();
+        let cfg = QatConfig { iters: 5, refresh_every: 10, vq: VqConfig::tiny(), ..Default::default() };
+        let (cloud, _) = quantization_aware_finetune(&trained, &targets, &cfg);
+        for (a, b) in trained.iter().zip(cloud.iter()) {
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Boundary-aware fine-tuning (paper Sec. III-B, Eq. 1, Fig. 7).
+//!
+//! Optimizes `L = L_origin + β·L_CBP` with Adam over scale, rotation,
+//! opacity and SH (positions fixed). `L_origin` is the image loss of the
+//! *streaming-rendered* cloud against ground-truth targets, computed through
+//! the analytic backward pass; `L_CBP` penalizes Gaussians whose blends were
+//! observed out of depth order by the streaming renderer.
+
+use crate::adam::{Adam, LearningRates};
+use crate::cbp::{add_cbp_gradient, cbp_loss};
+use crate::diff::{render_with_gradients, DiffConfig, Loss};
+use gs_core::camera::Camera;
+use gs_core::image::ImageRgb;
+use gs_scene::GaussianCloud;
+use gs_voxel::{StreamingConfig, StreamingScene};
+use serde::{Deserialize, Serialize};
+
+/// Fine-tuning configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuneConfig {
+    /// Optimization iterations (the paper runs 3000; scaled-down defaults
+    /// keep the benches tractable).
+    pub iters: u32,
+    /// β weight of the cross-boundary penalty (paper Sec. V-A: 0.05).
+    pub beta: f32,
+    /// Learning rates.
+    pub lrs: LearningRates,
+    /// Image loss flavour (`L1` matches 3DGS; D-SSIM omitted, DESIGN.md §2).
+    pub loss: Loss,
+    /// Voxel size used to measure order violations.
+    pub voxel_size: f32,
+    /// Refresh the violation flags every this many iterations.
+    pub refresh_every: u32,
+    /// Record a history point every this many iterations.
+    pub record_every: u32,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig {
+            iters: 300,
+            beta: 0.05,
+            lrs: LearningRates::default(),
+            loss: Loss::L1,
+            voxel_size: 1.0,
+            refresh_every: 50,
+            record_every: 50,
+        }
+    }
+}
+
+/// One point of the Fig. 7 curve.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TunePoint {
+    /// Iteration index.
+    pub iter: u32,
+    /// Streaming-render PSNR against the ground-truth targets, dB.
+    pub psnr_db: f64,
+    /// Fraction of Gaussians blended out of depth order ("error Gaussian
+    /// ratio").
+    pub error_ratio: f64,
+    /// Total loss at this point.
+    pub loss: f64,
+}
+
+/// Result of a fine-tuning run.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// The tuned cloud.
+    pub cloud: GaussianCloud,
+    /// History of (iteration, PSNR, error ratio) — the Fig. 7 series.
+    pub history: Vec<TunePoint>,
+}
+
+/// Runs boundary-aware fine-tuning of `trained` against per-view targets.
+///
+/// `targets` pairs each training camera with its ground-truth image.
+///
+/// # Panics
+///
+/// Panics when `targets` is empty.
+pub fn boundary_aware_finetune(
+    trained: &GaussianCloud,
+    targets: &[(Camera, ImageRgb)],
+    cfg: &TuneConfig,
+) -> TuneResult {
+    assert!(!targets.is_empty(), "fine-tuning needs at least one target view");
+    let mut cloud = trained.clone();
+    let mut opt = Adam::new(cloud.len(), cfg.lrs);
+    let diff_cfg = DiffConfig { loss: cfg.loss, ..Default::default() };
+    let mut history = Vec::new();
+
+    let mut flags = measure(&cloud, targets, cfg, &mut history, 0);
+
+    for it in 0..cfg.iters {
+        let (cam, target) = &targets[it as usize % targets.len()];
+        let mut out = render_with_gradients(&cloud, cam, target, &diff_cfg);
+        add_cbp_gradient(&cloud, &flags, cfg.beta, &mut out.grads);
+        opt.step(&mut cloud, &out.grads);
+
+        let iter1 = it + 1;
+        if iter1 % cfg.refresh_every == 0 || iter1 == cfg.iters {
+            let record = iter1 % cfg.record_every == 0 || iter1 == cfg.iters;
+            flags = measure(&cloud, targets, cfg, &mut history, if record { iter1 } else { u32::MAX });
+        }
+    }
+
+    TuneResult { cloud, history }
+}
+
+/// Streams the current cloud over all target views; refreshes violation
+/// flags and optionally records a history point (when `record_iter != MAX`).
+fn measure(
+    cloud: &GaussianCloud,
+    targets: &[(Camera, ImageRgb)],
+    cfg: &TuneConfig,
+    history: &mut Vec<TunePoint>,
+    record_iter: u32,
+) -> Vec<bool> {
+    let scene = StreamingScene::new(
+        cloud.clone(),
+        StreamingConfig { voxel_size: cfg.voxel_size, ..Default::default() },
+    );
+    let cams: Vec<Camera> = targets.iter().map(|(c, _)| *c).collect();
+    let (outputs, violations) = scene.render_views(&cams);
+    if record_iter != u32::MAX {
+        let mut psnr_acc = 0.0;
+        for (o, (_, tgt)) in outputs.iter().zip(targets) {
+            psnr_acc += o.image.psnr(tgt).min(99.0);
+        }
+        history.push(TunePoint {
+            iter: record_iter,
+            psnr_db: psnr_acc / targets.len() as f64,
+            error_ratio: violations.gaussian_ratio(),
+            loss: cbp_loss(cloud, &violations.flags),
+        });
+    }
+    violations.flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_render::{RenderConfig, TileRenderer};
+    use gs_scene::{SceneConfig, SceneKind};
+
+    fn setup() -> (GaussianCloud, Vec<(Camera, ImageRgb)>, f32) {
+        let scene = SceneKind::Lego.build(&SceneConfig {
+            gaussians: 900,
+            width: 64,
+            height: 48,
+            train_views: 2,
+            eval_views: 1,
+            ..SceneConfig::tiny()
+        });
+        let r = TileRenderer::new(RenderConfig::default());
+        let targets: Vec<(Camera, ImageRgb)> = scene
+            .train_cameras
+            .iter()
+            .map(|c| (*c, r.render(&scene.ground_truth, c).image))
+            .collect();
+        (scene.trained, targets, scene.voxel_size)
+    }
+
+    #[test]
+    fn finetune_improves_streaming_psnr() {
+        let (trained, targets, voxel) = setup();
+        let cfg = TuneConfig {
+            iters: 30,
+            voxel_size: voxel,
+            refresh_every: 10,
+            record_every: 10,
+            ..Default::default()
+        };
+        let result = boundary_aware_finetune(&trained, &targets, &cfg);
+        assert!(result.history.len() >= 3);
+        let first = result.history.first().unwrap();
+        let last = result.history.last().unwrap();
+        assert!(
+            last.psnr_db > first.psnr_db - 0.2,
+            "PSNR degraded: {} -> {}",
+            first.psnr_db,
+            last.psnr_db
+        );
+        assert!(result.cloud.is_valid());
+        // Positions must be untouched.
+        for (a, b) in trained.iter().zip(result.cloud.iter()) {
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+
+    #[test]
+    fn history_iterations_are_monotone() {
+        let (trained, targets, voxel) = setup();
+        let cfg = TuneConfig {
+            iters: 20,
+            voxel_size: voxel,
+            refresh_every: 5,
+            record_every: 5,
+            ..Default::default()
+        };
+        let result = boundary_aware_finetune(&trained, &targets, &cfg);
+        for w in result.history.windows(2) {
+            assert!(w[1].iter > w[0].iter);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_panic() {
+        let (trained, _, _) = setup();
+        let _ = boundary_aware_finetune(&trained, &[], &TuneConfig::default());
+    }
+}

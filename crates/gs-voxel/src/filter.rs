@@ -1,0 +1,217 @@
+//! Hierarchical filtering: coarse (4-parameter) and fine (full) tests.
+//!
+//! Phase 1 reads only position + max scale (16 B) and conservatively tests
+//! the projected disc against the tile (55 MACs). Phase 2 fetches the
+//! compressed remainder, projects precisely (427 MACs), and keeps only
+//! Gaussians whose exact footprint overlaps the tile (paper Sec. III-B).
+
+use gs_core::camera::Camera;
+use gs_core::ewa::{project_coarse, project_gaussian};
+use gs_core::sym::Sym2;
+use gs_core::vec::{Vec2, Vec3};
+use gs_scene::Gaussian;
+
+/// A tile's pixel-space rectangle `[x0, x1) × [y0, y1)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TileRect {
+    pub x0: f32,
+    pub y0: f32,
+    pub x1: f32,
+    pub y1: f32,
+}
+
+impl TileRect {
+    /// Builds the rect of tile `(tx, ty)` with `tile` pixel granularity,
+    /// clipped to the `width`×`height` frame.
+    pub fn of_tile(tx: u32, ty: u32, tile: u32, width: u32, height: u32) -> TileRect {
+        TileRect {
+            x0: (tx * tile) as f32,
+            y0: (ty * tile) as f32,
+            x1: ((tx + 1) * tile).min(width) as f32,
+            y1: ((ty + 1) * tile).min(height) as f32,
+        }
+    }
+
+    /// `true` when a disc (`center`, `radius`) overlaps the rect.
+    pub fn overlaps_disc(&self, center: Vec2, radius: f32) -> bool {
+        let cx = center.x.clamp(self.x0, self.x1);
+        let cy = center.y.clamp(self.y0, self.y1);
+        let dx = center.x - cx;
+        let dy = center.y - cy;
+        dx * dx + dy * dy <= radius * radius
+    }
+}
+
+/// Phase-1 result: the Gaussian may intersect the tile.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CoarsePass {
+    /// Projected centre (pixels).
+    pub mean_px: Vec2,
+    /// Conservative radius (pixels).
+    pub radius_px: f32,
+    /// Camera-space depth.
+    pub depth: f32,
+}
+
+/// Coarse filter: 4 parameters only. `None` = culled.
+pub fn coarse_test(cam: &Camera, pos: Vec3, s_max: f32, rect: &TileRect) -> Option<CoarsePass> {
+    let p = project_coarse(cam, pos, s_max)?;
+    if rect.overlaps_disc(p.mean_px, p.radius_px) {
+        Some(CoarsePass { mean_px: p.mean_px, radius_px: p.radius_px, depth: p.depth })
+    } else {
+        None
+    }
+}
+
+/// Phase-2 result: everything the sorter/renderer needs for one Gaussian.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FineSplat {
+    /// Projected mean (pixels).
+    pub mean_px: Vec2,
+    /// Inverse 2-D covariance.
+    pub conic: Sym2,
+    /// View-dependent RGB.
+    pub color: Vec3,
+    /// Opacity.
+    pub opacity: f32,
+    /// Camera-space depth.
+    pub depth: f32,
+    /// Exact screen radius (pixels).
+    pub radius_px: f32,
+}
+
+/// Fine filter: full parameters, precise projection + exact tile test.
+/// `None` = culled (the coarse disc overlapped but the true ellipse does
+/// not, e.g. Gaussian 3 in paper Fig. 5).
+///
+/// The intersection test uses the projected ellipse's per-axis 3σ extents
+/// (`3·√Σxx`, `3·√Σyy`) — strictly tighter than the coarse disc of radius
+/// `3·√λmax`, which is what makes the second filtering phase worthwhile.
+pub fn fine_test(cam: &Camera, g: &Gaussian, rect: &TileRect, sh_degree: u8) -> Option<FineSplat> {
+    let p = project_gaussian(cam, g.pos, g.cov3d())?;
+    let rx = 3.0 * p.cov2d.a.max(0.0).sqrt();
+    let ry = 3.0 * p.cov2d.c.max(0.0).sqrt();
+    if p.mean_px.x + rx < rect.x0
+        || p.mean_px.x - rx > rect.x1
+        || p.mean_px.y + ry < rect.y0
+        || p.mean_px.y - ry > rect.y1
+    {
+        return None;
+    }
+    let dir = (g.pos - cam.pose.center()).normalized();
+    let color = gs_core::sh::eval_color(&g.sh, dir, sh_degree);
+    Some(FineSplat {
+        mean_px: p.mean_px,
+        conic: p.conic,
+        color,
+        opacity: g.opacity,
+        depth: p.depth,
+        radius_px: p.radius_px,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::Quat;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::Y, 128, 96, 1.0)
+    }
+
+    fn center_rect() -> TileRect {
+        // The 16×16 tile containing the principal point (64, 48).
+        TileRect { x0: 48.0, y0: 32.0, x1: 80.0, y1: 64.0 }
+    }
+
+    #[test]
+    fn rect_disc_overlap_cases() {
+        let r = TileRect { x0: 0.0, y0: 0.0, x1: 16.0, y1: 16.0 };
+        assert!(r.overlaps_disc(Vec2::new(8.0, 8.0), 1.0), "inside");
+        assert!(r.overlaps_disc(Vec2::new(-2.0, 8.0), 3.0), "left edge");
+        assert!(!r.overlaps_disc(Vec2::new(-5.0, 8.0), 3.0), "too far left");
+        assert!(r.overlaps_disc(Vec2::new(18.0, 18.0), 3.0), "corner");
+        assert!(!r.overlaps_disc(Vec2::new(20.0, 20.0), 3.0), "past corner");
+    }
+
+    #[test]
+    fn of_tile_clips_to_frame() {
+        let r = TileRect::of_tile(7, 5, 16, 120, 90);
+        assert_eq!(r.x1, 120.0);
+        assert_eq!(r.y1, 90.0);
+    }
+
+    #[test]
+    fn coarse_passes_center_gaussian() {
+        let c = cam();
+        let p = coarse_test(&c, Vec3::ZERO, 0.1, &center_rect());
+        assert!(p.is_some());
+        let p = p.unwrap();
+        assert!(p.depth > 0.0);
+        assert!(p.radius_px > 0.0);
+    }
+
+    #[test]
+    fn coarse_culls_far_offscreen_gaussian() {
+        let c = cam();
+        // Project onto a tile far from the centre: tiny Gaussian at the
+        // frame centre cannot touch a corner tile.
+        let corner = TileRect { x0: 0.0, y0: 0.0, x1: 16.0, y1: 16.0 };
+        assert!(coarse_test(&c, Vec3::ZERO, 0.01, &corner).is_none());
+        // Behind the camera is culled outright.
+        assert!(coarse_test(&c, Vec3::new(0.0, 0.0, -10.0), 0.1, &corner).is_none());
+    }
+
+    #[test]
+    fn coarse_is_conservative_wrt_fine() {
+        // Whenever the fine test passes, the coarse test must also pass
+        // (with s_max ≥ every true scale). Sweep positions and shapes.
+        let c = cam();
+        let rect = center_rect();
+        for i in 0..100 {
+            let t = i as f32 / 100.0;
+            let mut g = Gaussian::isotropic(
+                Vec3::new(t - 0.5, 0.4 * t - 0.2, t * 0.6),
+                0.05,
+                Vec3::ONE,
+                0.9,
+            );
+            g.scale = Vec3::new(0.02 + 0.1 * t, 0.07, 0.12 * (1.0 - t) + 0.01);
+            g.rot = Quat::from_axis_angle(Vec3::new(1.0, t, 0.3), 2.0 * t);
+            let fine = fine_test(&c, &g, &rect, 3);
+            if fine.is_some() {
+                assert!(
+                    coarse_test(&c, g.pos, g.max_scale(), &rect).is_some(),
+                    "coarse filter wrongly culled a visible Gaussian (i={i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fine_culls_what_coarse_keeps() {
+        // An elongated Gaussian whose conservative disc hits the tile but
+        // whose true narrow ellipse does not: coarse passes, fine culls.
+        // World y = −0.6 projects *below* the image centre (v ≈ 62), so the
+        // bottom-centre tile is the one the disc grazes.
+        let c = cam();
+        let rect = TileRect { x0: 48.0, y0: 80.0, x1: 80.0, y1: 96.0 };
+        let mut g = Gaussian::isotropic(Vec3::new(0.0, -0.6, 0.0), 0.02, Vec3::ONE, 0.9);
+        // Long axis along x (horizontal), far below the tile vertically.
+        g.scale = Vec3::new(0.55, 0.01, 0.01);
+        let coarse = coarse_test(&c, g.pos, g.max_scale(), &rect);
+        let fine = fine_test(&c, &g, &rect, 3);
+        assert!(coarse.is_some(), "conservative disc should reach the tile");
+        assert!(fine.is_none(), "precise ellipse must not");
+    }
+
+    #[test]
+    fn fine_splat_carries_color_and_depth() {
+        let c = cam();
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::new(0.9, 0.1, 0.2), 0.7);
+        let s = fine_test(&c, &g, &center_rect(), 3).unwrap();
+        assert!((s.color - Vec3::new(0.9, 0.1, 0.2)).length() < 1e-4);
+        assert!((s.depth - 5.0).abs() < 0.01);
+        assert_eq!(s.opacity, 0.7);
+    }
+}

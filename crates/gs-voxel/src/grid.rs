@@ -1,0 +1,377 @@
+//! Voxel partitioning of a Gaussian cloud with contiguous per-voxel layout.
+//!
+//! The scene is split offline into axis-aligned voxels (paper Sec. III-A).
+//! Gaussians are assigned to the voxel containing their *centre* and stored
+//! contiguously per voxel — the property that lets the accelerator stream a
+//! whole voxel with purely sequential DRAM bursts. Empty voxels are renamed
+//! away (paper Sec. IV-B: the VSU renaming table); the dense ids produced
+//! here are exactly those renamed `VIDr` values.
+
+use gs_core::geom::Aabb;
+use gs_core::vec::Vec3;
+use gs_scene::{Gaussian, GaussianCloud};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel in the cell table for "no Gaussians here".
+pub const EMPTY_CELL: u32 = u32::MAX;
+
+/// Integer cell coordinates.
+pub type Cell = (i32, i32, i32);
+
+/// A voxel grid over a cloud, with Gaussians grouped contiguously per voxel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VoxelGrid {
+    origin: Vec3,
+    voxel_size: f32,
+    dims: (u32, u32, u32),
+    /// Dense cell table: linear cell index → renamed voxel id or [`EMPTY_CELL`].
+    cell_table: Vec<u32>,
+    /// Per renamed voxel: its cell coordinates.
+    voxel_cells: Vec<Cell>,
+    /// Per renamed voxel: range into `indices`.
+    ranges: Vec<(u32, u32)>,
+    /// Gaussian indices grouped by voxel (the contiguous DRAM layout).
+    indices: Vec<u32>,
+}
+
+impl VoxelGrid {
+    /// Builds a grid of edge length `voxel_size` over `cloud`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `voxel_size <= 0` or the cloud is empty.
+    pub fn build(cloud: &GaussianCloud, voxel_size: f32) -> VoxelGrid {
+        assert!(voxel_size > 0.0, "voxel size must be positive");
+        assert!(!cloud.is_empty(), "cannot voxelize an empty cloud");
+        let bounds = cloud.bounds();
+        // Pad so centres on the boundary fall strictly inside.
+        let origin = bounds.min - Vec3::splat(voxel_size * 1e-3);
+        let extent = bounds.max - origin + Vec3::splat(voxel_size * 1e-3);
+        let dims = (
+            (extent.x / voxel_size).ceil().max(1.0) as u32,
+            (extent.y / voxel_size).ceil().max(1.0) as u32,
+            (extent.z / voxel_size).ceil().max(1.0) as u32,
+        );
+        let n_cells = dims.0 as usize * dims.1 as usize * dims.2 as usize;
+
+        // Count per cell, then bucket (counting sort keeps layout contiguous).
+        let mut counts = vec![0u32; n_cells];
+        let cell_of = |p: Vec3| -> usize {
+            let cx = (((p.x - origin.x) / voxel_size) as u32).min(dims.0 - 1);
+            let cy = (((p.y - origin.y) / voxel_size) as u32).min(dims.1 - 1);
+            let cz = (((p.z - origin.z) / voxel_size) as u32).min(dims.2 - 1);
+            (cz as usize * dims.1 as usize + cy as usize) * dims.0 as usize + cx as usize
+        };
+        for g in cloud {
+            counts[cell_of(g.pos)] += 1;
+        }
+
+        let mut cell_table = vec![EMPTY_CELL; n_cells];
+        let mut voxel_cells = Vec::new();
+        let mut ranges = Vec::new();
+        let mut offset = 0u32;
+        for (ci, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                let id = voxel_cells.len() as u32;
+                cell_table[ci] = id;
+                let x = (ci % dims.0 as usize) as i32;
+                let y = ((ci / dims.0 as usize) % dims.1 as usize) as i32;
+                let z = (ci / (dims.0 as usize * dims.1 as usize)) as i32;
+                voxel_cells.push((x, y, z));
+                ranges.push((offset, offset + c));
+                offset += c;
+            }
+        }
+
+        let mut cursor: Vec<u32> = ranges.iter().map(|r| r.0).collect();
+        let mut indices = vec![0u32; cloud.len()];
+        for (gi, g) in cloud.iter().enumerate() {
+            let vid = cell_table[cell_of(g.pos)] as usize;
+            indices[cursor[vid] as usize] = gi as u32;
+            cursor[vid] += 1;
+        }
+
+        VoxelGrid { origin, voxel_size, dims, cell_table, voxel_cells, ranges, indices }
+    }
+
+    /// Grid origin (minimum corner).
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+
+    /// Voxel edge length.
+    pub fn voxel_size(&self) -> f32 {
+        self.voxel_size
+    }
+
+    /// Grid dimensions in cells.
+    pub fn dims(&self) -> (u32, u32, u32) {
+        self.dims
+    }
+
+    /// Number of non-empty (renamed) voxels.
+    pub fn voxel_count(&self) -> usize {
+        self.voxel_cells.len()
+    }
+
+    /// Total cells (including empty ones).
+    pub fn cell_count(&self) -> usize {
+        self.cell_table.len()
+    }
+
+    /// World-space bounding box of the whole grid.
+    pub fn bounds(&self) -> Aabb {
+        let e = Vec3::new(
+            self.dims.0 as f32 * self.voxel_size,
+            self.dims.1 as f32 * self.voxel_size,
+            self.dims.2 as f32 * self.voxel_size,
+        );
+        Aabb::new(self.origin, self.origin + e)
+    }
+
+    /// Renamed voxel id at integer cell coordinates, if non-empty and in
+    /// range.
+    pub fn voxel_at(&self, cell: Cell) -> Option<u32> {
+        let (x, y, z) = cell;
+        if x < 0
+            || y < 0
+            || z < 0
+            || x >= self.dims.0 as i32
+            || y >= self.dims.1 as i32
+            || z >= self.dims.2 as i32
+        {
+            return None;
+        }
+        let ci = (z as usize * self.dims.1 as usize + y as usize) * self.dims.0 as usize
+            + x as usize;
+        let v = self.cell_table[ci];
+        if v == EMPTY_CELL {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The cell containing world position `p` (unclamped; may be outside).
+    pub fn cell_of(&self, p: Vec3) -> Cell {
+        (
+            ((p.x - self.origin.x) / self.voxel_size).floor() as i32,
+            ((p.y - self.origin.y) / self.voxel_size).floor() as i32,
+            ((p.z - self.origin.z) / self.voxel_size).floor() as i32,
+        )
+    }
+
+    /// The cell coordinates of renamed voxel `vid`.
+    pub fn cell_of_voxel(&self, vid: u32) -> Cell {
+        self.voxel_cells[vid as usize]
+    }
+
+    /// World-space centre of renamed voxel `vid`.
+    pub fn voxel_center(&self, vid: u32) -> Vec3 {
+        let (x, y, z) = self.voxel_cells[vid as usize];
+        self.origin
+            + Vec3::new(
+                (x as f32 + 0.5) * self.voxel_size,
+                (y as f32 + 0.5) * self.voxel_size,
+                (z as f32 + 0.5) * self.voxel_size,
+            )
+    }
+
+    /// World-space AABB of renamed voxel `vid`.
+    pub fn voxel_aabb(&self, vid: u32) -> Aabb {
+        let (x, y, z) = self.voxel_cells[vid as usize];
+        let min = self.origin
+            + Vec3::new(
+                x as f32 * self.voxel_size,
+                y as f32 * self.voxel_size,
+                z as f32 * self.voxel_size,
+            );
+        Aabb::new(min, min + Vec3::splat(self.voxel_size))
+    }
+
+    /// Gaussian indices stored in renamed voxel `vid` (contiguous layout).
+    pub fn gaussians_of(&self, vid: u32) -> &[u32] {
+        let (a, b) = self.ranges[vid as usize];
+        &self.indices[a as usize..b as usize]
+    }
+
+    /// The renamed voxel id that Gaussian `gi` (by its position) belongs to.
+    pub fn voxel_of_gaussian(&self, g: &Gaussian) -> Option<u32> {
+        self.voxel_at(self.cell_of(g.pos))
+    }
+
+    /// Largest voxel population — bounds the on-chip input buffer need.
+    pub fn max_voxel_population(&self) -> usize {
+        self.ranges.iter().map(|(a, b)| (b - a) as usize).max().unwrap_or(0)
+    }
+
+    /// How far Gaussian `g`'s `sigmas`·σ ellipsoid bound extends beyond its
+    /// own voxel, in world units (0 when fully contained).
+    ///
+    /// This is the geometric quantity the boundary-aware fine-tuning drives
+    /// toward zero.
+    pub fn spill_distance(&self, g: &Gaussian, sigmas: f32) -> f32 {
+        let cell = self.cell_of(g.pos);
+        let min = self.origin
+            + Vec3::new(
+                cell.0 as f32 * self.voxel_size,
+                cell.1 as f32 * self.voxel_size,
+                cell.2 as f32 * self.voxel_size,
+            );
+        let max = min + Vec3::splat(self.voxel_size);
+        let r = sigmas * g.max_scale();
+        let mut spill = 0.0f32;
+        for a in 0..3 {
+            spill = spill.max((min[a] - (g.pos[a] - r)).max(0.0));
+            spill = spill.max(((g.pos[a] + r) - max[a]).max(0.0));
+        }
+        spill
+    }
+
+    /// `true` when the Gaussian's `sigmas`·σ bound crosses its voxel
+    /// boundary.
+    pub fn crosses_boundary(&self, g: &Gaussian, sigmas: f32) -> bool {
+        self.spill_distance(g, sigmas) > 0.0
+    }
+
+    /// Fraction of cloud Gaussians whose `sigmas`·σ bound crosses a voxel
+    /// boundary (static cross-boundary ratio).
+    pub fn crossing_ratio(&self, cloud: &GaussianCloud, sigmas: f32) -> f64 {
+        if cloud.is_empty() {
+            return 0.0;
+        }
+        let crossing = cloud.iter().filter(|g| self.crosses_boundary(g, sigmas)).count();
+        crossing as f64 / cloud.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{SceneConfig, SceneKind};
+
+    fn small_cloud() -> GaussianCloud {
+        let mut c = GaussianCloud::new();
+        for x in 0..4 {
+            for y in 0..2 {
+                c.push(Gaussian::isotropic(
+                    Vec3::new(x as f32 + 0.5, y as f32 + 0.5, 0.5),
+                    0.05,
+                    Vec3::ONE,
+                    0.9,
+                ));
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn every_gaussian_lands_in_exactly_one_voxel() {
+        let cloud = small_cloud();
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        assert_eq!(grid.voxel_count(), 8);
+        let mut seen = vec![false; cloud.len()];
+        for v in 0..grid.voxel_count() as u32 {
+            for &gi in grid.gaussians_of(v) {
+                assert!(!seen[gi as usize], "gaussian {gi} assigned twice");
+                seen[gi as usize] = true;
+                // The Gaussian's position must lie inside the voxel's box.
+                let aabb = grid.voxel_aabb(v);
+                assert!(aabb.contains(cloud.as_slice()[gi as usize].pos));
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn layout_is_contiguous() {
+        let cloud = small_cloud();
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        let mut total = 0usize;
+        for v in 0..grid.voxel_count() as u32 {
+            total += grid.gaussians_of(v).len();
+        }
+        assert_eq!(total, cloud.len());
+    }
+
+    #[test]
+    fn empty_cells_are_renamed_away() {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.05, Vec3::ONE, 0.9));
+        cloud.push(Gaussian::isotropic(Vec3::new(10.0, 0.0, 0.0), 0.05, Vec3::ONE, 0.9));
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        assert_eq!(grid.voxel_count(), 2, "only the two occupied voxels are kept");
+        assert!(grid.cell_count() >= 10, "the raw cell space is much larger");
+    }
+
+    #[test]
+    fn voxel_at_out_of_range_is_none() {
+        let grid = VoxelGrid::build(&small_cloud(), 1.0);
+        assert!(grid.voxel_at((-1, 0, 0)).is_none());
+        assert!(grid.voxel_at((100, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn voxel_center_inside_its_aabb() {
+        let grid = VoxelGrid::build(&small_cloud(), 1.0);
+        for v in 0..grid.voxel_count() as u32 {
+            assert!(grid.voxel_aabb(v).contains(grid.voxel_center(v)));
+        }
+    }
+
+    /// Grid whose origin is anchored at ~0 so cell walls sit on integers.
+    fn anchored(extra: Gaussian) -> (GaussianCloud, VoxelGrid) {
+        let mut cloud = GaussianCloud::new();
+        cloud.push(Gaussian::isotropic(Vec3::splat(0.001), 0.0001, Vec3::ONE, 0.9));
+        cloud.push(extra);
+        let grid = VoxelGrid::build(&cloud, 1.0);
+        (cloud, grid)
+    }
+
+    #[test]
+    fn spill_distance_zero_for_tiny_centered_gaussian() {
+        let (cloud, grid) = anchored(Gaussian::isotropic(Vec3::splat(0.5), 0.05, Vec3::ONE, 0.9));
+        let g = &cloud.as_slice()[1];
+        assert_eq!(grid.spill_distance(g, 3.0), 0.0);
+        assert!(!grid.crosses_boundary(g, 3.0));
+    }
+
+    #[test]
+    fn spill_distance_positive_for_large_gaussian() {
+        let (cloud, grid) = anchored(Gaussian::isotropic(Vec3::splat(0.5), 0.5, Vec3::ONE, 0.9));
+        let g = &cloud.as_slice()[1];
+        // 3σ = 1.5 ≫ distance to the wall (0.5 − ε).
+        assert!(grid.spill_distance(g, 3.0) > 0.9);
+        assert!(grid.crosses_boundary(g, 3.0));
+    }
+
+    #[test]
+    fn crossing_ratio_monotone_in_voxel_size() {
+        let scene = SceneKind::Train.build(&SceneConfig::tiny());
+        let big = VoxelGrid::build(&scene.trained, 4.0);
+        let small = VoxelGrid::build(&scene.trained, 0.5);
+        let r_big = big.crossing_ratio(&scene.trained, 3.0);
+        let r_small = small.crossing_ratio(&scene.trained, 3.0);
+        assert!(
+            r_small > r_big,
+            "smaller voxels must create more cross-boundary Gaussians ({r_small} vs {r_big})"
+        );
+    }
+
+    #[test]
+    fn paper_voxel_sizes_give_reasonable_grids() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let grid = VoxelGrid::build(&scene.trained, scene.voxel_size);
+        assert!(grid.voxel_count() > 8, "synthetic scene has several voxels");
+        assert!(grid.voxel_count() < 4_000);
+        let real = SceneKind::Drjohnson.build(&SceneConfig::tiny());
+        let rg = VoxelGrid::build(&real.trained, real.voxel_size);
+        assert!(rg.voxel_count() > 8 && rg.voxel_count() < 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "voxel size")]
+    fn zero_voxel_size_panics() {
+        let _ = VoxelGrid::build(&small_cloud(), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gs-voxel — the fully-streaming, memory-centric 3DGS pipeline
+//!
+//! This crate is the reproduction of the StreamingGS **core contribution**
+//! (paper Sec. III): rendering a frame *voxel-by-voxel* instead of
+//! tile-stage-by-tile-stage, so that all intermediate data fits on-chip and
+//! the only DRAM traffic is (a) streaming each voxel's Gaussians in once and
+//! (b) writing final pixels out once.
+//!
+//! Pipeline per pixel group (tile):
+//!
+//! 1. **Ray–voxel intersection** ([`dda`]): every pixel ray marches the
+//!    [`grid::VoxelGrid`] front-to-back, producing its ordered voxel list.
+//! 2. **Voxel ordering** ([`order`]): per-ray lists become a DAG whose
+//!    topological order (Kahn) is the tile's global voxel rendering order.
+//! 3. **Hierarchical filtering** ([`filter`]): per voxel, the coarse filter
+//!    reads only `(x, y, z, s_max)` (16 B) and culls against the tile; only
+//!    survivors fetch the VQ-compressed second half and run the precise
+//!    (fine) projection.
+//! 4. **In-voxel sorting + blending** ([`streaming`]): survivors sort by
+//!    depth within the voxel and blend into on-chip partial pixel values
+//!    that persist across voxels; pixels saturate early and the tile stops
+//!    streaming further voxels once fully opaque.
+//!
+//! The functional renderer also measures everything the accelerator model
+//! needs ([`workload`]) and the depth-order violations that the
+//! boundary-aware fine-tuning (crate `gs-tune`) penalizes.
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_scene::{SceneConfig, SceneKind};
+//! use gs_voxel::{StreamingConfig, StreamingScene};
+//!
+//! let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+//! let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..StreamingConfig::default() };
+//! let streaming = StreamingScene::new(scene.trained.clone(), cfg);
+//! let out = streaming.render(&scene.eval_cameras[0]);
+//! assert!(out.workload.totals().gaussians_streamed > 0);
+//! ```
+
+pub mod dda;
+pub mod filter;
+pub mod grid;
+pub mod order;
+pub mod streaming;
+pub mod workload;
+
+pub use grid::VoxelGrid;
+pub use streaming::{StreamingConfig, StreamingOutput, StreamingScene};
+pub use workload::{FrameWorkload, TileWorkload};

@@ -1,0 +1,213 @@
+//! Global voxel ordering: per-ray lists → DAG → topological sort.
+//!
+//! Pixels in a group intersect different voxel sequences; the tile needs one
+//! global order that respects every pixel's front-to-back order (paper
+//! Sec. III-B, "Inter-Voxel Order"). Consecutive voxels in a ray's list
+//! become DAG edges; Kahn's algorithm produces the order. Coherent tile rays
+//! normally yield an acyclic graph, but wide tiles can produce cycles — we
+//! break those by releasing the remaining node nearest to the camera
+//! (smallest reference depth) and record the event.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Result of ordering one tile's voxels.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VoxelOrder {
+    /// Voxel ids in rendering order.
+    pub order: Vec<u32>,
+    /// Number of unique dependency edges in the DAG.
+    pub edges: u32,
+    /// Number of cycle-break events (0 for a true DAG).
+    pub cycle_breaks: u32,
+}
+
+/// Builds the global order from per-ray voxel lists.
+///
+/// `depth_of(v)` supplies a reference depth per voxel (distance of its centre
+/// from the camera) used to (a) order independent voxels deterministically
+/// front-to-back and (b) break cycles.
+pub fn topological_order<F: Fn(u32) -> f32>(
+    ray_lists: &[Vec<u32>],
+    depth_of: F,
+) -> VoxelOrder {
+    // Collect nodes and unique edges.
+    let mut in_degree: HashMap<u32, u32> = HashMap::new();
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut edge_set: HashMap<(u32, u32), ()> = HashMap::new();
+
+    for list in ray_lists {
+        for &v in list {
+            in_degree.entry(v).or_insert(0);
+        }
+        for w in list.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a == b {
+                continue;
+            }
+            if let Entry::Vacant(e) = edge_set.entry((a, b)) {
+                e.insert(());
+                adj.entry(a).or_default().push(b);
+                *in_degree.entry(b).or_insert(0) += 1;
+            }
+        }
+    }
+    let edges = edge_set.len() as u32;
+    let n = in_degree.len();
+
+    // Ready set ordered by reference depth (front first). BinaryHeap is a
+    // max-heap, so invert the comparison via Reverse on ordered bits.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let depth_key = |v: u32| -> u32 { depth_of(v).max(0.0).to_bits() };
+    let mut ready: BinaryHeap<Reverse<(u32, u32)>> = in_degree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(v, _)| Reverse((depth_key(*v), *v)))
+        .collect();
+
+    let mut order = Vec::with_capacity(n);
+    let mut cycle_breaks = 0u32;
+    let mut remaining = in_degree.clone();
+    remaining.retain(|_, d| *d > 0);
+
+    while order.len() < n {
+        let next = match ready.pop() {
+            Some(Reverse((_, v))) => v,
+            None => {
+                // Cycle: release the nearest remaining voxel.
+                let v = *remaining
+                    .keys()
+                    .min_by_key(|v| (depth_key(**v), **v))
+                    .expect("remaining nodes exist while order is incomplete");
+                remaining.remove(&v);
+                cycle_breaks += 1;
+                v
+            }
+        };
+        // A node may be popped after having been force-released; skip dupes.
+        if order.contains(&next) {
+            continue;
+        }
+        order.push(next);
+        if let Some(succs) = adj.get(&next) {
+            for &s in succs {
+                if let Some(d) = remaining.get_mut(&s) {
+                    *d -= 1;
+                    if *d == 0 {
+                        remaining.remove(&s);
+                        ready.push(Reverse((depth_key(s), s)));
+                    }
+                }
+            }
+        }
+    }
+
+    VoxelOrder { order, edges, cycle_breaks }
+}
+
+/// Verifies that `order` respects every consecutive constraint in
+/// `ray_lists`; returns the number of violated pairs (0 = perfect).
+pub fn count_order_violations(ray_lists: &[Vec<u32>], order: &[u32]) -> usize {
+    let pos: HashMap<u32, usize> = order.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let mut violations = 0;
+    for list in ray_lists {
+        for w in list.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            match (pos.get(&w[0]), pos.get(&w[1])) {
+                (Some(a), Some(b)) if a >= b => violations += 1,
+                (None, _) | (_, None) => violations += 1,
+                _ => {}
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_id(v: u32) -> f32 {
+        v as f32
+    }
+
+    #[test]
+    fn single_ray_preserves_its_order() {
+        let lists = vec![vec![3, 1, 4, 2]];
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.order, vec![3, 1, 4, 2]);
+        assert_eq!(r.cycle_breaks, 0);
+        assert_eq!(count_order_violations(&lists, &r.order), 0);
+    }
+
+    #[test]
+    fn merges_consistent_rays() {
+        // Paper Fig. 5: R0=[4,5,2,3], R1=[4,5,6,3], R2=[4,5,6] →
+        // one valid global order is 4,5,2,6,3 (or 4,5,6,2,3).
+        let lists = vec![vec![4, 5, 2, 3], vec![4, 5, 6, 3], vec![4, 5, 6]];
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.cycle_breaks, 0);
+        assert_eq!(count_order_violations(&lists, &r.order), 0);
+        assert_eq!(r.order.len(), 5);
+        assert_eq!(r.order[0], 4);
+        assert_eq!(r.order[1], 5);
+        assert_eq!(*r.order.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn independent_nodes_sorted_by_depth() {
+        let lists = vec![vec![7], vec![2], vec![5]];
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.order, vec![2, 5, 7]);
+        assert_eq!(r.edges, 0);
+    }
+
+    #[test]
+    fn cycle_is_broken_near_first() {
+        // Contradictory rays: 1→2 and 2→1.
+        let lists = vec![vec![1, 2], vec![2, 1]];
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.order.len(), 2);
+        assert!(r.cycle_breaks >= 1);
+        // The nearer voxel (smaller depth) must come first.
+        assert_eq!(r.order[0], 1);
+    }
+
+    #[test]
+    fn duplicate_edges_counted_once() {
+        let lists = vec![vec![1, 2], vec![1, 2], vec![1, 2]];
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.edges, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_order() {
+        let r = topological_order(&[], by_id);
+        assert!(r.order.is_empty());
+    }
+
+    #[test]
+    fn violation_counter_detects_bad_order() {
+        let lists = vec![vec![1, 2, 3]];
+        assert_eq!(count_order_violations(&lists, &[3, 2, 1]), 2);
+        assert_eq!(count_order_violations(&lists, &[1, 2, 3]), 0);
+        // Missing node counts as violation.
+        assert_eq!(count_order_violations(&lists, &[1, 2]), 1);
+    }
+
+    #[test]
+    fn long_chain_many_rays() {
+        // 50 rays over a 30-node chain with random suffixes stays acyclic.
+        let mut lists = Vec::new();
+        for start in 0..20u32 {
+            lists.push((start..30).collect::<Vec<_>>());
+        }
+        let r = topological_order(&lists, by_id);
+        assert_eq!(r.cycle_breaks, 0);
+        assert_eq!(count_order_violations(&lists, &r.order), 0);
+        assert_eq!(r.order, (0..30).collect::<Vec<_>>());
+    }
+}

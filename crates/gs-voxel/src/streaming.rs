@@ -1,0 +1,812 @@
+//! The fully-streaming, memory-centric renderer (paper Fig. 5).
+//!
+//! The frame is processed in **pixel groups** (paper Sec. III-A: "renders a
+//! group of pixels together"). The group is the on-chip working set: its
+//! partial pixel values persist in SRAM across voxels (a 64×64 group of
+//! 16-byte partials fits the paper's 89 KB intermediate buffer). For each
+//! group: intersect rays with the voxel grid, topologically sort the
+//! intersected voxels, then stream voxels one at a time through
+//! hierarchical filtering → in-voxel sort → blending. A voxel is skipped
+//! entirely (no DRAM fetch) once every pixel whose ray intersects it has
+//! saturated — the front-to-back order makes this exact.
+
+use crate::dda::traverse;
+use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
+use crate::grid::VoxelGrid;
+use crate::order::topological_order;
+use crate::workload::{FrameWorkload, TileWorkload};
+use gs_core::camera::Camera;
+use gs_core::image::ImageRgb;
+use gs_core::vec::{Vec2, Vec3};
+use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
+use gs_scene::GaussianCloud;
+use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An out-of-order blend counts as a violation only when the depth
+/// inversion exceeds this fraction of the voxel size — smaller inversions
+/// are benign co-located-splat noise that even tiny ordering jitter
+/// produces, not the cross-boundary errors of paper Fig. 6.
+const VIOLATION_VOXEL_FRACTION: f32 = 0.1;
+
+/// Configuration of the streaming pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// Voxel edge length (paper: 2.0 real-world, 0.4 synthetic).
+    pub voxel_size: f32,
+    /// Pixel-group edge length in pixels. The default 64 matches the
+    /// paper's 89 KB intermediate buffer (64×64 × 16 B partials ≈ 64 KB,
+    /// leaving room for the voxel ordering tables).
+    pub group_size: u32,
+    /// Fetch the VQ-compressed second half (paper Sec. III-C). When set,
+    /// codebooks are trained at scene preparation with [`StreamingConfig::vq`].
+    pub use_vq: bool,
+    /// Enable the coarse-grained filter (phase 1). Disabling reproduces the
+    /// paper's "w/o CGF" ablation: every streamed Gaussian fetches its full
+    /// second half.
+    pub use_coarse_filter: bool,
+    /// VQ codebook configuration (only used when `use_vq`).
+    pub vq: VqConfig,
+    /// SH evaluation degree.
+    pub sh_degree: u8,
+    /// Background colour.
+    pub background: Vec3,
+    /// VSU ray sampling stride within a group (1 = every pixel ray).
+    pub ray_stride: u32,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            voxel_size: 1.0,
+            group_size: 32,
+            use_vq: false,
+            use_coarse_filter: true,
+            vq: VqConfig::default(),
+            sh_degree: 3,
+            background: Vec3::ZERO,
+            ray_stride: 1,
+            threads: 0,
+        }
+    }
+}
+
+impl StreamingConfig {
+    /// The paper's full-fledged configuration (VQ + coarse filter) for a
+    /// given voxel size and codebook setup.
+    pub fn full(voxel_size: f32, vq: VqConfig) -> StreamingConfig {
+        StreamingConfig { voxel_size, use_vq: true, use_coarse_filter: true, vq, ..Default::default() }
+    }
+
+    /// The "w/o CGF" ablation (VQ on, coarse filter off).
+    pub fn without_cgf(voxel_size: f32, vq: VqConfig) -> StreamingConfig {
+        StreamingConfig { voxel_size, use_vq: true, use_coarse_filter: false, vq, ..Default::default() }
+    }
+
+    /// The "w/o VQ+CGF" ablation (plain streaming).
+    pub fn without_vq_cgf(voxel_size: f32) -> StreamingConfig {
+        StreamingConfig { voxel_size, use_vq: false, use_coarse_filter: false, ..Default::default() }
+    }
+
+    /// Bytes of on-chip partial-pixel state one group needs (16 B/pixel).
+    pub fn group_partial_bytes(&self) -> u64 {
+        self.group_size as u64 * self.group_size as u64 * 16
+    }
+}
+
+/// Depth-order violation measurements (feeds Fig. 7 and the CBP loss).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// Per-Gaussian flag: blended out of depth order at least once.
+    pub flags: Vec<bool>,
+    /// Blend operations that happened out of order.
+    pub violating_blends: u64,
+    /// Total blend operations.
+    pub total_blends: u64,
+}
+
+impl ViolationReport {
+    /// Fraction of scene Gaussians flagged (the paper's "error Gaussian
+    /// ratio", Fig. 7).
+    pub fn gaussian_ratio(&self) -> f64 {
+        if self.flags.is_empty() {
+            return 0.0;
+        }
+        self.flags.iter().filter(|f| **f).count() as f64 / self.flags.len() as f64
+    }
+
+    /// Merges another report (OR on flags, sums on counters).
+    pub fn merge(&mut self, other: &ViolationReport) {
+        if self.flags.len() < other.flags.len() {
+            self.flags.resize(other.flags.len(), false);
+        }
+        for (a, b) in self.flags.iter_mut().zip(&other.flags) {
+            *a |= *b;
+        }
+        self.violating_blends += other.violating_blends;
+        self.total_blends += other.total_blends;
+    }
+}
+
+/// One rendered frame from the streaming pipeline.
+#[derive(Clone, Debug)]
+pub struct StreamingOutput {
+    /// The image.
+    pub image: ImageRgb,
+    /// Workload counters for the accelerator model (one record per pixel
+    /// group).
+    pub workload: FrameWorkload,
+    /// Depth-order violation measurements.
+    pub violations: ViolationReport,
+}
+
+/// A scene prepared for streaming: voxelized layout + optional codebooks.
+///
+/// Preparation (voxelization, VQ training) happens offline in the paper; the
+/// per-frame work is [`StreamingScene::render`].
+#[derive(Clone, Debug)]
+pub struct StreamingScene {
+    grid: VoxelGrid,
+    source: GaussianCloud,
+    decoded: Option<GaussianCloud>,
+    quant: Option<QuantizedCloud>,
+    config: StreamingConfig,
+}
+
+impl StreamingScene {
+    /// Prepares a cloud for streaming. Trains VQ codebooks when
+    /// `config.use_vq` is set.
+    pub fn new(cloud: GaussianCloud, config: StreamingConfig) -> StreamingScene {
+        let grid = VoxelGrid::build(&cloud, config.voxel_size);
+        let (quant, decoded) = if config.use_vq {
+            let q = GaussianQuantizer::train(&cloud, &config.vq);
+            let d = q.decode();
+            (Some(q), Some(d))
+        } else {
+            (None, None)
+        };
+        StreamingScene { grid, source: cloud, decoded, quant, config }
+    }
+
+    /// Prepares with an externally trained quantizer (e.g. after
+    /// quantization-aware fine-tuning).
+    pub fn with_quantization(
+        cloud: GaussianCloud,
+        quant: QuantizedCloud,
+        mut config: StreamingConfig,
+    ) -> StreamingScene {
+        config.use_vq = true;
+        let grid = VoxelGrid::build(&cloud, config.voxel_size);
+        let decoded = quant.decode();
+        StreamingScene { grid, source: cloud, decoded: Some(decoded), quant: Some(quant), config }
+    }
+
+    /// The voxel grid.
+    pub fn grid(&self) -> &VoxelGrid {
+        &self.grid
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The source cloud.
+    pub fn cloud(&self) -> &GaussianCloud {
+        &self.source
+    }
+
+    /// The trained quantizer, if VQ is enabled.
+    pub fn quantized(&self) -> Option<&QuantizedCloud> {
+        self.quant.as_ref()
+    }
+
+    /// DRAM bytes fetched per Gaussian in the fine phase.
+    fn fine_bytes_per_gaussian(&self) -> u64 {
+        match &self.quant {
+            Some(q) => q.fine_bytes_per_gaussian(),
+            None => gs_scene::gaussian::FINE_BYTES_RAW as u64,
+        }
+    }
+
+    /// Renders one frame.
+    pub fn render(&self, cam: &Camera) -> StreamingOutput {
+        let width = cam.width();
+        let height = cam.height();
+        let gsz = self.config.group_size.max(16);
+        let groups_x = width.div_ceil(gsz);
+        let groups_y = height.div_ceil(gsz);
+        let n_groups = (groups_x * groups_y) as usize;
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+
+        let run_group = |t: usize| -> GroupResult {
+            let gx = t as u32 % groups_x;
+            let gy = t as u32 / groups_x;
+            self.render_group(cam, gx, gy, width, height)
+        };
+
+        let results: Vec<GroupResult> = if threads <= 1 || n_groups <= 1 {
+            (0..n_groups).map(run_group).collect()
+        } else {
+            let chunk = n_groups.div_ceil(threads);
+            let pieces: Vec<Vec<GroupResult>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for w in 0..threads {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n_groups);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let run_group = &run_group;
+                    handles.push(scope.spawn(move || (lo..hi).map(run_group).collect::<Vec<_>>()));
+                }
+                handles.into_iter().map(|h| h.join().expect("group worker panicked")).collect()
+            });
+            pieces.into_iter().flatten().collect()
+        };
+
+        // Assemble image, workload and violations.
+        let mut image = ImageRgb::new(width, height);
+        let mut workload = FrameWorkload {
+            tiles: Vec::with_capacity(n_groups),
+            width,
+            height,
+            scene_voxels: self.grid.voxel_count() as u32,
+            scene_gaussians: self.source.len() as u64,
+        };
+        let mut violations = ViolationReport {
+            flags: vec![false; self.source.len()],
+            ..Default::default()
+        };
+        for (t, r) in results.into_iter().enumerate() {
+            let gx = t as u32 % groups_x;
+            let gy = t as u32 / groups_x;
+            let ox = gx * gsz;
+            let oy = gy * gsz;
+            let n = gsz as usize;
+            for ly in 0..gsz {
+                for lx in 0..gsz {
+                    let px = ox + lx;
+                    let py = oy + ly;
+                    if px < width && py < height {
+                        image.set(px, py, r.pixels[(ly as usize) * n + lx as usize]);
+                    }
+                }
+            }
+            workload.tiles.push(r.workload);
+            for gi in r.violating_gaussians {
+                violations.flags[gi as usize] = true;
+            }
+            violations.violating_blends += r.violating_blends;
+            violations.total_blends += r.workload.blend_fragments;
+        }
+        StreamingOutput { image, workload, violations }
+    }
+
+    /// Renders several views and merges their violation reports — the
+    /// aggregate the boundary-aware fine-tuning consumes.
+    pub fn render_views(&self, cams: &[Camera]) -> (Vec<StreamingOutput>, ViolationReport) {
+        let outputs: Vec<StreamingOutput> = cams.iter().map(|c| self.render(c)).collect();
+        let mut merged = ViolationReport::default();
+        for o in &outputs {
+            merged.merge(&o.violations);
+        }
+        (outputs, merged)
+    }
+
+    fn render_group(
+        &self,
+        cam: &Camera,
+        gx: u32,
+        gy: u32,
+        width: u32,
+        height: u32,
+    ) -> GroupResult {
+        let gsz = self.config.group_size.max(16);
+        let rect = TileRect::of_tile(gx, gy, gsz, width, height);
+        let n = gsz as usize;
+        let mut w = TileWorkload::default();
+        let mut result = GroupResult {
+            pixels: vec![Vec3::ZERO; n * n],
+            workload: TileWorkload::default(),
+            violating_gaussians: Vec::new(),
+            violating_blends: 0,
+        };
+
+        // --- VSU: ray sampling + voxel ordering --------------------------
+        let (dx, dy, dz) = self.grid.dims();
+        let max_steps = 3 * (dx + dy + dz) + 6;
+        let stride = self.config.ray_stride.max(1);
+        let mut ray_lists: Vec<Vec<u32>> = Vec::new();
+        // voxel -> indices of group pixels whose rays intersect it.
+        let mut voxel_pixels: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut py = rect.y0 as u32;
+        while (py as f32) < rect.y1 {
+            let mut px = rect.x0 as u32;
+            while (px as f32) < rect.x1 {
+                let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
+                let rv = traverse(&self.grid, &ray, max_steps);
+                w.rays += 1;
+                w.dda_steps += rv.steps as u64;
+                let pixel_index =
+                    (py - rect.y0 as u32) as u32 * gsz + (px - rect.x0 as u32) as u32;
+                for &v in &rv.voxels {
+                    voxel_pixels.entry(v).or_default().push(pixel_index);
+                }
+                if !rv.voxels.is_empty() {
+                    ray_lists.push(rv.voxels);
+                }
+                px += stride;
+            }
+            py += stride;
+        }
+        let order = topological_order(&ray_lists, |v| {
+            cam.world_to_camera(self.grid.voxel_center(v)).z
+        });
+        w.voxels_intersected = order.order.len() as u32;
+        w.dag_edges = order.edges;
+        w.cycle_breaks = order.cycle_breaks;
+
+        // --- per-voxel streaming ------------------------------------------
+        let fine_bpg = self.fine_bytes_per_gaussian();
+        let coarse_bpg = gs_scene::gaussian::COARSE_BYTES as u64;
+        let render_cloud: &GaussianCloud = self.decoded.as_ref().unwrap_or(&self.source);
+
+        let mut blend = GroupBlender::new(rect, gsz, self.config.voxel_size);
+        let mut mask = vec![false; (gsz * gsz) as usize];
+        for &vid in &order.order {
+            if blend.live == 0 {
+                break; // every pixel saturated: stop streaming voxels
+            }
+            // The voxel's pixel mask: pixels whose rays intersect it
+            // (dilated to cover strided sampling). The mask gates the
+            // early fetch-skip and the *violation metric* — splats still
+            // blend into every covered pixel of the group, as the paper's
+            // render array does.
+            mask.fill(false);
+            let mut any_live = false;
+            if let Some(pixels) = voxel_pixels.get(&vid) {
+                for &pi in pixels {
+                    let (bx, by) = (pi % gsz, pi / gsz);
+                    for dy in 0..stride {
+                        for dx in 0..stride {
+                            let (mx, my) = (bx + dx, by + dy);
+                            if mx < gsz && my < gsz {
+                                let mi = (my * gsz + mx) as usize;
+                                mask[mi] = true;
+                                any_live |= !blend.done[mi];
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_live {
+                continue;
+            }
+            let gaussians = self.grid.gaussians_of(vid);
+            let count = gaussians.len() as u64;
+            w.voxels_processed += 1;
+            w.gaussians_streamed += count;
+
+            // Phase 1: coarse filter (16 B/Gaussian fetch).
+            let survivors: Vec<u32> = if self.config.use_coarse_filter {
+                w.coarse_bytes += count * coarse_bpg;
+                gaussians
+                    .iter()
+                    .copied()
+                    .filter(|&gi| {
+                        let g = &self.source.as_slice()[gi as usize];
+                        coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
+                    })
+                    .collect()
+            } else {
+                // No CGF: the whole record is streamed for every Gaussian.
+                w.coarse_bytes += count * coarse_bpg;
+                gaussians.to_vec()
+            };
+            w.coarse_survivors += survivors.len() as u64;
+            w.fine_bytes += survivors.len() as u64 * fine_bpg;
+
+            // Phase 2: fine filter on the (possibly decoded) parameters.
+            let mut splats: Vec<(u32, FineSplat)> = survivors
+                .iter()
+                .filter_map(|&gi| {
+                    let g = &render_cloud.as_slice()[gi as usize];
+                    fine_test(cam, g, &rect, self.config.sh_degree).map(|s| (gi, s))
+                })
+                .collect();
+            w.fine_survivors += splats.len() as u64;
+            w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
+
+            // In-voxel depth sort (the bitonic sorter's job).
+            splats.sort_unstable_by(|a, b| a.1.depth.total_cmp(&b.1.depth));
+
+            // Blend into the whole group; violations are counted on the
+            // masked (ray-intersecting) pixels only.
+            for (gi, s) in &splats {
+                let frag = blend.blend(s, &mask);
+                w.blend_lanes += frag.lanes;
+                w.blend_fragments += frag.blended;
+                if frag.violations > 0 {
+                    result.violating_gaussians.push(*gi);
+                    result.violating_blends += frag.violations;
+                }
+                if blend.live == 0 {
+                    break;
+                }
+            }
+        }
+
+        // Final pixel writeback (RGBA f32).
+        let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
+        w.pixel_bytes += live_pixels * 16;
+
+        blend.finish(self.config.background, &mut result.pixels);
+        result.workload = w;
+        result
+    }
+}
+
+struct GroupResult {
+    pixels: Vec<Vec3>,
+    workload: TileWorkload,
+    violating_gaussians: Vec<u32>,
+    violating_blends: u64,
+}
+
+struct FragOutcome {
+    lanes: u64,
+    blended: u64,
+    violations: u64,
+}
+
+/// On-chip partial pixel state for one group, persisting across voxels.
+struct GroupBlender {
+    rect: TileRect,
+    size: usize,
+    violation_slack: f32,
+    color: Vec<Vec3>,
+    transmittance: Vec<f32>,
+    done: Vec<bool>,
+    max_depth: Vec<f32>,
+    live: u32,
+}
+
+impl GroupBlender {
+    fn new(rect: TileRect, group_size: u32, voxel_size: f32) -> GroupBlender {
+        let n = group_size as usize;
+        let mut done = vec![false; n * n];
+        let mut live = 0u32;
+        for ly in 0..n {
+            for lx in 0..n {
+                let px = rect.x0 + lx as f32;
+                let py = rect.y0 + ly as f32;
+                if px >= rect.x1 || py >= rect.y1 {
+                    done[ly * n + lx] = true;
+                } else {
+                    live += 1;
+                }
+            }
+        }
+        GroupBlender {
+            rect,
+            size: n,
+            violation_slack: VIOLATION_VOXEL_FRACTION * voxel_size,
+            color: vec![Vec3::ZERO; n * n],
+            transmittance: vec![1.0; n * n],
+            done,
+            max_depth: vec![0.0; n * n],
+            live,
+        }
+    }
+
+    fn blend(&mut self, s: &FineSplat, mask: &[bool]) -> FragOutcome {
+        let n = self.size;
+        let mut out = FragOutcome { lanes: 0, blended: 0, violations: 0 };
+        // Restrict to the splat's bbox within the group.
+        let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
+        let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
+        let y_lo = (s.mean_px.y - s.radius_px).max(self.rect.y0).floor() as i64;
+        let y_hi = (s.mean_px.y + s.radius_px).min(self.rect.y1 - 1.0).ceil() as i64;
+        for py in y_lo..=y_hi {
+            for px in x_lo..=x_hi {
+                if px < self.rect.x0 as i64 || py < self.rect.y0 as i64 {
+                    continue;
+                }
+                let lx = px as usize - self.rect.x0 as usize;
+                let ly = py as usize - self.rect.y0 as usize;
+                if lx >= n || ly >= n {
+                    continue;
+                }
+                let pi = ly * n + lx;
+                out.lanes += 1;
+                if self.done[pi] {
+                    continue;
+                }
+                let d = Vec2::new(px as f32 + 0.5 - s.mean_px.x, py as f32 + 0.5 - s.mean_px.y);
+                let alpha = (s.opacity * gs_core::ewa::falloff(s.conic, d)).min(ALPHA_MAX);
+                if alpha < ALPHA_EPS {
+                    continue;
+                }
+                if mask[pi] && s.depth + self.violation_slack < self.max_depth[pi] {
+                    out.violations += 1;
+                }
+                let t = self.transmittance[pi];
+                self.color[pi] += s.color * (alpha * t);
+                self.transmittance[pi] = t * (1.0 - alpha);
+                self.max_depth[pi] = self.max_depth[pi].max(s.depth);
+                out.blended += 1;
+                if self.transmittance[pi] < TRANSMITTANCE_EPS {
+                    self.done[pi] = true;
+                    self.live -= 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn finish(&self, background: Vec3, pixels: &mut [Vec3]) {
+        let n = self.size;
+        for ly in 0..n {
+            for lx in 0..n {
+                let pi = ly * n + lx;
+                let px = self.rect.x0 + lx as f32;
+                let py = self.rect.y0 + ly as f32;
+                if px < self.rect.x1 && py < self.rect.y1 {
+                    pixels[pi] = self.color[pi] + background * self.transmittance[pi];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_render::{RenderConfig, TileRenderer};
+    use gs_scene::{Gaussian, SceneConfig, SceneKind};
+
+    /// Well-separated tiny Gaussians, each strictly inside its own voxel:
+    /// streaming must match the reference renderer almost exactly.
+    fn separated_cloud() -> GaussianCloud {
+        let mut c = GaussianCloud::new();
+        for i in 0..5 {
+            for j in 0..4 {
+                c.push(Gaussian::isotropic(
+                    Vec3::new(i as f32 - 2.0, j as f32 - 1.5, (i + j) as f32 * 0.3),
+                    0.05,
+                    Vec3::new(0.2 + 0.15 * i as f32, 0.8 - 0.1 * j as f32, 0.5),
+                    0.8,
+                ));
+            }
+        }
+        c
+    }
+
+    fn test_cam() -> Camera {
+        Camera::look_at(Vec3::new(0.5, 0.3, -8.0), Vec3::ZERO, Vec3::Y, 160, 120, 0.9)
+    }
+
+    #[test]
+    fn matches_reference_when_no_gaussian_crosses_voxels() {
+        let cloud = separated_cloud();
+        let cam = test_cam();
+        let reference = TileRenderer::new(RenderConfig::default()).render(&cloud, &cam);
+        let streaming = StreamingScene::new(cloud, StreamingConfig::default()).render(&cam);
+        let psnr = streaming.image.psnr(&reference.image);
+        assert!(psnr > 38.0, "streaming diverged from reference: {psnr} dB");
+        assert_eq!(streaming.violations.gaussian_ratio(), 0.0);
+    }
+
+    #[test]
+    fn real_scene_stays_close_to_reference() {
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let reference =
+            TileRenderer::new(RenderConfig::default()).render(&scene.trained, cam);
+        let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() };
+        let streaming = StreamingScene::new(scene.trained.clone(), cfg).render(cam);
+        let psnr = streaming.image.psnr(&reference.image);
+        assert!(psnr > 24.0, "voxel ordering artifacts too strong: {psnr} dB");
+    }
+
+    #[test]
+    fn workload_counters_are_consistent() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() };
+        let out = StreamingScene::new(scene.trained.clone(), cfg).render(&scene.eval_cameras[0]);
+        let t = out.workload.totals();
+        assert!(t.gaussians_streamed > 0);
+        assert!(t.coarse_survivors <= t.gaussians_streamed);
+        assert!(t.fine_survivors <= t.coarse_survivors);
+        assert!(t.blend_fragments <= t.blend_lanes);
+        assert!(t.voxels_processed as u64 <= t.voxels_intersected as u64);
+        assert!(t.coarse_bytes > 0 && t.pixel_bytes > 0);
+    }
+
+    #[test]
+    fn coarse_filter_reduces_fine_fetches_not_image() {
+        let scene = SceneKind::Palace.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let with = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        )
+        .render(cam);
+        let without = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                use_coarse_filter: false,
+                ..Default::default()
+            },
+        )
+        .render(cam);
+        // Filtering must not change the image at all (it only culls
+        // Gaussians that cannot touch the group).
+        let psnr = with.image.psnr(&without.image);
+        assert!(psnr > 60.0, "coarse filter changed the image: {psnr} dB");
+        // But it must reduce fine-phase traffic.
+        assert!(
+            with.workload.totals().fine_bytes < without.workload.totals().fine_bytes,
+            "coarse filter saved no traffic"
+        );
+    }
+
+    #[test]
+    fn vq_reduces_fine_bytes() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let raw = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        );
+        let vq = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                use_vq: true,
+                vq: VqConfig::tiny(),
+                ..Default::default()
+            },
+        );
+        let raw_out = raw.render(cam);
+        let vq_out = vq.render(cam);
+        let raw_fine = raw_out.workload.totals().fine_bytes;
+        let vq_fine = vq_out.workload.totals().fine_bytes;
+        assert!(
+            (vq_fine as f64) < 0.15 * raw_fine as f64,
+            "VQ fine bytes {vq_fine} vs raw {raw_fine}"
+        );
+        // Quality loss from tiny codebooks is bounded.
+        let psnr = vq_out.image.psnr(&raw_out.image);
+        assert!(psnr > 20.0, "VQ destroyed the image: {psnr} dB");
+    }
+
+    #[test]
+    fn filter_kill_rate_is_substantial() {
+        // The kill rate grows as groups cover less of the frame (the
+        // paper's 76.3 % is measured at native resolutions where a 64 px
+        // group is ~1 % of the frame; tiny test frames understate it).
+        let scene = SceneKind::Train.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let at_group = |gsz: u32| -> f64 {
+            let cfg = StreamingConfig {
+                voxel_size: scene.voxel_size,
+                group_size: gsz,
+                ..Default::default()
+            };
+            StreamingScene::new(scene.trained.clone(), cfg)
+                .render(cam)
+                .workload
+                .totals()
+                .filter_kill_rate()
+        };
+        let k64 = at_group(64);
+        let k16 = at_group(16);
+        assert!(k64 > 0.2, "hierarchical filter killed only {k64} at 64px groups");
+        assert!(k16 > 0.6, "hierarchical filter killed only {k16} at 16px groups");
+        assert!(k16 > k64, "smaller groups must filter more aggressively");
+    }
+
+    #[test]
+    fn violations_appear_with_large_gaussians_and_small_voxels() {
+        // Large overlapping Gaussians + small voxels ⇒ ordering violations.
+        let mut c = GaussianCloud::new();
+        for i in 0..40 {
+            let f = i as f32 * 0.13;
+            c.push(Gaussian::isotropic(
+                Vec3::new(f.sin() * 1.2, f.cos() * 0.9, 0.4 * f),
+                0.35,
+                Vec3::new(0.5 + 0.4 * f.sin(), 0.4, 0.6),
+                0.55,
+            ));
+        }
+        let cam = test_cam();
+        let cfg = StreamingConfig { voxel_size: 0.5, ..Default::default() };
+        let out = StreamingScene::new(c, cfg).render(&cam);
+        assert!(
+            out.violations.gaussian_ratio() > 0.0,
+            "expected ordering violations with 0.35-scale Gaussians in 0.5 voxels"
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic_across_thread_counts() {
+        let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let a = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, threads: 1, ..Default::default() },
+        )
+        .render(cam);
+        let b = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, threads: 4, ..Default::default() },
+        )
+        .render(cam);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.workload.totals(), b.workload.totals());
+    }
+
+    #[test]
+    fn ray_stride_reduces_vsu_work() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let full = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ray_stride: 1, ..Default::default() },
+        )
+        .render(cam);
+        let strided = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ray_stride: 4, ..Default::default() },
+        )
+        .render(cam);
+        assert!(strided.workload.totals().dda_steps < full.workload.totals().dda_steps / 4);
+        // Image stays close (voxel sets rarely change).
+        let psnr = strided.image.psnr(&full.image);
+        assert!(psnr > 28.0, "stride-4 sampling broke the image: {psnr}");
+    }
+
+    #[test]
+    fn smaller_groups_stream_more_voxel_traffic() {
+        // The group size is the re-streaming knob: 16×16 groups re-fetch
+        // each voxel far more often than 64×64 groups.
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let small = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, group_size: 16, ..Default::default() },
+        )
+        .render(cam);
+        let large = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, group_size: 64, ..Default::default() },
+        )
+        .render(cam);
+        assert!(
+            small.workload.totals().gaussians_streamed
+                > 2 * large.workload.totals().gaussians_streamed,
+            "16px groups should re-stream voxels much more"
+        );
+        // Same image regardless of grouping (up to f32 noise).
+        let psnr = small.image.psnr(&large.image);
+        assert!(psnr > 35.0, "group size changed the image: {psnr}");
+    }
+
+    #[test]
+    fn group_partial_state_fits_intermediate_buffer() {
+        // 64×64 × 16 B = 64 KB ≤ 89 KB (paper's intermediate SRAM).
+        let cfg = StreamingConfig::default();
+        assert!(cfg.group_partial_bytes() <= 89 * 1024);
+    }
+}

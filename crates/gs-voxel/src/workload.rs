@@ -1,0 +1,145 @@
+//! Workload records the streaming pipeline emits for the accelerator model.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Everything one tile did — the per-tile input to the timing model.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileWorkload {
+    /// Pixel rays sampled by the VSU.
+    pub rays: u32,
+    /// DDA steps across all rays (VSU ray-sample work).
+    pub dda_steps: u64,
+    /// Distinct voxels intersected by the tile.
+    pub voxels_intersected: u32,
+    /// Unique DAG edges among them.
+    pub dag_edges: u32,
+    /// Cycle-break events during the topological sort.
+    pub cycle_breaks: u32,
+    /// Voxels actually streamed (≤ intersected thanks to early termination).
+    pub voxels_processed: u32,
+    /// Gaussian records streamed from DRAM (coarse phase).
+    pub gaussians_streamed: u64,
+    /// Gaussians passing the coarse filter (fine records fetched).
+    pub coarse_survivors: u64,
+    /// Gaussians passing the fine filter (sorted + rendered).
+    pub fine_survivors: u64,
+    /// Largest per-voxel survivor count sorted at once.
+    pub max_sort_batch: u32,
+    /// (splat, pixel) lanes evaluated by the render array.
+    pub blend_lanes: u64,
+    /// Fragments actually blended (alpha above threshold).
+    pub blend_fragments: u64,
+    /// DRAM bytes fetched for the coarse phase.
+    pub coarse_bytes: u64,
+    /// DRAM bytes fetched for the fine phase.
+    pub fine_bytes: u64,
+    /// DRAM bytes written for final pixels.
+    pub pixel_bytes: u64,
+}
+
+impl AddAssign for TileWorkload {
+    fn add_assign(&mut self, o: TileWorkload) {
+        self.rays += o.rays;
+        self.dda_steps += o.dda_steps;
+        self.voxels_intersected += o.voxels_intersected;
+        self.dag_edges += o.dag_edges;
+        self.cycle_breaks += o.cycle_breaks;
+        self.voxels_processed += o.voxels_processed;
+        self.gaussians_streamed += o.gaussians_streamed;
+        self.coarse_survivors += o.coarse_survivors;
+        self.fine_survivors += o.fine_survivors;
+        self.max_sort_batch = self.max_sort_batch.max(o.max_sort_batch);
+        self.blend_lanes += o.blend_lanes;
+        self.blend_fragments += o.blend_fragments;
+        self.coarse_bytes += o.coarse_bytes;
+        self.fine_bytes += o.fine_bytes;
+        self.pixel_bytes += o.pixel_bytes;
+    }
+}
+
+impl TileWorkload {
+    /// Total DRAM bytes this tile moved.
+    pub fn dram_bytes(&self) -> u64 {
+        self.coarse_bytes + self.fine_bytes + self.pixel_bytes
+    }
+
+    /// Fraction of streamed Gaussians removed by hierarchical filtering
+    /// (paper: 76.3 % on average).
+    pub fn filter_kill_rate(&self) -> f64 {
+        if self.gaussians_streamed == 0 {
+            0.0
+        } else {
+            1.0 - self.fine_survivors as f64 / self.gaussians_streamed as f64
+        }
+    }
+}
+
+/// A whole frame's workload: per-tile records plus frame-level constants.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameWorkload {
+    /// Per-tile records (row-major tile order).
+    pub tiles: Vec<TileWorkload>,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Non-empty voxels in the scene grid.
+    pub scene_voxels: u32,
+    /// Gaussians in the scene.
+    pub scene_gaussians: u64,
+}
+
+impl FrameWorkload {
+    /// Sum over all tiles.
+    pub fn totals(&self) -> TileWorkload {
+        let mut t = TileWorkload::default();
+        for w in &self.tiles {
+            t += *w;
+        }
+        t
+    }
+
+    /// Frame pixels.
+    pub fn pixels(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Total DRAM bytes for the frame.
+    pub fn dram_bytes(&self) -> u64 {
+        self.totals().dram_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut f = FrameWorkload { width: 32, height: 16, ..Default::default() };
+        f.tiles.push(TileWorkload { gaussians_streamed: 10, fine_survivors: 4, ..Default::default() });
+        f.tiles.push(TileWorkload { gaussians_streamed: 20, fine_survivors: 2, ..Default::default() });
+        let t = f.totals();
+        assert_eq!(t.gaussians_streamed, 30);
+        assert_eq!(t.fine_survivors, 6);
+        assert_eq!(f.pixels(), 512);
+        assert!((t.filter_kill_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kill_rate_zero_when_nothing_streamed() {
+        assert_eq!(TileWorkload::default().filter_kill_rate(), 0.0);
+    }
+
+    #[test]
+    fn dram_bytes_sum_components() {
+        let w = TileWorkload {
+            coarse_bytes: 100,
+            fine_bytes: 50,
+            pixel_bytes: 25,
+            ..Default::default()
+        };
+        assert_eq!(w.dram_bytes(), 175);
+    }
+}

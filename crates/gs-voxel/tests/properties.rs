@@ -1,0 +1,114 @@
+//! Property-based tests for the streaming pipeline's data structures.
+
+use gs_core::geom::Ray;
+use gs_core::vec::Vec3;
+use gs_scene::{Gaussian, GaussianCloud};
+use gs_voxel::dda::traverse;
+use gs_voxel::order::{count_order_violations, topological_order};
+use gs_voxel::VoxelGrid;
+use proptest::prelude::*;
+
+fn cloud_strategy() -> impl Strategy<Value = GaussianCloud> {
+    proptest::collection::vec(
+        (-4.0f32..4.0, -2.0f32..2.0, -3.0f32..3.0, 0.01f32..0.2),
+        3..60,
+    )
+    .prop_map(|pts| {
+        pts.into_iter()
+            .map(|(x, y, z, s)| Gaussian::isotropic(Vec3::new(x, y, z), s, Vec3::ONE, 0.8))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_partition_is_exact(cloud in cloud_strategy(), voxel in 0.3f32..2.0) {
+        let grid = VoxelGrid::build(&cloud, voxel);
+        // Every Gaussian appears in exactly one voxel's list.
+        let mut seen = vec![0u32; cloud.len()];
+        for v in 0..grid.voxel_count() as u32 {
+            for &gi in grid.gaussians_of(v) {
+                seen[gi as usize] += 1;
+                prop_assert!(grid.voxel_aabb(v).contains(cloud.as_slice()[gi as usize].pos));
+            }
+        }
+        prop_assert!(seen.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn dda_visits_are_unique_and_front_to_back(
+        cloud in cloud_strategy(),
+        voxel in 0.4f32..1.5,
+        oy in -1.5f32..1.5,
+        dir_y in -0.4f32..0.4,
+    ) {
+        let grid = VoxelGrid::build(&cloud, voxel);
+        let ray = Ray::new(
+            Vec3::new(-8.0, oy, 0.2),
+            Vec3::new(1.0, dir_y, 0.1).normalized(),
+        );
+        let r = traverse(&grid, &ray, 1_000);
+        // Unique voxels.
+        let mut sorted = r.voxels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), r.voxels.len());
+        // Entry distances monotone (voxel centres may wiggle within half a
+        // diagonal, so check via slab entry parameters).
+        let mut last_entry = f32::NEG_INFINITY;
+        for &v in &r.voxels {
+            let (t0, _) = grid.voxel_aabb(v).intersect_ray(&ray).expect("listed voxel must be hit");
+            prop_assert!(t0 >= last_entry - 1e-3, "non-monotone voxel entry");
+            last_entry = t0;
+        }
+    }
+
+    #[test]
+    fn topological_order_respects_acyclic_ray_lists(
+        chain_len in 2usize..20,
+        n_rays in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // Rays take random subsequences of a common chain: always acyclic.
+        let mut lists = Vec::new();
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n_rays {
+            let mut list = Vec::new();
+            for v in 0..chain_len as u32 {
+                if next() % 3 != 0 {
+                    list.push(v);
+                }
+            }
+            if list.len() >= 2 {
+                lists.push(list);
+            }
+        }
+        let order = topological_order(&lists, |v| v as f32);
+        prop_assert_eq!(order.cycle_breaks, 0);
+        prop_assert_eq!(count_order_violations(&lists, &order.order), 0);
+    }
+
+    #[test]
+    fn order_always_contains_every_listed_voxel(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..30, 1..10), 1..8
+        ),
+    ) {
+        let order = topological_order(&lists, |v| v as f32);
+        let mut expected: Vec<u32> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got = order.order.clone();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got, expected);
+    }
+}

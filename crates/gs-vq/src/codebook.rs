@@ -1,0 +1,158 @@
+//! A trained codebook: centroid table plus encode/decode.
+
+use crate::kmeans::{kmeans, nearest};
+use serde::{Deserialize, Serialize};
+
+/// A `k × dim` centroid table. The accelerator keeps these in on-chip SRAM
+/// (paper: 250 KB codebook buffer) while DRAM stores only indices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    centroids: Vec<f32>,
+    dim: usize,
+}
+
+impl Codebook {
+    /// Trains a codebook on `data` (`n × dim` row-major) with `k` entries.
+    pub fn train(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Codebook {
+        let r = kmeans(data, dim, k, iters, seed);
+        Codebook { centroids: r.centroids, dim: r.dim }
+    }
+
+    /// Builds a codebook from raw centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `centroids.len()` is not a multiple of `dim`.
+    pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Codebook {
+        assert!(dim > 0 && centroids.len() % dim == 0, "centroid shape mismatch");
+        Codebook { centroids, dim }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    /// `true` when the codebook has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes `v` to its nearest entry, returning `(index, squared error)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != dim`.
+    pub fn encode(&self, v: &[f32]) -> (u32, f32) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        nearest(&self.centroids, self.dim, v)
+    }
+
+    /// Decodes entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn decode(&self, index: u32) -> &[f32] {
+        let i = index as usize;
+        &self.centroids[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable access to entry `index` (quantization-aware fine-tuning
+    /// updates centroids in place).
+    pub fn entry_mut(&mut self, index: u32) -> &mut [f32] {
+        let i = index as usize;
+        &mut self.centroids[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// On-chip bytes this codebook occupies (f32 entries).
+    pub fn bytes(&self) -> u64 {
+        self.centroids.len() as u64 * 4
+    }
+
+    /// Bytes of one stored index in DRAM (u16 for ≤ 65536 entries).
+    pub fn index_bytes(&self) -> u64 {
+        if self.len() <= 256 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Mean squared encode error over a dataset.
+    pub fn distortion(&self, data: &[f32]) -> f64 {
+        assert_eq!(data.len() % self.dim, 0);
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            let (_, e) = self.encode(&data[i * self.dim..(i + 1) * self.dim]);
+            acc += e as f64;
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> Vec<f32> {
+        let mut d = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                d.push(i as f32);
+                d.push(j as f32);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_centroid() {
+        let cb = Codebook::from_centroids(vec![1.0, 2.0, 5.0, 6.0], 2);
+        let (i, e) = cb.encode(&[5.1, 5.9]);
+        assert_eq!(i, 1);
+        assert!(e < 0.1);
+        assert_eq!(cb.decode(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn trained_codebook_reduces_distortion() {
+        let data = grid_data();
+        let small = Codebook::train(&data, 2, 2, 10, 1);
+        let large = Codebook::train(&data, 2, 16, 10, 1);
+        assert!(large.distortion(&data) < small.distortion(&data));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let cb = Codebook::from_centroids(vec![0.0; 512 * 4], 4);
+        assert_eq!(cb.len(), 512);
+        assert_eq!(cb.bytes(), 512 * 4 * 4);
+        assert_eq!(cb.index_bytes(), 2);
+        let tiny = Codebook::from_centroids(vec![0.0; 16 * 4], 4);
+        assert_eq!(tiny.index_bytes(), 1);
+    }
+
+    #[test]
+    fn entry_mut_updates_decoding() {
+        let mut cb = Codebook::from_centroids(vec![0.0, 0.0, 1.0, 1.0], 2);
+        cb.entry_mut(0)[0] = 7.0;
+        assert_eq!(cb.decode(0), &[7.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn encode_wrong_dim_panics() {
+        let cb = Codebook::from_centroids(vec![0.0, 0.0], 2);
+        let _ = cb.encode(&[1.0]);
+    }
+}

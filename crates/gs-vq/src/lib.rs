@@ -1,0 +1,38 @@
+//! # gs-vq — vector quantization of Gaussian features
+//!
+//! Implements the paper's data-compression scheme (Sec. III-C): the
+//! "second half" of each Gaussian (everything except position and maximum
+//! scale) is encoded into **separate per-feature codebooks** — scale,
+//! rotation and DC colour with 4096 entries, SH bands with 512 — so that the
+//! fine-grained filter only fetches compact codebook *indices* from DRAM
+//! while the codebooks themselves live in on-chip SRAM.
+//!
+//! The crate provides:
+//!
+//! * [`kmeans`] — seeded k-means++ clustering,
+//! * [`codebook::Codebook`] — a trained codebook with encode/decode,
+//! * [`quantizer`] — the end-to-end Gaussian quantizer producing a
+//!   [`quantizer::QuantizedCloud`] with per-Gaussian index records and byte
+//!   accounting (13 B/Gaussian vs 220 B raw ⇒ ≈94 % second-half traffic
+//!   reduction; the paper reports 92.3 %).
+//!
+//! ## Example
+//!
+//! ```
+//! use gs_scene::{SceneConfig, SceneKind};
+//! use gs_vq::quantizer::{GaussianQuantizer, VqConfig};
+//!
+//! let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+//! let cfg = VqConfig::tiny();
+//! let quantized = GaussianQuantizer::train(&scene.trained, &cfg);
+//! let decoded = quantized.decode();
+//! assert_eq!(decoded.len(), scene.trained.len());
+//! ```
+
+pub mod codebook;
+pub mod kmeans;
+pub mod quantizer;
+
+pub use codebook::Codebook;
+pub use kmeans::{kmeans, KmeansResult};
+pub use quantizer::{GaussianQuantizer, QuantizedCloud, VqConfig};

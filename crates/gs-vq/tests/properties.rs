@@ -1,0 +1,74 @@
+//! Property-based tests for vector quantization.
+
+use gs_vq::kmeans::{kmeans, nearest};
+use gs_vq::Codebook;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_error_bounded_by_worst_pair_distance(
+        data in proptest::collection::vec(-10.0f32..10.0, 8..120),
+    ) {
+        // 1-D clustering: the encode error of any *training* point can never
+        // exceed the squared span of the data.
+        let cb = Codebook::train(&data, 1, 8, 6, 7);
+        let span = {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for v in &data {
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+            }
+            hi - lo
+        };
+        for v in &data {
+            let (_, err) = cb.encode(std::slice::from_ref(v));
+            prop_assert!(err <= span * span + 1e-3);
+        }
+    }
+
+    #[test]
+    fn nearest_is_argmin(
+        centroids in proptest::collection::vec(-5.0f32..5.0, 4..40),
+        q0 in -5.0f32..5.0,
+        q1 in -5.0f32..5.0,
+    ) {
+        prop_assume!(centroids.len() % 2 == 0);
+        let (idx, err) = nearest(&centroids, 2, &[q0, q1]);
+        // Exhaustively verify the reported index minimizes distance.
+        let k = centroids.len() / 2;
+        for c in 0..k {
+            let dx = centroids[2 * c] - q0;
+            let dy = centroids[2 * c + 1] - q1;
+            let d = dx * dx + dy * dy;
+            prop_assert!(d + 1e-6 >= err, "centroid {c} beats reported {idx}");
+        }
+    }
+
+    #[test]
+    fn kmeans_distortion_never_exceeds_singleton_solution(
+        data in proptest::collection::vec(-3.0f32..3.0, 12..90),
+    ) {
+        prop_assume!(data.len() % 3 == 0);
+        // k ≥ 2 must be at least as good as the best single centroid (the
+        // mean), because Lloyd iterations only improve the objective.
+        let k1 = kmeans(&data, 3, 1, 12, 3);
+        let k4 = kmeans(&data, 3, 4, 12, 3);
+        prop_assert!(k4.distortion <= k1.distortion + 1e-6);
+    }
+
+    #[test]
+    fn decode_returns_exact_centroid(entries in proptest::collection::vec(-2.0f32..2.0, 6..60)) {
+        prop_assume!(entries.len() % 3 == 0);
+        let cb = Codebook::from_centroids(entries.clone(), 3);
+        for i in 0..cb.len() {
+            let dec = cb.decode(i as u32);
+            prop_assert_eq!(dec, &entries[i * 3..(i + 1) * 3]);
+            // Encoding a centroid returns an equally-near entry (zero error).
+            let (_, err) = cb.encode(dec);
+            prop_assert!(err <= 1e-12);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Accelerator design-space exploration: CFU/FFU/buffer trade-offs.
+//!
+//! Sweeps the HFU configuration (the paper's Fig. 13 axis), sorter and
+//! render-array sizes, and prints a latency/area Pareto table — the study an
+//! architect would run before committing to the paper's 4-CFU/1-FFU choice.
+//!
+//! ```text
+//! cargo run --release --example accelerator_design_space
+//! ```
+
+use std::error::Error;
+use streaminggs::accel::area::area_table;
+use streaminggs::accel::config::AccelConfig;
+use streaminggs::accel::StreamingGsModel;
+use streaminggs::scene::{SceneConfig, SceneKind};
+use streaminggs::voxel::{StreamingConfig, StreamingScene};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scene = SceneKind::Train.build(&SceneConfig::small());
+    let streaming = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+    );
+    let workload = streaming.render(&scene.eval_cameras[0]).workload;
+
+    println!("config                          latency_us  area_mm2  perf/area");
+    println!("----------------------------------------------------------------");
+    let mut best: Option<(f64, String)> = None;
+    for cfus in [1u32, 2, 4, 8] {
+        for ffus in [1u32, 2] {
+            for render_units in [32u32, 64, 128] {
+                let mut cfg = AccelConfig::paper();
+                cfg.cfus_per_hfu = cfus;
+                cfg.ffus_per_hfu = ffus;
+                cfg.render_units = render_units;
+                let report = StreamingGsModel::new(cfg).evaluate(&workload);
+                let area = area_table(&cfg).total_mm2();
+                let label = format!(
+                    "{} CFU x {} FFU x {} RU{}",
+                    cfus,
+                    ffus,
+                    render_units,
+                    if cfus == 4 && ffus == 1 && render_units == 64 { "  <- paper" } else { "" }
+                );
+                let perf_per_area = 1.0 / (report.seconds * 1e6 * area);
+                println!(
+                    "{:<30}  {:>10.1}  {:>8.2}  {:>9.5}",
+                    label,
+                    report.seconds * 1e6,
+                    area,
+                    perf_per_area
+                );
+                if best.as_ref().map(|(b, _)| perf_per_area > *b).unwrap_or(true) {
+                    best = Some((perf_per_area, label));
+                }
+            }
+        }
+    }
+    if let Some((_, label)) = best {
+        println!("\nbest perf/area: {label}");
+    }
+    println!(
+        "\npaper's choice: 4 CFUs + 1 FFU per HFU, 64 render units, 5.37 mm^2 — \
+         CFUs scale speedup until DRAM binds (Fig. 13), FFUs beyond one are idle."
+    );
+    Ok(())
+}

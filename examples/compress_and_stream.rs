@@ -1,0 +1,75 @@
+//! Compression pipeline: codebooks, QAT, layout sizes, quality.
+//!
+//! Reproduces the paper's Sec. III-C data path on one scene: train the
+//! per-feature codebooks, run quantization-aware fine-tuning, and report the
+//! DRAM layout the accelerator would stream (coarse half raw, fine half as
+//! indices) together with the quality cost.
+//!
+//! ```text
+//! cargo run --release --example compress_and_stream
+//! ```
+
+use std::error::Error;
+use streaminggs::render::{RenderConfig, TileRenderer};
+use streaminggs::scene::{SceneConfig, SceneKind};
+use streaminggs::tune::qat::decoded_psnr;
+use streaminggs::tune::{quantization_aware_finetune, QatConfig};
+use streaminggs::voxel::{StreamingConfig, StreamingScene};
+use streaminggs::vq::{GaussianQuantizer, VqConfig};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scene = SceneKind::Truck.build(&SceneConfig::small());
+    let n = scene.trained.len();
+    let renderer = TileRenderer::new(RenderConfig::default());
+    let targets: Vec<_> = scene
+        .train_cameras
+        .iter()
+        .map(|c| (*c, renderer.render(&scene.ground_truth, c).image))
+        .collect();
+
+    // Plain quantization.
+    let vq = VqConfig::small();
+    let plain = GaussianQuantizer::train(&scene.trained, &vq);
+    println!("scene: {} ({n} Gaussians)", scene.kind);
+    println!(
+        "codebooks: {:.1} KB on-chip (paper budget: 250 KB at 4096/512 entries)",
+        plain.codebook_bytes() as f64 / 1024.0
+    );
+    println!(
+        "DRAM layout per Gaussian: coarse {} B raw + fine {} B indices (raw fine half: {} B)",
+        streaminggs::scene::gaussian::COARSE_BYTES,
+        plain.fine_bytes_per_gaussian(),
+        streaminggs::scene::gaussian::FINE_BYTES_RAW,
+    );
+    println!(
+        "fine-half traffic reduction: {:.1}% (paper: 92.3%)",
+        100.0 * plain.fine_traffic_reduction()
+    );
+    println!("decoded PSNR (plain VQ):  {:.2} dB", decoded_psnr(&plain, &targets));
+
+    // Quantization-aware fine-tuning.
+    let (tuned_cloud, tuned_quant) = quantization_aware_finetune(
+        &scene.trained,
+        &targets,
+        &QatConfig { iters: 60, vq, refresh_every: 20, ..Default::default() },
+    );
+    println!("decoded PSNR (after QAT): {:.2} dB", decoded_psnr(&tuned_quant, &targets));
+
+    // Stream the compressed scene.
+    let streaming = StreamingScene::with_quantization(
+        tuned_cloud,
+        tuned_quant,
+        StreamingConfig::full(scene.voxel_size, vq),
+    );
+    let out = streaming.render(&scene.eval_cameras[0]);
+    let totals = out.workload.totals();
+    println!(
+        "streamed frame: {:.2} MB coarse + {:.2} MB fine indices + {:.2} MB pixels",
+        totals.coarse_bytes as f64 / 1e6,
+        totals.fine_bytes as f64 / 1e6,
+        totals.pixel_bytes as f64 / 1e6
+    );
+    out.image.write_ppm("compress_and_stream.ppm")?;
+    println!("wrote compress_and_stream.ppm");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # StreamingGS — voxel-based streaming 3D Gaussian splatting
+//!
+//! A full reproduction of *"StreamingGS: Voxel-Based Streaming 3D Gaussian
+//! Splatting with Memory Optimization and Architectural Support"*
+//! (DAC 2025) as a Rust workspace: the memory-centric rendering algorithm,
+//! its training-side components (boundary-aware and quantization-aware
+//! fine-tuning), the compared baselines (tile-centric 3DGS, Mini-Splatting,
+//! LightGaussian, GSCore) and workload-driven performance/energy models of
+//! the co-designed accelerator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `gs-core` | math substrate (vectors, cameras, SH, EWA) |
+//! | [`scene`] | `gs-scene` | Gaussian model + procedural stand-in scenes |
+//! | [`render`] | `gs-render` | tile-centric reference renderer |
+//! | [`voxel`] | `gs-voxel` | **the paper's streaming pipeline** |
+//! | [`vq`] | `gs-vq` | vector quantization / codebooks |
+//! | [`tune`] | `gs-tune` | boundary-aware + quantization-aware fine-tuning |
+//! | [`baselines`] | `gs-baselines` | Mini-Splatting, LightGaussian |
+//! | [`mem`] | `gs-mem` | DRAM/SRAM/energy models |
+//! | [`accel`] | `gs-accel` | StreamingGS / GSCore / Orin NX models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streaminggs::scene::{SceneConfig, SceneKind};
+//! use streaminggs::voxel::{StreamingConfig, StreamingScene};
+//!
+//! let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+//! let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() };
+//! let streaming = StreamingScene::new(scene.trained.clone(), cfg);
+//! let frame = streaming.render(&scene.eval_cameras[0]);
+//! assert!(frame.workload.totals().gaussians_streamed > 0);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/gs-bench`
+//! for the harness that regenerates every table and figure of the paper.
+
+pub use gs_accel as accel;
+pub use gs_baselines as baselines;
+pub use gs_core as core;
+pub use gs_mem as mem;
+pub use gs_render as render;
+pub use gs_scene as scene;
+pub use gs_tune as tune;
+pub use gs_voxel as voxel;
+pub use gs_vq as vq;

@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full StreamingGS flow on stand-in
+//! scenes, exercising every workspace crate through the facade.
+
+use streaminggs::accel::area::area_table;
+use streaminggs::accel::config::AccelConfig;
+use streaminggs::accel::{GpuModel, GscoreModel, StreamingGsModel};
+use streaminggs::baselines::{light_gaussian, mini_splatting, LightGaussianConfig, MiniSplattingConfig};
+use streaminggs::render::{RenderConfig, TileRenderer};
+use streaminggs::scene::{SceneConfig, SceneKind};
+use streaminggs::tune::{boundary_aware_finetune, TuneConfig};
+use streaminggs::voxel::{StreamingConfig, StreamingScene};
+use streaminggs::vq::VqConfig;
+
+#[test]
+fn full_pipeline_keeps_quality_on_every_scene() {
+    // Streaming render of the trained cloud must stay within a few dB of
+    // the tile-centric render of the same cloud on all six scenes.
+    let renderer = TileRenderer::new(RenderConfig::default());
+    for kind in SceneKind::ALL {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let reference = renderer.render(&scene.trained, cam);
+        let streaming = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        )
+        .render(cam);
+        let psnr = streaming.image.psnr(&reference.image);
+        assert!(psnr > 20.0, "{kind}: streaming broke the image ({psnr:.1} dB)");
+    }
+}
+
+#[test]
+fn hardware_model_ordering_is_stable() {
+    // GPU < GSCore < full StreamingGS in performance, on a real-world and a
+    // synthetic scene.
+    for kind in [SceneKind::Truck, SceneKind::Lego] {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let ref_out = TileRenderer::new(RenderConfig::default()).render(&scene.trained, cam);
+        let gpu = GpuModel::default().evaluate(&ref_out.stats);
+        let gscore = GscoreModel::default().evaluate(&ref_out.stats);
+
+        let stream_out = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig::full(scene.voxel_size, VqConfig::tiny()),
+        )
+        .render(cam);
+        let sgs = StreamingGsModel::default().evaluate(&stream_out.workload);
+
+        assert!(gscore.seconds < gpu.seconds, "{kind}: GSCore not faster than GPU");
+        assert!(sgs.seconds < gscore.seconds, "{kind}: StreamingGS not faster than GSCore");
+        assert!(
+            sgs.energy.total_pj() < gpu.energy.total_pj(),
+            "{kind}: StreamingGS should save energy vs the GPU"
+        );
+    }
+}
+
+#[test]
+fn boundary_finetune_then_stream_improves_against_ground_truth() {
+    let scene = SceneKind::Train.build(&SceneConfig {
+        gaussians: 1_200,
+        width: 96,
+        height: 72,
+        train_views: 2,
+        eval_views: 1,
+        ..SceneConfig::tiny()
+    });
+    let renderer = TileRenderer::new(RenderConfig::default());
+    let targets: Vec<_> = scene
+        .train_cameras
+        .iter()
+        .map(|c| (*c, renderer.render(&scene.ground_truth, c).image))
+        .collect();
+
+    let result = boundary_aware_finetune(
+        &scene.trained,
+        &targets,
+        &TuneConfig {
+            iters: 40,
+            voxel_size: scene.voxel_size,
+            refresh_every: 10,
+            record_every: 10,
+            ..Default::default()
+        },
+    );
+
+    // Streaming PSNR against ground truth improves (or at worst holds).
+    let first = result.history.first().unwrap();
+    let last = result.history.last().unwrap();
+    assert!(
+        last.psnr_db > first.psnr_db,
+        "fine-tuning did not improve streaming quality: {} -> {}",
+        first.psnr_db,
+        last.psnr_db
+    );
+}
+
+#[test]
+fn baseline_algorithms_shrink_clouds_and_speed_up_streaming() {
+    let scene = SceneKind::Drjohnson.build(&SceneConfig::tiny());
+    let cam = &scene.eval_cameras[0];
+    let mini =
+        mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default());
+    let light =
+        light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+    assert!(mini.len() < scene.trained.len());
+    assert!(light.len() < mini.len());
+
+    let run = |cloud: &streaminggs::scene::GaussianCloud| -> u64 {
+        StreamingScene::new(
+            cloud.clone(),
+            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        )
+        .render(cam)
+        .workload
+        .totals()
+        .gaussians_streamed
+    };
+    let full_streamed = run(&scene.trained);
+    let light_streamed = run(&light);
+    assert!(
+        light_streamed < full_streamed,
+        "compacted cloud should stream fewer Gaussians"
+    );
+}
+
+#[test]
+fn area_table_matches_paper_and_scales() {
+    let t = area_table(&AccelConfig::paper());
+    assert!((t.total_mm2() - 5.37).abs() < 0.1);
+    let mut big = AccelConfig::paper();
+    big.render_units = 128;
+    assert!(area_table(&big).total_mm2() > t.total_mm2());
+}
+
+#[test]
+fn vq_pipeline_bytes_add_up() {
+    // The streamed fine bytes must equal survivors × record size exactly.
+    let scene = SceneKind::Palace.build(&SceneConfig::tiny());
+    let streaming = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig::full(scene.voxel_size, VqConfig::tiny()),
+    );
+    let record = streaming.quantized().expect("vq on").fine_bytes_per_gaussian();
+    let out = streaming.render(&scene.eval_cameras[0]);
+    let t = out.workload.totals();
+    assert_eq!(t.fine_bytes, t.coarse_survivors * record);
+    assert_eq!(t.coarse_bytes, t.gaussians_streamed * 16);
+}
