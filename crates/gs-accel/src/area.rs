@@ -51,9 +51,8 @@ impl AreaTable {
 
 /// Computes the area table for a configuration.
 pub fn area_table(cfg: &AccelConfig) -> AreaTable {
-    let hfu_each = HFU_BASE_MM2
-        + cfg.cfus_per_hfu as f64 * CFU_MM2
-        + cfg.ffus_per_hfu as f64 * FFU_MM2;
+    let hfu_each =
+        HFU_BASE_MM2 + cfg.cfus_per_hfu as f64 * CFU_MM2 + cfg.ffus_per_hfu as f64 * FFU_MM2;
     let sram_kb = cfg.sram_bytes() as f64 / 1024.0;
     AreaTable {
         rows: vec![
@@ -96,7 +95,11 @@ mod tests {
     #[test]
     fn paper_config_reproduces_table1_total() {
         let t = area_table(&AccelConfig::paper());
-        assert!((t.total_mm2() - 5.37).abs() < 0.1, "total {} mm²", t.total_mm2());
+        assert!(
+            (t.total_mm2() - 5.37).abs() < 0.1,
+            "total {} mm²",
+            t.total_mm2()
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct NetworkStats {
 /// Stats of the network that sorts `n` elements.
 pub fn network_stats(n: usize) -> NetworkStats {
     if n <= 1 {
-        return NetworkStats { padded_n: n.max(1), stages: 0, compare_ops: 0 };
+        return NetworkStats {
+            padded_n: n.max(1),
+            stages: 0,
+            compare_ops: 0,
+        };
     }
     let padded = n.next_power_of_two();
     let k = padded.trailing_zeros();
@@ -57,7 +61,13 @@ pub fn bitonic_sort_by_key<T, K: Ord + Copy, F: Fn(&T) -> K>(
     let padded = stats.padded_n;
     // Work on an index + key array; pad with None (= +∞).
     let mut lane: Vec<Option<(K, usize)>> = (0..padded)
-        .map(|i| if i < n { Some((key(&items[i]), i)) } else { None })
+        .map(|i| {
+            if i < n {
+                Some((key(&items[i]), i))
+            } else {
+                None
+            }
+        })
         .collect();
 
     // Standard bitonic network: block size doubles, inner stride halves.
@@ -97,7 +107,11 @@ pub fn bitonic_sort_by_key<T, K: Ord + Copy, F: Fn(&T) -> K>(
     let order: Vec<usize> = lane.iter().flatten().map(|(_, i)| *i).collect();
     debug_assert_eq!(order.len(), n);
     let mut taken: Vec<Option<T>> = items.drain(..).map(Some).collect();
-    items.extend(order.into_iter().map(|i| taken[i].take().expect("permutation")));
+    items.extend(
+        order
+            .into_iter()
+            .map(|i| taken[i].take().expect("permutation")),
+    );
     stats
 }
 
@@ -126,7 +140,10 @@ mod tests {
     fn sorts_by_custom_key_descending_depths() {
         let mut v = vec![(1.5f32, 'a'), (0.2, 'b'), (0.9, 'c')];
         bitonic_sort_by_key(&mut v, |x| x.0.to_bits()); // positive f32 bits are monotone
-        assert_eq!(v.iter().map(|x| x.1).collect::<Vec<_>>(), vec!['b', 'c', 'a']);
+        assert_eq!(
+            v.iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec!['b', 'c', 'a']
+        );
     }
 
     #[test]
@@ -141,7 +158,9 @@ mod tests {
 
     #[test]
     fn agrees_with_std_sort_on_pseudorandom_input() {
-        let mut v: Vec<u64> = (0..1000).map(|i: u64| i.wrapping_mul(0x9e3779b97f4a7c15) >> 17).collect();
+        let mut v: Vec<u64> = (0..1000)
+            .map(|i: u64| i.wrapping_mul(0x9e3779b97f4a7c15) >> 17)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         bitonic_sort_by_key(&mut v, |x| *x);

@@ -45,8 +45,7 @@ impl GpuModel {
         let sort_flops = stats.tile_pairs as f64 * SORT_FLOPS_PER_PASS * SORT_PASSES;
         // On the GPU every pixel of a tile walks the tile's consumed list;
         // blended + skipped fragments is exactly that count.
-        let render_flops =
-            (stats.blended_fragments + stats.skipped_fragments) as f64 * FRAG_FLOPS;
+        let render_flops = (stats.blended_fragments + stats.skipped_fragments) as f64 * FRAG_FLOPS;
 
         let stage = |flops: f64, bytes: u64| -> f64 {
             (flops / flops_per_s).max(bytes as f64 / bytes_per_s)
@@ -63,7 +62,11 @@ impl GpuModel {
         let dram_pj = dram_bytes as f64 * 22.0; // LPDDR5 pJ/B
         let total_pj = c.power_w * seconds * 1e12;
         let energy = EnergyBreakdown::new((total_pj - dram_pj).max(0.0), 0.0, dram_pj);
-        PerfReport { seconds, dram_bytes, energy }
+        PerfReport {
+            seconds,
+            dram_bytes,
+            energy,
+        }
     }
 }
 

@@ -102,7 +102,11 @@ impl GscoreModel {
                 + self.dram.static_pj(seconds)
                 + self.energy.static_w * seconds * 1e12,
         );
-        PerfReport { seconds, dram_bytes, energy }
+        PerfReport {
+            seconds,
+            dram_bytes,
+            energy,
+        }
     }
 }
 
@@ -131,8 +135,7 @@ mod tests {
         let m = GscoreModel::default();
         let r = m.evaluate(&stats());
         // The whole point of the paper: GSCore's latency tracks DRAM time.
-        let mem_seconds =
-            r.dram_bytes as f64 / (m.dram.bandwidth() * m.config.dram_efficiency);
+        let mem_seconds = r.dram_bytes as f64 / (m.dram.bandwidth() * m.config.dram_efficiency);
         assert!(
             r.seconds >= 0.8 * mem_seconds,
             "GSCore should be close to memory-bound: {} vs {}",

@@ -73,9 +73,11 @@ impl TileCycles {
             (self.sort, "sort"),
             (self.render, "render"),
         ];
-        let (best, name) = stream
-            .iter()
-            .fold((f64::MIN, "fetch"), |acc, (v, n)| if *v > acc.0 { (*v, n) } else { acc });
+        let (best, name) =
+            stream.iter().fold(
+                (f64::MIN, "fetch"),
+                |acc, (v, n)| if *v > acc.0 { (*v, n) } else { acc },
+            );
         if self.vsu > best + self.fill {
             "vsu"
         } else {
@@ -87,7 +89,10 @@ impl TileCycles {
 impl StreamingGsModel {
     /// Creates a model with a custom configuration.
     pub fn new(config: AccelConfig) -> StreamingGsModel {
-        StreamingGsModel { config, ..Default::default() }
+        StreamingGsModel {
+            config,
+            ..Default::default()
+        }
     }
 
     /// Cycle breakdown for one tile's workload.
@@ -106,10 +111,17 @@ impl StreamingGsModel {
         let fine = w.coarse_survivors as f64 * c.ffu_ii / c.total_ffus() as f64;
         let sort = w.fine_survivors as f64 / (c.sorter_elems_per_cycle * c.n_sorters as f64);
         // Render array: 4 Gaussians × 16 pixels per cycle.
-        let render = w.blend_lanes as f64 / c.render_units as f64
-            + w.fine_survivors as f64 / 4.0;
+        let render = w.blend_lanes as f64 / c.render_units as f64 + w.fine_survivors as f64 / 4.0;
         let fill = w.voxels_processed as f64 * c.voxel_fill_cycles;
-        TileCycles { vsu, fetch, coarse, fine, sort, render, fill }
+        TileCycles {
+            vsu,
+            fetch,
+            coarse,
+            fine,
+            sort,
+            render,
+            fill,
+        }
     }
 
     /// Frame latency/energy from a functional frame workload.
@@ -127,8 +139,8 @@ impl StreamingGsModel {
             + totals.coarse_survivors * FINE_FILTER_MACS
             + totals.blend_lanes * BLEND_MACS
             + totals.dda_steps; // VSU datapath ops
-        // Every DRAM byte lands in SRAM and is read at least once; filter
-        // survivors bounce through the FIFO/sort/render buffers.
+                                // Every DRAM byte lands in SRAM and is read at least once; filter
+                                // survivors bounce through the FIFO/sort/render buffers.
         let sram_bytes = 2 * dram_bytes + totals.fine_survivors * 40 * 3 + totals.blend_lanes * 8;
 
         let energy = EnergyBreakdown::new(
@@ -138,7 +150,11 @@ impl StreamingGsModel {
                 + self.dram.static_pj(seconds)
                 + self.energy.static_w * seconds * 1e12,
         );
-        PerfReport { seconds, dram_bytes, energy }
+        PerfReport {
+            seconds,
+            dram_bytes,
+            energy,
+        }
     }
 }
 
@@ -166,7 +182,13 @@ mod tests {
     }
 
     fn frame(tiles: Vec<TileWorkload>) -> FrameWorkload {
-        FrameWorkload { tiles, width: 160, height: 120, scene_voxels: 100, scene_gaussians: 10_000 }
+        FrameWorkload {
+            tiles,
+            width: 160,
+            height: 120,
+            scene_voxels: 100,
+            scene_gaussians: 10_000,
+        }
     }
 
     #[test]
@@ -194,7 +216,10 @@ mod tests {
         more_ffu.ffus_per_hfu = 4;
         let t1 = StreamingGsModel::new(base).tile_cycles(&w).latency();
         let t4 = StreamingGsModel::new(more_ffu).tile_cycles(&w).latency();
-        assert!((t1 - t4).abs() / t1 < 0.02, "FFUs shouldn't matter when coarse-bound");
+        assert!(
+            (t1 - t4).abs() / t1 < 0.02,
+            "FFUs shouldn't matter when coarse-bound"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ pub struct ScaleFactors {
 
 impl ScaleFactors {
     /// Factors for `kind` given the stand-in's cloud size and resolution.
-    pub fn for_scene(kind: SceneKind, standin_gaussians: usize, width: u32, height: u32) -> ScaleFactors {
+    pub fn for_scene(
+        kind: SceneKind,
+        standin_gaussians: usize,
+        width: u32,
+        height: u32,
+    ) -> ScaleFactors {
         let (nw, nh) = kind.native_resolution();
         ScaleFactors {
             gaussians: kind.native_gaussians() as f64 / standin_gaussians.max(1) as f64,
@@ -42,7 +47,10 @@ impl ScaleFactors {
 
     /// Identity scaling (no extrapolation).
     pub fn identity() -> ScaleFactors {
-        ScaleFactors { gaussians: 1.0, pixels: 1.0 }
+        ScaleFactors {
+            gaussians: 1.0,
+            pixels: 1.0,
+        }
     }
 }
 
@@ -133,8 +141,15 @@ mod tests {
 
     #[test]
     fn gaussian_factor_scales_projection_inputs() {
-        let stats = RenderStats { total_gaussians: 100, tile_pairs: 10, ..Default::default() };
-        let f = ScaleFactors { gaussians: 10.0, pixels: 1.0 };
+        let stats = RenderStats {
+            total_gaussians: 100,
+            tile_pairs: 10,
+            ..Default::default()
+        };
+        let f = ScaleFactors {
+            gaussians: 10.0,
+            pixels: 1.0,
+        };
         let out = scale_render_stats(&stats, &f);
         assert_eq!(out.total_gaussians, 1000);
         assert_eq!(out.tile_pairs, 100);
@@ -156,7 +171,10 @@ mod tests {
             scene_voxels: 50,
             scene_gaussians: 1000,
         };
-        let f = ScaleFactors { gaussians: 2.0, pixels: 4.0 };
+        let f = ScaleFactors {
+            gaussians: 2.0,
+            pixels: 4.0,
+        };
         let out = scale_frame_workload(&frame, &f);
         assert_eq!(out.tiles.len(), 40);
         assert_eq!(out.scene_gaussians, 2000);

@@ -75,7 +75,9 @@ fn speedup_saturates_with_cfus() {
 #[test]
 fn ffus_matter_less_than_cfus_at_paper_point() {
     let w = frame(20, 2_000);
-    let base = StreamingGsModel::new(AccelConfig::paper()).evaluate(&w).seconds;
+    let base = StreamingGsModel::new(AccelConfig::paper())
+        .evaluate(&w)
+        .seconds;
     let mut more_ffu = AccelConfig::paper();
     more_ffu.ffus_per_hfu = 4;
     let t_ffu = StreamingGsModel::new(more_ffu).evaluate(&w).seconds;
@@ -99,10 +101,16 @@ fn streaming_latency_scales_linearly_in_tiles() {
 #[test]
 fn gpu_slows_down_with_lower_efficiency() {
     let s = stats();
-    let fast = GpuModel { config: GpuConfig::orin_nx(), ..Default::default() };
+    let fast = GpuModel {
+        config: GpuConfig::orin_nx(),
+        ..Default::default()
+    };
     let mut slow_cfg = GpuConfig::orin_nx();
     slow_cfg.bw_efficiency *= 0.5;
-    let slow = GpuModel { config: slow_cfg, ..Default::default() };
+    let slow = GpuModel {
+        config: slow_cfg,
+        ..Default::default()
+    };
     assert!(slow.evaluate(&s).seconds > fast.evaluate(&s).seconds);
 }
 
@@ -126,7 +134,9 @@ fn bitonic_network_backs_the_sorter_model() {
     assert_eq!(s.stages, 15);
     assert_eq!(s.compare_ops, 240);
     // And it really sorts.
-    let mut keys: Vec<u32> = (0..32).map(|i: u32| i.wrapping_mul(2654435761) >> 8).collect();
+    let mut keys: Vec<u32> = (0..32)
+        .map(|i: u32| i.wrapping_mul(2654435761) >> 8)
+        .collect();
     bitonic_sort_by_key(&mut keys, |k| *k);
     for w in keys.windows(2) {
         assert!(w[0] <= w[1]);

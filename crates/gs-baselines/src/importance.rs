@@ -51,7 +51,12 @@ mod tests {
     fn visible_gaussian_scores_higher_than_hidden() {
         let mut cloud = GaussianCloud::new();
         cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.9)); // visible
-        cloud.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -20.0), 0.1, Vec3::ONE, 0.9)); // behind
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, -20.0),
+            0.1,
+            Vec3::ONE,
+            0.9,
+        )); // behind
         let s = view_importance(&cloud, &[cam()]);
         assert!(s[0] > 0.0);
         assert_eq!(s[1], 0.0);
@@ -60,8 +65,18 @@ mod tests {
     #[test]
     fn opacity_scales_importance() {
         let mut cloud = GaussianCloud::new();
-        cloud.push(Gaussian::isotropic(Vec3::new(-0.3, 0.0, 0.0), 0.1, Vec3::ONE, 0.9));
-        cloud.push(Gaussian::isotropic(Vec3::new(0.3, 0.0, 0.0), 0.1, Vec3::ONE, 0.09));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(-0.3, 0.0, 0.0),
+            0.1,
+            Vec3::ONE,
+            0.9,
+        ));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(0.3, 0.0, 0.0),
+            0.1,
+            Vec3::ONE,
+            0.09,
+        ));
         let s = view_importance(&cloud, &[cam()]);
         assert!(s[0] > 5.0 * s[1]);
     }

@@ -27,7 +27,11 @@ pub struct LightGaussianConfig {
 
 impl Default for LightGaussianConfig {
     fn default() -> Self {
-        LightGaussianConfig { keep_ratio: 0.45, distill_degree: 2, kept_band_scale: 0.85 }
+        LightGaussianConfig {
+            keep_ratio: 0.45,
+            distill_degree: 2,
+            kept_band_scale: 0.85,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ mod tests {
     #[test]
     fn prunes_to_keep_ratio() {
         let scene = SceneKind::Train.build(&SceneConfig::tiny());
-        let out = light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+        let out = light_gaussian(
+            &scene.trained,
+            &scene.train_cameras,
+            &LightGaussianConfig::default(),
+        );
         let expect = (scene.trained.len() as f64 * 0.45).round() as usize;
         assert_eq!(out.len(), expect);
     }
@@ -93,7 +101,10 @@ mod tests {
     #[test]
     fn distillation_zeroes_high_bands() {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
-        let cfg = LightGaussianConfig { distill_degree: 1, ..Default::default() };
+        let cfg = LightGaussianConfig {
+            distill_degree: 1,
+            ..Default::default()
+        };
         let out = light_gaussian(&scene.trained, &scene.train_cameras, &cfg);
         for g in &out {
             for k in sh::band_range(2).chain(sh::band_range(3)) {
@@ -108,7 +119,11 @@ mod tests {
     fn quality_below_full_model_but_usable() {
         use gs_render::{RenderConfig, TileRenderer};
         let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
-        let out = light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+        let out = light_gaussian(
+            &scene.trained,
+            &scene.train_cameras,
+            &LightGaussianConfig::default(),
+        );
         let r = TileRenderer::new(RenderConfig::default());
         let cam = &scene.eval_cameras[0];
         let full = r.render(&scene.trained, cam);

@@ -26,7 +26,11 @@ pub struct MiniSplattingConfig {
 
 impl Default for MiniSplattingConfig {
     fn default() -> Self {
-        MiniSplattingConfig { keep_ratio: 0.55, opacity_boost: 1.08, seed: 0x313131 }
+        MiniSplattingConfig {
+            keep_ratio: 0.55,
+            opacity_boost: 1.08,
+            seed: 0x313131,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ mod tests {
     #[test]
     fn keeps_requested_fraction() {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
-        let cfg = MiniSplattingConfig { keep_ratio: 0.5, ..Default::default() };
+        let cfg = MiniSplattingConfig {
+            keep_ratio: 0.5,
+            ..Default::default()
+        };
         let out = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
         let expect = (scene.trained.len() as f64 * 0.5).round() as usize;
         assert_eq!(out.len(), expect);
@@ -95,7 +102,10 @@ mod tests {
         // cameras) must be dropped first.
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
         let scores = view_importance(&scene.trained, &scene.train_cameras);
-        let cfg = MiniSplattingConfig { keep_ratio: 0.3, ..Default::default() };
+        let cfg = MiniSplattingConfig {
+            keep_ratio: 0.3,
+            ..Default::default()
+        };
         let out = mini_splatting(&scene.trained, &scene.train_cameras, &cfg);
         // Mean importance of the kept set exceeds the full-cloud mean.
         let kept_mean: f64 = {
@@ -122,7 +132,11 @@ mod tests {
     fn render_quality_stays_reasonable() {
         use gs_render::{RenderConfig, TileRenderer};
         let scene = SceneKind::Palace.build(&SceneConfig::tiny());
-        let out = mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default());
+        let out = mini_splatting(
+            &scene.trained,
+            &scene.train_cameras,
+            &MiniSplattingConfig::default(),
+        );
         let r = TileRenderer::new(RenderConfig::default());
         let cam = &scene.eval_cameras[0];
         let full = r.render(&scene.trained, cam);

@@ -17,8 +17,17 @@ fn main() {
     let renderer = TileRenderer::new(RenderConfig::default());
     let model = TrafficModel::default();
     let mut table = Table::new(&[
-        "scene", "proj_rd(MB)", "proj_wr(MB)", "sort_rd(MB)", "sort_wr(MB)", "rend_rd(MB)",
-        "rend_wr(MB)", "proj%", "sort%", "rend%", "intermediate%",
+        "scene",
+        "proj_rd(MB)",
+        "proj_wr(MB)",
+        "sort_rd(MB)",
+        "sort_wr(MB)",
+        "rend_rd(MB)",
+        "rend_wr(MB)",
+        "proj%",
+        "sort%",
+        "rend%",
+        "intermediate%",
     ]);
 
     let mut mean = [0.0f64; 4];

@@ -34,7 +34,12 @@ fn main() {
         }
         table.row(&[
             kind.name().to_string(),
-            if kind.is_synthetic() { "synthetic" } else { "real-world" }.to_string(),
+            if kind.is_synthetic() {
+                "synthetic"
+            } else {
+                "real-world"
+            }
+            .to_string(),
             kind.native_gaussians().to_string(),
             format!("{fps:.1}"),
         ]);

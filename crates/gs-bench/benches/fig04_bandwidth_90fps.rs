@@ -20,7 +20,12 @@ fn main() {
     let renderer = TileRenderer::new(RenderConfig::default());
     let model = TrafficModel::default();
     let mut table = Table::new(&[
-        "scene", "proj(GB/s)", "sort(GB/s)", "rend(GB/s)", "total(GB/s)", "exceeds_limit",
+        "scene",
+        "proj(GB/s)",
+        "sort(GB/s)",
+        "rend(GB/s)",
+        "total(GB/s)",
+        "exceeds_limit",
         "proj+sort",
     ]);
 
@@ -40,7 +45,11 @@ fn main() {
             format!("{:.1}", gbs(t.sorting())),
             format!("{:.1}", gbs(t.rendering())),
             format!("{total:.1}"),
-            if total > ORIN_BW_GBS { "YES".into() } else { "no".into() },
+            if total > ORIN_BW_GBS {
+                "YES".into()
+            } else {
+                "no".into()
+            },
             pct(p + s),
         ]);
     }

@@ -6,31 +6,41 @@
 //! energy — full 62.9× vs GPU and 2.3× vs GSCore; the coarse filter and VQ
 //! contribute 35.6× and 5.8× of the energy savings respectively.
 
+use gs_baselines::{light_gaussian, mini_splatting, LightGaussianConfig, MiniSplattingConfig};
 use gs_bench::fmt::{banner, pct, Table};
 use gs_bench::setup::{bench_scale, build_scene};
 use gs_bench::variants::{evaluate_scene, SceneEvaluation, Variant};
-use gs_baselines::{light_gaussian, mini_splatting, LightGaussianConfig, MiniSplattingConfig};
 use gs_scene::{GaussianCloud, Scene, SceneKind};
 
-const VARIANTS: [Variant; 4] =
-    [Variant::Gscore, Variant::WithoutVqCgf, Variant::WithoutCgf, Variant::StreamingGs];
+const VARIANTS: [Variant; 4] = [
+    Variant::Gscore,
+    Variant::WithoutVqCgf,
+    Variant::WithoutCgf,
+    Variant::StreamingGs,
+];
 
 fn algorithm_cloud(scene: &Scene, algo: &str) -> GaussianCloud {
     match algo {
         "3DGS" => scene.trained.clone(),
-        "Mini-Splatting" => {
-            mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default())
-        }
-        "LightGaussian" => {
-            light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default())
-        }
+        "Mini-Splatting" => mini_splatting(
+            &scene.trained,
+            &scene.train_cameras,
+            &MiniSplattingConfig::default(),
+        ),
+        "LightGaussian" => light_gaussian(
+            &scene.trained,
+            &scene.train_cameras,
+            &LightGaussianConfig::default(),
+        ),
         _ => unreachable!(),
     }
 }
 
 fn main() {
     banner("Fig. 11 — speedup & energy savings over the Orin NX GPU (dataset average)");
-    println!("paper (3DGS): speedup GSCore 21.6x | w/o VQ+CGF ~21x | w/o CGF 22.2x | StreamingGS 45.7x");
+    println!(
+        "paper (3DGS): speedup GSCore 21.6x | w/o VQ+CGF ~21x | w/o CGF 22.2x | StreamingGS 45.7x"
+    );
     println!("paper (3DGS): energy  StreamingGS 62.9x vs GPU, 2.3x vs GSCore\n");
 
     let vq = bench_scale().vq_config();
@@ -44,9 +54,27 @@ fn main() {
         &[SceneKind::Playroom, SceneKind::Drjohnson],
     ];
 
-    let mut speed = Table::new(&["algorithm", "GSCore", "w/o VQ+CGF", "w/o CGF", "StreamingGS"]);
-    let mut energy = Table::new(&["algorithm", "GSCore", "w/o VQ+CGF", "w/o CGF", "StreamingGS"]);
-    let mut aux = Table::new(&["algorithm", "filter_kill_rate", "vq_fine_reduction", "vs_GSCore_speed", "vs_GSCore_energy"]);
+    let mut speed = Table::new(&[
+        "algorithm",
+        "GSCore",
+        "w/o VQ+CGF",
+        "w/o CGF",
+        "StreamingGS",
+    ]);
+    let mut energy = Table::new(&[
+        "algorithm",
+        "GSCore",
+        "w/o VQ+CGF",
+        "w/o CGF",
+        "StreamingGS",
+    ]);
+    let mut aux = Table::new(&[
+        "algorithm",
+        "filter_kill_rate",
+        "vq_fine_reduction",
+        "vs_GSCore_speed",
+        "vs_GSCore_energy",
+    ]);
 
     for algo in ["3DGS", "Mini-Splatting", "LightGaussian"] {
         // Average ratios per dataset group, then across groups.

@@ -15,7 +15,9 @@ use gs_tune::{boundary_aware_finetune, TuneConfig};
 
 fn main() {
     banner("Fig. 12 — voxel-size sensitivity (train scene, re-fine-tuned per size)");
-    println!("paper: PSNR 21.5 dB @0.5 rising to ~22.3 dB @2 then flat; energy savings peak near 2\n");
+    println!(
+        "paper: PSNR 21.5 dB @0.5 rising to ~22.3 dB @2 then flat; energy savings peak near 2\n"
+    );
 
     let scale = bench_scale();
     let iters = scale.tune_iters() / 2;
@@ -24,8 +26,13 @@ fn main() {
     let train_targets = ground_truth_targets(&scene, &scene.train_cameras);
     let eval_targets = ground_truth_targets(&scene, &scene.eval_cameras);
 
-    let mut table =
-        Table::new(&["voxel_size", "psnr(dB)", "error_ratio", "energy_savings", "speedup"]);
+    let mut table = Table::new(&[
+        "voxel_size",
+        "psnr(dB)",
+        "error_ratio",
+        "energy_savings",
+        "speedup",
+    ]);
     for voxel in [0.5f32, 1.0, 1.5, 2.0, 2.5, 3.0] {
         // Re-fine-tune for this voxel size (paper: "all variants are
         // retrained according to our training procedure").
@@ -47,7 +54,10 @@ fn main() {
         // Quality of the streaming render against ground truth.
         let streaming = gs_voxel::StreamingScene::new(
             tuned.cloud.clone(),
-            gs_voxel::StreamingConfig { voxel_size: voxel, ..Default::default() },
+            gs_voxel::StreamingConfig {
+                voxel_size: voxel,
+                ..Default::default()
+            },
         );
         let mut psnr = 0.0;
         let mut err = 0.0;
@@ -68,5 +78,7 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("paper: PSNR 21.5 -> 22.3 dB (0.5 -> 2.0), flat beyond; energy savings peak near voxel 2");
+    println!(
+        "paper: PSNR 21.5 -> 22.3 dB (0.5 -> 2.0), flat beyond; energy savings peak near voxel 2"
+    );
 }

@@ -49,7 +49,10 @@ fn main() {
     for cfu in 1..=4u32 {
         let mut cfg = AccelConfig::paper();
         cfg.cfus_per_hfu = cfu;
-        cells.push(format!("{:.2}", gs_accel::area::area_table(&cfg).total_mm2()));
+        cells.push(format!(
+            "{:.2}",
+            gs_accel::area::area_table(&cfg).total_mm2()
+        ));
     }
     area.row(&cells);
     println!("\nArea vs CFU count (FFU=1):\n{area}");

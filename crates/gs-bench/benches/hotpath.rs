@@ -1,0 +1,103 @@
+//! Hot-path benchmark: optimized pipeline vs the naive seed pipeline.
+//!
+//! Measures single-threaded frames/sec of `TileRenderer` (bbox-clipped
+//! rasterization, counting-sort binning, frame arena + worker pool) against
+//! `gs_render::reference::render_reference` (full-tile scans, global
+//! comparison sort, per-frame allocations) on the Lego / Truck / Palace
+//! tiny scenes. Single-threaded on purpose: the win measured here is
+//! algorithmic, not parallelism.
+//!
+//! Besides the human-readable criterion output, the run ends with one
+//! machine-readable JSON line (prefixed `HOTPATH_JSON `) carrying the
+//! per-scene FPS and speedups, plus whether the Truck speedup clears the
+//! ≥ 2× acceptance bar.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gs_render::reference::render_reference;
+use gs_render::{RenderConfig, TileRenderer};
+use gs_scene::{SceneConfig, SceneKind};
+use std::time::Instant;
+
+/// Frames/sec of `f`, measured over at least `min_frames` frames and 0.4 s.
+fn fps_of(mut f: impl FnMut(), min_frames: u32) -> f64 {
+    f(); // warm-up (fills arenas; threads=1, so no pool is spawned)
+    let start = Instant::now();
+    let mut frames = 0u32;
+    while frames < min_frames || start.elapsed().as_secs_f64() < 0.4 {
+        f();
+        frames += 1;
+    }
+    frames as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let cfg = RenderConfig {
+        threads: 1,
+        ..RenderConfig::default()
+    };
+    let mut rows = Vec::new();
+
+    for kind in [SceneKind::Lego, SceneKind::Truck, SceneKind::Palace] {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = scene.eval_cameras[0];
+        let renderer = TileRenderer::new(cfg);
+
+        c.bench_function(&format!("hotpath_optimized_{}", kind.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    renderer
+                        .render(&scene.trained, &cam)
+                        .stats
+                        .blended_fragments,
+                )
+            })
+        });
+        c.bench_function(&format!("hotpath_naive_{}", kind.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    render_reference(&cfg, &scene.trained, &cam)
+                        .stats
+                        .blended_fragments,
+                )
+            })
+        });
+
+        let optimized_fps = fps_of(
+            || {
+                black_box(renderer.render(&scene.trained, &cam));
+            },
+            5,
+        );
+        let naive_fps = fps_of(
+            || {
+                black_box(render_reference(&cfg, &scene.trained, &cam));
+            },
+            5,
+        );
+        rows.push((kind.name(), naive_fps, optimized_fps));
+    }
+
+    // Machine-readable summary (one line, greppable).
+    let mut json = String::from("{\"bench\":\"hotpath\",\"threads\":1,\"scenes\":[");
+    let mut truck_speedup = 0.0;
+    for (i, (name, naive, opt)) in rows.iter().enumerate() {
+        let speedup = opt / naive;
+        if *name == "truck" {
+            truck_speedup = speedup;
+        }
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"scene\":\"{name}\",\"naive_fps\":{naive:.2},\"optimized_fps\":{opt:.2},\"speedup\":{speedup:.2}}}"
+        ));
+    }
+    json.push_str(&format!(
+        "],\"truck_speedup\":{truck_speedup:.2},\"truck_speedup_ok\":{}}}",
+        truck_speedup >= 2.0
+    ));
+    println!("HOTPATH_JSON {json}");
+}
+
+criterion_group!(hotpath, bench_hotpath);
+criterion_main!(hotpath);

@@ -112,10 +112,20 @@ fn bench_vq_encode(c: &mut Criterion) {
 fn bench_tile_blend(c: &mut Criterion) {
     use gs_render::{RenderConfig, TileRenderer};
     let scene = SceneKind::Lego.build(&SceneConfig::tiny());
-    let renderer = TileRenderer::new(RenderConfig { threads: 1, ..Default::default() });
+    let renderer = TileRenderer::new(RenderConfig {
+        threads: 1,
+        ..Default::default()
+    });
     let cam = scene.eval_cameras[0];
     c.bench_function("tile_render_frame_tiny", |b| {
-        b.iter(|| black_box(renderer.render(&scene.trained, &cam).stats.blended_fragments))
+        b.iter(|| {
+            black_box(
+                renderer
+                    .render(&scene.trained, &cam)
+                    .stats
+                    .blended_fragments,
+            )
+        })
     });
 }
 

@@ -14,9 +14,17 @@ fn main() {
     let table = area_table(&cfg);
     let mut out = Table::new(&["unit", "configuration", "area [mm^2]"]);
     for row in &table.rows {
-        out.row(&[row.unit.clone(), row.configuration.clone(), format!("{:.2}", row.mm2)]);
+        out.row(&[
+            row.unit.clone(),
+            row.configuration.clone(),
+            format!("{:.2}", row.mm2),
+        ]);
     }
-    out.row(&["Total".into(), String::new(), format!("{:.2}", table.total_mm2())]);
+    out.row(&[
+        "Total".into(),
+        String::new(),
+        format!("{:.2}", table.total_mm2()),
+    ]);
     println!("{out}");
 
     println!("paper total: 5.37 mm^2 | GSCore (32 nm scaled): {GSCORE_TOTAL_MM2} mm^2");

@@ -37,12 +37,16 @@ const PAPER_3DGS: [f64; 6] = [22.54, 26.65, 30.18, 29.21, 36.11, 38.56];
 fn algorithm_cloud(scene: &Scene, algo: &str) -> GaussianCloud {
     match algo {
         "3DGS" => scene.trained.clone(),
-        "Mini-Splatting" => {
-            mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default())
-        }
-        "LightGaussian" => {
-            light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default())
-        }
+        "Mini-Splatting" => mini_splatting(
+            &scene.trained,
+            &scene.train_cameras,
+            &MiniSplattingConfig::default(),
+        ),
+        "LightGaussian" => light_gaussian(
+            &scene.trained,
+            &scene.train_cameras,
+            &LightGaussianConfig::default(),
+        ),
         _ => unreachable!(),
     }
 }
@@ -63,7 +67,13 @@ fn main() {
 
     let renderer = TileRenderer::new(RenderConfig::default());
     for algo in ["3DGS", "Mini-Splatting", "LightGaussian"] {
-        let mut table = Table::new(&["scene", "baseline(dB)", "ours(dB)", "delta", "paper(3DGS base)"]);
+        let mut table = Table::new(&[
+            "scene",
+            "baseline(dB)",
+            "ours(dB)",
+            "delta",
+            "paper(3DGS base)",
+        ]);
         let mut deltas = Vec::new();
         for (si, kind) in SCENE_ORDER.iter().enumerate() {
             let scene = build_scene(*kind);

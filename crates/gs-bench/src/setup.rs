@@ -19,7 +19,11 @@ pub enum BenchScale {
 
 /// Reads `GS_BENCH_SCALE` (tiny/small/full); defaults to `Small`.
 pub fn bench_scale() -> BenchScale {
-    match std::env::var("GS_BENCH_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("GS_BENCH_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => BenchScale::Tiny,
         "full" => BenchScale::Full,
         _ => BenchScale::Small,
@@ -63,7 +67,9 @@ pub fn build_scene(kind: SceneKind) -> Scene {
 /// Renders the ground-truth targets for a camera list.
 pub fn ground_truth_targets(scene: &Scene, cams: &[Camera]) -> Vec<(Camera, ImageRgb)> {
     let r = TileRenderer::new(RenderConfig::default());
-    cams.iter().map(|c| (*c, r.render(&scene.ground_truth, c).image)).collect()
+    cams.iter()
+        .map(|c| (*c, r.render(&scene.ground_truth, c).image))
+        .collect()
 }
 
 #[cfg(test)]
@@ -81,8 +87,7 @@ mod tests {
     #[test]
     fn scale_configs_grow() {
         assert!(
-            BenchScale::Tiny.scene_config().gaussians
-                < BenchScale::Small.scene_config().gaussians
+            BenchScale::Tiny.scene_config().gaussians < BenchScale::Small.scene_config().gaussians
         );
         assert!(BenchScale::Tiny.tune_iters() < BenchScale::Full.tune_iters());
     }

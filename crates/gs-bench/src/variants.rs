@@ -150,8 +150,7 @@ pub fn evaluate_scene(
         quant.clone(),
         StreamingConfig::without_cgf(voxel, *vq),
     );
-    let plain_scene =
-        StreamingScene::new(cloud.clone(), StreamingConfig::without_vq_cgf(voxel));
+    let plain_scene = StreamingScene::new(cloud.clone(), StreamingConfig::without_vq_cgf(voxel));
 
     let accel = StreamingGsModel::default();
     let run = |s: &StreamingScene| -> (Vec<PerfReport>, f64, Option<FrameWorkload>) {

@@ -68,7 +68,10 @@ pub struct Pose {
 
 impl Default for Pose {
     fn default() -> Self {
-        Pose { rotation: Mat3::IDENTITY, translation: Vec3::ZERO }
+        Pose {
+            rotation: Mat3::IDENTITY,
+            translation: Vec3::ZERO,
+        }
     }
 }
 
@@ -83,9 +86,12 @@ impl Pose {
         let forward = (target - eye).normalized();
         let right = forward.cross(up).normalized();
         let down = forward.cross(right); // completes the right-handed +Z-forward frame
-        // Camera axes are the rows of the world-to-camera rotation.
+                                         // Camera axes are the rows of the world-to-camera rotation.
         let rotation = Mat3::from_rows(right.to_array(), down.to_array(), forward.to_array());
-        Pose { rotation, translation: -(rotation * eye) }
+        Pose {
+            rotation,
+            translation: -(rotation * eye),
+        }
     }
 
     /// Camera centre in world coordinates.

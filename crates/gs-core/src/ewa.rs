@@ -187,7 +187,11 @@ pub fn project_coarse(cam: &Camera, pos: Vec3, s_max: f32) -> Option<CoarseProje
     let c = (intr.fx * inv_z) * (intr.fy * inv_z) * u * v; // j₁·j₂
     let sigma_px = s_max * (a.max(b) + c.abs()).sqrt();
     let radius_px = (RADIUS_SIGMAS * (sigma_px * sigma_px + COV2D_DILATION).sqrt()).ceil();
-    Some(CoarseProjection { mean_px, depth: t.z, radius_px })
+    Some(CoarseProjection {
+        mean_px,
+        depth: t.z,
+        radius_px,
+    })
 }
 
 /// Gaussian falloff weight at pixel offset `d` from the projected mean:
@@ -315,10 +319,18 @@ mod tests {
     #[test]
     fn bigger_scale_bigger_radius() {
         let cam = test_cam();
-        let small = project_gaussian(&cam, Vec3::ZERO, covariance3d(Vec3::splat(0.05), Quat::IDENTITY))
-            .unwrap();
-        let large = project_gaussian(&cam, Vec3::ZERO, covariance3d(Vec3::splat(0.5), Quat::IDENTITY))
-            .unwrap();
+        let small = project_gaussian(
+            &cam,
+            Vec3::ZERO,
+            covariance3d(Vec3::splat(0.05), Quat::IDENTITY),
+        )
+        .unwrap();
+        let large = project_gaussian(
+            &cam,
+            Vec3::ZERO,
+            covariance3d(Vec3::splat(0.5), Quat::IDENTITY),
+        )
+        .unwrap();
         assert!(large.radius_px > small.radius_px);
     }
 

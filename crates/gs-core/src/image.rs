@@ -58,7 +58,10 @@ impl ImageRgb {
 
     #[inline]
     fn idx(&self, x: u32, y: u32) -> usize {
-        debug_assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         y as usize * self.width as usize + x as usize
     }
 

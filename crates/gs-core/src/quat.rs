@@ -38,7 +38,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from components.
     pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Quat {
@@ -240,7 +245,7 @@ mod tests {
     fn from_rotation_roundtrip() {
         let cases = [
             Quat::IDENTITY,
-            Quat::from_axis_angle(Vec3::X, 3.0),  // near-π: stresses the w≈0 branches
+            Quat::from_axis_angle(Vec3::X, 3.0), // near-π: stresses the w≈0 branches
             Quat::from_axis_angle(Vec3::Y, -2.9),
             Quat::from_axis_angle(Vec3::Z, 3.1),
             Quat::from_axis_angle(Vec3::new(1.0, -1.0, 0.5), 1.3),

@@ -19,8 +19,16 @@ pub const SH_C0: f32 = 0.282_094_79;
 /// Degree-1 normalization constant.
 pub const SH_C1: f32 = 0.488_602_51;
 /// Degree-2 normalization constants.
-pub const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_215];
+#[allow(clippy::excessive_precision)]
+pub const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_215,
+];
 /// Degree-3 normalization constants.
+#[allow(clippy::excessive_precision)]
 pub const SH_C3: [f32; 7] = [
     -0.590_043_59,
     2.890_611_4,
@@ -80,7 +88,11 @@ pub fn eval_basis(d: Vec3) -> [f32; SH_BASIS] {
 /// assert!((c.y - 0.5).abs() < 1e-5);
 /// ```
 pub fn eval_color(coeffs: &[f32], d: Vec3, degree: u8) -> Vec3 {
-    assert_eq!(coeffs.len(), SH_COEFFS, "expected {SH_COEFFS} SH coefficients");
+    assert_eq!(
+        coeffs.len(),
+        SH_COEFFS,
+        "expected {SH_COEFFS} SH coefficients"
+    );
     assert!(degree <= 3, "SH degree must be 0..=3");
     let basis = eval_basis(d);
     let n_basis = ((degree as usize) + 1) * ((degree as usize) + 1);
@@ -152,6 +164,7 @@ mod tests {
             }
         }
         let scale = 4.0 * std::f64::consts::PI / n as f64;
+        #[allow(clippy::needless_range_loop)]
         for p in 0..SH_BASIS {
             for q in 0..SH_BASIS {
                 let v = acc[p][q] * scale;
@@ -192,7 +205,10 @@ mod tests {
         let c2 = eval_color(&coeffs, d, 2);
         let c3 = eval_color(&coeffs, d, 3);
         assert!(approx_eq(c2.x, 0.5 + SH_C0, 1e-5));
-        assert!((c3.x - c2.x).abs() > 1e-3, "degree-3 term should matter at full degree");
+        assert!(
+            (c3.x - c2.x).abs() > 1e-3,
+            "degree-3 term should matter at full degree"
+        );
     }
 
     #[test]

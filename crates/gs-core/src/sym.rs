@@ -34,7 +34,11 @@ impl Sym2 {
     }
 
     /// The identity matrix.
-    pub const IDENTITY: Sym2 = Sym2 { a: 1.0, b: 0.0, c: 1.0 };
+    pub const IDENTITY: Sym2 = Sym2 {
+        a: 1.0,
+        b: 0.0,
+        c: 1.0,
+    };
 
     /// Determinant.
     pub fn det(self) -> f32 {
@@ -107,11 +111,25 @@ pub struct Sym3 {
 impl Sym3 {
     /// Creates a matrix from the upper-triangle entries.
     pub const fn new(xx: f32, xy: f32, xz: f32, yy: f32, yz: f32, zz: f32) -> Sym3 {
-        Sym3 { xx, xy, xz, yy, yz, zz }
+        Sym3 {
+            xx,
+            xy,
+            xz,
+            yy,
+            yz,
+            zz,
+        }
     }
 
     /// The identity matrix.
-    pub const IDENTITY: Sym3 = Sym3 { xx: 1.0, xy: 0.0, xz: 0.0, yy: 1.0, yz: 0.0, zz: 1.0 };
+    pub const IDENTITY: Sym3 = Sym3 {
+        xx: 1.0,
+        xy: 0.0,
+        xz: 0.0,
+        yy: 1.0,
+        yz: 0.0,
+        zz: 1.0,
+    };
 
     /// A diagonal matrix.
     pub fn diagonal(d: Vec3) -> Sym3 {
@@ -191,7 +209,14 @@ impl Add for Sym3 {
 impl Mul<f32> for Sym3 {
     type Output = Sym3;
     fn mul(self, s: f32) -> Sym3 {
-        Sym3::new(self.xx * s, self.xy * s, self.xz * s, self.yy * s, self.yz * s, self.zz * s)
+        Sym3::new(
+            self.xx * s,
+            self.xy * s,
+            self.xz * s,
+            self.yy * s,
+            self.yz * s,
+            self.zz * s,
+        )
     }
 }
 

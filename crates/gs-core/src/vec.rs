@@ -95,15 +95,35 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
     /// Unit X.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit Y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit Z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     pub const fn new(x: f32, y: f32, z: f32) -> Self {
@@ -188,7 +208,11 @@ impl Vec3 {
 
     /// Clamps every component into `[lo, hi]`.
     pub fn clamp(self, lo: f32, hi: f32) -> Vec3 {
-        Vec3::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi), self.z.clamp(lo, hi))
+        Vec3::new(
+            self.x.clamp(lo, hi),
+            self.y.clamp(lo, hi),
+            self.z.clamp(lo, hi),
+        )
     }
 
     /// Returns `true` when every component is finite.

@@ -17,7 +17,11 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Creates a breakdown from components.
     pub fn new(compute_pj: f64, sram_pj: f64, dram_pj: f64) -> EnergyBreakdown {
-        EnergyBreakdown { compute_pj, sram_pj, dram_pj }
+        EnergyBreakdown {
+            compute_pj,
+            sram_pj,
+            dram_pj,
+        }
     }
 
     /// Total picojoules.

@@ -97,7 +97,10 @@ impl SramBuffer {
     /// Returns [`ExceedCapacityError`] when `bytes > free()`.
     pub fn alloc(&mut self, bytes: u64) -> Result<(), ExceedCapacityError> {
         if bytes > self.free() {
-            return Err(ExceedCapacityError { requested: bytes, available: self.free() });
+            return Err(ExceedCapacityError {
+                requested: bytes,
+                available: self.free(),
+            });
         }
         self.used += bytes;
         self.peak = self.peak.max(self.used);

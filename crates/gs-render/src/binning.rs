@@ -30,36 +30,111 @@ pub fn depth_bits(depth: f32) -> u32 {
 ///
 /// `tiles_x`/`tiles_y` define the tile grid; splats outside it were already
 /// clipped by projection.
+///
+/// The output buffers are allocated with exact capacity (summed
+/// `tile_rect` areas); use [`bin_and_sort_into`] to reuse buffers across
+/// frames.
 pub fn bin_and_sort(
     splats: &[Splat],
     tiles_x: u32,
     tiles_y: u32,
 ) -> (Vec<TileKey>, Vec<(u32, u32)>) {
-    let mut keys = Vec::new();
+    let total: u64 = splats.iter().map(|s| s.tile_count()).sum();
+    let mut keys = Vec::with_capacity(total as usize);
+    let mut ranges = Vec::with_capacity((tiles_x * tiles_y) as usize);
+    bin_and_sort_into(splats, tiles_x, tiles_y, &mut keys, &mut ranges);
+    (keys, ranges)
+}
+
+/// [`bin_and_sort`] into caller-owned buffers (cleared first) — the frame
+/// arena's zero-alloc entry point.
+///
+/// Replaces the seed's global `sort_unstable_by_key` over all
+/// (tile, depth) pairs with a two-pass **counting sort**:
+///
+/// 1. histogram pairs per tile (tile ids come straight from each splat's
+///    `tile_rect`, no key decoding),
+/// 2. exclusive prefix-sum into per-tile `(start, cursor)` ranges,
+/// 3. scatter each pair to `keys[cursor++]` of its tile — the tile id is
+///    tracked directly in this pass rather than re-derived from the packed
+///    key,
+/// 4. depth-sort each tile's (short) run, tie-breaking on splat index so
+///    the order is fully deterministic.
+///
+/// This is O(pairs + tiles + Σ runᵢ·log runᵢ) instead of
+/// O(pairs·log pairs), and the per-tile runs are small and cache-resident.
+/// The packed `tile << 32 | depth_bits` key layout is preserved so the
+/// ordering semantics (and the GPU sort-stage traffic model reading
+/// `keys.len()`) are unchanged.
+pub fn bin_and_sort_into(
+    splats: &[Splat],
+    tiles_x: u32,
+    tiles_y: u32,
+    keys: &mut Vec<TileKey>,
+    ranges: &mut Vec<(u32, u32)>,
+) {
+    let n_tiles = (tiles_x * tiles_y) as usize;
+    ranges.clear();
+    ranges.resize(n_tiles, (0u32, 0u32));
+
+    // Pass 1: per-tile pair counts (kept in the range's second slot).
+    let mut total: u64 = 0;
+    for s in splats {
+        let (x0, y0, x1, y1) = s.tile_rect;
+        debug_assert!(x1 < tiles_x && y1 < tiles_y, "tile_rect outside grid");
+        total += s.tile_count();
+        for ty in y0..=y1 {
+            let row = ty * tiles_x;
+            for tx in x0..=x1 {
+                ranges[(row + tx) as usize].1 += 1;
+            }
+        }
+    }
+    // The key list is indexed by u32 ranges; a frame overflowing that is a
+    // logic error upstream (≈4.3 G pairs), not something to truncate.
+    debug_assert!(
+        total <= u32::MAX as u64,
+        "{total} tile pairs overflow u32 key ranges"
+    );
+
+    // Pass 2: exclusive prefix sum. Each range becomes (start, cursor) with
+    // cursor advancing to `end` during the scatter.
+    let mut acc = 0u32;
+    for r in ranges.iter_mut() {
+        let count = r.1;
+        *r = (acc, acc);
+        acc += count;
+    }
+
+    // Pass 3: scatter. The tile id is carried by the loop (not re-derived
+    // from the packed key), and the cursor in `ranges` assigns slots.
+    keys.clear();
+    keys.resize(total as usize, TileKey { key: 0, splat: 0 });
     for (si, s) in splats.iter().enumerate() {
         let (x0, y0, x1, y1) = s.tile_rect;
         let d = depth_bits(s.depth) as u64;
         for ty in y0..=y1 {
+            let row = ty * tiles_x;
             for tx in x0..=x1 {
-                let tile_id = (ty * tiles_x + tx) as u64;
-                keys.push(TileKey { key: (tile_id << 32) | d, splat: si as u32 });
+                let tile = (row + tx) as usize;
+                let slot = ranges[tile].1;
+                ranges[tile].1 += 1;
+                keys[slot as usize] = TileKey {
+                    key: ((tile as u64) << 32) | d,
+                    splat: si as u32,
+                };
             }
         }
     }
-    keys.sort_unstable_by_key(|k| k.key);
 
-    let n_tiles = (tiles_x * tiles_y) as usize;
-    let mut ranges = vec![(0u32, 0u32); n_tiles];
-    let mut i = 0usize;
-    while i < keys.len() {
-        let tile = (keys[i].key >> 32) as usize;
-        let start = i;
-        while i < keys.len() && (keys[i].key >> 32) as usize == tile {
-            i += 1;
+    // Pass 4: depth-sort each tile's run. Within a run the high key bits are
+    // constant, so sorting by (key, splat) is (depth, submission order).
+    for &(start, end) in ranges.iter() {
+        let run = &mut keys[start as usize..end as usize];
+        if run.len() > 1 {
+            run.sort_unstable_by_key(|k| (k.key, k.splat));
         }
-        ranges[tile] = (start as u32, i as u32);
     }
-    (keys, ranges)
 }
 
 #[cfg(test)]
@@ -76,7 +151,37 @@ mod tests {
             opacity: 0.5,
             depth,
             tile_rect: rect,
+            bbox_px: crate::projection::FULL_BBOX,
         }
+    }
+
+    #[test]
+    fn ties_break_on_submission_order() {
+        let splats = vec![
+            splat(1.0, (0, 0, 0, 0)),
+            splat(1.0, (0, 0, 0, 0)),
+            splat(1.0, (0, 0, 0, 0)),
+        ];
+        let (keys, ranges) = bin_and_sort(&splats, 1, 1);
+        assert_eq!(ranges[0], (0, 3));
+        let order: Vec<u32> = keys.iter().map(|k| k.splat).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers() {
+        let splats = vec![splat(1.0, (0, 0, 1, 1)), splat(2.0, (1, 0, 1, 1))];
+        let mut keys = Vec::new();
+        let mut ranges = Vec::new();
+        bin_and_sort_into(&splats, 2, 2, &mut keys, &mut ranges);
+        let (k2, r2) = bin_and_sort(&splats, 2, 2);
+        assert_eq!(keys, k2);
+        assert_eq!(ranges, r2);
+        // Second frame with fewer pairs shrinks lengths, not capacity.
+        let cap = keys.capacity();
+        bin_and_sort_into(&splats[..1], 2, 2, &mut keys, &mut ranges);
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys.capacity(), cap);
     }
 
     #[test]

@@ -15,6 +15,29 @@
 //!    feed the Orin NX and GSCore models in `gs-accel` and reproduce the
 //!    paper's Figs. 2–4.
 //!
+//! ## Hot-path architecture
+//!
+//! The CPU hot path is organized around three optimizations (PR 1), each of
+//! which preserves bit-identical output with the seed pipeline (kept alive
+//! in [`reference`] and asserted by `tests/exactness.rs`):
+//!
+//! * **Footprint-clipped rasterization** — projection derives each splat's
+//!   conservative screen-space support rectangle from the conic's extent
+//!   ([`projection::support_bbox`], carried as
+//!   [`projection::Splat::bbox_px`]); [`rasterize::rasterize_tile`] visits
+//!   only `bbox ∩ tile` instead of all 256 pixels of every covered tile.
+//! * **Counting-sort binning** — [`binning::bin_and_sort_into`] histograms
+//!   (tile, depth) pairs per tile, prefix-sums into per-tile ranges,
+//!   scatters, then depth-sorts each short run: O(pairs) instead of a
+//!   global O(pairs·log pairs) comparison sort.
+//! * **Zero-alloc frame loop** — all intermediate buffers live in a
+//!   reusable [`arena::FrameArena`] and tile work runs on a persistent
+//!   [`pool::WorkerPool`]; a steady-state render loop performs no
+//!   intermediate allocations and spawns no threads per frame.
+//!
+//! Run `cargo bench -p gs-bench --bench hotpath` for the measured
+//! naive-vs-optimized frame rates (machine-readable JSON on stdout).
+//!
 //! ## Example
 //!
 //! ```
@@ -28,13 +51,18 @@
 //! assert!(out.stats.visible_gaussians > 0);
 //! ```
 
+pub mod arena;
 pub mod binning;
+pub mod pool;
 pub mod projection;
 pub mod rasterize;
+pub mod reference;
 pub mod renderer;
 pub mod stats;
 pub mod traffic;
 
+pub use arena::FrameArena;
+pub use pool::WorkerPool;
 pub use renderer::{RenderConfig, RenderOutput, TileRenderer};
 pub use stats::RenderStats;
 pub use traffic::{tile_centric_traffic, StageTraffic, TrafficModel};

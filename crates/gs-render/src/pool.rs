@@ -1,0 +1,274 @@
+//! A persistent worker pool for frame-parallel work.
+//!
+//! The seed renderer re-spawned every worker thread on every frame with
+//! `std::thread::scope`, in both `gs-render` and `gs-voxel`. For a streaming
+//! renderer targeting real-time rates that is measurable per-frame overhead
+//! and — worse — it forces the per-tile output buffers to be reallocated per
+//! frame because nothing outlives the scope. [`WorkerPool`] keeps the
+//! threads alive across frames: a frame dispatches `jobs` indexed closures
+//! (`f(0) … f(jobs-1)`), the workers claim indices from a shared counter,
+//! and [`WorkerPool::run`] blocks until every index has finished.
+//!
+//! Determinism: a job index always maps to the same slice of work (e.g. a
+//! contiguous chunk of tiles writing disjoint output ranges), so the render
+//! result is independent of which worker executes which index.
+//!
+//! No allocation happens per `run` call: job dispatch is a shared
+//! `(closure pointer, index counter)` guarded by a mutex/condvar pair.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the frame's job closure plus its call shim.
+#[derive(Copy, Clone)]
+struct Task {
+    /// Calls `*data` (a `&F` where `F: Fn(usize)`) with the job index.
+    call: unsafe fn(*const (), usize),
+    /// Borrow of the closure living in [`WorkerPool::run`]'s frame.
+    data: *const (),
+}
+
+// SAFETY: `data` points at an `F: Fn(usize) + Sync` that outlives the frame
+// (run() does not return until all jobs finished), and `Sync` makes the
+// shared borrow sound across threads.
+unsafe impl Send for Task {}
+
+struct PoolState {
+    /// The active frame's task, if any.
+    task: Option<Task>,
+    /// Next job index to hand out.
+    next: usize,
+    /// Total jobs in the active frame.
+    jobs: usize,
+    /// Jobs not yet finished (claimed or unclaimed).
+    unfinished: usize,
+    /// A job panicked during this frame.
+    panicked: bool,
+    /// The pool is being dropped.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers that work (or shutdown) is available.
+    work: Condvar,
+    /// Signals [`WorkerPool::run`] that the frame completed.
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads (see module docs).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+unsafe fn call_shim<F: Fn(usize)>(data: *const (), index: usize) {
+    // SAFETY: `data` was created from `&F` in `run` and is still borrowed
+    // there while any worker can reach this shim.
+    unsafe { (*(data as *const F))(index) }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                task: None,
+                next: 0,
+                jobs: 0,
+                unfinished: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Returns the pool in `slot`, (re)creating it when absent or smaller
+    /// than `threads`. Frame sizes vary per camera, so a renderer's first
+    /// (possibly small) frame must not cap parallelism for later, larger
+    /// frames.
+    pub fn ensure(slot: &mut Option<WorkerPool>, threads: usize) -> &mut WorkerPool {
+        if slot.as_ref().is_none_or(|p| p.size() < threads) {
+            *slot = Some(WorkerPool::new(threads));
+        }
+        slot.as_mut().expect("just ensured")
+    }
+
+    /// Runs `f(0) … f(jobs-1)` across the workers and blocks until all
+    /// indices completed. Panics (after the frame drains) if any job
+    /// panicked. Takes `&mut self`, so frames never overlap on one pool.
+    pub fn run<F: Fn(usize) + Sync>(&mut self, jobs: usize, f: F) {
+        if jobs == 0 {
+            return;
+        }
+        let task = Task {
+            call: call_shim::<F>,
+            data: &f as *const F as *const (),
+        };
+        let mut st = self.shared.state.lock().unwrap();
+        debug_assert!(st.task.is_none(), "WorkerPool::run re-entered");
+        st.task = Some(task);
+        st.next = 0;
+        st.jobs = jobs;
+        st.unfinished = jobs;
+        st.panicked = false;
+        self.shared.work.notify_all();
+        while st.unfinished > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.task = None;
+        let panicked = st.panicked;
+        drop(st);
+        // `f` is only dropped after every worker finished using it.
+        if panicked {
+            panic!("a WorkerPool job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let (task, index) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.task.is_some() && st.next < st.jobs {
+                    break;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+            let index = st.next;
+            st.next += 1;
+            (st.task.expect("checked above"), index)
+        };
+
+        // Execute outside the lock; never lose the `unfinished` decrement.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: see `Task` — the closure outlives the frame.
+            unsafe { (task.call)(task.data, index) }
+        }));
+
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.unfinished -= 1;
+        if st.unfinished == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let mut pool = WorkerPool::new(4);
+        let mut hits = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        for _ in 0..50 {
+            pool.run(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in hits.iter_mut() {
+            assert_eq!(*h.get_mut(), 50);
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_workers() {
+        let mut pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably_through_disjoint_chunks() {
+        let mut pool = WorkerPool::new(3);
+        let mut data = vec![0u64; 300];
+        let base = data.as_mut_ptr() as usize;
+        pool.run(3, |w| {
+            // SAFETY: chunks [100w, 100w+100) are disjoint per index.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut u64).add(100 * w), 100) };
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (100 * w + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, v)| *v == i as u64));
+        drop(pool);
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let mut pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool still works afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(8, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_noop() {
+        let mut pool = WorkerPool::new(2);
+        pool.run(0, |_| panic!("must not run"));
+    }
+}

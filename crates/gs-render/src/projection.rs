@@ -1,6 +1,6 @@
 //! Projection stage: EWA-project Gaussians and enumerate intersected tiles.
 
-use crate::TILE_SIZE;
+use crate::{ALPHA_EPS, TILE_SIZE};
 use gs_core::camera::Camera;
 use gs_core::ewa::project_gaussian;
 use gs_core::sym::Sym2;
@@ -8,9 +8,17 @@ use gs_core::vec::{Vec2, Vec3};
 use gs_scene::Gaussian;
 use serde::{Deserialize, Serialize};
 
+/// Safety margin (pixels) added around the analytic support ellipse bbox so
+/// f32 rounding in the per-pixel falloff can never resurrect a pixel the
+/// bbox excluded. The boundary gradient of the quadratic form is O(1) per
+/// pixel while its rounding error is O(1e-6·q), so one pixel is orders of
+/// magnitude more than required.
+pub const BBOX_PAD_PX: f32 = 1.0;
+
 /// A projected Gaussian ready for rasterization — the "processed features"
 /// the tile-centric pipeline writes back to DRAM between stages
-/// (2-D mean, conic, RGB, opacity, depth = 10 floats).
+/// (2-D mean, conic, RGB, opacity, depth = 10 floats, plus the derived
+/// screen-space support rectangle the rasterizer clips its pixel loop to).
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Splat {
     /// Screen-space mean in pixels.
@@ -25,7 +33,27 @@ pub struct Splat {
     pub depth: f32,
     /// Inclusive tile rectangle this splat touches: `(x0, y0, x1, y1)`.
     pub tile_rect: (u32, u32, u32, u32),
+    /// Conservative pixel-space support rectangle
+    /// `(x_min, y_min, x_max, y_max)`: every pixel whose centre lies outside
+    /// it is guaranteed to evaluate below [`ALPHA_EPS`] for this splat. See
+    /// [`support_bbox`]. May be [`EMPTY_BBOX`] when the splat can nowhere
+    /// reach the alpha threshold.
+    pub bbox_px: (f32, f32, f32, f32),
 }
+
+/// The empty support rectangle (`x_min > x_max`): the rasterizer's clipped
+/// loop visits no pixels for such a splat.
+pub const EMPTY_BBOX: (f32, f32, f32, f32) = (0.0, 0.0, -1.0, -1.0);
+
+/// The unbounded support rectangle: the clipped loop degenerates to the full
+/// tile scan. Used by tests that want naive-scan semantics from a
+/// hand-built splat.
+pub const FULL_BBOX: (f32, f32, f32, f32) = (
+    f32::NEG_INFINITY,
+    f32::NEG_INFINITY,
+    f32::INFINITY,
+    f32::INFINITY,
+);
 
 impl Splat {
     /// Number of tiles the splat touches.
@@ -33,6 +61,35 @@ impl Splat {
         let (x0, y0, x1, y1) = self.tile_rect;
         (x1 - x0 + 1) as u64 * (y1 - y0 + 1) as u64
     }
+}
+
+/// Computes the splat's conservative screen-space support rectangle from the
+/// conic's extent (paper-style footprint clipping; cf. "No Redundancy, No
+/// Stall"'s bounding-box rasterization).
+///
+/// A pixel centre `p` contributes only when
+/// `opacity · exp(-½ dᵀ C d) ≥ ALPHA_EPS` with `d = p − mean`, i.e. when `d`
+/// lies inside the ellipse `dᵀ C d ≤ q_max`, `q_max = 2·ln(opacity/ALPHA_EPS)`.
+/// The tight axis-aligned bounding box of that ellipse has half-extents
+/// `eₓ = √(q_max·Σₓₓ)`, `e_y = √(q_max·Σ_yy)` where `Σ = C⁻¹` is the 2-D
+/// covariance — exactly the quantities EWA projection already produced. A
+/// [`BBOX_PAD_PX`] margin absorbs f32 rounding.
+///
+/// Returns [`EMPTY_BBOX`] when `opacity < ALPHA_EPS` (the splat can nowhere
+/// reach the threshold, so its support is empty).
+pub fn support_bbox(mean_px: Vec2, cov2d: Sym2, opacity: f32) -> (f32, f32, f32, f32) {
+    if opacity < ALPHA_EPS {
+        return EMPTY_BBOX;
+    }
+    let q_max = 2.0 * (opacity / ALPHA_EPS).ln().max(0.0);
+    let ex = (q_max * cov2d.a.max(0.0)).sqrt() + BBOX_PAD_PX;
+    let ey = (q_max * cov2d.c.max(0.0)).sqrt() + BBOX_PAD_PX;
+    (
+        mean_px.x - ex,
+        mean_px.y - ey,
+        mean_px.x + ex,
+        mean_px.y + ey,
+    )
 }
 
 /// Grid dimensions (in tiles) of a `width`×`height` frame.
@@ -69,9 +126,34 @@ pub fn tile_rect_of(
 /// splats (with per-splat tile rectangles) in input order, paired with the
 /// index of the source Gaussian.
 pub fn project_cloud(cloud: &[Gaussian], cam: &Camera, sh_degree: u8) -> Vec<(u32, Splat)> {
+    let mut out = Vec::with_capacity(cloud.len());
+    project_cloud_into(cloud, cam, sh_degree, &mut out);
+    out
+}
+
+/// [`project_cloud`] into a caller-owned buffer (cleared first), so the
+/// renderer's frame arena can reuse one allocation across frames.
+pub fn project_cloud_into(
+    cloud: &[Gaussian],
+    cam: &Camera,
+    sh_degree: u8,
+    out: &mut Vec<(u32, Splat)>,
+) {
+    out.clear();
+    project_each(cloud, cam, sh_degree, |i, s| out.push((i, s)));
+}
+
+/// Projection for the renderer hot path: keeps only the splats (the source
+/// indices are not needed for rasterization), written into a caller-owned
+/// buffer that the frame arena reuses across frames.
+pub fn project_splats_into(cloud: &[Gaussian], cam: &Camera, sh_degree: u8, out: &mut Vec<Splat>) {
+    out.clear();
+    project_each(cloud, cam, sh_degree, |_, s| out.push(s));
+}
+
+fn project_each(cloud: &[Gaussian], cam: &Camera, sh_degree: u8, mut emit: impl FnMut(u32, Splat)) {
     let (tiles_x, tiles_y) = tile_grid(cam.width(), cam.height());
     let cam_center = cam.pose.center();
-    let mut out = Vec::with_capacity(cloud.len());
     for (i, g) in cloud.iter().enumerate() {
         let Some(proj) = project_gaussian(cam, g.pos, g.cov3d()) else {
             continue;
@@ -84,7 +166,7 @@ pub fn project_cloud(cloud: &[Gaussian], cam: &Camera, sh_degree: u8) -> Vec<(u3
         };
         let dir = (g.pos - cam_center).normalized();
         let color = gs_core::sh::eval_color(&g.sh, dir, sh_degree);
-        out.push((
+        emit(
             i as u32,
             Splat {
                 mean_px: proj.mean_px,
@@ -93,10 +175,10 @@ pub fn project_cloud(cloud: &[Gaussian], cam: &Camera, sh_degree: u8) -> Vec<(u3
                 opacity: g.opacity,
                 depth: proj.depth,
                 tile_rect,
+                bbox_px: support_bbox(proj.mean_px, proj.cov2d, g.opacity),
             },
-        ));
+        );
     }
-    out
 }
 
 #[cfg(test)]
@@ -167,8 +249,12 @@ mod tests {
     fn bigger_gaussian_covers_more_tiles() {
         let small = Gaussian::isotropic(Vec3::ZERO, 0.02, Vec3::ONE, 0.9);
         let large = Gaussian::isotropic(Vec3::ZERO, 0.8, Vec3::ONE, 0.9);
-        let s = project_cloud(std::slice::from_ref(&small), &cam(), 3)[0].1.tile_count();
-        let l = project_cloud(std::slice::from_ref(&large), &cam(), 3)[0].1.tile_count();
+        let s = project_cloud(std::slice::from_ref(&small), &cam(), 3)[0]
+            .1
+            .tile_count();
+        let l = project_cloud(std::slice::from_ref(&large), &cam(), 3)[0]
+            .1
+            .tile_count();
         assert!(l > s);
     }
 }

@@ -1,4 +1,13 @@
 //! Rendering stage: per-tile front-to-back alpha blending.
+//!
+//! The optimized rasterizer clips each splat's pixel loop to the
+//! intersection of its screen-space support rectangle
+//! ([`crate::projection::Splat::bbox_px`]) with the tile, instead of
+//! scanning all `TILE_SIZE × TILE_SIZE` pixels per splat as the seed
+//! pipeline (kept in [`crate::reference`]) does. The bbox is conservative —
+//! every excluded pixel is guaranteed below [`ALPHA_EPS`] — so the blend
+//! state, image and all counters except redundant below-threshold
+//! evaluations are bit-identical to the naive scan.
 
 use crate::binning::TileKey;
 use crate::projection::Splat;
@@ -10,7 +19,11 @@ use gs_core::vec::{Vec2, Vec3};
 pub struct TileOutcome {
     /// Blend operations executed.
     pub fragments: u64,
-    /// Fragments evaluated but below the alpha threshold.
+    /// Fragments evaluated inside a splat's support rectangle but below the
+    /// alpha threshold. (Pixels outside the support are *proven* below
+    /// threshold and are neither evaluated nor counted — the naive
+    /// reference scan applies the same counting rule so the two pipelines
+    /// agree counter-for-counter.)
     pub skipped: u64,
     /// Pixels that exhausted transmittance before the list ended.
     pub early_terminated: u64,
@@ -20,13 +33,49 @@ pub struct TileOutcome {
     pub consumed_entries: u64,
 }
 
+/// Reusable per-tile blend state (transmittance + early-termination flags),
+/// owned by the frame arena so steady-state rendering allocates nothing.
+#[derive(Clone, Debug)]
+pub struct TileScratch {
+    /// Per-pixel remaining transmittance.
+    pub transmittance: Vec<f32>,
+    /// Per-pixel "saturated or off-screen" flag.
+    pub done: Vec<bool>,
+}
+
+impl Default for TileScratch {
+    fn default() -> Self {
+        let n = (TILE_SIZE * TILE_SIZE) as usize;
+        TileScratch {
+            transmittance: vec![1.0; n],
+            done: vec![false; n],
+        }
+    }
+}
+
+impl TileScratch {
+    /// Fresh scratch for one tile.
+    pub fn new() -> TileScratch {
+        TileScratch::default()
+    }
+}
+
+/// Converts one axis of a support rectangle `[lo, hi]` to the inclusive
+/// range of pixel *indices* whose centres (`p + 0.5`) fall inside it.
+/// Saturating casts make infinite bboxes degrade to full scans.
+#[inline]
+pub(crate) fn pixel_span(lo: f32, hi: f32) -> (i64, i64) {
+    ((lo - 0.5).ceil() as i64, (hi - 0.5).floor() as i64)
+}
+
 /// Blends one tile's sorted splat list into `out` (a row-major
 /// `TILE_SIZE × TILE_SIZE` RGB buffer), returning the counters.
 ///
 /// `origin` is the tile's top-left pixel; `width`/`height` clip partial
 /// edge tiles. The blend is the exact 3DGS forward model:
 /// `C = Σ cᵢ αᵢ Tᵢ`, `Tᵢ₊₁ = Tᵢ (1 − αᵢ)`, early-out at
-/// [`TRANSMITTANCE_EPS`].
+/// [`TRANSMITTANCE_EPS`]. Per splat, only the pixels inside
+/// `bbox_px ∩ tile` are visited.
 #[allow(clippy::too_many_arguments)]
 pub fn rasterize_tile(
     splats: &[Splat],
@@ -36,6 +85,7 @@ pub fn rasterize_tile(
     width: u32,
     height: u32,
     background: Vec3,
+    scratch: &mut TileScratch,
     out: &mut [Vec3],
 ) -> TileOutcome {
     debug_assert_eq!(out.len(), (TILE_SIZE * TILE_SIZE) as usize);
@@ -43,8 +93,10 @@ pub fn rasterize_tile(
     let n = TILE_SIZE as usize;
 
     // Per-pixel transmittance; colour accumulates in `out`.
-    let mut transmittance = [1.0f32; (TILE_SIZE * TILE_SIZE) as usize];
-    let mut done = [false; (TILE_SIZE * TILE_SIZE) as usize];
+    let transmittance = &mut scratch.transmittance[..];
+    let done = &mut scratch.done[..];
+    transmittance.fill(1.0);
+    done.fill(false);
     let mut live = (width.saturating_sub(origin.0)).min(TILE_SIZE) as u64
         * (height.saturating_sub(origin.1)).min(TILE_SIZE) as u64;
 
@@ -63,9 +115,24 @@ pub fn rasterize_tile(
     'splat_loop: for ki in range.0..range.1 {
         outcome.consumed_entries += 1;
         let s = &splats[keys[ki as usize].splat as usize];
-        for ly in 0..n {
-            for lx in 0..n {
-                let pi = ly * n + lx;
+
+        // Clip the pixel loop to the splat's support ∩ this tile. Pixels
+        // outside the support are provably below ALPHA_EPS (see
+        // `projection::support_bbox`), so skipping them changes no state.
+        let (gx0, gx1) = pixel_span(s.bbox_px.0, s.bbox_px.2);
+        let (gy0, gy1) = pixel_span(s.bbox_px.1, s.bbox_px.3);
+        let lx0 = gx0.max(origin.0 as i64) - origin.0 as i64;
+        let lx1 = gx1.min(origin.0 as i64 + n as i64 - 1) - origin.0 as i64;
+        let ly0 = gy0.max(origin.1 as i64) - origin.1 as i64;
+        let ly1 = gy1.min(origin.1 as i64 + n as i64 - 1) - origin.1 as i64;
+        if lx0 > lx1 || ly0 > ly1 {
+            continue;
+        }
+
+        for ly in ly0 as usize..=ly1 as usize {
+            let row = ly * n;
+            for lx in lx0 as usize..=lx1 as usize {
+                let pi = row + lx;
                 if done[pi] {
                     continue;
                 }
@@ -111,17 +178,22 @@ pub fn rasterize_tile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::projection::{support_bbox, FULL_BBOX};
     use gs_core::sym::Sym2;
 
     fn tight_splat(x: f32, y: f32, color: Vec3, opacity: f32, depth: f32) -> Splat {
+        // Very tight conic → only the centre pixel sees meaningful alpha.
+        let conic = Sym2::new(8.0, 0.0, 8.0);
+        let cov2d = conic.inverse().unwrap();
+        let mean_px = gs_core::vec::Vec2::new(x, y);
         Splat {
-            mean_px: Vec2::new(x, y),
-            // Very tight conic → only the centre pixel sees meaningful alpha.
-            conic: Sym2::new(8.0, 0.0, 8.0),
+            mean_px,
+            conic,
             color,
             opacity,
             depth,
             tile_rect: (0, 0, 0, 0),
+            bbox_px: support_bbox(mean_px, cov2d, opacity),
         }
     }
 
@@ -139,6 +211,7 @@ mod tests {
             ks
         };
         let mut out = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
+        let mut scratch = TileScratch::new();
         let o = rasterize_tile(
             splats,
             &keys,
@@ -147,6 +220,7 @@ mod tests {
             TILE_SIZE,
             TILE_SIZE,
             background,
+            &mut scratch,
             &mut out,
         );
         (out, o)
@@ -179,7 +253,10 @@ mod tests {
         let (b, _) = run(&[green, red], Vec3::ZERO);
         let pa = a[8 * TILE_SIZE as usize + 8];
         let pb = b[8 * TILE_SIZE as usize + 8];
-        assert!((pa - pb).length() < 1e-6, "sorting should make order irrelevant");
+        assert!(
+            (pa - pb).length() < 1e-6,
+            "sorting should make order irrelevant"
+        );
         assert!(pa.x > pa.y, "red should dominate");
     }
 
@@ -210,6 +287,7 @@ mod tests {
         let s = tight_splat(2.5, 2.5, Vec3::ONE, 0.9, 1.0);
         let keys = [TileKey { key: 0, splat: 0 }];
         let mut out = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
+        let mut scratch = TileScratch::new();
         // Frame is only 4×4 pixels.
         let o = rasterize_tile(
             std::slice::from_ref(&s),
@@ -219,6 +297,7 @@ mod tests {
             4,
             4,
             Vec3::ONE,
+            &mut scratch,
             &mut out,
         );
         // Offscreen pixel stays black (no background composite).
@@ -228,9 +307,49 @@ mod tests {
 
     #[test]
     fn alpha_below_eps_is_skipped() {
-        let s = tight_splat(8.5, 8.5, Vec3::ONE, 0.0005, 1.0);
+        // Force naive-scan semantics with a full bbox: every pixel is
+        // evaluated and counted as skipped.
+        let mut s = tight_splat(8.5, 8.5, Vec3::ONE, 0.0005, 1.0);
+        s.bbox_px = FULL_BBOX;
         let (_, o) = run(std::slice::from_ref(&s), Vec3::ZERO);
         assert_eq!(o.fragments, 0);
         assert!(o.skipped > 0);
+    }
+
+    #[test]
+    fn sub_threshold_opacity_has_empty_support() {
+        // The same splat with its derived (empty) bbox: nothing is even
+        // evaluated, which is the whole point of footprint clipping.
+        let s = tight_splat(8.5, 8.5, Vec3::ONE, 0.0005, 1.0);
+        assert_eq!(s.bbox_px, crate::projection::EMPTY_BBOX);
+        let (_, o) = run(std::slice::from_ref(&s), Vec3::ZERO);
+        assert_eq!(o.fragments, 0);
+        assert_eq!(o.skipped, 0);
+        assert_eq!(o.consumed_entries, 1);
+    }
+
+    #[test]
+    fn bbox_clip_matches_full_scan_state() {
+        // A mid-size splat: clipped and full-bbox scans must produce the
+        // same image and the same fragment counter.
+        let conic = Sym2::new(0.08, 0.01, 0.06);
+        let cov2d = conic.inverse().unwrap();
+        let mean = gs_core::vec::Vec2::new(7.0, 9.0);
+        let clipped = Splat {
+            mean_px: mean,
+            conic,
+            color: Vec3::new(0.9, 0.5, 0.2),
+            opacity: 0.8,
+            depth: 1.0,
+            tile_rect: (0, 0, 0, 0),
+            bbox_px: support_bbox(mean, cov2d, 0.8),
+        };
+        let mut full = clipped;
+        full.bbox_px = FULL_BBOX;
+        let (img_a, o_a) = run(std::slice::from_ref(&clipped), Vec3::ZERO);
+        let (img_b, o_b) = run(std::slice::from_ref(&full), Vec3::ZERO);
+        assert_eq!(img_a, img_b);
+        assert_eq!(o_a.fragments, o_b.fragments);
+        assert_eq!(o_a.early_terminated, o_b.early_terminated);
     }
 }

@@ -1,0 +1,270 @@
+//! The seed (naive) tile-centric pipeline, preserved as ground truth.
+//!
+//! This module keeps the pre-optimization hot path alive so that tests can
+//! prove the optimized pipeline is **image-identical and
+//! counter-identical**, and so `gs-bench`'s `hotpath` benchmark can measure
+//! the speedup. Three deliberate inefficiencies are retained:
+//!
+//! 1. [`rasterize_tile_reference`] evaluates every splat against **all**
+//!    `TILE_SIZE × TILE_SIZE` pixels of every tile it touches (no footprint
+//!    clipping) — the redundancy the StreamingGS paper calls out in the
+//!    conventional pipeline.
+//! 2. [`bin_and_sort_reference`] runs a global comparison sort over all
+//!    (tile, depth) pairs instead of the two-pass counting sort.
+//! 3. [`render_reference`] allocates every intermediate buffer per frame
+//!    (no arena, no worker pool; single-threaded).
+//!
+//! Counting rule: like the optimized path, a below-threshold evaluation is
+//! only *counted* as skipped when the pixel lies inside the splat's support
+//! rectangle — the reference still performs the full-tile evaluation work,
+//! but the counters stay comparable bit-for-bit.
+
+use crate::binning::{depth_bits, TileKey};
+use crate::projection::{project_cloud, tile_grid, Splat};
+use crate::rasterize::{pixel_span, TileOutcome};
+use crate::renderer::{tile_origin, RenderConfig, RenderOutput};
+use crate::stats::RenderStats;
+use crate::{ALPHA_EPS, ALPHA_MAX, TILE_SIZE, TRANSMITTANCE_EPS};
+use gs_core::camera::Camera;
+use gs_core::image::ImageRgb;
+use gs_core::vec::{Vec2, Vec3};
+use gs_scene::GaussianCloud;
+
+/// Naive full-tile-scan rasterizer (see module docs). Same contract as
+/// [`crate::rasterize::rasterize_tile`] minus the reusable scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_tile_reference(
+    splats: &[Splat],
+    keys: &[TileKey],
+    range: (u32, u32),
+    origin: (u32, u32),
+    width: u32,
+    height: u32,
+    background: Vec3,
+    out: &mut [Vec3],
+) -> TileOutcome {
+    debug_assert_eq!(out.len(), (TILE_SIZE * TILE_SIZE) as usize);
+    let mut outcome = TileOutcome::default();
+    let n = TILE_SIZE as usize;
+
+    let mut transmittance = [1.0f32; (TILE_SIZE * TILE_SIZE) as usize];
+    let mut done = [false; (TILE_SIZE * TILE_SIZE) as usize];
+    let mut live = (width.saturating_sub(origin.0)).min(TILE_SIZE) as u64
+        * (height.saturating_sub(origin.1)).min(TILE_SIZE) as u64;
+
+    out.fill(Vec3::ZERO);
+    for ly in 0..n {
+        for lx in 0..n {
+            let px = origin.0 + lx as u32;
+            let py = origin.1 + ly as u32;
+            if px >= width || py >= height {
+                done[ly * n + lx] = true;
+            }
+        }
+    }
+
+    'splat_loop: for ki in range.0..range.1 {
+        outcome.consumed_entries += 1;
+        let s = &splats[keys[ki as usize].splat as usize];
+        // Support bounds used for the *counting rule* only — the loop below
+        // still scans the full tile.
+        let (gx0, gx1) = pixel_span(s.bbox_px.0, s.bbox_px.2);
+        let (gy0, gy1) = pixel_span(s.bbox_px.1, s.bbox_px.3);
+        for ly in 0..n {
+            for lx in 0..n {
+                let pi = ly * n + lx;
+                if done[pi] {
+                    continue;
+                }
+                let px = (origin.0 + lx as u32) as f32 + 0.5;
+                let py = (origin.1 + ly as u32) as f32 + 0.5;
+                let d = Vec2::new(px - s.mean_px.x, py - s.mean_px.y);
+                let w = gs_core::ewa::falloff(s.conic, d);
+                let alpha = (s.opacity * w).min(ALPHA_MAX);
+                if alpha < ALPHA_EPS {
+                    let gx = (origin.0 + lx as u32) as i64;
+                    let gy = (origin.1 + ly as u32) as i64;
+                    if gx >= gx0 && gx <= gx1 && gy >= gy0 && gy <= gy1 {
+                        outcome.skipped += 1;
+                    }
+                    continue;
+                }
+                let t = transmittance[pi];
+                out[pi] += s.color * (alpha * t);
+                transmittance[pi] = t * (1.0 - alpha);
+                outcome.fragments += 1;
+                if transmittance[pi] < TRANSMITTANCE_EPS {
+                    done[pi] = true;
+                    outcome.early_terminated += 1;
+                    live -= 1;
+                    if live == 0 {
+                        break 'splat_loop;
+                    }
+                }
+            }
+        }
+    }
+
+    for ly in 0..n {
+        for lx in 0..n {
+            let pi = ly * n + lx;
+            let px = origin.0 + lx as u32;
+            let py = origin.1 + ly as u32;
+            if px < width && py < height {
+                out[pi] += background * transmittance[pi];
+            }
+        }
+    }
+    outcome
+}
+
+/// Naive binning: materialize every (tile, depth) pair and globally
+/// comparison-sort, exactly as the seed pipeline did (plus the splat-index
+/// tie-break so equal-depth ordering matches the counting sort).
+pub fn bin_and_sort_reference(
+    splats: &[Splat],
+    tiles_x: u32,
+    tiles_y: u32,
+) -> (Vec<TileKey>, Vec<(u32, u32)>) {
+    let mut keys = Vec::new();
+    for (si, s) in splats.iter().enumerate() {
+        let (x0, y0, x1, y1) = s.tile_rect;
+        let d = depth_bits(s.depth) as u64;
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                let tile_id = (ty * tiles_x + tx) as u64;
+                keys.push(TileKey {
+                    key: (tile_id << 32) | d,
+                    splat: si as u32,
+                });
+            }
+        }
+    }
+    keys.sort_unstable_by_key(|k| (k.key, k.splat));
+
+    let n_tiles = (tiles_x * tiles_y) as usize;
+    let mut ranges = vec![(0u32, 0u32); n_tiles];
+    let mut i = 0usize;
+    while i < keys.len() {
+        let tile = (keys[i].key >> 32) as usize;
+        let start = i;
+        while i < keys.len() && (keys[i].key >> 32) as usize == tile {
+            i += 1;
+        }
+        ranges[tile] = (start as u32, i as u32);
+    }
+    (keys, ranges)
+}
+
+/// Renders a frame through the naive pipeline: per-frame allocations,
+/// comparison-sort binning, full-tile-scan rasterization, single-threaded.
+///
+/// Produces the same `RenderOutput` (image **and** stats, with one caveat)
+/// as `TileRenderer::render` with `threads: 1`; the caveat is none — the
+/// shared counting rule (see module docs) makes even `skipped_fragments`
+/// agree. The exactness tests in `tests/exactness.rs` assert both.
+///
+/// Note one representational difference from [`bin_and_sort_reference`]'s
+/// seed version: empty tiles here keep range `(0, 0)` while the counting
+/// sort emits `(k, k)` at the running prefix; both are empty slices and all
+/// derived statistics agree.
+pub fn render_reference(
+    config: &RenderConfig,
+    cloud: &GaussianCloud,
+    cam: &Camera,
+) -> RenderOutput {
+    let width = cam.width();
+    let height = cam.height();
+    let (tiles_x, tiles_y) = tile_grid(width, height);
+    let n_tiles = (tiles_x * tiles_y) as usize;
+
+    // Stage 1: projection (fresh allocation, indices immediately dropped).
+    let projected = project_cloud(cloud.as_slice(), cam, config.sh_degree);
+    let splats: Vec<Splat> = projected.iter().map(|(_, s)| *s).collect();
+
+    // Stage 2: global comparison sort.
+    let (keys, ranges) = bin_and_sort_reference(&splats, tiles_x, tiles_y);
+
+    // Stage 3: sequential full-scan rasterization, one fresh buffer per tile.
+    let mut image = ImageRgb::new(width, height);
+    let mut fragments = 0u64;
+    let mut skipped = 0u64;
+    let mut early = 0u64;
+    let mut consumed = 0u64;
+    #[allow(clippy::needless_range_loop)]
+    for t in 0..n_tiles {
+        let mut buf = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
+        let origin = tile_origin(t, tiles_x);
+        let outcome = rasterize_tile_reference(
+            &splats,
+            &keys,
+            ranges[t],
+            origin,
+            width,
+            height,
+            config.background,
+            &mut buf,
+        );
+        for ly in 0..TILE_SIZE {
+            for lx in 0..TILE_SIZE {
+                let px = origin.0 + lx;
+                let py = origin.1 + ly;
+                if px < width && py < height {
+                    image.set(px, py, buf[(ly * TILE_SIZE + lx) as usize]);
+                }
+            }
+        }
+        fragments += outcome.fragments;
+        skipped += outcome.skipped;
+        early += outcome.early_terminated;
+        consumed += outcome.consumed_entries;
+    }
+
+    let occupied = ranges.iter().filter(|(a, b)| b > a).count() as u64;
+    let max_list = ranges
+        .iter()
+        .map(|(a, b)| (b - a) as u64)
+        .max()
+        .unwrap_or(0);
+    let stats = RenderStats {
+        total_gaussians: cloud.len() as u64,
+        visible_gaussians: splats.len() as u64,
+        tile_pairs: keys.len() as u64,
+        occupied_tiles: occupied,
+        total_tiles: n_tiles as u64,
+        pixels: width as u64 * height as u64,
+        blended_fragments: fragments,
+        skipped_fragments: skipped,
+        early_terminated_pixels: early,
+        consumed_entries: consumed,
+        max_tile_list: max_list,
+    };
+    RenderOutput { image, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::bin_and_sort;
+    use gs_scene::{SceneConfig, SceneKind};
+
+    #[test]
+    fn reference_binning_matches_counting_sort() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let splats: Vec<Splat> = project_cloud(scene.trained.as_slice(), cam, 3)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        let (tiles_x, tiles_y) = tile_grid(cam.width(), cam.height());
+        let (k_ref, r_ref) = bin_and_sort_reference(&splats, tiles_x, tiles_y);
+        let (k_opt, r_opt) = bin_and_sort(&splats, tiles_x, tiles_y);
+        assert_eq!(k_ref, k_opt, "key order must match bit-for-bit");
+        // Ranges may differ representationally on empty tiles only.
+        for (a, b) in r_ref.iter().zip(r_opt.iter()) {
+            if a.1 > a.0 || b.1 > b.0 {
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

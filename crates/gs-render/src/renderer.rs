@@ -1,8 +1,17 @@
 //! The complete tile-centric renderer: projection → sorting → rendering.
+//!
+//! The hot path is allocation-free in steady state: all intermediate
+//! buffers live in a [`FrameArena`] and tile rasterization runs on a
+//! persistent [`WorkerPool`], both reused across frames (the seed pipeline
+//! re-allocated every buffer and re-spawned every worker per frame; that
+//! version survives as [`crate::reference`] for exactness testing and
+//! benchmarking).
 
-use crate::binning::bin_and_sort;
-use crate::projection::{project_cloud, tile_grid};
-use crate::rasterize::{rasterize_tile, TileOutcome};
+use crate::arena::{FrameArena, TILE_PIXELS};
+use crate::binning::bin_and_sort_into;
+use crate::pool::WorkerPool;
+use crate::projection::{project_splats_into, tile_grid};
+use crate::rasterize::rasterize_tile;
 use crate::stats::RenderStats;
 use crate::TILE_SIZE;
 use gs_core::camera::Camera;
@@ -10,6 +19,7 @@ use gs_core::image::ImageRgb;
 use gs_core::vec::Vec3;
 use gs_scene::GaussianCloud;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Renderer configuration.
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -24,7 +34,22 @@ pub struct RenderConfig {
 
 impl Default for RenderConfig {
     fn default() -> Self {
-        RenderConfig { background: Vec3::ZERO, sh_degree: 3, threads: 0 }
+        RenderConfig {
+            background: Vec3::ZERO,
+            sh_degree: 3,
+            threads: 0,
+        }
+    }
+}
+
+/// Resolves a `threads` config value (0 = all cores) to a concrete count.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
     }
 }
 
@@ -35,6 +60,15 @@ pub struct RenderOutput {
     pub image: ImageRgb,
     /// Workload counters feeding the performance models.
     pub stats: RenderStats,
+}
+
+/// Reusable frame state: arena + worker pool, behind a mutex so `render`
+/// can stay `&self`. Concurrent `render` calls on one renderer serialize;
+/// clone the renderer for independent parallel use.
+#[derive(Debug, Default)]
+struct RenderScratch {
+    arena: FrameArena,
+    pool: Option<WorkerPool>,
 }
 
 /// The tile-centric reference renderer (paper Fig. 2 pipeline).
@@ -52,15 +86,33 @@ pub struct RenderOutput {
 /// // The red Gaussian lands in the centre of the frame.
 /// assert!(out.image.get(32, 32).x > 0.5);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 pub struct TileRenderer {
     config: RenderConfig,
+    scratch: Mutex<RenderScratch>,
+}
+
+impl Default for TileRenderer {
+    fn default() -> Self {
+        TileRenderer::new(RenderConfig::default())
+    }
+}
+
+impl Clone for TileRenderer {
+    /// Clones the configuration; the clone starts with a fresh arena and
+    /// worker pool (frame state is not shared between renderers).
+    fn clone(&self) -> Self {
+        TileRenderer::new(self.config)
+    }
 }
 
 impl TileRenderer {
     /// Creates a renderer with the given configuration.
     pub fn new(config: RenderConfig) -> TileRenderer {
-        TileRenderer { config }
+        TileRenderer {
+            config,
+            scratch: Mutex::new(RenderScratch::default()),
+        }
     }
 
     /// The active configuration.
@@ -74,78 +126,112 @@ impl TileRenderer {
         let height = cam.height();
         let (tiles_x, tiles_y) = tile_grid(width, height);
         let n_tiles = (tiles_x * tiles_y) as usize;
-
-        // Stage 1: projection.
-        let projected = project_cloud(cloud.as_slice(), cam, self.config.sh_degree);
-        let splats: Vec<_> = projected.iter().map(|(_, s)| *s).collect();
-
-        // Stage 2: sorting.
-        let (keys, ranges) = bin_and_sort(&splats, tiles_x, tiles_y);
-
-        // Stage 3: per-tile rasterization (parallel over tiles).
-        let mut image = ImageRgb::new(width, height);
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.config.threads
-        };
         let background = self.config.background;
 
-        let tile_results: Vec<(usize, Vec<Vec3>, TileOutcome)> = if threads <= 1 || n_tiles <= 1 {
-            (0..n_tiles)
-                .map(|t| {
-                    let mut buf = vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
-                    let origin = tile_origin(t, tiles_x);
-                    let o = rasterize_tile(
-                        &splats, &keys, ranges[t], origin, width, height, background, &mut buf,
-                    );
-                    (t, buf, o)
-                })
-                .collect()
-        } else {
-            let chunk = n_tiles.div_ceil(threads);
-            let mut results: Vec<(usize, Vec<Vec3>, TileOutcome)> = Vec::with_capacity(n_tiles);
-            let pieces: Vec<Vec<(usize, Vec<Vec3>, TileOutcome)>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for w in 0..threads {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n_tiles);
-                    if lo >= hi {
-                        continue;
-                    }
-                    let splats = &splats;
-                    let keys = &keys;
-                    let ranges = &ranges;
-                    handles.push(scope.spawn(move || {
-                        (lo..hi)
-                            .map(|t| {
-                                let mut buf =
-                                    vec![Vec3::ZERO; (TILE_SIZE * TILE_SIZE) as usize];
-                                let origin = tile_origin(t, tiles_x);
-                                let o = rasterize_tile(
-                                    splats, keys, ranges[t], origin, width, height, background,
-                                    &mut buf,
-                                );
-                                (t, buf, o)
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("tile worker panicked")).collect()
-            });
-            for piece in pieces {
-                results.extend(piece);
-            }
-            results
-        };
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let RenderScratch { arena, pool } = &mut *guard;
 
-        // Composite tiles and fold stats.
+        // Stage 1: projection.
+        project_splats_into(
+            cloud.as_slice(),
+            cam,
+            self.config.sh_degree,
+            &mut arena.splats,
+        );
+
+        // Stage 2: sorting (two-pass counting sort, see `binning`).
+        bin_and_sort_into(
+            &arena.splats,
+            tiles_x,
+            tiles_y,
+            &mut arena.keys,
+            &mut arena.ranges,
+        );
+
+        // Stage 3: per-tile rasterization (parallel over tile chunks).
+        let threads = resolve_threads(self.config.threads).min(n_tiles.max(1));
+        arena.ensure_tiles(n_tiles, threads);
+        let chunk = n_tiles.div_ceil(threads.max(1));
+        let splats = &arena.splats[..];
+        let keys = &arena.keys[..];
+        let ranges = &arena.ranges[..];
+
+        if threads <= 1 || n_tiles <= 1 {
+            let scratch = &mut arena.scratch[0];
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..n_tiles {
+                let buf = &mut arena.tile_pixels[t * TILE_PIXELS..(t + 1) * TILE_PIXELS];
+                arena.outcomes[t] = rasterize_tile(
+                    splats,
+                    keys,
+                    ranges[t],
+                    tile_origin(t, tiles_x),
+                    width,
+                    height,
+                    background,
+                    scratch,
+                    buf,
+                );
+            }
+        } else {
+            // Chunk c rasterizes tiles [c·chunk, (c+1)·chunk): every chunk
+            // touches disjoint ranges of the pixel/outcome/scratch buffers,
+            // reconstructed from raw base pointers inside the job closure
+            // (a `Fn(usize)` cannot hand out pre-split `&mut` slices).
+            let px_base = arena.tile_pixels.as_mut_ptr() as usize;
+            let oc_base = arena.outcomes.as_mut_ptr() as usize;
+            let sc_base = arena.scratch.as_mut_ptr() as usize;
+            let pool = WorkerPool::ensure(pool, threads);
+            pool.run(threads, |c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n_tiles);
+                if lo >= hi {
+                    return;
+                }
+                // SAFETY: tile ranges [lo, hi) are disjoint across chunk
+                // indices, and scratch slot `c` is unique per job; the
+                // arena outlives `pool.run`, which blocks until all jobs
+                // finish.
+                let pixels = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (px_base as *mut Vec3).add(lo * TILE_PIXELS),
+                        (hi - lo) * TILE_PIXELS,
+                    )
+                };
+                let outcomes = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (oc_base as *mut crate::rasterize::TileOutcome).add(lo),
+                        hi - lo,
+                    )
+                };
+                let scratch =
+                    unsafe { &mut *(sc_base as *mut crate::rasterize::TileScratch).add(c) };
+                for t in lo..hi {
+                    let buf = &mut pixels[(t - lo) * TILE_PIXELS..(t - lo + 1) * TILE_PIXELS];
+                    outcomes[t - lo] = rasterize_tile(
+                        splats,
+                        keys,
+                        ranges[t],
+                        tile_origin(t, tiles_x),
+                        width,
+                        height,
+                        background,
+                        scratch,
+                        buf,
+                    );
+                }
+            });
+        }
+
+        // Composite tiles and fold stats (serial, deterministic order).
+        let mut image = ImageRgb::new(width, height);
         let mut fragments = 0u64;
         let mut skipped = 0u64;
         let mut early = 0u64;
         let mut consumed = 0u64;
-        for (t, buf, outcome) in &tile_results {
-            let (ox, oy) = tile_origin(*t, tiles_x);
+        for t in 0..n_tiles {
+            let (ox, oy) = tile_origin(t, tiles_x);
+            let buf = &arena.tile_pixels[t * TILE_PIXELS..(t + 1) * TILE_PIXELS];
             for ly in 0..TILE_SIZE {
                 for lx in 0..TILE_SIZE {
                     let px = ox + lx;
@@ -155,6 +241,7 @@ impl TileRenderer {
                     }
                 }
             }
+            let outcome = &arena.outcomes[t];
             fragments += outcome.fragments;
             skipped += outcome.skipped;
             early += outcome.early_terminated;
@@ -162,11 +249,15 @@ impl TileRenderer {
         }
 
         let occupied = ranges.iter().filter(|(a, b)| b > a).count() as u64;
-        let max_list = ranges.iter().map(|(a, b)| (b - a) as u64).max().unwrap_or(0);
+        let max_list = ranges
+            .iter()
+            .map(|(a, b)| (b - a) as u64)
+            .max()
+            .unwrap_or(0);
         let stats = RenderStats {
             total_gaussians: cloud.len() as u64,
-            visible_gaussians: splats.len() as u64,
-            tile_pairs: keys.len() as u64,
+            visible_gaussians: arena.splats.len() as u64,
+            tile_pairs: arena.keys.len() as u64,
             occupied_tiles: occupied,
             total_tiles: n_tiles as u64,
             pixels: width as u64 * height as u64,
@@ -185,7 +276,8 @@ impl TileRenderer {
     }
 }
 
-fn tile_origin(tile_index: usize, tiles_x: u32) -> (u32, u32) {
+/// Top-left pixel of a tile index in a `tiles_x`-wide grid.
+pub(crate) fn tile_origin(tile_index: usize, tiles_x: u32) -> (u32, u32) {
     let tx = tile_index as u32 % tiles_x;
     let ty = tile_index as u32 / tiles_x;
     (tx * TILE_SIZE, ty * TILE_SIZE)
@@ -218,12 +310,89 @@ mod tests {
     fn single_thread_matches_multi_thread() {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
         let cam = &scene.eval_cameras[0];
-        let seq = TileRenderer::new(RenderConfig { threads: 1, ..RenderConfig::default() })
-            .render(&scene.ground_truth, cam);
-        let par = TileRenderer::new(RenderConfig { threads: 4, ..RenderConfig::default() })
-            .render(&scene.ground_truth, cam);
+        let seq = TileRenderer::new(RenderConfig {
+            threads: 1,
+            ..RenderConfig::default()
+        })
+        .render(&scene.ground_truth, cam);
+        let par = TileRenderer::new(RenderConfig {
+            threads: 4,
+            ..RenderConfig::default()
+        })
+        .render(&scene.ground_truth, cam);
         assert_eq!(seq.image, par.image);
         assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn pool_grows_for_larger_frames() {
+        // Regression: a small first frame (few tiles) must not permanently
+        // cap the worker pool for later, larger frames.
+        let cloud: GaussianCloud =
+            std::iter::once(Gaussian::isotropic(Vec3::ZERO, 0.2, Vec3::ONE, 0.9)).collect();
+        let r = TileRenderer::new(RenderConfig {
+            threads: 4,
+            ..RenderConfig::default()
+        });
+        // 32x16 -> 2 tiles -> pool sized 2.
+        let small_cam =
+            Camera::look_at(Vec3::new(0.0, 0.0, -3.0), Vec3::ZERO, Vec3::Y, 32, 16, 1.0);
+        r.render(&cloud, &small_cam);
+        assert_eq!(r.scratch.lock().unwrap().pool.as_ref().unwrap().size(), 2);
+        // 128x128 -> 64 tiles -> pool must grow to the full 4 workers.
+        let big_cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -3.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            128,
+            128,
+            1.0,
+        );
+        let big = r.render(&cloud, &big_cam);
+        assert_eq!(r.scratch.lock().unwrap().pool.as_ref().unwrap().size(), 4);
+        let fresh = TileRenderer::new(RenderConfig {
+            threads: 4,
+            ..RenderConfig::default()
+        })
+        .render(&cloud, &big_cam);
+        assert_eq!(big.image, fresh.image);
+        assert_eq!(big.stats, fresh.stats);
+    }
+
+    #[test]
+    fn repeated_frames_reuse_arena_capacity() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let r = TileRenderer::new(RenderConfig {
+            threads: 2,
+            ..RenderConfig::default()
+        });
+        let first = r.render(&scene.ground_truth, cam);
+        let caps = {
+            let guard = r.scratch.lock().unwrap();
+            let a = &guard.arena;
+            (
+                a.splats.capacity(),
+                a.keys.capacity(),
+                a.tile_pixels.capacity(),
+            )
+        };
+        for _ in 0..3 {
+            let again = r.render(&scene.ground_truth, cam);
+            assert_eq!(again.image, first.image);
+            assert_eq!(again.stats, first.stats);
+        }
+        let guard = r.scratch.lock().unwrap();
+        let a = &guard.arena;
+        assert_eq!(
+            caps,
+            (
+                a.splats.capacity(),
+                a.keys.capacity(),
+                a.tile_pixels.capacity()
+            ),
+            "steady-state frames must not grow the arena"
+        );
     }
 
     #[test]
@@ -231,8 +400,11 @@ mod tests {
         let cloud = GaussianCloud::new();
         let cam = Camera::look_at(Vec3::new(0.0, 0.0, -3.0), Vec3::ZERO, Vec3::Y, 32, 32, 1.0);
         let bg = Vec3::new(0.2, 0.4, 0.6);
-        let out = TileRenderer::new(RenderConfig { background: bg, ..RenderConfig::default() })
-            .render(&cloud, &cam);
+        let out = TileRenderer::new(RenderConfig {
+            background: bg,
+            ..RenderConfig::default()
+        })
+        .render(&cloud, &cam);
         assert!((out.image.get(16, 16) - bg).length() < 1e-6);
         assert_eq!(out.stats.blended_fragments, 0);
     }
@@ -275,9 +447,11 @@ mod tests {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
         let cam = &scene.eval_cameras[0];
         let full = TileRenderer::new(RenderConfig::default()).render(&scene.ground_truth, cam);
-        let dc =
-            TileRenderer::new(RenderConfig { sh_degree: 0, ..RenderConfig::default() })
-                .render(&scene.ground_truth, cam);
+        let dc = TileRenderer::new(RenderConfig {
+            sh_degree: 0,
+            ..RenderConfig::default()
+        })
+        .render(&scene.ground_truth, cam);
         // Images differ (view-dependent terms dropped) but only slightly.
         let psnr = dc.image.psnr(&full.image);
         assert!(psnr > 20.0, "degree truncation changed too much: {psnr}");

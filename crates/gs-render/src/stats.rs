@@ -107,8 +107,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates_and_maxes() {
-        let mut a = RenderStats { tile_pairs: 10, max_tile_list: 3, ..Default::default() };
-        let b = RenderStats { tile_pairs: 5, max_tile_list: 7, ..Default::default() };
+        let mut a = RenderStats {
+            tile_pairs: 10,
+            max_tile_list: 3,
+            ..Default::default()
+        };
+        let b = RenderStats {
+            tile_pairs: 5,
+            max_tile_list: 7,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.tile_pairs, 15);
         assert_eq!(a.max_tile_list, 7);

@@ -127,7 +127,8 @@ pub fn tile_centric_traffic(stats: &RenderStats, model: &TrafficModel) -> StageT
 
     // Radix sort: every pass streams the full pair array in and out; the
     // final range scan reads the keys once more.
-    let sorting_read = stats.tile_pairs * pair * model.radix_passes + stats.tile_pairs * model.key_bytes;
+    let sorting_read =
+        stats.tile_pairs * pair * model.radix_passes + stats.tile_pairs * model.key_bytes;
     let sorting_write = stats.tile_pairs * pair * model.radix_passes + stats.total_tiles * 8;
 
     // Rendering fetches (index + feature) per consumed entry and writes the

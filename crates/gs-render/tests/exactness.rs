@@ -1,0 +1,114 @@
+//! Bit-exactness of the optimized hot path against the naive reference.
+//!
+//! The optimized pipeline (bbox-clipped rasterization + counting-sort
+//! binning + frame arena + worker pool) must produce the **identical**
+//! image and the **identical** `RenderStats` — every counter, including
+//! `skipped_fragments` under the shared counting rule (see
+//! `gs_render::reference`) — as the seed pipeline preserved in
+//! `gs_render::reference`, on every stand-in scene.
+
+use gs_render::reference::render_reference;
+use gs_render::{RenderConfig, TileRenderer};
+use gs_scene::{SceneConfig, SceneKind};
+
+#[test]
+fn optimized_matches_reference_on_all_scenes() {
+    let cfg = RenderConfig {
+        threads: 1,
+        ..RenderConfig::default()
+    };
+    for kind in SceneKind::ALL {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        for (label, cloud) in [
+            ("trained", &scene.trained),
+            ("ground_truth", &scene.ground_truth),
+        ] {
+            let opt = TileRenderer::new(cfg).render(cloud, cam);
+            let naive = render_reference(&cfg, cloud, cam);
+            assert_eq!(
+                opt.image,
+                naive.image,
+                "optimized image diverged from reference on {} ({label})",
+                kind.name()
+            );
+            assert_eq!(
+                opt.stats,
+                naive.stats,
+                "optimized counters diverged from reference on {} ({label})",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_matches_reference_on_every_eval_camera() {
+    // Multiple viewpoints of one scene, catching view-dependent edge cases
+    // (partial tiles, off-centre splats, frustum-edge Jacobian clamps).
+    let cfg = RenderConfig {
+        threads: 1,
+        ..RenderConfig::default()
+    };
+    let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+    for cam in &scene.eval_cameras {
+        let opt = TileRenderer::new(cfg).render(&scene.trained, cam);
+        let naive = render_reference(&cfg, &scene.trained, cam);
+        assert_eq!(opt.image, naive.image);
+        assert_eq!(opt.stats, naive.stats);
+    }
+}
+
+#[test]
+fn thread_count_never_changes_output() {
+    // threads=1 vs several worker-pool widths (including one that does not
+    // divide the tile count evenly) on every scene kind.
+    for kind in SceneKind::ALL {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let seq = TileRenderer::new(RenderConfig {
+            threads: 1,
+            ..RenderConfig::default()
+        })
+        .render(&scene.trained, cam);
+        for threads in [2, 3, 8] {
+            let par = TileRenderer::new(RenderConfig {
+                threads,
+                ..RenderConfig::default()
+            })
+            .render(&scene.trained, cam);
+            assert_eq!(
+                seq.image,
+                par.image,
+                "threads={threads} changed the image on {}",
+                kind.name()
+            );
+            assert_eq!(
+                seq.stats,
+                par.stats,
+                "threads={threads} changed the stats on {}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_frames_on_one_renderer_are_stable() {
+    // The arena/pool must not leak state between frames, including when the
+    // camera (and thus tile count) changes between frames.
+    let scene = SceneKind::Palace.build(&SceneConfig::tiny());
+    let renderer = TileRenderer::new(RenderConfig {
+        threads: 4,
+        ..RenderConfig::default()
+    });
+    let mut firsts = Vec::new();
+    for cam in &scene.eval_cameras {
+        firsts.push(renderer.render(&scene.trained, cam));
+    }
+    for (cam, first) in scene.eval_cameras.iter().zip(&firsts) {
+        let again = renderer.render(&scene.trained, cam);
+        assert_eq!(again.image, first.image);
+        assert_eq!(again.stats, first.stats);
+    }
+}

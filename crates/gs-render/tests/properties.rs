@@ -1,21 +1,20 @@
 //! Property-based tests for the tile-centric pipeline.
 
-use gs_render::binning::{bin_and_sort, depth_bits};
-use gs_render::projection::{tile_rect_of, Splat};
 use gs_core::sym::Sym2;
 use gs_core::vec::{Vec2, Vec3};
+use gs_render::binning::{bin_and_sort, depth_bits};
+use gs_render::projection::{tile_rect_of, Splat};
 use proptest::prelude::*;
 
 fn splat_strategy() -> impl Strategy<Value = Splat> {
-    (0.1f32..100.0, 0u32..8, 0u32..6, 1u32..3, 1u32..3).prop_map(|(depth, x0, y0, dx, dy)| {
-        Splat {
-            mean_px: Vec2::new(x0 as f32 * 16.0, y0 as f32 * 16.0),
-            conic: Sym2::IDENTITY,
-            color: Vec3::ONE,
-            opacity: 0.5,
-            depth,
-            tile_rect: (x0, y0, (x0 + dx - 1).min(7), (y0 + dy - 1).min(5)),
-        }
+    (0.1f32..100.0, 0u32..8, 0u32..6, 1u32..3, 1u32..3).prop_map(|(depth, x0, y0, dx, dy)| Splat {
+        mean_px: Vec2::new(x0 as f32 * 16.0, y0 as f32 * 16.0),
+        conic: Sym2::IDENTITY,
+        color: Vec3::ONE,
+        opacity: 0.5,
+        depth,
+        tile_rect: (x0, y0, (x0 + dx - 1).min(7), (y0 + dy - 1).min(5)),
+        bbox_px: gs_render::projection::FULL_BBOX,
     })
 }
 

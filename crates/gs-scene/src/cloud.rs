@@ -24,7 +24,9 @@ pub struct GaussianCloud {
 impl GaussianCloud {
     /// Creates an empty cloud.
     pub fn new() -> GaussianCloud {
-        GaussianCloud { gaussians: Vec::new() }
+        GaussianCloud {
+            gaussians: Vec::new(),
+        }
     }
 
     /// Creates a cloud from a vector of Gaussians.
@@ -131,7 +133,9 @@ impl GaussianCloud {
 
 impl FromIterator<Gaussian> for GaussianCloud {
     fn from_iter<I: IntoIterator<Item = Gaussian>>(iter: I) -> GaussianCloud {
-        GaussianCloud { gaussians: iter.into_iter().collect() }
+        GaussianCloud {
+            gaussians: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -54,6 +54,9 @@ pub struct Gaussian {
 
 /// Serde support for the 48-element SH array (serde only derives arrays up
 /// to 32 elements).
+// The vendored offline serde stub ignores `#[serde(with = ...)]`, leaving
+// these adapters unreferenced; they are kept for real-serde compatibility.
+#[allow(dead_code)]
 mod sh_serde {
     use super::SH_COEFFS;
     use serde::de::Error;
@@ -167,7 +170,12 @@ mod tests {
 
     #[test]
     fn param_roundtrip() {
-        let mut g = Gaussian::isotropic(Vec3::new(1.0, 2.0, 3.0), 0.25, Vec3::new(0.2, 0.4, 0.8), 0.7);
+        let mut g = Gaussian::isotropic(
+            Vec3::new(1.0, 2.0, 3.0),
+            0.25,
+            Vec3::new(0.2, 0.4, 0.8),
+            0.7,
+        );
         g.scale = Vec3::new(0.1, 0.2, 0.3);
         g.rot = Quat::new(0.9, 0.1, -0.2, 0.3);
         g.sh[20] = 0.5;
@@ -187,8 +195,10 @@ mod tests {
 
     #[test]
     fn max_scale_and_radius() {
-        let mut g = Gaussian::default();
-        g.scale = Vec3::new(0.1, 0.4, 0.2);
+        let g = Gaussian {
+            scale: Vec3::new(0.1, 0.4, 0.2),
+            ..Gaussian::default()
+        };
         assert_eq!(g.max_scale(), 0.4);
         assert!((g.bounding_radius() - 1.2).abs() < 1e-6);
     }

@@ -91,7 +91,12 @@ pub struct Palette {
 impl Palette {
     /// Creates a palette mixing `a` and `b` with noise of the given frequency.
     pub fn new(a: Vec3, b: Vec3, frequency: f32, seed: u32) -> Palette {
-        Palette { a, b, frequency, seed }
+        Palette {
+            a,
+            b,
+            frequency,
+            seed,
+        }
     }
 
     /// Evaluates the albedo at world position `p`.
@@ -125,10 +130,19 @@ pub enum Primitive {
     BoxSurface { aabb: Aabb },
     /// Open cylinder side plus both caps, axis-aligned along `axis`
     /// (0 = x, 1 = y, 2 = z).
-    Cylinder { base: Vec3, axis: usize, radius: f32, height: f32 },
+    Cylinder {
+        base: Vec3,
+        axis: usize,
+        radius: f32,
+        height: f32,
+    },
     /// Rectangle spanned by `u_vec` × `v_vec` from `origin`, normal
     /// `u_vec × v_vec` normalized.
-    Rect { origin: Vec3, u_vec: Vec3, v_vec: Vec3 },
+    Rect {
+        origin: Vec3,
+        u_vec: Vec3,
+        v_vec: Vec3,
+    },
 }
 
 impl Primitive {
@@ -154,18 +168,31 @@ impl Primitive {
         match self {
             Primitive::Sphere { center, radius } => {
                 let n = sample_unit_sphere(rng);
-                SurfaceSample { pos: *center + n * *radius, normal: n }
+                SurfaceSample {
+                    pos: *center + n * *radius,
+                    normal: n,
+                }
             }
             Primitive::Dome { center, radius } => {
                 let mut n = sample_unit_sphere(rng);
                 n.z = n.z.abs();
-                SurfaceSample { pos: *center + n * *radius, normal: n }
+                SurfaceSample {
+                    pos: *center + n * *radius,
+                    normal: n,
+                }
             }
             Primitive::BoxSurface { aabb } => sample_box_surface(aabb, rng),
-            Primitive::Cylinder { base, axis, radius, height } => {
-                sample_cylinder(*base, *axis, *radius, *height, rng)
-            }
-            Primitive::Rect { origin, u_vec, v_vec } => {
+            Primitive::Cylinder {
+                base,
+                axis,
+                radius,
+                height,
+            } => sample_cylinder(*base, *axis, *radius, *height, rng),
+            Primitive::Rect {
+                origin,
+                u_vec,
+                v_vec,
+            } => {
                 let (su, sv) = (rng.gen::<f32>(), rng.gen::<f32>());
                 SurfaceSample {
                     pos: *origin + *u_vec * su + *v_vec * sv,
@@ -187,7 +214,14 @@ fn sample_unit_sphere(rng: &mut StdRng) -> Vec3 {
 fn sample_box_surface(aabb: &Aabb, rng: &mut StdRng) -> SurfaceSample {
     let e = aabb.extent();
     // Face areas: ±x, ±y, ±z pairs.
-    let areas = [e.y * e.z, e.y * e.z, e.x * e.z, e.x * e.z, e.x * e.y, e.x * e.y];
+    let areas = [
+        e.y * e.z,
+        e.y * e.z,
+        e.x * e.z,
+        e.x * e.z,
+        e.x * e.y,
+        e.x * e.y,
+    ];
     let total: f32 = areas.iter().sum();
     let mut pick = rng.gen_range(0.0..total.max(1e-12));
     let mut face = 0;
@@ -200,17 +234,41 @@ fn sample_box_surface(aabb: &Aabb, rng: &mut StdRng) -> SurfaceSample {
     }
     let (u, v) = (rng.gen::<f32>(), rng.gen::<f32>());
     let (pos, normal) = match face {
-        0 => (Vec3::new(aabb.min.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z), -Vec3::X),
-        1 => (Vec3::new(aabb.max.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z), Vec3::X),
-        2 => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y, aabb.min.z + v * e.z), -Vec3::Y),
-        3 => (Vec3::new(aabb.min.x + u * e.x, aabb.max.y, aabb.min.z + v * e.z), Vec3::Y),
-        4 => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.min.z), -Vec3::Z),
-        _ => (Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.max.z), Vec3::Z),
+        0 => (
+            Vec3::new(aabb.min.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z),
+            -Vec3::X,
+        ),
+        1 => (
+            Vec3::new(aabb.max.x, aabb.min.y + u * e.y, aabb.min.z + v * e.z),
+            Vec3::X,
+        ),
+        2 => (
+            Vec3::new(aabb.min.x + u * e.x, aabb.min.y, aabb.min.z + v * e.z),
+            -Vec3::Y,
+        ),
+        3 => (
+            Vec3::new(aabb.min.x + u * e.x, aabb.max.y, aabb.min.z + v * e.z),
+            Vec3::Y,
+        ),
+        4 => (
+            Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.min.z),
+            -Vec3::Z,
+        ),
+        _ => (
+            Vec3::new(aabb.min.x + u * e.x, aabb.min.y + v * e.y, aabb.max.z),
+            Vec3::Z,
+        ),
     };
     SurfaceSample { pos, normal }
 }
 
-fn sample_cylinder(base: Vec3, axis: usize, radius: f32, height: f32, rng: &mut StdRng) -> SurfaceSample {
+fn sample_cylinder(
+    base: Vec3,
+    axis: usize,
+    radius: f32,
+    height: f32,
+    rng: &mut StdRng,
+) -> SurfaceSample {
     let side_area = std::f32::consts::TAU * radius * height;
     let cap_area = std::f32::consts::PI * radius * radius;
     let total = side_area + 2.0 * cap_area;
@@ -225,14 +283,20 @@ fn sample_cylinder(base: Vec3, axis: usize, radius: f32, height: f32, rng: &mut 
     if pick < side_area {
         let h: f32 = rng.gen_range(0.0..height);
         let radial = u_axis * theta.cos() + v_axis * theta.sin();
-        SurfaceSample { pos: base + radial * radius + w_axis * h, normal: radial }
+        SurfaceSample {
+            pos: base + radial * radius + w_axis * h,
+            normal: radial,
+        }
     } else {
         let top = pick >= side_area + cap_area;
         let r = radius * rng.gen::<f32>().sqrt();
         let radial = u_axis * theta.cos() + v_axis * theta.sin();
         let h = if top { height } else { 0.0 };
         let normal = if top { w_axis } else { -w_axis };
-        SurfaceSample { pos: base + radial * r + w_axis * h, normal }
+        SurfaceSample {
+            pos: base + radial * r + w_axis * h,
+            normal,
+        }
     }
 }
 
@@ -256,7 +320,12 @@ pub struct SurfaceStyle {
 
 impl Default for SurfaceStyle {
     fn default() -> Self {
-        SurfaceStyle { patch: 0.02, flatness: 0.15, opacity: 0.85, sh_detail: 0.08 }
+        SurfaceStyle {
+            patch: 0.02,
+            flatness: 0.15,
+            opacity: 0.85,
+            sh_detail: 0.08,
+        }
     }
 }
 
@@ -286,7 +355,10 @@ pub struct SceneBuilder {
 impl SceneBuilder {
     /// Creates a builder with a deterministic seed.
     pub fn new(seed: u64) -> SceneBuilder {
-        SceneBuilder { rng: StdRng::seed_from_u64(seed), cloud: GaussianCloud::new() }
+        SceneBuilder {
+            rng: StdRng::seed_from_u64(seed),
+            cloud: GaussianCloud::new(),
+        }
     }
 
     /// Number of Gaussians emitted so far.
@@ -363,7 +435,8 @@ impl SceneBuilder {
 
         let patch = style.patch * (0.55 + 0.9 * rng.gen::<f32>());
         let aniso = 0.6 + 0.8 * rng.gen::<f32>();
-        let scale = Vec3::new(patch * aniso, patch / aniso, patch * style.flatness).max(Vec3::splat(1e-4));
+        let scale =
+            Vec3::new(patch * aniso, patch / aniso, patch * style.flatness).max(Vec3::splat(1e-4));
 
         let color = palette.color_at(s.pos);
         let mut g = Gaussian {
@@ -417,7 +490,10 @@ mod tests {
 
     #[test]
     fn sphere_samples_lie_on_sphere_with_outward_normals() {
-        let prim = Primitive::Sphere { center: Vec3::new(1.0, 2.0, 3.0), radius: 2.0 };
+        let prim = Primitive::Sphere {
+            center: Vec3::new(1.0, 2.0, 3.0),
+            radius: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
             let s = prim.sample(&mut rng);
@@ -448,7 +524,12 @@ mod tests {
 
     #[test]
     fn cylinder_samples_within_bounds() {
-        let prim = Primitive::Cylinder { base: Vec3::ZERO, axis: 2, radius: 1.0, height: 2.0 };
+        let prim = Primitive::Cylinder {
+            base: Vec3::ZERO,
+            axis: 2,
+            radius: 1.0,
+            height: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..300 {
             let s = prim.sample(&mut rng);
@@ -460,7 +541,10 @@ mod tests {
 
     #[test]
     fn dome_samples_in_upper_half() {
-        let prim = Primitive::Dome { center: Vec3::ZERO, radius: 1.5 };
+        let prim = Primitive::Dome {
+            center: Vec3::ZERO,
+            radius: 1.5,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..200 {
             let s = prim.sample(&mut rng);
@@ -470,7 +554,10 @@ mod tests {
 
     #[test]
     fn areas_are_positive_and_sane() {
-        let sphere = Primitive::Sphere { center: Vec3::ZERO, radius: 1.0 };
+        let sphere = Primitive::Sphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
         assert!((sphere.area() - 4.0 * std::f32::consts::PI).abs() < 1e-4);
         let rect = Primitive::Rect {
             origin: Vec3::ZERO,
@@ -486,7 +573,10 @@ mod tests {
         let make = || {
             let mut b = SceneBuilder::new(99);
             b.add_surface(
-                &Primitive::Sphere { center: Vec3::ZERO, radius: 1.0 },
+                &Primitive::Sphere {
+                    center: Vec3::ZERO,
+                    radius: 1.0,
+                },
                 100,
                 &pal,
                 &SurfaceStyle::default(),

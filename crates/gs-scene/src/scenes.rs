@@ -249,7 +249,11 @@ impl Scene {
 }
 
 fn build_scene(kind: SceneKind, cfg: &SceneConfig) -> Scene {
-    let budget = if cfg.gaussians == 0 { kind.default_gaussians() } else { cfg.gaussians };
+    let budget = if cfg.gaussians == 0 {
+        kind.default_gaussians()
+    } else {
+        cfg.gaussians
+    };
     let (dw, dh) = kind.default_resolution();
     let width = if cfg.width == 0 { dw } else { cfg.width };
     let height = if cfg.height == 0 { dh } else { cfg.height };
@@ -267,7 +271,11 @@ fn build_scene(kind: SceneKind, cfg: &SceneConfig) -> Scene {
     let noise = PerturbConfig::default().scaled(kind.noise_multiplier() * cfg.noise_scale);
     let trained = perturb(&ground_truth, &noise, seed ^ 0xbeef);
 
-    let spec = RigSpec { width, height, fov_x: 0.9 };
+    let spec = RigSpec {
+        width,
+        height,
+        fov_x: 0.9,
+    };
     let (focus, radius, h) = if kind.is_synthetic() {
         // Close orbit: the object fills the frame, as in the NeRF-synthetic
         // capture rigs (keeps tiles-per-Gaussian representative).
@@ -307,7 +315,10 @@ fn box3(cx: f32, cy: f32, cz: f32, ex: f32, ey: f32, ez: f32) -> Primitive {
 /// Distributes `budget` Gaussians over `parts` proportionally to weights.
 fn split_budget(budget: usize, weights: &[f32]) -> Vec<usize> {
     let total: f32 = weights.iter().sum();
-    let mut out: Vec<usize> = weights.iter().map(|w| ((w / total) * budget as f32) as usize).collect();
+    let mut out: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * budget as f32) as usize)
+        .collect();
     let assigned: usize = out.iter().sum();
     if let Some(first) = out.first_mut() {
         *first += budget.saturating_sub(assigned);
@@ -317,16 +328,34 @@ fn split_budget(budget: usize, weights: &[f32]) -> Vec<usize> {
 
 fn build_lego(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
-    let yellow = Palette::new(Vec3::new(0.92, 0.75, 0.12), Vec3::new(0.75, 0.55, 0.08), 4.0, 11);
-    let gray = Palette::new(Vec3::new(0.35, 0.35, 0.38), Vec3::new(0.18, 0.18, 0.2), 6.0, 12);
-    let black = Palette::new(Vec3::new(0.1, 0.1, 0.1), Vec3::new(0.22, 0.22, 0.22), 8.0, 13);
-    let style = SurfaceStyle { patch: 0.016, ..SurfaceStyle::default() };
+    let yellow = Palette::new(
+        Vec3::new(0.92, 0.75, 0.12),
+        Vec3::new(0.75, 0.55, 0.08),
+        4.0,
+        11,
+    );
+    let gray = Palette::new(
+        Vec3::new(0.35, 0.35, 0.38),
+        Vec3::new(0.18, 0.18, 0.2),
+        6.0,
+        12,
+    );
+    let black = Palette::new(
+        Vec3::new(0.1, 0.1, 0.1),
+        Vec3::new(0.22, 0.22, 0.22),
+        8.0,
+        13,
+    );
+    let style = SurfaceStyle {
+        patch: 0.016,
+        ..SurfaceStyle::default()
+    };
 
     // Bulldozer stand-in: plate, body, cabin, blade, wheels, exhaust.
     let parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(0.0, 0.05, 0.0, 1.6, 0.1, 0.9), &gray),          // base plate
-        (box3(0.0, 0.35, 0.0, 1.0, 0.45, 0.6), &yellow),       // body
-        (box3(-0.15, 0.75, 0.0, 0.45, 0.4, 0.5), &yellow),     // cabin
+        (box3(0.0, 0.05, 0.0, 1.6, 0.1, 0.9), &gray), // base plate
+        (box3(0.0, 0.35, 0.0, 1.0, 0.45, 0.6), &yellow), // body
+        (box3(-0.15, 0.75, 0.0, 0.45, 0.4, 0.5), &yellow), // cabin
         (
             Primitive::Rect {
                 origin: Vec3::new(0.72, 0.05, -0.45),
@@ -335,9 +364,33 @@ fn build_lego(budget: usize, seed: u64) -> GaussianCloud {
             },
             &gray,
         ), // blade
-        (Primitive::Cylinder { base: Vec3::new(-0.45, 0.16, -0.52), axis: 2, radius: 0.16, height: 1.04 }, &black), // rear axle wheels
-        (Primitive::Cylinder { base: Vec3::new(0.35, 0.16, -0.52), axis: 2, radius: 0.16, height: 1.04 }, &black),  // front axle wheels
-        (Primitive::Cylinder { base: Vec3::new(-0.35, 0.95, 0.1), axis: 1, radius: 0.05, height: 0.3 }, &gray),     // exhaust
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-0.45, 0.16, -0.52),
+                axis: 2,
+                radius: 0.16,
+                height: 1.04,
+            },
+            &black,
+        ), // rear axle wheels
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(0.35, 0.16, -0.52),
+                axis: 2,
+                radius: 0.16,
+                height: 1.04,
+            },
+            &black,
+        ), // front axle wheels
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-0.35, 0.95, 0.1),
+                axis: 1,
+                radius: 0.05,
+                height: 0.3,
+            },
+            &gray,
+        ), // exhaust
     ];
     let weights: Vec<f32> = parts.iter().map(|(p, _)| p.area()).collect();
     for ((prim, pal), n) in parts.iter().zip(split_budget(budget, &weights)) {
@@ -348,18 +401,39 @@ fn build_lego(budget: usize, seed: u64) -> GaussianCloud {
 
 fn build_palace(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
-    let beige = Palette::new(Vec3::new(0.85, 0.78, 0.62), Vec3::new(0.7, 0.6, 0.45), 3.0, 21);
-    let gold = Palette::new(Vec3::new(0.9, 0.72, 0.25), Vec3::new(0.75, 0.55, 0.15), 5.0, 22);
-    let stone = Palette::new(Vec3::new(0.55, 0.55, 0.58), Vec3::new(0.4, 0.42, 0.45), 6.0, 23);
-    let style = SurfaceStyle { patch: 0.018, ..SurfaceStyle::default() };
+    let beige = Palette::new(
+        Vec3::new(0.85, 0.78, 0.62),
+        Vec3::new(0.7, 0.6, 0.45),
+        3.0,
+        21,
+    );
+    let gold = Palette::new(
+        Vec3::new(0.9, 0.72, 0.25),
+        Vec3::new(0.75, 0.55, 0.15),
+        5.0,
+        22,
+    );
+    let stone = Palette::new(
+        Vec3::new(0.55, 0.55, 0.58),
+        Vec3::new(0.4, 0.42, 0.45),
+        6.0,
+        23,
+    );
+    let style = SurfaceStyle {
+        patch: 0.018,
+        ..SurfaceStyle::default()
+    };
 
     let mut parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(0.0, 0.1, 0.0, 2.4, 0.2, 2.0), &stone),       // platform
-        (box3(0.0, 0.65, 0.0, 1.5, 0.9, 1.2), &beige),      // main hall
-        (box3(-1.0, 0.45, 0.0, 0.5, 0.5, 0.9), &beige),     // west wing
-        (box3(1.0, 0.45, 0.0, 0.5, 0.5, 0.9), &beige),      // east wing
+        (box3(0.0, 0.1, 0.0, 2.4, 0.2, 2.0), &stone), // platform
+        (box3(0.0, 0.65, 0.0, 1.5, 0.9, 1.2), &beige), // main hall
+        (box3(-1.0, 0.45, 0.0, 0.5, 0.5, 0.9), &beige), // west wing
+        (box3(1.0, 0.45, 0.0, 0.5, 0.5, 0.9), &beige), // east wing
         (
-            Primitive::Dome { center: Vec3::new(0.0, 1.1, 0.0), radius: 0.55 },
+            Primitive::Dome {
+                center: Vec3::new(0.0, 1.1, 0.0),
+                radius: 0.55,
+            },
             &gold,
         ), // dome
     ];
@@ -367,7 +441,12 @@ fn build_palace(budget: usize, seed: u64) -> GaussianCloud {
     for i in 0..6 {
         let x = -0.75 + 0.3 * i as f32;
         parts.push((
-            Primitive::Cylinder { base: Vec3::new(x, 0.2, 0.75), axis: 1, radius: 0.07, height: 0.9 },
+            Primitive::Cylinder {
+                base: Vec3::new(x, 0.2, 0.75),
+                axis: 1,
+                radius: 0.07,
+                height: 0.9,
+            },
             &stone,
         ));
     }
@@ -378,11 +457,7 @@ fn build_palace(budget: usize, seed: u64) -> GaussianCloud {
     b.finish()
 }
 
-fn outdoor_ground_and_backdrop(
-    b: &mut SceneBuilder,
-    budget: usize,
-    seed_palettes: u32,
-) -> usize {
+fn outdoor_ground_and_backdrop(b: &mut SceneBuilder, budget: usize, seed_palettes: u32) -> usize {
     // Returns the budget left for the foreground object.
     let ground = Palette::new(
         Vec3::new(0.35, 0.4, 0.25),
@@ -402,7 +477,10 @@ fn outdoor_ground_and_backdrop(
         1.2,
         seed_palettes + 2,
     );
-    let style = SurfaceStyle { patch: 0.12, ..SurfaceStyle::default() };
+    let style = SurfaceStyle {
+        patch: 0.12,
+        ..SurfaceStyle::default()
+    };
 
     let ground_n = budget * 22 / 100;
     b.add_surface(
@@ -423,10 +501,16 @@ fn outdoor_ground_and_backdrop(
         let n = budget * 3 / 100;
         tree_n += n + n / 3;
         b.add_surface(
-            &Primitive::Sphere { center: Vec3::new(*x, 3.0, -6.5 + (i as f32) * 0.8), radius: 1.4 },
+            &Primitive::Sphere {
+                center: Vec3::new(*x, 3.0, -6.5 + (i as f32) * 0.8),
+                radius: 1.4,
+            },
             n,
             &foliage,
-            &SurfaceStyle { patch: 0.15, ..SurfaceStyle::default() },
+            &SurfaceStyle {
+                patch: 0.15,
+                ..SurfaceStyle::default()
+            },
         );
         b.add_surface(
             &Primitive::Cylinder {
@@ -446,21 +530,66 @@ fn outdoor_ground_and_backdrop(
 fn build_train(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
     let remaining = outdoor_ground_and_backdrop(&mut b, budget, 31);
-    let body = Palette::new(Vec3::new(0.45, 0.12, 0.1), Vec3::new(0.3, 0.08, 0.07), 1.5, 34);
-    let metal = Palette::new(Vec3::new(0.2, 0.2, 0.22), Vec3::new(0.35, 0.35, 0.38), 2.0, 35);
-    let style = SurfaceStyle { patch: 0.08, ..SurfaceStyle::default() };
+    let body = Palette::new(
+        Vec3::new(0.45, 0.12, 0.1),
+        Vec3::new(0.3, 0.08, 0.07),
+        1.5,
+        34,
+    );
+    let metal = Palette::new(
+        Vec3::new(0.2, 0.2, 0.22),
+        Vec3::new(0.35, 0.35, 0.38),
+        2.0,
+        35,
+    );
+    let style = SurfaceStyle {
+        patch: 0.08,
+        ..SurfaceStyle::default()
+    };
 
     // Locomotive + tender along the x axis.
     let floater_n = remaining / 10;
     let fg = remaining - floater_n;
     let parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(-2.0, 1.5, 0.0, 9.0, 2.2, 2.4), &body),       // boiler/body
-        (box3(3.4, 1.9, 0.0, 2.6, 3.0, 2.6), &body),        // cab
-        (Primitive::Cylinder { base: Vec3::new(-5.2, 2.6, 0.0), axis: 1, radius: 0.35, height: 1.2 }, &metal), // chimney
-        (Primitive::Cylinder { base: Vec3::new(-4.0, 0.55, -1.35), axis: 2, radius: 0.55, height: 2.7 }, &metal), // wheels 1
-        (Primitive::Cylinder { base: Vec3::new(-1.5, 0.55, -1.35), axis: 2, radius: 0.55, height: 2.7 }, &metal), // wheels 2
-        (Primitive::Cylinder { base: Vec3::new(1.0, 0.55, -1.35), axis: 2, radius: 0.55, height: 2.7 }, &metal),  // wheels 3
-        (box3(0.0, 0.2, 0.0, 16.0, 0.25, 1.6), &metal),     // track bed
+        (box3(-2.0, 1.5, 0.0, 9.0, 2.2, 2.4), &body), // boiler/body
+        (box3(3.4, 1.9, 0.0, 2.6, 3.0, 2.6), &body),  // cab
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-5.2, 2.6, 0.0),
+                axis: 1,
+                radius: 0.35,
+                height: 1.2,
+            },
+            &metal,
+        ), // chimney
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-4.0, 0.55, -1.35),
+                axis: 2,
+                radius: 0.55,
+                height: 2.7,
+            },
+            &metal,
+        ), // wheels 1
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-1.5, 0.55, -1.35),
+                axis: 2,
+                radius: 0.55,
+                height: 2.7,
+            },
+            &metal,
+        ), // wheels 2
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(1.0, 0.55, -1.35),
+                axis: 2,
+                radius: 0.55,
+                height: 2.7,
+            },
+            &metal,
+        ), // wheels 3
+        (box3(0.0, 0.2, 0.0, 16.0, 0.25, 1.6), &metal), // track bed
     ];
     let weights: Vec<f32> = parts.iter().map(|(p, _)| p.area()).collect();
     for ((prim, pal), n) in parts.iter().zip(split_budget(fg, &weights)) {
@@ -479,25 +608,67 @@ fn build_train(budget: usize, seed: u64) -> GaussianCloud {
 fn build_truck(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
     let remaining = outdoor_ground_and_backdrop(&mut b, budget, 41);
-    let paint = Palette::new(Vec3::new(0.12, 0.3, 0.5), Vec3::new(0.08, 0.2, 0.38), 1.8, 44);
-    let metal = Palette::new(Vec3::new(0.25, 0.25, 0.28), Vec3::new(0.4, 0.4, 0.42), 2.0, 45);
-    let style = SurfaceStyle { patch: 0.08, ..SurfaceStyle::default() };
+    let paint = Palette::new(
+        Vec3::new(0.12, 0.3, 0.5),
+        Vec3::new(0.08, 0.2, 0.38),
+        1.8,
+        44,
+    );
+    let metal = Palette::new(
+        Vec3::new(0.25, 0.25, 0.28),
+        Vec3::new(0.4, 0.4, 0.42),
+        2.0,
+        45,
+    );
+    let style = SurfaceStyle {
+        patch: 0.08,
+        ..SurfaceStyle::default()
+    };
 
     let floater_n = remaining / 10;
     let fg = remaining - floater_n;
     let parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(-1.0, 1.9, 0.0, 6.5, 2.6, 2.5), &paint),      // cargo bed
-        (box3(3.2, 1.4, 0.0, 2.2, 1.9, 2.4), &paint),       // cabin
-        (Primitive::Cylinder { base: Vec3::new(-2.8, 0.5, -1.35), axis: 2, radius: 0.5, height: 2.7 }, &metal),
-        (Primitive::Cylinder { base: Vec3::new(-0.6, 0.5, -1.35), axis: 2, radius: 0.5, height: 2.7 }, &metal),
-        (Primitive::Cylinder { base: Vec3::new(3.2, 0.5, -1.35), axis: 2, radius: 0.5, height: 2.7 }, &metal),
-        (box3(0.0, 0.9, 0.0, 7.5, 0.3, 2.3), &metal),       // chassis
+        (box3(-1.0, 1.9, 0.0, 6.5, 2.6, 2.5), &paint), // cargo bed
+        (box3(3.2, 1.4, 0.0, 2.2, 1.9, 2.4), &paint),  // cabin
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-2.8, 0.5, -1.35),
+                axis: 2,
+                radius: 0.5,
+                height: 2.7,
+            },
+            &metal,
+        ),
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-0.6, 0.5, -1.35),
+                axis: 2,
+                radius: 0.5,
+                height: 2.7,
+            },
+            &metal,
+        ),
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(3.2, 0.5, -1.35),
+                axis: 2,
+                radius: 0.5,
+                height: 2.7,
+            },
+            &metal,
+        ),
+        (box3(0.0, 0.9, 0.0, 7.5, 0.3, 2.3), &metal), // chassis
     ];
     let weights: Vec<f32> = parts.iter().map(|(p, _)| p.area()).collect();
     for ((prim, pal), n) in parts.iter().zip(split_budget(fg, &weights)) {
         b.add_surface(prim, n, pal, &style);
     }
-    let dust = Palette::new(Vec3::new(0.55, 0.5, 0.45), Vec3::new(0.65, 0.6, 0.55), 0.4, 46);
+    let dust = Palette::new(
+        Vec3::new(0.55, 0.5, 0.45),
+        Vec3::new(0.65, 0.6, 0.55),
+        0.4,
+        46,
+    );
     b.add_floaters(
         &Aabb::new(Vec3::new(-10.0, 0.5, -7.0), Vec3::new(10.0, 5.0, 7.0)),
         floater_n,
@@ -507,12 +678,7 @@ fn build_truck(budget: usize, seed: u64) -> GaussianCloud {
     b.finish()
 }
 
-fn indoor_room(
-    b: &mut SceneBuilder,
-    budget: usize,
-    half: Vec3,
-    palette_seed: u32,
-) -> usize {
+fn indoor_room(b: &mut SceneBuilder, budget: usize, half: Vec3, palette_seed: u32) -> usize {
     // Walls/floor/ceiling as inward-facing rects; returns remaining budget.
     let wall = Palette::new(
         Vec3::new(0.75, 0.72, 0.65),
@@ -526,24 +692,69 @@ fn indoor_room(
         2.5,
         palette_seed + 1,
     );
-    let style = SurfaceStyle { patch: 0.07, ..SurfaceStyle::default() };
+    let style = SurfaceStyle {
+        patch: 0.07,
+        ..SurfaceStyle::default()
+    };
     let (hx, hy, hz) = (half.x, half.y, half.z);
     let faces = [
         // floor (normal +y), ceiling (−y)
-        (Vec3::new(-hx, 0.0, -hz), Vec3::new(2.0 * hx, 0.0, 0.0), Vec3::new(0.0, 0.0, 2.0 * hz), &floor),
-        (Vec3::new(-hx, 2.0 * hy, -hz), Vec3::new(0.0, 0.0, 2.0 * hz), Vec3::new(2.0 * hx, 0.0, 0.0), &wall),
+        (
+            Vec3::new(-hx, 0.0, -hz),
+            Vec3::new(2.0 * hx, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0 * hz),
+            &floor,
+        ),
+        (
+            Vec3::new(-hx, 2.0 * hy, -hz),
+            Vec3::new(0.0, 0.0, 2.0 * hz),
+            Vec3::new(2.0 * hx, 0.0, 0.0),
+            &wall,
+        ),
         // ±z walls
-        (Vec3::new(-hx, 0.0, -hz), Vec3::new(0.0, 2.0 * hy, 0.0), Vec3::new(2.0 * hx, 0.0, 0.0), &wall),
-        (Vec3::new(-hx, 0.0, hz), Vec3::new(2.0 * hx, 0.0, 0.0), Vec3::new(0.0, 2.0 * hy, 0.0), &wall),
+        (
+            Vec3::new(-hx, 0.0, -hz),
+            Vec3::new(0.0, 2.0 * hy, 0.0),
+            Vec3::new(2.0 * hx, 0.0, 0.0),
+            &wall,
+        ),
+        (
+            Vec3::new(-hx, 0.0, hz),
+            Vec3::new(2.0 * hx, 0.0, 0.0),
+            Vec3::new(0.0, 2.0 * hy, 0.0),
+            &wall,
+        ),
         // ±x walls
-        (Vec3::new(-hx, 0.0, -hz), Vec3::new(0.0, 0.0, 2.0 * hz), Vec3::new(0.0, 2.0 * hy, 0.0), &wall),
-        (Vec3::new(hx, 0.0, -hz), Vec3::new(0.0, 2.0 * hy, 0.0), Vec3::new(0.0, 0.0, 2.0 * hz), &wall),
+        (
+            Vec3::new(-hx, 0.0, -hz),
+            Vec3::new(0.0, 0.0, 2.0 * hz),
+            Vec3::new(0.0, 2.0 * hy, 0.0),
+            &wall,
+        ),
+        (
+            Vec3::new(hx, 0.0, -hz),
+            Vec3::new(0.0, 2.0 * hy, 0.0),
+            Vec3::new(0.0, 0.0, 2.0 * hz),
+            &wall,
+        ),
     ];
     let wall_budget = budget / 2;
-    let areas: Vec<f32> = faces.iter().map(|(_, u, v, _)| u.cross(*v).length()).collect();
+    let areas: Vec<f32> = faces
+        .iter()
+        .map(|(_, u, v, _)| u.cross(*v).length())
+        .collect();
     let counts = split_budget(wall_budget, &areas);
     for ((origin, u, v, pal), n) in faces.iter().zip(counts) {
-        b.add_surface(&Primitive::Rect { origin: *origin, u_vec: *u, v_vec: *v }, n, pal, &style);
+        b.add_surface(
+            &Primitive::Rect {
+                origin: *origin,
+                u_vec: *u,
+                v_vec: *v,
+            },
+            n,
+            pal,
+            &style,
+        );
     }
     budget - wall_budget
 }
@@ -551,20 +762,59 @@ fn indoor_room(
 fn build_playroom(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
     let remaining = indoor_room(&mut b, budget, Vec3::new(5.0, 1.5, 4.0), 51);
-    let wood = Palette::new(Vec3::new(0.5, 0.33, 0.2), Vec3::new(0.4, 0.26, 0.15), 3.0, 54);
-    let fabric = Palette::new(Vec3::new(0.7, 0.25, 0.3), Vec3::new(0.55, 0.18, 0.25), 2.0, 55);
+    let wood = Palette::new(
+        Vec3::new(0.5, 0.33, 0.2),
+        Vec3::new(0.4, 0.26, 0.15),
+        3.0,
+        54,
+    );
+    let fabric = Palette::new(
+        Vec3::new(0.7, 0.25, 0.3),
+        Vec3::new(0.55, 0.18, 0.25),
+        2.0,
+        55,
+    );
     let toy = Palette::new(Vec3::new(0.2, 0.5, 0.8), Vec3::new(0.85, 0.7, 0.2), 4.0, 56);
-    let style = SurfaceStyle { patch: 0.05, ..SurfaceStyle::default() };
+    let style = SurfaceStyle {
+        patch: 0.05,
+        ..SurfaceStyle::default()
+    };
 
     let parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(1.5, 0.4, 1.0, 1.8, 0.8, 1.0), &wood),       // table
-        (box3(-2.5, 0.45, -2.0, 2.2, 0.9, 1.0), &fabric),  // sofa
-        (box3(-2.5, 0.95, -2.45, 2.2, 0.9, 0.25), &fabric),// sofa back
-        (box3(3.5, 0.9, -2.8, 1.4, 1.8, 0.6), &wood),      // shelf
-        (Primitive::Sphere { center: Vec3::new(0.5, 0.25, -0.8), radius: 0.25 }, &toy),
-        (Primitive::Sphere { center: Vec3::new(-0.6, 0.2, 1.6), radius: 0.2 }, &toy),
-        (Primitive::Cylinder { base: Vec3::new(2.8, 0.0, 2.6), axis: 1, radius: 0.18, height: 1.1 }, &wood), // lamp pole
-        (Primitive::Sphere { center: Vec3::new(2.8, 1.3, 2.6), radius: 0.3 }, &toy), // lamp shade
+        (box3(1.5, 0.4, 1.0, 1.8, 0.8, 1.0), &wood),      // table
+        (box3(-2.5, 0.45, -2.0, 2.2, 0.9, 1.0), &fabric), // sofa
+        (box3(-2.5, 0.95, -2.45, 2.2, 0.9, 0.25), &fabric), // sofa back
+        (box3(3.5, 0.9, -2.8, 1.4, 1.8, 0.6), &wood),     // shelf
+        (
+            Primitive::Sphere {
+                center: Vec3::new(0.5, 0.25, -0.8),
+                radius: 0.25,
+            },
+            &toy,
+        ),
+        (
+            Primitive::Sphere {
+                center: Vec3::new(-0.6, 0.2, 1.6),
+                radius: 0.2,
+            },
+            &toy,
+        ),
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(2.8, 0.0, 2.6),
+                axis: 1,
+                radius: 0.18,
+                height: 1.1,
+            },
+            &wood,
+        ), // lamp pole
+        (
+            Primitive::Sphere {
+                center: Vec3::new(2.8, 1.3, 2.6),
+                radius: 0.3,
+            },
+            &toy,
+        ), // lamp shade
     ];
     let weights: Vec<f32> = parts.iter().map(|(p, _)| p.area()).collect();
     for ((prim, pal), n) in parts.iter().zip(split_budget(remaining * 9 / 10, &weights)) {
@@ -583,28 +833,71 @@ fn build_playroom(budget: usize, seed: u64) -> GaussianCloud {
 fn build_drjohnson(budget: usize, seed: u64) -> GaussianCloud {
     let mut b = SceneBuilder::new(seed);
     let remaining = indoor_room(&mut b, budget, Vec3::new(7.0, 2.0, 5.0), 61);
-    let wood = Palette::new(Vec3::new(0.42, 0.28, 0.16), Vec3::new(0.3, 0.2, 0.12), 3.0, 64);
-    let leather = Palette::new(Vec3::new(0.35, 0.2, 0.12), Vec3::new(0.25, 0.15, 0.1), 2.0, 65);
-    let paper = Palette::new(Vec3::new(0.8, 0.75, 0.65), Vec3::new(0.65, 0.6, 0.5), 5.0, 66);
-    let style = SurfaceStyle { patch: 0.06, ..SurfaceStyle::default() };
+    let wood = Palette::new(
+        Vec3::new(0.42, 0.28, 0.16),
+        Vec3::new(0.3, 0.2, 0.12),
+        3.0,
+        64,
+    );
+    let leather = Palette::new(
+        Vec3::new(0.35, 0.2, 0.12),
+        Vec3::new(0.25, 0.15, 0.1),
+        2.0,
+        65,
+    );
+    let paper = Palette::new(
+        Vec3::new(0.8, 0.75, 0.65),
+        Vec3::new(0.65, 0.6, 0.5),
+        5.0,
+        66,
+    );
+    let style = SurfaceStyle {
+        patch: 0.06,
+        ..SurfaceStyle::default()
+    };
 
     let parts: Vec<(Primitive, &Palette)> = vec![
-        (box3(2.0, 0.45, 0.0, 2.4, 0.9, 1.2), &wood),       // desk
-        (box3(-3.0, 1.2, -4.4, 3.0, 2.4, 0.5), &paper),     // bookshelf wall
-        (box3(3.0, 1.2, -4.4, 2.5, 2.4, 0.5), &paper),      // bookshelf wall 2
-        (box3(-2.0, 0.5, 1.5, 2.0, 1.0, 1.1), &leather),    // chesterfield
+        (box3(2.0, 0.45, 0.0, 2.4, 0.9, 1.2), &wood),    // desk
+        (box3(-3.0, 1.2, -4.4, 3.0, 2.4, 0.5), &paper),  // bookshelf wall
+        (box3(3.0, 1.2, -4.4, 2.5, 2.4, 0.5), &paper),   // bookshelf wall 2
+        (box3(-2.0, 0.5, 1.5, 2.0, 1.0, 1.1), &leather), // chesterfield
         (box3(-2.0, 1.05, 1.95, 2.0, 0.8, 0.25), &leather), // sofa back
-        (box3(5.0, 0.4, 2.5, 1.2, 0.8, 1.2), &wood),        // side table
-        (Primitive::Cylinder { base: Vec3::new(-5.5, 0.0, -2.0), axis: 1, radius: 0.2, height: 2.2 }, &wood), // floor lamp
-        (Primitive::Sphere { center: Vec3::new(-5.5, 2.5, -2.0), radius: 0.35 }, &paper),
-        (Primitive::Sphere { center: Vec3::new(0.8, 0.3, -1.5), radius: 0.3 }, &leather), // globe
-        (box3(0.0, 0.06, 0.0, 6.0, 0.12, 4.0), &leather),   // rug
+        (box3(5.0, 0.4, 2.5, 1.2, 0.8, 1.2), &wood),     // side table
+        (
+            Primitive::Cylinder {
+                base: Vec3::new(-5.5, 0.0, -2.0),
+                axis: 1,
+                radius: 0.2,
+                height: 2.2,
+            },
+            &wood,
+        ), // floor lamp
+        (
+            Primitive::Sphere {
+                center: Vec3::new(-5.5, 2.5, -2.0),
+                radius: 0.35,
+            },
+            &paper,
+        ),
+        (
+            Primitive::Sphere {
+                center: Vec3::new(0.8, 0.3, -1.5),
+                radius: 0.3,
+            },
+            &leather,
+        ), // globe
+        (box3(0.0, 0.06, 0.0, 6.0, 0.12, 4.0), &leather), // rug
     ];
     let weights: Vec<f32> = parts.iter().map(|(p, _)| p.area()).collect();
     for ((prim, pal), n) in parts.iter().zip(split_budget(remaining * 9 / 10, &weights)) {
         b.add_surface(prim, n, pal, &style);
     }
-    let dust = Palette::new(Vec3::new(0.55, 0.52, 0.48), Vec3::new(0.68, 0.65, 0.6), 0.6, 67);
+    let dust = Palette::new(
+        Vec3::new(0.55, 0.52, 0.48),
+        Vec3::new(0.68, 0.65, 0.6),
+        0.6,
+        67,
+    );
     b.add_floaters(
         &Aabb::new(Vec3::new(-6.5, 0.3, -4.5), Vec3::new(6.5, 3.7, 4.5)),
         remaining / 10,
@@ -633,7 +926,10 @@ mod tests {
 
     #[test]
     fn budgets_are_respected_approximately() {
-        let cfg = SceneConfig { gaussians: 4_000, ..SceneConfig::tiny() };
+        let cfg = SceneConfig {
+            gaussians: 4_000,
+            ..SceneConfig::tiny()
+        };
         for kind in SceneKind::ALL {
             let s = kind.build(&cfg);
             let n = s.ground_truth.len();
@@ -651,7 +947,10 @@ mod tests {
         assert!(e.max_component() < 4.0, "synthetic extent too large: {e}");
         let t = SceneKind::Train.build(&SceneConfig::tiny());
         let et = t.ground_truth.bounds().extent();
-        assert!(et.max_component() > 15.0, "real-world extent too small: {et}");
+        assert!(
+            et.max_component() > 15.0,
+            "real-world extent too small: {et}"
+        );
     }
 
     #[test]
@@ -691,7 +990,10 @@ mod tests {
                         }
                     }
                 }
-                assert!(visible > 30, "{kind}: camera sees only {visible}/300 Gaussians");
+                assert!(
+                    visible > 30,
+                    "{kind}: camera sees only {visible}/300 Gaussians"
+                );
             }
         }
     }

@@ -16,7 +16,11 @@ pub struct RigSpec {
 
 impl Default for RigSpec {
     fn default() -> Self {
-        RigSpec { width: 320, height: 240, fov_x: 1.0 }
+        RigSpec {
+            width: 320,
+            height: 240,
+            fov_x: 1.0,
+        }
     }
 }
 
@@ -35,7 +39,14 @@ impl Default for RigSpec {
 ///     assert!((px.x - 160.0).abs() < 1.0);
 /// }
 /// ```
-pub fn orbit(center: Vec3, radius: f32, height: f32, n: usize, phase: f32, spec: &RigSpec) -> Vec<Camera> {
+pub fn orbit(
+    center: Vec3,
+    radius: f32,
+    height: f32,
+    n: usize,
+    phase: f32,
+    spec: &RigSpec,
+) -> Vec<Camera> {
     (0..n)
         .map(|i| {
             let a = phase + std::f32::consts::TAU * i as f32 / n as f32;
@@ -47,13 +58,30 @@ pub fn orbit(center: Vec3, radius: f32, height: f32, n: usize, phase: f32, spec:
 
 /// `n` cameras interpolated from `from` to `to`, each looking at
 /// `look_target` — a straight walkthrough segment (the VR example's path).
-pub fn walkthrough(from: Vec3, to: Vec3, look_target: Vec3, n: usize, spec: &RigSpec) -> Vec<Camera> {
+pub fn walkthrough(
+    from: Vec3,
+    to: Vec3,
+    look_target: Vec3,
+    n: usize,
+    spec: &RigSpec,
+) -> Vec<Camera> {
     assert!(n >= 1, "a walkthrough needs at least one frame");
     (0..n)
         .map(|i| {
-            let t = if n == 1 { 0.0 } else { i as f32 / (n - 1) as f32 };
+            let t = if n == 1 {
+                0.0
+            } else {
+                i as f32 / (n - 1) as f32
+            };
             let eye = from.lerp(to, t);
-            Camera::look_at(eye, look_target, Vec3::Y, spec.width, spec.height, spec.fov_x)
+            Camera::look_at(
+                eye,
+                look_target,
+                Vec3::Y,
+                spec.width,
+                spec.height,
+                spec.fov_x,
+            )
         })
         .collect()
 }
@@ -72,12 +100,18 @@ mod tests {
 
     #[test]
     fn orbit_cameras_at_radius() {
-        let cams = orbit(Vec3::new(1.0, 0.0, 2.0), 5.0, 2.0, 6, 0.1, &RigSpec::default());
+        let cams = orbit(
+            Vec3::new(1.0, 0.0, 2.0),
+            5.0,
+            2.0,
+            6,
+            0.1,
+            &RigSpec::default(),
+        );
         assert_eq!(cams.len(), 6);
         for cam in &cams {
             let c = cam.pose.center();
-            let horizontal =
-                Vec3::new(c.x - 1.0, 0.0, c.z - 2.0).length();
+            let horizontal = Vec3::new(c.x - 1.0, 0.0, c.z - 2.0).length();
             assert!((horizontal - 5.0).abs() < 1e-3);
             assert!((c.y - 2.0).abs() < 1e-3);
         }
@@ -93,7 +127,13 @@ mod tests {
 
     #[test]
     fn walkthrough_endpoints() {
-        let cams = walkthrough(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 5.0), 5, &RigSpec::default());
+        let cams = walkthrough(
+            Vec3::ZERO,
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(5.0, 0.0, 5.0),
+            5,
+            &RigSpec::default(),
+        );
         assert_eq!(cams.len(), 5);
         assert!((cams[0].pose.center() - Vec3::ZERO).length() < 1e-4);
         assert!((cams[4].pose.center() - Vec3::new(10.0, 0.0, 0.0)).length() < 1e-3);

@@ -14,8 +14,13 @@ fn real_world_scenes_are_heavier_than_synthetic() {
     let mut synth_pairs = 0.0;
     let mut real_pairs = 0.0;
     for kind in SceneKind::ALL {
-        let scene = kind.build(&SceneConfig { gaussians: 2_000, ..cfg });
-        let stats = renderer.render(&scene.trained, &scene.eval_cameras[0]).stats;
+        let scene = kind.build(&SceneConfig {
+            gaussians: 2_000,
+            ..cfg
+        });
+        let stats = renderer
+            .render(&scene.trained, &scene.eval_cameras[0])
+            .stats;
         let per_gaussian = stats.tile_pairs as f64 / stats.total_gaussians.max(1) as f64;
         if kind.is_synthetic() {
             synth_pairs += per_gaussian;
@@ -90,13 +95,23 @@ fn noise_calibration_orders_scene_quality_like_the_paper() {
         let scene = kind.build(&SceneConfig::tiny());
         let cam = &scene.eval_cameras[0];
         let gt = renderer.render(&scene.ground_truth, cam).image;
-        renderer.render(&scene.trained, cam).image.psnr(&gt).min(99.0)
+        renderer
+            .render(&scene.trained, cam)
+            .image
+            .psnr(&gt)
+            .min(99.0)
     };
     let train = psnr_of(SceneKind::Train);
     let truck = psnr_of(SceneKind::Truck);
     let palace = psnr_of(SceneKind::Palace);
     let lego = psnr_of(SceneKind::Lego);
-    assert!(train < truck, "train {train} should be the hardest scene ({truck})");
+    assert!(
+        train < truck,
+        "train {train} should be the hardest scene ({truck})"
+    );
     assert!(truck < lego, "truck {truck} below lego {lego}");
-    assert!(lego < palace + 3.0, "lego {lego} and palace {palace} are the cleanest");
+    assert!(
+        lego < palace + 3.0,
+        "lego {lego} and palace {palace} are the cleanest"
+    );
 }

@@ -21,7 +21,12 @@ pub struct LearningRates {
 
 impl Default for LearningRates {
     fn default() -> Self {
-        LearningRates { scale: 5e-3, rot: 1e-3, opacity: 2.5e-2, sh: 2.5e-3 }
+        LearningRates {
+            scale: 5e-3,
+            rot: 1e-3,
+            opacity: 2.5e-2,
+            sh: 2.5e-3,
+        }
     }
 }
 
@@ -34,7 +39,10 @@ struct Moments {
 
 impl Default for Moments {
     fn default() -> Self {
-        Moments { m: [0.0; 56], v: [0.0; 56] }
+        Moments {
+            m: [0.0; 56],
+            v: [0.0; 56],
+        }
     }
 }
 
@@ -56,7 +64,14 @@ pub struct Adam {
 impl Adam {
     /// Creates an optimizer for `n` Gaussians.
     pub fn new(n: usize, lrs: LearningRates) -> Adam {
-        Adam { lrs, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: vec![Moments::default(); n] }
+        Adam {
+            lrs,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: vec![Moments::default(); n],
+        }
     }
 
     /// Number of optimized Gaussians.
@@ -173,7 +188,13 @@ mod tests {
     #[test]
     fn scale_stays_positive_under_huge_gradients() {
         let mut c = cloud();
-        let mut opt = Adam::new(c.len(), LearningRates { scale: 0.5, ..Default::default() });
+        let mut opt = Adam::new(
+            c.len(),
+            LearningRates {
+                scale: 0.5,
+                ..Default::default()
+            },
+        );
         let mut grads = vec![GaussGrad::default(); c.len()];
         grads[0].scale = Vec3::splat(1e6);
         for _ in 0..50 {
@@ -186,7 +207,13 @@ mod tests {
     #[test]
     fn quaternion_stays_normalized() {
         let mut c = cloud();
-        let mut opt = Adam::new(c.len(), LearningRates { rot: 0.1, ..Default::default() });
+        let mut opt = Adam::new(
+            c.len(),
+            LearningRates {
+                rot: 0.1,
+                ..Default::default()
+            },
+        );
         let mut grads = vec![GaussGrad::default(); c.len()];
         grads[0].rot = [0.3, -0.5, 0.2, 0.9];
         for _ in 0..20 {

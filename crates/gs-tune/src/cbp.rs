@@ -44,12 +44,7 @@ pub fn cbp_loss(cloud: &GaussianCloud, flags: &[bool]) -> f64 {
 /// # Panics
 ///
 /// Panics when lengths mismatch.
-pub fn add_cbp_gradient(
-    cloud: &GaussianCloud,
-    flags: &[bool],
-    beta: f32,
-    grads: &mut [GaussGrad],
-) {
+pub fn add_cbp_gradient(cloud: &GaussianCloud, flags: &[bool], beta: f32, grads: &mut [GaussGrad]) {
     assert_eq!(cloud.len(), flags.len(), "flag count mismatch");
     assert_eq!(cloud.len(), grads.len(), "gradient count mismatch");
     if cloud.is_empty() {

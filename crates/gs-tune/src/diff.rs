@@ -20,7 +20,7 @@ use gs_core::mat::Mat3;
 use gs_core::sh;
 use gs_core::vec::{Vec2, Vec3};
 use gs_render::binning::bin_and_sort;
-use gs_render::projection::{tile_grid, tile_rect_of, Splat};
+use gs_render::projection::{support_bbox, tile_grid, tile_rect_of, Splat};
 use gs_render::{ALPHA_EPS, ALPHA_MAX, TILE_SIZE, TRANSMITTANCE_EPS};
 use gs_scene::GaussianCloud;
 use serde::{Deserialize, Serialize};
@@ -48,7 +48,11 @@ pub struct DiffConfig {
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { loss: Loss::L1, sh_degree: 3, background: Vec3::ZERO }
+        DiffConfig {
+            loss: Loss::L1,
+            sh_degree: 3,
+            background: Vec3::ZERO,
+        }
     }
 }
 
@@ -66,6 +70,9 @@ pub struct GaussGrad {
     pub sh: [f32; sh::SH_COEFFS],
 }
 
+// The vendored offline serde stub ignores `#[serde(with = ...)]`, leaving
+// these adapters unreferenced; they are kept for real-serde compatibility.
+#[allow(dead_code)]
 mod serde_sh {
     use gs_core::sh::SH_COEFFS;
     use serde::de::Error;
@@ -77,7 +84,8 @@ mod serde_sh {
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f32; SH_COEFFS], D::Error> {
         let v = Vec::<f32>::deserialize(d)?;
-        v.try_into().map_err(|v: Vec<f32>| D::Error::invalid_length(v.len(), &"48 floats"))
+        v.try_into()
+            .map_err(|v: Vec<f32>| D::Error::invalid_length(v.len(), &"48 floats"))
     }
 }
 
@@ -169,6 +177,7 @@ pub fn render_with_gradients(
             opacity: g.opacity,
             depth: proj.depth,
             tile_rect,
+            bbox_px: support_bbox(proj.mean_px, proj.cov2d, g.opacity),
         });
         caches.push(ProjCache {
             gi: gi as u32,
@@ -190,6 +199,7 @@ pub fn render_with_gradients(
 
     let n = TILE_SIZE as usize;
     let n_tiles = (tiles_x * tiles_y) as usize;
+    #[allow(clippy::needless_range_loop)]
     for t in 0..n_tiles {
         let (r0, r1) = ranges[t];
         let ox = (t as u32 % tiles_x) * TILE_SIZE;
@@ -312,8 +322,8 @@ pub fn render_with_gradients(
         let inv_det2 = 1.0 / (det * det);
         // a' = C/D, b' = −B/D, c' = A/D (primes: conic entries).
         let d_ca = (-cc * cc * da + cb * cc * db - cb * cb * dc_) * inv_det2;
-        let d_cb = (2.0 * cb * cc * da + (-det - 2.0 * cb * cb) * db + 2.0 * ca * cb * dc_)
-            * inv_det2;
+        let d_cb =
+            (2.0 * cb * cc * da + (-det - 2.0 * cb * cb) * db + 2.0 * ca * cb * dc_) * inv_det2;
         let d_cc = (-cb * cb * da + ca * cb * db - ca * ca * dc_) * inv_det2;
 
         // cov2d (A,B,C) → Σ3D (6 params, q-form convention). Dilation is
@@ -332,9 +342,17 @@ pub fn render_with_gradients(
         let mut d_sigma = [0.0f32; 6];
         for (p, (a, b)) in PAIRS.iter().enumerate() {
             // dA/dΣ_ab: q-form coefficient of Σ_ab in m1ᵀΣm1.
-            let ka = if a == b { m1[*a] * m1[*b] } else { 2.0 * m1[*a] * m1[*b] };
+            let ka = if a == b {
+                m1[*a] * m1[*b]
+            } else {
+                2.0 * m1[*a] * m1[*b]
+            };
             let kb = pair(m1, m2, *a, *b);
-            let kc = if a == b { m2[*a] * m2[*b] } else { 2.0 * m2[*a] * m2[*b] };
+            let kc = if a == b {
+                m2[*a] * m2[*b]
+            } else {
+                2.0 * m2[*a] * m2[*b]
+            };
             d_sigma[p] = d_ca * ka + d_cb * kb + d_cc * kc;
         }
 
@@ -379,7 +397,11 @@ pub fn render_with_gradients(
 fn rot_matrix_backward(q: gs_core::Quat, dr: &[[f32; 3]; 3]) -> [f32; 4] {
     let (w, x, y, z) = (q.w, q.x, q.y, q.z);
     // ∂R/∂w, ∂R/∂x, ∂R/∂y, ∂R/∂z for the unit-quaternion rotation matrix.
-    let dw = [[0.0, -2.0 * z, 2.0 * y], [2.0 * z, 0.0, -2.0 * x], [-2.0 * y, 2.0 * x, 0.0]];
+    let dw = [
+        [0.0, -2.0 * z, 2.0 * y],
+        [2.0 * z, 0.0, -2.0 * x],
+        [-2.0 * y, 2.0 * x, 0.0],
+    ];
     let dx = [
         [0.0, 2.0 * y, 2.0 * z],
         [2.0 * y, -4.0 * x, -2.0 * w],
@@ -419,15 +441,30 @@ mod tests {
 
     fn small_cloud() -> GaussianCloud {
         let mut c = GaussianCloud::new();
-        let mut g0 = Gaussian::isotropic(Vec3::new(-0.3, 0.1, 0.0), 0.15, Vec3::new(0.8, 0.3, 0.2), 0.7);
+        let mut g0 = Gaussian::isotropic(
+            Vec3::new(-0.3, 0.1, 0.0),
+            0.15,
+            Vec3::new(0.8, 0.3, 0.2),
+            0.7,
+        );
         g0.scale = Vec3::new(0.22, 0.12, 0.08);
         g0.rot = Quat::from_axis_angle(Vec3::new(0.3, 1.0, 0.2), 0.7);
         g0.sh[5] = 0.1;
-        let mut g1 = Gaussian::isotropic(Vec3::new(0.3, -0.1, 0.4), 0.2, Vec3::new(0.2, 0.6, 0.9), 0.5);
+        let mut g1 = Gaussian::isotropic(
+            Vec3::new(0.3, -0.1, 0.4),
+            0.2,
+            Vec3::new(0.2, 0.6, 0.9),
+            0.5,
+        );
         g1.scale = Vec3::new(0.1, 0.25, 0.15);
         g1.rot = Quat::from_axis_angle(Vec3::new(1.0, -0.2, 0.5), -0.4);
         g1.sh[14] = -0.08;
-        let g2 = Gaussian::isotropic(Vec3::new(0.0, 0.25, -0.3), 0.12, Vec3::new(0.5, 0.5, 0.1), 0.85);
+        let g2 = Gaussian::isotropic(
+            Vec3::new(0.0, 0.25, -0.3),
+            0.12,
+            Vec3::new(0.5, 0.5, 0.1),
+            0.85,
+        );
         c.push(g0);
         c.push(g1);
         c.push(g2);
@@ -446,7 +483,10 @@ mod tests {
     }
 
     fn loss_of(cloud: &GaussianCloud) -> f64 {
-        let cfg = DiffConfig { loss: Loss::L2, ..Default::default() };
+        let cfg = DiffConfig {
+            loss: Loss::L2,
+            ..Default::default()
+        };
         render_with_gradients(cloud, &cam(), &target(), &cfg).loss
     }
 
@@ -473,11 +513,17 @@ mod tests {
         use gs_render::{RenderConfig, TileRenderer};
         let cloud = small_cloud();
         let c = cam();
-        let plain = TileRenderer::new(RenderConfig { threads: 1, ..Default::default() })
-            .render(&cloud, &c);
+        let plain = TileRenderer::new(RenderConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .render(&cloud, &c);
         let diff = render_with_gradients(&cloud, &c, &target(), &DiffConfig::default());
         let psnr = diff.image.psnr(&plain.image);
-        assert!(psnr > 70.0 || psnr.is_infinite(), "forward diverged: {psnr}");
+        assert!(
+            psnr > 70.0 || psnr.is_infinite(),
+            "forward diverged: {psnr}"
+        );
     }
 
     #[test]
@@ -487,7 +533,10 @@ mod tests {
             &cloud,
             &cam(),
             &target(),
-            &DiffConfig { loss: Loss::L2, ..Default::default() },
+            &DiffConfig {
+                loss: Loss::L2,
+                ..Default::default()
+            },
         );
         for gi in 0..cloud.len() {
             let num = fd(&cloud, |c, h| c.as_mut_slice()[gi].opacity += h, 1e-3);
@@ -502,7 +551,10 @@ mod tests {
             &cloud,
             &cam(),
             &target(),
-            &DiffConfig { loss: Loss::L2, ..Default::default() },
+            &DiffConfig {
+                loss: Loss::L2,
+                ..Default::default()
+            },
         );
         for gi in 0..cloud.len() {
             for idx in [0usize, 1, 2, 5, 14, 30] {
@@ -519,12 +571,19 @@ mod tests {
             &cloud,
             &cam(),
             &target(),
-            &DiffConfig { loss: Loss::L2, ..Default::default() },
+            &DiffConfig {
+                loss: Loss::L2,
+                ..Default::default()
+            },
         );
         for gi in 0..cloud.len() {
             for axis in 0..3 {
                 let num = fd(&cloud, |c, h| c.as_mut_slice()[gi].scale[axis] += h, 1e-4);
-                check(out.grads[gi].scale[axis], num, &format!("scale[{gi}][{axis}]"));
+                check(
+                    out.grads[gi].scale[axis],
+                    num,
+                    &format!("scale[{gi}][{axis}]"),
+                );
             }
         }
     }
@@ -536,7 +595,10 @@ mod tests {
             &cloud,
             &cam(),
             &target(),
-            &DiffConfig { loss: Loss::L2, ..Default::default() },
+            &DiffConfig {
+                loss: Loss::L2,
+                ..Default::default()
+            },
         );
         for gi in 0..cloud.len() {
             for comp in 0..4 {
@@ -559,9 +621,11 @@ mod tests {
     fn zero_loss_when_target_is_render() {
         let cloud = small_cloud();
         let c = cam();
-        let cfg = DiffConfig { loss: Loss::L2, ..Default::default() };
-        let self_target =
-            render_with_gradients(&cloud, &c, &target(), &cfg).image;
+        let cfg = DiffConfig {
+            loss: Loss::L2,
+            ..Default::default()
+        };
+        let self_target = render_with_gradients(&cloud, &c, &target(), &cfg).image;
         let out = render_with_gradients(&cloud, &c, &self_target, &cfg);
         assert!(out.loss < 1e-12, "loss against own render: {}", out.loss);
         // All gradients vanish at the optimum.
@@ -581,7 +645,10 @@ mod tests {
     #[test]
     fn gradient_step_reduces_loss() {
         let cloud = small_cloud();
-        let cfg = DiffConfig { loss: Loss::L2, ..Default::default() };
+        let cfg = DiffConfig {
+            loss: Loss::L2,
+            ..Default::default()
+        };
         let out = render_with_gradients(&cloud, &cam(), &target(), &cfg);
         // Take a tiny step against the gradient on opacity + SH.
         let mut stepped = cloud.clone();
@@ -593,6 +660,11 @@ mod tests {
             }
         }
         let after = render_with_gradients(&stepped, &cam(), &target(), &cfg);
-        assert!(after.loss < out.loss, "step increased loss: {} -> {}", out.loss, after.loss);
+        assert!(
+            after.loss < out.loss,
+            "step increased loss: {} -> {}",
+            out.loss,
+            after.loss
+        );
     }
 }

@@ -55,7 +55,10 @@ pub fn quantization_aware_finetune(
     assert!(!targets.is_empty(), "QAT needs at least one target view");
     let mut cloud = trained.clone();
     let mut opt = Adam::new(cloud.len(), cfg.lrs);
-    let diff_cfg = DiffConfig { loss: cfg.loss, ..Default::default() };
+    let diff_cfg = DiffConfig {
+        loss: cfg.loss,
+        ..Default::default()
+    };
 
     let mut quant = GaussianQuantizer::train(&cloud, &cfg.vq);
     for it in 0..cfg.iters {
@@ -80,10 +83,7 @@ pub fn quantization_aware_finetune(
 }
 
 /// Convenience: PSNR of the decoded cloud against targets, averaged.
-pub fn decoded_psnr(
-    quant: &QuantizedCloud,
-    targets: &[(Camera, ImageRgb)],
-) -> f64 {
+pub fn decoded_psnr(quant: &QuantizedCloud, targets: &[(Camera, ImageRgb)]) -> f64 {
     use gs_render::{RenderConfig, TileRenderer};
     let decoded = quant.decode();
     let r = TileRenderer::new(RenderConfig::default());
@@ -134,7 +134,12 @@ mod tests {
     #[test]
     fn qat_preserves_decoded_quality() {
         let (trained, targets) = setup();
-        let cfg = QatConfig { iters: 30, refresh_every: 15, vq: coarse_vq(), ..Default::default() };
+        let cfg = QatConfig {
+            iters: 30,
+            refresh_every: 15,
+            vq: coarse_vq(),
+            ..Default::default()
+        };
         // PSNR of plain (no QAT) quantization.
         let plain = GaussianQuantizer::train(&trained, &cfg.vq);
         let before = decoded_psnr(&plain, &targets);
@@ -151,7 +156,12 @@ mod tests {
     #[test]
     fn positions_never_move() {
         let (trained, targets) = setup();
-        let cfg = QatConfig { iters: 5, refresh_every: 10, vq: VqConfig::tiny(), ..Default::default() };
+        let cfg = QatConfig {
+            iters: 5,
+            refresh_every: 10,
+            vq: VqConfig::tiny(),
+            ..Default::default()
+        };
         let (cloud, _) = quantization_aware_finetune(&trained, &targets, &cfg);
         for (a, b) in trained.iter().zip(cloud.iter()) {
             assert_eq!(a.pos, b.pos);

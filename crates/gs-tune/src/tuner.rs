@@ -84,10 +84,16 @@ pub fn boundary_aware_finetune(
     targets: &[(Camera, ImageRgb)],
     cfg: &TuneConfig,
 ) -> TuneResult {
-    assert!(!targets.is_empty(), "fine-tuning needs at least one target view");
+    assert!(
+        !targets.is_empty(),
+        "fine-tuning needs at least one target view"
+    );
     let mut cloud = trained.clone();
     let mut opt = Adam::new(cloud.len(), cfg.lrs);
-    let diff_cfg = DiffConfig { loss: cfg.loss, ..Default::default() };
+    let diff_cfg = DiffConfig {
+        loss: cfg.loss,
+        ..Default::default()
+    };
     let mut history = Vec::new();
 
     let mut flags = measure(&cloud, targets, cfg, &mut history, 0);
@@ -101,7 +107,13 @@ pub fn boundary_aware_finetune(
         let iter1 = it + 1;
         if iter1 % cfg.refresh_every == 0 || iter1 == cfg.iters {
             let record = iter1 % cfg.record_every == 0 || iter1 == cfg.iters;
-            flags = measure(&cloud, targets, cfg, &mut history, if record { iter1 } else { u32::MAX });
+            flags = measure(
+                &cloud,
+                targets,
+                cfg,
+                &mut history,
+                if record { iter1 } else { u32::MAX },
+            );
         }
     }
 
@@ -119,7 +131,10 @@ fn measure(
 ) -> Vec<bool> {
     let scene = StreamingScene::new(
         cloud.clone(),
-        StreamingConfig { voxel_size: cfg.voxel_size, ..Default::default() },
+        StreamingConfig {
+            voxel_size: cfg.voxel_size,
+            ..Default::default()
+        },
     );
     let cams: Vec<Camera> = targets.iter().map(|(c, _)| *c).collect();
     let (outputs, violations) = scene.render_views(&cams);

@@ -23,13 +23,24 @@ pub struct RayVoxels {
 /// ~`3n` steps; the bound guards degenerate rays).
 pub fn traverse(grid: &VoxelGrid, ray: &Ray, max_steps: u32) -> RayVoxels {
     let mut out = RayVoxels::default();
+    out.steps = traverse_into(grid, ray, max_steps, &mut out.voxels);
+    out
+}
+
+/// [`traverse`] into a caller-owned voxel list (cleared first), returning
+/// the DDA step count. The streaming renderer's per-group scratch reuses
+/// one list per ray slot across frames, keeping the steady-state ray loop
+/// allocation-free.
+pub fn traverse_into(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut Vec<u32>) -> u32 {
+    voxels.clear();
+    let mut steps = 0u32;
     let bounds = grid.bounds();
     let Some((t_enter, t_exit)) = bounds.intersect_ray(ray) else {
-        return out;
+        return steps;
     };
     let t_start = t_enter.max(0.0);
     if t_exit < t_start {
-        return out;
+        return steps;
     }
 
     // Nudge inside the boundary to get a well-defined starting cell.
@@ -69,11 +80,11 @@ pub fn traverse(grid: &VoxelGrid, ray: &Ray, max_steps: u32) -> RayVoxels {
 
     let (mut cx, mut cy, mut cz) = (cell[0], cell[1], cell[2]);
     for _ in 0..max_steps {
-        out.steps += 1;
+        steps += 1;
         if let Some(v) = grid.voxel_at((cx, cy, cz)) {
             // A ray re-entering the same voxel id cannot happen in a convex
             // cell walk, so no dedup needed.
-            out.voxels.push(v);
+            voxels.push(v);
         }
         // Advance along the axis with the nearest boundary.
         let axis = if t_max[0] <= t_max[1] && t_max[0] <= t_max[2] {
@@ -96,7 +107,7 @@ pub fn traverse(grid: &VoxelGrid, ray: &Ray, max_steps: u32) -> RayVoxels {
             break;
         }
     }
-    out
+    steps
 }
 
 #[cfg(test)]
@@ -157,7 +168,11 @@ mod tests {
     fn ray_starting_inside_works() {
         let (_, grid) = row_grid();
         let r = traverse(&grid, &Ray::new(Vec3::new(1.5, 0.5, 0.5), Vec3::X), 100);
-        assert_eq!(r.voxels.len(), 3, "voxels 1..=3 visible from inside voxel 1");
+        assert_eq!(
+            r.voxels.len(),
+            3,
+            "voxels 1..=3 visible from inside voxel 1"
+        );
     }
 
     #[test]
@@ -184,7 +199,10 @@ mod tests {
         let mut last = f32::NEG_INFINITY;
         for &v in &r.voxels {
             let d = (grid.voxel_center(v) - ray.origin).dot(ray.dir);
-            assert!(d > last - 0.87, "non-monotone visit (allowing half-diagonal slack)");
+            assert!(
+                d > last - 0.87,
+                "non-monotone visit (allowing half-diagonal slack)"
+            );
             last = last.max(d);
         }
         // No voxel repeated.

@@ -12,7 +12,7 @@ use gs_core::vec::{Vec2, Vec3};
 use gs_scene::Gaussian;
 
 /// A tile's pixel-space rectangle `[x0, x1) × [y0, y1)`.
-#[derive(Copy, Clone, Debug, PartialEq)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct TileRect {
     pub x0: f32,
     pub y0: f32,
@@ -57,7 +57,11 @@ pub struct CoarsePass {
 pub fn coarse_test(cam: &Camera, pos: Vec3, s_max: f32, rect: &TileRect) -> Option<CoarsePass> {
     let p = project_coarse(cam, pos, s_max)?;
     if rect.overlaps_disc(p.mean_px, p.radius_px) {
-        Some(CoarsePass { mean_px: p.mean_px, radius_px: p.radius_px, depth: p.depth })
+        Some(CoarsePass {
+            mean_px: p.mean_px,
+            radius_px: p.radius_px,
+            depth: p.depth,
+        })
     } else {
         None
     }
@@ -121,12 +125,22 @@ mod tests {
 
     fn center_rect() -> TileRect {
         // The 16×16 tile containing the principal point (64, 48).
-        TileRect { x0: 48.0, y0: 32.0, x1: 80.0, y1: 64.0 }
+        TileRect {
+            x0: 48.0,
+            y0: 32.0,
+            x1: 80.0,
+            y1: 64.0,
+        }
     }
 
     #[test]
     fn rect_disc_overlap_cases() {
-        let r = TileRect { x0: 0.0, y0: 0.0, x1: 16.0, y1: 16.0 };
+        let r = TileRect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 16.0,
+            y1: 16.0,
+        };
         assert!(r.overlaps_disc(Vec2::new(8.0, 8.0), 1.0), "inside");
         assert!(r.overlaps_disc(Vec2::new(-2.0, 8.0), 3.0), "left edge");
         assert!(!r.overlaps_disc(Vec2::new(-5.0, 8.0), 3.0), "too far left");
@@ -156,7 +170,12 @@ mod tests {
         let c = cam();
         // Project onto a tile far from the centre: tiny Gaussian at the
         // frame centre cannot touch a corner tile.
-        let corner = TileRect { x0: 0.0, y0: 0.0, x1: 16.0, y1: 16.0 };
+        let corner = TileRect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 16.0,
+            y1: 16.0,
+        };
         assert!(coarse_test(&c, Vec3::ZERO, 0.01, &corner).is_none());
         // Behind the camera is culled outright.
         assert!(coarse_test(&c, Vec3::new(0.0, 0.0, -10.0), 0.1, &corner).is_none());
@@ -195,7 +214,12 @@ mod tests {
         // World y = −0.6 projects *below* the image centre (v ≈ 62), so the
         // bottom-centre tile is the one the disc grazes.
         let c = cam();
-        let rect = TileRect { x0: 48.0, y0: 80.0, x1: 80.0, y1: 96.0 };
+        let rect = TileRect {
+            x0: 48.0,
+            y0: 80.0,
+            x1: 80.0,
+            y1: 96.0,
+        };
         let mut g = Gaussian::isotropic(Vec3::new(0.0, -0.6, 0.0), 0.02, Vec3::ONE, 0.9);
         // Long axis along x (horizontal), far below the tile vertically.
         g.scale = Vec3::new(0.55, 0.01, 0.01);

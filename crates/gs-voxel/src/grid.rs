@@ -91,7 +91,15 @@ impl VoxelGrid {
             cursor[vid] += 1;
         }
 
-        VoxelGrid { origin, voxel_size, dims, cell_table, voxel_cells, ranges, indices }
+        VoxelGrid {
+            origin,
+            voxel_size,
+            dims,
+            cell_table,
+            voxel_cells,
+            ranges,
+            indices,
+        }
     }
 
     /// Grid origin (minimum corner).
@@ -142,8 +150,8 @@ impl VoxelGrid {
         {
             return None;
         }
-        let ci = (z as usize * self.dims.1 as usize + y as usize) * self.dims.0 as usize
-            + x as usize;
+        let ci =
+            (z as usize * self.dims.1 as usize + y as usize) * self.dims.0 as usize + x as usize;
         let v = self.cell_table[ci];
         if v == EMPTY_CELL {
             None
@@ -202,7 +210,11 @@ impl VoxelGrid {
 
     /// Largest voxel population — bounds the on-chip input buffer need.
     pub fn max_voxel_population(&self) -> usize {
-        self.ranges.iter().map(|(a, b)| (b - a) as usize).max().unwrap_or(0)
+        self.ranges
+            .iter()
+            .map(|(a, b)| (b - a) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// How far Gaussian `g`'s `sigmas`·σ ellipsoid bound extends beyond its
@@ -240,7 +252,10 @@ impl VoxelGrid {
         if cloud.is_empty() {
             return 0.0;
         }
-        let crossing = cloud.iter().filter(|g| self.crosses_boundary(g, sigmas)).count();
+        let crossing = cloud
+            .iter()
+            .filter(|g| self.crosses_boundary(g, sigmas))
+            .count();
         crossing as f64 / cloud.len() as f64
     }
 }
@@ -298,9 +313,18 @@ mod tests {
     fn empty_cells_are_renamed_away() {
         let mut cloud = GaussianCloud::new();
         cloud.push(Gaussian::isotropic(Vec3::ZERO, 0.05, Vec3::ONE, 0.9));
-        cloud.push(Gaussian::isotropic(Vec3::new(10.0, 0.0, 0.0), 0.05, Vec3::ONE, 0.9));
+        cloud.push(Gaussian::isotropic(
+            Vec3::new(10.0, 0.0, 0.0),
+            0.05,
+            Vec3::ONE,
+            0.9,
+        ));
         let grid = VoxelGrid::build(&cloud, 1.0);
-        assert_eq!(grid.voxel_count(), 2, "only the two occupied voxels are kept");
+        assert_eq!(
+            grid.voxel_count(),
+            2,
+            "only the two occupied voxels are kept"
+        );
         assert!(grid.cell_count() >= 10, "the raw cell space is much larger");
     }
 
@@ -322,7 +346,12 @@ mod tests {
     /// Grid whose origin is anchored at ~0 so cell walls sit on integers.
     fn anchored(extra: Gaussian) -> (GaussianCloud, VoxelGrid) {
         let mut cloud = GaussianCloud::new();
-        cloud.push(Gaussian::isotropic(Vec3::splat(0.001), 0.0001, Vec3::ONE, 0.9));
+        cloud.push(Gaussian::isotropic(
+            Vec3::splat(0.001),
+            0.0001,
+            Vec3::ONE,
+            0.9,
+        ));
         cloud.push(extra);
         let grid = VoxelGrid::build(&cloud, 1.0);
         (cloud, grid)

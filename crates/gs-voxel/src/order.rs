@@ -27,10 +27,7 @@ pub struct VoxelOrder {
 /// `depth_of(v)` supplies a reference depth per voxel (distance of its centre
 /// from the camera) used to (a) order independent voxels deterministically
 /// front-to-back and (b) break cycles.
-pub fn topological_order<F: Fn(u32) -> f32>(
-    ray_lists: &[Vec<u32>],
-    depth_of: F,
-) -> VoxelOrder {
+pub fn topological_order<F: Fn(u32) -> f32>(ray_lists: &[Vec<u32>], depth_of: F) -> VoxelOrder {
     // Collect nodes and unique edges.
     let mut in_degree: HashMap<u32, u32> = HashMap::new();
     let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
@@ -103,7 +100,11 @@ pub fn topological_order<F: Fn(u32) -> f32>(
         }
     }
 
-    VoxelOrder { order, edges, cycle_breaks }
+    VoxelOrder {
+        order,
+        edges,
+        cycle_breaks,
+    }
 }
 
 /// Verifies that `order` respects every consecutive constraint in

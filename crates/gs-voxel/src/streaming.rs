@@ -10,7 +10,7 @@
 //! entirely (no DRAM fetch) once every pixel whose ray intersects it has
 //! saturated — the front-to-back order makes this exact.
 
-use crate::dda::traverse;
+use crate::dda::traverse_into;
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::topological_order;
@@ -18,11 +18,13 @@ use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
 use gs_core::vec::{Vec2, Vec3};
+use gs_render::pool::WorkerPool;
 use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
 use gs_scene::GaussianCloud;
 use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// An out-of-order blend counts as a violation only when the depth
 /// inversion exceeds this fraction of the voxel size — smaller inversions
@@ -35,9 +37,10 @@ const VIOLATION_VOXEL_FRACTION: f32 = 0.1;
 pub struct StreamingConfig {
     /// Voxel edge length (paper: 2.0 real-world, 0.4 synthetic).
     pub voxel_size: f32,
-    /// Pixel-group edge length in pixels. The default 64 matches the
-    /// paper's 89 KB intermediate buffer (64×64 × 16 B partials ≈ 64 KB,
-    /// leaving room for the voxel ordering tables).
+    /// Pixel-group edge length in pixels, at least
+    /// [`StreamingConfig::MIN_GROUP_SIZE`]. Values below the minimum are
+    /// clamped once, by [`StreamingConfig::validated`], when the scene is
+    /// prepared (the seed silently re-clamped at every use site instead).
     pub group_size: u32,
     /// Fetch the VQ-compressed second half (paper Sec. III-C). When set,
     /// codebooks are trained at scene preparation with [`StreamingConfig::vq`].
@@ -75,20 +78,54 @@ impl Default for StreamingConfig {
 }
 
 impl StreamingConfig {
+    /// Smallest supported pixel-group edge. Below 16 px the per-group fixed
+    /// costs (ray setup, voxel ordering tables) dominate any streaming win,
+    /// and a group no longer amortizes even one voxel fetch — the paper's
+    /// design space starts at 16 px groups.
+    pub const MIN_GROUP_SIZE: u32 = 16;
+
+    /// Normalizes the configuration once: clamps `group_size` up to
+    /// [`Self::MIN_GROUP_SIZE`] and `ray_stride` up to 1. Called by
+    /// [`StreamingScene::new`]/[`StreamingScene::with_quantization`], so
+    /// every use site downstream can rely on the invariants instead of
+    /// re-clamping.
+    pub fn validated(mut self) -> StreamingConfig {
+        self.group_size = self.group_size.max(Self::MIN_GROUP_SIZE);
+        self.ray_stride = self.ray_stride.max(1);
+        self
+    }
+
     /// The paper's full-fledged configuration (VQ + coarse filter) for a
     /// given voxel size and codebook setup.
     pub fn full(voxel_size: f32, vq: VqConfig) -> StreamingConfig {
-        StreamingConfig { voxel_size, use_vq: true, use_coarse_filter: true, vq, ..Default::default() }
+        StreamingConfig {
+            voxel_size,
+            use_vq: true,
+            use_coarse_filter: true,
+            vq,
+            ..Default::default()
+        }
     }
 
     /// The "w/o CGF" ablation (VQ on, coarse filter off).
     pub fn without_cgf(voxel_size: f32, vq: VqConfig) -> StreamingConfig {
-        StreamingConfig { voxel_size, use_vq: true, use_coarse_filter: false, vq, ..Default::default() }
+        StreamingConfig {
+            voxel_size,
+            use_vq: true,
+            use_coarse_filter: false,
+            vq,
+            ..Default::default()
+        }
     }
 
     /// The "w/o VQ+CGF" ablation (plain streaming).
     pub fn without_vq_cgf(voxel_size: f32) -> StreamingConfig {
-        StreamingConfig { voxel_size, use_vq: false, use_coarse_filter: false, ..Default::default() }
+        StreamingConfig {
+            voxel_size,
+            use_vq: false,
+            use_coarse_filter: false,
+            ..Default::default()
+        }
     }
 
     /// Bytes of on-chip partial-pixel state one group needs (16 B/pixel).
@@ -146,20 +183,40 @@ pub struct StreamingOutput {
 /// A scene prepared for streaming: voxelized layout + optional codebooks.
 ///
 /// Preparation (voxelization, VQ training) happens offline in the paper; the
-/// per-frame work is [`StreamingScene::render`].
-#[derive(Clone, Debug)]
+/// per-frame work is [`StreamingScene::render`], whose intermediate buffers
+/// and worker threads persist across frames (zero-alloc steady state; the
+/// returned image/workload are the caller-owned outputs).
+#[derive(Debug)]
 pub struct StreamingScene {
     grid: VoxelGrid,
     source: GaussianCloud,
     decoded: Option<GaussianCloud>,
     quant: Option<QuantizedCloud>,
     config: StreamingConfig,
+    scratch: Mutex<StreamScratch>,
+}
+
+impl Clone for StreamingScene {
+    /// Clones the prepared scene; the clone starts with a fresh frame
+    /// arena and worker pool (frame state is never shared).
+    fn clone(&self) -> Self {
+        StreamingScene {
+            grid: self.grid.clone(),
+            source: self.source.clone(),
+            decoded: self.decoded.clone(),
+            quant: self.quant.clone(),
+            config: self.config,
+            scratch: Mutex::new(StreamScratch::default()),
+        }
+    }
 }
 
 impl StreamingScene {
     /// Prepares a cloud for streaming. Trains VQ codebooks when
-    /// `config.use_vq` is set.
+    /// `config.use_vq` is set. The configuration is normalized via
+    /// [`StreamingConfig::validated`].
     pub fn new(cloud: GaussianCloud, config: StreamingConfig) -> StreamingScene {
+        let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
         let (quant, decoded) = if config.use_vq {
             let q = GaussianQuantizer::train(&cloud, &config.vq);
@@ -168,7 +225,14 @@ impl StreamingScene {
         } else {
             (None, None)
         };
-        StreamingScene { grid, source: cloud, decoded, quant, config }
+        StreamingScene {
+            grid,
+            source: cloud,
+            decoded,
+            quant,
+            config,
+            scratch: Mutex::new(StreamScratch::default()),
+        }
     }
 
     /// Prepares with an externally trained quantizer (e.g. after
@@ -179,9 +243,17 @@ impl StreamingScene {
         mut config: StreamingConfig,
     ) -> StreamingScene {
         config.use_vq = true;
+        let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
         let decoded = quant.decode();
-        StreamingScene { grid, source: cloud, decoded: Some(decoded), quant: Some(quant), config }
+        StreamingScene {
+            grid,
+            source: cloud,
+            decoded: Some(decoded),
+            quant: Some(quant),
+            config,
+            scratch: Mutex::new(StreamScratch::default()),
+        }
     }
 
     /// The voxel grid.
@@ -213,47 +285,98 @@ impl StreamingScene {
     }
 
     /// Renders one frame.
+    ///
+    /// All intermediate buffers (group pixel partials, per-chunk DDA /
+    /// filter / blend scratch) live in a frame arena and the group workers
+    /// run on a persistent pool, both reused across frames: steady-state
+    /// rendering allocates only the returned image/workload.
     pub fn render(&self, cam: &Camera) -> StreamingOutput {
         let width = cam.width();
         let height = cam.height();
-        let gsz = self.config.group_size.max(16);
+        let gsz = self.config.group_size;
+        let gp = (gsz * gsz) as usize;
         let groups_x = width.div_ceil(gsz);
         let groups_y = height.div_ceil(gsz);
         let n_groups = (groups_x * groups_y) as usize;
 
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
+        let chunks = threads.min(n_groups).max(1);
+        let chunk = n_groups.div_ceil(chunks);
 
-        let run_group = |t: usize| -> GroupResult {
-            let gx = t as u32 % groups_x;
-            let gy = t as u32 / groups_x;
-            self.render_group(cam, gx, gy, width, height)
-        };
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let scratch = &mut *guard;
+        scratch.pixels.resize(n_groups * gp, Vec3::ZERO);
+        scratch.workloads.resize(n_groups, TileWorkload::default());
+        scratch.vblends.resize(n_groups, 0);
+        if scratch.groups.len() < chunks {
+            scratch.groups.resize_with(chunks, GroupScratch::default);
+        }
 
-        let results: Vec<GroupResult> = if threads <= 1 || n_groups <= 1 {
-            (0..n_groups).map(run_group).collect()
+        if chunks <= 1 {
+            let group_scratch = &mut scratch.groups[0];
+            group_scratch.violating.clear();
+            for t in 0..n_groups {
+                let gx = t as u32 % groups_x;
+                let gy = t as u32 / groups_x;
+                let pixels = &mut scratch.pixels[t * gp..(t + 1) * gp];
+                let (w, vb) =
+                    self.render_group_into(cam, gx, gy, width, height, group_scratch, pixels);
+                scratch.workloads[t] = w;
+                scratch.vblends[t] = vb;
+            }
         } else {
-            let chunk = n_groups.div_ceil(threads);
-            let pieces: Vec<Vec<GroupResult>> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for w in 0..threads {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n_groups);
-                    if lo >= hi {
-                        continue;
-                    }
-                    let run_group = &run_group;
-                    handles.push(scope.spawn(move || (lo..hi).map(run_group).collect::<Vec<_>>()));
+            // Chunk c renders groups [c·chunk, (c+1)·chunk): disjoint slices
+            // of the pixel/workload/vblend buffers, reconstructed from raw
+            // base pointers inside the `Fn(usize)` job (which cannot be
+            // handed pre-split `&mut` slices).
+            let px_base = scratch.pixels.as_mut_ptr() as usize;
+            let wl_base = scratch.workloads.as_mut_ptr() as usize;
+            let vb_base = scratch.vblends.as_mut_ptr() as usize;
+            let gs_base = scratch.groups.as_mut_ptr() as usize;
+            let pool = WorkerPool::ensure(&mut scratch.pool, chunks);
+            pool.run(chunks, |c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n_groups);
+                // SAFETY: group ranges [lo, hi) are disjoint across chunk
+                // indices and scratch slot `c` is unique per job; the
+                // buffers outlive `pool.run`, which blocks until all jobs
+                // finish.
+                let group_scratch = unsafe { &mut *(gs_base as *mut GroupScratch).add(c) };
+                group_scratch.violating.clear();
+                if lo >= hi {
+                    return;
                 }
-                handles.into_iter().map(|h| h.join().expect("group worker panicked")).collect()
+                let pixels = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (px_base as *mut Vec3).add(lo * gp),
+                        (hi - lo) * gp,
+                    )
+                };
+                let workloads = unsafe {
+                    std::slice::from_raw_parts_mut((wl_base as *mut TileWorkload).add(lo), hi - lo)
+                };
+                let vblends = unsafe {
+                    std::slice::from_raw_parts_mut((vb_base as *mut u64).add(lo), hi - lo)
+                };
+                for t in lo..hi {
+                    let gx = t as u32 % groups_x;
+                    let gy = t as u32 / groups_x;
+                    let buf = &mut pixels[(t - lo) * gp..(t - lo + 1) * gp];
+                    let (w, vb) =
+                        self.render_group_into(cam, gx, gy, width, height, group_scratch, buf);
+                    workloads[t - lo] = w;
+                    vblends[t - lo] = vb;
+                }
             });
-            pieces.into_iter().flatten().collect()
-        };
+        }
 
-        // Assemble image, workload and violations.
+        // Assemble image, workload and violations (serial, deterministic).
         let mut image = ImageRgb::new(width, height);
         let mut workload = FrameWorkload {
             tiles: Vec::with_capacity(n_groups),
@@ -266,29 +389,36 @@ impl StreamingScene {
             flags: vec![false; self.source.len()],
             ..Default::default()
         };
-        for (t, r) in results.into_iter().enumerate() {
+        for t in 0..n_groups {
             let gx = t as u32 % groups_x;
             let gy = t as u32 / groups_x;
             let ox = gx * gsz;
             let oy = gy * gsz;
             let n = gsz as usize;
+            let pixels = &scratch.pixels[t * gp..(t + 1) * gp];
             for ly in 0..gsz {
                 for lx in 0..gsz {
                     let px = ox + lx;
                     let py = oy + ly;
                     if px < width && py < height {
-                        image.set(px, py, r.pixels[(ly as usize) * n + lx as usize]);
+                        image.set(px, py, pixels[(ly as usize) * n + lx as usize]);
                     }
                 }
             }
-            workload.tiles.push(r.workload);
-            for gi in r.violating_gaussians {
+            workload.tiles.push(scratch.workloads[t]);
+            violations.violating_blends += scratch.vblends[t];
+            violations.total_blends += scratch.workloads[t].blend_fragments;
+        }
+        for chunk_scratch in &scratch.groups[..chunks] {
+            for &gi in &chunk_scratch.violating {
                 violations.flags[gi as usize] = true;
             }
-            violations.violating_blends += r.violating_blends;
-            violations.total_blends += r.workload.blend_fragments;
         }
-        StreamingOutput { image, workload, violations }
+        StreamingOutput {
+            image,
+            workload,
+            violations,
+        }
     }
 
     /// Renders several views and merges their violation reports — the
@@ -302,53 +432,72 @@ impl StreamingScene {
         (outputs, merged)
     }
 
-    fn render_group(
+    /// Renders one pixel group into `pixels` (a `group_size²` buffer from
+    /// the frame arena), using `scratch`'s reusable buffers. Returns the
+    /// group's workload and its out-of-order blend count; violating
+    /// Gaussian ids are appended to `scratch.violating`.
+    #[allow(clippy::too_many_arguments)]
+    fn render_group_into(
         &self,
         cam: &Camera,
         gx: u32,
         gy: u32,
         width: u32,
         height: u32,
-    ) -> GroupResult {
-        let gsz = self.config.group_size.max(16);
+        scratch: &mut GroupScratch,
+        pixels: &mut [Vec3],
+    ) -> (TileWorkload, u64) {
+        let gsz = self.config.group_size;
         let rect = TileRect::of_tile(gx, gy, gsz, width, height);
-        let n = gsz as usize;
         let mut w = TileWorkload::default();
-        let mut result = GroupResult {
-            pixels: vec![Vec3::ZERO; n * n],
-            workload: TileWorkload::default(),
-            violating_gaussians: Vec::new(),
-            violating_blends: 0,
-        };
+        let mut violating_blends = 0u64;
+        let GroupScratch {
+            ray_lists,
+            voxel_pixels,
+            spare_lists,
+            mask,
+            survivors,
+            splats,
+            blend,
+            violating,
+        } = scratch;
 
         // --- VSU: ray sampling + voxel ordering --------------------------
         let (dx, dy, dz) = self.grid.dims();
         let max_steps = 3 * (dx + dy + dz) + 6;
-        let stride = self.config.ray_stride.max(1);
-        let mut ray_lists: Vec<Vec<u32>> = Vec::new();
-        // voxel -> indices of group pixels whose rays intersect it.
-        let mut voxel_pixels: HashMap<u32, Vec<u32>> = HashMap::new();
+        let stride = self.config.ray_stride;
+        // Recycle last group's voxel→pixels lists instead of freeing them.
+        for (_, mut list) in voxel_pixels.drain() {
+            list.clear();
+            spare_lists.push(list);
+        }
+        let mut n_rays = 0usize;
         let mut py = rect.y0 as u32;
         while (py as f32) < rect.y1 {
             let mut px = rect.x0 as u32;
             while (px as f32) < rect.x1 {
                 let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
-                let rv = traverse(&self.grid, &ray, max_steps);
-                w.rays += 1;
-                w.dda_steps += rv.steps as u64;
-                let pixel_index =
-                    (py - rect.y0 as u32) as u32 * gsz + (px - rect.x0 as u32) as u32;
-                for &v in &rv.voxels {
-                    voxel_pixels.entry(v).or_default().push(pixel_index);
+                if n_rays == ray_lists.len() {
+                    ray_lists.push(Vec::new());
                 }
-                if !rv.voxels.is_empty() {
-                    ray_lists.push(rv.voxels);
+                let voxels = &mut ray_lists[n_rays];
+                w.dda_steps += traverse_into(&self.grid, &ray, max_steps, voxels) as u64;
+                w.rays += 1;
+                let pixel_index = (py - rect.y0 as u32) * gsz + (px - rect.x0 as u32);
+                for &v in voxels.iter() {
+                    voxel_pixels
+                        .entry(v)
+                        .or_insert_with(|| spare_lists.pop().unwrap_or_default())
+                        .push(pixel_index);
+                }
+                if !voxels.is_empty() {
+                    n_rays += 1; // keep this slot; empty slots are reused
                 }
                 px += stride;
             }
             py += stride;
         }
-        let order = topological_order(&ray_lists, |v| {
+        let order = topological_order(&ray_lists[..n_rays], |v| {
             cam.world_to_camera(self.grid.voxel_center(v)).z
         });
         w.voxels_intersected = order.order.len() as u32;
@@ -360,8 +509,9 @@ impl StreamingScene {
         let coarse_bpg = gs_scene::gaussian::COARSE_BYTES as u64;
         let render_cloud: &GaussianCloud = self.decoded.as_ref().unwrap_or(&self.source);
 
-        let mut blend = GroupBlender::new(rect, gsz, self.config.voxel_size);
-        let mut mask = vec![false; (gsz * gsz) as usize];
+        blend.reset(rect, gsz, self.config.voxel_size);
+        mask.clear();
+        mask.resize((gsz * gsz) as usize, false);
         for &vid in &order.order {
             if blend.live == 0 {
                 break; // every pixel saturated: stop streaming voxels
@@ -397,32 +547,26 @@ impl StreamingScene {
             w.gaussians_streamed += count;
 
             // Phase 1: coarse filter (16 B/Gaussian fetch).
-            let survivors: Vec<u32> = if self.config.use_coarse_filter {
-                w.coarse_bytes += count * coarse_bpg;
-                gaussians
-                    .iter()
-                    .copied()
-                    .filter(|&gi| {
-                        let g = &self.source.as_slice()[gi as usize];
-                        coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
-                    })
-                    .collect()
+            survivors.clear();
+            w.coarse_bytes += count * coarse_bpg;
+            if self.config.use_coarse_filter {
+                survivors.extend(gaussians.iter().copied().filter(|&gi| {
+                    let g = &self.source.as_slice()[gi as usize];
+                    coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
+                }));
             } else {
                 // No CGF: the whole record is streamed for every Gaussian.
-                w.coarse_bytes += count * coarse_bpg;
-                gaussians.to_vec()
-            };
+                survivors.extend_from_slice(gaussians);
+            }
             w.coarse_survivors += survivors.len() as u64;
             w.fine_bytes += survivors.len() as u64 * fine_bpg;
 
             // Phase 2: fine filter on the (possibly decoded) parameters.
-            let mut splats: Vec<(u32, FineSplat)> = survivors
-                .iter()
-                .filter_map(|&gi| {
-                    let g = &render_cloud.as_slice()[gi as usize];
-                    fine_test(cam, g, &rect, self.config.sh_degree).map(|s| (gi, s))
-                })
-                .collect();
+            splats.clear();
+            splats.extend(survivors.iter().filter_map(|&gi| {
+                let g = &render_cloud.as_slice()[gi as usize];
+                fine_test(cam, g, &rect, self.config.sh_degree).map(|s| (gi, s))
+            }));
             w.fine_survivors += splats.len() as u64;
             w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
 
@@ -431,13 +575,13 @@ impl StreamingScene {
 
             // Blend into the whole group; violations are counted on the
             // masked (ray-intersecting) pixels only.
-            for (gi, s) in &splats {
-                let frag = blend.blend(s, &mask);
+            for (gi, s) in splats.iter() {
+                let frag = blend.blend(s, mask);
                 w.blend_lanes += frag.lanes;
                 w.blend_fragments += frag.blended;
                 if frag.violations > 0 {
-                    result.violating_gaussians.push(*gi);
-                    result.violating_blends += frag.violations;
+                    violating.push(*gi);
+                    violating_blends += frag.violations;
                 }
                 if blend.live == 0 {
                     break;
@@ -449,17 +593,48 @@ impl StreamingScene {
         let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
         w.pixel_bytes += live_pixels * 16;
 
-        blend.finish(self.config.background, &mut result.pixels);
-        result.workload = w;
-        result
+        blend.finish(self.config.background, pixels);
+        (w, violating_blends)
     }
 }
 
-struct GroupResult {
+/// Frame-persistent render state: the worker pool plus the frame arena
+/// (per-group outputs and per-chunk scratch), behind a mutex so `render`
+/// stays `&self`. Concurrent renders on one scene serialize; clone the
+/// scene for independent parallel use.
+#[derive(Debug, Default)]
+struct StreamScratch {
+    pool: Option<WorkerPool>,
+    /// All groups' pixel partials, `group_size²` each, group-major.
     pixels: Vec<Vec3>,
-    workload: TileWorkload,
-    violating_gaussians: Vec<u32>,
-    violating_blends: u64,
+    /// Per-group workload records.
+    workloads: Vec<TileWorkload>,
+    /// Per-group out-of-order blend counts.
+    vblends: Vec<u64>,
+    /// Per-chunk reusable working state.
+    groups: Vec<GroupScratch>,
+}
+
+/// Reusable per-chunk working buffers for [`StreamingScene::render`].
+#[derive(Debug, Default)]
+struct GroupScratch {
+    /// Per-ray voxel lists; only the first `n_rays` slots of a group are
+    /// live, the rest keep their capacity for reuse.
+    ray_lists: Vec<Vec<u32>>,
+    /// voxel id → indices of group pixels whose rays intersect it.
+    voxel_pixels: HashMap<u32, Vec<u32>>,
+    /// Recycled value-lists for `voxel_pixels`.
+    spare_lists: Vec<Vec<u32>>,
+    /// Per-pixel ray-intersection mask of the current voxel.
+    mask: Vec<bool>,
+    /// Coarse-filter survivors of the current voxel.
+    survivors: Vec<u32>,
+    /// Fine-filter survivors (with projected splats) of the current voxel.
+    splats: Vec<(u32, FineSplat)>,
+    /// Persistent partial-pixel state across the group's voxels.
+    blend: GroupBlender,
+    /// Gaussians blended out of depth order (accumulated per chunk).
+    violating: Vec<u32>,
 }
 
 struct FragOutcome {
@@ -469,6 +644,9 @@ struct FragOutcome {
 }
 
 /// On-chip partial pixel state for one group, persisting across voxels.
+/// Reusable: [`GroupBlender::reset`] re-initializes the buffers in place,
+/// keeping their allocations across groups and frames.
+#[derive(Debug, Default)]
 struct GroupBlender {
     rect: TileRect,
     size: usize,
@@ -481,36 +659,41 @@ struct GroupBlender {
 }
 
 impl GroupBlender {
-    fn new(rect: TileRect, group_size: u32, voxel_size: f32) -> GroupBlender {
+    fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
         let n = group_size as usize;
-        let mut done = vec![false; n * n];
+        self.rect = rect;
+        self.size = n;
+        self.violation_slack = VIOLATION_VOXEL_FRACTION * voxel_size;
+        self.color.clear();
+        self.color.resize(n * n, Vec3::ZERO);
+        self.transmittance.clear();
+        self.transmittance.resize(n * n, 1.0);
+        self.max_depth.clear();
+        self.max_depth.resize(n * n, 0.0);
+        self.done.clear();
+        self.done.resize(n * n, false);
         let mut live = 0u32;
         for ly in 0..n {
             for lx in 0..n {
                 let px = rect.x0 + lx as f32;
                 let py = rect.y0 + ly as f32;
                 if px >= rect.x1 || py >= rect.y1 {
-                    done[ly * n + lx] = true;
+                    self.done[ly * n + lx] = true;
                 } else {
                     live += 1;
                 }
             }
         }
-        GroupBlender {
-            rect,
-            size: n,
-            violation_slack: VIOLATION_VOXEL_FRACTION * voxel_size,
-            color: vec![Vec3::ZERO; n * n],
-            transmittance: vec![1.0; n * n],
-            done,
-            max_depth: vec![0.0; n * n],
-            live,
-        }
+        self.live = live;
     }
 
     fn blend(&mut self, s: &FineSplat, mask: &[bool]) -> FragOutcome {
         let n = self.size;
-        let mut out = FragOutcome { lanes: 0, blended: 0, violations: 0 };
+        let mut out = FragOutcome {
+            lanes: 0,
+            blended: 0,
+            violations: 0,
+        };
         // Restrict to the splat's bbox within the group.
         let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
         let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
@@ -592,7 +775,14 @@ mod tests {
     }
 
     fn test_cam() -> Camera {
-        Camera::look_at(Vec3::new(0.5, 0.3, -8.0), Vec3::ZERO, Vec3::Y, 160, 120, 0.9)
+        Camera::look_at(
+            Vec3::new(0.5, 0.3, -8.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            160,
+            120,
+            0.9,
+        )
     }
 
     #[test]
@@ -610,18 +800,26 @@ mod tests {
     fn real_scene_stays_close_to_reference() {
         let scene = SceneKind::Truck.build(&SceneConfig::tiny());
         let cam = &scene.eval_cameras[0];
-        let reference =
-            TileRenderer::new(RenderConfig::default()).render(&scene.trained, cam);
-        let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() };
+        let reference = TileRenderer::new(RenderConfig::default()).render(&scene.trained, cam);
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        };
         let streaming = StreamingScene::new(scene.trained.clone(), cfg).render(cam);
         let psnr = streaming.image.psnr(&reference.image);
-        assert!(psnr > 24.0, "voxel ordering artifacts too strong: {psnr} dB");
+        assert!(
+            psnr > 24.0,
+            "voxel ordering artifacts too strong: {psnr} dB"
+        );
     }
 
     #[test]
     fn workload_counters_are_consistent() {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
-        let cfg = StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() };
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        };
         let out = StreamingScene::new(scene.trained.clone(), cfg).render(&scene.eval_cameras[0]);
         let t = out.workload.totals();
         assert!(t.gaussians_streamed > 0);
@@ -638,7 +836,10 @@ mod tests {
         let cam = &scene.eval_cameras[0];
         let with = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
         )
         .render(cam);
         let without = StreamingScene::new(
@@ -667,7 +868,10 @@ mod tests {
         let cam = &scene.eval_cameras[0];
         let raw = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
         );
         let vq = StreamingScene::new(
             scene.trained.clone(),
@@ -712,8 +916,14 @@ mod tests {
         };
         let k64 = at_group(64);
         let k16 = at_group(16);
-        assert!(k64 > 0.2, "hierarchical filter killed only {k64} at 64px groups");
-        assert!(k16 > 0.6, "hierarchical filter killed only {k16} at 16px groups");
+        assert!(
+            k64 > 0.2,
+            "hierarchical filter killed only {k64} at 64px groups"
+        );
+        assert!(
+            k16 > 0.6,
+            "hierarchical filter killed only {k16} at 16px groups"
+        );
         assert!(k16 > k64, "smaller groups must filter more aggressively");
     }
 
@@ -731,7 +941,10 @@ mod tests {
             ));
         }
         let cam = test_cam();
-        let cfg = StreamingConfig { voxel_size: 0.5, ..Default::default() };
+        let cfg = StreamingConfig {
+            voxel_size: 0.5,
+            ..Default::default()
+        };
         let out = StreamingScene::new(c, cfg).render(&cam);
         assert!(
             out.violations.gaussian_ratio() > 0.0,
@@ -745,12 +958,20 @@ mod tests {
         let cam = &scene.eval_cameras[0];
         let a = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, threads: 1, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                threads: 1,
+                ..Default::default()
+            },
         )
         .render(cam);
         let b = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, threads: 4, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                threads: 4,
+                ..Default::default()
+            },
         )
         .render(cam);
         assert_eq!(a.image, b.image);
@@ -763,12 +984,20 @@ mod tests {
         let cam = &scene.eval_cameras[0];
         let full = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ray_stride: 1, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ray_stride: 1,
+                ..Default::default()
+            },
         )
         .render(cam);
         let strided = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ray_stride: 4, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ray_stride: 4,
+                ..Default::default()
+            },
         )
         .render(cam);
         assert!(strided.workload.totals().dda_steps < full.workload.totals().dda_steps / 4);
@@ -785,12 +1014,20 @@ mod tests {
         let cam = &scene.eval_cameras[0];
         let small = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, group_size: 16, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                group_size: 16,
+                ..Default::default()
+            },
         )
         .render(cam);
         let large = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, group_size: 64, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                group_size: 64,
+                ..Default::default()
+            },
         )
         .render(cam);
         assert!(

@@ -117,9 +117,21 @@ mod tests {
 
     #[test]
     fn totals_accumulate() {
-        let mut f = FrameWorkload { width: 32, height: 16, ..Default::default() };
-        f.tiles.push(TileWorkload { gaussians_streamed: 10, fine_survivors: 4, ..Default::default() });
-        f.tiles.push(TileWorkload { gaussians_streamed: 20, fine_survivors: 2, ..Default::default() });
+        let mut f = FrameWorkload {
+            width: 32,
+            height: 16,
+            ..Default::default()
+        };
+        f.tiles.push(TileWorkload {
+            gaussians_streamed: 10,
+            fine_survivors: 4,
+            ..Default::default()
+        });
+        f.tiles.push(TileWorkload {
+            gaussians_streamed: 20,
+            fine_survivors: 2,
+            ..Default::default()
+        });
         let t = f.totals();
         assert_eq!(t.gaussians_streamed, 30);
         assert_eq!(t.fine_survivors, 6);

@@ -15,7 +15,10 @@ impl Codebook {
     /// Trains a codebook on `data` (`n × dim` row-major) with `k` entries.
     pub fn train(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Codebook {
         let r = kmeans(data, dim, k, iters, seed);
-        Codebook { centroids: r.centroids, dim: r.dim }
+        Codebook {
+            centroids: r.centroids,
+            dim: r.dim,
+        }
     }
 
     /// Builds a codebook from raw centroids.
@@ -24,7 +27,10 @@ impl Codebook {
     ///
     /// Panics when `centroids.len()` is not a multiple of `dim`.
     pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Codebook {
-        assert!(dim > 0 && centroids.len() % dim == 0, "centroid shape mismatch");
+        assert!(
+            dim > 0 && centroids.len().is_multiple_of(dim),
+            "centroid shape mismatch"
+        );
         Codebook { centroids, dim }
     }
 

@@ -55,7 +55,13 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Km
         distortion = assign(data, dim, n, &centroids, k, &mut assignment);
         history.push(distortion);
     }
-    KmeansResult { centroids, dim, k, distortion, history }
+    KmeansResult {
+        centroids,
+        dim,
+        k,
+        distortion,
+        history,
+    }
 }
 
 fn dist2(a: &[f32], b: &[f32]) -> f32 {
@@ -146,8 +152,7 @@ fn update(
         if counts[c] == 0 {
             // Re-seed empty clusters at a random data point.
             let pick = rng.gen_range(0..n);
-            centroids[c * dim..(c + 1) * dim]
-                .copy_from_slice(&data[pick * dim..(pick + 1) * dim]);
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[pick * dim..(pick + 1) * dim]);
         } else {
             for d in 0..dim {
                 centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;

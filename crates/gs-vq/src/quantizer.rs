@@ -266,7 +266,12 @@ impl QuantizedCloud {
         self.codebooks.scale.index_bytes()
             + self.codebooks.rot.index_bytes()
             + self.codebooks.dc.index_bytes()
-            + self.codebooks.sh.iter().map(Codebook::index_bytes).sum::<u64>()
+            + self
+                .codebooks
+                .sh
+                .iter()
+                .map(Codebook::index_bytes)
+                .sum::<u64>()
             + 1 // opacity byte
     }
 
@@ -314,7 +319,10 @@ mod tests {
         }
         scale_err /= cloud.len() as f64;
         op_err /= cloud.len() as f64;
-        assert!(scale_err < 0.5, "relative scale error too high: {scale_err}");
+        assert!(
+            scale_err < 0.5,
+            "relative scale error too high: {scale_err}"
+        );
         assert!(op_err < 0.01, "opacity error too high: {op_err}");
     }
 

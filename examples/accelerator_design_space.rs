@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let scene = SceneKind::Train.build(&SceneConfig::small());
     let streaming = StreamingScene::new(
         scene.trained.clone(),
-        StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        },
     );
     let workload = streaming.render(&scene.eval_cameras[0]).workload;
 
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn Error>> {
                     cfus,
                     ffus,
                     render_units,
-                    if cfus == 4 && ffus == 1 && render_units == 64 { "  <- paper" } else { "" }
+                    if cfus == 4 && ffus == 1 && render_units == 64 {
+                        "  <- paper"
+                    } else {
+                        ""
+                    }
                 );
                 let perf_per_area = 1.0 / (report.seconds * 1e6 * area);
                 println!(
@@ -50,7 +57,11 @@ fn main() -> Result<(), Box<dyn Error>> {
                     area,
                     perf_per_area
                 );
-                if best.as_ref().map(|(b, _)| perf_per_area > *b).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(b, _)| perf_per_area > *b)
+                    .unwrap_or(true)
+                {
                     best = Some((perf_per_area, label));
                 }
             }

@@ -45,15 +45,26 @@ fn main() -> Result<(), Box<dyn Error>> {
         "fine-half traffic reduction: {:.1}% (paper: 92.3%)",
         100.0 * plain.fine_traffic_reduction()
     );
-    println!("decoded PSNR (plain VQ):  {:.2} dB", decoded_psnr(&plain, &targets));
+    println!(
+        "decoded PSNR (plain VQ):  {:.2} dB",
+        decoded_psnr(&plain, &targets)
+    );
 
     // Quantization-aware fine-tuning.
     let (tuned_cloud, tuned_quant) = quantization_aware_finetune(
         &scene.trained,
         &targets,
-        &QatConfig { iters: 60, vq, refresh_every: 20, ..Default::default() },
+        &QatConfig {
+            iters: 60,
+            vq,
+            refresh_every: 20,
+            ..Default::default()
+        },
     );
-    println!("decoded PSNR (after QAT): {:.2} dB", decoded_psnr(&tuned_quant, &targets));
+    println!(
+        "decoded PSNR (after QAT): {:.2} dB",
+        decoded_psnr(&tuned_quant, &targets)
+    );
 
     // Stream the compressed scene.
     let streaming = StreamingScene::with_quantization(

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    blend on-chip partials.
     let streaming = StreamingScene::new(
         scene.trained.clone(),
-        StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        },
     );
     let out = streaming.render(cam);
     let totals = out.workload.totals();

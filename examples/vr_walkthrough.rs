@@ -11,11 +11,11 @@
 
 use std::error::Error;
 use streaminggs::accel::{GpuModel, StreamingGsModel};
+use streaminggs::core::vec::Vec3;
 use streaminggs::render::{RenderConfig, TileRenderer};
 use streaminggs::scene::trajectory::{walkthrough, RigSpec};
 use streaminggs::scene::{SceneConfig, SceneKind};
 use streaminggs::voxel::{StreamingConfig, StreamingScene};
-use streaminggs::core::vec::Vec3;
 
 const VR_TARGET_FPS: f64 = 90.0;
 
@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         Vec3::new(2.5, 1.5, 1.5),
         Vec3::new(0.0, 1.2, 0.0),
         8,
-        &RigSpec { width: 320, height: 208, fov_x: 1.1 },
+        &RigSpec {
+            width: 320,
+            height: 208,
+            fov_x: 1.1,
+        },
     );
 
     let renderer = TileRenderer::new(RenderConfig::default());
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let accel = StreamingGsModel::default();
     let streaming = StreamingScene::new(
         scene.trained.clone(),
-        StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        },
     );
 
     println!("frame  gpu_ms  gpu_fps  sgs_us  sgs_fps  sgs_MB  meets_90fps");
@@ -55,7 +62,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             sgs_report.seconds * 1e6,
             sgs_report.fps(),
             sgs_report.dram_bytes as f64 / 1e6,
-            if sgs_report.fps() >= VR_TARGET_FPS { "yes" } else { "NO" }
+            if sgs_report.fps() >= VR_TARGET_FPS {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     let n = path.len() as f64;

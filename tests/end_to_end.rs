@@ -4,7 +4,9 @@
 use streaminggs::accel::area::area_table;
 use streaminggs::accel::config::AccelConfig;
 use streaminggs::accel::{GpuModel, GscoreModel, StreamingGsModel};
-use streaminggs::baselines::{light_gaussian, mini_splatting, LightGaussianConfig, MiniSplattingConfig};
+use streaminggs::baselines::{
+    light_gaussian, mini_splatting, LightGaussianConfig, MiniSplattingConfig,
+};
 use streaminggs::render::{RenderConfig, TileRenderer};
 use streaminggs::scene::{SceneConfig, SceneKind};
 use streaminggs::tune::{boundary_aware_finetune, TuneConfig};
@@ -22,11 +24,17 @@ fn full_pipeline_keeps_quality_on_every_scene() {
         let reference = renderer.render(&scene.trained, cam);
         let streaming = StreamingScene::new(
             scene.trained.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
         )
         .render(cam);
         let psnr = streaming.image.psnr(&reference.image);
-        assert!(psnr > 20.0, "{kind}: streaming broke the image ({psnr:.1} dB)");
+        assert!(
+            psnr > 20.0,
+            "{kind}: streaming broke the image ({psnr:.1} dB)"
+        );
     }
 }
 
@@ -48,8 +56,14 @@ fn hardware_model_ordering_is_stable() {
         .render(cam);
         let sgs = StreamingGsModel::default().evaluate(&stream_out.workload);
 
-        assert!(gscore.seconds < gpu.seconds, "{kind}: GSCore not faster than GPU");
-        assert!(sgs.seconds < gscore.seconds, "{kind}: StreamingGS not faster than GSCore");
+        assert!(
+            gscore.seconds < gpu.seconds,
+            "{kind}: GSCore not faster than GPU"
+        );
+        assert!(
+            sgs.seconds < gscore.seconds,
+            "{kind}: StreamingGS not faster than GSCore"
+        );
         assert!(
             sgs.energy.total_pj() < gpu.energy.total_pj(),
             "{kind}: StreamingGS should save energy vs the GPU"
@@ -101,17 +115,26 @@ fn boundary_finetune_then_stream_improves_against_ground_truth() {
 fn baseline_algorithms_shrink_clouds_and_speed_up_streaming() {
     let scene = SceneKind::Drjohnson.build(&SceneConfig::tiny());
     let cam = &scene.eval_cameras[0];
-    let mini =
-        mini_splatting(&scene.trained, &scene.train_cameras, &MiniSplattingConfig::default());
-    let light =
-        light_gaussian(&scene.trained, &scene.train_cameras, &LightGaussianConfig::default());
+    let mini = mini_splatting(
+        &scene.trained,
+        &scene.train_cameras,
+        &MiniSplattingConfig::default(),
+    );
+    let light = light_gaussian(
+        &scene.trained,
+        &scene.train_cameras,
+        &LightGaussianConfig::default(),
+    );
     assert!(mini.len() < scene.trained.len());
     assert!(light.len() < mini.len());
 
     let run = |cloud: &streaminggs::scene::GaussianCloud| -> u64 {
         StreamingScene::new(
             cloud.clone(),
-            StreamingConfig { voxel_size: scene.voxel_size, ..Default::default() },
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
         )
         .render(cam)
         .workload
@@ -143,7 +166,10 @@ fn vq_pipeline_bytes_add_up() {
         scene.trained.clone(),
         StreamingConfig::full(scene.voxel_size, VqConfig::tiny()),
     );
-    let record = streaming.quantized().expect("vq on").fine_bytes_per_gaussian();
+    let record = streaming
+        .quantized()
+        .expect("vq on")
+        .fine_bytes_per_gaussian();
     let out = streaming.render(&scene.eval_cameras[0]);
     let t = out.workload.totals();
     assert_eq!(t.fine_bytes, t.coarse_survivors * record);

@@ -1,0 +1,87 @@
+//! Offline compile-only stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides exactly the trait surface the workspace compiles against:
+//! `Serialize`, `Deserialize`, `Serializer`, `Deserializer` and the
+//! `ser::Error`/`de::Error` traits. Blanket impls make **every** type
+//! serializable at the type level; actually invoking serialization returns
+//! an error because no concrete (de)serializer format exists here. The
+//! workspace only uses serde for derive annotations (wire formats are
+//! hand-rolled, e.g. the JSON emitted by `gs-bench`), so nothing observes
+//! the runtime behaviour.
+
+pub mod ser {
+    use core::fmt::Display;
+
+    /// Error type contract for serializers.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Minimal serializer contract: an output type and an error type.
+    pub trait Serializer: Sized {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+    }
+
+    /// Types that can be serialized. The blanket impl below covers every
+    /// type; the default method fails at runtime (no format backend exists
+    /// in this offline stub).
+    pub trait Serialize {
+        /// Serializes `self` (always fails in the stub).
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let _ = serializer;
+            Err(S::Error::custom(
+                "serde stub: no serialization backend in this offline build",
+            ))
+        }
+    }
+
+    impl<T: ?Sized> Serialize for T {}
+}
+
+pub mod de {
+    use core::fmt::Display;
+
+    /// Error type contract for deserializers.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+
+        /// Reports a length mismatch (used by fixed-size array adapters).
+        fn invalid_length<E: Display + ?Sized>(len: usize, expected: &E) -> Self {
+            Self::custom(format!("invalid length {len}, expected {expected}"))
+        }
+    }
+
+    /// Minimal deserializer contract: an error type.
+    pub trait Deserializer<'de>: Sized {
+        /// Error produced on failure.
+        type Error: Error;
+    }
+
+    /// Types that can be deserialized. The blanket impl below covers every
+    /// sized type; the default method fails at runtime.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserializes a value (always fails in the stub).
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let _ = deserializer;
+            Err(D::Error::custom(
+                "serde stub: no deserialization backend in this offline build",
+            ))
+        }
+    }
+
+    impl<'de, T> Deserialize<'de> for T {}
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Like real serde's `derive` feature: the derive macros live in a proc-macro
+// crate and are re-exported here under the same names as the traits (macros
+// and traits occupy different namespaces).
+pub use serde_derive::{Deserialize, Serialize};

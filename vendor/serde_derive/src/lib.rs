@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! compile-compatible stub of the serde API surface it uses. The companion
+//! `serde` stub provides *blanket* `Serialize`/`Deserialize` impls for every
+//! type, so these derive macros only need to (a) exist under the expected
+//! names and (b) accept `#[serde(...)]` helper attributes — they expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` field/container
+/// attributes) and expands to nothing; the blanket impl in the `serde` stub
+/// already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing, mirroring
+/// [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
