@@ -93,6 +93,7 @@ pub fn scale_frame_workload(frame: &FrameWorkload, f: &ScaleFactors) -> FrameWor
             voxels_intersected: t.voxels_intersected,
             dag_edges: t.dag_edges,
             cycle_breaks: t.cycle_breaks,
+            order_ops: t.order_ops,
             voxels_processed: t.voxels_processed,
             gaussians_streamed: s(t.gaussians_streamed, g),
             coarse_survivors: s(t.coarse_survivors, g),

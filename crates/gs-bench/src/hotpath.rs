@@ -1,0 +1,217 @@
+//! Reading back the `hotpath` bench's machine-readable summary.
+//!
+//! The `hotpath` bench ends its run with one `HOTPATH_JSON {...}` line; CI
+//! persists that line as `BENCH_hotpath.json`. The figure benches
+//! (fig03/fig11) load it here to print the **CPU-measured** hot-path
+//! numbers next to the **modeled-hardware** ones, keeping algorithmic wins
+//! and modeled accelerator wins separable in one table.
+//!
+//! The parser is a tiny hand-rolled scanner for the one JSON shape we emit
+//! ourselves (the workspace's offline `serde` stub has no `serde_json`);
+//! it is not a general JSON parser and does not need to be.
+
+/// One scene row of the hotpath report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotpathScene {
+    /// Scene name (`lego`, `truck`, `palace`, …).
+    pub scene: String,
+    /// Naive (seed pipeline) frames/sec, single-threaded.
+    pub naive_fps: f64,
+    /// Optimized pipeline frames/sec, single-threaded.
+    pub optimized_fps: f64,
+    /// `optimized_fps / naive_fps`.
+    pub speedup: f64,
+    /// Optimized pipeline frames/sec at the bench's worker count
+    /// (absent in pre-PR-2 reports).
+    pub mt_fps: Option<f64>,
+}
+
+/// Front-end stage timings of the hotpath report (PR 2+).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotpathStages {
+    /// Scene label the stages were measured on.
+    pub scene: String,
+    /// Serial projection / binning / rasterization milliseconds.
+    pub project_ms: f64,
+    pub bin_ms: f64,
+    pub raster_ms: f64,
+    /// Splat-parallel projection / binning milliseconds.
+    pub project_mt_ms: f64,
+    pub bin_mt_ms: f64,
+    /// Serial front-end time over parallel front-end time.
+    pub front_end_speedup: f64,
+}
+
+/// The parsed `HOTPATH_JSON` line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HotpathReport {
+    /// Worker count of the multi-threaded rows (0 when absent).
+    pub mt_threads: u32,
+    /// Per-scene FPS rows.
+    pub scenes: Vec<HotpathScene>,
+    /// Front-end stage timings, when the report carries them.
+    pub stages: Option<HotpathStages>,
+}
+
+impl HotpathScene {
+    fn default_row() -> HotpathScene {
+        HotpathScene {
+            scene: String::new(),
+            naive_fps: 0.0,
+            optimized_fps: 0.0,
+            speedup: 0.0,
+            mt_fps: None,
+        }
+    }
+}
+
+/// Extracts the number following `"key":` inside `obj`, if present.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string following `"key":"` inside `obj`, if present.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Returns the `{…}`-balanced object starting at the first `{` at or after
+/// `from` in `s`.
+fn balanced_object(s: &str, from: usize) -> Option<&str> {
+    let start = from + s[from..].find('{')?;
+    let mut depth = 0usize;
+    for (i, b) in s[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[start..start + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses one `HOTPATH_JSON` payload (with or without the prefix).
+pub fn parse_report(line: &str) -> Option<HotpathReport> {
+    let json = line.trim().trim_start_matches("HOTPATH_JSON").trim();
+    if !json.starts_with('{') || !json.contains("\"bench\":\"hotpath\"") {
+        return None;
+    }
+    let mut report = HotpathReport {
+        mt_threads: num_field(json, "mt_threads").unwrap_or(0.0) as u32,
+        ..Default::default()
+    };
+
+    // Scene rows: every object inside the "scenes":[ … ] array.
+    let scenes_at = json.find("\"scenes\":[")?;
+    let scenes_end = scenes_at + json[scenes_at..].find(']')?;
+    let mut cursor = scenes_at;
+    while cursor < scenes_end {
+        let Some(obj) = balanced_object(json, cursor) else {
+            break;
+        };
+        let obj_at = json[cursor..].find('{').map(|o| cursor + o)?;
+        if obj_at >= scenes_end {
+            break;
+        }
+        let mut row = HotpathScene::default_row();
+        row.scene = str_field(obj, "scene")?;
+        row.naive_fps = num_field(obj, "naive_fps")?;
+        row.optimized_fps = num_field(obj, "optimized_fps")?;
+        row.speedup = num_field(obj, "speedup")?;
+        row.mt_fps = num_field(obj, "mt_fps");
+        report.scenes.push(row);
+        cursor = obj_at + obj.len();
+    }
+
+    // Stage timings (optional).
+    if let Some(at) = json.find("\"stages\":") {
+        if let Some(obj) = balanced_object(json, at) {
+            report.stages = Some(HotpathStages {
+                scene: str_field(obj, "scene").unwrap_or_default(),
+                project_ms: num_field(obj, "project_ms").unwrap_or(0.0),
+                bin_ms: num_field(obj, "bin_ms").unwrap_or(0.0),
+                raster_ms: num_field(obj, "raster_ms").unwrap_or(0.0),
+                project_mt_ms: num_field(obj, "project_mt_ms").unwrap_or(0.0),
+                bin_mt_ms: num_field(obj, "bin_mt_ms").unwrap_or(0.0),
+                front_end_speedup: num_field(obj, "front_end_speedup").unwrap_or(0.0),
+            });
+        }
+    }
+    Some(report)
+}
+
+/// Loads the persisted report: the path in `$HOTPATH_JSON` when set, else
+/// `BENCH_hotpath.json` in the working directory or up to two parents
+/// (cargo runs benches with the package dir as cwd, while CI writes the
+/// file at the workspace root). Returns `None` (silently) when nothing is
+/// found or parsing fails — the figure benches then print their modeled
+/// tables without the measured column.
+pub fn load_report() -> Option<HotpathReport> {
+    let candidates: Vec<String> = match std::env::var("HOTPATH_JSON") {
+        Ok(p) => vec![p],
+        Err(_) => vec![
+            "BENCH_hotpath.json".to_string(),
+            "../BENCH_hotpath.json".to_string(),
+            "../../BENCH_hotpath.json".to_string(),
+        ],
+    };
+    let text = candidates
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())?;
+    // Accept either the bare JSON file or a full bench log.
+    text.lines().rev().find_map(parse_report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"HOTPATH_JSON {"bench":"hotpath","threads":1,"mt_threads":2,"scenes":[{"scene":"lego","naive_fps":112.67,"optimized_fps":736.68,"speedup":6.54,"mt_fps":719.59},{"scene":"truck","naive_fps":86.02,"optimized_fps":550.18,"speedup":6.40,"mt_fps":472.35}],"truck_speedup":6.40,"truck_speedup_ok":true,"stages":{"scene":"truck_small","project_ms":1.2656,"bin_ms":0.4159,"raster_ms":10.6290,"project_mt_ms":1.2997,"bin_mt_ms":0.4514,"front_end_speedup":0.96,"front_end_ok":false}}"#;
+
+    #[test]
+    fn parses_full_report() {
+        let r = parse_report(SAMPLE).expect("sample must parse");
+        assert_eq!(r.mt_threads, 2);
+        assert_eq!(r.scenes.len(), 2);
+        assert_eq!(r.scenes[0].scene, "lego");
+        assert!((r.scenes[0].naive_fps - 112.67).abs() < 1e-9);
+        assert!((r.scenes[1].speedup - 6.40).abs() < 1e-9);
+        assert_eq!(r.scenes[1].mt_fps, Some(472.35));
+        let st = r.stages.expect("stages present");
+        assert_eq!(st.scene, "truck_small");
+        assert!((st.project_ms - 1.2656).abs() < 1e-9);
+        assert!((st.front_end_speedup - 0.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_pre_stage_report() {
+        // PR 1 format: no mt fields, no stages.
+        let old = r#"{"bench":"hotpath","threads":1,"scenes":[{"scene":"truck","naive_fps":80.0,"optimized_fps":400.0,"speedup":5.00}],"truck_speedup":5.00,"truck_speedup_ok":true}"#;
+        let r = parse_report(old).expect("old format must parse");
+        assert_eq!(r.mt_threads, 0);
+        assert_eq!(r.scenes.len(), 1);
+        assert_eq!(r.scenes[0].mt_fps, None);
+        assert!(r.stages.is_none());
+    }
+
+    #[test]
+    fn rejects_unrelated_lines() {
+        assert!(parse_report("Gnuplot not found").is_none());
+        assert!(parse_report("{\"bench\":\"other\"}").is_none());
+        assert!(parse_report("").is_none());
+    }
+}

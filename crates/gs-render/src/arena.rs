@@ -8,8 +8,8 @@
 //! allocation (the returned `ImageRgb` is the only per-frame allocation —
 //! it is the caller-owned output).
 
-use crate::binning::TileKey;
-use crate::projection::Splat;
+use crate::binning::{BinScratch, TileKey};
+use crate::projection::{ProjectScratch, Splat};
 use crate::rasterize::{TileOutcome, TileScratch};
 use crate::TILE_SIZE;
 use gs_core::vec::Vec3;
@@ -32,6 +32,10 @@ pub struct FrameArena {
     pub outcomes: Vec<TileOutcome>,
     /// Per-worker-chunk blend scratch (transmittance / done flags).
     pub scratch: Vec<TileScratch>,
+    /// Per-chunk buffers for the splat-parallel projection stage.
+    pub project: ProjectScratch,
+    /// Per-chunk histograms/cursors for the parallel binning stage.
+    pub bin: BinScratch,
 }
 
 impl FrameArena {

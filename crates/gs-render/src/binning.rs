@@ -5,7 +5,30 @@
 //! then finds each tile's contiguous range. We reproduce the same key
 //! construction (so ordering semantics match bit-for-bit) and record the
 //! pair count that determines the sorting stage's DRAM traffic.
+//!
+//! # Determinism contract of the parallel merge
+//!
+//! [`bin_and_sort_parallel`] runs the counting sort's histogram and scatter
+//! phases splat-parallel. Its output is **bit-identical** to
+//! [`bin_and_sort_into`] for every chunk count because each phase is either
+//! deterministic by construction or normalized afterwards:
+//!
+//! 1. per-chunk histograms count disjoint splat ranges — a pure reduction;
+//! 2. the prefix sum merges them serially in **chunk-major order**, so the
+//!    cursor every `(chunk, tile)` pair receives depends only on
+//!    `(splats, chunks, tiles)`, never on worker scheduling;
+//! 3. the parallel scatter writes each pair to the slot its chunk's cursor
+//!    assigns — disjoint slots, deterministic content, though the raw slot
+//!    layout inside a tile differs from the serial scatter's;
+//! 4. the per-tile depth sort orders every run by the **total** key
+//!    `(packed key, splat index)` — a splat contributes at most one pair
+//!    per tile, so the key is unique within a run and the sort erases the
+//!    layout difference from step 3 entirely.
+//!
+//! After step 4 the key array equals the serial result byte for byte, which
+//! is what lets `tests/exactness.rs` hold with the parallel front-end on.
 
+use crate::pool::WorkerPool;
 use crate::projection::Splat;
 
 /// One sort record: key = `tile_id << 32 | depth_bits`, payload = splat index.
@@ -137,6 +160,147 @@ pub fn bin_and_sort_into(
     }
 }
 
+/// Reusable scratch for [`bin_and_sort_parallel`]: the per-chunk tile
+/// histograms / scatter cursors (`chunks × n_tiles`, chunk-major).
+#[derive(Clone, Debug, Default)]
+pub struct BinScratch {
+    cursors: Vec<u32>,
+}
+
+/// Splat-parallel [`bin_and_sort_into`] on a shared worker pool.
+///
+/// Histogram, scatter and the per-tile sorts run across `chunks` jobs; only
+/// the prefix-sum merge is serial. See the module docs for the determinism
+/// contract — the output is bit-identical to the serial counting sort for
+/// every chunk count. Falls back to the serial path when the work does not
+/// warrant more than one chunk.
+#[allow(clippy::too_many_arguments)]
+pub fn bin_and_sort_parallel(
+    splats: &[Splat],
+    tiles_x: u32,
+    tiles_y: u32,
+    keys: &mut Vec<TileKey>,
+    ranges: &mut Vec<(u32, u32)>,
+    scratch: &mut BinScratch,
+    pool: &mut WorkerPool,
+    chunks: usize,
+) {
+    let n_tiles = (tiles_x * tiles_y) as usize;
+    let chunks = chunks.clamp(1, splats.len().max(1));
+    if chunks <= 1 {
+        bin_and_sort_into(splats, tiles_x, tiles_y, keys, ranges);
+        return;
+    }
+    let chunk = splats.len().div_ceil(chunks);
+    scratch.cursors.clear();
+    scratch.cursors.resize(chunks * n_tiles, 0);
+
+    // Phase 1 (parallel): per-chunk tile histograms.
+    let cur_base = scratch.cursors.as_mut_ptr() as usize;
+    pool.run(chunks, |c| {
+        // SAFETY: histogram stripe `c` is unique per job index; the scratch
+        // outlives `pool.run`, which blocks until every job finished.
+        let hist = unsafe {
+            std::slice::from_raw_parts_mut((cur_base as *mut u32).add(c * n_tiles), n_tiles)
+        };
+        let lo = (c * chunk).min(splats.len());
+        let hi = ((c + 1) * chunk).min(splats.len());
+        for s in &splats[lo..hi] {
+            let (x0, y0, x1, y1) = s.tile_rect;
+            debug_assert!(x1 < tiles_x && y1 < tiles_y, "tile_rect outside grid");
+            for ty in y0..=y1 {
+                let row = ty * tiles_x;
+                for tx in x0..=x1 {
+                    hist[(row + tx) as usize] += 1;
+                }
+            }
+        }
+    });
+
+    // Phase 2 (serial, deterministic): chunk-major exclusive prefix sum.
+    // Tile t's range is [start, end); within it, chunk c's pairs occupy the
+    // cursor window the merge assigns here — a function of the inputs only.
+    let total: u64 = scratch.cursors.iter().map(|&c| c as u64).sum();
+    debug_assert!(
+        total <= u32::MAX as u64,
+        "{total} tile pairs overflow u32 key ranges"
+    );
+    ranges.clear();
+    ranges.resize(n_tiles, (0u32, 0u32));
+    let mut acc = 0u32;
+    for (t, range) in ranges.iter_mut().enumerate() {
+        let start = acc;
+        for c in 0..chunks {
+            let slot = c * n_tiles + t;
+            let count = scratch.cursors[slot];
+            scratch.cursors[slot] = acc;
+            acc += count;
+        }
+        *range = (start, acc);
+    }
+
+    // Phase 3 (parallel): scatter into the disjoint cursor windows.
+    keys.clear();
+    keys.resize(total as usize, TileKey { key: 0, splat: 0 });
+    let keys_base = keys.as_mut_ptr() as usize;
+    pool.run(chunks, |c| {
+        // SAFETY: cursor stripe `c` is unique per job; key writes go
+        // through the raw pointer (never overlapping `&mut` slices of the
+        // whole buffer) and every (chunk, tile) cursor window the prefix
+        // sum carved out is pairwise disjoint, so no slot is written twice.
+        // Both buffers outlive `pool.run`, which blocks until all jobs end.
+        let cursors = unsafe {
+            std::slice::from_raw_parts_mut((cur_base as *mut u32).add(c * n_tiles), n_tiles)
+        };
+        let keys = keys_base as *mut TileKey;
+        let lo = (c * chunk).min(splats.len());
+        let hi = ((c + 1) * chunk).min(splats.len());
+        for (si, s) in splats[lo..hi].iter().enumerate() {
+            let (x0, y0, x1, y1) = s.tile_rect;
+            let d = depth_bits(s.depth) as u64;
+            for ty in y0..=y1 {
+                let row = ty * tiles_x;
+                for tx in x0..=x1 {
+                    let tile = (row + tx) as usize;
+                    let slot = cursors[tile] as usize;
+                    cursors[tile] += 1;
+                    debug_assert!(slot < total as usize);
+                    // SAFETY: `slot` lies in this job's disjoint window.
+                    unsafe {
+                        *keys.add(slot) = TileKey {
+                            key: ((tile as u64) << 32) | d,
+                            splat: (lo + si) as u32,
+                        };
+                    }
+                }
+            }
+        }
+    });
+
+    // Phase 4 (parallel): per-tile depth sorts over contiguous tile chunks.
+    // Sorting by the total (key, splat) order normalizes the scatter layout,
+    // finishing the bit-identity with the serial path.
+    let tchunk = n_tiles.div_ceil(chunks);
+    let ranges_ro = &ranges[..];
+    pool.run(chunks, |c| {
+        let tlo = (c * tchunk).min(n_tiles);
+        let thi = ((c + 1) * tchunk).min(n_tiles);
+        for &(start, end) in &ranges_ro[tlo..thi] {
+            // SAFETY: tile runs are disjoint, and the tiles of job `c` are
+            // disjoint from every other job's tiles.
+            let run = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (keys_base as *mut TileKey).add(start as usize),
+                    (end - start) as usize,
+                )
+            };
+            if run.len() > 1 {
+                run.sort_unstable_by_key(|k| (k.key, k.splat));
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +397,90 @@ mod tests {
         let (keys, ranges) = bin_and_sort(&[], 4, 4);
         assert!(keys.is_empty());
         assert_eq!(ranges.len(), 16);
+    }
+
+    /// A pseudo-random splat population covering many tiles with depth ties.
+    fn crowd(n: u32, tiles_x: u32, tiles_y: u32) -> Vec<Splat> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x0 = h % tiles_x;
+                let y0 = (h >> 8) % tiles_y;
+                let x1 = (x0 + (h >> 16) % 3).min(tiles_x - 1);
+                let y1 = (y0 + (h >> 20) % 3).min(tiles_y - 1);
+                // Quantized depths produce plenty of exact ties, exercising
+                // the (key, splat) tie-break in every path.
+                splat(((h >> 4) % 7) as f32 * 0.5 + 0.25, (x0, y0, x1, y1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_binning_is_bit_identical_to_serial() {
+        let splats = crowd(500, 8, 6);
+        let (serial_keys, serial_ranges) = bin_and_sort(&splats, 8, 6);
+        let mut scratch = BinScratch::default();
+        let mut keys = Vec::new();
+        let mut ranges = Vec::new();
+        for chunks in [1usize, 2, 3, 5, 16, 499, 500, 2000] {
+            let mut pool = WorkerPool::new(chunks.min(4));
+            bin_and_sort_parallel(
+                &splats,
+                8,
+                6,
+                &mut keys,
+                &mut ranges,
+                &mut scratch,
+                &mut pool,
+                chunks,
+            );
+            assert_eq!(keys, serial_keys, "chunks={chunks} changed the keys");
+            assert_eq!(ranges, serial_ranges, "chunks={chunks} changed the ranges");
+        }
+    }
+
+    #[test]
+    fn parallel_binning_reuses_buffers() {
+        let splats = crowd(300, 4, 4);
+        let mut scratch = BinScratch::default();
+        let mut keys = Vec::new();
+        let mut ranges = Vec::new();
+        let mut pool = WorkerPool::new(3);
+        bin_and_sort_parallel(
+            &splats,
+            4,
+            4,
+            &mut keys,
+            &mut ranges,
+            &mut scratch,
+            &mut pool,
+            3,
+        );
+        let caps = (
+            keys.capacity(),
+            ranges.capacity(),
+            scratch.cursors.capacity(),
+        );
+        for _ in 0..4 {
+            bin_and_sort_parallel(
+                &splats,
+                4,
+                4,
+                &mut keys,
+                &mut ranges,
+                &mut scratch,
+                &mut pool,
+                3,
+            );
+        }
+        assert_eq!(
+            caps,
+            (
+                keys.capacity(),
+                ranges.capacity(),
+                scratch.cursors.capacity()
+            ),
+            "steady-state parallel binning must not grow buffers"
+        );
     }
 }

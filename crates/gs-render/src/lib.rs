@@ -34,9 +34,18 @@
 //!   reusable [`arena::FrameArena`] and tile work runs on a persistent
 //!   [`pool::WorkerPool`]; a steady-state render loop performs no
 //!   intermediate allocations and spawns no threads per frame.
+//! * **Splat-parallel front-end** (PR 2) — with `threads > 1`,
+//!   [`projection::project_splats_parallel`] and
+//!   [`binning::bin_and_sort_parallel`] run projection and binning across
+//!   the same worker pool. Every parallel reduction merges in a
+//!   deterministic order (chunk-order concatenation; chunk-major prefix
+//!   sums; total-order per-tile sorts), so the output stays bit-identical
+//!   to the serial path for every worker count — see the determinism
+//!   contracts in the [`projection`] and [`binning`] module docs.
 //!
 //! Run `cargo bench -p gs-bench --bench hotpath` for the measured
-//! naive-vs-optimized frame rates (machine-readable JSON on stdout).
+//! naive-vs-optimized frame rates and front-end stage timings
+//! (machine-readable JSON on stdout).
 //!
 //! ## Example
 //!

@@ -1,5 +1,17 @@
 //! Projection stage: EWA-project Gaussians and enumerate intersected tiles.
+//!
+//! # Determinism contract of the parallel front-end
+//!
+//! [`project_splats_parallel`] splits the cloud into contiguous chunks,
+//! projects each chunk on a worker of the shared pool into a per-chunk
+//! buffer, and concatenates the buffers **serially in chunk order**. Chunk
+//! boundaries depend only on `(cloud.len(), chunks)` and per-splat
+//! projection is pure, so the concatenation reproduces input order exactly:
+//! the output is bit-identical to [`project_splats_into`] for every worker
+//! count — which is what keeps `tests/exactness.rs` valid with the
+//! parallel front-end enabled.
 
+use crate::pool::WorkerPool;
 use crate::{ALPHA_EPS, TILE_SIZE};
 use gs_core::camera::Camera;
 use gs_core::ewa::project_gaussian;
@@ -151,6 +163,57 @@ pub fn project_splats_into(cloud: &[Gaussian], cam: &Camera, sh_degree: u8, out:
     project_each(cloud, cam, sh_degree, |_, s| out.push(s));
 }
 
+/// Reusable per-chunk output buffers for [`project_splats_parallel`].
+///
+/// Buffer capacities persist across frames, so a steady-state render loop's
+/// parallel projection allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ProjectScratch {
+    /// One splat buffer per worker chunk.
+    chunks: Vec<Vec<Splat>>,
+}
+
+/// Splat-parallel [`project_splats_into`]: chunk `c` projects
+/// `cloud[c·chunk .. (c+1)·chunk]` into its own scratch buffer on the pool,
+/// then the buffers are concatenated in chunk order (see the module docs
+/// for why this is bit-identical to the serial path). Falls back to the
+/// serial path when the work does not warrant more than one chunk.
+pub fn project_splats_parallel(
+    cloud: &[Gaussian],
+    cam: &Camera,
+    sh_degree: u8,
+    out: &mut Vec<Splat>,
+    scratch: &mut ProjectScratch,
+    pool: &mut WorkerPool,
+    chunks: usize,
+) {
+    let chunks = chunks.clamp(1, cloud.len().max(1));
+    if chunks <= 1 {
+        project_splats_into(cloud, cam, sh_degree, out);
+        return;
+    }
+    if scratch.chunks.len() < chunks {
+        scratch.chunks.resize_with(chunks, Vec::new);
+    }
+    let chunk = cloud.len().div_ceil(chunks);
+    let bufs_base = scratch.chunks.as_mut_ptr() as usize;
+    pool.run(chunks, |c| {
+        // SAFETY: buffer slot `c` is unique per job index and the scratch
+        // outlives `pool.run`, which blocks until every job finished.
+        let buf = unsafe { &mut *(bufs_base as *mut Vec<Splat>).add(c) };
+        buf.clear();
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(cloud.len());
+        if lo < hi {
+            project_each(&cloud[lo..hi], cam, sh_degree, |_, s| buf.push(s));
+        }
+    });
+    out.clear();
+    for buf in &scratch.chunks[..chunks] {
+        out.extend_from_slice(buf);
+    }
+}
+
 fn project_each(cloud: &[Gaussian], cam: &Camera, sh_degree: u8, mut emit: impl FnMut(u32, Splat)) {
     let (tiles_x, tiles_y) = tile_grid(cam.width(), cam.height());
     let cam_center = cam.pose.center();
@@ -243,6 +306,69 @@ mod tests {
         let splats = project_cloud(&gs, &cam(), 3);
         let idx: Vec<u32> = splats.iter().map(|(i, _)| *i).collect();
         assert_eq!(idx, vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_projection_is_bit_identical_to_serial() {
+        // A few hundred Gaussians (some culled, some visible) projected
+        // serially and with every chunking the renderer might pick.
+        let gs: Vec<Gaussian> = (0..317)
+            .map(|i| {
+                let f = i as f32 * 0.37;
+                let mut g = Gaussian::isotropic(
+                    Vec3::new(f.sin() * 2.0, f.cos() * 1.5, (f * 0.7).sin() * 6.0),
+                    0.02 + 0.1 * (f.cos() * f.cos()),
+                    Vec3::new(0.5, 0.4, 0.8),
+                    0.05 + 0.9 * (f.sin() * f.sin()),
+                );
+                g.scale = Vec3::new(0.02 + 0.05 * f.sin().abs(), 0.04, 0.03);
+                g
+            })
+            .collect();
+        let c = cam();
+        let mut serial = Vec::new();
+        project_splats_into(&gs, &c, 3, &mut serial);
+        let mut scratch = ProjectScratch::default();
+        let mut out = Vec::new();
+        for chunks in [1usize, 2, 3, 7, 64, 1024] {
+            let mut pool = WorkerPool::new(chunks.min(4));
+            project_splats_parallel(&gs, &c, 3, &mut out, &mut scratch, &mut pool, chunks);
+            assert_eq!(out, serial, "chunks={chunks} changed projection output");
+        }
+    }
+
+    #[test]
+    fn parallel_projection_reuses_chunk_capacity() {
+        let gs: Vec<Gaussian> = (0..200)
+            .map(|i| {
+                Gaussian::isotropic(
+                    Vec3::new((i as f32 * 0.31).sin(), 0.0, 0.0),
+                    0.05,
+                    Vec3::ONE,
+                    0.9,
+                )
+            })
+            .collect();
+        let c = cam();
+        let mut scratch = ProjectScratch::default();
+        let mut pool = WorkerPool::new(3);
+        let mut out = Vec::new();
+        project_splats_parallel(&gs, &c, 3, &mut out, &mut scratch, &mut pool, 3);
+        let caps: Vec<usize> = scratch.chunks.iter().map(|b| b.capacity()).collect();
+        let out_cap = out.capacity();
+        for _ in 0..4 {
+            project_splats_parallel(&gs, &c, 3, &mut out, &mut scratch, &mut pool, 3);
+        }
+        assert_eq!(
+            caps,
+            scratch
+                .chunks
+                .iter()
+                .map(|b| b.capacity())
+                .collect::<Vec<_>>(),
+            "steady-state parallel projection must not grow chunk buffers"
+        );
+        assert_eq!(out.capacity(), out_cap);
     }
 
     #[test]

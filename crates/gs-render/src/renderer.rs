@@ -8,9 +8,9 @@
 //! benchmarking).
 
 use crate::arena::{FrameArena, TILE_PIXELS};
-use crate::binning::bin_and_sort_into;
+use crate::binning::{bin_and_sort_into, bin_and_sort_parallel};
 use crate::pool::WorkerPool;
-use crate::projection::{project_splats_into, tile_grid};
+use crate::projection::{project_splats_into, project_splats_parallel, tile_grid};
 use crate::rasterize::rasterize_tile;
 use crate::stats::RenderStats;
 use crate::TILE_SIZE;
@@ -41,6 +41,12 @@ impl Default for RenderConfig {
         }
     }
 }
+
+/// Splat count below which the parallel front-end is skipped: under ~1k
+/// splats the three extra pool dispatches (projection, histogram+scatter,
+/// tile sorts) cost more than the parallelism recovers, and the serial path
+/// is bit-identical anyway.
+const PARALLEL_FRONT_END_MIN_SPLATS: usize = 1024;
 
 /// Resolves a `threads` config value (0 = all cores) to a concrete count.
 pub(crate) fn resolve_threads(threads: usize) -> usize {
@@ -130,26 +136,55 @@ impl TileRenderer {
 
         let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         let RenderScratch { arena, pool } = &mut *guard;
+        let workers = resolve_threads(self.config.threads);
 
-        // Stage 1: projection.
-        project_splats_into(
-            cloud.as_slice(),
-            cam,
-            self.config.sh_degree,
-            &mut arena.splats,
-        );
-
-        // Stage 2: sorting (two-pass counting sort, see `binning`).
-        bin_and_sort_into(
-            &arena.splats,
-            tiles_x,
-            tiles_y,
-            &mut arena.keys,
-            &mut arena.ranges,
-        );
+        // Stages 1+2: the front-end, splat-parallel when more than one
+        // worker is available and the cloud is large enough to amortize
+        // the dispatches (bit-identical to the serial path either way —
+        // see the determinism contracts in `projection` and `binning`).
+        // One chunk per worker: projection and binning are compute-dense
+        // enough that finer-grained chunking only adds dispatch overhead.
+        if workers > 1 && cloud.len() >= PARALLEL_FRONT_END_MIN_SPLATS {
+            let pool = WorkerPool::ensure(pool, workers);
+            project_splats_parallel(
+                cloud.as_slice(),
+                cam,
+                self.config.sh_degree,
+                &mut arena.splats,
+                &mut arena.project,
+                pool,
+                workers,
+            );
+            bin_and_sort_parallel(
+                &arena.splats,
+                tiles_x,
+                tiles_y,
+                &mut arena.keys,
+                &mut arena.ranges,
+                &mut arena.bin,
+                pool,
+                workers,
+            );
+        } else {
+            // Stage 1: projection.
+            project_splats_into(
+                cloud.as_slice(),
+                cam,
+                self.config.sh_degree,
+                &mut arena.splats,
+            );
+            // Stage 2: sorting (two-pass counting sort, see `binning`).
+            bin_and_sort_into(
+                &arena.splats,
+                tiles_x,
+                tiles_y,
+                &mut arena.keys,
+                &mut arena.ranges,
+            );
+        }
 
         // Stage 3: per-tile rasterization (parallel over tile chunks).
-        let threads = resolve_threads(self.config.threads).min(n_tiles.max(1));
+        let threads = workers.min(n_tiles.max(1));
         arena.ensure_tiles(n_tiles, threads);
         let chunk = n_tiles.div_ceil(threads.max(1));
         let splats = &arena.splats[..];

@@ -43,27 +43,59 @@ pub fn traverse_into(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut V
         return steps;
     }
 
-    // Nudge inside the boundary to get a well-defined starting cell.
-    let eps = 1e-5 * grid.voxel_size().max(1.0);
-    let p = ray.at(t_start + eps);
-    let (mut cx, mut cy, mut cz) = grid.cell_of(p);
     let (dx, dy, dz) = grid.dims();
-    let clamp = |v: i32, hi: u32| v.clamp(0, hi as i32 - 1);
-    cx = clamp(cx, dx);
-    cy = clamp(cy, dy);
-    cz = clamp(cz, dz);
-
     let vs = grid.voxel_size();
     let origin = grid.origin();
+    let dir = [ray.dir.x, ray.dir.y, ray.dir.z];
+    let org = [ray.origin.x, ray.origin.y, ray.origin.z];
+    let grid_org = [origin.x, origin.y, origin.z];
+    let dims = [dx as i32, dy as i32, dz as i32];
+
+    // Entry cell, derived per-axis from the **un-nudged** entry point. Each
+    // axis is nudged by eps only along its own travel direction, so landing
+    // exactly on a cell boundary resolves to the cell the ray moves into,
+    // while a grazing (near-parallel) axis is never pushed across a face it
+    // does not cross. The seed instead nudged the whole point eps along the
+    // ray and clamped the result into the grid — a grazing ray whose nudge
+    // landed outside got clamped into a row of cells it never enters.
+    let eps = 1e-5 * vs.max(1.0);
+    let p = ray.at(t_start);
+    let entry = [p.x, p.y, p.z];
+    let mut cell = [0i32; 3];
+    for a in 0..3 {
+        let nudge = if dir[a] > 1e-12 {
+            eps
+        } else if dir[a] < -1e-12 {
+            -eps
+        } else {
+            0.0
+        };
+        let mut c = ((entry[a] + nudge - grid_org[a]) / vs).floor() as i32;
+        let hi = dims[a] - 1;
+        if c < 0 {
+            // At (or within float fuzz of) the min face: the ray enters
+            // cell 0 only when moving inward or running along the face.
+            if dir[a] >= -1e-12 && entry[a] >= grid_org[a] - eps {
+                c = 0;
+            } else {
+                return steps;
+            }
+        } else if c > hi {
+            // Mirror case at the max face (which belongs to the last cell).
+            let face = grid_org[a] + dims[a] as f32 * vs;
+            if dir[a] <= 1e-12 && entry[a] <= face + eps {
+                c = hi;
+            } else {
+                return steps;
+            }
+        }
+        cell[a] = c;
+    }
 
     // Per-axis step direction, t to next boundary, and t per cell.
     let mut step = [0i32; 3];
     let mut t_max = [f32::INFINITY; 3];
     let mut t_delta = [f32::INFINITY; 3];
-    let cell = [cx, cy, cz];
-    let dir = [ray.dir.x, ray.dir.y, ray.dir.z];
-    let org = [ray.origin.x, ray.origin.y, ray.origin.z];
-    let grid_org = [origin.x, origin.y, origin.z];
     for a in 0..3 {
         if dir[a] > 1e-12 {
             step[a] = 1;
@@ -233,6 +265,81 @@ mod tests {
         }
         for v in &sampled {
             assert!(dda.voxels.contains(v), "DDA missed voxel {v}");
+        }
+    }
+
+    #[test]
+    fn corner_grazing_exit_ray_reports_nothing() {
+        // The ray reaches the grid's entry corner (x_min, y_max) exactly
+        // while moving *out* of the y-range: the box test reports a
+        // single-point contact (t_enter == t_exit), and the seed's clamp
+        // then pulled the nudged point back into the top row — reporting a
+        // voxel whose interior the ray never enters. The per-axis entry
+        // rule returns an empty visit list instead.
+        let (_, grid) = row_grid();
+        let b = grid.bounds();
+        let z = 0.5 * (b.min.z + b.max.z);
+        // y(t) = (y_max − 0.1) + 0.1·t reaches y_max exactly when x
+        // reaches x_min (both at t = 1), then keeps climbing.
+        let ray = Ray::new(
+            Vec3::new(b.min.x - 1.0, b.max.y - 0.1, z),
+            Vec3::new(1.0, 0.1, 0.0),
+        );
+        let r = traverse(&grid, &ray, 100);
+        assert!(
+            r.voxels.is_empty(),
+            "corner-touching exiting ray must enter no cell, got {:?}",
+            r.voxels
+        );
+    }
+
+    #[test]
+    fn ray_along_max_face_visits_boundary_cells() {
+        // Axis-aligned ray exactly on the top face (y = y_max): the closed
+        // box reports a hit and the face belongs to the adjacent inner
+        // cells — the grazing rule must keep (not clamp-invent) this row.
+        let (_, grid) = row_grid();
+        let b = grid.bounds();
+        let z = 0.5 * (b.min.z + b.max.z);
+        let top = traverse(
+            &grid,
+            &Ray::new(Vec3::new(b.min.x - 1.0, b.max.y, z), Vec3::X),
+            100,
+        );
+        assert_eq!(top.voxels.len(), 4, "top-face ray grazes all four cells");
+        // And the min face (y = y_min) belongs to cell row 0 just the same.
+        let bottom = traverse(
+            &grid,
+            &Ray::new(Vec3::new(b.min.x - 1.0, b.min.y, z), Vec3::X),
+            100,
+        );
+        assert_eq!(bottom.voxels.len(), 4);
+    }
+
+    #[test]
+    fn grazing_ray_drifting_inward_still_traverses() {
+        // Entering exactly at the corner but moving *into* the grid: a
+        // legitimate traversal that the per-axis rule must keep.
+        let (_, grid) = row_grid();
+        let b = grid.bounds();
+        let z = 0.5 * (b.min.z + b.max.z);
+        // y(t) = (y_max + 0.05) − 0.05·t hits y_max exactly when x reaches
+        // x_min (t = 1), then keeps dropping into the row.
+        let ray = Ray::new(
+            Vec3::new(b.min.x - 1.0, b.max.y + 0.05, z),
+            Vec3::new(1.0, -0.05, 0.0),
+        );
+        let r = traverse(&grid, &ray, 100);
+        assert!(
+            !r.voxels.is_empty(),
+            "inward-drifting corner entry must traverse"
+        );
+        // Every reported voxel must genuinely be intersected by the ray.
+        for &v in &r.voxels {
+            assert!(
+                grid.voxel_aabb(v).intersect_ray(&ray).is_some(),
+                "reported voxel {v} not on the ray"
+            );
         }
     }
 

@@ -33,12 +33,32 @@ impl TileRect {
     }
 
     /// `true` when a disc (`center`, `radius`) overlaps the rect.
+    ///
+    /// The rect is half-open (`[x0, x1) × [y0, y1)`): a disc touching only
+    /// the excluded right/bottom edge does **not** overlap. (The seed
+    /// clamped to the closed rect, so such discs leaked through the coarse
+    /// filter while the rect's pixels — centred at `x0 + 0.5 … x1 - 0.5` —
+    /// belong to the neighbouring tile.)
     pub fn overlaps_disc(&self, center: Vec2, radius: f32) -> bool {
         let cx = center.x.clamp(self.x0, self.x1);
         let cy = center.y.clamp(self.y0, self.y1);
         let dx = center.x - cx;
         let dy = center.y - cy;
-        dx * dx + dy * dy <= radius * radius
+        let d2 = dx * dx + dy * dy;
+        let r2 = radius * radius;
+        if d2 > r2 {
+            return false;
+        }
+        if d2 == r2 && d2 > 0.0 {
+            // Tangency: the disc meets the closed rect only at the clamped
+            // contact point — which counts only when it lies in the
+            // half-open domain (covers the diagonal corner graze the
+            // edge-extent checks below cannot see).
+            return cx < self.x1 && cy < self.y1;
+        }
+        // Half-open exclusion: the disc must extend strictly left of `x1`
+        // and strictly above `y1` to reach any point of the rect.
+        center.x - radius < self.x1 && center.y - radius < self.y1
     }
 }
 
@@ -95,10 +115,15 @@ pub fn fine_test(cam: &Camera, g: &Gaussian, rect: &TileRect, sh_degree: u8) -> 
     let p = project_gaussian(cam, g.pos, g.cov3d())?;
     let rx = 3.0 * p.cov2d.a.max(0.0).sqrt();
     let ry = 3.0 * p.cov2d.c.max(0.0).sqrt();
+    // Half-open rect: the left/top edges are inclusive (`+ext < x0` culls),
+    // the right/bottom edges exclusive (`-ext >= x1` culls). The seed used
+    // `> rect.x1`, so a splat touching only the excluded right/bottom edge
+    // passed the fine filter while `overlaps_disc` (closed at the time)
+    // agreed — both now share the half-open contract.
     if p.mean_px.x + rx < rect.x0
-        || p.mean_px.x - rx > rect.x1
+        || p.mean_px.x - rx >= rect.x1
         || p.mean_px.y + ry < rect.y0
-        || p.mean_px.y - ry > rect.y1
+        || p.mean_px.y - ry >= rect.y1
     {
         return None;
     }
@@ -146,6 +171,44 @@ mod tests {
         assert!(!r.overlaps_disc(Vec2::new(-5.0, 8.0), 3.0), "too far left");
         assert!(r.overlaps_disc(Vec2::new(18.0, 18.0), 3.0), "corner");
         assert!(!r.overlaps_disc(Vec2::new(20.0, 20.0), 3.0), "past corner");
+    }
+
+    #[test]
+    fn disc_touching_only_excluded_edges_misses() {
+        // Half-open rect [0,16)×[0,16): discs whose closest approach is
+        // exactly the right or bottom edge must not overlap, while the
+        // inclusive left/top edges still count.
+        let r = TileRect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 16.0,
+            y1: 16.0,
+        };
+        // Touching exactly x = x1 from the right: excluded.
+        assert!(!r.overlaps_disc(Vec2::new(19.0, 8.0), 3.0), "right edge");
+        // Touching exactly y = y1 from below: excluded.
+        assert!(!r.overlaps_disc(Vec2::new(8.0, 19.0), 3.0), "bottom edge");
+        // Touching exactly the excluded corner point (16,16): excluded.
+        assert!(
+            !r.overlaps_disc(Vec2::new(16.0, 19.0), 3.0),
+            "corner via bottom"
+        );
+        // Diagonal tangency at the excluded corner: contact point is
+        // exactly (16,16) via a 3-4-5 triangle — excluded.
+        assert!(
+            !r.overlaps_disc(Vec2::new(19.0, 20.0), 5.0),
+            "diagonal corner graze"
+        );
+        // The same diagonal tangency at the *included* top-left corner.
+        assert!(
+            r.overlaps_disc(Vec2::new(-3.0, -4.0), 5.0),
+            "included corner tangency"
+        );
+        // A hair inside still overlaps.
+        assert!(r.overlaps_disc(Vec2::new(18.99, 8.0), 3.0), "just inside");
+        // The inclusive left/top edges keep closed semantics.
+        assert!(r.overlaps_disc(Vec2::new(-3.0, 8.0), 3.0), "left edge");
+        assert!(r.overlaps_disc(Vec2::new(8.0, -3.0), 3.0), "top edge");
     }
 
     #[test]
@@ -227,6 +290,63 @@ mod tests {
         let fine = fine_test(&c, &g, &rect, 3);
         assert!(coarse.is_some(), "conservative disc should reach the tile");
         assert!(fine.is_none(), "precise ellipse must not");
+    }
+
+    #[test]
+    fn fine_test_half_open_tile_edges() {
+        // Build a rect whose excluded right edge sits exactly at the
+        // splat's leftmost 3σ extent: the splat touches only x = x1, so the
+        // half-open fine test must cull it (the seed's `> x1` kept it).
+        use gs_core::ewa::project_gaussian;
+        let c = cam();
+        let g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.9);
+        let p = project_gaussian(&c, g.pos, g.cov3d()).unwrap();
+        let rx = 3.0 * p.cov2d.a.max(0.0).sqrt();
+        let ry = 3.0 * p.cov2d.c.max(0.0).sqrt();
+
+        let touching_right = TileRect {
+            x0: p.mean_px.x - rx - 32.0,
+            y0: p.mean_px.y - 8.0,
+            x1: p.mean_px.x - rx,
+            y1: p.mean_px.y + 8.0,
+        };
+        assert!(
+            fine_test(&c, &g, &touching_right, 3).is_none(),
+            "splat grazing only the excluded right edge must be culled"
+        );
+        let just_past = TileRect {
+            x1: p.mean_px.x - rx + 0.25,
+            ..touching_right
+        };
+        assert!(
+            fine_test(&c, &g, &just_past, 3).is_some(),
+            "splat reaching past the right edge must survive"
+        );
+
+        // The left edge is inclusive: a splat whose rightmost extent ends
+        // exactly at x0 still belongs to this tile.
+        let touching_left = TileRect {
+            x0: p.mean_px.x + rx,
+            y0: p.mean_px.y - 8.0,
+            x1: p.mean_px.x + rx + 32.0,
+            y1: p.mean_px.y + 8.0,
+        };
+        assert!(
+            fine_test(&c, &g, &touching_left, 3).is_some(),
+            "splat touching the inclusive left edge must survive"
+        );
+
+        // Same contract vertically.
+        let touching_bottom = TileRect {
+            x0: p.mean_px.x - 8.0,
+            y0: p.mean_px.y - ry - 32.0,
+            x1: p.mean_px.x + 8.0,
+            y1: p.mean_px.y - ry,
+        };
+        assert!(
+            fine_test(&c, &g, &touching_bottom, 3).is_none(),
+            "splat grazing only the excluded bottom edge must be culled"
+        );
     }
 
     #[test]

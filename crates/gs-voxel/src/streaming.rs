@@ -13,7 +13,7 @@
 use crate::dda::traverse_into;
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
-use crate::order::topological_order;
+use crate::order::{topological_order_into, OrderScratch};
 use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
@@ -455,6 +455,8 @@ impl StreamingScene {
             ray_lists,
             voxel_pixels,
             spare_lists,
+            order,
+            order_out,
             mask,
             survivors,
             splats,
@@ -497,12 +499,16 @@ impl StreamingScene {
             }
             py += stride;
         }
-        let order = topological_order(&ray_lists[..n_rays], |v| {
-            cam.world_to_camera(self.grid.voxel_center(v)).z
-        });
-        w.voxels_intersected = order.order.len() as u32;
-        w.dag_edges = order.edges;
-        w.cycle_breaks = order.cycle_breaks;
+        let order_stats = topological_order_into(
+            &ray_lists[..n_rays],
+            |v| cam.world_to_camera(self.grid.voxel_center(v)).z,
+            order,
+            order_out,
+        );
+        w.voxels_intersected = order_out.len() as u32;
+        w.dag_edges = order_stats.edges;
+        w.cycle_breaks = order_stats.cycle_breaks;
+        w.order_ops = order_stats.ops;
 
         // --- per-voxel streaming ------------------------------------------
         let fine_bpg = self.fine_bytes_per_gaussian();
@@ -512,7 +518,7 @@ impl StreamingScene {
         blend.reset(rect, gsz, self.config.voxel_size);
         mask.clear();
         mask.resize((gsz * gsz) as usize, false);
-        for &vid in &order.order {
+        for &vid in order_out.iter() {
             if blend.live == 0 {
                 break; // every pixel saturated: stop streaming voxels
             }
@@ -625,6 +631,10 @@ struct GroupScratch {
     voxel_pixels: HashMap<u32, Vec<u32>>,
     /// Recycled value-lists for `voxel_pixels`.
     spare_lists: Vec<Vec<u32>>,
+    /// Reusable topological-ordering state (zero steady-state allocations).
+    order: OrderScratch,
+    /// The current group's voxel order (reused across groups).
+    order_out: Vec<u32>,
     /// Per-pixel ray-intersection mask of the current voxel.
     mask: Vec<bool>,
     /// Coarse-filter survivors of the current voxel.

@@ -16,6 +16,9 @@ pub struct TileWorkload {
     pub dag_edges: u32,
     /// Cycle-break events during the topological sort.
     pub cycle_breaks: u32,
+    /// Topological-ordering work: nodes emitted plus edges relaxed by
+    /// Kahn's algorithm (the VSU ordering-stage work measure).
+    pub order_ops: u64,
     /// Voxels actually streamed (≤ intersected thanks to early termination).
     pub voxels_processed: u32,
     /// Gaussian records streamed from DRAM (coarse phase).
@@ -45,6 +48,7 @@ impl AddAssign for TileWorkload {
         self.voxels_intersected += o.voxels_intersected;
         self.dag_edges += o.dag_edges;
         self.cycle_breaks += o.cycle_breaks;
+        self.order_ops += o.order_ops;
         self.voxels_processed += o.voxels_processed;
         self.gaussians_streamed += o.gaussians_streamed;
         self.coarse_survivors += o.coarse_survivors;

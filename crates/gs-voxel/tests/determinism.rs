@@ -18,7 +18,7 @@ fn streaming_render_is_thread_count_invariant() {
             StreamingConfig { threads: 1, ..base },
         )
         .render(cam);
-        for threads in [2, 5] {
+        for threads in [2, 5, 0] {
             let par =
                 StreamingScene::new(scene.trained.clone(), StreamingConfig { threads, ..base })
                     .render(cam);

@@ -1,11 +1,12 @@
 //! Property-based tests for the streaming pipeline's data structures.
 
+use gs_core::camera::Camera;
 use gs_core::geom::Ray;
 use gs_core::vec::Vec3;
 use gs_scene::{Gaussian, GaussianCloud};
 use gs_voxel::dda::traverse;
 use gs_voxel::order::{count_order_violations, topological_order};
-use gs_voxel::VoxelGrid;
+use gs_voxel::{StreamingConfig, StreamingScene, VoxelGrid};
 use proptest::prelude::*;
 
 fn cloud_strategy() -> impl Strategy<Value = GaussianCloud> {
@@ -94,6 +95,88 @@ proptest! {
         let order = topological_order(&lists, |v| v as f32);
         prop_assert_eq!(order.cycle_breaks, 0);
         prop_assert_eq!(count_order_violations(&lists, &order.order), 0);
+    }
+
+    #[test]
+    fn dda_ray_bundles_always_order_cleanly(
+        cloud in cloud_strategy(),
+        voxel in 0.4f32..1.5,
+        cx in -1.0f32..1.0,
+        cy in -0.8f32..0.8,
+        dist in 6.0f32..12.0,
+    ) {
+        // A pixel-group-style bundle of rays from one camera through a
+        // convex (regular) voxel grid: along any straight ray the per-axis
+        // cell indices move monotonically, so the visit orders of two rays
+        // from a common origin can never contradict each other. The DAG
+        // must therefore be acyclic and the topological order violation-
+        // free — the property the streaming VSU relies on.
+        let grid = VoxelGrid::build(&cloud, voxel);
+        let cam = Camera::look_at(
+            Vec3::new(cx, cy, -dist),
+            Vec3::ZERO,
+            Vec3::Y,
+            32,
+            24,
+            0.9,
+        );
+        let mut lists = Vec::new();
+        for py in (0..24u32).step_by(2) {
+            for px in (0..32u32).step_by(2) {
+                let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
+                let r = traverse(&grid, &ray, 10_000);
+                if r.voxels.len() >= 2 {
+                    lists.push(r.voxels);
+                }
+            }
+        }
+        prop_assume!(!lists.is_empty());
+        let order = topological_order(&lists, |v| {
+            cam.world_to_camera(grid.voxel_center(v)).z
+        });
+        prop_assert_eq!(order.cycle_breaks, 0, "convex-grid bundle produced a cycle");
+        prop_assert_eq!(count_order_violations(&lists, &order.order), 0);
+    }
+
+    #[test]
+    fn streaming_render_identical_across_thread_counts(
+        cloud in cloud_strategy(),
+        voxel in 0.5f32..1.2,
+    ) {
+        // The parallel front-end / per-chunk scratch must never leak into
+        // the output: threads ∈ {1, 2, 0 (= all cores)} render the same
+        // bytes and the same workload totals.
+        let cam = Camera::look_at(
+            Vec3::new(0.4, 0.2, -7.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            64,
+            48,
+            0.9,
+        );
+        let base = StreamingConfig {
+            voxel_size: voxel,
+            group_size: 16,
+            ..Default::default()
+        };
+        let render_with = |threads: usize| {
+            StreamingScene::new(cloud.clone(), StreamingConfig { threads, ..base }).render(&cam)
+        };
+        let one = render_with(1);
+        for threads in [2usize, 0] {
+            let other = render_with(threads);
+            prop_assert_eq!(&one.image, &other.image, "threads={} changed the image", threads);
+            prop_assert_eq!(
+                one.workload.totals(),
+                other.workload.totals(),
+                "threads={} changed the workload", threads
+            );
+            prop_assert_eq!(
+                one.violations.violating_blends,
+                other.violations.violating_blends
+            );
+            prop_assert_eq!(&one.violations.flags, &other.violations.flags);
+        }
     }
 
     #[test]
