@@ -29,6 +29,12 @@ pub struct AccelConfig {
     /// stepper keeps the VSU off the critical path, as Table I's tiny VSU
     /// area implies).
     pub vsu_lanes: u32,
+    /// Topological-ordering operations (nodes emitted + edges relaxed —
+    /// the measured [`gs_voxel::TileWorkload::order_ops`]) the VSU retires
+    /// per cycle (`calibrated`: the ordering tables are small SRAM
+    /// structures; 4 ops/cycle keeps the VSU off the critical path like
+    /// the DDA lanes do).
+    pub order_ops_per_cycle: f64,
     /// Effective initiation interval of one FFU in cycles per Gaussian
     /// (`calibrated`: 427 MACs on a 40-wide MAC array ⇒ ≈10.7 cycles; sized
     /// so that at the paper's 4 CFU + 1 FFU point the fine phase is *just*
@@ -66,6 +72,7 @@ impl AccelConfig {
             n_sorters: 2,
             render_units: 64,
             vsu_lanes: 16,
+            order_ops_per_cycle: 4.0,
             ffu_ii: 18.0,
             cfu_ii: 18.0,
             sorter_elems_per_cycle: 16.0,

@@ -11,7 +11,7 @@ use crate::config::{AccelConfig, EnergyConfig};
 use crate::report::PerfReport;
 use gs_core::{COARSE_FILTER_MACS, FINE_FILTER_MACS};
 use gs_mem::dram::DramModel;
-use gs_mem::EnergyBreakdown;
+use gs_mem::{EnergyBreakdown, TrafficLedger};
 use gs_voxel::{FrameWorkload, TileWorkload};
 
 /// Per-fragment blend cost in MACs (conic eval, alpha, colour accumulate).
@@ -103,9 +103,12 @@ impl StreamingGsModel {
         let bytes_per_cycle =
             self.dram.bandwidth() * self.config.seq_dram_efficiency / (c.clock_ghz * 1e9);
 
+        // VSU: DDA stepping plus the measured topological-ordering work
+        // (`order_ops` = nodes emitted + edges relaxed; the pre-PR-3 model
+        // approximated this as `dag_edges + 2·voxels`, now it is priced
+        // from the recorded count).
         let vsu = w.dda_steps as f64 / (c.vsu_lanes * c.n_vsu) as f64
-            + w.dag_edges as f64
-            + 2.0 * w.voxels_intersected as f64;
+            + w.order_ops as f64 / (c.order_ops_per_cycle * c.n_vsu as f64);
         let fetch = (w.coarse_bytes + w.fine_bytes) as f64 / bytes_per_cycle;
         let coarse = w.gaussians_streamed as f64 * c.cfu_ii / c.total_cfus() as f64;
         let fine = w.coarse_survivors as f64 * c.ffu_ii / c.total_ffus() as f64;
@@ -124,8 +127,19 @@ impl StreamingGsModel {
         }
     }
 
-    /// Frame latency/energy from a functional frame workload.
+    /// Frame latency/energy from a functional frame workload, pricing DRAM
+    /// from the workload's reconstructed ledger. For a measured frame,
+    /// prefer [`Self::evaluate_measured`] with the renderer's own ledger —
+    /// for freshly rendered frames the two agree exactly (the workload's
+    /// byte counters are derived from that ledger).
     pub fn evaluate(&self, frame: &FrameWorkload) -> PerfReport {
+        self.evaluate_measured(frame, &frame.to_ledger())
+    }
+
+    /// Frame latency/energy with DRAM time and energy priced from
+    /// **measured** ledger traffic (the streaming renderer's merged
+    /// per-worker ledger) instead of modeled byte estimates.
+    pub fn evaluate_measured(&self, frame: &FrameWorkload, ledger: &TrafficLedger) -> PerfReport {
         let mut cycles = 0.0f64;
         for t in &frame.tiles {
             cycles += self.tile_cycles(t).latency();
@@ -134,7 +148,12 @@ impl StreamingGsModel {
         let totals = frame.totals();
         let seconds = cycles / (self.config.clock_ghz * 1e9);
 
-        let dram_bytes = totals.dram_bytes();
+        let dram_bytes = ledger.total();
+        debug_assert_eq!(
+            dram_bytes,
+            totals.dram_bytes(),
+            "ledger and workload byte counters diverged"
+        );
         let macs = totals.gaussians_streamed * COARSE_FILTER_MACS
             + totals.coarse_survivors * FINE_FILTER_MACS
             + totals.blend_lanes * BLEND_MACS
@@ -248,5 +267,31 @@ mod tests {
         let heavy = m.evaluate(&frame(vec![tile(4_000, 4_000)]));
         let light = m.evaluate(&frame(vec![tile(4_000, 500)]));
         assert!(light.energy.total_pj() < heavy.energy.total_pj());
+    }
+
+    #[test]
+    fn evaluate_equals_evaluate_measured_on_matching_ledger() {
+        let m = StreamingGsModel::default();
+        let f = frame(vec![tile(4_000, 1_000); 3]);
+        let a = m.evaluate(&f);
+        let b = m.evaluate_measured(&f, &f.to_ledger());
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(a.dram_bytes, b.dram_bytes);
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn order_ops_are_priced_in_the_vsu() {
+        let m = StreamingGsModel::default();
+        let mut w = tile(4_000, 1_000);
+        let base = m.tile_cycles(&w);
+        w.order_ops = 1_000_000;
+        let heavy = m.tile_cycles(&w);
+        assert!(
+            heavy.vsu > base.vsu,
+            "ordering work must show up in the VSU term"
+        );
+        let expected = base.vsu + 1_000_000.0 / m.config.order_ops_per_cycle;
+        assert!((heavy.vsu - expected).abs() < 1e-6);
     }
 }

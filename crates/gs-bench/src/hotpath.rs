@@ -31,10 +31,15 @@ pub struct HotpathScene {
 pub struct HotpathStages {
     /// Scene label the stages were measured on.
     pub scene: String,
-    /// Serial projection / binning / rasterization milliseconds.
+    /// Serial projection / binning / rasterization milliseconds. Since
+    /// PR 3 `raster_ms` is measured directly (timed tile loop over the
+    /// binned ranges), not derived as frame-minus-front-end.
     pub project_ms: f64,
     pub bin_ms: f64,
     pub raster_ms: f64,
+    /// Whole-frame single-thread milliseconds (cross-check on the stage
+    /// sum; 0 in pre-PR-3 reports).
+    pub frame_ms: f64,
     /// Splat-parallel projection / binning milliseconds.
     pub project_mt_ms: f64,
     pub bin_mt_ms: f64,
@@ -145,6 +150,7 @@ pub fn parse_report(line: &str) -> Option<HotpathReport> {
                 project_ms: num_field(obj, "project_ms").unwrap_or(0.0),
                 bin_ms: num_field(obj, "bin_ms").unwrap_or(0.0),
                 raster_ms: num_field(obj, "raster_ms").unwrap_or(0.0),
+                frame_ms: num_field(obj, "frame_ms").unwrap_or(0.0),
                 project_mt_ms: num_field(obj, "project_mt_ms").unwrap_or(0.0),
                 bin_mt_ms: num_field(obj, "bin_mt_ms").unwrap_or(0.0),
                 front_end_speedup: num_field(obj, "front_end_speedup").unwrap_or(0.0),
@@ -180,7 +186,7 @@ pub fn load_report() -> Option<HotpathReport> {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"HOTPATH_JSON {"bench":"hotpath","threads":1,"mt_threads":2,"scenes":[{"scene":"lego","naive_fps":112.67,"optimized_fps":736.68,"speedup":6.54,"mt_fps":719.59},{"scene":"truck","naive_fps":86.02,"optimized_fps":550.18,"speedup":6.40,"mt_fps":472.35}],"truck_speedup":6.40,"truck_speedup_ok":true,"stages":{"scene":"truck_small","project_ms":1.2656,"bin_ms":0.4159,"raster_ms":10.6290,"project_mt_ms":1.2997,"bin_mt_ms":0.4514,"front_end_speedup":0.96,"front_end_ok":false}}"#;
+    const SAMPLE: &str = r#"HOTPATH_JSON {"bench":"hotpath","threads":1,"mt_threads":2,"scenes":[{"scene":"lego","naive_fps":112.67,"optimized_fps":736.68,"speedup":6.54,"mt_fps":719.59},{"scene":"truck","naive_fps":86.02,"optimized_fps":550.18,"speedup":6.40,"mt_fps":472.35}],"truck_speedup":6.40,"truck_speedup_ok":true,"stages":{"scene":"truck_small","project_ms":1.2656,"bin_ms":0.4159,"raster_ms":10.6290,"frame_ms":12.5070,"project_mt_ms":1.2997,"bin_mt_ms":0.4514,"front_end_speedup":0.96,"front_end_ok":false}}"#;
 
     #[test]
     fn parses_full_report() {
@@ -194,6 +200,7 @@ mod tests {
         let st = r.stages.expect("stages present");
         assert_eq!(st.scene, "truck_small");
         assert!((st.project_ms - 1.2656).abs() < 1e-9);
+        assert!((st.frame_ms - 12.5070).abs() < 1e-9);
         assert!((st.front_end_speedup - 0.96).abs() < 1e-9);
     }
 

@@ -160,7 +160,15 @@ pub fn evaluate_scene(
         for cam in cams {
             let out = s.render(cam);
             let scaled = scale_frame_workload(&out.workload, &factors);
-            reports.push(accel.evaluate(&scaled));
+            // Price DRAM from the renderer's measured ledger when the
+            // workload is used as-is; an extrapolated workload gets its
+            // ledger rebuilt at the same scale.
+            let ledger = if native_scale {
+                scaled.to_ledger()
+            } else {
+                out.ledger.clone()
+            };
+            reports.push(accel.evaluate_measured(&scaled, &ledger));
             kill_acc += out.workload.totals().filter_kill_rate();
             if sample.is_none() {
                 sample = Some(scaled);

@@ -1,7 +1,16 @@
 //! Per-stage DRAM traffic ledger.
+//!
+//! The ledger is the workspace's **single source of byte truth**: the
+//! streaming renderer (`gs_voxel::streaming`) owns one ledger per worker,
+//! meters every `VoxelStore` fetch and pixel writeback through it as the
+//! bytes move, and merges the workers' ledgers once per frame in
+//! deterministic worker order. Derived byte counters
+//! (`TileWorkload::{coarse_bytes, fine_bytes, pixel_bytes}`) are read back
+//! *from* ledger stages, never computed independently, so ledger totals and
+//! workload totals can never drift apart — and `gs-accel` prices DRAM time
+//! and energy from the same measured bytes.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Pipeline stages that generate DRAM traffic.
@@ -15,7 +24,8 @@ pub enum Stage {
     Rendering,
     /// Streaming pipeline: coarse-half voxel fetches.
     VoxelCoarse,
-    /// Streaming pipeline: fine-half (VQ index) fetches.
+    /// Streaming pipeline: fine-half fetches (raw 220 B records or VQ
+    /// index records, whichever the store holds).
     VoxelFine,
     /// Final pixel writeback.
     PixelOut,
@@ -56,6 +66,11 @@ pub enum Direction {
 
 /// Byte counters keyed by `(stage, direction)`.
 ///
+/// Backed by a flat `[stage][direction]` counter array — the key domain is
+/// tiny and fixed, so every operation is allocation-free and a per-worker
+/// ledger can be cleared and refilled each frame without heap churn
+/// (preserving the streaming renderer's zero-alloc steady state).
+///
 /// ```
 /// use gs_mem::ledger::{Direction, Stage, TrafficLedger};
 /// let mut l = TrafficLedger::new();
@@ -66,7 +81,8 @@ pub enum Direction {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficLedger {
-    entries: BTreeMap<(Stage, Direction), u64>,
+    /// Bytes per `(stage, direction)`, indexed by declaration order.
+    bytes: [[u64; 2]; Stage::ALL.len()],
 }
 
 impl TrafficLedger {
@@ -77,12 +93,12 @@ impl TrafficLedger {
 
     /// Adds `bytes` to a counter.
     pub fn add(&mut self, stage: Stage, dir: Direction, bytes: u64) {
-        *self.entries.entry((stage, dir)).or_insert(0) += bytes;
+        self.bytes[stage as usize][dir as usize] += bytes;
     }
 
     /// Reads a counter.
     pub fn get(&self, stage: Stage, dir: Direction) -> u64 {
-        self.entries.get(&(stage, dir)).copied().unwrap_or(0)
+        self.bytes[stage as usize][dir as usize]
     }
 
     /// Read + write bytes of one stage.
@@ -92,7 +108,7 @@ impl TrafficLedger {
 
     /// All bytes.
     pub fn total(&self) -> u64 {
-        self.entries.values().sum()
+        self.bytes.iter().flatten().sum()
     }
 
     /// Fraction of the total contributed by `stage` (0 when empty).
@@ -107,14 +123,32 @@ impl TrafficLedger {
 
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &TrafficLedger) {
-        for (k, v) in &other.entries {
-            *self.entries.entry(*k).or_insert(0) += v;
+        for (mine, theirs) in self
+            .bytes
+            .iter_mut()
+            .flatten()
+            .zip(other.bytes.iter().flatten())
+        {
+            *mine += *theirs;
         }
     }
 
-    /// Iterates non-zero `(stage, direction, bytes)` entries in stable order.
+    /// Zeroes every counter in place (no allocation, no deallocation —
+    /// per-worker ledgers are cleared at frame start and refilled while
+    /// rendering).
+    pub fn clear(&mut self) {
+        self.bytes = Default::default();
+    }
+
+    /// Iterates non-zero `(stage, direction, bytes)` entries in stable
+    /// (stage, direction) declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (Stage, Direction, u64)> + '_ {
-        self.entries.iter().map(|((s, d), b)| (*s, *d, *b))
+        Stage::ALL.into_iter().flat_map(move |s| {
+            [Direction::Read, Direction::Write]
+                .into_iter()
+                .map(move |d| (s, d, self.get(s, d)))
+                .filter(|(_, _, b)| *b > 0)
+        })
     }
 }
 
@@ -176,5 +210,39 @@ mod tests {
     fn display_names() {
         assert_eq!(Stage::VoxelCoarse.to_string(), "voxel-coarse");
         assert_eq!(Stage::ALL.len(), 6);
+    }
+
+    #[test]
+    fn all_order_matches_discriminants() {
+        // The flat counter array indexes by discriminant; `Stage::ALL`
+        // must list the stages in exactly that order for `iter()`.
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_and_compares_equal_to_fresh() {
+        let mut l = TrafficLedger::new();
+        l.add(Stage::VoxelFine, Direction::Read, 99);
+        l.clear();
+        assert_eq!(l, TrafficLedger::new());
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_skips_zero_entries_in_stable_order() {
+        let mut l = TrafficLedger::new();
+        l.add(Stage::PixelOut, Direction::Write, 4);
+        l.add(Stage::Projection, Direction::Read, 1);
+        let got: Vec<_> = l.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                (Stage::Projection, Direction::Read, 1),
+                (Stage::PixelOut, Direction::Write, 4),
+            ]
+        );
     }
 }

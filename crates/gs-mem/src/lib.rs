@@ -7,7 +7,14 @@
 //! * [`sram::SramBuffer`] — capacity-checked on-chip buffers with access
 //!   energy (paper: 16 KB double-buffered input, 250 KB codebook, 89 KB
 //!   intermediate),
-//! * [`ledger::TrafficLedger`] — per-stage read/write byte accounting,
+//! * [`ledger::TrafficLedger`] — per-stage read/write byte accounting.
+//!   Since PR 3 this is the **single source of byte truth** for the
+//!   streaming pipeline: `gs_voxel`'s renderer owns one ledger per
+//!   worker, meters every voxel-store fetch and pixel writeback through
+//!   it, merges them per frame in deterministic worker order, derives the
+//!   workload byte counters from the ledger stages, and `gs-accel` prices
+//!   DRAM time/energy from the same measured bytes
+//!   (`StreamingGsModel::evaluate_measured`),
 //! * [`energy::EnergyBreakdown`] — compute/SRAM/DRAM picojoule totals.
 //!
 //! ## Example

@@ -22,7 +22,9 @@ pub const PARAM_SH: usize = 11;
 /// (paper Fig. 8): x, y, z and the maximum scale as f32.
 pub const COARSE_BYTES: usize = 4 * 4;
 
-/// Bytes of the uncompressed "second half": the remaining 55 parameters.
+/// Bytes of the uncompressed "second half": the remaining 55 parameters
+/// (the two non-maximum scales, rotation, opacity, SH — the maximum scale
+/// lives in the first half and is *not* duplicated).
 pub const FINE_BYTES_RAW: usize = gs_core::FINE_PARAMS * 4;
 
 /// A single 3-D Gaussian: the atom of 3DGS scenes.
@@ -151,6 +153,104 @@ impl Gaussian {
         }
     }
 
+    /// Index (0/1/2) of the first scale axis achieving [`Self::max_scale`].
+    ///
+    /// This is the layout tag of the split record: the coarse half carries
+    /// the maximum scale, the fine half the two remaining ones, and this
+    /// tag says where to re-insert the maximum on decode. It travels with
+    /// the per-voxel index metadata, not inside the 220 B fine record.
+    pub fn max_axis(&self) -> u8 {
+        let s = self.scale.to_array();
+        let m = self.max_scale();
+        s.iter().position(|v| *v == m).unwrap_or(0) as u8
+    }
+
+    /// Serializes the "first half" of the customized split layout
+    /// (paper Fig. 8): `[x, y, z, s_max]` as little-endian f32.
+    pub fn coarse_record(&self) -> [u8; COARSE_BYTES] {
+        let mut out = [0u8; COARSE_BYTES];
+        for (slot, v) in [self.pos.x, self.pos.y, self.pos.z, self.max_scale()]
+            .into_iter()
+            .enumerate()
+        {
+            out[slot * 4..slot * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a [`Self::coarse_record`] back to `(position, max scale)`,
+    /// bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is shorter than [`COARSE_BYTES`].
+    pub fn decode_coarse(bytes: &[u8]) -> (Vec3, f32) {
+        let f = |i: usize| f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        (Vec3::new(f(0), f(1), f(2)), f(3))
+    }
+
+    /// Serializes the "second half" of the split layout: the 55 remaining
+    /// parameters `[scale minors (2), rot (4), opacity (1), sh (48)]` as
+    /// little-endian f32, plus the [`Self::max_axis`] layout tag needed to
+    /// re-insert the coarse half's maximum scale on decode.
+    pub fn fine_record(&self) -> ([u8; FINE_BYTES_RAW], u8) {
+        let axis = self.max_axis() as usize;
+        let mut params = [0.0f32; gs_core::FINE_PARAMS];
+        let mut k = 0;
+        for (a, s) in self.scale.to_array().into_iter().enumerate() {
+            if a != axis {
+                params[k] = s;
+                k += 1;
+            }
+        }
+        params[2..6].copy_from_slice(&self.rot.to_array());
+        params[6] = self.opacity;
+        params[7..].copy_from_slice(&self.sh);
+        let mut out = [0u8; FINE_BYTES_RAW];
+        for (slot, v) in params.into_iter().enumerate() {
+            out[slot * 4..slot * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        (out, axis as u8)
+    }
+
+    /// Reassembles a Gaussian from its split halves, bit-exactly:
+    /// position and maximum scale from the coarse record, everything else
+    /// from the fine record, with the maximum scale re-inserted at
+    /// `max_axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either record is shorter than its layout or
+    /// `max_axis > 2`.
+    pub fn from_split_record(coarse: &[u8], fine: &[u8], max_axis: u8) -> Gaussian {
+        assert!(max_axis < 3, "max_axis out of range");
+        let (pos, s_max) = Self::decode_coarse(coarse);
+        let f = |i: usize| f32::from_le_bytes(fine[i * 4..i * 4 + 4].try_into().unwrap());
+        let mut scale = [0.0f32; 3];
+        let mut k = 0;
+        for (a, s) in scale.iter_mut().enumerate() {
+            if a == max_axis as usize {
+                *s = s_max;
+            } else {
+                *s = f(k);
+                k += 1;
+            }
+        }
+        let rot = Quat::new(f(2), f(3), f(4), f(5));
+        let opacity = f(6);
+        let mut sh = [0.0f32; SH_COEFFS];
+        for (i, v) in sh.iter_mut().enumerate() {
+            *v = f(7 + i);
+        }
+        Gaussian {
+            pos,
+            scale: Vec3::new(scale[0], scale[1], scale[2]),
+            rot,
+            opacity,
+            sh,
+        }
+    }
+
     /// Returns `true` when all parameters are finite and physically valid
     /// (positive scales, opacity in `[0, 1]`).
     pub fn is_valid(&self) -> bool {
@@ -225,6 +325,53 @@ mod tests {
         let mut bad3 = g;
         bad3.sh[5] = f32::NAN;
         assert!(!bad3.is_valid());
+    }
+
+    #[test]
+    fn split_record_roundtrips_bit_exactly() {
+        let mut g = Gaussian::isotropic(
+            Vec3::new(1.5, -2.25, 3.0),
+            0.2,
+            Vec3::new(0.1, 0.7, 0.3),
+            0.625,
+        );
+        g.scale = Vec3::new(0.125, 0.5, 0.25); // max on axis 1
+        g.rot = Quat::new(0.9, 0.1, -0.2, 0.3);
+        g.sh[31] = -0.037;
+        assert_eq!(g.max_axis(), 1);
+        let coarse = g.coarse_record();
+        let (pos, s_max) = Gaussian::decode_coarse(&coarse);
+        assert_eq!(pos, g.pos);
+        assert_eq!(s_max, 0.5);
+        let (fine, axis) = g.fine_record();
+        assert_eq!(Gaussian::from_split_record(&coarse, &fine, axis), g);
+    }
+
+    #[test]
+    fn split_record_handles_tied_scales() {
+        // Isotropic scales: every axis holds the maximum; the tag picks the
+        // first and the roundtrip must still be exact.
+        let g = Gaussian::isotropic(Vec3::new(0.5, 0.5, 0.5), 0.1, Vec3::ONE, 0.9);
+        assert_eq!(g.max_axis(), 0);
+        let coarse = g.coarse_record();
+        let (fine, axis) = g.fine_record();
+        assert_eq!(Gaussian::from_split_record(&coarse, &fine, axis), g);
+    }
+
+    #[test]
+    fn split_record_roundtrips_every_max_axis() {
+        for axis in 0..3usize {
+            let mut g = Gaussian::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 0.8);
+            let mut s = [0.1f32, 0.2, 0.3];
+            s.swap(axis, 2); // put the maximum on `axis`
+            g.scale = Vec3::new(s[0], s[1], s[2]);
+            assert_eq!(g.max_axis() as usize, axis);
+            let (fine, tag) = g.fine_record();
+            assert_eq!(
+                Gaussian::from_split_record(&g.coarse_record(), &fine, tag),
+                g
+            );
+        }
     }
 
     #[test]

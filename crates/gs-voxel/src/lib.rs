@@ -21,6 +21,26 @@
 //!    that persist across voxels; pixels saturate early and the tile stops
 //!    streaming further voxels once fully opaque.
 //!
+//! ## The data path is byte-exact (PR 3)
+//!
+//! At scene preparation the cloud is materialized into a
+//! **voxel-resident columnar store** ([`store::VoxelStore`]): a raw
+//! first-half column (16 B `[x, y, z, s_max]` per Gaussian, the coarse
+//! filter's only input) and a second-half column holding either the raw
+//! 220 B parameter remainder or VQ index records decoded through the
+//! codebooks on fetch — both voxel-contiguous, the paper's Fig. 8 DRAM
+//! layout realized as actual bytes. The render phases read **only** from
+//! the store, and every fetch plus the final pixel writeback is metered
+//! through per-worker [`gs_mem::TrafficLedger`]s merged once per frame in
+//! deterministic worker order. The per-tile byte counters
+//! ([`workload::TileWorkload`]) are *derived from* the ledger, making it
+//! the single source of byte truth end to end; `gs-accel` prices DRAM
+//! time and energy from the same measured ledger. Store decodes are
+//! bit-exact, and [`streaming::StreamingScene::render_cloud_twin`] keeps
+//! the old cloud-backed fetch path alive as a reference twin —
+//! `tests/store_ledger.rs` asserts byte-identical images, workloads and
+//! ledgers on every scene kind, raw and VQ.
+//!
 //! The functional renderer also measures everything the accelerator model
 //! needs ([`workload`]) and the depth-order violations that the
 //! boundary-aware fine-tuning (crate `gs-tune`) penalizes.
@@ -42,9 +62,11 @@ pub mod dda;
 pub mod filter;
 pub mod grid;
 pub mod order;
+pub mod store;
 pub mod streaming;
 pub mod workload;
 
 pub use grid::VoxelGrid;
+pub use store::VoxelStore;
 pub use streaming::{StreamingConfig, StreamingOutput, StreamingScene};
 pub use workload::{FrameWorkload, TileWorkload};

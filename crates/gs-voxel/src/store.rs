@@ -1,0 +1,341 @@
+//! The voxel-resident columnar store: the DRAM image of a prepared scene.
+//!
+//! This is the byte-level realization of the paper's customized data layout
+//! (Fig. 8). Gaussians live voxel-contiguously in two parallel columns:
+//!
+//! * **first half** — [`gs_scene::gaussian::COARSE_BYTES`] (16 B) per
+//!   Gaussian: `[x, y, z, s_max]` as raw f32 bytes. This is the *only*
+//!   data the coarse-grained filter touches.
+//! * **second half** — either the raw 55-parameter remainder
+//!   ([`gs_scene::gaussian::FINE_BYTES_RAW`], 220 B) or a VQ index record
+//!   ([`gs_vq::FeatureCodebooks::record_bytes`], 13 B at paper-size
+//!   codebooks) decoded through the on-chip codebooks on fetch. Only
+//!   coarse-filter survivors ever read this column.
+//!
+//! Alongside the columns ride the per-voxel slot ranges and the global
+//! Gaussian id per slot (the renaming/index metadata the VSU keeps; the raw
+//! layout also carries a 2-bit max-axis tag here, since the 220 B record
+//! stores only the two non-maximum scales — see
+//! [`gs_scene::Gaussian::fine_record`]).
+//!
+//! Every fetch is metered through a [`gs_mem::TrafficLedger`]
+//! (`VoxelCoarse` / `VoxelFine` read stages), which makes the store the
+//! single source of byte truth for the streaming renderer and everything
+//! priced from it. Decodes are **bit-exact**: a raw store returns the
+//! original [`Gaussian`] bit-for-bit, a VQ store returns exactly
+//! [`gs_vq::QuantizedCloud::decode_one`].
+
+use crate::grid::VoxelGrid;
+use gs_core::vec::Vec3;
+use gs_mem::{Direction, Stage, TrafficLedger};
+use gs_scene::gaussian::{COARSE_BYTES, FINE_BYTES_RAW};
+use gs_scene::{Gaussian, GaussianCloud};
+use gs_vq::{FeatureCodebooks, QuantizedCloud};
+
+/// The second-half column: raw parameters or VQ index records.
+#[derive(Clone, Debug)]
+enum SecondHalf {
+    /// Uncompressed 220 B records plus the per-slot max-axis layout tag
+    /// (metadata, not counted as record traffic).
+    Raw { bytes: Vec<u8>, max_axis: Vec<u8> },
+    /// Serialized index records decoded through the (on-chip) codebooks.
+    Vq {
+        bytes: Vec<u8>,
+        codebooks: FeatureCodebooks,
+        record_bytes: usize,
+    },
+}
+
+/// Per-voxel contiguous columnar storage with metered, bit-exact fetches.
+///
+/// Built once at scene preparation ([`VoxelStore::from_cloud`] /
+/// [`VoxelStore::from_quantized`]); the streaming renderer's coarse and
+/// fine phases read **only** from here.
+#[derive(Clone, Debug)]
+pub struct VoxelStore {
+    /// Slot range per renamed voxel (mirrors the grid's layout).
+    ranges: Vec<(u32, u32)>,
+    /// Global Gaussian id per slot (the DRAM index stream).
+    ids: Vec<u32>,
+    /// First-half column, [`COARSE_BYTES`] per slot, voxel-contiguous.
+    coarse: Vec<u8>,
+    /// Second-half column.
+    second: SecondHalf,
+}
+
+impl VoxelStore {
+    /// Builds a raw (uncompressed second half) store over `cloud`,
+    /// voxel-contiguous in `grid`'s renamed-voxel order.
+    pub fn from_cloud(cloud: &GaussianCloud, grid: &VoxelGrid) -> VoxelStore {
+        let (ranges, ids) = layout_of(grid);
+        let gs = cloud.as_slice();
+        let mut coarse = Vec::with_capacity(ids.len() * COARSE_BYTES);
+        let mut bytes = Vec::with_capacity(ids.len() * FINE_BYTES_RAW);
+        let mut max_axis = Vec::with_capacity(ids.len());
+        for &gi in &ids {
+            let g = &gs[gi as usize];
+            coarse.extend_from_slice(&g.coarse_record());
+            let (fine, axis) = g.fine_record();
+            bytes.extend_from_slice(&fine);
+            max_axis.push(axis);
+        }
+        VoxelStore {
+            ranges,
+            ids,
+            coarse,
+            second: SecondHalf::Raw { bytes, max_axis },
+        }
+    }
+
+    /// Builds a VQ store: raw first half (from the quantizer's uncompressed
+    /// coarse data, bit-identical to the cloud's) and serialized index
+    /// records as the second half, decoded through a copy of the trained
+    /// codebooks on fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quant` does not cover every Gaussian of the grid.
+    pub fn from_quantized(quant: &QuantizedCloud, grid: &VoxelGrid) -> VoxelStore {
+        let (ranges, ids) = layout_of(grid);
+        let record_bytes = quant.codebooks.record_bytes() as usize;
+        let mut coarse = Vec::with_capacity(ids.len() * COARSE_BYTES);
+        let mut bytes = Vec::with_capacity(ids.len() * record_bytes);
+        for &gi in &ids {
+            let (pos, s_max) = quant.coarse[gi as usize];
+            for v in [pos.x, pos.y, pos.z, s_max] {
+                coarse.extend_from_slice(&v.to_le_bytes());
+            }
+            quant
+                .codebooks
+                .write_record(&quant.records[gi as usize], &mut bytes);
+        }
+        VoxelStore {
+            ranges,
+            ids,
+            coarse,
+            second: SecondHalf::Vq {
+                bytes,
+                codebooks: quant.codebooks.clone(),
+                record_bytes,
+            },
+        }
+    }
+
+    /// Gaussian slots in the store.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the store holds no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of voxels (equals the grid's renamed voxel count).
+    pub fn voxel_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `true` when the second half holds VQ index records.
+    pub fn is_vq(&self) -> bool {
+        matches!(self.second, SecondHalf::Vq { .. })
+    }
+
+    /// DRAM bytes of one first-half record (16).
+    pub fn coarse_bytes_per_gaussian(&self) -> u64 {
+        COARSE_BYTES as u64
+    }
+
+    /// DRAM bytes of one second-half record (220 raw; the codebooks'
+    /// record width for VQ).
+    pub fn fine_bytes_per_gaussian(&self) -> u64 {
+        match &self.second {
+            SecondHalf::Raw { .. } => FINE_BYTES_RAW as u64,
+            SecondHalf::Vq { record_bytes, .. } => *record_bytes as u64,
+        }
+    }
+
+    /// Total resident bytes of the first-half column.
+    pub fn coarse_column_bytes(&self) -> u64 {
+        self.coarse.len() as u64
+    }
+
+    /// Total resident bytes of the second-half column.
+    pub fn fine_column_bytes(&self) -> u64 {
+        match &self.second {
+            SecondHalf::Raw { bytes, .. } => bytes.len() as u64,
+            SecondHalf::Vq { bytes, .. } => bytes.len() as u64,
+        }
+    }
+
+    /// The slot range of renamed voxel `vid`.
+    pub fn slots_of(&self, vid: u32) -> std::ops::Range<u32> {
+        let (a, b) = self.ranges[vid as usize];
+        a..b
+    }
+
+    /// Global Gaussian id stored at `slot`.
+    pub fn id_of(&self, slot: u32) -> u32 {
+        self.ids[slot as usize]
+    }
+
+    /// Global Gaussian ids of voxel `vid`, in slot order.
+    pub fn ids_of(&self, vid: u32) -> &[u32] {
+        let (a, b) = self.ranges[vid as usize];
+        &self.ids[a as usize..b as usize]
+    }
+
+    /// Streams voxel `vid`'s first-half column: meters the whole voxel's
+    /// coarse bytes into `ledger` (`VoxelCoarse`/read — the burst the
+    /// accelerator issues regardless of filter outcomes) and returns an
+    /// iterator of `(slot, position, max scale)` decoded from the bytes.
+    pub fn fetch_coarse<'a>(
+        &'a self,
+        vid: u32,
+        ledger: &mut TrafficLedger,
+    ) -> impl Iterator<Item = (u32, Vec3, f32)> + 'a {
+        let (a, b) = self.ranges[vid as usize];
+        ledger.add(
+            Stage::VoxelCoarse,
+            Direction::Read,
+            (b - a) as u64 * COARSE_BYTES as u64,
+        );
+        (a..b).map(move |slot| {
+            let at = slot as usize * COARSE_BYTES;
+            let (pos, s_max) = Gaussian::decode_coarse(&self.coarse[at..at + COARSE_BYTES]);
+            (slot, pos, s_max)
+        })
+    }
+
+    /// Fetches and decodes `slot`'s second-half record, metering its bytes
+    /// into `ledger` (`VoxelFine`/read). Bit-exact: raw stores return the
+    /// original Gaussian, VQ stores return exactly
+    /// [`QuantizedCloud::decode_one`]'s result.
+    pub fn fetch_fine(&self, slot: u32, ledger: &mut TrafficLedger) -> Gaussian {
+        ledger.add(
+            Stage::VoxelFine,
+            Direction::Read,
+            self.fine_bytes_per_gaussian(),
+        );
+        let s = slot as usize;
+        let coarse = &self.coarse[s * COARSE_BYTES..(s + 1) * COARSE_BYTES];
+        match &self.second {
+            SecondHalf::Raw { bytes, max_axis } => Gaussian::from_split_record(
+                coarse,
+                &bytes[s * FINE_BYTES_RAW..(s + 1) * FINE_BYTES_RAW],
+                max_axis[s],
+            ),
+            SecondHalf::Vq {
+                bytes,
+                codebooks,
+                record_bytes,
+            } => {
+                let (pos, _) = Gaussian::decode_coarse(coarse);
+                let r = codebooks.read_record(&bytes[s * record_bytes..(s + 1) * record_bytes]);
+                codebooks.decode_record(pos, &r)
+            }
+        }
+    }
+}
+
+/// The store's slot layout: per-voxel ranges plus the flattened id stream,
+/// in the grid's renamed-voxel order (so slot ranges mirror the grid's
+/// contiguous DRAM layout exactly).
+fn layout_of(grid: &VoxelGrid) -> (Vec<(u32, u32)>, Vec<u32>) {
+    let mut ranges = Vec::with_capacity(grid.voxel_count());
+    let mut ids = Vec::new();
+    let mut at = 0u32;
+    for v in 0..grid.voxel_count() as u32 {
+        let g = grid.gaussians_of(v);
+        ranges.push((at, at + g.len() as u32));
+        ids.extend_from_slice(g);
+        at += g.len() as u32;
+    }
+    (ranges, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_scene::{SceneConfig, SceneKind};
+    use gs_vq::{GaussianQuantizer, VqConfig};
+
+    fn scene_cloud() -> (GaussianCloud, VoxelGrid) {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let grid = VoxelGrid::build(&scene.trained, scene.voxel_size);
+        (scene.trained, grid)
+    }
+
+    #[test]
+    fn layout_mirrors_grid() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        assert_eq!(store.len(), cloud.len());
+        assert_eq!(store.voxel_count(), grid.voxel_count());
+        for v in 0..grid.voxel_count() as u32 {
+            assert_eq!(store.ids_of(v), grid.gaussians_of(v));
+            let slots = store.slots_of(v);
+            assert_eq!(
+                (slots.end - slots.start) as usize,
+                grid.gaussians_of(v).len()
+            );
+        }
+        assert_eq!(store.coarse_column_bytes(), cloud.len() as u64 * 16);
+        assert_eq!(store.fine_column_bytes(), cloud.len() as u64 * 220);
+    }
+
+    #[test]
+    fn raw_fetch_is_bit_exact() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let mut ledger = TrafficLedger::new();
+        for v in 0..store.voxel_count() as u32 {
+            let coarse: Vec<_> = store.fetch_coarse(v, &mut ledger).collect();
+            for (slot, pos, s_max) in coarse {
+                let g = &cloud.as_slice()[store.id_of(slot) as usize];
+                assert_eq!(pos, g.pos);
+                assert_eq!(s_max, g.max_scale());
+                assert_eq!(&store.fetch_fine(slot, &mut ledger), g);
+            }
+        }
+        let n = cloud.len() as u64;
+        assert_eq!(ledger.get(Stage::VoxelCoarse, Direction::Read), n * 16);
+        assert_eq!(ledger.get(Stage::VoxelFine, Direction::Read), n * 220);
+    }
+
+    #[test]
+    fn vq_fetch_matches_quantizer_decode_bit_exactly() {
+        let (cloud, grid) = scene_cloud();
+        let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
+        let store = VoxelStore::from_quantized(&quant, &grid);
+        assert!(store.is_vq());
+        assert_eq!(
+            store.fine_bytes_per_gaussian(),
+            quant.fine_bytes_per_gaussian()
+        );
+        let mut ledger = TrafficLedger::new();
+        for slot in 0..store.len() as u32 {
+            let gi = store.id_of(slot) as usize;
+            assert_eq!(store.fetch_fine(slot, &mut ledger), quant.decode_one(gi));
+        }
+        assert_eq!(
+            ledger.get(Stage::VoxelFine, Direction::Read),
+            store.len() as u64 * store.fine_bytes_per_gaussian()
+        );
+    }
+
+    #[test]
+    fn coarse_metering_is_whole_voxel_bursts() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let mut ledger = TrafficLedger::new();
+        let v = 0u32;
+        // Dropping the iterator without consuming it still meters the
+        // burst: the accelerator streams the whole voxel regardless.
+        let _ = store.fetch_coarse(v, &mut ledger);
+        assert_eq!(
+            ledger.get(Stage::VoxelCoarse, Direction::Read),
+            grid.gaussians_of(v).len() as u64 * 16
+        );
+    }
+}

@@ -14,13 +14,15 @@ use crate::dda::traverse_into;
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::{topological_order_into, OrderScratch};
+use crate::store::VoxelStore;
 use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
 use gs_core::vec::{Vec2, Vec3};
+use gs_mem::{Direction, Stage, TrafficLedger};
 use gs_render::pool::WorkerPool;
 use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
-use gs_scene::GaussianCloud;
+use gs_scene::{Gaussian, GaussianCloud};
 use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -178,19 +180,45 @@ pub struct StreamingOutput {
     pub workload: FrameWorkload,
     /// Depth-order violation measurements.
     pub violations: ViolationReport,
+    /// Measured per-stage DRAM traffic: every store fetch and pixel
+    /// writeback of this frame, metered as the bytes moved (per-worker
+    /// ledgers merged in deterministic worker order). The workload's byte
+    /// counters are derived from this ledger, so
+    /// `ledger.total() == workload.dram_bytes()` always holds.
+    pub ledger: TrafficLedger,
 }
 
-/// A scene prepared for streaming: voxelized layout + optional codebooks.
+/// Where the per-voxel streaming phases fetch Gaussian data from.
 ///
-/// Preparation (voxelization, VQ training) happens offline in the paper; the
-/// per-frame work is [`StreamingScene::render`], whose intermediate buffers
-/// and worker threads persist across frames (zero-alloc steady state; the
-/// returned image/workload are the caller-owned outputs).
+/// The production path is [`FetchPath::Store`]: both phases read only the
+/// [`VoxelStore`]'s columns. [`FetchPath::CloudTwin`] re-reads the
+/// in-memory clouds the way the pre-store renderer did — it exists purely
+/// as the byte-exactness reference twin for
+/// [`StreamingScene::render_cloud_twin`] and meters the same byte counts,
+/// so the two paths must agree bit-for-bit on images, workloads and
+/// ledgers.
+enum FetchPath<'a> {
+    Store,
+    CloudTwin {
+        /// The cloud the fine phase renders from (the decoded cloud when
+        /// VQ is enabled, the source otherwise).
+        render: &'a GaussianCloud,
+    },
+}
+
+/// A scene prepared for streaming: voxelized layout, the voxel-resident
+/// columnar store, and optional codebooks.
+///
+/// Preparation (voxelization, store construction, VQ training) happens
+/// offline in the paper; the per-frame work is [`StreamingScene::render`],
+/// whose intermediate buffers and worker threads persist across frames
+/// (zero-alloc steady state; the returned image/workload/ledger are the
+/// caller-owned outputs).
 #[derive(Debug)]
 pub struct StreamingScene {
     grid: VoxelGrid,
     source: GaussianCloud,
-    decoded: Option<GaussianCloud>,
+    store: VoxelStore,
     quant: Option<QuantizedCloud>,
     config: StreamingConfig,
     scratch: Mutex<StreamScratch>,
@@ -203,7 +231,7 @@ impl Clone for StreamingScene {
         StreamingScene {
             grid: self.grid.clone(),
             source: self.source.clone(),
-            decoded: self.decoded.clone(),
+            store: self.store.clone(),
             quant: self.quant.clone(),
             config: self.config,
             scratch: Mutex::new(StreamScratch::default()),
@@ -213,22 +241,23 @@ impl Clone for StreamingScene {
 
 impl StreamingScene {
     /// Prepares a cloud for streaming. Trains VQ codebooks when
-    /// `config.use_vq` is set. The configuration is normalized via
+    /// `config.use_vq` is set and builds the voxel-resident store (raw or
+    /// VQ-indexed second halves). The configuration is normalized via
     /// [`StreamingConfig::validated`].
     pub fn new(cloud: GaussianCloud, config: StreamingConfig) -> StreamingScene {
         let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
-        let (quant, decoded) = if config.use_vq {
+        let (quant, store) = if config.use_vq {
             let q = GaussianQuantizer::train(&cloud, &config.vq);
-            let d = q.decode();
-            (Some(q), Some(d))
+            let store = VoxelStore::from_quantized(&q, &grid);
+            (Some(q), store)
         } else {
-            (None, None)
+            (None, VoxelStore::from_cloud(&cloud, &grid))
         };
         StreamingScene {
             grid,
             source: cloud,
-            decoded,
+            store,
             quant,
             config,
             scratch: Mutex::new(StreamScratch::default()),
@@ -245,11 +274,11 @@ impl StreamingScene {
         config.use_vq = true;
         let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
-        let decoded = quant.decode();
+        let store = VoxelStore::from_quantized(&quant, &grid);
         StreamingScene {
             grid,
             source: cloud,
-            decoded: Some(decoded),
+            store,
             quant: Some(quant),
             config,
             scratch: Mutex::new(StreamScratch::default()),
@@ -259,6 +288,11 @@ impl StreamingScene {
     /// The voxel grid.
     pub fn grid(&self) -> &VoxelGrid {
         &self.grid
+    }
+
+    /// The voxel-resident columnar store the render phases read from.
+    pub fn store(&self) -> &VoxelStore {
+        &self.store
     }
 
     /// The configuration.
@@ -276,21 +310,41 @@ impl StreamingScene {
         self.quant.as_ref()
     }
 
-    /// DRAM bytes fetched per Gaussian in the fine phase.
-    fn fine_bytes_per_gaussian(&self) -> u64 {
-        match &self.quant {
-            Some(q) => q.fine_bytes_per_gaussian(),
-            None => gs_scene::gaussian::FINE_BYTES_RAW as u64,
-        }
-    }
-
-    /// Renders one frame.
+    /// Renders one frame. The coarse and fine phases read **only** from the
+    /// voxel-resident [`VoxelStore`]; every fetch is metered through the
+    /// rendering worker's [`TrafficLedger`] and the merged frame ledger is
+    /// returned in the output.
     ///
     /// All intermediate buffers (group pixel partials, per-chunk DDA /
-    /// filter / blend scratch) live in a frame arena and the group workers
-    /// run on a persistent pool, both reused across frames: steady-state
-    /// rendering allocates only the returned image/workload.
+    /// filter / blend scratch, per-worker ledgers) live in a frame arena
+    /// and the group workers run on a persistent pool, both reused across
+    /// frames: steady-state rendering allocates only the returned
+    /// image/workload.
     pub fn render(&self, cam: &Camera) -> StreamingOutput {
+        self.render_frame(cam, &FetchPath::Store)
+    }
+
+    /// Byte-exactness reference twin of [`StreamingScene::render`]: fetches
+    /// Gaussian data from the in-memory clouds (decoding the whole cloud
+    /// first when VQ is enabled) instead of the store's columns, the way
+    /// the pre-store renderer did. Because the store's decodes are
+    /// bit-exact, this must produce identical images, workloads and
+    /// ledgers — `tests/store_ledger.rs` asserts it on every scene kind.
+    /// Not a steady-state path (the VQ decode allocates a full cloud per
+    /// call); use it for validation only.
+    pub fn render_cloud_twin(&self, cam: &Camera) -> StreamingOutput {
+        let decoded;
+        let render = match &self.quant {
+            Some(q) => {
+                decoded = q.decode();
+                &decoded
+            }
+            None => &self.source,
+        };
+        self.render_frame(cam, &FetchPath::CloudTwin { render })
+    }
+
+    fn render_frame(&self, cam: &Camera, path: &FetchPath<'_>) -> StreamingOutput {
         let width = cam.width();
         let height = cam.height();
         let gsz = self.config.group_size;
@@ -321,12 +375,13 @@ impl StreamingScene {
         if chunks <= 1 {
             let group_scratch = &mut scratch.groups[0];
             group_scratch.violating.clear();
+            group_scratch.ledger.clear();
             for t in 0..n_groups {
                 let gx = t as u32 % groups_x;
                 let gy = t as u32 / groups_x;
                 let pixels = &mut scratch.pixels[t * gp..(t + 1) * gp];
                 let (w, vb) =
-                    self.render_group_into(cam, gx, gy, width, height, group_scratch, pixels);
+                    self.render_group_into(cam, gx, gy, width, height, path, group_scratch, pixels);
                 scratch.workloads[t] = w;
                 scratch.vblends[t] = vb;
             }
@@ -349,6 +404,7 @@ impl StreamingScene {
                 // finish.
                 let group_scratch = unsafe { &mut *(gs_base as *mut GroupScratch).add(c) };
                 group_scratch.violating.clear();
+                group_scratch.ledger.clear();
                 if lo >= hi {
                     return;
                 }
@@ -368,8 +424,16 @@ impl StreamingScene {
                     let gx = t as u32 % groups_x;
                     let gy = t as u32 / groups_x;
                     let buf = &mut pixels[(t - lo) * gp..(t - lo + 1) * gp];
-                    let (w, vb) =
-                        self.render_group_into(cam, gx, gy, width, height, group_scratch, buf);
+                    let (w, vb) = self.render_group_into(
+                        cam,
+                        gx,
+                        gy,
+                        width,
+                        height,
+                        path,
+                        group_scratch,
+                        buf,
+                    );
                     workloads[t - lo] = w;
                     vblends[t - lo] = vb;
                 }
@@ -409,15 +473,23 @@ impl StreamingScene {
             violations.violating_blends += scratch.vblends[t];
             violations.total_blends += scratch.workloads[t].blend_fragments;
         }
+        // Merge the per-worker ledgers in deterministic chunk order — the
+        // frame's single source of byte truth (the per-tile byte counters
+        // above were derived from the same per-worker ledgers, so totals
+        // agree exactly).
+        let mut ledger = TrafficLedger::new();
         for chunk_scratch in &scratch.groups[..chunks] {
             for &gi in &chunk_scratch.violating {
                 violations.flags[gi as usize] = true;
             }
+            ledger.merge(&chunk_scratch.ledger);
         }
+        debug_assert_eq!(ledger.total(), workload.dram_bytes());
         StreamingOutput {
             image,
             workload,
             violations,
+            ledger,
         }
     }
 
@@ -433,9 +505,11 @@ impl StreamingScene {
     }
 
     /// Renders one pixel group into `pixels` (a `group_size²` buffer from
-    /// the frame arena), using `scratch`'s reusable buffers. Returns the
-    /// group's workload and its out-of-order blend count; violating
-    /// Gaussian ids are appended to `scratch.violating`.
+    /// the frame arena), using `scratch`'s reusable buffers; all Gaussian
+    /// fetches go through `path` and are metered into `scratch.ledger`.
+    /// Returns the group's workload (byte counters derived from the
+    /// ledger's deltas over this group) and its out-of-order blend count;
+    /// violating Gaussian ids are appended to `scratch.violating`.
     #[allow(clippy::too_many_arguments)]
     fn render_group_into(
         &self,
@@ -444,6 +518,7 @@ impl StreamingScene {
         gy: u32,
         width: u32,
         height: u32,
+        path: &FetchPath<'_>,
         scratch: &mut GroupScratch,
         pixels: &mut [Vec3],
     ) -> (TileWorkload, u64) {
@@ -462,7 +537,13 @@ impl StreamingScene {
             splats,
             blend,
             violating,
+            ledger,
         } = scratch;
+        // The worker ledger accumulates across groups; this group's byte
+        // counters are the deltas over these baselines.
+        let base_coarse = ledger.get(Stage::VoxelCoarse, Direction::Read);
+        let base_fine = ledger.get(Stage::VoxelFine, Direction::Read);
+        let base_pixel = ledger.get(Stage::PixelOut, Direction::Write);
 
         // --- VSU: ray sampling + voxel ordering --------------------------
         let (dx, dy, dz) = self.grid.dims();
@@ -511,9 +592,8 @@ impl StreamingScene {
         w.order_ops = order_stats.ops;
 
         // --- per-voxel streaming ------------------------------------------
-        let fine_bpg = self.fine_bytes_per_gaussian();
-        let coarse_bpg = gs_scene::gaussian::COARSE_BYTES as u64;
-        let render_cloud: &GaussianCloud = self.decoded.as_ref().unwrap_or(&self.source);
+        let fine_bpg = self.store.fine_bytes_per_gaussian();
+        let coarse_bpg = self.store.coarse_bytes_per_gaussian();
 
         blend.reset(rect, gsz, self.config.voxel_size);
         mask.clear();
@@ -547,31 +627,56 @@ impl StreamingScene {
             if !any_live {
                 continue;
             }
-            let gaussians = self.grid.gaussians_of(vid);
-            let count = gaussians.len() as u64;
+            let count = self.store.slots_of(vid).len() as u64;
             w.voxels_processed += 1;
             w.gaussians_streamed += count;
 
-            // Phase 1: coarse filter (16 B/Gaussian fetch).
+            // Phase 1: coarse filter — streams the voxel's first-half
+            // column (16 B/Gaussian burst, metered by the fetch).
+            // Survivors are store *slots* (voxel-contiguous positions);
+            // `store.id_of` maps a slot back to its global Gaussian id.
             survivors.clear();
-            w.coarse_bytes += count * coarse_bpg;
-            if self.config.use_coarse_filter {
-                survivors.extend(gaussians.iter().copied().filter(|&gi| {
-                    let g = &self.source.as_slice()[gi as usize];
-                    coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
-                }));
-            } else {
-                // No CGF: the whole record is streamed for every Gaussian.
-                survivors.extend_from_slice(gaussians);
+            match path {
+                FetchPath::Store => {
+                    let column = self.store.fetch_coarse(vid, ledger);
+                    if self.config.use_coarse_filter {
+                        survivors.extend(column.filter_map(|(slot, pos, s_max)| {
+                            coarse_test(cam, pos, s_max, &rect).map(|_| slot)
+                        }));
+                    } else {
+                        // No CGF: the whole record is streamed for every
+                        // Gaussian.
+                        survivors.extend(column.map(|(slot, _, _)| slot));
+                    }
+                }
+                FetchPath::CloudTwin { .. } => {
+                    ledger.add(Stage::VoxelCoarse, Direction::Read, count * coarse_bpg);
+                    let slots = self.store.slots_of(vid);
+                    if self.config.use_coarse_filter {
+                        survivors.extend(slots.filter(|&slot| {
+                            let g = &self.source.as_slice()[self.store.id_of(slot) as usize];
+                            coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
+                        }));
+                    } else {
+                        survivors.extend(slots);
+                    }
+                }
             }
             w.coarse_survivors += survivors.len() as u64;
-            w.fine_bytes += survivors.len() as u64 * fine_bpg;
 
-            // Phase 2: fine filter on the (possibly decoded) parameters.
+            // Phase 2: fine filter — fetches (and for VQ, decodes) each
+            // survivor's second-half record, metered per record.
             splats.clear();
-            splats.extend(survivors.iter().filter_map(|&gi| {
-                let g = &render_cloud.as_slice()[gi as usize];
-                fine_test(cam, g, &rect, self.config.sh_degree).map(|s| (gi, s))
+            splats.extend(survivors.iter().filter_map(|&slot| {
+                let gi = self.store.id_of(slot);
+                let g: Gaussian = match path {
+                    FetchPath::Store => self.store.fetch_fine(slot, ledger),
+                    FetchPath::CloudTwin { render } => {
+                        ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
+                        render.as_slice()[gi as usize].clone()
+                    }
+                };
+                fine_test(cam, &g, &rect, self.config.sh_degree).map(|s| (gi, s))
             }));
             w.fine_survivors += splats.len() as u64;
             w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
@@ -595,9 +700,15 @@ impl StreamingScene {
             }
         }
 
-        // Final pixel writeback (RGBA f32).
+        // Final pixel writeback (RGBA f32), metered like every other byte.
         let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
-        w.pixel_bytes += live_pixels * 16;
+        ledger.add(Stage::PixelOut, Direction::Write, live_pixels * 16);
+
+        // The group's byte counters are read back from the ledger — the
+        // ledger is the source of truth, the workload a per-tile view.
+        w.coarse_bytes = ledger.get(Stage::VoxelCoarse, Direction::Read) - base_coarse;
+        w.fine_bytes = ledger.get(Stage::VoxelFine, Direction::Read) - base_fine;
+        w.pixel_bytes = ledger.get(Stage::PixelOut, Direction::Write) - base_pixel;
 
         blend.finish(self.config.background, pixels);
         (w, violating_blends)
@@ -645,6 +756,10 @@ struct GroupScratch {
     blend: GroupBlender,
     /// Gaussians blended out of depth order (accumulated per chunk).
     violating: Vec<u32>,
+    /// This worker's traffic ledger: every store fetch and pixel writeback
+    /// of its groups, merged into the frame ledger (in chunk order) after
+    /// the parallel section — byte accounting without a shared lock.
+    ledger: TrafficLedger,
 }
 
 struct FragOutcome {

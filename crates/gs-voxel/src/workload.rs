@@ -1,5 +1,13 @@
 //! Workload records the streaming pipeline emits for the accelerator model.
+//!
+//! The byte counters (`coarse_bytes`, `fine_bytes`, `pixel_bytes`) are
+//! *derived* from the frame's [`TrafficLedger`] stages — the renderer
+//! meters every store fetch and pixel writeback into per-worker ledgers
+//! and reads the per-tile counters back out of them, so ledger totals and
+//! workload totals agree exactly by construction. [`FrameWorkload::to_ledger`]
+//! converts in the other direction (e.g. after workload extrapolation).
 
+use gs_mem::{Direction, Stage, TrafficLedger};
 use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
@@ -113,6 +121,22 @@ impl FrameWorkload {
     pub fn dram_bytes(&self) -> u64 {
         self.totals().dram_bytes()
     }
+
+    /// Rebuilds the frame's per-stage traffic ledger from the byte
+    /// counters (coarse/fine reads + pixel writes).
+    ///
+    /// For a freshly rendered frame this equals the measured ledger the
+    /// renderer returns (the counters are derived from it); use this for
+    /// *derived* workloads — extrapolated, synthetic or deserialized —
+    /// where no measured ledger exists.
+    pub fn to_ledger(&self) -> TrafficLedger {
+        let t = self.totals();
+        let mut l = TrafficLedger::new();
+        l.add(Stage::VoxelCoarse, Direction::Read, t.coarse_bytes);
+        l.add(Stage::VoxelFine, Direction::Read, t.fine_bytes);
+        l.add(Stage::PixelOut, Direction::Write, t.pixel_bytes);
+        l
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +181,27 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(w.dram_bytes(), 175);
+    }
+
+    #[test]
+    fn to_ledger_mirrors_byte_counters() {
+        let mut f = FrameWorkload::default();
+        f.tiles.push(TileWorkload {
+            coarse_bytes: 160,
+            fine_bytes: 440,
+            pixel_bytes: 64,
+            ..Default::default()
+        });
+        f.tiles.push(TileWorkload {
+            coarse_bytes: 32,
+            fine_bytes: 13,
+            pixel_bytes: 16,
+            ..Default::default()
+        });
+        let l = f.to_ledger();
+        assert_eq!(l.get(Stage::VoxelCoarse, Direction::Read), 192);
+        assert_eq!(l.get(Stage::VoxelFine, Direction::Read), 453);
+        assert_eq!(l.get(Stage::PixelOut, Direction::Write), 80);
+        assert_eq!(l.total(), f.dram_bytes());
     }
 }

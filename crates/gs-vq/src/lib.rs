@@ -35,4 +35,4 @@ pub mod quantizer;
 
 pub use codebook::Codebook;
 pub use kmeans::{kmeans, KmeansResult};
-pub use quantizer::{GaussianQuantizer, QuantizedCloud, VqConfig};
+pub use quantizer::{FeatureCodebooks, GaussianQuantizer, QuantRecord, QuantizedCloud, VqConfig};

@@ -117,6 +117,102 @@ impl FeatureCodebooks {
             + self.dc.bytes()
             + self.sh.iter().map(Codebook::bytes).sum::<u64>()
     }
+
+    /// DRAM bytes of one serialized index record (the "second half" a
+    /// VQ-backed store keeps per Gaussian): one narrow index per codebook
+    /// plus the uniform opacity byte.
+    pub fn record_bytes(&self) -> u64 {
+        self.scale.index_bytes()
+            + self.rot.index_bytes()
+            + self.dc.index_bytes()
+            + self.sh.iter().map(Codebook::index_bytes).sum::<u64>()
+            + 1 // opacity byte
+    }
+
+    /// Appends the DRAM byte image of `r` to `out`: each codebook index at
+    /// its narrow width (1 B for ≤ 256 entries, else 2 B little-endian),
+    /// then the opacity byte — exactly [`Self::record_bytes`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index does not fit its codebook's narrow width
+    /// (i.e. a codebook with more than 65536 entries) — silently wrapping
+    /// would break the byte codec's losslessness guarantee.
+    pub fn write_record(&self, r: &QuantRecord, out: &mut Vec<u8>) {
+        let put = |out: &mut Vec<u8>, idx: u32, width: u64| {
+            assert!(
+                idx < 1u32 << (8 * width as u32),
+                "codebook index {idx} overflows its {width}-byte record slot"
+            );
+            match width {
+                1 => out.push(idx as u8),
+                _ => out.extend_from_slice(&(idx as u16).to_le_bytes()),
+            }
+        };
+        put(out, r.scale, self.scale.index_bytes());
+        put(out, r.rot, self.rot.index_bytes());
+        put(out, r.dc, self.dc.index_bytes());
+        for (b, cb) in self.sh.iter().enumerate() {
+            put(out, r.sh[b], cb.index_bytes());
+        }
+        out.push(r.opacity_q);
+    }
+
+    /// Decodes a [`Self::write_record`] byte image back to the record,
+    /// bit-exactly (indices are always `< 65536`, so the narrow widths are
+    /// lossless).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is shorter than [`Self::record_bytes`].
+    pub fn read_record(&self, bytes: &[u8]) -> QuantRecord {
+        let mut at = 0usize;
+        let mut get = |width: u64| -> u32 {
+            let v = match width {
+                1 => bytes[at] as u32,
+                _ => u16::from_le_bytes([bytes[at], bytes[at + 1]]) as u32,
+            };
+            at += width as usize;
+            v
+        };
+        let scale = get(self.scale.index_bytes());
+        let rot = get(self.rot.index_bytes());
+        let dc = get(self.dc.index_bytes());
+        let mut sh = [0u32; 3];
+        for (b, cb) in self.sh.iter().enumerate() {
+            sh[b] = get(cb.index_bytes());
+        }
+        let opacity_q = bytes[at];
+        QuantRecord {
+            scale,
+            rot,
+            dc,
+            sh,
+            opacity_q,
+        }
+    }
+
+    /// Decodes one index record into a full Gaussian, given the
+    /// uncompressed first half's position. This is **the** decode path:
+    /// [`QuantizedCloud::decode_one`] and any store fetching records from
+    /// DRAM both go through it, so their outputs are bit-identical.
+    pub fn decode_record(&self, pos: Vec3, r: &QuantRecord) -> Gaussian {
+        let scale = scale_from_feature(self.scale.decode(r.scale));
+        let q = self.rot.decode(r.rot);
+        let rot = Quat::new(q[0], q[1], q[2], q[3]).normalized();
+        let mut sh = [0.0f32; gs_core::sh::SH_COEFFS];
+        sh[0..3].copy_from_slice(self.dc.decode(r.dc));
+        for (b, range) in SH_BAND_RANGES.iter().enumerate() {
+            sh[range.clone()].copy_from_slice(self.sh[b].decode(r.sh[b]));
+        }
+        Gaussian {
+            pos,
+            scale,
+            rot,
+            opacity: r.opacity_q as f32 / 255.0,
+            sh,
+        }
+    }
 }
 
 /// SH float ranges of bands 1–3 in the 48-float coefficient array.
@@ -235,25 +331,11 @@ impl QuantizedCloud {
     }
 
     /// Decodes Gaussian `i` (position and the coarse max-scale come from the
-    /// uncompressed first half; everything else from the codebooks).
+    /// uncompressed first half; everything else from the codebooks, via
+    /// [`FeatureCodebooks::decode_record`]).
     pub fn decode_one(&self, i: usize) -> Gaussian {
         let (pos, _s_max) = self.coarse[i];
-        let r = &self.records[i];
-        let scale = scale_from_feature(self.codebooks.scale.decode(r.scale));
-        let q = self.codebooks.rot.decode(r.rot);
-        let rot = Quat::new(q[0], q[1], q[2], q[3]).normalized();
-        let mut sh = [0.0f32; gs_core::sh::SH_COEFFS];
-        sh[0..3].copy_from_slice(self.codebooks.dc.decode(r.dc));
-        for (b, range) in SH_BAND_RANGES.iter().enumerate() {
-            sh[range.clone()].copy_from_slice(self.codebooks.sh[b].decode(r.sh[b]));
-        }
-        Gaussian {
-            pos,
-            scale,
-            rot,
-            opacity: r.opacity_q as f32 / 255.0,
-            sh,
-        }
+        self.codebooks.decode_record(pos, &self.records[i])
     }
 
     /// Decodes the whole cloud.
@@ -263,16 +345,7 @@ impl QuantizedCloud {
 
     /// DRAM bytes of one Gaussian's *fine* (second-half) record.
     pub fn fine_bytes_per_gaussian(&self) -> u64 {
-        self.codebooks.scale.index_bytes()
-            + self.codebooks.rot.index_bytes()
-            + self.codebooks.dc.index_bytes()
-            + self
-                .codebooks
-                .sh
-                .iter()
-                .map(Codebook::index_bytes)
-                .sum::<u64>()
-            + 1 // opacity byte
+        self.codebooks.record_bytes()
     }
 
     /// Fraction of second-half traffic removed vs. the raw 220 B
@@ -391,6 +464,30 @@ mod tests {
         for (g, r) in cloud.iter().zip(&q.records) {
             let back = r.opacity_q as f32 / 255.0;
             assert!((back - g.opacity).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn record_byte_codec_roundtrips() {
+        let (_, q) = quantized();
+        let mut buf = Vec::new();
+        for r in &q.records {
+            buf.clear();
+            q.codebooks.write_record(r, &mut buf);
+            assert_eq!(buf.len() as u64, q.codebooks.record_bytes());
+            assert_eq!(q.codebooks.read_record(&buf), *r);
+        }
+    }
+
+    #[test]
+    fn decode_record_matches_decode_one() {
+        let (_, q) = quantized();
+        for i in 0..q.len() {
+            let (pos, _) = q.coarse[i];
+            assert_eq!(
+                q.codebooks.decode_record(pos, &q.records[i]),
+                q.decode_one(i)
+            );
         }
     }
 

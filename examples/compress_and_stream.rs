@@ -66,20 +66,30 @@ fn main() -> Result<(), Box<dyn Error>> {
         decoded_psnr(&tuned_quant, &targets)
     );
 
-    // Stream the compressed scene.
+    // Stream the compressed scene out of its voxel-resident columnar
+    // store; every fetch is metered through the frame's traffic ledger.
     let streaming = StreamingScene::with_quantization(
         tuned_cloud,
         tuned_quant,
         StreamingConfig::full(scene.voxel_size, vq),
     );
-    let out = streaming.render(&scene.eval_cameras[0]);
-    let totals = out.workload.totals();
+    let store = streaming.store();
     println!(
-        "streamed frame: {:.2} MB coarse + {:.2} MB fine indices + {:.2} MB pixels",
-        totals.coarse_bytes as f64 / 1e6,
-        totals.fine_bytes as f64 / 1e6,
-        totals.pixel_bytes as f64 / 1e6
+        "voxel store: {} voxels, {:.2} MB coarse column + {:.2} MB index column",
+        store.voxel_count(),
+        store.coarse_column_bytes() as f64 / 1e6,
+        store.fine_column_bytes() as f64 / 1e6
     );
+    let out = streaming.render(&scene.eval_cameras[0]);
+    println!("measured DRAM ledger for one streamed frame:");
+    for (stage, dir, bytes) in out.ledger.iter() {
+        println!(
+            "  {:>12} {dir:?}: {:.3} MB",
+            stage.to_string(),
+            bytes as f64 / 1e6
+        );
+    }
+    assert_eq!(out.ledger.total(), out.workload.dram_bytes());
     out.image.write_ppm("compress_and_stream.ppm")?;
     println!("wrote compress_and_stream.ppm");
     Ok(())

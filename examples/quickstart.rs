@@ -50,8 +50,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         100.0 * totals.filter_kill_rate()
     );
     println!(
-        "streaming DRAM traffic: {:.2} MB vs tile-centric intermediate-heavy pipeline",
-        totals.dram_bytes() as f64 / 1e6
+        "streaming DRAM traffic (measured ledger): {:.2} MB vs tile-centric \
+         intermediate-heavy pipeline",
+        out.ledger.total() as f64 / 1e6
     );
 
     // 4. The two pipelines agree up to voxel-ordering artifacts.

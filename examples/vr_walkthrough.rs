@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let ref_out = renderer.render(&scene.trained, cam);
         let gpu_report = gpu.evaluate(&ref_out.stats);
         let stream_out = streaming.render(cam);
-        let sgs_report = accel.evaluate(&stream_out.workload);
+        // DRAM time/energy priced from the frame's measured traffic ledger.
+        let sgs_report = accel.evaluate_measured(&stream_out.workload, &stream_out.ledger);
         gpu_total += gpu_report.seconds;
         sgs_total += sgs_report.seconds;
         println!(

@@ -54,7 +54,8 @@ fn hardware_model_ordering_is_stable() {
             StreamingConfig::full(scene.voxel_size, VqConfig::tiny()),
         )
         .render(cam);
-        let sgs = StreamingGsModel::default().evaluate(&stream_out.workload);
+        let sgs =
+            StreamingGsModel::default().evaluate_measured(&stream_out.workload, &stream_out.ledger);
 
         assert!(
             gscore.seconds < gpu.seconds,
@@ -174,4 +175,7 @@ fn vq_pipeline_bytes_add_up() {
     let t = out.workload.totals();
     assert_eq!(t.fine_bytes, t.coarse_survivors * record);
     assert_eq!(t.coarse_bytes, t.gaussians_streamed * 16);
+    // And the measured ledger is the same truth, stage by stage.
+    assert_eq!(out.ledger, out.workload.to_ledger());
+    assert_eq!(out.ledger.total(), out.workload.dram_bytes());
 }
