@@ -18,6 +18,13 @@ use gs_render::{RenderStats, StageTraffic};
 /// Per-fragment blend cost in MACs.
 const BLEND_MACS: u64 = 20;
 
+/// Bytes of one fp16 feature record in GSCore's layout.
+const FEATURE_BYTES: u64 = 20;
+
+/// Bytes of one render-stage gather: a 32-bit sorted index plus its
+/// feature record — fetched individually per consumed entry.
+const RENDER_ENTRY_BYTES: u64 = 4 + FEATURE_BYTES;
+
 /// The GSCore model.
 #[derive(Clone, Debug)]
 pub struct GscoreModel {
@@ -48,24 +55,45 @@ impl Default for GscoreModel {
 /// written once, instead of the GPU's multi-pass radix round-trips.
 pub fn gscore_traffic(stats: &RenderStats) -> StageTraffic {
     let param_bytes = (gs_core::GAUSSIAN_PARAMS as u64) * 2; // fp16
-    let feature_bytes = 20; // fp16 features
     let pair = 8; // 32-bit key + 32-bit payload
     StageTraffic {
         projection_read: stats.total_gaussians * param_bytes,
-        projection_write: stats.visible_gaussians * feature_bytes + stats.tile_pairs * pair,
+        projection_write: stats.visible_gaussians * FEATURE_BYTES + stats.tile_pairs * pair,
         sorting_read: stats.tile_pairs * pair,
         sorting_write: stats.tile_pairs * 4, // sorted index list
-        rendering_read: stats.consumed_entries * (4 + feature_bytes),
+        rendering_read: stats.consumed_entries * RENDER_ENTRY_BYTES,
         rendering_write: stats.pixels * 8, // fp16 RGBA
     }
 }
 
 impl GscoreModel {
-    /// Frame latency/energy from tile-centric workload statistics.
+    /// [`gscore_traffic`] as DRAM *transactions*: sequential stage streams
+    /// coalesce into long bursts (rounded once per stream, a negligible
+    /// correction), but the render stage gathers each sorted entry
+    /// individually, so its reads are priced one burst-rounded
+    /// transaction per consumed entry. Pre-PR-4 the 24 B entry gather was
+    /// priced at raw demand bytes, understating it by a third at 32 B
+    /// bursts.
+    pub fn rounded_traffic(&self, stats: &RenderStats) -> StageTraffic {
+        let t = gscore_traffic(stats);
+        let r = |b| self.dram.burst_round(b);
+        StageTraffic {
+            projection_read: r(t.projection_read),
+            projection_write: r(t.projection_write),
+            sorting_read: r(t.sorting_read),
+            sorting_write: r(t.sorting_write),
+            rendering_read: stats.consumed_entries * r(RENDER_ENTRY_BYTES),
+            rendering_write: r(t.rendering_write),
+        }
+    }
+
+    /// Frame latency/energy from tile-centric workload statistics, with
+    /// DRAM time/energy priced from burst-rounded transactions
+    /// ([`GscoreModel::rounded_traffic`]).
     pub fn evaluate(&self, stats: &RenderStats) -> PerfReport {
         let c = &self.config;
         let clock_hz = c.clock_ghz * 1e9;
-        let traffic = gscore_traffic(stats);
+        let traffic = self.rounded_traffic(stats);
         let bw = self.dram.bandwidth() * c.dram_efficiency;
 
         // Stage compute cycles.
@@ -148,11 +176,32 @@ mod tests {
     fn traffic_matches_gscore_model_and_beats_gpu_traffic() {
         let m = GscoreModel::default();
         let r = m.evaluate(&stats());
-        let t = gscore_traffic(&stats());
+        let t = m.rounded_traffic(&stats());
         assert_eq!(r.dram_bytes, t.total());
         // On-chip sorting + fp16 must move far less than the GPU pipeline.
         let gpu = gs_render::tile_centric_traffic(&stats(), &gs_render::TrafficModel::default());
         assert!(t.total() * 3 < gpu.total());
+    }
+
+    #[test]
+    fn render_gather_is_priced_per_burst_rounded_entry() {
+        let m = GscoreModel::default();
+        let s = stats();
+        let demand = gscore_traffic(&s);
+        let rounded = m.rounded_traffic(&s);
+        // Each gathered entry costs one whole burst.
+        assert_eq!(
+            demand.rendering_read,
+            s.consumed_entries * RENDER_ENTRY_BYTES
+        );
+        assert_eq!(
+            rounded.rendering_read,
+            s.consumed_entries * m.dram.burst_round(RENDER_ENTRY_BYTES)
+        );
+        assert!(rounded.rendering_read > demand.rendering_read);
+        // Sequential streams round once: at most one burst of slack each.
+        assert!(rounded.projection_read - demand.projection_read < m.dram.burst_bytes);
+        assert!(rounded.total() > demand.total());
     }
 
     #[test]

@@ -109,7 +109,19 @@ impl StreamingGsModel {
         // from the recorded count).
         let vsu = w.dda_steps as f64 / (c.vsu_lanes * c.n_vsu) as f64
             + w.order_ops as f64 / (c.order_ops_per_cycle * c.n_vsu as f64);
-        let fetch = (w.coarse_bytes + w.fine_bytes) as f64 / bytes_per_cycle;
+        // The streaming stage moves DRAM *transactions*: burst-rounded,
+        // and only cache misses when the renderer's working-set cache is
+        // enabled (hits come from on-chip SRAM in the stage's shadow).
+        // Workloads that predate transaction accounting get the same
+        // per-tile synthesis `FrameWorkload::to_ledger` prices energy
+        // from, so one report never mixes two byte counts.
+        let fetch_bytes = if w.has_transaction_accounting() {
+            w.coarse_dram_bytes + w.fine_dram_bytes
+        } else {
+            let (coarse, fine, _) = w.synthesized_dram_bytes();
+            coarse + fine
+        };
+        let fetch = fetch_bytes as f64 / bytes_per_cycle;
         let coarse = w.gaussians_streamed as f64 * c.cfu_ii / c.total_cfus() as f64;
         let fine = w.coarse_survivors as f64 * c.ffu_ii / c.total_ffus() as f64;
         let sort = w.fine_survivors as f64 / (c.sorter_elems_per_cycle * c.n_sorters as f64);
@@ -139,6 +151,14 @@ impl StreamingGsModel {
     /// Frame latency/energy with DRAM time and energy priced from
     /// **measured** ledger traffic (the streaming renderer's merged
     /// per-worker ledger) instead of modeled byte estimates.
+    ///
+    /// DRAM is priced from the ledger's **transaction** counters: each
+    /// transfer burst-rounded at the metering site, and only cache-miss
+    /// fills when the renderer's working-set cache is enabled (a 13 B VQ
+    /// index record really costs a whole 32 B burst; pre-PR-4 this priced
+    /// raw demand bytes and understated every sub-burst transfer).
+    /// Cache-hit bytes are priced as SRAM traffic. Legacy ledgers without
+    /// transaction accounting fall back to demand bytes.
     pub fn evaluate_measured(&self, frame: &FrameWorkload, ledger: &TrafficLedger) -> PerfReport {
         let mut cycles = 0.0f64;
         for t in &frame.tiles {
@@ -148,19 +168,27 @@ impl StreamingGsModel {
         let totals = frame.totals();
         let seconds = cycles / (self.config.clock_ghz * 1e9);
 
-        let dram_bytes = ledger.total();
         debug_assert_eq!(
-            dram_bytes,
+            ledger.total(),
             totals.dram_bytes(),
-            "ledger and workload byte counters diverged"
+            "ledger and workload demand counters diverged"
         );
+        let dram_bytes = if ledger.has_dram_accounting() {
+            ledger.dram_total()
+        } else {
+            ledger.total()
+        };
         let macs = totals.gaussians_streamed * COARSE_FILTER_MACS
             + totals.coarse_survivors * FINE_FILTER_MACS
             + totals.blend_lanes * BLEND_MACS
             + totals.dda_steps; // VSU datapath ops
                                 // Every DRAM byte lands in SRAM and is read at least once; filter
-                                // survivors bounce through the FIFO/sort/render buffers.
-        let sram_bytes = 2 * dram_bytes + totals.fine_survivors * 40 * 3 + totals.blend_lanes * 8;
+                                // survivors bounce through the FIFO/sort/render buffers, and
+                                // working-set cache hits are on-chip reads.
+        let sram_bytes = 2 * dram_bytes
+            + ledger.hit_total()
+            + totals.fine_survivors * 40 * 3
+            + totals.blend_lanes * 8;
 
         let energy = EnergyBreakdown::new(
             macs as f64 * self.energy.mac_pj,
@@ -278,6 +306,65 @@ mod tests {
         assert_eq!(a.seconds, b.seconds);
         assert_eq!(a.dram_bytes, b.dram_bytes);
         assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn sub_burst_records_are_priced_as_whole_bursts() {
+        use gs_mem::{Direction, Stage};
+        // The regression the rounding fix exists for: a 13 B VQ index
+        // record is one scattered DRAM transaction and really moves a
+        // whole 32 B burst. The pre-fix model priced raw ledger bytes and
+        // understated fine traffic by ~59 %.
+        let m = StreamingGsModel::default();
+        let survivors = 1_000u64;
+        let f = frame(vec![tile(4_000, survivors)]); // fine_bytes = 13 B/record
+        let ledger = f.to_ledger();
+        assert_eq!(
+            ledger.get(Stage::VoxelFine, Direction::Read),
+            survivors * 13,
+            "demand stays at the raw record width"
+        );
+        assert_eq!(
+            ledger.dram(Stage::VoxelFine, Direction::Read),
+            survivors * m.dram.burst_round(13),
+            "each sub-burst record must be priced as one whole burst"
+        );
+        let r = m.evaluate(&f);
+        assert_eq!(r.dram_bytes, ledger.dram_total());
+        assert!(
+            r.dram_bytes > f.dram_bytes(),
+            "burst-rounded transactions must exceed raw demand bytes"
+        );
+        // And the measured path prices identically from the same ledger.
+        assert_eq!(m.evaluate_measured(&f, &ledger).dram_bytes, r.dram_bytes);
+    }
+
+    #[test]
+    fn cached_workloads_price_only_miss_traffic() {
+        use gs_mem::{Direction, Stage};
+        let m = StreamingGsModel::default();
+        let mut w = tile(4_000, 1_000);
+        // Pretend a warm working-set cache: most coarse demand hits.
+        w.coarse_dram_bytes = 2_048; // burst-rounded fills
+        w.coarse_hit_bytes = w.coarse_bytes - 1_600;
+        w.fine_dram_bytes = 1_000 * 32;
+        w.pixel_dram_bytes = 4_096;
+        let uncached = tile(4_000, 1_000);
+        let fw = frame(vec![w]);
+        let fu = frame(vec![uncached]);
+        let (rw, ru) = (m.evaluate(&fw), m.evaluate(&fu));
+        assert!(
+            rw.dram_bytes < ru.dram_bytes,
+            "cache hits must reduce priced DRAM bytes"
+        );
+        let lw = fw.to_ledger();
+        assert_eq!(
+            lw.hit(Stage::VoxelCoarse, Direction::Read),
+            w.coarse_hit_bytes
+        );
+        assert_eq!(rw.dram_bytes, lw.dram_total());
+        // The cached tile's streaming-fetch term shrinks with it.
+        assert!(m.tile_cycles(&w).fetch < m.tile_cycles(&uncached).fetch);
     }
 
     #[test]

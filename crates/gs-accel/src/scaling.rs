@@ -106,6 +106,14 @@ pub fn scale_frame_workload(frame: &FrameWorkload, f: &ScaleFactors) -> FrameWor
             coarse_bytes: s(t.coarse_bytes, g),
             fine_bytes: s(t.fine_bytes, g),
             pixel_bytes: t.pixel_bytes,
+            // DRAM transaction / hit bytes scale with their demand
+            // counterparts (per-transfer rounding is preserved only
+            // approximately under extrapolation, like every other counter).
+            coarse_dram_bytes: s(t.coarse_dram_bytes, g),
+            fine_dram_bytes: s(t.fine_dram_bytes, g),
+            pixel_dram_bytes: t.pixel_dram_bytes,
+            coarse_hit_bytes: s(t.coarse_hit_bytes, g),
+            fine_hit_bytes: s(t.fine_hit_bytes, g),
         })
         .collect::<Vec<_>>();
     // Tile count itself scales with pixels: replicate tiles cyclically.

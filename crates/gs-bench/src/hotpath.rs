@@ -163,9 +163,12 @@ pub fn parse_report(line: &str) -> Option<HotpathReport> {
 /// Loads the persisted report: the path in `$HOTPATH_JSON` when set, else
 /// `BENCH_hotpath.json` in the working directory or up to two parents
 /// (cargo runs benches with the package dir as cwd, while CI writes the
-/// file at the workspace root). Returns `None` (silently) when nothing is
-/// found or parsing fails — the figure benches then print their modeled
-/// tables without the measured column.
+/// file at the workspace root). Returns `None` when nothing is found; when
+/// a candidate file *exists* but holds no parseable `HOTPATH_JSON` line, a
+/// warning naming the file goes to stderr and `None` is still returned —
+/// the figure benches then print their modeled tables without the
+/// measured column, but a stale or corrupted report no longer disappears
+/// silently.
 pub fn load_report() -> Option<HotpathReport> {
     let candidates: Vec<String> = match std::env::var("HOTPATH_JSON") {
         Ok(p) => vec![p],
@@ -175,11 +178,25 @@ pub fn load_report() -> Option<HotpathReport> {
             "../../BENCH_hotpath.json".to_string(),
         ],
     };
-    let text = candidates
+    let (path, text) = candidates
         .iter()
-        .find_map(|p| std::fs::read_to_string(p).ok())?;
-    // Accept either the bare JSON file or a full bench log.
-    text.lines().rev().find_map(parse_report)
+        .find_map(|p| std::fs::read_to_string(p).ok().map(|t| (p.as_str(), t)))?;
+    report_from_text(path, &text)
+}
+
+/// Parses a report file's contents (the bare JSON line or a full bench
+/// log), warning on stderr — with the offending path — when the file
+/// exists but no line parses.
+fn report_from_text(path: &str, text: &str) -> Option<HotpathReport> {
+    let report = text.lines().rev().find_map(parse_report);
+    if report.is_none() {
+        eprintln!(
+            "warning: hotpath report {path} exists but contains no parseable \
+             HOTPATH_JSON line ({} bytes read); ignoring it",
+            text.len()
+        );
+    }
+    report
 }
 
 #[cfg(test)]
@@ -220,5 +237,18 @@ mod tests {
         assert!(parse_report("Gnuplot not found").is_none());
         assert!(parse_report("{\"bench\":\"other\"}").is_none());
         assert!(parse_report("").is_none());
+    }
+
+    #[test]
+    fn malformed_file_contents_warn_and_fall_back_to_none() {
+        // An existing-but-unparsable report must not vanish silently: the
+        // helper warns (stderr) and keeps the `None` fallback so figure
+        // benches still print their modeled tables.
+        assert!(report_from_text("BENCH_hotpath.json", "{ truncated garbag").is_none());
+        assert!(report_from_text("BENCH_hotpath.json", "").is_none());
+        // A bench log with noise around the JSON line still parses.
+        let log = format!("Gnuplot not found\n{SAMPLE}\ntrailing noise");
+        let r = report_from_text("hotpath.log", &log).expect("log must parse");
+        assert_eq!(r.scenes.len(), 2);
     }
 }

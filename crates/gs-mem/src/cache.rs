@@ -1,0 +1,352 @@
+//! Deterministic working-set cache model for streamed voxel data.
+//!
+//! The streaming pipeline's coarse/fine fetches exhibit strong temporal
+//! locality: neighbouring pixel groups intersect overlapping voxel sets and
+//! consecutive trajectory frames revisit most of the previous frame's
+//! working set. This module models a fixed-budget on-chip cache in front of
+//! DRAM so that repeat fetches are priced as on-chip traffic instead of
+//! DRAM bursts:
+//!
+//! * [`WorkingSetCache`] — a set-associative, true-LRU cache over an
+//!   abstract byte address space (e.g. a voxel-store column's slot
+//!   offsets). Fully deterministic: outcomes depend only on the access
+//!   sequence, never on wall-clock or thread schedule.
+//! * [`CacheConfig`] — capacity / line size / associativity / DRAM burst
+//!   granularity.
+//! * [`CacheStats`] / [`CacheReport`] — per-stage hit/miss accounting; the
+//!   renderer folds the outcomes into its [`crate::TrafficLedger`] so DRAM
+//!   pricing sees only burst-rounded *fill* traffic while hits are metered
+//!   as on-chip bytes.
+//!
+//! The cache is a *model*: it never stores data, only line tags. The
+//! byte-exact data path (resident or paged store columns) is orthogonal —
+//! the cache decides what the priced hardware would have fetched from DRAM,
+//! not what the functional simulation reads.
+//!
+//! ```
+//! use gs_mem::cache::{CacheConfig, CacheStats, WorkingSetCache};
+//! let mut c = WorkingSetCache::new(CacheConfig {
+//!     capacity_bytes: 4096,
+//!     line_bytes: 64,
+//!     ways: 4,
+//!     burst_bytes: 32,
+//! });
+//! let mut stats = CacheStats::default();
+//! let cold = c.access(0, 128, &mut stats); // two cold lines
+//! assert_eq!(cold.fill_bytes, 128);
+//! let warm = c.access(0, 128, &mut stats); // same lines again: all hits
+//! assert_eq!(warm.fill_bytes, 0);
+//! assert_eq!(warm.hit_bytes, 128);
+//! assert_eq!(stats.hit_rate(), 0.5);
+//! ```
+
+use crate::dram::{round_to_burst, DEFAULT_BURST_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a [`WorkingSetCache`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total data capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line (fill-granularity) size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (lines per set). `1` = direct-mapped.
+    pub ways: u32,
+    /// DRAM burst granularity a line fill is rounded to.
+    pub burst_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    /// A modest on-chip working-set budget: 512 KiB, 64 B lines, 8-way,
+    /// LPDDR3-class 32 B bursts.
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            burst_bytes: DEFAULT_BURST_BYTES,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry (at least 1).
+    pub fn sets(&self) -> u64 {
+        (self.capacity_bytes / (self.line_bytes.max(1) * self.ways.max(1) as u64)).max(1)
+    }
+
+    /// DRAM bytes one line fill moves (the line, burst-rounded).
+    pub fn fill_bytes_per_line(&self) -> u64 {
+        round_to_burst(self.line_bytes, self.burst_bytes)
+    }
+}
+
+/// Outcome of one [`WorkingSetCache::access`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Demand bytes served by resident lines (on-chip traffic).
+    pub hit_bytes: u64,
+    /// Demand bytes that fell in missing lines.
+    pub miss_bytes: u64,
+    /// Lines filled from DRAM by this access.
+    pub fill_lines: u64,
+    /// Burst-rounded DRAM traffic of those fills.
+    pub fill_bytes: u64,
+}
+
+/// Cumulative hit/miss accounting (one instance per pipeline stage).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Line-granular lookups.
+    pub accesses: u64,
+    /// Lookups that found the line resident.
+    pub hits: u64,
+    /// Demand bytes served on-chip.
+    pub hit_bytes: u64,
+    /// Demand bytes that missed.
+    pub miss_bytes: u64,
+    /// Burst-rounded DRAM fill traffic.
+    pub fill_bytes: u64,
+}
+
+impl CacheStats {
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// `hits / accesses` (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Folds one access outcome in.
+    pub fn record(&mut self, o: &AccessOutcome, lines_touched: u64) {
+        self.accesses += lines_touched;
+        self.hits += lines_touched - o.fill_lines;
+        self.hit_bytes += o.hit_bytes;
+        self.miss_bytes += o.miss_bytes;
+        self.fill_bytes += o.fill_bytes;
+    }
+}
+
+/// Per-stage cache accounting of one rendered frame.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Coarse-half (first-column) fetches.
+    pub coarse: CacheStats,
+    /// Fine-half (second-column) fetches.
+    pub fine: CacheStats,
+}
+
+impl CacheReport {
+    /// Total burst-rounded DRAM fill traffic of both stages.
+    pub fn fill_bytes(&self) -> u64 {
+        self.coarse.fill_bytes + self.fine.fill_bytes
+    }
+
+    /// Total on-chip hit bytes of both stages.
+    pub fn hit_bytes(&self) -> u64 {
+        self.coarse.hit_bytes + self.fine.hit_bytes
+    }
+}
+
+/// A set-associative, true-LRU working-set cache over line tags.
+///
+/// The cache stores no data — only which lines are resident — so it can sit
+/// beside any byte-exact fetch path and decide how the access *would* have
+/// been serviced. All state transitions are deterministic functions of the
+/// access sequence.
+#[derive(Clone, Debug)]
+pub struct WorkingSetCache {
+    config: CacheConfig,
+    sets: u64,
+    /// Per-set MRU-first line tags (tag = global line index).
+    tags: Vec<Vec<u64>>,
+}
+
+impl WorkingSetCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> WorkingSetCache {
+        let sets = config.sets();
+        WorkingSetCache {
+            config,
+            sets,
+            tags: vec![Vec::new(); sets as usize],
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Evicts everything (e.g. between independent trajectories).
+    pub fn reset(&mut self) {
+        for s in &mut self.tags {
+            s.clear();
+        }
+    }
+
+    /// Resident lines.
+    pub fn resident_lines(&self) -> u64 {
+        self.tags.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Touches `[addr, addr + bytes)`, updating recency and filling missing
+    /// lines (evicting LRU lines of full sets), and records the outcome
+    /// into `stats`.
+    pub fn access(&mut self, addr: u64, bytes: u64, stats: &mut CacheStats) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        if bytes == 0 {
+            return out;
+        }
+        let line = self.config.line_bytes.max(1);
+        let ways = self.config.ways.max(1) as usize;
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        for l in first..=last {
+            // Demand bytes of this access that fall inside line `l`.
+            let lo = (l * line).max(addr);
+            let hi = ((l + 1) * line).min(addr + bytes);
+            let demand = hi - lo;
+            let set = &mut self.tags[(l % self.sets) as usize];
+            if let Some(pos) = set.iter().position(|&t| t == l) {
+                // Hit: bump to MRU.
+                let t = set.remove(pos);
+                set.insert(0, t);
+                out.hit_bytes += demand;
+            } else {
+                // Miss: fill, evicting the set's LRU line when full.
+                if set.len() >= ways {
+                    set.pop();
+                }
+                set.insert(0, l);
+                out.miss_bytes += demand;
+                out.fill_lines += 1;
+            }
+        }
+        out.fill_bytes = out.fill_lines * self.config.fill_bytes_per_line();
+        stats.record(&out, last - first + 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WorkingSetCache {
+        WorkingSetCache::new(CacheConfig {
+            capacity_bytes: 256,
+            line_bytes: 32,
+            ways: 2,
+            burst_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+        assert_eq!(c.config().fill_bytes_per_line(), 32);
+        // Sub-burst lines round up to one burst.
+        let cfg = CacheConfig {
+            line_bytes: 16,
+            ..CacheConfig::default()
+        };
+        assert_eq!(cfg.fill_bytes_per_line(), 32);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        let mut s = CacheStats::default();
+        let a = c.access(0, 32, &mut s);
+        assert_eq!(a.fill_lines, 1);
+        assert_eq!(a.miss_bytes, 32);
+        assert_eq!(a.hit_bytes, 0);
+        let b = c.access(0, 32, &mut s);
+        assert_eq!(b.fill_lines, 0);
+        assert_eq!(b.hit_bytes, 32);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_line_demand_is_split_exactly() {
+        let mut c = tiny();
+        let mut s = CacheStats::default();
+        // 13 bytes straddling a line boundary: 32-aligned lines at 0 and 32.
+        let o = c.access(25, 13, &mut s);
+        assert_eq!(o.fill_lines, 2);
+        assert_eq!(o.miss_bytes, 13);
+        assert_eq!(o.hit_bytes + o.miss_bytes, 13);
+        // Touch line 0 only: hit with 7 demand bytes.
+        let o2 = c.access(25, 7, &mut s);
+        assert_eq!(o2.hit_bytes, 7);
+        assert_eq!(o2.fill_lines, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_within_set() {
+        // 4 sets × 2 ways; lines 0, 4, 8 all map to set 0.
+        let mut c = tiny();
+        let mut s = CacheStats::default();
+        c.access(0, 1, &mut s); // line 0
+        c.access(4 * 32, 1, &mut s); // line 4
+        c.access(0, 1, &mut s); // line 0 → MRU
+        c.access(8 * 32, 1, &mut s); // line 8 evicts line 4 (LRU)
+        let hit0 = c.access(0, 1, &mut s);
+        assert_eq!(hit0.fill_lines, 0, "line 0 was MRU, must survive");
+        let miss4 = c.access(4 * 32, 1, &mut s);
+        assert_eq!(miss4.fill_lines, 1, "line 4 was LRU, must be gone");
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn determinism_same_trace_same_stats() {
+        let trace: Vec<(u64, u64)> = (0..200).map(|i| ((i * 37) % 600, 1 + i % 90)).collect();
+        let run = || {
+            let mut c = tiny();
+            let mut s = CacheStats::default();
+            for &(a, b) in &trace {
+                c.access(a, b, &mut s);
+            }
+            s
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_totals_sum_both_stages() {
+        let mut c = tiny();
+        let mut s = CacheStats::default();
+        c.access(0, 64, &mut s);
+        c.access(0, 64, &mut s);
+        assert_eq!(s.hits, 2);
+        let r = CacheReport {
+            coarse: s,
+            fine: CacheStats::default(),
+        };
+        assert_eq!(r.fill_bytes(), s.fill_bytes);
+        assert_eq!(r.hit_bytes(), s.hit_bytes);
+    }
+
+    #[test]
+    fn reset_makes_everything_cold_again() {
+        let mut c = tiny();
+        let mut s = CacheStats::default();
+        c.access(0, 32, &mut s);
+        c.reset();
+        let o = c.access(0, 32, &mut s);
+        assert_eq!(o.fill_lines, 1);
+        assert_eq!(c.resident_lines(), 1);
+    }
+}

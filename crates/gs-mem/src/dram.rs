@@ -2,6 +2,25 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The workspace's default DRAM burst granularity in bytes: the LPDDR3
+/// minimum transaction of [`DramModel::lpddr3_x4`]. Metering sites that
+/// record per-transfer DRAM traffic without an explicit
+/// [`crate::cache::CacheConfig`] round to this.
+pub const DEFAULT_BURST_BYTES: u64 = 32;
+
+/// Rounds one transfer up to `burst` granularity (`burst == 0` is treated
+/// as no rounding). Burst rounding is per *transaction*: a scattered fetch
+/// of n records costs `n * round_to_burst(record, burst)`, not
+/// `round_to_burst(n * record, burst)` — summing before rounding is exactly
+/// the under-pricing bug this helper exists to avoid.
+pub fn round_to_burst(bytes: u64, burst: u64) -> u64 {
+    if burst == 0 {
+        bytes
+    } else {
+        bytes.div_ceil(burst) * burst
+    }
+}
+
 /// DRAM timing/energy parameters.
 ///
 /// The paper's memory system is Micron 16 Gb LPDDR3 with 4 channels; at
@@ -56,7 +75,7 @@ impl DramModel {
 
     /// Rounds a transfer up to burst granularity.
     pub fn burst_round(&self, bytes: u64) -> u64 {
-        bytes.div_ceil(self.burst_bytes) * self.burst_bytes
+        round_to_burst(bytes, self.burst_bytes)
     }
 
     /// Time to move `bytes` at sustained bandwidth, in nanoseconds.
@@ -105,6 +124,19 @@ mod tests {
         assert_eq!(d.burst_round(32), 32);
         assert_eq!(d.burst_round(33), 64);
         assert_eq!(d.burst_round(0), 0);
+    }
+
+    #[test]
+    fn free_rounding_helper_matches_model_and_tolerates_zero_burst() {
+        assert_eq!(round_to_burst(13, 32), 32);
+        assert_eq!(round_to_burst(13, 0), 13);
+        assert_eq!(round_to_burst(0, 32), 0);
+        assert_eq!(DEFAULT_BURST_BYTES, DramModel::lpddr3_x4().burst_bytes);
+        // Per-transaction rounding of n scattered records never equals the
+        // rounded sum for sub-burst records.
+        let n = 10u64;
+        assert_eq!(n * round_to_burst(13, 32), 320);
+        assert_eq!(round_to_burst(n * 13, 32), 160);
     }
 
     #[test]

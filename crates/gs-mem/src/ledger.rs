@@ -66,23 +66,46 @@ pub enum Direction {
 
 /// Byte counters keyed by `(stage, direction)`.
 ///
-/// Backed by a flat `[stage][direction]` counter array — the key domain is
+/// Backed by flat `[stage][direction]` counter arrays — the key domain is
 /// tiny and fixed, so every operation is allocation-free and a per-worker
 /// ledger can be cleared and refilled each frame without heap churn
 /// (preserving the streaming renderer's zero-alloc steady state).
 ///
+/// The ledger keeps three counter classes per `(stage, direction)`:
+///
+/// * **demand bytes** ([`TrafficLedger::add`] / [`TrafficLedger::get`] /
+///   [`TrafficLedger::total`]) — the bytes the pipeline asked for. This is
+///   the byte-exactness invariant: identical renders produce identical
+///   demand counters regardless of caching or burst geometry.
+/// * **DRAM transaction bytes** ([`TrafficLedger::note_dram`] /
+///   [`TrafficLedger::dram`] / [`TrafficLedger::dram_total`]) — what DRAM
+///   actually moved: burst-rounded per transfer at the metering site, and
+///   only cache *misses* when a working-set cache fronts the stage. This is
+///   the number DRAM time/energy pricing consumes.
+/// * **cache-hit bytes** ([`TrafficLedger::note_hit`] /
+///   [`TrafficLedger::hit`] / [`TrafficLedger::hit_total`]) — demand served
+///   on-chip by a [`crate::cache::WorkingSetCache`]; priced as SRAM
+///   traffic, never as DRAM.
+///
+/// [`TrafficLedger::add_transfer`] is the uncached convenience: one DRAM
+/// transaction whose demand and burst-rounded bytes land together.
+///
 /// ```
 /// use gs_mem::ledger::{Direction, Stage, TrafficLedger};
 /// let mut l = TrafficLedger::new();
-/// l.add(Stage::Projection, Direction::Read, 1000);
-/// l.add(Stage::Projection, Direction::Write, 200);
-/// assert_eq!(l.stage_total(Stage::Projection), 1200);
-/// assert_eq!(l.total(), 1200);
+/// l.add_transfer(Stage::VoxelFine, Direction::Read, 13, 32);
+/// assert_eq!(l.total(), 13); // demand
+/// assert_eq!(l.dram_total(), 32); // one whole burst moved
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficLedger {
-    /// Bytes per `(stage, direction)`, indexed by declaration order.
+    /// Demand bytes per `(stage, direction)`, indexed by declaration order.
     bytes: [[u64; 2]; Stage::ALL.len()],
+    /// Burst-rounded DRAM transaction bytes (cache misses only when a
+    /// cache fronts the stage).
+    dram: [[u64; 2]; Stage::ALL.len()],
+    /// Demand bytes served on-chip by a working-set cache.
+    hits: [[u64; 2]; Stage::ALL.len()],
 }
 
 impl TrafficLedger {
@@ -91,14 +114,59 @@ impl TrafficLedger {
         TrafficLedger::default()
     }
 
-    /// Adds `bytes` to a counter.
+    /// Adds `bytes` to a demand counter.
     pub fn add(&mut self, stage: Stage, dir: Direction, bytes: u64) {
         self.bytes[stage as usize][dir as usize] += bytes;
     }
 
-    /// Reads a counter.
+    /// Meters one uncached DRAM transaction: `bytes` of demand plus the
+    /// burst-rounded transaction bytes (`bytes` rounded up to `burst`).
+    pub fn add_transfer(&mut self, stage: Stage, dir: Direction, bytes: u64, burst: u64) {
+        self.bytes[stage as usize][dir as usize] += bytes;
+        self.dram[stage as usize][dir as usize] += crate::dram::round_to_burst(bytes, burst);
+    }
+
+    /// Meters DRAM transaction bytes only (already burst-rounded by the
+    /// caller — e.g. a cache line fill whose demand was metered separately).
+    pub fn note_dram(&mut self, stage: Stage, dir: Direction, bytes: u64) {
+        self.dram[stage as usize][dir as usize] += bytes;
+    }
+
+    /// Meters cache-hit bytes only (demand served on-chip; the demand
+    /// itself was metered separately via [`TrafficLedger::add`]).
+    pub fn note_hit(&mut self, stage: Stage, dir: Direction, bytes: u64) {
+        self.hits[stage as usize][dir as usize] += bytes;
+    }
+
+    /// Reads a demand counter.
     pub fn get(&self, stage: Stage, dir: Direction) -> u64 {
         self.bytes[stage as usize][dir as usize]
+    }
+
+    /// Reads a DRAM transaction counter.
+    pub fn dram(&self, stage: Stage, dir: Direction) -> u64 {
+        self.dram[stage as usize][dir as usize]
+    }
+
+    /// Reads a cache-hit counter.
+    pub fn hit(&self, stage: Stage, dir: Direction) -> u64 {
+        self.hits[stage as usize][dir as usize]
+    }
+
+    /// All DRAM transaction bytes (burst-rounded; post-cache).
+    pub fn dram_total(&self) -> u64 {
+        self.dram.iter().flatten().sum()
+    }
+
+    /// All cache-hit bytes.
+    pub fn hit_total(&self) -> u64 {
+        self.hits.iter().flatten().sum()
+    }
+
+    /// `true` when the ledger carries DRAM transaction/hit accounting
+    /// (ledgers rebuilt from pre-cache workloads carry demand only).
+    pub fn has_dram_accounting(&self) -> bool {
+        self.dram_total() > 0 || self.hit_total() > 0
     }
 
     /// Read + write bytes of one stage.
@@ -121,15 +189,17 @@ impl TrafficLedger {
         }
     }
 
-    /// Merges another ledger into this one.
+    /// Merges another ledger into this one (all three counter classes).
     pub fn merge(&mut self, other: &TrafficLedger) {
-        for (mine, theirs) in self
-            .bytes
-            .iter_mut()
-            .flatten()
-            .zip(other.bytes.iter().flatten())
-        {
-            *mine += *theirs;
+        let pairs = [
+            (&mut self.bytes, &other.bytes),
+            (&mut self.dram, &other.dram),
+            (&mut self.hits, &other.hits),
+        ];
+        for (mine, theirs) in pairs {
+            for (m, t) in mine.iter_mut().flatten().zip(theirs.iter().flatten()) {
+                *m += *t;
+            }
         }
     }
 
@@ -138,6 +208,8 @@ impl TrafficLedger {
     /// rendering).
     pub fn clear(&mut self) {
         self.bytes = Default::default();
+        self.dram = Default::default();
+        self.hits = Default::default();
     }
 
     /// Iterates non-zero `(stage, direction, bytes)` entries in stable
@@ -229,6 +301,42 @@ mod tests {
         assert_eq!(l, TrafficLedger::new());
         assert_eq!(l.total(), 0);
         assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn transfer_hit_and_dram_counters_are_separate_classes() {
+        let mut l = TrafficLedger::new();
+        // Two scattered 13 B records: demand 26, DRAM two whole bursts.
+        l.add_transfer(Stage::VoxelFine, Direction::Read, 13, 32);
+        l.add_transfer(Stage::VoxelFine, Direction::Read, 13, 32);
+        assert_eq!(l.get(Stage::VoxelFine, Direction::Read), 26);
+        assert_eq!(l.dram(Stage::VoxelFine, Direction::Read), 64);
+        // A cached stage: demand metered, hit + fill noted separately.
+        l.add(Stage::VoxelCoarse, Direction::Read, 100);
+        l.note_hit(Stage::VoxelCoarse, Direction::Read, 60);
+        l.note_dram(Stage::VoxelCoarse, Direction::Read, 64);
+        assert_eq!(l.total(), 126);
+        assert_eq!(l.dram_total(), 128);
+        assert_eq!(l.hit_total(), 60);
+        assert!(l.has_dram_accounting());
+        assert!(!TrafficLedger::new().has_dram_accounting());
+    }
+
+    #[test]
+    fn merge_and_clear_cover_all_counter_classes() {
+        let mut a = TrafficLedger::new();
+        a.add_transfer(Stage::VoxelCoarse, Direction::Read, 48, 32);
+        a.note_hit(Stage::VoxelFine, Direction::Read, 5);
+        let mut b = TrafficLedger::new();
+        b.note_dram(Stage::PixelOut, Direction::Write, 32);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.total(), 48);
+        assert_eq!(m.dram_total(), 64 + 32);
+        assert_eq!(m.hit_total(), 5);
+        m.clear();
+        assert_eq!(m, TrafficLedger::new());
+        assert!(!m.has_dram_accounting());
     }
 
     #[test]

@@ -14,7 +14,15 @@
 //!   it, merges them per frame in deterministic worker order, derives the
 //!   workload byte counters from the ledger stages, and `gs-accel` prices
 //!   DRAM time/energy from the same measured bytes
-//!   (`StreamingGsModel::evaluate_measured`),
+//!   (`StreamingGsModel::evaluate_measured`). Since PR 4 the ledger keeps
+//!   three counter classes per stage: *demand* bytes (the byte-exactness
+//!   invariant), *DRAM transaction* bytes (burst-rounded per transfer,
+//!   cache misses only — what pricing consumes) and *cache-hit* bytes
+//!   (served on-chip, priced as SRAM),
+//! * [`cache::WorkingSetCache`] — a deterministic set-associative LRU
+//!   working-set cache model the streaming renderer fronts its
+//!   coarse/fine voxel fetches with, so trajectory temporal locality
+//!   turns repeat fetches into on-chip hits instead of DRAM bursts,
 //! * [`energy::EnergyBreakdown`] — compute/SRAM/DRAM picojoule totals.
 //!
 //! ## Example
@@ -27,11 +35,13 @@
 //! assert!((ns - 1_000_000.0).abs() / 1_000_000.0 < 0.01);
 //! ```
 
+pub mod cache;
 pub mod dram;
 pub mod energy;
 pub mod ledger;
 pub mod sram;
 
+pub use cache::{CacheConfig, CacheReport, CacheStats, WorkingSetCache};
 pub use dram::DramModel;
 pub use energy::EnergyBreakdown;
 pub use ledger::{Direction, Stage, TrafficLedger};

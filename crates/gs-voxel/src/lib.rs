@@ -41,6 +41,20 @@
 //! `tests/store_ledger.rs` asserts byte-identical images, workloads and
 //! ledgers on every scene kind, raw and VQ.
 //!
+//! ## Paging and the working-set cache (PR 4)
+//!
+//! The store's columns live behind a backing abstraction: fully resident,
+//! or **demand-paged** at slot-range granularity from a compact
+//! serialized scene image (in memory or on disk, with an optional
+//! LRU-evicted page budget) for scenes larger than host memory —
+//! bit-exact either way (`tests/paged_cache.rs`). Orthogonally,
+//! [`streaming::StreamingConfig::cache`] fronts the coarse/fine fetch
+//! stages with a deterministic [`gs_mem::cache::WorkingSetCache`] model:
+//! fetches are traced per group and replayed in global group order at
+//! frame end (hit/miss counts are thread-count invariant), hits are
+//! metered as on-chip bytes and only burst-rounded miss fills reach the
+//! ledger's DRAM transaction counters — the bytes `gs-accel` prices.
+//!
 //! The functional renderer also measures everything the accelerator model
 //! needs ([`workload`]) and the depth-order violations that the
 //! boundary-aware fine-tuning (crate `gs-tune`) penalizes.
@@ -67,6 +81,6 @@ pub mod streaming;
 pub mod workload;
 
 pub use grid::VoxelGrid;
-pub use store::VoxelStore;
+pub use store::{PageConfig, VoxelStore};
 pub use streaming::{StreamingConfig, StreamingOutput, StreamingScene};
 pub use workload::{FrameWorkload, TileWorkload};

@@ -18,29 +18,334 @@
 //! stores only the two non-maximum scales — see
 //! [`gs_scene::Gaussian::fine_record`]).
 //!
+//! ## Backing: resident columns vs. demand-paged columns
+//!
+//! Each column lives behind a backing abstraction:
+//!
+//! * **Resident** — the whole column as one `Vec<u8>` (built by
+//!   [`VoxelStore::from_cloud`] / [`VoxelStore::from_quantized`]); the
+//!   production configuration when the scene fits host memory.
+//! * **Paged** — pages of [`PageConfig::slots_per_page`] whole slots
+//!   materialized on demand from a compact serialized scene image
+//!   ([`VoxelStore::to_scene_bytes`] / [`VoxelStore::write_scene_file`],
+//!   opened with [`VoxelStore::open_paged_bytes`] /
+//!   [`VoxelStore::open_paged_file`]), with an optional LRU-evicted
+//!   residency budget ([`PageConfig::max_resident_pages`]) for scenes
+//!   larger than memory. Page boundaries fall on slot boundaries, so a
+//!   record never spans pages and the store's slot ranges remain the
+//!   natural fetch granularity. The index metadata (ranges, ids, max-axis
+//!   tags, codebooks) stays resident — it is the VSU's on-chip state.
+//!
+//! The two backings are **bit-exact twins**: every fetch decodes the same
+//! bytes, meters the same ledger demand, and returns the same Gaussian, so
+//! a paged store renders byte-identical frames
+//! (`tests/paged_cache.rs` proves it on every scene kind, raw and VQ).
+//! Paging is host-memory management, *not* modeled DRAM traffic — the
+//! priced memory system is the [`gs_mem::TrafficLedger`]'s demand/DRAM
+//! counters plus the renderer's [`gs_mem::cache::WorkingSetCache`] model,
+//! which behave identically over both backings.
+//!
 //! Every fetch is metered through a [`gs_mem::TrafficLedger`]
-//! (`VoxelCoarse` / `VoxelFine` read stages), which makes the store the
-//! single source of byte truth for the streaming renderer and everything
-//! priced from it. Decodes are **bit-exact**: a raw store returns the
-//! original [`Gaussian`] bit-for-bit, a VQ store returns exactly
-//! [`gs_vq::QuantizedCloud::decode_one`].
+//! (`VoxelCoarse` / `VoxelFine` read stages, demand bytes), which makes
+//! the store the single source of byte truth for the streaming renderer
+//! and everything priced from it. Decodes are **bit-exact**: a raw store
+//! returns the original [`Gaussian`] bit-for-bit, a VQ store returns
+//! exactly [`gs_vq::QuantizedCloud::decode_one`].
 
 use crate::grid::VoxelGrid;
 use gs_core::vec::Vec3;
 use gs_mem::{Direction, Stage, TrafficLedger};
 use gs_scene::gaussian::{COARSE_BYTES, FINE_BYTES_RAW};
 use gs_scene::{Gaussian, GaussianCloud};
-use gs_vq::{FeatureCodebooks, QuantizedCloud};
+use gs_vq::{Codebook, FeatureCodebooks, QuantizedCloud};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
 
-/// The second-half column: raw parameters or VQ index records.
+/// Magic tag of the serialized scene image (`"GSVS"`).
+const SCENE_MAGIC: u32 = 0x4753_5653;
+/// Serialized scene format version.
+const SCENE_VERSION: u32 = 1;
+/// Header flag: the second half holds VQ index records.
+const FLAG_VQ: u32 = 1;
+
+/// Geometry of a demand-paged column backing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageConfig {
+    /// Whole slots per page (page boundaries never split a record).
+    pub slots_per_page: u32,
+    /// Residency budget in pages per column; least-recently-used pages are
+    /// evicted beyond it. `0` = unbounded (pages accumulate).
+    pub max_resident_pages: u32,
+}
+
+impl Default for PageConfig {
+    fn default() -> Self {
+        PageConfig {
+            slots_per_page: 256,
+            max_resident_pages: 0,
+        }
+    }
+}
+
+impl PageConfig {
+    fn validated(mut self) -> PageConfig {
+        self.slots_per_page = self.slots_per_page.max(1);
+        self
+    }
+}
+
+/// Where a paged column's bytes come from.
+#[derive(Debug)]
+enum PageSource {
+    /// A serialized scene image held in memory.
+    Memory(Vec<u8>),
+    /// A serialized scene file read positionally on demand. The mutex
+    /// serializes faults from the two columns sharing one handle (and the
+    /// seek+read fallback on platforms without positional reads).
+    File(Mutex<std::fs::File>),
+}
+
+impl PageSource {
+    fn len(&self) -> io::Result<u64> {
+        match self {
+            PageSource::Memory(bytes) => Ok(bytes.len() as u64),
+            PageSource::File(f) => Ok(f
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .metadata()?
+                .len()),
+        }
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        match self {
+            PageSource::Memory(bytes) => {
+                let at = offset as usize;
+                let end = at + buf.len();
+                if end > bytes.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "scene image truncated",
+                    ));
+                }
+                buf.copy_from_slice(&bytes[at..end]);
+                Ok(())
+            }
+            PageSource::File(f) => {
+                let file = f.lock().unwrap_or_else(|e| e.into_inner());
+                #[cfg(unix)]
+                {
+                    use std::os::unix::fs::FileExt;
+                    file.read_exact_at(buf, offset)
+                }
+                #[cfg(not(unix))]
+                {
+                    use std::io::{Read, Seek, SeekFrom};
+                    let mut file = file;
+                    file.seek(SeekFrom::Start(offset))?;
+                    file.read_exact(buf)
+                }
+            }
+        }
+    }
+}
+
+/// Mutable state of one paged column.
+#[derive(Debug, Default)]
+struct PageState {
+    /// Materialized pages (whole slots each; the tail page may be short).
+    pages: Vec<Option<Box<[u8]>>>,
+    /// LRU stamp per page.
+    stamp: Vec<u64>,
+    /// Indices of the resident pages (≤ budget entries when bounded), so
+    /// eviction scans the residents, never the whole page table.
+    resident_ids: Vec<usize>,
+    clock: u64,
+    /// Pages materialized over the column's lifetime (eviction makes this
+    /// exceed the page count).
+    faults: u64,
+}
+
+/// One demand-paged column.
+#[derive(Debug)]
+struct PagedColumn {
+    source: Arc<PageSource>,
+    /// Column start inside the serialized image.
+    offset: u64,
+    /// Column length in bytes.
+    len: u64,
+    record_bytes: usize,
+    slots: usize,
+    config: PageConfig,
+    state: Mutex<PageState>,
+}
+
+impl PagedColumn {
+    fn new(
+        source: Arc<PageSource>,
+        offset: u64,
+        record_bytes: usize,
+        slots: usize,
+        config: PageConfig,
+    ) -> PagedColumn {
+        let config = config.validated();
+        let n_pages = slots.div_ceil(config.slots_per_page as usize).max(1);
+        PagedColumn {
+            source,
+            offset,
+            len: (slots * record_bytes) as u64,
+            record_bytes,
+            slots,
+            config,
+            state: Mutex::new(PageState {
+                pages: (0..n_pages).map(|_| None).collect(),
+                stamp: vec![0; n_pages],
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Copies slot `slot`'s record into `out`, materializing (and possibly
+    /// evicting) pages as needed.
+    fn read_slot(&self, slot: usize, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.record_bytes);
+        self.read_range(slot, 1, out);
+    }
+
+    /// Copies the contiguous records of `[first_slot, first_slot + n)`
+    /// into `out` under **one** lock acquisition, touching each spanned
+    /// page's LRU state once — the whole-voxel fetch path.
+    fn read_range(&self, first_slot: usize, n: usize, out: &mut [u8]) {
+        debug_assert!(first_slot + n <= self.slots);
+        debug_assert_eq!(out.len(), n * self.record_bytes);
+        if n == 0 {
+            return;
+        }
+        let spp = self.config.slots_per_page as usize;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = first_slot;
+        let mut written = 0usize;
+        while slot < first_slot + n {
+            let page = slot / spp;
+            self.ensure_page(&mut st, page);
+            st.clock += 1;
+            st.stamp[page] = st.clock;
+            let in_page = slot - page * spp;
+            let take = (spp - in_page).min(first_slot + n - slot);
+            let bytes = take * self.record_bytes;
+            let from = in_page * self.record_bytes;
+            out[written..written + bytes].copy_from_slice(
+                &st.pages[page].as_ref().expect("just materialized")[from..from + bytes],
+            );
+            written += bytes;
+            slot += take;
+        }
+    }
+
+    /// Materializes `page` if absent, evicting the least-recently-used
+    /// resident page when a budget is set (an O(budget) scan of the
+    /// resident list; stamps are unique, so the victim is deterministic).
+    fn ensure_page(&self, st: &mut PageState, page: usize) {
+        if st.pages[page].is_some() {
+            return;
+        }
+        let budget = self.config.max_resident_pages as usize;
+        if budget > 0 && st.resident_ids.len() >= budget {
+            let at = st
+                .resident_ids
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &p)| st.stamp[p])
+                .map(|(i, _)| i)
+                .expect("bounded state implies a resident page");
+            let victim = st.resident_ids.swap_remove(at);
+            st.pages[victim] = None;
+        }
+        let spp = self.config.slots_per_page as usize;
+        let first_slot = page * spp;
+        let n_slots = spp.min(self.slots - first_slot);
+        let mut bytes = vec![0u8; n_slots * self.record_bytes].into_boxed_slice();
+        self.source
+            .read_at(
+                self.offset + (first_slot * self.record_bytes) as u64,
+                &mut bytes,
+            )
+            .expect("paged column read failed (scene image vanished?)");
+        st.pages[page] = Some(bytes);
+        st.resident_ids.push(page);
+        st.faults += 1;
+    }
+
+    fn faults(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).faults
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.pages
+            .iter()
+            .flatten()
+            .map(|p| p.len() as u64)
+            .sum::<u64>()
+    }
+}
+
+/// One column's backing: fully resident bytes or demand-paged pages.
+#[derive(Debug)]
+enum Column {
+    Resident(Vec<u8>),
+    Paged(PagedColumn),
+}
+
+impl Column {
+    fn len_bytes(&self) -> u64 {
+        match self {
+            Column::Resident(b) => b.len() as u64,
+            Column::Paged(p) => p.len,
+        }
+    }
+
+    /// Copies slot `slot`'s `record_bytes`-wide record into `out`.
+    fn read_slot(&self, slot: usize, record_bytes: usize, out: &mut [u8]) {
+        match self {
+            Column::Resident(b) => {
+                out.copy_from_slice(&b[slot * record_bytes..slot * record_bytes + out.len()]);
+            }
+            Column::Paged(p) => {
+                debug_assert_eq!(p.record_bytes, record_bytes);
+                p.read_slot(slot, out);
+            }
+        }
+    }
+}
+
+impl Clone for Column {
+    /// Cloning a paged column shares the source image but starts with a
+    /// cold page set (page state is never shared between clones).
+    fn clone(&self) -> Column {
+        match self {
+            Column::Resident(b) => Column::Resident(b.clone()),
+            Column::Paged(p) => Column::Paged(PagedColumn::new(
+                Arc::clone(&p.source),
+                p.offset,
+                p.record_bytes,
+                p.slots,
+                p.config,
+            )),
+        }
+    }
+}
+
+/// What the second-half column holds.
 #[derive(Clone, Debug)]
-enum SecondHalf {
+enum FineFormat {
     /// Uncompressed 220 B records plus the per-slot max-axis layout tag
     /// (metadata, not counted as record traffic).
-    Raw { bytes: Vec<u8>, max_axis: Vec<u8> },
+    Raw { max_axis: Vec<u8> },
     /// Serialized index records decoded through the (on-chip) codebooks.
     Vq {
-        bytes: Vec<u8>,
         codebooks: FeatureCodebooks,
         record_bytes: usize,
     },
@@ -49,8 +354,11 @@ enum SecondHalf {
 /// Per-voxel contiguous columnar storage with metered, bit-exact fetches.
 ///
 /// Built once at scene preparation ([`VoxelStore::from_cloud`] /
-/// [`VoxelStore::from_quantized`]); the streaming renderer's coarse and
-/// fine phases read **only** from here.
+/// [`VoxelStore::from_quantized`]) with resident columns, or opened over a
+/// serialized scene image with demand-paged columns
+/// ([`VoxelStore::open_paged_bytes`] / [`VoxelStore::open_paged_file`]);
+/// the streaming renderer's coarse and fine phases read **only** from
+/// here, through either backing, with identical bytes and metering.
 #[derive(Clone, Debug)]
 pub struct VoxelStore {
     /// Slot range per renamed voxel (mirrors the grid's layout).
@@ -58,9 +366,11 @@ pub struct VoxelStore {
     /// Global Gaussian id per slot (the DRAM index stream).
     ids: Vec<u32>,
     /// First-half column, [`COARSE_BYTES`] per slot, voxel-contiguous.
-    coarse: Vec<u8>,
+    coarse: Column,
     /// Second-half column.
-    second: SecondHalf,
+    fine: Column,
+    /// Second-half record format (shared by both backings).
+    format: FineFormat,
 }
 
 impl VoxelStore {
@@ -82,8 +392,9 @@ impl VoxelStore {
         VoxelStore {
             ranges,
             ids,
-            coarse,
-            second: SecondHalf::Raw { bytes, max_axis },
+            coarse: Column::Resident(coarse),
+            fine: Column::Resident(bytes),
+            format: FineFormat::Raw { max_axis },
         }
     }
 
@@ -112,9 +423,9 @@ impl VoxelStore {
         VoxelStore {
             ranges,
             ids,
-            coarse,
-            second: SecondHalf::Vq {
-                bytes,
+            coarse: Column::Resident(coarse),
+            fine: Column::Resident(bytes),
+            format: FineFormat::Vq {
                 codebooks: quant.codebooks.clone(),
                 record_bytes,
             },
@@ -138,7 +449,32 @@ impl VoxelStore {
 
     /// `true` when the second half holds VQ index records.
     pub fn is_vq(&self) -> bool {
-        matches!(self.second, SecondHalf::Vq { .. })
+        matches!(self.format, FineFormat::Vq { .. })
+    }
+
+    /// `true` when the columns are demand-paged rather than resident.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.coarse, Column::Paged(_))
+    }
+
+    /// Pages materialized so far across both columns (0 for resident
+    /// backings; with a residency budget, re-faults count again).
+    pub fn page_faults(&self) -> u64 {
+        let of = |c: &Column| match c {
+            Column::Resident(_) => 0,
+            Column::Paged(p) => p.faults(),
+        };
+        of(&self.coarse) + of(&self.fine)
+    }
+
+    /// Bytes currently held by materialized pages across both columns
+    /// (equals the column totals for resident backings).
+    pub fn resident_column_bytes(&self) -> u64 {
+        let of = |c: &Column| match c {
+            Column::Resident(b) => b.len() as u64,
+            Column::Paged(p) => p.resident_bytes(),
+        };
+        of(&self.coarse) + of(&self.fine)
     }
 
     /// DRAM bytes of one first-half record (16).
@@ -149,23 +485,20 @@ impl VoxelStore {
     /// DRAM bytes of one second-half record (220 raw; the codebooks'
     /// record width for VQ).
     pub fn fine_bytes_per_gaussian(&self) -> u64 {
-        match &self.second {
-            SecondHalf::Raw { .. } => FINE_BYTES_RAW as u64,
-            SecondHalf::Vq { record_bytes, .. } => *record_bytes as u64,
+        match &self.format {
+            FineFormat::Raw { .. } => FINE_BYTES_RAW as u64,
+            FineFormat::Vq { record_bytes, .. } => *record_bytes as u64,
         }
     }
 
-    /// Total resident bytes of the first-half column.
+    /// Total bytes of the first-half column.
     pub fn coarse_column_bytes(&self) -> u64 {
-        self.coarse.len() as u64
+        self.coarse.len_bytes()
     }
 
-    /// Total resident bytes of the second-half column.
+    /// Total bytes of the second-half column.
     pub fn fine_column_bytes(&self) -> u64 {
-        match &self.second {
-            SecondHalf::Raw { bytes, .. } => bytes.len() as u64,
-            SecondHalf::Vq { bytes, .. } => bytes.len() as u64,
-        }
+        self.fine.len_bytes()
     }
 
     /// The slot range of renamed voxel `vid`.
@@ -186,9 +519,10 @@ impl VoxelStore {
     }
 
     /// Streams voxel `vid`'s first-half column: meters the whole voxel's
-    /// coarse bytes into `ledger` (`VoxelCoarse`/read — the burst the
-    /// accelerator issues regardless of filter outcomes) and returns an
-    /// iterator of `(slot, position, max scale)` decoded from the bytes.
+    /// coarse bytes into `ledger` (`VoxelCoarse`/read demand — the burst
+    /// the accelerator issues regardless of filter outcomes) and returns
+    /// an iterator of `(slot, position, max scale)` decoded from the
+    /// bytes (identically for resident and paged backings).
     pub fn fetch_coarse<'a>(
         &'a self,
         vid: u32,
@@ -200,17 +534,39 @@ impl VoxelStore {
             Direction::Read,
             (b - a) as u64 * COARSE_BYTES as u64,
         );
+        // The renderer's hottest loop: resident columns decode straight
+        // from the contiguous slice (no per-slot copy or lock); a paged
+        // column stages the whole voxel's contiguous range under one lock
+        // acquisition and decodes from the staging buffer. The staging
+        // Vec is one allocation per voxel fetch — a deliberate trade of
+        // the paged backend (the resident production path stays
+        // zero-alloc; see the ROADMAP open item on a pooled iterator).
+        let (resident, staged): (Option<&[u8]>, Option<Vec<u8>>) = match &self.coarse {
+            Column::Resident(bytes) => (Some(bytes.as_slice()), None),
+            Column::Paged(p) => {
+                let mut buf = vec![0u8; (b - a) as usize * COARSE_BYTES];
+                p.read_range(a as usize, (b - a) as usize, &mut buf);
+                (None, Some(buf))
+            }
+        };
         (a..b).map(move |slot| {
-            let at = slot as usize * COARSE_BYTES;
-            let (pos, s_max) = Gaussian::decode_coarse(&self.coarse[at..at + COARSE_BYTES]);
+            let rec: &[u8] = match resident {
+                Some(bytes) => &bytes[slot as usize * COARSE_BYTES..][..COARSE_BYTES],
+                None => {
+                    let buf = staged.as_ref().expect("paged staging buffer");
+                    &buf[(slot - a) as usize * COARSE_BYTES..][..COARSE_BYTES]
+                }
+            };
+            let (pos, s_max) = Gaussian::decode_coarse(rec);
             (slot, pos, s_max)
         })
     }
 
     /// Fetches and decodes `slot`'s second-half record, metering its bytes
-    /// into `ledger` (`VoxelFine`/read). Bit-exact: raw stores return the
-    /// original Gaussian, VQ stores return exactly
-    /// [`QuantizedCloud::decode_one`]'s result.
+    /// into `ledger` (`VoxelFine`/read demand). Bit-exact: raw stores
+    /// return the original Gaussian, VQ stores return exactly
+    /// [`QuantizedCloud::decode_one`]'s result — whichever backing the
+    /// columns use.
     pub fn fetch_fine(&self, slot: u32, ledger: &mut TrafficLedger) -> Gaussian {
         ledger.add(
             Stage::VoxelFine,
@@ -218,24 +574,264 @@ impl VoxelStore {
             self.fine_bytes_per_gaussian(),
         );
         let s = slot as usize;
-        let coarse = &self.coarse[s * COARSE_BYTES..(s + 1) * COARSE_BYTES];
-        match &self.second {
-            SecondHalf::Raw { bytes, max_axis } => Gaussian::from_split_record(
-                coarse,
-                &bytes[s * FINE_BYTES_RAW..(s + 1) * FINE_BYTES_RAW],
-                max_axis[s],
-            ),
-            SecondHalf::Vq {
-                bytes,
-                codebooks,
-                record_bytes,
-            } => {
+        let width = self.fine_bytes_per_gaussian() as usize;
+        // Resident columns decode straight from their slices (the
+        // per-survivor hot loop); paged columns copy through the page
+        // machinery.
+        let mut cbuf = [0u8; COARSE_BYTES];
+        let coarse: &[u8] = if let Column::Resident(bytes) = &self.coarse {
+            &bytes[s * COARSE_BYTES..(s + 1) * COARSE_BYTES]
+        } else {
+            self.coarse.read_slot(s, COARSE_BYTES, &mut cbuf);
+            &cbuf
+        };
+        let mut fbuf = [0u8; FINE_BYTES_RAW];
+        let fine: &[u8] = if let Column::Resident(bytes) = &self.fine {
+            &bytes[s * width..(s + 1) * width]
+        } else {
+            let buf = &mut fbuf[..width];
+            self.fine.read_slot(s, width, buf);
+            buf
+        };
+        match &self.format {
+            FineFormat::Raw { max_axis } => Gaussian::from_split_record(coarse, fine, max_axis[s]),
+            FineFormat::Vq { codebooks, .. } => {
                 let (pos, _) = Gaussian::decode_coarse(coarse);
-                let r = codebooks.read_record(&bytes[s * record_bytes..(s + 1) * record_bytes]);
+                let r = codebooks.read_record(fine);
                 codebooks.decode_record(pos, &r)
             }
         }
     }
+
+    // --- serialized scene image ------------------------------------------
+
+    /// Serializes the store into its compact scene image: header, index
+    /// metadata (ranges, ids, max-axis tags or codebooks) and both raw
+    /// columns. [`VoxelStore::open_paged_bytes`] /
+    /// [`VoxelStore::open_paged_file`] reopen the image with demand-paged
+    /// columns, bit-exactly.
+    pub fn to_scene_bytes(&self) -> Vec<u8> {
+        let n_slots = self.len();
+        let width = self.fine_bytes_per_gaussian() as usize;
+        let mut out = Vec::new();
+        for v in [
+            SCENE_MAGIC,
+            SCENE_VERSION,
+            if self.is_vq() { FLAG_VQ } else { 0 },
+            self.voxel_count() as u32,
+            n_slots as u32,
+            width as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &(a, b) in &self.ranges {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for &id in &self.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        match &self.format {
+            FineFormat::Raw { max_axis } => out.extend_from_slice(max_axis),
+            FineFormat::Vq { codebooks, .. } => write_codebooks(codebooks, &mut out),
+        }
+        let mut rec = [0u8; FINE_BYTES_RAW];
+        for s in 0..n_slots {
+            self.coarse
+                .read_slot(s, COARSE_BYTES, &mut rec[..COARSE_BYTES]);
+            out.extend_from_slice(&rec[..COARSE_BYTES]);
+        }
+        for s in 0..n_slots {
+            self.fine.read_slot(s, width, &mut rec[..width]);
+            out.extend_from_slice(&rec[..width]);
+        }
+        out
+    }
+
+    /// Writes [`VoxelStore::to_scene_bytes`] to `path`. The image is
+    /// serialized **before** the destination is created, so re-writing a
+    /// file-paged store over its own backing file is safe (creating first
+    /// would truncate the very image the serialization pages from).
+    pub fn write_scene_file(&self, path: &Path) -> io::Result<()> {
+        let image = self.to_scene_bytes();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&image)?;
+        f.flush()
+    }
+
+    /// Opens a serialized scene image held in memory with demand-paged
+    /// columns.
+    pub fn open_paged_bytes(image: Vec<u8>, config: PageConfig) -> io::Result<VoxelStore> {
+        Self::open_paged(PageSource::Memory(image), config)
+    }
+
+    /// Opens a serialized scene file with demand-paged columns (index
+    /// metadata is loaded eagerly; column pages are read positionally on
+    /// demand).
+    pub fn open_paged_file(path: &Path, config: PageConfig) -> io::Result<VoxelStore> {
+        Self::open_paged(
+            PageSource::File(Mutex::new(std::fs::File::open(path)?)),
+            config,
+        )
+    }
+
+    fn open_paged(source: PageSource, config: PageConfig) -> io::Result<VoxelStore> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        // Every size below is validated against the image length *before*
+        // it drives an allocation or a read, so a corrupt or truncated
+        // image fails cleanly at open — never with a huge allocation here
+        // or an out-of-bounds page fault mid-render.
+        let src_len = source.len()?;
+        let fits = |at: u64, bytes: u64| -> io::Result<()> {
+            match at.checked_add(bytes) {
+                Some(end) if end <= src_len => Ok(()),
+                _ => Err(bad("scene image truncated (header sizes exceed the image)")),
+            }
+        };
+        let mut at = 0u64;
+        let u32_at = |src: &PageSource, at: &mut u64| -> io::Result<u32> {
+            let mut b = [0u8; 4];
+            src.read_at(*at, &mut b)?;
+            *at += 4;
+            Ok(u32::from_le_bytes(b))
+        };
+        fits(at, 24)?;
+        if u32_at(&source, &mut at)? != SCENE_MAGIC {
+            return Err(bad("not a serialized voxel-store scene image"));
+        }
+        if u32_at(&source, &mut at)? != SCENE_VERSION {
+            return Err(bad("unsupported scene image version"));
+        }
+        let flags = u32_at(&source, &mut at)?;
+        let n_voxels = u32_at(&source, &mut at)? as usize;
+        let n_slots = u32_at(&source, &mut at)? as usize;
+        let width = u32_at(&source, &mut at)? as usize;
+        if width == 0 || width > FINE_BYTES_RAW {
+            return Err(bad("implausible fine record width"));
+        }
+
+        fits(at, n_voxels as u64 * 8)?;
+        let mut ranges = Vec::with_capacity(n_voxels);
+        let mut buf = vec![0u8; n_voxels * 8];
+        source.read_at(at, &mut buf)?;
+        at += buf.len() as u64;
+        for c in buf.chunks_exact(8) {
+            let (a, b) = (
+                u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            );
+            if a > b || b as usize > n_slots {
+                return Err(bad("voxel slot range outside the slot column"));
+            }
+            ranges.push((a, b));
+        }
+        fits(at, n_slots as u64 * 4)?;
+        let mut buf = vec![0u8; n_slots * 4];
+        source.read_at(at, &mut buf)?;
+        at += buf.len() as u64;
+        let ids: Vec<u32> = buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+
+        let format = if flags & FLAG_VQ != 0 {
+            let codebooks = read_codebooks(&source, &mut at, src_len)?;
+            if codebooks.record_bytes() as usize != width {
+                return Err(bad("codebook record width disagrees with header"));
+            }
+            FineFormat::Vq {
+                codebooks,
+                record_bytes: width,
+            }
+        } else {
+            if width != FINE_BYTES_RAW {
+                return Err(bad("raw scene image with non-raw record width"));
+            }
+            fits(at, n_slots as u64)?;
+            let mut max_axis = vec![0u8; n_slots];
+            source.read_at(at, &mut max_axis)?;
+            at += n_slots as u64;
+            FineFormat::Raw { max_axis }
+        };
+
+        let source = Arc::new(source);
+        let coarse_off = at;
+        let fine_off = coarse_off + (n_slots * COARSE_BYTES) as u64;
+        // Both columns must fit the image, so page faults can never run
+        // off the end.
+        fits(fine_off, n_slots as u64 * width as u64)?;
+        Ok(VoxelStore {
+            ranges,
+            ids,
+            coarse: Column::Paged(PagedColumn::new(
+                Arc::clone(&source),
+                coarse_off,
+                COARSE_BYTES,
+                n_slots,
+                config,
+            )),
+            fine: Column::Paged(PagedColumn::new(source, fine_off, width, n_slots, config)),
+            format,
+        })
+    }
+
+    /// Round-trips this store through its serialized scene image into a
+    /// demand-paged twin (shares nothing with `self`).
+    pub fn paged_twin(&self, config: PageConfig) -> VoxelStore {
+        VoxelStore::open_paged_bytes(self.to_scene_bytes(), config)
+            .expect("serialize/open round-trip cannot fail")
+    }
+}
+
+/// Serializes the six feature codebooks (dim, entries, centroid f32s each).
+fn write_codebooks(cb: &FeatureCodebooks, out: &mut Vec<u8>) {
+    for book in [&cb.scale, &cb.rot, &cb.dc, &cb.sh[0], &cb.sh[1], &cb.sh[2]] {
+        out.extend_from_slice(&(book.dim() as u32).to_le_bytes());
+        out.extend_from_slice(&(book.len() as u32).to_le_bytes());
+        for v in book.centroids() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Reads back [`write_codebooks`]' image, advancing `at`; every table size
+/// is validated against `src_len` before it drives an allocation.
+fn read_codebooks(source: &PageSource, at: &mut u64, src_len: u64) -> io::Result<FeatureCodebooks> {
+    let mut next = || -> io::Result<Codebook> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if at.checked_add(8).is_none_or(|end| end > src_len) {
+            return Err(bad("scene image truncated in codebook header"));
+        }
+        let mut hdr = [0u8; 8];
+        source.read_at(*at, &mut hdr)?;
+        *at += 8;
+        let dim = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+        let entries = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
+        if dim == 0 || entries == 0 {
+            return Err(bad("empty codebook (zero dim or entries)"));
+        }
+        let table = (dim as u64)
+            .checked_mul(entries as u64)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| bad("codebook table size overflows"))?;
+        if at.checked_add(table).is_none_or(|end| end > src_len) {
+            return Err(bad("scene image truncated in codebook table"));
+        }
+        let mut buf = vec![0u8; table as usize];
+        source.read_at(*at, &mut buf)?;
+        *at += buf.len() as u64;
+        let centroids: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Codebook::from_centroids(centroids, dim))
+    };
+    Ok(FeatureCodebooks {
+        scale: next()?,
+        rot: next()?,
+        dc: next()?,
+        sh: [next()?, next()?, next()?],
+    })
 }
 
 /// The store's slot layout: per-voxel ranges plus the flattened id stream,
@@ -282,6 +878,8 @@ mod tests {
         }
         assert_eq!(store.coarse_column_bytes(), cloud.len() as u64 * 16);
         assert_eq!(store.fine_column_bytes(), cloud.len() as u64 * 220);
+        assert!(!store.is_paged());
+        assert_eq!(store.page_faults(), 0);
     }
 
     #[test]
@@ -337,5 +935,148 @@ mod tests {
             ledger.get(Stage::VoxelCoarse, Direction::Read),
             grid.gaussians_of(v).len() as u64 * 16
         );
+    }
+
+    #[test]
+    fn paged_twin_is_bit_exact_raw() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let paged = store.paged_twin(PageConfig {
+            slots_per_page: 7,
+            max_resident_pages: 0,
+        });
+        assert!(paged.is_paged());
+        assert!(!paged.is_vq());
+        assert_eq!(paged.len(), store.len());
+        assert_eq!(paged.voxel_count(), store.voxel_count());
+        let mut la = TrafficLedger::new();
+        let mut lb = TrafficLedger::new();
+        for v in 0..store.voxel_count() as u32 {
+            assert_eq!(paged.ids_of(v), store.ids_of(v));
+            let a: Vec<_> = store.fetch_coarse(v, &mut la).collect();
+            let b: Vec<_> = paged.fetch_coarse(v, &mut lb).collect();
+            assert_eq!(a, b);
+        }
+        for slot in 0..store.len() as u32 {
+            assert_eq!(
+                store.fetch_fine(slot, &mut la),
+                paged.fetch_fine(slot, &mut lb)
+            );
+        }
+        assert_eq!(la, lb, "paged metering must be identical");
+        assert!(paged.page_faults() > 0);
+    }
+
+    #[test]
+    fn paged_twin_is_bit_exact_vq_and_respects_budget() {
+        let (cloud, grid) = scene_cloud();
+        let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
+        let store = VoxelStore::from_quantized(&quant, &grid);
+        let budget = PageConfig {
+            slots_per_page: 8,
+            max_resident_pages: 2,
+        };
+        let paged = store.paged_twin(budget);
+        assert!(paged.is_vq());
+        let mut l = TrafficLedger::new();
+        for slot in 0..store.len() as u32 {
+            assert_eq!(
+                paged.fetch_fine(slot, &mut l),
+                quant.decode_one(paged.id_of(slot) as usize)
+            );
+        }
+        // Two columns × two pages × 8 slots each is the residency ceiling.
+        let per_page = 8 * (COARSE_BYTES as u64).max(paged.fine_bytes_per_gaussian());
+        assert!(paged.resident_column_bytes() <= 4 * per_page);
+        // The budget forces evictions: more faults than distinct pages.
+        let distinct = 2 * (store.len() as u64).div_ceil(8);
+        assert!(
+            paged.page_faults() >= distinct,
+            "faults {} < distinct pages {}",
+            paged.page_faults(),
+            distinct
+        );
+    }
+
+    #[test]
+    fn scene_file_round_trips_on_disk() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let path = std::env::temp_dir().join("gsvs_store_roundtrip.gsvs");
+        store.write_scene_file(&path).expect("write scene file");
+        let paged = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("open");
+        let mut la = TrafficLedger::new();
+        let mut lb = TrafficLedger::new();
+        for slot in 0..store.len() as u32 {
+            assert_eq!(
+                store.fetch_fine(slot, &mut la),
+                paged.fetch_fine(slot, &mut lb)
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewriting_a_file_paged_store_over_its_own_backing_is_safe() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let path = std::env::temp_dir().join("gsvs_rewrite_self.gsvs");
+        store.write_scene_file(&path).expect("initial write");
+        let paged = VoxelStore::open_paged_file(
+            &path,
+            PageConfig {
+                slots_per_page: 8,
+                max_resident_pages: 2,
+            },
+        )
+        .expect("open");
+        let mut l = TrafficLedger::new();
+        let g0 = paged.fetch_fine(0, &mut l);
+        // Re-writing over the store's own backing file must serialize
+        // (paging everything in) before truncating the destination.
+        paged.write_scene_file(&path).expect("rewrite over self");
+        assert_eq!(paged.fetch_fine(0, &mut l), g0);
+        let reopened = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("reopen");
+        assert_eq!(reopened.fetch_fine(0, &mut l), g0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let err = VoxelStore::open_paged_bytes(vec![0u8; 16], PageConfig::default());
+        assert!(err.is_err());
+        let err = VoxelStore::open_paged_bytes(Vec::new(), PageConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn open_rejects_hostile_headers_without_allocating() {
+        let (cloud, grid) = scene_cloud();
+        let good = VoxelStore::from_cloud(&cloud, &grid).to_scene_bytes();
+        // Huge n_voxels: must fail the length check, not allocate ~34 GB.
+        let mut evil = good.clone();
+        evil[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+        // A slot range pointing past the slot column must fail at open,
+        // not out-of-bounds at render time.
+        let mut evil = good.clone();
+        evil[24 + 4..24 + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+        // Truncated columns fail at open too.
+        let mut evil = good.clone();
+        evil.truncate(good.len() - 100);
+        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+    }
+
+    #[test]
+    fn clone_of_paged_store_starts_cold_but_reads_identically() {
+        let (cloud, grid) = scene_cloud();
+        let store = VoxelStore::from_cloud(&cloud, &grid);
+        let paged = store.paged_twin(PageConfig::default());
+        let mut l = TrafficLedger::new();
+        let g0 = paged.fetch_fine(0, &mut l);
+        let cold = paged.clone();
+        assert_eq!(cold.page_faults(), 0, "clones share no page state");
+        assert_eq!(cold.fetch_fine(0, &mut l), g0);
     }
 }

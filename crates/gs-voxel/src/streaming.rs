@@ -14,11 +14,13 @@ use crate::dda::traverse_into;
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::{topological_order_into, OrderScratch};
-use crate::store::VoxelStore;
+use crate::store::{PageConfig, VoxelStore};
 use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
 use gs_core::vec::{Vec2, Vec3};
+use gs_mem::cache::{CacheConfig, CacheReport, WorkingSetCache};
+use gs_mem::dram::{round_to_burst, DEFAULT_BURST_BYTES};
 use gs_mem::{Direction, Stage, TrafficLedger};
 use gs_render::pool::WorkerPool;
 use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
@@ -26,6 +28,7 @@ use gs_scene::{Gaussian, GaussianCloud};
 use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io;
 use std::sync::Mutex;
 
 /// An out-of-order blend counts as a violation only when the depth
@@ -61,6 +64,15 @@ pub struct StreamingConfig {
     pub ray_stride: u32,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Working-set cache model in front of the store's coarse/fine
+    /// fetches. When set, one [`WorkingSetCache`] per stage persists
+    /// across frames (trajectory temporal locality): repeat fetches are
+    /// metered as on-chip hits and only burst-rounded line fills reach the
+    /// ledger's DRAM counters. The simulation is trace-driven in
+    /// deterministic group order, so hit/miss counts are invariant across
+    /// worker-thread counts. `None` (the default) meters every fetch as
+    /// its own burst-rounded DRAM transaction.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for StreamingConfig {
@@ -75,6 +87,7 @@ impl Default for StreamingConfig {
             background: Vec3::ZERO,
             ray_stride: 1,
             threads: 0,
+            cache: None,
         }
     }
 }
@@ -184,8 +197,14 @@ pub struct StreamingOutput {
     /// writeback of this frame, metered as the bytes moved (per-worker
     /// ledgers merged in deterministic worker order). The workload's byte
     /// counters are derived from this ledger, so
-    /// `ledger.total() == workload.dram_bytes()` always holds.
+    /// `ledger.total() == workload.dram_bytes()` always holds. The
+    /// ledger's DRAM-transaction counters carry the burst-rounded traffic
+    /// (cache-miss fills only when [`StreamingConfig::cache`] is set) and
+    /// its hit counters the on-chip bytes.
     pub ledger: TrafficLedger,
+    /// Per-stage working-set cache accounting of this frame (hit rates,
+    /// fill traffic); `None` when no cache is configured.
+    pub cache: Option<CacheReport>,
 }
 
 /// Where the per-voxel streaming phases fetch Gaussian data from.
@@ -295,6 +314,30 @@ impl StreamingScene {
         &self.store
     }
 
+    /// Swaps the store's backing for a demand-paged twin materialized from
+    /// its serialized in-memory scene image ([`VoxelStore::paged_twin`]).
+    /// Rendering stays byte-identical — paging is host-memory management,
+    /// not modeled traffic.
+    pub fn page_out(&mut self, config: PageConfig) {
+        self.store = self.store.paged_twin(config);
+    }
+
+    /// Serializes the store to `path` and reopens it demand-paged from
+    /// that file — the columns now live on disk and only materialized
+    /// pages occupy host memory.
+    pub fn page_out_file(&mut self, path: &std::path::Path, config: PageConfig) -> io::Result<()> {
+        self.store.write_scene_file(path)?;
+        self.store = VoxelStore::open_paged_file(path, config)?;
+        Ok(())
+    }
+
+    /// Evicts the working-set cache model (the next frame starts cold).
+    /// No-op when no cache is configured.
+    pub fn reset_cache(&self) {
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        guard.cache = None;
+    }
+
     /// The configuration.
     pub fn config(&self) -> &StreamingConfig {
         &self.config
@@ -376,6 +419,7 @@ impl StreamingScene {
             let group_scratch = &mut scratch.groups[0];
             group_scratch.violating.clear();
             group_scratch.ledger.clear();
+            group_scratch.trace.clear();
             for t in 0..n_groups {
                 let gx = t as u32 % groups_x;
                 let gy = t as u32 / groups_x;
@@ -405,6 +449,7 @@ impl StreamingScene {
                 let group_scratch = unsafe { &mut *(gs_base as *mut GroupScratch).add(c) };
                 group_scratch.violating.clear();
                 group_scratch.ledger.clear();
+                group_scratch.trace.clear();
                 if lo >= hi {
                     return;
                 }
@@ -484,12 +529,68 @@ impl StreamingScene {
             }
             ledger.merge(&chunk_scratch.ledger);
         }
+
+        // Working-set cache simulation: replay the recorded coarse/fine
+        // fetch trace through the frame-persistent caches. Chunks cover
+        // contiguous group ranges in chunk order, so walking the chunk
+        // traces back-to-back replays the frame in global group order —
+        // the cache outcome is a pure function of that order and therefore
+        // invariant across worker-thread counts. Hits become on-chip
+        // bytes, misses become burst-rounded line fills (the only DRAM
+        // transaction traffic of the cached stages).
+        let cache_report = self.config.cache.map(|cache_cfg| {
+            let sim = scratch.cache.get_or_insert_with(|| FrameCacheSim {
+                coarse: WorkingSetCache::new(cache_cfg),
+                fine: WorkingSetCache::new(cache_cfg),
+            });
+            let fine_bpg = self.store.fine_bytes_per_gaussian();
+            let coarse_bpg = self.store.coarse_bytes_per_gaussian();
+            let mut rep = CacheReport::default();
+            let mut t = 0usize;
+            for chunk_scratch in &scratch.groups[..chunks] {
+                for op in &chunk_scratch.trace {
+                    match *op {
+                        TraceOp::Coarse(vid) => {
+                            let slots = self.store.slots_of(vid);
+                            let addr = slots.start as u64 * coarse_bpg;
+                            let bytes = (slots.end - slots.start) as u64 * coarse_bpg;
+                            let o = sim.coarse.access(addr, bytes, &mut rep.coarse);
+                            ledger.note_hit(Stage::VoxelCoarse, Direction::Read, o.hit_bytes);
+                            ledger.note_dram(Stage::VoxelCoarse, Direction::Read, o.fill_bytes);
+                            let w = &mut workload.tiles[t];
+                            w.coarse_hit_bytes += o.hit_bytes;
+                            w.coarse_dram_bytes += o.fill_bytes;
+                        }
+                        TraceOp::Fine(slot) => {
+                            let o =
+                                sim.fine
+                                    .access(slot as u64 * fine_bpg, fine_bpg, &mut rep.fine);
+                            ledger.note_hit(Stage::VoxelFine, Direction::Read, o.hit_bytes);
+                            ledger.note_dram(Stage::VoxelFine, Direction::Read, o.fill_bytes);
+                            let w = &mut workload.tiles[t];
+                            w.fine_hit_bytes += o.hit_bytes;
+                            w.fine_dram_bytes += o.fill_bytes;
+                        }
+                        TraceOp::GroupEnd => t += 1,
+                    }
+                }
+            }
+            debug_assert_eq!(t, n_groups, "trace group markers out of sync");
+            rep
+        });
+
         debug_assert_eq!(ledger.total(), workload.dram_bytes());
+        debug_assert_eq!(
+            ledger.dram_total(),
+            workload.totals().dram_transaction_bytes()
+        );
+        debug_assert_eq!(ledger.hit_total(), workload.totals().cache_hit_bytes());
         StreamingOutput {
             image,
             workload,
             violations,
             ledger,
+            cache: cache_report,
         }
     }
 
@@ -538,12 +639,26 @@ impl StreamingScene {
             blend,
             violating,
             ledger,
+            trace,
         } = scratch;
+        // With a cache configured, coarse/fine fetches are recorded in the
+        // trace and their DRAM/hit accounting happens in the frame-end
+        // replay; without one, each fetch is its own burst-rounded DRAM
+        // transaction, metered right here.
+        let cached = self.config.cache.is_some();
+        let burst = self
+            .config
+            .cache
+            .map(|c| c.burst_bytes)
+            .unwrap_or(DEFAULT_BURST_BYTES);
         // The worker ledger accumulates across groups; this group's byte
         // counters are the deltas over these baselines.
         let base_coarse = ledger.get(Stage::VoxelCoarse, Direction::Read);
         let base_fine = ledger.get(Stage::VoxelFine, Direction::Read);
         let base_pixel = ledger.get(Stage::PixelOut, Direction::Write);
+        let base_coarse_dram = ledger.dram(Stage::VoxelCoarse, Direction::Read);
+        let base_fine_dram = ledger.dram(Stage::VoxelFine, Direction::Read);
+        let base_pixel_dram = ledger.dram(Stage::PixelOut, Direction::Write);
 
         // --- VSU: ray sampling + voxel ordering --------------------------
         let (dx, dy, dz) = self.grid.dims();
@@ -630,6 +745,17 @@ impl StreamingScene {
             let count = self.store.slots_of(vid).len() as u64;
             w.voxels_processed += 1;
             w.gaussians_streamed += count;
+            // One whole-voxel coarse burst: trace it for the cache replay,
+            // or meter it as an uncached DRAM transaction now.
+            if cached {
+                trace.push(TraceOp::Coarse(vid));
+            } else {
+                ledger.note_dram(
+                    Stage::VoxelCoarse,
+                    Direction::Read,
+                    round_to_burst(count * coarse_bpg, burst),
+                );
+            }
 
             // Phase 1: coarse filter — streams the voxel's first-half
             // column (16 B/Gaussian burst, metered by the fetch).
@@ -667,8 +793,16 @@ impl StreamingScene {
             // Phase 2: fine filter — fetches (and for VQ, decodes) each
             // survivor's second-half record, metered per record.
             splats.clear();
+            let fine_dram_rec = round_to_burst(fine_bpg, burst);
             splats.extend(survivors.iter().filter_map(|&slot| {
                 let gi = self.store.id_of(slot);
+                // Each record is one scattered fetch: traced for the cache
+                // replay, or one burst-rounded DRAM transaction.
+                if cached {
+                    trace.push(TraceOp::Fine(slot));
+                } else {
+                    ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
+                }
                 let g: Gaussian = match path {
                     FetchPath::Store => self.store.fetch_fine(slot, ledger),
                     FetchPath::CloudTwin { render } => {
@@ -700,15 +834,24 @@ impl StreamingScene {
             }
         }
 
-        // Final pixel writeback (RGBA f32), metered like every other byte.
+        // Final pixel writeback (RGBA f32): one contiguous burst-rounded
+        // DRAM transaction, metered like every other byte (never cached).
         let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
-        ledger.add(Stage::PixelOut, Direction::Write, live_pixels * 16);
+        ledger.add_transfer(Stage::PixelOut, Direction::Write, live_pixels * 16, burst);
+        if cached {
+            trace.push(TraceOp::GroupEnd);
+        }
 
         // The group's byte counters are read back from the ledger — the
         // ledger is the source of truth, the workload a per-tile view.
+        // (With a cache, the coarse/fine DRAM deltas are zero here; the
+        // frame-end replay fills them in per group.)
         w.coarse_bytes = ledger.get(Stage::VoxelCoarse, Direction::Read) - base_coarse;
         w.fine_bytes = ledger.get(Stage::VoxelFine, Direction::Read) - base_fine;
         w.pixel_bytes = ledger.get(Stage::PixelOut, Direction::Write) - base_pixel;
+        w.coarse_dram_bytes = ledger.dram(Stage::VoxelCoarse, Direction::Read) - base_coarse_dram;
+        w.fine_dram_bytes = ledger.dram(Stage::VoxelFine, Direction::Read) - base_fine_dram;
+        w.pixel_dram_bytes = ledger.dram(Stage::PixelOut, Direction::Write) - base_pixel_dram;
 
         blend.finish(self.config.background, pixels);
         (w, violating_blends)
@@ -730,6 +873,29 @@ struct StreamScratch {
     vblends: Vec<u64>,
     /// Per-chunk reusable working state.
     groups: Vec<GroupScratch>,
+    /// Frame-persistent working-set cache simulation (lazily built from
+    /// [`StreamingConfig::cache`]); carries state across frames so
+    /// trajectories exercise temporal locality.
+    cache: Option<FrameCacheSim>,
+}
+
+/// One working-set cache per cached pipeline stage.
+#[derive(Debug)]
+struct FrameCacheSim {
+    coarse: WorkingSetCache,
+    fine: WorkingSetCache,
+}
+
+/// One recorded fetch of a group's coarse/fine phases, replayed through
+/// the cache simulation in deterministic group order at frame end.
+#[derive(Copy, Clone, Debug)]
+enum TraceOp {
+    /// A whole-voxel first-half burst.
+    Coarse(u32),
+    /// One second-half record fetch.
+    Fine(u32),
+    /// Group boundary (advances the per-tile accounting cursor).
+    GroupEnd,
 }
 
 /// Reusable per-chunk working buffers for [`StreamingScene::render`].
@@ -760,6 +926,10 @@ struct GroupScratch {
     /// of its groups, merged into the frame ledger (in chunk order) after
     /// the parallel section — byte accounting without a shared lock.
     ledger: TrafficLedger,
+    /// This worker's recorded coarse/fine fetch trace (group-delimited),
+    /// replayed through the frame's cache simulation in deterministic
+    /// group order. Empty when no cache is configured.
+    trace: Vec<TraceOp>,
 }
 
 struct FragOutcome {

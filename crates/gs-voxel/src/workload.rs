@@ -41,12 +41,27 @@ pub struct TileWorkload {
     pub blend_lanes: u64,
     /// Fragments actually blended (alpha above threshold).
     pub blend_fragments: u64,
-    /// DRAM bytes fetched for the coarse phase.
+    /// Demand bytes fetched for the coarse phase.
     pub coarse_bytes: u64,
-    /// DRAM bytes fetched for the fine phase.
+    /// Demand bytes fetched for the fine phase.
     pub fine_bytes: u64,
-    /// DRAM bytes written for final pixels.
+    /// Demand bytes written for final pixels.
     pub pixel_bytes: u64,
+    /// Coarse-phase DRAM *transaction* bytes: burst-rounded per transfer,
+    /// cache-miss fills only when the renderer's working-set cache is
+    /// enabled. Derived from the ledger's DRAM counters, like the demand
+    /// bytes above. Zero in pre-cache workloads (the model then falls
+    /// back to demand bytes).
+    pub coarse_dram_bytes: u64,
+    /// Fine-phase DRAM transaction bytes (see `coarse_dram_bytes`).
+    pub fine_dram_bytes: u64,
+    /// Pixel-writeback DRAM transaction bytes (burst-rounded; the
+    /// writeback is never cached).
+    pub pixel_dram_bytes: u64,
+    /// Coarse-phase demand bytes served on-chip by the working-set cache.
+    pub coarse_hit_bytes: u64,
+    /// Fine-phase demand bytes served on-chip by the working-set cache.
+    pub fine_hit_bytes: u64,
 }
 
 impl AddAssign for TileWorkload {
@@ -67,13 +82,67 @@ impl AddAssign for TileWorkload {
         self.coarse_bytes += o.coarse_bytes;
         self.fine_bytes += o.fine_bytes;
         self.pixel_bytes += o.pixel_bytes;
+        self.coarse_dram_bytes += o.coarse_dram_bytes;
+        self.fine_dram_bytes += o.fine_dram_bytes;
+        self.pixel_dram_bytes += o.pixel_dram_bytes;
+        self.coarse_hit_bytes += o.coarse_hit_bytes;
+        self.fine_hit_bytes += o.fine_hit_bytes;
     }
 }
 
 impl TileWorkload {
-    /// Total DRAM bytes this tile moved.
+    /// Total demand bytes this tile asked the memory system for (the
+    /// byte-exactness invariant; equal to the ledger's demand stages).
     pub fn dram_bytes(&self) -> u64 {
         self.coarse_bytes + self.fine_bytes + self.pixel_bytes
+    }
+
+    /// Total DRAM *transaction* bytes this tile moved (burst-rounded,
+    /// post-cache). Zero when the workload predates DRAM transaction
+    /// accounting.
+    pub fn dram_transaction_bytes(&self) -> u64 {
+        self.coarse_dram_bytes + self.fine_dram_bytes + self.pixel_dram_bytes
+    }
+
+    /// Demand bytes the working-set cache served on-chip.
+    pub fn cache_hit_bytes(&self) -> u64 {
+        self.coarse_hit_bytes + self.fine_hit_bytes
+    }
+
+    /// `true` when this tile carries recorded DRAM transaction / cache-hit
+    /// accounting. **The** legacy predicate: [`FrameWorkload::to_ledger`]
+    /// and the accelerator's per-tile fetch term both branch on it, so
+    /// DRAM-time and energy pricing can never desynchronize.
+    pub fn has_transaction_accounting(&self) -> bool {
+        self.dram_transaction_bytes() + self.cache_hit_bytes() > 0
+    }
+
+    /// `(coarse, fine, pixel)` DRAM transaction bytes **synthesized** for
+    /// a tile recorded before transaction accounting (all `*_dram_bytes`
+    /// zero): each stage's demand is split over its known transfer count
+    /// (coarse: one burst per processed voxel; fine: one record per
+    /// coarse survivor; pixels: one writeback per tile) and each transfer
+    /// is rounded up to the default burst — exact for uniform record
+    /// sizes, the average-record approximation otherwise. Both
+    /// [`FrameWorkload::to_ledger`] and the accelerator model's fetch
+    /// term use this, so a legacy workload is priced from one consistent
+    /// byte count everywhere.
+    pub fn synthesized_dram_bytes(&self) -> (u64, u64, u64) {
+        use gs_mem::dram::{round_to_burst, DEFAULT_BURST_BYTES};
+        let synth = |bytes: u64, transfers: u64| -> u64 {
+            if bytes == 0 {
+                0
+            } else if transfers == 0 {
+                round_to_burst(bytes, DEFAULT_BURST_BYTES)
+            } else {
+                transfers * round_to_burst(bytes.div_ceil(transfers), DEFAULT_BURST_BYTES)
+            }
+        };
+        (
+            synth(self.coarse_bytes, self.voxels_processed as u64),
+            synth(self.fine_bytes, self.coarse_survivors),
+            round_to_burst(self.pixel_bytes, DEFAULT_BURST_BYTES),
+        )
     }
 
     /// Fraction of streamed Gaussians removed by hierarchical filtering
@@ -123,18 +192,46 @@ impl FrameWorkload {
     }
 
     /// Rebuilds the frame's per-stage traffic ledger from the byte
-    /// counters (coarse/fine reads + pixel writes).
+    /// counters (coarse/fine reads + pixel writes), including the DRAM
+    /// transaction and cache-hit classes.
     ///
     /// For a freshly rendered frame this equals the measured ledger the
     /// renderer returns (the counters are derived from it); use this for
     /// *derived* workloads — extrapolated, synthetic or deserialized —
-    /// where no measured ledger exists.
+    /// where no measured ledger exists. Tiles that predate DRAM
+    /// transaction accounting (no `*_dram_bytes`/`*_hit_bytes` recorded)
+    /// get their transaction bytes **synthesized** per tile via
+    /// [`TileWorkload::synthesized_dram_bytes`] — the same numbers the
+    /// accelerator's fetch term uses, decided tile by tile, so mixed
+    /// measured/legacy frames stay self-consistent.
     pub fn to_ledger(&self) -> TrafficLedger {
         let t = self.totals();
         let mut l = TrafficLedger::new();
         l.add(Stage::VoxelCoarse, Direction::Read, t.coarse_bytes);
         l.add(Stage::VoxelFine, Direction::Read, t.fine_bytes);
         l.add(Stage::PixelOut, Direction::Write, t.pixel_bytes);
+        // Recorded-vs-synthesized is decided tile by tile, with the same
+        // predicate and synthesis the accelerator's per-tile fetch term
+        // uses ([`TileWorkload::synthesized_dram_bytes`]) — so even a
+        // frame mixing measured and legacy tiles is priced from one
+        // consistent byte count everywhere.
+        let (coarse_dram, fine_dram, pixel_dram) = {
+            let mut acc = (0u64, 0u64, 0u64);
+            for w in &self.tiles {
+                let (c, f, p) = if w.has_transaction_accounting() {
+                    (w.coarse_dram_bytes, w.fine_dram_bytes, w.pixel_dram_bytes)
+                } else {
+                    w.synthesized_dram_bytes()
+                };
+                acc = (acc.0 + c, acc.1 + f, acc.2 + p);
+            }
+            acc
+        };
+        l.note_dram(Stage::VoxelCoarse, Direction::Read, coarse_dram);
+        l.note_dram(Stage::VoxelFine, Direction::Read, fine_dram);
+        l.note_dram(Stage::PixelOut, Direction::Write, pixel_dram);
+        l.note_hit(Stage::VoxelCoarse, Direction::Read, t.coarse_hit_bytes);
+        l.note_hit(Stage::VoxelFine, Direction::Read, t.fine_hit_bytes);
         l
     }
 }
@@ -181,6 +278,35 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(w.dram_bytes(), 175);
+    }
+
+    #[test]
+    fn to_ledger_synthesizes_per_transfer_rounding_for_legacy_workloads() {
+        // A workload without DRAM transaction fields (pre-cache, or
+        // hand-built in tests) gets per-transfer burst rounding from its
+        // transfer counts: 1000 scattered 13 B records = 1000 bursts.
+        let mut f = FrameWorkload::default();
+        f.tiles.push(TileWorkload {
+            voxels_processed: 10,
+            coarse_survivors: 1_000,
+            coarse_bytes: 10 * 640, // ten 640 B voxel bursts (already aligned)
+            fine_bytes: 1_000 * 13,
+            pixel_bytes: 4_096,
+            ..Default::default()
+        });
+        let l = f.to_ledger();
+        assert_eq!(l.dram(Stage::VoxelCoarse, Direction::Read), 10 * 640);
+        assert_eq!(l.dram(Stage::VoxelFine, Direction::Read), 1_000 * 32);
+        assert_eq!(l.dram(Stage::PixelOut, Direction::Write), 4_096);
+        assert!(l.has_dram_accounting());
+        // Recorded fields win over synthesis and round-trip exactly.
+        f.tiles[0].coarse_dram_bytes = 7_000;
+        f.tiles[0].fine_dram_bytes = 31_968;
+        f.tiles[0].pixel_dram_bytes = 4_096;
+        f.tiles[0].coarse_hit_bytes = 123;
+        let l = f.to_ledger();
+        assert_eq!(l.dram_total(), 7_000 + 31_968 + 4_096);
+        assert_eq!(l.hit_total(), 123);
     }
 
     #[test]

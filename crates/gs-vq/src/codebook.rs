@@ -49,6 +49,12 @@ impl Codebook {
         self.dim
     }
 
+    /// The raw `len() × dim` centroid table, row-major (e.g. for
+    /// serializing a trained codebook into a scene file).
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
     /// Encodes `v` to its nearest entry, returning `(index, squared error)`.
     ///
     /// # Panics

@@ -135,11 +135,20 @@ impl FeatureCodebooks {
     ///
     /// # Panics
     ///
-    /// Panics when an index does not fit its codebook's narrow width
-    /// (i.e. a codebook with more than 65536 entries) — silently wrapping
-    /// would break the byte codec's losslessness guarantee.
+    /// Panics when an index does not fit its codebook's narrow width, or
+    /// when a codebook reports an index width outside {1, 2} bytes (a
+    /// hypothetical > 65536-entry codebook): both would silently truncate
+    /// and break the byte codec's losslessness guarantee. The width check
+    /// is asserted symmetrically in [`Self::read_record`], so an
+    /// unsupported codebook can never round-trip wrongly in either
+    /// direction.
     pub fn write_record(&self, r: &QuantRecord, out: &mut Vec<u8>) {
         let put = |out: &mut Vec<u8>, idx: u32, width: u64| {
+            assert!(
+                matches!(width, 1 | 2),
+                "unsupported codebook index width {width} (the record codec \
+                 serializes 1- or 2-byte indices only)"
+            );
             assert!(
                 idx < 1u32 << (8 * width as u32),
                 "codebook index {idx} overflows its {width}-byte record slot"
@@ -164,10 +173,18 @@ impl FeatureCodebooks {
     ///
     /// # Panics
     ///
-    /// Panics when `bytes` is shorter than [`Self::record_bytes`].
+    /// Panics when `bytes` is shorter than [`Self::record_bytes`], or when
+    /// a codebook reports an index width outside {1, 2} bytes — the same
+    /// guard [`Self::write_record`] enforces, so the codec's losslessness
+    /// contract is checked symmetrically on both sides.
     pub fn read_record(&self, bytes: &[u8]) -> QuantRecord {
         let mut at = 0usize;
         let mut get = |width: u64| -> u32 {
+            assert!(
+                matches!(width, 1 | 2),
+                "unsupported codebook index width {width} (the record codec \
+                 deserializes 1- or 2-byte indices only)"
+            );
             let v = match width {
                 1 => bytes[at] as u32,
                 _ => u16::from_le_bytes([bytes[at], bytes[at + 1]]) as u32,
@@ -476,6 +493,35 @@ mod tests {
             q.codebooks.write_record(r, &mut buf);
             assert_eq!(buf.len() as u64, q.codebooks.record_bytes());
             assert_eq!(q.codebooks.read_record(&buf), *r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its 2-byte record slot")]
+    fn oversized_index_panics_instead_of_truncating() {
+        let (_, q) = quantized();
+        let mut r = q.records[0];
+        r.scale = 70_000; // cannot fit any supported index width
+        let mut buf = Vec::new();
+        // Must panic: silently writing `r.scale as u16` would truncate and
+        // break the codec's losslessness guarantee.
+        let wide = FeatureCodebooks {
+            scale: Codebook::from_centroids(vec![0.0; 512 * 3], 3),
+            ..q.codebooks.clone()
+        };
+        wide.write_record(&r, &mut buf);
+    }
+
+    #[test]
+    fn every_constructible_codebook_width_is_codec_supported() {
+        // `index_bytes` promises 1 or 2 for any entry count — the width
+        // asserts in write_record/read_record guard the day that changes.
+        for entries in [1usize, 256, 257, 4096, 65_536, 70_000] {
+            let cb = Codebook::from_centroids(vec![0.0; entries], 1);
+            assert!(
+                matches!(cb.index_bytes(), 1 | 2),
+                "codebook with {entries} entries reports unsupported width"
+            );
         }
     }
 
