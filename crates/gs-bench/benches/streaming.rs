@@ -1,0 +1,351 @@
+//! Streaming group-loop benchmark: the CSR/bitset bookkeeping vs the PR 4
+//! hash-map/byte-mask bookkeeping, plus whole-frame context timings.
+//!
+//! PR 5 reworked `StreamingScene`'s per-group inner loop: the voxel→pixel
+//! map became an epoch-remapped counting-sort CSR (no hash map), and the
+//! per-voxel ray masks / blend saturation became packed `u64` bitsets (no
+//! byte-per-pixel scans, stride dilation by precomputed word spans). The
+//! frame's *payload* — DDA marching, filters, the EWA blend arithmetic —
+//! is unchanged by design (byte-identical output), so this bench measures
+//! two things separately:
+//!
+//! * **group-loop mechanism** (the gated number) — both bookkeeping
+//!   implementations run over the *same captured per-group ray lists* of a
+//!   real frame: build the voxel→pixel map, then per ordered voxel build
+//!   the dilated ray mask and evaluate the any-live test. The new side is
+//!   the production `VoxelPixelCsr`/`MaskScratch`; the old side is the
+//!   PR 4 mechanism reconstructed inline (`HashMap<u32, Vec<u32>>` with
+//!   spare-list recycling, `Vec<bool>` mask with a stride² dilation loop
+//!   and a byte-per-pixel live scan).
+//! * **whole frames** (context, not gated) — `render` vs
+//!   `render_reference_loop` single-threaded ms/frame, plus the all-core
+//!   production loop. At bench scale the shared payload dominates these,
+//!   which is exactly why the mechanism is timed in isolation.
+//!
+//! The two loops' byte-exactness (image, workload, ledger, cache stats —
+//! raw and VQ, cached and uncached) is asserted along the way. Ends with
+//! one machine-readable `STREAM_JSON {...}` line; CI persists it as
+//! `BENCH_streaming.json` and gates on `speedup_ok` (Truck group-loop
+//! mechanism ≥ 1.5× single-threaded) and `exact_ok`.
+
+use gs_bench::fmt::{banner, Table};
+use gs_bench::setup::{bench_scale, build_scene, BenchScale};
+use gs_mem::cache::CacheConfig;
+use gs_scene::SceneKind;
+use gs_voxel::dda::traverse_into;
+use gs_voxel::filter::TileRect;
+use gs_voxel::order::{topological_order_into, OrderScratch};
+use gs_voxel::streaming::{MaskScratch, RayChunk, VoxelPixelCsr};
+use gs_voxel::{StreamingConfig, StreamingOutput, StreamingScene};
+use gs_vq::VqConfig;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Single-threaded Truck group-loop mechanism speedup gate.
+const TRUCK_SPEEDUP_BAR: f64 = 1.5;
+/// The paper's pixel-group edge (64×64, the 89 KB intermediate buffer).
+const GROUP: u32 = 64;
+
+/// Milliseconds per call of `f`, measured over at least `min_calls` calls
+/// and 0.2 s.
+fn ms_of(min_calls: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (fills scratch/arenas once)
+    let start = Instant::now();
+    let mut calls = 0u32;
+    while calls < min_calls || start.elapsed().as_secs_f64() < 0.2 {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e3 / calls as f64
+}
+
+fn identical(a: &StreamingOutput, b: &StreamingOutput) -> bool {
+    a.image == b.image
+        && a.workload == b.workload
+        && a.violations == b.violations
+        && a.ledger == b.ledger
+        && a.cache == b.cache
+}
+
+/// One pixel group's captured VSU inputs: the per-ray voxel lists (both
+/// representations), the voxel rendering order, and the grid geometry the
+/// pixel-index recovery needs.
+struct GroupCapture {
+    /// Ray lists as the PR 4 loop consumed them.
+    lists: Vec<Vec<u32>>,
+    /// Group-local pixel index per ray (PR 4 pushed these into the map).
+    ray_pixels: Vec<u32>,
+    /// The same rays packed as one flat chunk (the CSR loop's input).
+    chunk: RayChunk,
+    /// The group's voxel streaming order.
+    order: Vec<u32>,
+    /// Sampled rays per row (recovers pixel indices from ray indices).
+    nx: u32,
+}
+
+/// Captures every group's ray lists and voxel order for one frame.
+fn capture_groups(scene: &StreamingScene, cam: &gs_core::camera::Camera) -> Vec<GroupCapture> {
+    let grid = scene.grid();
+    let (dx, dy, dz) = grid.dims();
+    let max_steps = 3 * (dx + dy + dz) + 6;
+    let (width, height) = (cam.width(), cam.height());
+    let mut groups = Vec::new();
+    let mut order_scratch = OrderScratch::new();
+    for gy in 0..height.div_ceil(GROUP) {
+        for gx in 0..width.div_ceil(GROUP) {
+            let rect = TileRect::of_tile(gx, gy, GROUP, width, height);
+            let (px0, py0, px1, py1) = rect.pixel_bounds(width, height);
+            let mut cap = GroupCapture {
+                lists: Vec::new(),
+                ray_pixels: Vec::new(),
+                chunk: RayChunk::new(),
+                order: Vec::new(),
+                nx: px1 - px0,
+            };
+            let mut voxels = Vec::new();
+            for py in py0..py1 {
+                for px in px0..px1 {
+                    let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
+                    traverse_into(grid, &ray, max_steps, &mut voxels);
+                    cap.chunk.push_ray(&voxels);
+                    cap.ray_pixels.push((py - py0) * GROUP + (px - px0));
+                    cap.lists.push(voxels.clone());
+                }
+            }
+            topological_order_into(
+                &cap.lists,
+                |v| cam.world_to_camera(grid.voxel_center(v)).z,
+                &mut order_scratch,
+                &mut cap.order,
+            );
+            groups.push(cap);
+        }
+    }
+    groups
+}
+
+/// The PR 4 group-loop mechanism, reconstructed inline: hash-map
+/// voxel→pixel build with spare-list recycling, then per ordered voxel a
+/// `Vec<bool>` mask filled by the stride² dilation loop and scanned
+/// byte-per-pixel for the any-live test.
+struct LegacyMechanism {
+    voxel_pixels: HashMap<u32, Vec<u32>>,
+    spare_lists: Vec<Vec<u32>>,
+    mask: Vec<bool>,
+    done: Vec<bool>,
+}
+
+impl LegacyMechanism {
+    fn new() -> LegacyMechanism {
+        LegacyMechanism {
+            voxel_pixels: HashMap::new(),
+            spare_lists: Vec::new(),
+            mask: vec![false; (GROUP * GROUP) as usize],
+            done: vec![false; (GROUP * GROUP) as usize],
+        }
+    }
+
+    fn run(&mut self, cap: &GroupCapture, stride: u32) -> u64 {
+        for (_, mut list) in self.voxel_pixels.drain() {
+            list.clear();
+            self.spare_lists.push(list);
+        }
+        for (list, &pix) in cap.lists.iter().zip(&cap.ray_pixels) {
+            for &v in list {
+                self.voxel_pixels
+                    .entry(v)
+                    .or_insert_with(|| self.spare_lists.pop().unwrap_or_default())
+                    .push(pix);
+            }
+        }
+        let mut live_voxels = 0u64;
+        for &vid in &cap.order {
+            self.mask.fill(false);
+            let mut any_live = false;
+            if let Some(pixels) = self.voxel_pixels.get(&vid) {
+                for &pi in pixels {
+                    let (bx, by) = (pi % GROUP, pi / GROUP);
+                    for dy in 0..stride {
+                        for dx in 0..stride {
+                            let (mx, my) = (bx + dx, by + dy);
+                            if mx < GROUP && my < GROUP {
+                                let mi = (my * GROUP + mx) as usize;
+                                self.mask[mi] = true;
+                                any_live |= !self.done[mi];
+                            }
+                        }
+                    }
+                }
+            }
+            live_voxels += any_live as u64;
+        }
+        live_voxels
+    }
+}
+
+/// The PR 5 mechanism: the production CSR + bitset scratch types.
+struct CsrMechanism {
+    csr: VoxelPixelCsr,
+    mask: MaskScratch,
+    done_words: Vec<u64>,
+}
+
+impl CsrMechanism {
+    fn new(stride: u32) -> CsrMechanism {
+        let mut mask = MaskScratch::new();
+        mask.prepare(GROUP, stride);
+        CsrMechanism {
+            csr: VoxelPixelCsr::new(),
+            mask,
+            done_words: vec![0; ((GROUP * GROUP) as usize).div_ceil(64)],
+        }
+    }
+
+    fn run(&mut self, cap: &GroupCapture, stride: u32) -> u64 {
+        self.csr
+            .build(std::slice::from_ref(&cap.chunk), cap.nx, stride, GROUP);
+        let mut live_voxels = 0u64;
+        for &vid in &cap.order {
+            self.mask.begin_voxel();
+            for &pi in self.csr.pixels_of(vid) {
+                self.mask.cover(pi);
+            }
+            live_voxels += self.mask.any_live(&self.done_words) as u64;
+        }
+        live_voxels
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let stride = 1u32;
+    banner("Streaming — CSR/bitset group loop vs the PR 4 reference loop");
+    println!(
+        "loop = voxel→pixel map + per-voxel mask/any-live mechanism on captured rays ({GROUP}px groups);\nframe = whole render, single-threaded (payload-dominated, context only); bar: Truck loop >= {TRUCK_SPEEDUP_BAR:.1}x\n"
+    );
+
+    let mut table = Table::new(&[
+        "scene",
+        "loop old(ms)",
+        "loop csr(ms)",
+        "loop speedup",
+        "frame old(ms)",
+        "frame csr(ms)",
+        "frame mt(ms)",
+        "exact",
+    ]);
+    let mut rows = Vec::new();
+    let mut truck_speedup = 0.0f64;
+    let mut all_exact = true;
+    for kind in SceneKind::ALL {
+        let scene = build_scene(kind);
+        let cam = scene.eval_cameras[0];
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            group_size: GROUP,
+            ray_stride: stride,
+            threads: 1,
+            ..Default::default()
+        };
+        let st = StreamingScene::new(scene.trained.clone(), cfg);
+
+        // Byte-exactness of the two loops: raw, VQ, and cached (each loop
+        // advances its own frame-persistent cache over a revisit).
+        let mut exact = identical(&st.render(&cam), &st.render_reference_loop(&cam));
+        let vq = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                use_vq: true,
+                vq: if scale == BenchScale::Tiny {
+                    VqConfig::tiny()
+                } else {
+                    scale.vq_config()
+                },
+                ..cfg
+            },
+        );
+        exact &= identical(&vq.render(&cam), &vq.render_reference_loop(&cam));
+        let cached_cfg = StreamingConfig {
+            cache: Some(CacheConfig::default()),
+            ..cfg
+        };
+        let ca = StreamingScene::new(scene.trained.clone(), cached_cfg);
+        let cb = StreamingScene::new(scene.trained.clone(), cached_cfg);
+        for _ in 0..2 {
+            exact &= identical(&ca.render(&cam), &cb.render_reference_loop(&cam));
+        }
+        all_exact &= exact;
+
+        // Group-loop mechanism on the captured frame (the gated number).
+        let caps = capture_groups(&st, &cam);
+        let mut old_mech = LegacyMechanism::new();
+        let mut new_mech = CsrMechanism::new(stride);
+        let old_live: u64 = caps.iter().map(|c| old_mech.run(c, stride)).sum();
+        let new_live: u64 = caps.iter().map(|c| new_mech.run(c, stride)).sum();
+        assert_eq!(old_live, new_live, "mechanisms disagree on live voxels");
+        let loop_old_ms = ms_of(30, || {
+            for cap in &caps {
+                black_box(old_mech.run(cap, stride));
+            }
+        });
+        let loop_csr_ms = ms_of(30, || {
+            for cap in &caps {
+                black_box(new_mech.run(cap, stride));
+            }
+        });
+        let speedup = loop_old_ms / loop_csr_ms;
+        if kind == SceneKind::Truck {
+            truck_speedup = speedup;
+        }
+
+        // Whole-frame context: old loop, new loop, all-core new loop.
+        let frame_old_ms = ms_of(10, || {
+            black_box(st.render_reference_loop(&cam));
+        });
+        let mut out = StreamingOutput::default();
+        let frame_csr_ms = ms_of(10, || {
+            st.render_into(&cam, &mut out);
+            black_box(&out);
+        });
+        let mt = StreamingScene::new(scene.trained.clone(), StreamingConfig { threads: 0, ..cfg });
+        let mut mt_out = StreamingOutput::default();
+        let frame_mt_ms = ms_of(10, || {
+            mt.render_into(&cam, &mut mt_out);
+            black_box(&mt_out);
+        });
+
+        table.row(&[
+            kind.name().to_string(),
+            format!("{loop_old_ms:.4}"),
+            format!("{loop_csr_ms:.4}"),
+            format!("{speedup:.2}x"),
+            format!("{frame_old_ms:.3}"),
+            format!("{frame_csr_ms:.3}"),
+            format!("{frame_mt_ms:.3}"),
+            exact.to_string(),
+        ]);
+        rows.push(format!(
+            "{{\"scene\":\"{}\",\"loop_legacy_ms\":{:.5},\"loop_csr_ms\":{:.5},\"loop_speedup\":{:.3},\"frame_legacy_ms\":{:.4},\"frame_csr_ms\":{:.4},\"frame_mt_ms\":{:.4},\"exact\":{}}}",
+            kind.name(),
+            loop_old_ms,
+            loop_csr_ms,
+            speedup,
+            frame_old_ms,
+            frame_csr_ms,
+            frame_mt_ms,
+            exact,
+        ));
+    }
+    println!("{table}");
+    println!("loop old = HashMap voxel→pixels + Vec<bool> mask/stride² dilation (PR 4, inline); loop csr = VoxelPixelCsr + MaskScratch bitsets (production).");
+
+    let speedup_ok = truck_speedup >= TRUCK_SPEEDUP_BAR;
+    println!(
+        "STREAM_JSON {{\"bench\":\"streaming\",\"group\":{GROUP},\"scenes\":[{}],\"truck_speedup\":{:.3},\"speedup_bar\":{TRUCK_SPEEDUP_BAR},\"speedup_ok\":{},\"exact_ok\":{}}}",
+        rows.join(","),
+        truck_speedup,
+        speedup_ok,
+        all_exact
+    );
+}

@@ -32,6 +32,17 @@ impl ImageRgb {
         }
     }
 
+    /// Re-shapes the image in place to `width`×`height`, zeroing every
+    /// pixel. Keeps the pixel buffer's allocation when it already fits, so
+    /// a frame loop can reuse one output image without heap churn.
+    pub fn reset(&mut self, width: u32, height: u32) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data
+            .resize(width as usize * height as usize, Vec3::ZERO);
+    }
+
     /// Creates an image filled with `color`.
     pub fn filled(width: u32, height: u32, color: Vec3) -> ImageRgb {
         ImageRgb {

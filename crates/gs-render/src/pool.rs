@@ -112,6 +112,15 @@ impl WorkerPool {
     /// Runs `f(0) … f(jobs-1)` across the workers and blocks until all
     /// indices completed. Panics (after the frame drains) if any job
     /// panicked. Takes `&mut self`, so frames never overlap on one pool.
+    ///
+    /// The calling thread **participates**: instead of sleeping on the
+    /// completion condvar while the workers drain the index counter, it
+    /// claims indices like any worker and only waits once the counter is
+    /// exhausted. Job results are a function of the index alone, so which
+    /// thread runs an index never affects the output — this is purely one
+    /// more executor (the dispatch thread used to idle through every
+    /// frame, which matters for nested uses like the streaming renderer's
+    /// intra-group ray fan-out).
     pub fn run<F: Fn(usize) + Sync>(&mut self, jobs: usize, f: F) {
         if jobs == 0 {
             return;
@@ -120,14 +129,40 @@ impl WorkerPool {
             call: call_shim::<F>,
             data: &f as *const F as *const (),
         };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.task.is_none(), "WorkerPool::run re-entered");
+            st.task = Some(task);
+            st.next = 0;
+            st.jobs = jobs;
+            st.unfinished = jobs;
+            st.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // Claim and execute indices alongside the workers. Panics are
+        // caught exactly like in `worker_loop`: the frame must fully drain
+        // before `f` can be dropped (workers may still hold `task.data`).
+        loop {
+            let index = {
+                let mut st = self.shared.state.lock().unwrap();
+                if st.next >= st.jobs {
+                    break;
+                }
+                let i = st.next;
+                st.next += 1;
+                i
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: see `Task` — the closure outlives the frame.
+                unsafe { (task.call)(task.data, index) }
+            }));
+            let mut st = self.shared.state.lock().unwrap();
+            if result.is_err() {
+                st.panicked = true;
+            }
+            st.unfinished -= 1;
+        }
         let mut st = self.shared.state.lock().unwrap();
-        debug_assert!(st.task.is_none(), "WorkerPool::run re-entered");
-        st.task = Some(task);
-        st.next = 0;
-        st.jobs = jobs;
-        st.unfinished = jobs;
-        st.panicked = false;
-        self.shared.work.notify_all();
         while st.unfinished > 0 {
             st = self.shared.done.wait(st).unwrap();
         }

@@ -29,10 +29,18 @@ pub fn traverse(grid: &VoxelGrid, ray: &Ray, max_steps: u32) -> RayVoxels {
 
 /// [`traverse`] into a caller-owned voxel list (cleared first), returning
 /// the DDA step count. The streaming renderer's per-group scratch reuses
-/// one list per ray slot across frames, keeping the steady-state ray loop
+/// flat per-chunk buffers across frames, keeping the steady-state ray loop
 /// allocation-free.
 pub fn traverse_into(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut Vec<u32>) -> u32 {
     voxels.clear();
+    traverse_append(grid, ray, max_steps, voxels)
+}
+
+/// [`traverse_into`] without the clear: the ray's voxels are **appended**
+/// to `voxels`, so many rays can share one flat buffer (the caller records
+/// the per-ray end offsets). This is the streaming renderer's ray-grid
+/// building block — each DDA worker chunk appends its rays back to back.
+pub fn traverse_append(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut Vec<u32>) -> u32 {
     let mut steps = 0u32;
     let bounds = grid.bounds();
     let Some((t_enter, t_exit)) = bounds.intersect_ray(ray) else {

@@ -32,6 +32,26 @@ impl TileRect {
         }
     }
 
+    /// The rect's pixel bounds as half-open integer ranges
+    /// `[x0, x1) × [y0, y1)`, clamped to a `width`×`height` frame.
+    ///
+    /// `x1`/`y1` are rounded **up** so a fractional rect never loses its
+    /// last pixel column/row. Rects built by [`TileRect::of_tile`] are
+    /// integer-valued, where this is exact; the streaming renderer walks
+    /// these integer bounds instead of comparing a counter against the
+    /// `f32` edges in its hot loop (which would drift once coordinates
+    /// exceed `f32`'s exact-integer range).
+    pub fn pixel_bounds(&self, width: u32, height: u32) -> (u32, u32, u32, u32) {
+        let lo = |v: f32| v.max(0.0) as u32;
+        let hi = |v: f32, max: u32| (v.ceil().max(0.0) as u32).min(max);
+        (
+            lo(self.x0).min(width),
+            lo(self.y0).min(height),
+            hi(self.x1, width),
+            hi(self.y1, height),
+        )
+    }
+
     /// `true` when a disc (`center`, `radius`) overlaps the rect.
     ///
     /// The rect is half-open (`[x0, x1) × [y0, y1)`): a disc touching only

@@ -146,19 +146,29 @@ pub fn topological_order<F: Fn(u32) -> f32>(ray_lists: &[Vec<u32>], depth_of: F)
 /// `scratch`, so repeated calls allocate nothing once the buffers warmed
 /// up. Output is identical to [`topological_order`] — dense local indices
 /// change the bookkeeping, not the `(depth, voxel id)` tie-breaking.
-pub fn topological_order_into<F: Fn(u32) -> f32>(
-    ray_lists: &[Vec<u32>],
+///
+/// `ray_lists` is anything that yields per-ray voxel slices (``&[Vec<u32>]``
+/// works as before; the streaming renderer feeds flat per-chunk ray buffers
+/// without materializing one `Vec` per ray). Only the concatenation of rays
+/// matters, not how they are batched.
+pub fn topological_order_into<I, F>(
+    ray_lists: I,
     depth_of: F,
     scratch: &mut OrderScratch,
     out: &mut Vec<u32>,
-) -> OrderStats {
+) -> OrderStats
+where
+    I: IntoIterator,
+    I::Item: AsRef<[u32]>,
+    F: Fn(u32) -> f32,
+{
     out.clear();
     scratch.begin();
 
     // Collect nodes and raw edges (consecutive pairs per ray).
     for list in ray_lists {
         let mut prev: Option<u32> = None;
-        for &v in list {
+        for &v in list.as_ref() {
             let l = scratch.intern(v, |id| depth_key(depth_of(id)));
             if let Some(p) = prev {
                 if p != l {

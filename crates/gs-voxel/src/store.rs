@@ -338,6 +338,78 @@ impl Clone for Column {
     }
 }
 
+/// A return-on-drop pool of staging buffers for paged whole-voxel fetches.
+///
+/// [`VoxelStore::fetch_coarse`] over a paged column stages the voxel's
+/// contiguous records before decoding; allocating that staging `Vec` per
+/// voxel made the paged steady state allocate where the resident path does
+/// not (the ROADMAP open item). The pool hands out recycled buffers
+/// ([`StagingPool::take`]) wrapped in a [`PooledBuf`] guard that pushes the
+/// buffer back on drop, so once every buffer in flight has grown to the
+/// largest voxel's size, paged coarse fetches allocate nothing
+/// (`tests/alloc_free_streaming.rs` proves it under a counting allocator).
+#[derive(Debug, Default)]
+struct StagingPool(Mutex<Vec<Vec<u8>>>);
+
+impl StagingPool {
+    /// Pops a recycled buffer (or starts a fresh one), resized to `len`.
+    fn take(&self, len: usize) -> PooledBuf<'_> {
+        let mut buf = self
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0);
+        PooledBuf {
+            pool: self,
+            buf: Some(buf),
+        }
+    }
+}
+
+impl Clone for StagingPool {
+    /// Clones start with an empty pool — buffers are cheap warm-up state,
+    /// never shared data.
+    fn clone(&self) -> StagingPool {
+        StagingPool::default()
+    }
+}
+
+/// A staging buffer on loan from a [`StagingPool`]; returns itself to the
+/// pool when dropped (keeping its capacity for the next fetch).
+#[derive(Debug)]
+struct PooledBuf<'a> {
+    pool: &'a StagingPool,
+    buf: Option<Vec<u8>>,
+}
+
+impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool
+                .0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(buf);
+        }
+    }
+}
+
+impl std::ops::Deref for PooledBuf<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.buf.as_deref().expect("buffer on loan")
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.buf.as_deref_mut().expect("buffer on loan")
+    }
+}
+
 /// What the second-half column holds.
 #[derive(Clone, Debug)]
 enum FineFormat {
@@ -371,6 +443,9 @@ pub struct VoxelStore {
     fine: Column,
     /// Second-half record format (shared by both backings).
     format: FineFormat,
+    /// Recycled staging buffers for paged whole-voxel coarse fetches
+    /// (unused by resident columns; clones start empty).
+    staging: StagingPool,
 }
 
 impl VoxelStore {
@@ -395,6 +470,7 @@ impl VoxelStore {
             coarse: Column::Resident(coarse),
             fine: Column::Resident(bytes),
             format: FineFormat::Raw { max_axis },
+            staging: StagingPool::default(),
         }
     }
 
@@ -429,6 +505,7 @@ impl VoxelStore {
                 codebooks: quant.codebooks.clone(),
                 record_bytes,
             },
+            staging: StagingPool::default(),
         }
     }
 
@@ -537,14 +614,14 @@ impl VoxelStore {
         // The renderer's hottest loop: resident columns decode straight
         // from the contiguous slice (no per-slot copy or lock); a paged
         // column stages the whole voxel's contiguous range under one lock
-        // acquisition and decodes from the staging buffer. The staging
-        // Vec is one allocation per voxel fetch — a deliberate trade of
-        // the paged backend (the resident production path stays
-        // zero-alloc; see the ROADMAP open item on a pooled iterator).
-        let (resident, staged): (Option<&[u8]>, Option<Vec<u8>>) = match &self.coarse {
+        // acquisition and decodes from a staging buffer on loan from the
+        // store's return-on-drop pool (dropping the iterator recycles it),
+        // so paged steady-state fetches allocate nothing once the pool's
+        // buffers cover the largest voxel.
+        let (resident, staged): (Option<&[u8]>, Option<PooledBuf<'a>>) = match &self.coarse {
             Column::Resident(bytes) => (Some(bytes.as_slice()), None),
             Column::Paged(p) => {
-                let mut buf = vec![0u8; (b - a) as usize * COARSE_BYTES];
+                let mut buf = self.staging.take((b - a) as usize * COARSE_BYTES);
                 p.read_range(a as usize, (b - a) as usize, &mut buf);
                 (None, Some(buf))
             }
@@ -772,6 +849,7 @@ impl VoxelStore {
             )),
             fine: Column::Paged(PagedColumn::new(source, fine_off, width, n_slots, config)),
             format,
+            staging: StagingPool::default(),
         })
     }
 

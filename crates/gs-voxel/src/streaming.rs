@@ -9,8 +9,30 @@
 //! hierarchical filtering → in-voxel sort → blending. A voxel is skipped
 //! entirely (no DRAM fetch) once every pixel whose ray intersects it has
 //! saturated — the front-to-back order makes this exact.
+//!
+//! The steady-state group loop touches no hash map, no byte-per-pixel
+//! mask, and performs no allocation:
+//!
+//! * the voxel → pixel map is an epoch-stamped dense-id remap feeding a
+//!   two-pass counting-sort CSR built straight from the ray lists
+//!   ([`VoxelPixelCsr`], the [`crate::order::OrderScratch`] trick);
+//! * the per-voxel ray mask and the blender's saturation set are packed
+//!   `u64` bitset words, so the "any live pixel?" test is
+//!   `mask & !done != 0` per word and stride dilation is a precomputed
+//!   per-pixel span table ([`MaskScratch`]) instead of a stride² loop;
+//! * when the frame has fewer pixel groups than worker threads, each
+//!   group's DDA ray grid is split across the shared
+//!   [`gs_render::pool::WorkerPool`] (rays are independent; the CSR/order
+//!   inputs are merged in deterministic ray order), so output stays
+//!   **bit-identical** for any worker count — the same determinism
+//!   contract as the parallel front-end in `gs_render`.
+//!
+//! The pre-CSR loop (hash-map voxel→pixels, `Vec<bool>` masks, float
+//! pixel walk) survives temporarily as
+//! [`StreamingScene::render_reference_loop`], the `streaming` bench's
+//! timing and byte-exactness twin.
 
-use crate::dda::traverse_into;
+use crate::dda::{traverse_append, traverse_into};
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::{topological_order_into, OrderScratch};
@@ -207,6 +229,31 @@ pub struct StreamingOutput {
     pub cache: Option<CacheReport>,
 }
 
+impl Default for StreamingOutput {
+    /// An empty frame, ready for [`StreamingScene::render_into`] — every
+    /// buffer starts unallocated and grows once on first use.
+    fn default() -> StreamingOutput {
+        StreamingOutput {
+            image: ImageRgb::new(0, 0),
+            workload: FrameWorkload::default(),
+            violations: ViolationReport::default(),
+            ledger: TrafficLedger::new(),
+            cache: None,
+        }
+    }
+}
+
+/// Which group-loop implementation a frame runs.
+#[derive(Copy, Clone, Debug)]
+enum GroupLoop {
+    /// The production loop: counting-sort CSR voxel→pixel map, packed
+    /// bitset masks/saturation, optional intra-group ray parallelism.
+    Csr,
+    /// The PR 4 loop (hash map, byte masks, float pixel walk), serial
+    /// only — the `streaming` bench's reference twin.
+    Legacy,
+}
+
 /// Where the per-voxel streaming phases fetch Gaussian data from.
 ///
 /// The production path is [`FetchPath::Store`]: both phases read only the
@@ -362,9 +409,35 @@ impl StreamingScene {
     /// filter / blend scratch, per-worker ledgers) live in a frame arena
     /// and the group workers run on a persistent pool, both reused across
     /// frames: steady-state rendering allocates only the returned
-    /// image/workload.
+    /// image/workload ([`StreamingScene::render_into`] reuses even those).
     pub fn render(&self, cam: &Camera) -> StreamingOutput {
-        self.render_frame(cam, &FetchPath::Store)
+        let mut out = StreamingOutput::default();
+        self.render_into(cam, &mut out);
+        out
+    }
+
+    /// [`StreamingScene::render`] into a caller-owned output: the image,
+    /// per-tile workload records, violation flags and ledger of `out` are
+    /// all rewritten in place, keeping their allocations. A warm frame
+    /// loop through here performs **zero** heap allocations
+    /// (`tests/alloc_free_streaming.rs` proves it with a counting
+    /// allocator).
+    pub fn render_into(&self, cam: &Camera, out: &mut StreamingOutput) {
+        self.render_frame(cam, &FetchPath::Store, GroupLoop::Csr, out);
+    }
+
+    /// Renders one frame through the **pre-CSR** group loop (hash-map
+    /// voxel→pixel map, byte-per-pixel masks, float-compared pixel walk —
+    /// the PR 4 inner loop, serial only). Kept temporarily as the
+    /// `streaming` bench's timing and byte-exactness reference twin; it
+    /// must produce output identical to [`StreamingScene::render`] on
+    /// every scene. Not a steady-state path — it allocates per group the
+    /// way the old loop did.
+    #[doc(hidden)]
+    pub fn render_reference_loop(&self, cam: &Camera) -> StreamingOutput {
+        let mut out = StreamingOutput::default();
+        self.render_frame(cam, &FetchPath::Store, GroupLoop::Legacy, &mut out);
+        out
     }
 
     /// Byte-exactness reference twin of [`StreamingScene::render`]: fetches
@@ -384,10 +457,23 @@ impl StreamingScene {
             }
             None => &self.source,
         };
-        self.render_frame(cam, &FetchPath::CloudTwin { render })
+        let mut out = StreamingOutput::default();
+        self.render_frame(
+            cam,
+            &FetchPath::CloudTwin { render },
+            GroupLoop::Csr,
+            &mut out,
+        );
+        out
     }
 
-    fn render_frame(&self, cam: &Camera, path: &FetchPath<'_>) -> StreamingOutput {
+    fn render_frame(
+        &self,
+        cam: &Camera,
+        path: &FetchPath<'_>,
+        mode: GroupLoop,
+        out: &mut StreamingOutput,
+    ) {
         let width = cam.width();
         let height = cam.height();
         let gsz = self.config.group_size;
@@ -403,42 +489,96 @@ impl StreamingScene {
         } else {
             self.config.threads
         };
-        let chunks = threads.min(n_groups).max(1);
+        // When the frame has fewer groups than workers, group-level
+        // chunking cannot fill the machine — flip to intra-group ray
+        // parallelism instead: groups run serially (in deterministic group
+        // order) and each group's DDA ray grid fans out across the pool.
+        // Both modes are bit-identical for any thread count, so the
+        // crossover is purely a scheduling choice. The legacy reference
+        // loop is always serial.
+        let legacy_mode = matches!(mode, GroupLoop::Legacy);
+        let ray_parallel = !legacy_mode && threads > 1 && n_groups < threads;
+        let chunks = if legacy_mode || ray_parallel {
+            1
+        } else {
+            threads.min(n_groups).max(1)
+        };
         let chunk = n_groups.div_ceil(chunks);
 
         let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let scratch = &mut *guard;
-        scratch.pixels.resize(n_groups * gp, Vec3::ZERO);
-        scratch.workloads.resize(n_groups, TileWorkload::default());
-        scratch.vblends.resize(n_groups, 0);
-        if scratch.groups.len() < chunks {
-            scratch.groups.resize_with(chunks, GroupScratch::default);
+        let StreamScratch {
+            pool,
+            pixels,
+            workloads,
+            vblends,
+            groups,
+            cache,
+            legacy,
+        } = &mut *guard;
+        pixels.resize(n_groups * gp, Vec3::ZERO);
+        workloads.resize(n_groups, TileWorkload::default());
+        vblends.resize(n_groups, 0);
+        if groups.len() < chunks {
+            groups.resize_with(chunks, GroupScratch::default);
         }
 
         if chunks <= 1 {
-            let group_scratch = &mut scratch.groups[0];
+            let group_scratch = &mut groups[0];
             group_scratch.violating.clear();
             group_scratch.ledger.clear();
             group_scratch.trace.clear();
+            let mut ray_pool = if ray_parallel {
+                Some(WorkerPool::ensure(pool, threads))
+            } else {
+                None
+            };
+            let legacy_scratch = if legacy_mode {
+                Some(legacy.get_or_insert_with(Default::default))
+            } else {
+                None
+            };
+            let mut legacy_scratch = legacy_scratch.map(|b| &mut **b);
             for t in 0..n_groups {
                 let gx = t as u32 % groups_x;
                 let gy = t as u32 / groups_x;
-                let pixels = &mut scratch.pixels[t * gp..(t + 1) * gp];
-                let (w, vb) =
-                    self.render_group_into(cam, gx, gy, width, height, path, group_scratch, pixels);
-                scratch.workloads[t] = w;
-                scratch.vblends[t] = vb;
+                let buf = &mut pixels[t * gp..(t + 1) * gp];
+                let (w, vb) = match legacy_scratch.as_deref_mut() {
+                    None => self.render_group_into(
+                        cam,
+                        gx,
+                        gy,
+                        width,
+                        height,
+                        path,
+                        group_scratch,
+                        buf,
+                        ray_pool.as_deref_mut(),
+                    ),
+                    Some(ls) => self.render_group_into_legacy(
+                        cam,
+                        gx,
+                        gy,
+                        width,
+                        height,
+                        path,
+                        group_scratch,
+                        ls,
+                        buf,
+                    ),
+                };
+                workloads[t] = w;
+                vblends[t] = vb;
             }
         } else {
             // Chunk c renders groups [c·chunk, (c+1)·chunk): disjoint slices
             // of the pixel/workload/vblend buffers, reconstructed from raw
             // base pointers inside the `Fn(usize)` job (which cannot be
             // handed pre-split `&mut` slices).
-            let px_base = scratch.pixels.as_mut_ptr() as usize;
-            let wl_base = scratch.workloads.as_mut_ptr() as usize;
-            let vb_base = scratch.vblends.as_mut_ptr() as usize;
-            let gs_base = scratch.groups.as_mut_ptr() as usize;
-            let pool = WorkerPool::ensure(&mut scratch.pool, chunks);
+            let px_base = pixels.as_mut_ptr() as usize;
+            let wl_base = workloads.as_mut_ptr() as usize;
+            let vb_base = vblends.as_mut_ptr() as usize;
+            let gs_base = groups.as_mut_ptr() as usize;
+            let pool = WorkerPool::ensure(pool, chunks);
             pool.run(chunks, |c| {
                 let lo = c * chunk;
                 let hi = ((c + 1) * chunk).min(n_groups);
@@ -478,6 +618,7 @@ impl StreamingScene {
                         path,
                         group_scratch,
                         buf,
+                        None,
                     );
                     workloads[t - lo] = w;
                     vblends[t - lo] = vb;
@@ -485,45 +626,48 @@ impl StreamingScene {
             });
         }
 
-        // Assemble image, workload and violations (serial, deterministic).
-        let mut image = ImageRgb::new(width, height);
-        let mut workload = FrameWorkload {
-            tiles: Vec::with_capacity(n_groups),
-            width,
-            height,
-            scene_voxels: self.grid.voxel_count() as u32,
-            scene_gaussians: self.source.len() as u64,
-        };
-        let mut violations = ViolationReport {
-            flags: vec![false; self.source.len()],
-            ..Default::default()
-        };
+        // Assemble image, workload and violations (serial, deterministic)
+        // into the caller's output, reusing every buffer in place.
+        let image = &mut out.image;
+        image.reset(width, height);
+        let workload = &mut out.workload;
+        workload.tiles.clear();
+        workload.width = width;
+        workload.height = height;
+        workload.scene_voxels = self.grid.voxel_count() as u32;
+        workload.scene_gaussians = self.source.len() as u64;
+        let violations = &mut out.violations;
+        violations.flags.clear();
+        violations.flags.resize(self.source.len(), false);
+        violations.violating_blends = 0;
+        violations.total_blends = 0;
         for t in 0..n_groups {
             let gx = t as u32 % groups_x;
             let gy = t as u32 / groups_x;
             let ox = gx * gsz;
             let oy = gy * gsz;
             let n = gsz as usize;
-            let pixels = &scratch.pixels[t * gp..(t + 1) * gp];
+            let group_pixels = &pixels[t * gp..(t + 1) * gp];
             for ly in 0..gsz {
                 for lx in 0..gsz {
                     let px = ox + lx;
                     let py = oy + ly;
                     if px < width && py < height {
-                        image.set(px, py, pixels[(ly as usize) * n + lx as usize]);
+                        image.set(px, py, group_pixels[(ly as usize) * n + lx as usize]);
                     }
                 }
             }
-            workload.tiles.push(scratch.workloads[t]);
-            violations.violating_blends += scratch.vblends[t];
-            violations.total_blends += scratch.workloads[t].blend_fragments;
+            workload.tiles.push(workloads[t]);
+            violations.violating_blends += vblends[t];
+            violations.total_blends += workloads[t].blend_fragments;
         }
         // Merge the per-worker ledgers in deterministic chunk order — the
         // frame's single source of byte truth (the per-tile byte counters
         // above were derived from the same per-worker ledgers, so totals
         // agree exactly).
-        let mut ledger = TrafficLedger::new();
-        for chunk_scratch in &scratch.groups[..chunks] {
+        let ledger = &mut out.ledger;
+        ledger.clear();
+        for chunk_scratch in &groups[..chunks] {
             for &gi in &chunk_scratch.violating {
                 violations.flags[gi as usize] = true;
             }
@@ -538,8 +682,8 @@ impl StreamingScene {
         // invariant across worker-thread counts. Hits become on-chip
         // bytes, misses become burst-rounded line fills (the only DRAM
         // transaction traffic of the cached stages).
-        let cache_report = self.config.cache.map(|cache_cfg| {
-            let sim = scratch.cache.get_or_insert_with(|| FrameCacheSim {
+        out.cache = self.config.cache.map(|cache_cfg| {
+            let sim = cache.get_or_insert_with(|| FrameCacheSim {
                 coarse: WorkingSetCache::new(cache_cfg),
                 fine: WorkingSetCache::new(cache_cfg),
             });
@@ -547,7 +691,7 @@ impl StreamingScene {
             let coarse_bpg = self.store.coarse_bytes_per_gaussian();
             let mut rep = CacheReport::default();
             let mut t = 0usize;
-            for chunk_scratch in &scratch.groups[..chunks] {
+            for chunk_scratch in &groups[..chunks] {
                 for op in &chunk_scratch.trace {
                     match *op {
                         TraceOp::Coarse(vid) => {
@@ -579,19 +723,13 @@ impl StreamingScene {
             rep
         });
 
+        let (ledger, workload) = (&out.ledger, &out.workload);
         debug_assert_eq!(ledger.total(), workload.dram_bytes());
         debug_assert_eq!(
             ledger.dram_total(),
             workload.totals().dram_transaction_bytes()
         );
         debug_assert_eq!(ledger.hit_total(), workload.totals().cache_hit_bytes());
-        StreamingOutput {
-            image,
-            workload,
-            violations,
-            ledger,
-            cache: cache_report,
-        }
     }
 
     /// Renders several views and merges their violation reports — the
@@ -611,6 +749,11 @@ impl StreamingScene {
     /// Returns the group's workload (byte counters derived from the
     /// ledger's deltas over this group) and its out-of-order blend count;
     /// violating Gaussian ids are appended to `scratch.violating`.
+    ///
+    /// When `pool` is given, the DDA ray grid fans out across its workers
+    /// in contiguous ray-index chunks; the CSR and ordering inputs walk
+    /// the chunks in deterministic ray order, so the result is
+    /// bit-identical to the serial walk for any worker or chunk count.
     #[allow(clippy::too_many_arguments)]
     fn render_group_into(
         &self,
@@ -622,15 +765,15 @@ impl StreamingScene {
         path: &FetchPath<'_>,
         scratch: &mut GroupScratch,
         pixels: &mut [Vec3],
+        pool: Option<&mut WorkerPool>,
     ) -> (TileWorkload, u64) {
         let gsz = self.config.group_size;
         let rect = TileRect::of_tile(gx, gy, gsz, width, height);
         let mut w = TileWorkload::default();
         let mut violating_blends = 0u64;
         let GroupScratch {
-            ray_lists,
-            voxel_pixels,
-            spare_lists,
+            ray_chunks,
+            csr,
             order,
             order_out,
             mask,
@@ -664,39 +807,64 @@ impl StreamingScene {
         let (dx, dy, dz) = self.grid.dims();
         let max_steps = 3 * (dx + dy + dz) + 6;
         let stride = self.config.ray_stride;
-        // Recycle last group's voxel→pixels lists instead of freeing them.
-        for (_, mut list) in voxel_pixels.drain() {
-            list.clear();
-            spare_lists.push(list);
+        // Integer pixel bounds, derived once from the rect (the old loop
+        // compared a `u32` counter against the `f32` edges per step).
+        let (px0, py0, px1, py1) = rect.pixel_bounds(width, height);
+        let nx = (px1 - px0).div_ceil(stride);
+        let ny = (py1 - py0).div_ceil(stride);
+        let n_rays = nx as usize * ny as usize;
+        // DDA over the ray grid: serial into chunk 0, or fanned out over
+        // the pool in contiguous ray-index chunks (rays are independent;
+        // everything downstream walks the chunks in ray order, so the
+        // split is invisible to the output).
+        let ray_jobs = pool
+            .as_ref()
+            .map_or(1, |p| p.size().clamp(1, n_rays.max(1)));
+        if ray_chunks.len() < ray_jobs {
+            ray_chunks.resize_with(ray_jobs, RayChunk::default);
         }
-        let mut n_rays = 0usize;
-        let mut py = rect.y0 as u32;
-        while (py as f32) < rect.y1 {
-            let mut px = rect.x0 as u32;
-            while (px as f32) < rect.x1 {
+        let per = n_rays.div_ceil(ray_jobs);
+        let grid = &self.grid;
+        let fill = |chunk: &mut RayChunk, j: usize| {
+            let r0 = (j * per).min(n_rays);
+            let r1 = ((j + 1) * per).min(n_rays);
+            chunk.base = r0 as u32;
+            chunk.voxels.clear();
+            chunk.ends.clear();
+            chunk.steps = 0;
+            for r in r0..r1 {
+                let px = px0 + (r as u32 % nx) * stride;
+                let py = py0 + (r as u32 / nx) * stride;
                 let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
-                if n_rays == ray_lists.len() {
-                    ray_lists.push(Vec::new());
-                }
-                let voxels = &mut ray_lists[n_rays];
-                w.dda_steps += traverse_into(&self.grid, &ray, max_steps, voxels) as u64;
-                w.rays += 1;
-                let pixel_index = (py - rect.y0 as u32) * gsz + (px - rect.x0 as u32);
-                for &v in voxels.iter() {
-                    voxel_pixels
-                        .entry(v)
-                        .or_insert_with(|| spare_lists.pop().unwrap_or_default())
-                        .push(pixel_index);
-                }
-                if !voxels.is_empty() {
-                    n_rays += 1; // keep this slot; empty slots are reused
-                }
-                px += stride;
+                chunk.steps += traverse_append(grid, &ray, max_steps, &mut chunk.voxels) as u64;
+                chunk.ends.push(chunk.voxels.len() as u32);
             }
-            py += stride;
+        };
+        match pool {
+            Some(pool) if ray_jobs > 1 => {
+                let base = ray_chunks.as_mut_ptr() as usize;
+                pool.run(ray_jobs, |j| {
+                    // SAFETY: chunk slot `j` is written by exactly one job,
+                    // and `ray_chunks` outlives `pool.run`, which blocks
+                    // until every job finished.
+                    let chunk = unsafe { &mut *(base as *mut RayChunk).add(j) };
+                    fill(chunk, j);
+                });
+            }
+            _ => fill(&mut ray_chunks[0], 0),
         }
+        let chunks_live = &ray_chunks[..ray_jobs];
+        w.rays = n_rays as u32;
+        for c in chunks_live {
+            w.dda_steps += c.steps;
+        }
+
+        // voxel → pixel lists as a counting-sort CSR over epoch-remapped
+        // dense voxel ids (replaces the seed's per-group hash map).
+        csr.build(chunks_live, nx, stride, gsz);
+
         let order_stats = topological_order_into(
-            &ray_lists[..n_rays],
+            chunks_live.iter().flat_map(|c| c.ray_slices()),
             |v| cam.world_to_camera(self.grid.voxel_center(v)).z,
             order,
             order_out,
@@ -711,8 +879,7 @@ impl StreamingScene {
         let coarse_bpg = self.store.coarse_bytes_per_gaussian();
 
         blend.reset(rect, gsz, self.config.voxel_size);
-        mask.clear();
-        mask.resize((gsz * gsz) as usize, false);
+        mask.prepare(gsz, stride);
         for &vid in order_out.iter() {
             if blend.live == 0 {
                 break; // every pixel saturated: stop streaming voxels
@@ -721,25 +888,14 @@ impl StreamingScene {
             // (dilated to cover strided sampling). The mask gates the
             // early fetch-skip and the *violation metric* — splats still
             // blend into every covered pixel of the group, as the paper's
-            // render array does.
-            mask.fill(false);
-            let mut any_live = false;
-            if let Some(pixels) = voxel_pixels.get(&vid) {
-                for &pi in pixels {
-                    let (bx, by) = (pi % gsz, pi / gsz);
-                    for dy in 0..stride {
-                        for dx in 0..stride {
-                            let (mx, my) = (bx + dx, by + dy);
-                            if mx < gsz && my < gsz {
-                                let mi = (my * gsz + mx) as usize;
-                                mask[mi] = true;
-                                any_live |= !blend.done[mi];
-                            }
-                        }
-                    }
-                }
+            // render array does. Dilation ORs each pixel's precomputed
+            // word spans; the live test is one `mask & !done` pass over
+            // the packed words instead of a byte-per-pixel scan.
+            mask.begin_voxel();
+            for &pi in csr.pixels_of(vid) {
+                mask.cover(pi);
             }
-            if !any_live {
+            if !mask.any_live(&blend.done_words) {
                 continue;
             }
             let count = self.store.slots_of(vid).len() as u64;
@@ -821,7 +977,7 @@ impl StreamingScene {
             // Blend into the whole group; violations are counted on the
             // masked (ray-intersecting) pixels only.
             for (gi, s) in splats.iter() {
-                let frag = blend.blend(s, mask);
+                let frag = blend.blend(s, &mask.words);
                 w.blend_lanes += frag.lanes;
                 w.blend_fragments += frag.blended;
                 if frag.violations > 0 {
@@ -856,6 +1012,231 @@ impl StreamingScene {
         blend.finish(self.config.background, pixels);
         (w, violating_blends)
     }
+
+    /// The PR 4 group loop, kept verbatim as the `streaming` bench's
+    /// timing + byte-exactness twin of [`StreamingScene::render_group_into`]:
+    /// hash-map voxel→pixel lists with spare-list recycling, a
+    /// byte-per-pixel mask filled by a stride² dilation loop, and the
+    /// float-compared pixel walk. Shares the ordering/filter/ledger
+    /// scratch (those costs did not change); owns the parts the CSR loop
+    /// deleted. Serial only; slated for removal once the CSR loop has
+    /// soaked.
+    #[allow(clippy::too_many_arguments)]
+    fn render_group_into_legacy(
+        &self,
+        cam: &Camera,
+        gx: u32,
+        gy: u32,
+        width: u32,
+        height: u32,
+        path: &FetchPath<'_>,
+        scratch: &mut GroupScratch,
+        legacy: &mut LegacyScratch,
+        pixels: &mut [Vec3],
+    ) -> (TileWorkload, u64) {
+        let gsz = self.config.group_size;
+        let rect = TileRect::of_tile(gx, gy, gsz, width, height);
+        let mut w = TileWorkload::default();
+        let mut violating_blends = 0u64;
+        let GroupScratch {
+            order,
+            order_out,
+            survivors,
+            splats,
+            violating,
+            ledger,
+            trace,
+            ..
+        } = scratch;
+        let LegacyScratch {
+            ray_lists,
+            voxel_pixels,
+            spare_lists,
+            mask,
+            blend,
+        } = legacy;
+        let cached = self.config.cache.is_some();
+        let burst = self
+            .config
+            .cache
+            .map(|c| c.burst_bytes)
+            .unwrap_or(DEFAULT_BURST_BYTES);
+        let base_coarse = ledger.get(Stage::VoxelCoarse, Direction::Read);
+        let base_fine = ledger.get(Stage::VoxelFine, Direction::Read);
+        let base_pixel = ledger.get(Stage::PixelOut, Direction::Write);
+        let base_coarse_dram = ledger.dram(Stage::VoxelCoarse, Direction::Read);
+        let base_fine_dram = ledger.dram(Stage::VoxelFine, Direction::Read);
+        let base_pixel_dram = ledger.dram(Stage::PixelOut, Direction::Write);
+
+        // --- VSU: ray sampling + voxel ordering (seed bookkeeping) -------
+        let (dx, dy, dz) = self.grid.dims();
+        let max_steps = 3 * (dx + dy + dz) + 6;
+        let stride = self.config.ray_stride;
+        for (_, mut list) in voxel_pixels.drain() {
+            list.clear();
+            spare_lists.push(list);
+        }
+        let mut n_rays = 0usize;
+        let mut py = rect.y0 as u32;
+        while (py as f32) < rect.y1 {
+            let mut px = rect.x0 as u32;
+            while (px as f32) < rect.x1 {
+                let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
+                if n_rays == ray_lists.len() {
+                    ray_lists.push(Vec::new());
+                }
+                let voxels = &mut ray_lists[n_rays];
+                w.dda_steps += traverse_into(&self.grid, &ray, max_steps, voxels) as u64;
+                w.rays += 1;
+                let pixel_index = (py - rect.y0 as u32) * gsz + (px - rect.x0 as u32);
+                for &v in voxels.iter() {
+                    voxel_pixels
+                        .entry(v)
+                        .or_insert_with(|| spare_lists.pop().unwrap_or_default())
+                        .push(pixel_index);
+                }
+                if !voxels.is_empty() {
+                    n_rays += 1; // keep this slot; empty slots are reused
+                }
+                px += stride;
+            }
+            py += stride;
+        }
+        let order_stats = topological_order_into(
+            &ray_lists[..n_rays],
+            |v| cam.world_to_camera(self.grid.voxel_center(v)).z,
+            order,
+            order_out,
+        );
+        w.voxels_intersected = order_out.len() as u32;
+        w.dag_edges = order_stats.edges;
+        w.cycle_breaks = order_stats.cycle_breaks;
+        w.order_ops = order_stats.ops;
+
+        // --- per-voxel streaming ------------------------------------------
+        let fine_bpg = self.store.fine_bytes_per_gaussian();
+        let coarse_bpg = self.store.coarse_bytes_per_gaussian();
+
+        blend.reset(rect, gsz, self.config.voxel_size);
+        mask.clear();
+        mask.resize((gsz * gsz) as usize, false);
+        for &vid in order_out.iter() {
+            if blend.live == 0 {
+                break; // every pixel saturated: stop streaming voxels
+            }
+            mask.fill(false);
+            let mut any_live = false;
+            if let Some(pixels) = voxel_pixels.get(&vid) {
+                for &pi in pixels {
+                    let (bx, by) = (pi % gsz, pi / gsz);
+                    for dy in 0..stride {
+                        for dx in 0..stride {
+                            let (mx, my) = (bx + dx, by + dy);
+                            if mx < gsz && my < gsz {
+                                let mi = (my * gsz + mx) as usize;
+                                mask[mi] = true;
+                                any_live |= !blend.done[mi];
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_live {
+                continue;
+            }
+            let count = self.store.slots_of(vid).len() as u64;
+            w.voxels_processed += 1;
+            w.gaussians_streamed += count;
+            if cached {
+                trace.push(TraceOp::Coarse(vid));
+            } else {
+                ledger.note_dram(
+                    Stage::VoxelCoarse,
+                    Direction::Read,
+                    round_to_burst(count * coarse_bpg, burst),
+                );
+            }
+
+            survivors.clear();
+            match path {
+                FetchPath::Store => {
+                    let column = self.store.fetch_coarse(vid, ledger);
+                    if self.config.use_coarse_filter {
+                        survivors.extend(column.filter_map(|(slot, pos, s_max)| {
+                            coarse_test(cam, pos, s_max, &rect).map(|_| slot)
+                        }));
+                    } else {
+                        survivors.extend(column.map(|(slot, _, _)| slot));
+                    }
+                }
+                FetchPath::CloudTwin { .. } => {
+                    ledger.add(Stage::VoxelCoarse, Direction::Read, count * coarse_bpg);
+                    let slots = self.store.slots_of(vid);
+                    if self.config.use_coarse_filter {
+                        survivors.extend(slots.filter(|&slot| {
+                            let g = &self.source.as_slice()[self.store.id_of(slot) as usize];
+                            coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
+                        }));
+                    } else {
+                        survivors.extend(slots);
+                    }
+                }
+            }
+            w.coarse_survivors += survivors.len() as u64;
+
+            splats.clear();
+            let fine_dram_rec = round_to_burst(fine_bpg, burst);
+            splats.extend(survivors.iter().filter_map(|&slot| {
+                let gi = self.store.id_of(slot);
+                if cached {
+                    trace.push(TraceOp::Fine(slot));
+                } else {
+                    ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
+                }
+                let g: Gaussian = match path {
+                    FetchPath::Store => self.store.fetch_fine(slot, ledger),
+                    FetchPath::CloudTwin { render } => {
+                        ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
+                        render.as_slice()[gi as usize].clone()
+                    }
+                };
+                fine_test(cam, &g, &rect, self.config.sh_degree).map(|s| (gi, s))
+            }));
+            w.fine_survivors += splats.len() as u64;
+            w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
+
+            splats.sort_unstable_by(|a, b| a.1.depth.total_cmp(&b.1.depth));
+
+            for (gi, s) in splats.iter() {
+                let frag = blend.blend(s, mask);
+                w.blend_lanes += frag.lanes;
+                w.blend_fragments += frag.blended;
+                if frag.violations > 0 {
+                    violating.push(*gi);
+                    violating_blends += frag.violations;
+                }
+                if blend.live == 0 {
+                    break;
+                }
+            }
+        }
+
+        let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
+        ledger.add_transfer(Stage::PixelOut, Direction::Write, live_pixels * 16, burst);
+        if cached {
+            trace.push(TraceOp::GroupEnd);
+        }
+
+        w.coarse_bytes = ledger.get(Stage::VoxelCoarse, Direction::Read) - base_coarse;
+        w.fine_bytes = ledger.get(Stage::VoxelFine, Direction::Read) - base_fine;
+        w.pixel_bytes = ledger.get(Stage::PixelOut, Direction::Write) - base_pixel;
+        w.coarse_dram_bytes = ledger.dram(Stage::VoxelCoarse, Direction::Read) - base_coarse_dram;
+        w.fine_dram_bytes = ledger.dram(Stage::VoxelFine, Direction::Read) - base_fine_dram;
+        w.pixel_dram_bytes = ledger.dram(Stage::PixelOut, Direction::Write) - base_pixel_dram;
+
+        blend.finish(self.config.background, pixels);
+        (w, violating_blends)
+    }
 }
 
 /// Frame-persistent render state: the worker pool plus the frame arena
@@ -877,6 +1258,9 @@ struct StreamScratch {
     /// [`StreamingConfig::cache`]); carries state across frames so
     /// trajectories exercise temporal locality.
     cache: Option<FrameCacheSim>,
+    /// Working state of the legacy reference loop (allocated only when
+    /// [`StreamingScene::render_reference_loop`] runs).
+    legacy: Option<Box<LegacyScratch>>,
 }
 
 /// One working-set cache per cached pipeline stage.
@@ -901,19 +1285,19 @@ enum TraceOp {
 /// Reusable per-chunk working buffers for [`StreamingScene::render`].
 #[derive(Debug, Default)]
 struct GroupScratch {
-    /// Per-ray voxel lists; only the first `n_rays` slots of a group are
-    /// live, the rest keep their capacity for reuse.
-    ray_lists: Vec<Vec<u32>>,
-    /// voxel id → indices of group pixels whose rays intersect it.
-    voxel_pixels: HashMap<u32, Vec<u32>>,
-    /// Recycled value-lists for `voxel_pixels`.
-    spare_lists: Vec<Vec<u32>>,
+    /// Flat per-job DDA ray chunks (slot 0 serves the serial path); each
+    /// holds its rays' voxel lists back to back.
+    ray_chunks: Vec<RayChunk>,
+    /// voxel → pixel-list CSR over epoch-remapped dense voxel ids
+    /// (replaces the seed's `HashMap<u32, Vec<u32>>` + spare-list pool).
+    csr: VoxelPixelCsr,
     /// Reusable topological-ordering state (zero steady-state allocations).
     order: OrderScratch,
     /// The current group's voxel order (reused across groups).
     order_out: Vec<u32>,
-    /// Per-pixel ray-intersection mask of the current voxel.
-    mask: Vec<bool>,
+    /// Packed per-pixel ray-intersection mask of the current voxel, with
+    /// the precomputed stride-dilation span table.
+    mask: MaskScratch,
     /// Coarse-filter survivors of the current voxel.
     survivors: Vec<u32>,
     /// Fine-filter survivors (with projected splats) of the current voxel.
@@ -932,6 +1316,268 @@ struct GroupScratch {
     trace: Vec<TraceOp>,
 }
 
+/// One DDA job's contiguous slice of a group's ray grid: the rays' voxel
+/// lists appended back to back, with per-ray end offsets. Global ray index
+/// `base + i` recovers each ray's pixel, so chunks carry no per-ray
+/// metadata and a chunk boundary is invisible to the merged walk.
+///
+/// Public (but doc-hidden) so the `streaming` bench can drive the real
+/// group-loop mechanism on captured ray inputs.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct RayChunk {
+    /// Concatenated voxel lists of this chunk's rays, front-to-back.
+    voxels: Vec<u32>,
+    /// End offset of ray `i`'s list within `voxels`.
+    ends: Vec<u32>,
+    /// DDA steps taken by this chunk's rays.
+    steps: u64,
+    /// Global index of the chunk's first ray.
+    base: u32,
+}
+
+impl RayChunk {
+    /// An empty chunk starting at global ray index 0.
+    pub fn new() -> RayChunk {
+        RayChunk::default()
+    }
+
+    /// Appends one ray's voxel list (bench construction; the renderer
+    /// appends via [`traverse_append`] directly).
+    pub fn push_ray(&mut self, voxels: &[u32]) {
+        self.voxels.extend_from_slice(voxels);
+        self.ends.push(self.voxels.len() as u32);
+    }
+
+    /// The chunk's per-ray voxel slices, in ray order.
+    pub fn ray_slices(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        let mut start = 0usize;
+        self.ends.iter().map(move |&e| {
+            let s = &self.voxels[start..e as usize];
+            start = e as usize;
+            s
+        })
+    }
+}
+
+/// The group's voxel → pixel-list map as a two-pass counting-sort CSR over
+/// epoch-remapped dense voxel ids (the [`OrderScratch`] trick): pass one
+/// interns voxel ids and counts incidences, a prefix sum sizes the lists,
+/// pass two scatters pixel indices in global ray order — so each voxel's
+/// pixel list is identical to what the seed's hash map accumulated, with
+/// no hashing, no per-voxel `Vec`s, and zero steady-state allocations.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct VoxelPixelCsr {
+    /// Voxel id → dense local index; valid only when `stamp[id] == epoch`.
+    local: Vec<u32>,
+    /// Epoch stamp per voxel id slot.
+    stamp: Vec<u32>,
+    /// Current group's epoch.
+    epoch: u32,
+    /// Per-local incidence counts (pass one).
+    counts: Vec<u32>,
+    /// CSR offsets into `pixels` (length `n_voxels + 1`).
+    off: Vec<u32>,
+    /// Scatter cursors (pass two).
+    cursor: Vec<u32>,
+    /// Concatenated per-voxel pixel indices, in ray order per voxel.
+    pixels: Vec<u32>,
+}
+
+impl VoxelPixelCsr {
+    /// A fresh CSR scratch (buffers grow on first use).
+    pub fn new() -> VoxelPixelCsr {
+        VoxelPixelCsr::default()
+    }
+
+    /// Rebuilds the CSR from the group's ray chunks. `nx`/`stride`/`gsz`
+    /// recover each ray's group-local pixel index from its global index.
+    pub fn build(&mut self, chunks: &[RayChunk], nx: u32, stride: u32, gsz: u32) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 epoch wrapped: old stamps could alias. Reset once.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.counts.clear();
+        let mut total = 0usize;
+        // Pass one: intern each voxel id on first sight, count incidences.
+        // (A ray visits a voxel at most once — convex cell walk — so every
+        // (ray, voxel) pair is one incidence, exactly like the seed's
+        // per-ray hash-map pushes.)
+        for c in chunks {
+            for &v in &c.voxels {
+                let slot = v as usize;
+                if slot >= self.local.len() {
+                    self.local.resize(slot + 1, 0);
+                    self.stamp.resize(slot + 1, 0);
+                }
+                let l = if self.stamp[slot] == self.epoch {
+                    self.local[slot]
+                } else {
+                    let l = self.counts.len() as u32;
+                    self.stamp[slot] = self.epoch;
+                    self.local[slot] = l;
+                    self.counts.push(0);
+                    l
+                };
+                self.counts[l as usize] += 1;
+                total += 1;
+            }
+        }
+        // Prefix sum → offsets; cursors start at each list's offset.
+        self.off.clear();
+        self.off.push(0);
+        let mut acc = 0u32;
+        for &c in &self.counts {
+            acc += c;
+            self.off.push(acc);
+        }
+        self.cursor.clear();
+        self.cursor
+            .extend_from_slice(&self.off[..self.counts.len()]);
+        // Pass two: scatter pixel indices in global ray order, so each
+        // voxel's list is sorted exactly like the seed's push order.
+        self.pixels.clear();
+        self.pixels.resize(total, 0);
+        for c in chunks {
+            let mut s = 0usize;
+            for (i, &e) in c.ends.iter().enumerate() {
+                let r = c.base + i as u32;
+                let pix = (r / nx) * stride * gsz + (r % nx) * stride;
+                for &v in &c.voxels[s..e as usize] {
+                    let l = self.local[v as usize] as usize;
+                    self.pixels[self.cursor[l] as usize] = pix;
+                    self.cursor[l] += 1;
+                }
+                s = e as usize;
+            }
+        }
+    }
+
+    /// Group-local pixel indices whose rays intersect voxel `vid`.
+    pub fn pixels_of(&self, vid: u32) -> &[u32] {
+        debug_assert_eq!(
+            self.stamp[vid as usize], self.epoch,
+            "voxel {vid} was not interned by this group's rays"
+        );
+        let l = self.local[vid as usize] as usize;
+        &self.pixels[self.off[l] as usize..self.off[l + 1] as usize]
+    }
+}
+
+/// The current voxel's ray-pixel mask as packed `u64` words, plus the
+/// precomputed per-pixel dilation spans: pixel `p`'s span list ORs the
+/// whole clipped stride×stride block anchored at `p` into the words (one
+/// span per covered mask row segment — a single span at stride 1), so
+/// strided sampling costs O(stride) word ORs per pixel instead of the
+/// seed's stride² scalar stores, and the mask itself is `gsz²/64` words
+/// instead of `gsz²` bytes.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct MaskScratch {
+    /// Geometry the span table was built for (rebuilt only on change —
+    /// never, in steady state).
+    gsz: u32,
+    stride: u32,
+    /// Per-pixel span ranges into `spans` (length `gsz² + 1`).
+    span_off: Vec<u32>,
+    /// `(word index, bits)` covering each pixel's dilated block.
+    spans: Vec<(u32, u64)>,
+    /// The current voxel's mask words (`(gsz² + 63) / 64` of them).
+    words: Vec<u64>,
+}
+
+impl MaskScratch {
+    /// A fresh mask scratch (span table built on first `prepare`).
+    pub fn new() -> MaskScratch {
+        MaskScratch::default()
+    }
+
+    /// Builds (or keeps) the span table for this group geometry and sizes
+    /// the mask words.
+    pub fn prepare(&mut self, gsz: u32, stride: u32) {
+        if self.gsz == gsz && self.stride == stride {
+            return;
+        }
+        self.gsz = gsz;
+        self.stride = stride;
+        let bits = gsz as usize * gsz as usize;
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
+        self.span_off.clear();
+        self.spans.clear();
+        self.span_off.push(0);
+        for by in 0..gsz {
+            for bx in 0..gsz {
+                let rows = stride.min(gsz - by);
+                let run = stride.min(gsz - bx) as u64;
+                for my in by..by + rows {
+                    let mut s = (my * gsz + bx) as u64;
+                    let mut remaining = run;
+                    while remaining > 0 {
+                        let off = s % 64;
+                        let take = (64 - off).min(remaining);
+                        let bits = if take == 64 {
+                            !0u64
+                        } else {
+                            ((1u64 << take) - 1) << off
+                        };
+                        self.spans.push(((s / 64) as u32, bits));
+                        s += take;
+                        remaining -= take;
+                    }
+                }
+                self.span_off.push(self.spans.len() as u32);
+            }
+        }
+    }
+
+    /// Clears the mask for the next voxel.
+    #[inline]
+    pub fn begin_voxel(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// ORs pixel `pi`'s dilated block into the mask.
+    #[inline]
+    pub fn cover(&mut self, pi: u32) {
+        let (s, e) = (
+            self.span_off[pi as usize] as usize,
+            self.span_off[pi as usize + 1] as usize,
+        );
+        for &(w, bits) in &self.spans[s..e] {
+            self.words[w as usize] |= bits;
+        }
+    }
+
+    /// `true` when any masked pixel is not yet done: one `mask & !done`
+    /// pass over the packed words (the seed scanned `gsz²` bytes).
+    #[inline]
+    pub fn any_live(&self, done_words: &[u64]) -> bool {
+        self.words.iter().zip(done_words).any(|(m, d)| m & !d != 0)
+    }
+}
+
+/// Working state of the legacy (PR 4) group loop — everything the CSR
+/// rework deleted from [`GroupScratch`], kept only for
+/// [`StreamingScene::render_reference_loop`].
+#[derive(Debug, Default)]
+struct LegacyScratch {
+    /// Per-ray voxel lists; only the first `n_rays` slots of a group are
+    /// live, the rest keep their capacity for reuse.
+    ray_lists: Vec<Vec<u32>>,
+    /// voxel id → indices of group pixels whose rays intersect it.
+    voxel_pixels: HashMap<u32, Vec<u32>>,
+    /// Recycled value-lists for `voxel_pixels`.
+    spare_lists: Vec<Vec<u32>>,
+    /// Per-pixel ray-intersection mask of the current voxel.
+    mask: Vec<bool>,
+    /// The byte-per-pixel blender.
+    blend: LegacyBlender,
+}
+
 struct FragOutcome {
     lanes: u64,
     blended: u64,
@@ -940,9 +1586,134 @@ struct FragOutcome {
 
 /// On-chip partial pixel state for one group, persisting across voxels.
 /// Reusable: [`GroupBlender::reset`] re-initializes the buffers in place,
-/// keeping their allocations across groups and frames.
+/// keeping their allocations across groups and frames. Saturation is a
+/// packed `u64` bitset (`done_words`), shared with the per-voxel live test
+/// (`mask & !done`); blending arithmetic is bit-identical to the seed's
+/// byte-per-pixel version — only the bookkeeping representation changed.
 #[derive(Debug, Default)]
 struct GroupBlender {
+    rect: TileRect,
+    size: usize,
+    violation_slack: f32,
+    color: Vec<Vec3>,
+    transmittance: Vec<f32>,
+    /// Saturated pixels, one bit per group-local pixel index;
+    /// out-of-rect pixels start done.
+    done_words: Vec<u64>,
+    max_depth: Vec<f32>,
+    live: u32,
+}
+
+impl GroupBlender {
+    #[inline]
+    fn is_done(&self, pi: usize) -> bool {
+        self.done_words[pi >> 6] >> (pi & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn set_done(&mut self, pi: usize) {
+        self.done_words[pi >> 6] |= 1 << (pi & 63);
+    }
+
+    fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
+        let n = group_size as usize;
+        self.rect = rect;
+        self.size = n;
+        self.violation_slack = VIOLATION_VOXEL_FRACTION * voxel_size;
+        self.color.clear();
+        self.color.resize(n * n, Vec3::ZERO);
+        self.transmittance.clear();
+        self.transmittance.resize(n * n, 1.0);
+        self.max_depth.clear();
+        self.max_depth.resize(n * n, 0.0);
+        self.done_words.clear();
+        self.done_words.resize((n * n).div_ceil(64), 0);
+        let mut live = 0u32;
+        for ly in 0..n {
+            for lx in 0..n {
+                let px = rect.x0 + lx as f32;
+                let py = rect.y0 + ly as f32;
+                if px >= rect.x1 || py >= rect.y1 {
+                    self.set_done(ly * n + lx);
+                } else {
+                    live += 1;
+                }
+            }
+        }
+        self.live = live;
+    }
+
+    fn blend(&mut self, s: &FineSplat, mask: &[u64]) -> FragOutcome {
+        let n = self.size;
+        let mut out = FragOutcome {
+            lanes: 0,
+            blended: 0,
+            violations: 0,
+        };
+        // Restrict to the splat's bbox within the group.
+        let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
+        let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
+        let y_lo = (s.mean_px.y - s.radius_px).max(self.rect.y0).floor() as i64;
+        let y_hi = (s.mean_px.y + s.radius_px).min(self.rect.y1 - 1.0).ceil() as i64;
+        for py in y_lo..=y_hi {
+            for px in x_lo..=x_hi {
+                if px < self.rect.x0 as i64 || py < self.rect.y0 as i64 {
+                    continue;
+                }
+                let lx = px as usize - self.rect.x0 as usize;
+                let ly = py as usize - self.rect.y0 as usize;
+                if lx >= n || ly >= n {
+                    continue;
+                }
+                let pi = ly * n + lx;
+                out.lanes += 1;
+                if self.is_done(pi) {
+                    continue;
+                }
+                let d = Vec2::new(px as f32 + 0.5 - s.mean_px.x, py as f32 + 0.5 - s.mean_px.y);
+                let alpha = (s.opacity * gs_core::ewa::falloff(s.conic, d)).min(ALPHA_MAX);
+                if alpha < ALPHA_EPS {
+                    continue;
+                }
+                if mask[pi >> 6] >> (pi & 63) & 1 != 0
+                    && s.depth + self.violation_slack < self.max_depth[pi]
+                {
+                    out.violations += 1;
+                }
+                let t = self.transmittance[pi];
+                self.color[pi] += s.color * (alpha * t);
+                self.transmittance[pi] = t * (1.0 - alpha);
+                self.max_depth[pi] = self.max_depth[pi].max(s.depth);
+                out.blended += 1;
+                if self.transmittance[pi] < TRANSMITTANCE_EPS {
+                    self.set_done(pi);
+                    self.live -= 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn finish(&self, background: Vec3, pixels: &mut [Vec3]) {
+        let n = self.size;
+        for ly in 0..n {
+            for lx in 0..n {
+                let pi = ly * n + lx;
+                let px = self.rect.x0 + lx as f32;
+                let py = self.rect.y0 + ly as f32;
+                if px < self.rect.x1 && py < self.rect.y1 {
+                    pixels[pi] = self.color[pi] + background * self.transmittance[pi];
+                }
+            }
+        }
+    }
+}
+
+/// The PR 4 blender, byte-per-pixel `done` array and all — the legacy
+/// loop's counterpart of [`GroupBlender`]. Identical arithmetic; kept so
+/// the `streaming` bench times the old bookkeeping faithfully.
+#[derive(Debug, Default)]
+struct LegacyBlender {
     rect: TileRect,
     size: usize,
     violation_slack: f32,
@@ -953,7 +1724,7 @@ struct GroupBlender {
     live: u32,
 }
 
-impl GroupBlender {
+impl LegacyBlender {
     fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
         let n = group_size as usize;
         self.rect = rect;
@@ -989,7 +1760,6 @@ impl GroupBlender {
             blended: 0,
             violations: 0,
         };
-        // Restrict to the splat's bbox within the group.
         let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
         let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
         let y_lo = (s.mean_px.y - s.radius_px).max(self.rect.y0).floor() as i64;
@@ -1340,5 +2110,101 @@ mod tests {
         // 64×64 × 16 B = 64 KB ≤ 89 KB (paper's intermediate SRAM).
         let cfg = StreamingConfig::default();
         assert!(cfg.group_partial_bytes() <= 89 * 1024);
+    }
+
+    fn outputs_identical(a: &StreamingOutput, b: &StreamingOutput) {
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.cache, b.cache);
+    }
+
+    #[test]
+    fn reference_loop_is_byte_identical_to_csr_loop() {
+        // The legacy (hash-map + byte-mask) twin must agree bit-for-bit
+        // with the CSR/bitset loop: image, workload, ledger, violations.
+        for kind in [SceneKind::Truck, SceneKind::Lego] {
+            let scene = kind.build(&SceneConfig::tiny());
+            for use_vq in [false, true] {
+                let cfg = StreamingConfig {
+                    voxel_size: scene.voxel_size,
+                    use_vq,
+                    vq: VqConfig::tiny(),
+                    threads: 1,
+                    ..Default::default()
+                };
+                let s = StreamingScene::new(scene.trained.clone(), cfg);
+                for cam in &scene.eval_cameras[..2.min(scene.eval_cameras.len())] {
+                    outputs_identical(&s.render(cam), &s.render_reference_loop(cam));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_loop_is_byte_identical_with_cache_and_stride() {
+        // Cached + strided configuration: the trace-replayed cache
+        // accounting and the dilated masks must agree across loops. Two
+        // separate scenes so each loop advances its own persistent cache.
+        let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ray_stride: 3,
+            threads: 1,
+            cache: Some(CacheConfig::default()),
+            ..Default::default()
+        };
+        let a = StreamingScene::new(scene.trained.clone(), cfg);
+        let b = StreamingScene::new(scene.trained.clone(), cfg);
+        for cam in &scene.eval_cameras[..2.min(scene.eval_cameras.len())] {
+            outputs_identical(&a.render(cam), &b.render_reference_loop(cam));
+        }
+    }
+
+    #[test]
+    fn intra_group_ray_parallelism_is_bit_identical() {
+        // Group sizes that leave fewer groups than workers flip the
+        // renderer into ray-parallel mode; output must not change for any
+        // thread count (the ROADMAP determinism contract).
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        for group_size in [128, 256] {
+            let base = StreamingConfig {
+                voxel_size: scene.voxel_size,
+                group_size,
+                ..Default::default()
+            };
+            let serial = StreamingScene::new(
+                scene.trained.clone(),
+                StreamingConfig { threads: 1, ..base },
+            )
+            .render(cam);
+            for threads in [2, 6, 0] {
+                let par =
+                    StreamingScene::new(scene.trained.clone(), StreamingConfig { threads, ..base })
+                        .render(cam);
+                outputs_identical(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn render_into_reuses_buffers_and_matches_render() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let s = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let mut out = StreamingOutput::default();
+        for cam in &scene.eval_cameras {
+            s.render_into(cam, &mut out);
+            let fresh = s.render(cam);
+            outputs_identical(&out, &fresh);
+        }
     }
 }

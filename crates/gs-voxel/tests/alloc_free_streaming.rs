@@ -1,0 +1,156 @@
+//! Proves the whole warm group render is allocation-free in steady state.
+//!
+//! PR 2's counting-allocator test covered the ordering path alone; the CSR
+//! group-loop rework extends the zero-alloc property to the entire frame:
+//! after warming a [`StreamingScene`] and a reusable [`StreamingOutput`],
+//! re-rendering the same camera through [`StreamingScene::render_into`]
+//! must perform **zero** heap allocations — resident store, cache on or
+//! off. Paged stores are covered too: after the page set and the staging
+//! buffer pool warmed up, paged coarse fetches (and whole paged frames)
+//! allocate nothing either.
+//!
+//! The counting allocator is process-global, so this lives in its own
+//! integration-test binary.
+
+use gs_mem::cache::CacheConfig;
+use gs_mem::TrafficLedger;
+use gs_scene::{SceneConfig, SceneKind};
+use gs_voxel::{PageConfig, StreamingConfig, StreamingOutput, StreamingScene};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Renders `frames` warm frames and returns the allocations they made.
+fn allocs_over_warm_frames(scene: &StreamingScene, frames: u32) -> u64 {
+    let cam = gs_core::camera::Camera::look_at(
+        gs_core::vec::Vec3::new(0.4, 0.3, -7.5),
+        gs_core::vec::Vec3::ZERO,
+        gs_core::vec::Vec3::Y,
+        160,
+        120,
+        0.9,
+    );
+    let mut out = StreamingOutput::default();
+    // Warm-up: grows every scratch buffer, the output's buffers, and (for
+    // cached configs) the working-set cache's per-set tag lists.
+    scene.render_into(&cam, &mut out);
+    scene.render_into(&cam, &mut out);
+    assert!(out.workload.totals().gaussians_streamed > 0);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..frames {
+        scene.render_into(&cam, &mut out);
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn scene_with(cache: Option<CacheConfig>) -> StreamingScene {
+    let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+    StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            // One explicit worker: the serial group loop, no
+            // `available_parallelism` query inside the measured region.
+            threads: 1,
+            cache,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn warm_resident_render_performs_zero_allocations() {
+    let scene = scene_with(None);
+    assert_eq!(
+        allocs_over_warm_frames(&scene, 4),
+        0,
+        "steady-state resident streaming render must not allocate"
+    );
+}
+
+#[test]
+fn warm_cached_render_performs_zero_allocations() {
+    let scene = scene_with(Some(CacheConfig::default()));
+    assert_eq!(
+        allocs_over_warm_frames(&scene, 4),
+        0,
+        "steady-state cached streaming render must not allocate"
+    );
+}
+
+#[test]
+fn warm_paged_render_performs_zero_allocations() {
+    // Unbounded page budget: after warm-up every page is resident and the
+    // staging-buffer pool covers the largest voxel, so even the paged
+    // backing renders without allocating.
+    let mut scene = scene_with(None);
+    scene.page_out(PageConfig {
+        slots_per_page: 64,
+        max_resident_pages: 0,
+    });
+    assert_eq!(
+        allocs_over_warm_frames(&scene, 4),
+        0,
+        "steady-state paged streaming render must not allocate"
+    );
+}
+
+#[test]
+fn warm_paged_coarse_fetches_perform_zero_allocations() {
+    // The satellite fix in isolation: paged `fetch_coarse` used to build
+    // one staging `Vec` per voxel; the return-on-drop buffer pool makes
+    // the steady state allocation-free.
+    let scene = scene_with(None);
+    let paged = scene.store().paged_twin(PageConfig {
+        slots_per_page: 32,
+        max_resident_pages: 0,
+    });
+    let mut ledger = TrafficLedger::new();
+    let mut checksum = 0u64;
+    // Warm-up: materializes every page and grows the pooled buffer.
+    for v in 0..paged.voxel_count() as u32 {
+        for (slot, _, _) in paged.fetch_coarse(v, &mut ledger) {
+            checksum += slot as u64;
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut again = 0u64;
+    for _ in 0..3 {
+        again = 0;
+        for v in 0..paged.voxel_count() as u32 {
+            for (slot, _, _) in paged.fetch_coarse(v, &mut ledger) {
+                again += slot as u64;
+            }
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(again, checksum);
+    assert_eq!(
+        allocs, 0,
+        "warm paged coarse fetches must not allocate (buffer pool)"
+    );
+}

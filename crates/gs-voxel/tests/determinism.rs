@@ -62,6 +62,38 @@ fn repeated_streaming_frames_are_stable() {
 }
 
 #[test]
+fn ray_parallel_mode_is_thread_count_invariant() {
+    // A group size that leaves fewer pixel groups than workers flips the
+    // renderer into intra-group ray parallelism (the DDA ray grid fans
+    // out across the pool instead of the group list). Every observable —
+    // image, per-tile workload records, ledger, violations — must be
+    // byte-identical to the serial walk for any thread count, exactly
+    // like group-level chunking.
+    let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+    let base = StreamingConfig {
+        voxel_size: scene.voxel_size,
+        group_size: 128, // 160×120 frame → 2×1 groups
+        ..Default::default()
+    };
+    let seq = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig { threads: 1, ..base },
+    );
+    let par = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig { threads: 8, ..base },
+    );
+    for cam in &scene.eval_cameras {
+        let a = seq.render(cam);
+        let b = par.render(cam);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.workload, b.workload, "per-tile records must match");
+        assert_eq!(a.ledger, b.ledger, "ledger must be thread-invariant");
+        assert_eq!(a.violations.flags, b.violations.flags);
+    }
+}
+
+#[test]
 fn group_size_is_validated_once_at_construction() {
     // Below-minimum group sizes are clamped when the scene is prepared —
     // not silently at every use site as the seed did.
