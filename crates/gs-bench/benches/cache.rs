@@ -75,6 +75,7 @@ fn fly(
     paged.page_out(PageConfig {
         slots_per_page: 128,
         max_resident_pages: 0,
+        ..PageConfig::default()
     });
     let uncached = StreamingScene::new(scene_cloud.clone(), StreamingConfig { cache: None, ..cfg });
 

@@ -1,0 +1,125 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) for scene-image
+//! integrity checking.
+//!
+//! The paged voxel store ships scenes as serialized images whose columns are
+//! demand-read from a slow tier; PR 6 extends the image format with per-chunk
+//! checksums over both column payloads plus one over the metadata prefix, all
+//! computed with this module (no crates.io dependency — the 256-entry table is
+//! built by a `const fn` at compile time).
+//!
+//! Two entry points:
+//!
+//! * [`crc32`] — one-shot over a byte slice,
+//! * [`Crc32`] — incremental (streaming) digest for writers that produce the
+//!   payload in pieces; `Crc32::new().update(a).update(b).finish()` equals
+//!   `crc32(a ++ b)`.
+
+/// The reflected IEEE polynomial used by zlib, PNG, Ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// One-shot CRC-32/IEEE of `bytes` (`crc32(b"") == 0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+/// Incremental CRC-32/IEEE digest.
+///
+/// ```
+/// use gs_mem::crc::{crc32, Crc32};
+/// let whole = crc32(b"streaming gaussians");
+/// let split = Crc32::new()
+///     .update(b"streaming ")
+///     .update(b"gaussians")
+///     .finish();
+/// assert_eq!(whole, split);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh digest (initial state `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the digest; returns `self` for chaining.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Crc32 {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = TABLE[idx] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The standard CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1031).collect();
+        for split in [0usize, 1, 7, 515, 1030, 1031] {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                Crc32::new().update(a).update(b).finish(),
+                crc32(&data),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

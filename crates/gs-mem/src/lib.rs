@@ -23,7 +23,10 @@
 //!   working-set cache model the streaming renderer fronts its
 //!   coarse/fine voxel fetches with, so trajectory temporal locality
 //!   turns repeat fetches into on-chip hits instead of DRAM bursts,
-//! * [`energy::EnergyBreakdown`] — compute/SRAM/DRAM picojoule totals.
+//! * [`energy::EnergyBreakdown`] — compute/SRAM/DRAM picojoule totals,
+//! * [`crc::crc32`] — CRC-32/IEEE for scene-image integrity: the paged
+//!   voxel store checksums its serialized column payloads per chunk and
+//!   verifies them on page materialization (PR 6).
 //!
 //! ## Example
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod cache;
+pub mod crc;
 pub mod dram;
 pub mod energy;
 pub mod ledger;

@@ -96,6 +96,12 @@ pub struct CoarsePass {
 /// Coarse filter: 4 parameters only. `None` = culled.
 pub fn coarse_test(cam: &Camera, pos: Vec3, s_max: f32, rect: &TileRect) -> Option<CoarsePass> {
     let p = project_coarse(cam, pos, s_max)?;
+    // Corrupted inputs (a blind-read page with flipped bits decodes to
+    // arbitrary floats) must not leak a NaN/∞ disc downstream; finite
+    // projections — every uncorrupted Gaussian — are unaffected.
+    if !(p.mean_px.x.is_finite() && p.mean_px.y.is_finite() && p.radius_px.is_finite()) {
+        return None;
+    }
     if rect.overlaps_disc(p.mean_px, p.radius_px) {
         Some(CoarsePass {
             mean_px: p.mean_px,
@@ -147,8 +153,24 @@ pub fn fine_test(cam: &Camera, g: &Gaussian, rect: &TileRect, sh_degree: u8) -> 
     {
         return None;
     }
+    // Non-finite geometry, opacity or colour (possible only from corrupted
+    // or degraded records) would poison every pixel it blends into — NaN
+    // compares false against the alpha/saturation thresholds. Cull here;
+    // finite splats are untouched.
+    if !(p.mean_px.x.is_finite()
+        && p.mean_px.y.is_finite()
+        && rx.is_finite()
+        && ry.is_finite()
+        && p.depth.is_finite()
+        && g.opacity.is_finite())
+    {
+        return None;
+    }
     let dir = (g.pos - cam.pose.center()).normalized();
     let color = gs_core::sh::eval_color(&g.sh, dir, sh_degree);
+    if !(color.x.is_finite() && color.y.is_finite() && color.z.is_finite()) {
+        return None;
+    }
     Some(FineSplat {
         mean_px: p.mean_px,
         conic: p.conic,

@@ -55,6 +55,39 @@
 //! metered as on-chip bytes and only burst-rounded miss fills reach the
 //! ledger's DRAM transaction counters — the bytes `gs-accel` prices.
 //!
+//! ## Fault tolerance and the error-handling contract (PR 6)
+//!
+//! The paged backing is fallible by design: scene images carry a
+//! versioned header with per-chunk CRC32 checksums (verified on page
+//! materialization), page reads retry transient faults with capped
+//! deterministic backoff, and permanent faults mark pages dead. The
+//! contract:
+//!
+//! * **Returns `Err(`[`store::StoreError`]`)`** — everything that depends
+//!   on external bytes: `open_paged_*` (malformed/truncated/corrupt
+//!   images), `try_fetch_coarse`/`try_fetch_fine`/`try_coarse_of` on a
+//!   paged store (I/O errors, exhausted retries, dead pages), and
+//!   [`streaming::StreamingScene::try_render`]/`try_render_into`, which
+//!   propagate the globally-first failing group's error for any worker
+//!   count.
+//! * **Panics** — only the infallible convenience wrappers
+//!   (`fetch_coarse`, `fetch_fine`, `render`, `render_into`, `paged_twin`,
+//!   `page_out`) and only on a `StoreError` that the fallible twin would
+//!   have returned; on resident stores these can never fire. Logic bugs
+//!   (out-of-range slot/voxel ids) stay panics everywhere — they are
+//!   caller errors, not data faults.
+//! * **Degrades** — with [`streaming::StreamingConfig::degrade_on_fault`]
+//!   (default), mid-frame page faults that survive retry don't fail the
+//!   frame: the affected voxel is skipped (coarse column unavailable) or
+//!   the fine record blends as its grey coarse-approximation stand-in;
+//!   every event is counted in the thread-invariant
+//!   [`streaming::DegradationReport`] returned with the frame.
+//!
+//! Deterministic fault injection ([`store::FaultPolicy`], seeded and
+//! keyed on read offset + attempt only) drives the recovery suites
+//! (`tests/fault_injection.rs`, `tests/fuzz_scene_image.rs`) and the
+//! `robust` bench.
+//!
 //! The functional renderer also measures everything the accelerator model
 //! needs ([`workload`]) and the depth-order violations that the
 //! boundary-aware fine-tuning (crate `gs-tune`) penalizes.
@@ -81,6 +114,9 @@ pub mod streaming;
 pub mod workload;
 
 pub use grid::VoxelGrid;
-pub use store::{PageConfig, VoxelStore};
-pub use streaming::{StreamingConfig, StreamingOutput, StreamingScene};
+pub use store::{
+    CoarseIter, ColumnKind, FaultPolicy, FaultStats, PageConfig, StoreError, StoreFaultSnapshot,
+    VoxelStore,
+};
+pub use streaming::{DegradationReport, StreamingConfig, StreamingOutput, StreamingScene};
 pub use workload::{FrameWorkload, TileWorkload};

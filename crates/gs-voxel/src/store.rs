@@ -51,26 +51,214 @@
 //! and everything priced from it. Decodes are **bit-exact**: a raw store
 //! returns the original [`Gaussian`] bit-for-bit, a VQ store returns
 //! exactly [`gs_vq::QuantizedCloud::decode_one`].
+//!
+//! ## Scene-image format (version 2)
+//!
+//! All integers are little-endian `u32`. The header:
+//!
+//! | offset | field |
+//! |-------:|-------|
+//! | 0      | magic `"GSVS"` (`0x4753_5653`) |
+//! | 4      | format version (2) |
+//! | 8      | flags — bit 0: second half holds VQ records |
+//! | 12     | `n_voxels` |
+//! | 16     | `n_slots` |
+//! | 20     | fine record width in bytes (220 raw, codebook width VQ) |
+//! | 24     | `crc_chunk_slots` — slots covered per checksum chunk |
+//!
+//! followed by, in order:
+//!
+//! 1. `n_voxels` × `(u32, u32)` per-voxel slot ranges,
+//! 2. `n_slots` × `u32` global Gaussian ids,
+//! 3. raw: `n_slots` max-axis tag bytes · VQ: six codebooks, each
+//!    `(dim: u32, entries: u32, dim×entries f32 centroids)`,
+//! 4. coarse chunk-CRC table — `ceil(n_slots / crc_chunk_slots)` × `u32`
+//!    CRC-32/IEEE ([`gs_mem::crc`]) over each chunk of the coarse column,
+//! 5. fine chunk-CRC table — same count, over the fine column,
+//! 6. `u32` metadata CRC over **every byte above** (header through both
+//!    tables),
+//! 7. the coarse column (`n_slots` × 16 B),
+//! 8. the fine column (`n_slots` × width B) — and nothing after it: the
+//!    image length must equal exactly what the header implies.
+//!
+//! Chunks never split a record (they are slot-aligned), so a page fetch
+//! verifies by reading the chunk-aligned cover of its slots. **Version-1
+//! images** (six-word header, no tables, no metadata CRC) remain readable:
+//! verification is skipped and the effective [`PageConfig`] reports
+//! `verify_checksums: false` (see [`VoxelStore::page_config`]).
+//!
+//! ## Error contract
+//!
+//! Render-time page machinery never panics: the fallible twins
+//! ([`VoxelStore::try_fetch_coarse`], [`VoxelStore::try_fetch_fine`],
+//! [`VoxelStore::try_coarse_of`], [`VoxelStore::open_paged_bytes`], …)
+//! return [`StoreError`] for I/O failures, truncated or malformed images,
+//! checksum mismatches ([`StoreError::CorruptPage`]), exhausted retry
+//! budgets and dead pages. The un-prefixed wrappers ([`VoxelStore::fetch_coarse`],
+//! [`VoxelStore::fetch_fine`], [`VoxelStore::to_scene_bytes`]) panic on
+//! those same errors — infallible by construction over resident columns,
+//! and kept for the exactness suites and resident callers. Transient
+//! faults are retried with capped deterministic backoff
+//! ([`PageConfig::max_read_attempts`]); permanent faults mark the page
+//! dead so later fetches fail fast with [`StoreError::PageLost`]. All
+//! retry/dead/injection counters are readable through
+//! [`VoxelStore::fault_snapshot`].
+
+// Render-time paths must propagate typed errors, never unwrap them away
+// (tests are exempt via the mod-level allow).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::grid::VoxelGrid;
 use gs_core::vec::Vec3;
+use gs_mem::crc::crc32;
 use gs_mem::{Direction, Stage, TrafficLedger};
 use gs_scene::gaussian::{COARSE_BYTES, FINE_BYTES_RAW};
 use gs_scene::{Gaussian, GaussianCloud};
 use gs_vq::{Codebook, FeatureCodebooks, QuantizedCloud};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io::{self, Write};
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Magic tag of the serialized scene image (`"GSVS"`).
 const SCENE_MAGIC: u32 = 0x4753_5653;
-/// Serialized scene format version.
-const SCENE_VERSION: u32 = 1;
+/// Current serialized scene format version (per-chunk CRC tables).
+const SCENE_VERSION: u32 = 2;
+/// The pre-checksum format version (still readable, never written by
+/// default).
+const SCENE_VERSION_V1: u32 = 1;
 /// Header flag: the second half holds VQ index records.
 const FLAG_VQ: u32 = 1;
+/// Every header flag this build understands; unknown bits reject at open.
+const KNOWN_FLAGS: u32 = FLAG_VQ;
+/// Slots per checksum chunk written by [`VoxelStore::to_scene_bytes`].
+const CRC_CHUNK_SLOTS: u32 = 32;
 
-/// Geometry of a demand-paged column backing.
+/// Locks `m`, recovering the inner state when the mutex is poisoned.
+///
+/// Every lock site in the paged machinery (and the streaming renderer's
+/// scratch) goes through this one helper, so a panicking thread can never
+/// wedge other render workers on a poisoned lock.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Which column an error refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// The 16 B first-half column.
+    Coarse,
+    /// The raw/VQ second-half column.
+    Fine,
+}
+
+impl fmt::Display for ColumnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColumnKind::Coarse => "coarse",
+            ColumnKind::Fine => "fine",
+        })
+    }
+}
+
+/// Why a store operation failed. See the module-level error contract.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backing source failed with a real I/O error.
+    Io(io::Error),
+    /// The image ended before a structure its header promised.
+    Truncated {
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// The image violates the format (magic, version, ranges, metadata
+    /// checksum, length…).
+    Malformed {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
+    /// A materialized page failed its per-chunk checksum (after retries).
+    CorruptPage {
+        /// Column the chunk belongs to.
+        column: ColumnKind,
+        /// Chunk index within that column's CRC table.
+        chunk: u64,
+    },
+    /// Transient faults persisted past [`PageConfig::max_read_attempts`].
+    RetriesExhausted {
+        /// Column the page belongs to.
+        column: ColumnKind,
+        /// Page index within that column.
+        page: u64,
+        /// Attempts performed before giving up.
+        attempts: u32,
+    },
+    /// The page was marked dead by a permanent fault; every later fetch
+    /// of its slots fails fast with this error.
+    PageLost {
+        /// Column the page belongs to.
+        column: ColumnKind,
+        /// Page index within that column.
+        page: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "scene image I/O error: {e}"),
+            StoreError::Truncated { what } => write!(f, "scene image truncated ({what})"),
+            StoreError::Malformed { what } => write!(f, "malformed scene image ({what})"),
+            StoreError::CorruptPage { column, chunk } => {
+                write!(f, "{column} column chunk {chunk} failed its checksum")
+            }
+            StoreError::RetriesExhausted {
+                column,
+                page,
+                attempts,
+            } => write!(
+                f,
+                "{column} column page {page} still faulting after {attempts} attempts"
+            ),
+            StoreError::PageLost { column, page } => {
+                write!(f, "{column} column page {page} lost to a permanent fault")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> io::Error {
+        let msg = e.to_string();
+        match e {
+            StoreError::Io(inner) => inner,
+            StoreError::Truncated { .. } => io::Error::new(io::ErrorKind::UnexpectedEof, msg),
+            StoreError::Malformed { .. } => io::Error::new(io::ErrorKind::InvalidData, msg),
+            _ => io::Error::other(msg),
+        }
+    }
+}
+
+/// Geometry and fault policy of a demand-paged column backing.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageConfig {
     /// Whole slots per page (page boundaries never split a record).
@@ -78,6 +266,15 @@ pub struct PageConfig {
     /// Residency budget in pages per column; least-recently-used pages are
     /// evicted beyond it. `0` = unbounded (pages accumulate).
     pub max_resident_pages: u32,
+    /// Verify per-chunk CRCs on page materialization. Forced `false` when
+    /// the image carries no checksum tables (a version-1 image); the
+    /// effective value is readable via [`VoxelStore::page_config`].
+    pub verify_checksums: bool,
+    /// Read attempts per page materialization (≥ 1). Transient faults and
+    /// checksum mismatches are retried with capped deterministic backoff
+    /// up to this budget; the failure surfaces as
+    /// [`StoreError::RetriesExhausted`] / [`StoreError::CorruptPage`].
+    pub max_read_attempts: u32,
 }
 
 impl Default for PageConfig {
@@ -85,6 +282,8 @@ impl Default for PageConfig {
         PageConfig {
             slots_per_page: 256,
             max_resident_pages: 0,
+            verify_checksums: true,
+            max_read_attempts: 4,
         }
     }
 }
@@ -92,7 +291,177 @@ impl Default for PageConfig {
 impl PageConfig {
     fn validated(mut self) -> PageConfig {
         self.slots_per_page = self.slots_per_page.max(1);
+        self.max_read_attempts = self.max_read_attempts.max(1);
         self
+    }
+}
+
+/// Deterministic fault-injection policy for a paged scene source.
+///
+/// Each page read draws pseudo-random faults keyed **only** on
+/// `(seed, read offset, attempt)` — never on thread identity, wall clock
+/// or call order — so the injected fault sequence is bit-reproducible for
+/// any worker count. Rates are per-mille of page reads; the draws for
+/// transient/torn/bit-flip are mutually exclusive partitions of one
+/// per-attempt draw, while permanent faults are keyed on the offset alone
+/// (a permanently bad page stays bad on every attempt).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Stream seed; two policies with different seeds fault independently.
+    pub seed: u64,
+    /// Per-mille of page reads that fail transiently (succeed on retry).
+    pub transient_per_mille: u32,
+    /// Per-mille of page reads returning a torn buffer (tail half stale).
+    pub torn_per_mille: u32,
+    /// Per-mille of page reads with one flipped bit.
+    pub bit_flip_per_mille: u32,
+    /// Per-mille of page *offsets* that are permanently unreadable.
+    pub permanent_per_mille: u32,
+}
+
+impl FaultPolicy {
+    /// A policy injecting only transient faults at `per_mille`/1000.
+    pub fn transient(seed: u64, per_mille: u32) -> FaultPolicy {
+        FaultPolicy {
+            seed,
+            transient_per_mille: per_mille,
+            ..FaultPolicy::default()
+        }
+    }
+
+    /// `true` when the policy injects nothing (wrapping is skipped).
+    pub fn is_noop(&self) -> bool {
+        self.transient_per_mille == 0
+            && self.torn_per_mille == 0
+            && self.bit_flip_per_mille == 0
+            && self.permanent_per_mille == 0
+    }
+}
+
+/// Injected-fault counters, by kind (see [`FaultPolicy`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Transient read failures injected.
+    pub transient: u64,
+    /// Torn buffers returned.
+    pub torn: u64,
+    /// Single-bit flips applied.
+    pub bit_flips: u64,
+    /// Permanent failures returned.
+    pub permanent: u64,
+}
+
+impl FaultStats {
+    /// All injected faults.
+    pub fn total(self) -> u64 {
+        self.transient + self.torn + self.bit_flips + self.permanent
+    }
+
+    /// Counter deltas since `base` (saturating).
+    pub fn since(self, base: FaultStats) -> FaultStats {
+        FaultStats {
+            transient: self.transient.saturating_sub(base.transient),
+            torn: self.torn.saturating_sub(base.torn),
+            bit_flips: self.bit_flips.saturating_sub(base.bit_flips),
+            permanent: self.permanent.saturating_sub(base.permanent),
+        }
+    }
+}
+
+/// Retry/dead/injection counters of a store, cheap to snapshot per frame.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreFaultSnapshot {
+    /// Page-read retries performed across both columns (each failed
+    /// attempt that was retried or exhausted counts once).
+    pub retries: u64,
+    /// Pages currently marked dead by permanent faults, both columns.
+    pub dead_pages: u64,
+    /// Faults injected by the wrapped source (zero without a
+    /// [`FaultPolicy`]).
+    pub injected: FaultStats,
+}
+
+impl StoreFaultSnapshot {
+    /// Counter deltas since `base` (saturating).
+    pub fn since(self, base: StoreFaultSnapshot) -> StoreFaultSnapshot {
+        StoreFaultSnapshot {
+            retries: self.retries.saturating_sub(base.retries),
+            dead_pages: self.dead_pages.saturating_sub(base.dead_pages),
+            injected: self.injected.since(base.injected),
+        }
+    }
+}
+
+/// splitmix64 finalizer: the deterministic draw behind fault injection.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Distinct draw stream for permanent faults (offset-keyed).
+const PERM_STREAM: u64 = 0xA076_1D64_78BD_642F;
+/// Distinct draw stream for bit-flip positions.
+const FLIP_STREAM: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// Capped deterministic backoff between page-read retries: a bounded spin
+/// (no clock, no sleep), so the retry schedule is reproducible and cheap.
+fn retry_backoff(attempt: u32) {
+    for _ in 0..(32u32 << attempt.min(6)) {
+        std::hint::spin_loop();
+    }
+}
+
+/// How a single page read failed (internal; mapped to [`StoreError`] by
+/// the retry loop).
+enum ReadFault {
+    /// A real I/O error from the backing source.
+    Io(io::Error),
+    /// An injected transient failure — retry.
+    Transient,
+    /// An injected permanent failure — mark the page dead.
+    Permanent,
+}
+
+/// A fault-injecting wrapper around a page source (see [`FaultPolicy`]).
+#[derive(Debug)]
+struct FaultInjector {
+    inner: Box<PageSource>,
+    policy: FaultPolicy,
+    stats: Mutex<FaultStats>,
+}
+
+impl FaultInjector {
+    fn read_page(&self, offset: u64, buf: &mut [u8], attempt: u32) -> Result<(), ReadFault> {
+        let p = &self.policy;
+        if p.permanent_per_mille > 0
+            && mix64(p.seed ^ PERM_STREAM ^ mix64(offset)) % 1000 < p.permanent_per_mille as u64
+        {
+            lock_unpoisoned(&self.stats).permanent += 1;
+            return Err(ReadFault::Permanent);
+        }
+        let d = mix64(p.seed ^ mix64(offset ^ ((attempt as u64) << 48))) % 1000;
+        let t = p.transient_per_mille as u64;
+        let torn = t + p.torn_per_mille as u64;
+        let flip = torn + p.bit_flip_per_mille as u64;
+        if d < t {
+            lock_unpoisoned(&self.stats).transient += 1;
+            return Err(ReadFault::Transient);
+        }
+        self.inner.read_at(offset, buf).map_err(ReadFault::Io)?;
+        if d < torn && buf.len() >= 2 {
+            let half = buf.len() / 2;
+            for b in &mut buf[half..] {
+                *b ^= 0xA5;
+            }
+            lock_unpoisoned(&self.stats).torn += 1;
+        } else if d < flip && !buf.is_empty() {
+            let bit = mix64(p.seed ^ FLIP_STREAM ^ mix64(offset)) % (buf.len() as u64 * 8);
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+            lock_unpoisoned(&self.stats).bit_flips += 1;
+        }
+        Ok(())
     }
 }
 
@@ -105,20 +474,22 @@ enum PageSource {
     /// serializes faults from the two columns sharing one handle (and the
     /// seek+read fallback on platforms without positional reads).
     File(Mutex<std::fs::File>),
+    /// Any source wrapped with deterministic fault injection. Open-time
+    /// metadata reads bypass injection (the fault surface under test is
+    /// the *page* path); only [`PageSource::read_page`] draws faults.
+    Faulty(FaultInjector),
 }
 
 impl PageSource {
     fn len(&self) -> io::Result<u64> {
         match self {
             PageSource::Memory(bytes) => Ok(bytes.len() as u64),
-            PageSource::File(f) => Ok(f
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .metadata()?
-                .len()),
+            PageSource::File(f) => Ok(lock_unpoisoned(f).metadata()?.len()),
+            PageSource::Faulty(inj) => inj.inner.len(),
         }
     }
 
+    /// A clean (never-faulting) positional read — the open-time path.
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         match self {
             PageSource::Memory(bytes) => {
@@ -134,7 +505,7 @@ impl PageSource {
                 Ok(())
             }
             PageSource::File(f) => {
-                let file = f.lock().unwrap_or_else(|e| e.into_inner());
+                let file = lock_unpoisoned(f);
                 #[cfg(unix)]
                 {
                     use std::os::unix::fs::FileExt;
@@ -148,8 +519,24 @@ impl PageSource {
                     file.read_exact(buf)
                 }
             }
+            PageSource::Faulty(inj) => inj.inner.read_at(offset, buf),
         }
     }
+
+    /// The render-time page read: draws injected faults when wrapped.
+    fn read_page(&self, offset: u64, buf: &mut [u8], attempt: u32) -> Result<(), ReadFault> {
+        match self {
+            PageSource::Faulty(inj) => inj.read_page(offset, buf, attempt),
+            other => other.read_at(offset, buf).map_err(ReadFault::Io),
+        }
+    }
+}
+
+/// Per-chunk CRC table of one column (shared with clones).
+#[derive(Clone, Debug)]
+struct ColumnCrc {
+    chunk_slots: u32,
+    chunks: Arc<[u32]>,
 }
 
 /// Mutable state of one paged column.
@@ -162,10 +549,35 @@ struct PageState {
     /// Indices of the resident pages (≤ budget entries when bounded), so
     /// eviction scans the residents, never the whole page table.
     resident_ids: Vec<usize>,
+    /// Pages lost to permanent faults; fetches of their slots fail fast.
+    dead: Vec<bool>,
     clock: u64,
     /// Pages materialized over the column's lifetime (eviction makes this
     /// exceed the page count).
     faults: u64,
+    /// Failed page-read attempts that were retried (or exhausted).
+    retries: u64,
+    /// Reusable chunk-cover staging for checksum verification, so warm
+    /// verified fills allocate nothing once grown.
+    verify: Vec<u8>,
+}
+
+/// Why one fill attempt of a page failed (internal to the retry loop).
+enum FillError {
+    Transient,
+    Corrupt(u64),
+    Io(io::Error),
+    Permanent,
+}
+
+impl From<ReadFault> for FillError {
+    fn from(f: ReadFault) -> FillError {
+        match f {
+            ReadFault::Io(e) => FillError::Io(e),
+            ReadFault::Transient => FillError::Transient,
+            ReadFault::Permanent => FillError::Permanent,
+        }
+    }
 }
 
 /// One demand-paged column.
@@ -179,6 +591,9 @@ struct PagedColumn {
     record_bytes: usize,
     slots: usize,
     config: PageConfig,
+    kind: ColumnKind,
+    /// Per-chunk CRC table (absent on version-1 images).
+    crc: Option<ColumnCrc>,
     state: Mutex<PageState>,
 }
 
@@ -189,6 +604,8 @@ impl PagedColumn {
         record_bytes: usize,
         slots: usize,
         config: PageConfig,
+        kind: ColumnKind,
+        crc: Option<ColumnCrc>,
     ) -> PagedColumn {
         let config = config.validated();
         let n_pages = slots.div_ceil(config.slots_per_page as usize).max(1);
@@ -199,9 +616,12 @@ impl PagedColumn {
             record_bytes,
             slots,
             config,
+            kind,
+            crc,
             state: Mutex::new(PageState {
                 pages: (0..n_pages).map(|_| None).collect(),
                 stamp: vec![0; n_pages],
+                dead: vec![false; n_pages],
                 ..Default::default()
             }),
         }
@@ -209,57 +629,73 @@ impl PagedColumn {
 
     /// Copies slot `slot`'s record into `out`, materializing (and possibly
     /// evicting) pages as needed.
-    fn read_slot(&self, slot: usize, out: &mut [u8]) {
+    fn read_slot(&self, slot: usize, out: &mut [u8]) -> Result<(), StoreError> {
         debug_assert_eq!(out.len(), self.record_bytes);
-        self.read_range(slot, 1, out);
+        self.read_range(slot, 1, out)
     }
 
     /// Copies the contiguous records of `[first_slot, first_slot + n)`
     /// into `out` under **one** lock acquisition, touching each spanned
     /// page's LRU state once — the whole-voxel fetch path.
-    fn read_range(&self, first_slot: usize, n: usize, out: &mut [u8]) {
+    fn read_range(&self, first_slot: usize, n: usize, out: &mut [u8]) -> Result<(), StoreError> {
         debug_assert!(first_slot + n <= self.slots);
         debug_assert_eq!(out.len(), n * self.record_bytes);
         if n == 0 {
-            return;
+            return Ok(());
         }
         let spp = self.config.slots_per_page as usize;
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = lock_unpoisoned(&self.state);
         let mut slot = first_slot;
         let mut written = 0usize;
         while slot < first_slot + n {
             let page = slot / spp;
-            self.ensure_page(&mut st, page);
+            self.ensure_page(&mut st, page)?;
             st.clock += 1;
             st.stamp[page] = st.clock;
             let in_page = slot - page * spp;
             let take = (spp - in_page).min(first_slot + n - slot);
             let bytes = take * self.record_bytes;
             let from = in_page * self.record_bytes;
-            out[written..written + bytes].copy_from_slice(
-                &st.pages[page].as_ref().expect("just materialized")[from..from + bytes],
-            );
+            match &st.pages[page] {
+                Some(p) => out[written..written + bytes].copy_from_slice(&p[from..from + bytes]),
+                None => {
+                    // ensure_page just succeeded; an absent page here means
+                    // the state was corrupted by a panicking sibling.
+                    return Err(StoreError::PageLost {
+                        column: self.kind,
+                        page: page as u64,
+                    });
+                }
+            }
             written += bytes;
             slot += take;
         }
+        Ok(())
     }
 
-    /// Materializes `page` if absent, evicting the least-recently-used
+    /// Materializes `page` if absent: evicts the least-recently-used
     /// resident page when a budget is set (an O(budget) scan of the
-    /// resident list; stamps are unique, so the victim is deterministic).
-    fn ensure_page(&self, st: &mut PageState, page: usize) {
+    /// resident list; stamps are unique, so the victim is deterministic),
+    /// then fills the page with up to [`PageConfig::max_read_attempts`]
+    /// verified reads. Permanent faults mark the page dead.
+    fn ensure_page(&self, st: &mut PageState, page: usize) -> Result<(), StoreError> {
         if st.pages[page].is_some() {
-            return;
+            return Ok(());
+        }
+        if st.dead[page] {
+            return Err(StoreError::PageLost {
+                column: self.kind,
+                page: page as u64,
+            });
         }
         let budget = self.config.max_resident_pages as usize;
         if budget > 0 && st.resident_ids.len() >= budget {
-            let at = st
-                .resident_ids
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &p)| st.stamp[p])
-                .map(|(i, _)| i)
-                .expect("bounded state implies a resident page");
+            let mut at = 0usize;
+            for (i, &p) in st.resident_ids.iter().enumerate() {
+                if st.stamp[p] < st.stamp[st.resident_ids[at]] {
+                    at = i;
+                }
+            }
             let victim = st.resident_ids.swap_remove(at);
             st.pages[victim] = None;
         }
@@ -267,23 +703,100 @@ impl PagedColumn {
         let first_slot = page * spp;
         let n_slots = spp.min(self.slots - first_slot);
         let mut bytes = vec![0u8; n_slots * self.record_bytes].into_boxed_slice();
-        self.source
-            .read_at(
-                self.offset + (first_slot * self.record_bytes) as u64,
-                &mut bytes,
-            )
-            .expect("paged column read failed (scene image vanished?)");
+        let max_attempts = self.config.max_read_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.fill_page(&mut st.verify, &mut bytes, first_slot, n_slots, attempt) {
+                Ok(()) => break,
+                Err(FillError::Permanent) => {
+                    st.dead[page] = true;
+                    return Err(StoreError::PageLost {
+                        column: self.kind,
+                        page: page as u64,
+                    });
+                }
+                Err(cause) => {
+                    st.retries += 1;
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        return Err(match cause {
+                            FillError::Transient => StoreError::RetriesExhausted {
+                                column: self.kind,
+                                page: page as u64,
+                                attempts: attempt,
+                            },
+                            FillError::Corrupt(chunk) => StoreError::CorruptPage {
+                                column: self.kind,
+                                chunk,
+                            },
+                            FillError::Io(e) => StoreError::Io(e),
+                            FillError::Permanent => StoreError::PageLost {
+                                column: self.kind,
+                                page: page as u64,
+                            },
+                        });
+                    }
+                    retry_backoff(attempt);
+                }
+            }
+        }
         st.pages[page] = Some(bytes);
         st.resident_ids.push(page);
         st.faults += 1;
+        Ok(())
+    }
+
+    /// One fill attempt. With checksums on, reads the chunk-aligned cover
+    /// of the page's slots into `verify`, checks every covered chunk's
+    /// CRC, and copies the page's window out; otherwise reads the page
+    /// directly.
+    fn fill_page(
+        &self,
+        verify: &mut Vec<u8>,
+        out: &mut [u8],
+        first_slot: usize,
+        n_slots: usize,
+        attempt: u32,
+    ) -> Result<(), FillError> {
+        let rb = self.record_bytes;
+        let crc = match &self.crc {
+            Some(crc) if self.config.verify_checksums => crc,
+            _ => {
+                return self
+                    .source
+                    .read_page(self.offset + (first_slot * rb) as u64, out, attempt)
+                    .map_err(FillError::from);
+            }
+        };
+        let cs = (crc.chunk_slots as usize).max(1);
+        let c0 = first_slot / cs;
+        let c1 = (first_slot + n_slots).div_ceil(cs).min(crc.chunks.len());
+        let cover_first = c0 * cs;
+        let cover_last = (c1 * cs).min(self.slots);
+        verify.clear();
+        verify.resize((cover_last - cover_first) * rb, 0);
+        self.source
+            .read_page(self.offset + (cover_first * rb) as u64, verify, attempt)
+            .map_err(FillError::from)?;
+        for c in c0..c1 {
+            let s0 = c * cs;
+            let s1 = ((c + 1) * cs).min(self.slots);
+            let window = &verify[(s0 - cover_first) * rb..(s1 - cover_first) * rb];
+            if crc32(window) != crc.chunks[c] {
+                return Err(FillError::Corrupt(c as u64));
+            }
+        }
+        let from = (first_slot - cover_first) * rb;
+        out.copy_from_slice(&verify[from..from + n_slots * rb]);
+        Ok(())
     }
 
     fn faults(&self) -> u64 {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).faults
+        lock_unpoisoned(&self.state).faults
     }
 
     fn resident_bytes(&self) -> u64 {
-        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let st = lock_unpoisoned(&self.state);
         st.pages
             .iter()
             .flatten()
@@ -296,7 +809,9 @@ impl PagedColumn {
 #[derive(Debug)]
 enum Column {
     Resident(Vec<u8>),
-    Paged(PagedColumn),
+    // Boxed: a PagedColumn (source handle, CRC tables, page state) is an
+    // order of magnitude wider than the resident variant's Vec header.
+    Paged(Box<PagedColumn>),
 }
 
 impl Column {
@@ -308,32 +823,42 @@ impl Column {
     }
 
     /// Copies slot `slot`'s `record_bytes`-wide record into `out`.
-    fn read_slot(&self, slot: usize, record_bytes: usize, out: &mut [u8]) {
+    fn read_slot(
+        &self,
+        slot: usize,
+        record_bytes: usize,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
         match self {
             Column::Resident(b) => {
                 out.copy_from_slice(&b[slot * record_bytes..slot * record_bytes + out.len()]);
+                Ok(())
             }
             Column::Paged(p) => {
                 debug_assert_eq!(p.record_bytes, record_bytes);
-                p.read_slot(slot, out);
+                p.read_slot(slot, out)
             }
         }
     }
 }
 
 impl Clone for Column {
-    /// Cloning a paged column shares the source image but starts with a
-    /// cold page set (page state is never shared between clones).
+    /// Cloning a paged column shares the source image and CRC tables but
+    /// starts with a cold page set (page state is never shared between
+    /// clones — including dead-page marks, which re-derive from the same
+    /// deterministic fault stream).
     fn clone(&self) -> Column {
         match self {
             Column::Resident(b) => Column::Resident(b.clone()),
-            Column::Paged(p) => Column::Paged(PagedColumn::new(
+            Column::Paged(p) => Column::Paged(Box::new(PagedColumn::new(
                 Arc::clone(&p.source),
                 p.offset,
                 p.record_bytes,
                 p.slots,
                 p.config,
-            )),
+                p.kind,
+                p.crc.clone(),
+            ))),
         }
     }
 }
@@ -354,18 +879,10 @@ struct StagingPool(Mutex<Vec<Vec<u8>>>);
 impl StagingPool {
     /// Pops a recycled buffer (or starts a fresh one), resized to `len`.
     fn take(&self, len: usize) -> PooledBuf<'_> {
-        let mut buf = self
-            .0
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
+        let mut buf = lock_unpoisoned(&self.0).pop().unwrap_or_default();
         buf.clear();
         buf.resize(len, 0);
-        PooledBuf {
-            pool: self,
-            buf: Some(buf),
-        }
+        PooledBuf { pool: self, buf }
     }
 }
 
@@ -382,31 +899,25 @@ impl Clone for StagingPool {
 #[derive(Debug)]
 struct PooledBuf<'a> {
     pool: &'a StagingPool,
-    buf: Option<Vec<u8>>,
+    buf: Vec<u8>,
 }
 
 impl Drop for PooledBuf<'_> {
     fn drop(&mut self) {
-        if let Some(buf) = self.buf.take() {
-            self.pool
-                .0
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(buf);
-        }
+        lock_unpoisoned(&self.pool.0).push(std::mem::take(&mut self.buf));
     }
 }
 
 impl std::ops::Deref for PooledBuf<'_> {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        self.buf.as_deref().expect("buffer on loan")
+        &self.buf
     }
 }
 
 impl std::ops::DerefMut for PooledBuf<'_> {
     fn deref_mut(&mut self) -> &mut [u8] {
-        self.buf.as_deref_mut().expect("buffer on loan")
+        &mut self.buf
     }
 }
 
@@ -423,6 +934,52 @@ enum FineFormat {
     },
 }
 
+/// The decoded coarse stream of one voxel, returned by
+/// [`VoxelStore::fetch_coarse`] / [`VoxelStore::try_fetch_coarse`].
+///
+/// Resident columns decode straight from the contiguous column slice (no
+/// per-slot copy or lock); a paged column decodes from a staging buffer on
+/// loan from the store's return-on-drop pool (dropping the iterator
+/// recycles it).
+pub struct CoarseIter<'a> {
+    bytes: CoarseBytes<'a>,
+    first: u32,
+    next: u32,
+    end: u32,
+}
+
+enum CoarseBytes<'a> {
+    Resident(&'a [u8]),
+    Staged(PooledBuf<'a>),
+}
+
+impl Iterator for CoarseIter<'_> {
+    type Item = (u32, Vec3, f32);
+
+    fn next(&mut self) -> Option<(u32, Vec3, f32)> {
+        if self.next >= self.end {
+            return None;
+        }
+        let slot = self.next;
+        self.next += 1;
+        let rec: &[u8] = match &self.bytes {
+            CoarseBytes::Resident(bytes) => &bytes[slot as usize * COARSE_BYTES..][..COARSE_BYTES],
+            CoarseBytes::Staged(buf) => {
+                &buf[(slot - self.first) as usize * COARSE_BYTES..][..COARSE_BYTES]
+            }
+        };
+        let (pos, s_max) = Gaussian::decode_coarse(rec);
+        Some((slot, pos, s_max))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CoarseIter<'_> {}
+
 /// Per-voxel contiguous columnar storage with metered, bit-exact fetches.
 ///
 /// Built once at scene preparation ([`VoxelStore::from_cloud`] /
@@ -430,7 +987,8 @@ enum FineFormat {
 /// serialized scene image with demand-paged columns
 /// ([`VoxelStore::open_paged_bytes`] / [`VoxelStore::open_paged_file`]);
 /// the streaming renderer's coarse and fine phases read **only** from
-/// here, through either backing, with identical bytes and metering.
+/// here, through either backing, with identical bytes and metering. See
+/// the module docs for the error contract of the `try_*` twins.
 #[derive(Clone, Debug)]
 pub struct VoxelStore {
     /// Slot range per renamed voxel (mirrors the grid's layout).
@@ -534,6 +1092,17 @@ impl VoxelStore {
         matches!(self.coarse, Column::Paged(_))
     }
 
+    /// The effective page configuration of a paged store (`None` for
+    /// resident backings). `verify_checksums` here reflects reality: it is
+    /// forced `false` when the image was a version-1 file without CRC
+    /// tables, whatever the requested config said.
+    pub fn page_config(&self) -> Option<PageConfig> {
+        match &self.coarse {
+            Column::Paged(p) => Some(p.config),
+            Column::Resident(_) => None,
+        }
+    }
+
     /// Pages materialized so far across both columns (0 for resident
     /// backings; with a residency budget, re-faults count again).
     pub fn page_faults(&self) -> u64 {
@@ -542,6 +1111,25 @@ impl VoxelStore {
             Column::Paged(p) => p.faults(),
         };
         of(&self.coarse) + of(&self.fine)
+    }
+
+    /// Retry/dead/injection counters, cheap enough to snapshot per frame
+    /// (all zeros for resident backings). Allocation-free.
+    pub fn fault_snapshot(&self) -> StoreFaultSnapshot {
+        let mut snap = StoreFaultSnapshot::default();
+        for col in [&self.coarse, &self.fine] {
+            if let Column::Paged(p) = col {
+                let st = lock_unpoisoned(&p.state);
+                snap.retries += st.retries;
+                snap.dead_pages += st.dead.iter().filter(|&&d| d).count() as u64;
+            }
+        }
+        if let Column::Paged(p) = &self.coarse {
+            if let PageSource::Faulty(inj) = &*p.source {
+                snap.injected = *lock_unpoisoned(&inj.stats);
+            }
+        }
+        snap
     }
 
     /// Bytes currently held by materialized pages across both columns
@@ -595,61 +1183,64 @@ impl VoxelStore {
         &self.ids[a as usize..b as usize]
     }
 
-    /// Streams voxel `vid`'s first-half column: meters the whole voxel's
-    /// coarse bytes into `ledger` (`VoxelCoarse`/read demand — the burst
-    /// the accelerator issues regardless of filter outcomes) and returns
-    /// an iterator of `(slot, position, max scale)` decoded from the
-    /// bytes (identically for resident and paged backings).
-    pub fn fetch_coarse<'a>(
-        &'a self,
+    /// Streams voxel `vid`'s first-half column: stages the whole voxel's
+    /// contiguous range (paged backings; one lock acquisition), meters the
+    /// voxel's coarse bytes into `ledger` (`VoxelCoarse`/read demand — the
+    /// burst the accelerator issues regardless of filter outcomes) and
+    /// returns an iterator of `(slot, position, max scale)` decoded from
+    /// the bytes (identically for resident and paged backings). Nothing is
+    /// metered when the stage fails.
+    pub fn try_fetch_coarse(
+        &self,
         vid: u32,
         ledger: &mut TrafficLedger,
-    ) -> impl Iterator<Item = (u32, Vec3, f32)> + 'a {
+    ) -> Result<CoarseIter<'_>, StoreError> {
         let (a, b) = self.ranges[vid as usize];
+        let bytes = match &self.coarse {
+            Column::Resident(bytes) => CoarseBytes::Resident(bytes.as_slice()),
+            Column::Paged(p) => {
+                let mut buf = self.staging.take((b - a) as usize * COARSE_BYTES);
+                p.read_range(a as usize, (b - a) as usize, &mut buf)?;
+                CoarseBytes::Staged(buf)
+            }
+        };
         ledger.add(
             Stage::VoxelCoarse,
             Direction::Read,
             (b - a) as u64 * COARSE_BYTES as u64,
         );
-        // The renderer's hottest loop: resident columns decode straight
-        // from the contiguous slice (no per-slot copy or lock); a paged
-        // column stages the whole voxel's contiguous range under one lock
-        // acquisition and decodes from a staging buffer on loan from the
-        // store's return-on-drop pool (dropping the iterator recycles it),
-        // so paged steady-state fetches allocate nothing once the pool's
-        // buffers cover the largest voxel.
-        let (resident, staged): (Option<&[u8]>, Option<PooledBuf<'a>>) = match &self.coarse {
-            Column::Resident(bytes) => (Some(bytes.as_slice()), None),
-            Column::Paged(p) => {
-                let mut buf = self.staging.take((b - a) as usize * COARSE_BYTES);
-                p.read_range(a as usize, (b - a) as usize, &mut buf);
-                (None, Some(buf))
-            }
-        };
-        (a..b).map(move |slot| {
-            let rec: &[u8] = match resident {
-                Some(bytes) => &bytes[slot as usize * COARSE_BYTES..][..COARSE_BYTES],
-                None => {
-                    let buf = staged.as_ref().expect("paged staging buffer");
-                    &buf[(slot - a) as usize * COARSE_BYTES..][..COARSE_BYTES]
-                }
-            };
-            let (pos, s_max) = Gaussian::decode_coarse(rec);
-            (slot, pos, s_max)
+        Ok(CoarseIter {
+            bytes,
+            first: a,
+            next: a,
+            end: b,
         })
     }
 
+    /// [`VoxelStore::try_fetch_coarse`], panicking on error — infallible
+    /// over resident columns; the paged exactness suites keep using it on
+    /// known-good images.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a paged read fails (see [`StoreError`]).
+    pub fn fetch_coarse(&self, vid: u32, ledger: &mut TrafficLedger) -> CoarseIter<'_> {
+        match self.try_fetch_coarse(vid, ledger) {
+            Ok(it) => it,
+            Err(e) => panic!("fetch_coarse(voxel {vid}): {e}"),
+        }
+    }
+
     /// Fetches and decodes `slot`'s second-half record, metering its bytes
-    /// into `ledger` (`VoxelFine`/read demand). Bit-exact: raw stores
-    /// return the original Gaussian, VQ stores return exactly
+    /// into `ledger` (`VoxelFine`/read demand) only on success. Bit-exact:
+    /// raw stores return the original Gaussian, VQ stores return exactly
     /// [`QuantizedCloud::decode_one`]'s result — whichever backing the
     /// columns use.
-    pub fn fetch_fine(&self, slot: u32, ledger: &mut TrafficLedger) -> Gaussian {
-        ledger.add(
-            Stage::VoxelFine,
-            Direction::Read,
-            self.fine_bytes_per_gaussian(),
-        );
+    pub fn try_fetch_fine(
+        &self,
+        slot: u32,
+        ledger: &mut TrafficLedger,
+    ) -> Result<Gaussian, StoreError> {
         let s = slot as usize;
         let width = self.fine_bytes_per_gaussian() as usize;
         // Resident columns decode straight from their slices (the
@@ -659,7 +1250,7 @@ impl VoxelStore {
         let coarse: &[u8] = if let Column::Resident(bytes) = &self.coarse {
             &bytes[s * COARSE_BYTES..(s + 1) * COARSE_BYTES]
         } else {
-            self.coarse.read_slot(s, COARSE_BYTES, &mut cbuf);
+            self.coarse.read_slot(s, COARSE_BYTES, &mut cbuf)?;
             &cbuf
         };
         let mut fbuf = [0u8; FINE_BYTES_RAW];
@@ -667,38 +1258,103 @@ impl VoxelStore {
             &bytes[s * width..(s + 1) * width]
         } else {
             let buf = &mut fbuf[..width];
-            self.fine.read_slot(s, width, buf);
+            self.fine.read_slot(s, width, buf)?;
             buf
         };
-        match &self.format {
+        ledger.add(Stage::VoxelFine, Direction::Read, width as u64);
+        Ok(match &self.format {
             FineFormat::Raw { max_axis } => Gaussian::from_split_record(coarse, fine, max_axis[s]),
             FineFormat::Vq { codebooks, .. } => {
                 let (pos, _) = Gaussian::decode_coarse(coarse);
                 let r = codebooks.read_record(fine);
                 codebooks.decode_record(pos, &r)
             }
+        })
+    }
+
+    /// [`VoxelStore::try_fetch_fine`], panicking on error — infallible
+    /// over resident columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a paged read fails (see [`StoreError`]).
+    pub fn fetch_fine(&self, slot: u32, ledger: &mut TrafficLedger) -> Gaussian {
+        match self.try_fetch_fine(slot, ledger) {
+            Ok(g) => g,
+            Err(e) => panic!("fetch_fine(slot {slot}): {e}"),
         }
+    }
+
+    /// Re-reads slot `slot`'s coarse record *without metering* — the
+    /// degraded-path re-read of bytes the coarse phase already streamed
+    /// on-chip (the renderer blends a coarse stand-in when a fine page is
+    /// unavailable).
+    pub fn try_coarse_of(&self, slot: u32) -> Result<(Vec3, f32), StoreError> {
+        let s = slot as usize;
+        let mut cbuf = [0u8; COARSE_BYTES];
+        let rec: &[u8] = if let Column::Resident(bytes) = &self.coarse {
+            &bytes[s * COARSE_BYTES..(s + 1) * COARSE_BYTES]
+        } else {
+            self.coarse.read_slot(s, COARSE_BYTES, &mut cbuf)?;
+            &cbuf
+        };
+        Ok(Gaussian::decode_coarse(rec))
     }
 
     // --- serialized scene image ------------------------------------------
 
-    /// Serializes the store into its compact scene image: header, index
-    /// metadata (ranges, ids, max-axis tags or codebooks) and both raw
-    /// columns. [`VoxelStore::open_paged_bytes`] /
-    /// [`VoxelStore::open_paged_file`] reopen the image with demand-paged
-    /// columns, bit-exactly.
+    /// Serializes the store into its compact scene image (current format,
+    /// with per-chunk CRC tables — see the module docs for the layout).
+    /// [`VoxelStore::open_paged_bytes`] / [`VoxelStore::open_paged_file`]
+    /// reopen the image with demand-paged columns, bit-exactly. Fails only
+    /// when `self` is itself paged and a page read fails.
+    pub fn try_to_scene_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        self.serialize_scene(SCENE_VERSION)
+    }
+
+    /// [`VoxelStore::try_to_scene_bytes`], panicking on error —
+    /// infallible over resident columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged and a page read fails.
     pub fn to_scene_bytes(&self) -> Vec<u8> {
+        match self.try_to_scene_bytes() {
+            Ok(image) => image,
+            Err(e) => panic!("to_scene_bytes: {e}"),
+        }
+    }
+
+    /// Serializes the pre-checksum version-1 image (no CRC tables) — kept
+    /// for back-compat tests and benches only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged and a page read fails.
+    #[doc(hidden)]
+    pub fn to_scene_bytes_v1(&self) -> Vec<u8> {
+        match self.serialize_scene(SCENE_VERSION_V1) {
+            Ok(image) => image,
+            Err(e) => panic!("to_scene_bytes_v1: {e}"),
+        }
+    }
+
+    fn serialize_scene(&self, version: u32) -> Result<Vec<u8>, StoreError> {
         let n_slots = self.len();
         let width = self.fine_bytes_per_gaussian() as usize;
         let mut out = Vec::new();
-        for v in [
+        let mut header = vec![
             SCENE_MAGIC,
-            SCENE_VERSION,
+            version,
             if self.is_vq() { FLAG_VQ } else { 0 },
             self.voxel_count() as u32,
             n_slots as u32,
             width as u32,
-        ] {
+        ];
+        if version >= SCENE_VERSION {
+            header.push(CRC_CHUNK_SLOTS);
+        }
+        for v in header {
             out.extend_from_slice(&v.to_le_bytes());
         }
         for &(a, b) in &self.ranges {
@@ -712,82 +1368,171 @@ impl VoxelStore {
             FineFormat::Raw { max_axis } => out.extend_from_slice(max_axis),
             FineFormat::Vq { codebooks, .. } => write_codebooks(codebooks, &mut out),
         }
+        // Stage both columns (pages everything in when `self` is paged —
+        // which is also why serialization happens before any file I/O in
+        // `write_scene_file`).
         let mut rec = [0u8; FINE_BYTES_RAW];
+        let mut coarse_col = Vec::with_capacity(n_slots * COARSE_BYTES);
         for s in 0..n_slots {
             self.coarse
-                .read_slot(s, COARSE_BYTES, &mut rec[..COARSE_BYTES]);
-            out.extend_from_slice(&rec[..COARSE_BYTES]);
+                .read_slot(s, COARSE_BYTES, &mut rec[..COARSE_BYTES])?;
+            coarse_col.extend_from_slice(&rec[..COARSE_BYTES]);
         }
+        let mut fine_col = Vec::with_capacity(n_slots * width);
         for s in 0..n_slots {
-            self.fine.read_slot(s, width, &mut rec[..width]);
-            out.extend_from_slice(&rec[..width]);
+            self.fine.read_slot(s, width, &mut rec[..width])?;
+            fine_col.extend_from_slice(&rec[..width]);
         }
-        out
+        if version >= SCENE_VERSION {
+            // Chunks are slot-aligned, so `chunks()` over the raw column
+            // yields exactly ceil(n_slots / CRC_CHUNK_SLOTS) windows.
+            for (col, rb) in [(&coarse_col, COARSE_BYTES), (&fine_col, width)] {
+                for chunk in col.chunks((CRC_CHUNK_SLOTS as usize * rb).max(1)) {
+                    out.extend_from_slice(&crc32(chunk).to_le_bytes());
+                }
+            }
+            let meta = crc32(&out);
+            out.extend_from_slice(&meta.to_le_bytes());
+        }
+        out.extend_from_slice(&coarse_col);
+        out.extend_from_slice(&fine_col);
+        Ok(out)
     }
 
-    /// Writes [`VoxelStore::to_scene_bytes`] to `path`. The image is
-    /// serialized **before** the destination is created, so re-writing a
-    /// file-paged store over its own backing file is safe (creating first
-    /// would truncate the very image the serialization pages from).
+    /// Writes [`VoxelStore::to_scene_bytes`] to `path` **crash-safely**:
+    /// the image is serialized first (so re-writing a file-paged store
+    /// over its own backing pages everything in before the destination is
+    /// touched), written to a temp file in the destination directory,
+    /// fsynced, then atomically renamed into place — a crash can never
+    /// leave a torn image under the final name.
     pub fn write_scene_file(&self, path: &Path) -> io::Result<()> {
-        let image = self.to_scene_bytes();
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&image)?;
-        f.flush()
+        let image = self.try_to_scene_bytes().map_err(io::Error::from)?;
+        let name = path.file_name().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "scene path has no file name")
+        })?;
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{}.{}.{seq}.tmp",
+            name.to_string_lossy(),
+            std::process::id()
+        ));
+        let result = (|| -> io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+            return result;
+        }
+        #[cfg(unix)]
+        if let Ok(d) = std::fs::File::open(&dir) {
+            // Durability of the rename itself; best-effort by design.
+            d.sync_all().ok();
+        }
+        Ok(())
     }
 
     /// Opens a serialized scene image held in memory with demand-paged
     /// columns.
-    pub fn open_paged_bytes(image: Vec<u8>, config: PageConfig) -> io::Result<VoxelStore> {
+    pub fn open_paged_bytes(image: Vec<u8>, config: PageConfig) -> Result<VoxelStore, StoreError> {
         Self::open_paged(PageSource::Memory(image), config)
+    }
+
+    /// [`VoxelStore::open_paged_bytes`] with deterministic fault injection
+    /// wrapped around the page-read path (open-time metadata reads are
+    /// never faulted). A no-op `policy` skips the wrapper entirely.
+    pub fn open_paged_bytes_with_faults(
+        image: Vec<u8>,
+        config: PageConfig,
+        policy: FaultPolicy,
+    ) -> Result<VoxelStore, StoreError> {
+        Self::open_paged(wrap_faulty(PageSource::Memory(image), policy), config)
     }
 
     /// Opens a serialized scene file with demand-paged columns (index
     /// metadata is loaded eagerly; column pages are read positionally on
     /// demand).
-    pub fn open_paged_file(path: &Path, config: PageConfig) -> io::Result<VoxelStore> {
+    pub fn open_paged_file(path: &Path, config: PageConfig) -> Result<VoxelStore, StoreError> {
         Self::open_paged(
             PageSource::File(Mutex::new(std::fs::File::open(path)?)),
             config,
         )
     }
 
-    fn open_paged(source: PageSource, config: PageConfig) -> io::Result<VoxelStore> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    /// [`VoxelStore::open_paged_file`] with deterministic fault injection
+    /// (see [`VoxelStore::open_paged_bytes_with_faults`]).
+    pub fn open_paged_file_with_faults(
+        path: &Path,
+        config: PageConfig,
+        policy: FaultPolicy,
+    ) -> Result<VoxelStore, StoreError> {
+        Self::open_paged(
+            wrap_faulty(
+                PageSource::File(Mutex::new(std::fs::File::open(path)?)),
+                policy,
+            ),
+            config,
+        )
+    }
+
+    fn open_paged(source: PageSource, config: PageConfig) -> Result<VoxelStore, StoreError> {
+        let truncated = |what: &'static str| StoreError::Truncated { what };
+        let malformed = |what: &'static str| StoreError::Malformed { what };
         // Every size below is validated against the image length *before*
         // it drives an allocation or a read, so a corrupt or truncated
         // image fails cleanly at open — never with a huge allocation here
         // or an out-of-bounds page fault mid-render.
         let src_len = source.len()?;
-        let fits = |at: u64, bytes: u64| -> io::Result<()> {
+        let fits = |at: u64, bytes: u64, what: &'static str| -> Result<(), StoreError> {
             match at.checked_add(bytes) {
                 Some(end) if end <= src_len => Ok(()),
-                _ => Err(bad("scene image truncated (header sizes exceed the image)")),
+                _ => Err(truncated(what)),
             }
         };
         let mut at = 0u64;
-        let u32_at = |src: &PageSource, at: &mut u64| -> io::Result<u32> {
+        let u32_at = |src: &PageSource, at: &mut u64| -> Result<u32, StoreError> {
             let mut b = [0u8; 4];
             src.read_at(*at, &mut b)?;
             *at += 4;
             Ok(u32::from_le_bytes(b))
         };
-        fits(at, 24)?;
+        fits(at, 24, "header")?;
         if u32_at(&source, &mut at)? != SCENE_MAGIC {
-            return Err(bad("not a serialized voxel-store scene image"));
+            return Err(malformed("not a serialized voxel-store scene image"));
         }
-        if u32_at(&source, &mut at)? != SCENE_VERSION {
-            return Err(bad("unsupported scene image version"));
+        let version = u32_at(&source, &mut at)?;
+        if version != SCENE_VERSION && version != SCENE_VERSION_V1 {
+            return Err(malformed("unsupported scene image version"));
         }
         let flags = u32_at(&source, &mut at)?;
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(malformed("unknown header flags"));
+        }
         let n_voxels = u32_at(&source, &mut at)? as usize;
         let n_slots = u32_at(&source, &mut at)? as usize;
         let width = u32_at(&source, &mut at)? as usize;
         if width == 0 || width > FINE_BYTES_RAW {
-            return Err(bad("implausible fine record width"));
+            return Err(malformed("implausible fine record width"));
         }
+        let crc_chunk_slots = if version >= SCENE_VERSION {
+            fits(at, 4, "crc_chunk_slots header word")?;
+            let ccs = u32_at(&source, &mut at)?;
+            if ccs == 0 {
+                return Err(malformed("zero crc_chunk_slots"));
+            }
+            Some(ccs)
+        } else {
+            None
+        };
 
-        fits(at, n_voxels as u64 * 8)?;
+        fits(at, n_voxels as u64 * 8, "voxel range table")?;
         let mut ranges = Vec::with_capacity(n_voxels);
         let mut buf = vec![0u8; n_voxels * 8];
         source.read_at(at, &mut buf)?;
@@ -798,11 +1543,11 @@ impl VoxelStore {
                 u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
             );
             if a > b || b as usize > n_slots {
-                return Err(bad("voxel slot range outside the slot column"));
+                return Err(malformed("voxel slot range outside the slot column"));
             }
             ranges.push((a, b));
         }
-        fits(at, n_slots as u64 * 4)?;
+        fits(at, n_slots as u64 * 4, "slot id column")?;
         let mut buf = vec![0u8; n_slots * 4];
         source.read_at(at, &mut buf)?;
         at += buf.len() as u64;
@@ -814,7 +1559,7 @@ impl VoxelStore {
         let format = if flags & FLAG_VQ != 0 {
             let codebooks = read_codebooks(&source, &mut at, src_len)?;
             if codebooks.record_bytes() as usize != width {
-                return Err(bad("codebook record width disagrees with header"));
+                return Err(malformed("codebook record width disagrees with header"));
             }
             FineFormat::Vq {
                 codebooks,
@@ -822,32 +1567,91 @@ impl VoxelStore {
             }
         } else {
             if width != FINE_BYTES_RAW {
-                return Err(bad("raw scene image with non-raw record width"));
+                return Err(malformed("raw scene image with non-raw record width"));
             }
-            fits(at, n_slots as u64)?;
+            fits(at, n_slots as u64, "max-axis tag column")?;
             let mut max_axis = vec![0u8; n_slots];
             source.read_at(at, &mut max_axis)?;
             at += n_slots as u64;
             FineFormat::Raw { max_axis }
         };
 
-        let source = Arc::new(source);
+        // Version ≥ 2: per-chunk CRC tables for both columns, then a
+        // metadata CRC over everything read so far.
+        let crc_tables = if let Some(ccs) = crc_chunk_slots {
+            let n_chunks = n_slots.div_ceil(ccs as usize);
+            fits(at, n_chunks as u64 * 8 + 4, "checksum tables")?;
+            let read_table = |at: &mut u64| -> Result<Arc<[u32]>, StoreError> {
+                let mut buf = vec![0u8; n_chunks * 4];
+                source.read_at(*at, &mut buf)?;
+                *at += buf.len() as u64;
+                Ok(buf
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect())
+            };
+            let coarse_crc = read_table(&mut at)?;
+            let fine_crc = read_table(&mut at)?;
+            let meta_end = at;
+            let meta_crc = u32_at(&source, &mut at)?;
+            let mut prefix = vec![0u8; meta_end as usize];
+            source.read_at(0, &mut prefix)?;
+            if crc32(&prefix) != meta_crc {
+                return Err(malformed("metadata checksum mismatch"));
+            }
+            Some((
+                ColumnCrc {
+                    chunk_slots: ccs,
+                    chunks: coarse_crc,
+                },
+                ColumnCrc {
+                    chunk_slots: ccs,
+                    chunks: fine_crc,
+                },
+            ))
+        } else {
+            None
+        };
+
         let coarse_off = at;
         let fine_off = coarse_off + (n_slots * COARSE_BYTES) as u64;
-        // Both columns must fit the image, so page faults can never run
-        // off the end.
-        fits(fine_off, n_slots as u64 * width as u64)?;
+        fits(fine_off, n_slots as u64 * width as u64, "fine column")?;
+        // Strict framing: nothing may trail the fine column (a torn or
+        // padded image fails here, not later at render time).
+        if fine_off + n_slots as u64 * width as u64 != src_len {
+            return Err(malformed("image length disagrees with the header"));
+        }
+        let config = PageConfig {
+            verify_checksums: config.verify_checksums && crc_tables.is_some(),
+            ..config
+        }
+        .validated();
+        let (coarse_crc, fine_crc) = match crc_tables {
+            Some((c, f)) => (Some(c), Some(f)),
+            None => (None, None),
+        };
+        let source = Arc::new(source);
         Ok(VoxelStore {
             ranges,
             ids,
-            coarse: Column::Paged(PagedColumn::new(
+            coarse: Column::Paged(Box::new(PagedColumn::new(
                 Arc::clone(&source),
                 coarse_off,
                 COARSE_BYTES,
                 n_slots,
                 config,
-            )),
-            fine: Column::Paged(PagedColumn::new(source, fine_off, width, n_slots, config)),
+                ColumnKind::Coarse,
+                coarse_crc,
+            ))),
+            fine: Column::Paged(Box::new(PagedColumn::new(
+                source,
+                fine_off,
+                width,
+                n_slots,
+                config,
+                ColumnKind::Fine,
+                fine_crc,
+            ))),
             format,
             staging: StagingPool::default(),
         })
@@ -855,10 +1659,60 @@ impl VoxelStore {
 
     /// Round-trips this store through its serialized scene image into a
     /// demand-paged twin (shares nothing with `self`).
-    pub fn paged_twin(&self, config: PageConfig) -> VoxelStore {
-        VoxelStore::open_paged_bytes(self.to_scene_bytes(), config)
-            .expect("serialize/open round-trip cannot fail")
+    pub fn try_paged_twin(&self, config: PageConfig) -> Result<VoxelStore, StoreError> {
+        VoxelStore::open_paged_bytes(self.try_to_scene_bytes()?, config)
     }
+
+    /// [`VoxelStore::try_paged_twin`], panicking on error — the
+    /// serialize/open round-trip cannot fail for resident stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged and a page read fails.
+    pub fn paged_twin(&self, config: PageConfig) -> VoxelStore {
+        match self.try_paged_twin(config) {
+            Ok(store) => store,
+            Err(e) => panic!("paged_twin: {e}"),
+        }
+    }
+
+    /// A paged twin whose page reads draw deterministic injected faults.
+    pub fn paged_twin_with_faults(
+        &self,
+        config: PageConfig,
+        policy: FaultPolicy,
+    ) -> Result<VoxelStore, StoreError> {
+        VoxelStore::open_paged_bytes_with_faults(self.try_to_scene_bytes()?, config, policy)
+    }
+
+    /// A paged twin over the pre-checksum version-1 image — back-compat
+    /// tests and benches only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when serialization or the open fails.
+    #[doc(hidden)]
+    pub fn paged_twin_v1(&self, config: PageConfig) -> VoxelStore {
+        match self
+            .serialize_scene(SCENE_VERSION_V1)
+            .and_then(|image| VoxelStore::open_paged_bytes(image, config))
+        {
+            Ok(store) => store,
+            Err(e) => panic!("paged_twin_v1: {e}"),
+        }
+    }
+}
+
+/// Wraps `source` with fault injection unless the policy injects nothing.
+fn wrap_faulty(source: PageSource, policy: FaultPolicy) -> PageSource {
+    if policy.is_noop() {
+        return source;
+    }
+    PageSource::Faulty(FaultInjector {
+        inner: Box::new(source),
+        policy,
+        stats: Mutex::new(FaultStats::default()),
+    })
 }
 
 /// Serializes the six feature codebooks (dim, entries, centroid f32s each).
@@ -874,11 +1728,16 @@ fn write_codebooks(cb: &FeatureCodebooks, out: &mut Vec<u8>) {
 
 /// Reads back [`write_codebooks`]' image, advancing `at`; every table size
 /// is validated against `src_len` before it drives an allocation.
-fn read_codebooks(source: &PageSource, at: &mut u64, src_len: u64) -> io::Result<FeatureCodebooks> {
-    let mut next = || -> io::Result<Codebook> {
-        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+fn read_codebooks(
+    source: &PageSource,
+    at: &mut u64,
+    src_len: u64,
+) -> Result<FeatureCodebooks, StoreError> {
+    let mut next = || -> Result<Codebook, StoreError> {
         if at.checked_add(8).is_none_or(|end| end > src_len) {
-            return Err(bad("scene image truncated in codebook header"));
+            return Err(StoreError::Truncated {
+                what: "codebook header",
+            });
         }
         let mut hdr = [0u8; 8];
         source.read_at(*at, &mut hdr)?;
@@ -886,14 +1745,20 @@ fn read_codebooks(source: &PageSource, at: &mut u64, src_len: u64) -> io::Result
         let dim = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
         let entries = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]) as usize;
         if dim == 0 || entries == 0 {
-            return Err(bad("empty codebook (zero dim or entries)"));
+            return Err(StoreError::Malformed {
+                what: "empty codebook (zero dim or entries)",
+            });
         }
         let table = (dim as u64)
             .checked_mul(entries as u64)
             .and_then(|n| n.checked_mul(4))
-            .ok_or_else(|| bad("codebook table size overflows"))?;
+            .ok_or(StoreError::Malformed {
+                what: "codebook table size overflows",
+            })?;
         if at.checked_add(table).is_none_or(|end| end > src_len) {
-            return Err(bad("scene image truncated in codebook table"));
+            return Err(StoreError::Truncated {
+                what: "codebook table",
+            });
         }
         let mut buf = vec![0u8; table as usize];
         source.read_at(*at, &mut buf)?;
@@ -929,232 +1794,5 @@ fn layout_of(grid: &VoxelGrid) -> (Vec<(u32, u32)>, Vec<u32>) {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use gs_scene::{SceneConfig, SceneKind};
-    use gs_vq::{GaussianQuantizer, VqConfig};
-
-    fn scene_cloud() -> (GaussianCloud, VoxelGrid) {
-        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
-        let grid = VoxelGrid::build(&scene.trained, scene.voxel_size);
-        (scene.trained, grid)
-    }
-
-    #[test]
-    fn layout_mirrors_grid() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        assert_eq!(store.len(), cloud.len());
-        assert_eq!(store.voxel_count(), grid.voxel_count());
-        for v in 0..grid.voxel_count() as u32 {
-            assert_eq!(store.ids_of(v), grid.gaussians_of(v));
-            let slots = store.slots_of(v);
-            assert_eq!(
-                (slots.end - slots.start) as usize,
-                grid.gaussians_of(v).len()
-            );
-        }
-        assert_eq!(store.coarse_column_bytes(), cloud.len() as u64 * 16);
-        assert_eq!(store.fine_column_bytes(), cloud.len() as u64 * 220);
-        assert!(!store.is_paged());
-        assert_eq!(store.page_faults(), 0);
-    }
-
-    #[test]
-    fn raw_fetch_is_bit_exact() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let mut ledger = TrafficLedger::new();
-        for v in 0..store.voxel_count() as u32 {
-            let coarse: Vec<_> = store.fetch_coarse(v, &mut ledger).collect();
-            for (slot, pos, s_max) in coarse {
-                let g = &cloud.as_slice()[store.id_of(slot) as usize];
-                assert_eq!(pos, g.pos);
-                assert_eq!(s_max, g.max_scale());
-                assert_eq!(&store.fetch_fine(slot, &mut ledger), g);
-            }
-        }
-        let n = cloud.len() as u64;
-        assert_eq!(ledger.get(Stage::VoxelCoarse, Direction::Read), n * 16);
-        assert_eq!(ledger.get(Stage::VoxelFine, Direction::Read), n * 220);
-    }
-
-    #[test]
-    fn vq_fetch_matches_quantizer_decode_bit_exactly() {
-        let (cloud, grid) = scene_cloud();
-        let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
-        let store = VoxelStore::from_quantized(&quant, &grid);
-        assert!(store.is_vq());
-        assert_eq!(
-            store.fine_bytes_per_gaussian(),
-            quant.fine_bytes_per_gaussian()
-        );
-        let mut ledger = TrafficLedger::new();
-        for slot in 0..store.len() as u32 {
-            let gi = store.id_of(slot) as usize;
-            assert_eq!(store.fetch_fine(slot, &mut ledger), quant.decode_one(gi));
-        }
-        assert_eq!(
-            ledger.get(Stage::VoxelFine, Direction::Read),
-            store.len() as u64 * store.fine_bytes_per_gaussian()
-        );
-    }
-
-    #[test]
-    fn coarse_metering_is_whole_voxel_bursts() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let mut ledger = TrafficLedger::new();
-        let v = 0u32;
-        // Dropping the iterator without consuming it still meters the
-        // burst: the accelerator streams the whole voxel regardless.
-        let _ = store.fetch_coarse(v, &mut ledger);
-        assert_eq!(
-            ledger.get(Stage::VoxelCoarse, Direction::Read),
-            grid.gaussians_of(v).len() as u64 * 16
-        );
-    }
-
-    #[test]
-    fn paged_twin_is_bit_exact_raw() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let paged = store.paged_twin(PageConfig {
-            slots_per_page: 7,
-            max_resident_pages: 0,
-        });
-        assert!(paged.is_paged());
-        assert!(!paged.is_vq());
-        assert_eq!(paged.len(), store.len());
-        assert_eq!(paged.voxel_count(), store.voxel_count());
-        let mut la = TrafficLedger::new();
-        let mut lb = TrafficLedger::new();
-        for v in 0..store.voxel_count() as u32 {
-            assert_eq!(paged.ids_of(v), store.ids_of(v));
-            let a: Vec<_> = store.fetch_coarse(v, &mut la).collect();
-            let b: Vec<_> = paged.fetch_coarse(v, &mut lb).collect();
-            assert_eq!(a, b);
-        }
-        for slot in 0..store.len() as u32 {
-            assert_eq!(
-                store.fetch_fine(slot, &mut la),
-                paged.fetch_fine(slot, &mut lb)
-            );
-        }
-        assert_eq!(la, lb, "paged metering must be identical");
-        assert!(paged.page_faults() > 0);
-    }
-
-    #[test]
-    fn paged_twin_is_bit_exact_vq_and_respects_budget() {
-        let (cloud, grid) = scene_cloud();
-        let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
-        let store = VoxelStore::from_quantized(&quant, &grid);
-        let budget = PageConfig {
-            slots_per_page: 8,
-            max_resident_pages: 2,
-        };
-        let paged = store.paged_twin(budget);
-        assert!(paged.is_vq());
-        let mut l = TrafficLedger::new();
-        for slot in 0..store.len() as u32 {
-            assert_eq!(
-                paged.fetch_fine(slot, &mut l),
-                quant.decode_one(paged.id_of(slot) as usize)
-            );
-        }
-        // Two columns × two pages × 8 slots each is the residency ceiling.
-        let per_page = 8 * (COARSE_BYTES as u64).max(paged.fine_bytes_per_gaussian());
-        assert!(paged.resident_column_bytes() <= 4 * per_page);
-        // The budget forces evictions: more faults than distinct pages.
-        let distinct = 2 * (store.len() as u64).div_ceil(8);
-        assert!(
-            paged.page_faults() >= distinct,
-            "faults {} < distinct pages {}",
-            paged.page_faults(),
-            distinct
-        );
-    }
-
-    #[test]
-    fn scene_file_round_trips_on_disk() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let path = std::env::temp_dir().join("gsvs_store_roundtrip.gsvs");
-        store.write_scene_file(&path).expect("write scene file");
-        let paged = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("open");
-        let mut la = TrafficLedger::new();
-        let mut lb = TrafficLedger::new();
-        for slot in 0..store.len() as u32 {
-            assert_eq!(
-                store.fetch_fine(slot, &mut la),
-                paged.fetch_fine(slot, &mut lb)
-            );
-        }
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn rewriting_a_file_paged_store_over_its_own_backing_is_safe() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let path = std::env::temp_dir().join("gsvs_rewrite_self.gsvs");
-        store.write_scene_file(&path).expect("initial write");
-        let paged = VoxelStore::open_paged_file(
-            &path,
-            PageConfig {
-                slots_per_page: 8,
-                max_resident_pages: 2,
-            },
-        )
-        .expect("open");
-        let mut l = TrafficLedger::new();
-        let g0 = paged.fetch_fine(0, &mut l);
-        // Re-writing over the store's own backing file must serialize
-        // (paging everything in) before truncating the destination.
-        paged.write_scene_file(&path).expect("rewrite over self");
-        assert_eq!(paged.fetch_fine(0, &mut l), g0);
-        let reopened = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("reopen");
-        assert_eq!(reopened.fetch_fine(0, &mut l), g0);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn open_rejects_garbage() {
-        let err = VoxelStore::open_paged_bytes(vec![0u8; 16], PageConfig::default());
-        assert!(err.is_err());
-        let err = VoxelStore::open_paged_bytes(Vec::new(), PageConfig::default());
-        assert!(err.is_err());
-    }
-
-    #[test]
-    fn open_rejects_hostile_headers_without_allocating() {
-        let (cloud, grid) = scene_cloud();
-        let good = VoxelStore::from_cloud(&cloud, &grid).to_scene_bytes();
-        // Huge n_voxels: must fail the length check, not allocate ~34 GB.
-        let mut evil = good.clone();
-        evil[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
-        // A slot range pointing past the slot column must fail at open,
-        // not out-of-bounds at render time.
-        let mut evil = good.clone();
-        evil[24 + 4..24 + 8].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
-        // Truncated columns fail at open too.
-        let mut evil = good.clone();
-        evil.truncate(good.len() - 100);
-        assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
-    }
-
-    #[test]
-    fn clone_of_paged_store_starts_cold_but_reads_identically() {
-        let (cloud, grid) = scene_cloud();
-        let store = VoxelStore::from_cloud(&cloud, &grid);
-        let paged = store.paged_twin(PageConfig::default());
-        let mut l = TrafficLedger::new();
-        let g0 = paged.fetch_fine(0, &mut l);
-        let cold = paged.clone();
-        assert_eq!(cold.page_faults(), 0, "clones share no page state");
-        assert_eq!(cold.fetch_fine(0, &mut l), g0);
-    }
-}
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests;

@@ -1,0 +1,432 @@
+use super::*;
+use gs_scene::{SceneConfig, SceneKind};
+use gs_vq::{GaussianQuantizer, VqConfig};
+
+fn scene_cloud() -> (GaussianCloud, VoxelGrid) {
+    let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+    let grid = VoxelGrid::build(&scene.trained, scene.voxel_size);
+    (scene.trained, grid)
+}
+
+#[test]
+fn layout_mirrors_grid() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    assert_eq!(store.len(), cloud.len());
+    assert_eq!(store.voxel_count(), grid.voxel_count());
+    for v in 0..grid.voxel_count() as u32 {
+        assert_eq!(store.ids_of(v), grid.gaussians_of(v));
+        let slots = store.slots_of(v);
+        assert_eq!(
+            (slots.end - slots.start) as usize,
+            grid.gaussians_of(v).len()
+        );
+    }
+    assert_eq!(store.coarse_column_bytes(), cloud.len() as u64 * 16);
+    assert_eq!(store.fine_column_bytes(), cloud.len() as u64 * 220);
+    assert!(!store.is_paged());
+    assert_eq!(store.page_faults(), 0);
+    assert_eq!(store.page_config(), None);
+    assert_eq!(store.fault_snapshot(), StoreFaultSnapshot::default());
+}
+
+#[test]
+fn raw_fetch_is_bit_exact() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let mut ledger = TrafficLedger::new();
+    for v in 0..store.voxel_count() as u32 {
+        let coarse: Vec<_> = store.fetch_coarse(v, &mut ledger).collect();
+        for (slot, pos, s_max) in coarse {
+            let g = &cloud.as_slice()[store.id_of(slot) as usize];
+            assert_eq!(pos, g.pos);
+            assert_eq!(s_max, g.max_scale());
+            assert_eq!(store.try_coarse_of(slot).unwrap(), (g.pos, g.max_scale()));
+            assert_eq!(&store.fetch_fine(slot, &mut ledger), g);
+        }
+    }
+    let n = cloud.len() as u64;
+    assert_eq!(ledger.get(Stage::VoxelCoarse, Direction::Read), n * 16);
+    // try_coarse_of is unmetered: the fine demand is exactly one record
+    // per slot.
+    assert_eq!(ledger.get(Stage::VoxelFine, Direction::Read), n * 220);
+}
+
+#[test]
+fn vq_fetch_matches_quantizer_decode_bit_exactly() {
+    let (cloud, grid) = scene_cloud();
+    let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
+    let store = VoxelStore::from_quantized(&quant, &grid);
+    assert!(store.is_vq());
+    assert_eq!(
+        store.fine_bytes_per_gaussian(),
+        quant.fine_bytes_per_gaussian()
+    );
+    let mut ledger = TrafficLedger::new();
+    for slot in 0..store.len() as u32 {
+        let gi = store.id_of(slot) as usize;
+        assert_eq!(store.fetch_fine(slot, &mut ledger), quant.decode_one(gi));
+    }
+    assert_eq!(
+        ledger.get(Stage::VoxelFine, Direction::Read),
+        store.len() as u64 * store.fine_bytes_per_gaussian()
+    );
+}
+
+#[test]
+fn coarse_metering_is_whole_voxel_bursts() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let mut ledger = TrafficLedger::new();
+    let v = 0u32;
+    // Dropping the iterator without consuming it still meters the
+    // burst: the accelerator streams the whole voxel regardless.
+    let _ = store.fetch_coarse(v, &mut ledger);
+    assert_eq!(
+        ledger.get(Stage::VoxelCoarse, Direction::Read),
+        grid.gaussians_of(v).len() as u64 * 16
+    );
+}
+
+#[test]
+fn paged_twin_is_bit_exact_raw() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let paged = store.paged_twin(PageConfig {
+        slots_per_page: 7,
+        ..PageConfig::default()
+    });
+    assert!(paged.is_paged());
+    assert!(!paged.is_vq());
+    assert!(
+        paged.page_config().unwrap().verify_checksums,
+        "v2 images verify by default"
+    );
+    assert_eq!(paged.len(), store.len());
+    assert_eq!(paged.voxel_count(), store.voxel_count());
+    let mut la = TrafficLedger::new();
+    let mut lb = TrafficLedger::new();
+    for v in 0..store.voxel_count() as u32 {
+        assert_eq!(paged.ids_of(v), store.ids_of(v));
+        let a: Vec<_> = store.fetch_coarse(v, &mut la).collect();
+        let b: Vec<_> = paged.fetch_coarse(v, &mut lb).collect();
+        assert_eq!(a, b);
+    }
+    for slot in 0..store.len() as u32 {
+        assert_eq!(
+            store.fetch_fine(slot, &mut la),
+            paged.fetch_fine(slot, &mut lb)
+        );
+    }
+    assert_eq!(la, lb, "paged metering must be identical");
+    assert!(paged.page_faults() > 0);
+    // Fault-free run: nothing retried, nothing dead, nothing injected.
+    assert_eq!(paged.fault_snapshot(), StoreFaultSnapshot::default());
+}
+
+#[test]
+fn paged_twin_is_bit_exact_vq_and_respects_budget() {
+    let (cloud, grid) = scene_cloud();
+    let quant = GaussianQuantizer::train(&cloud, &VqConfig::tiny());
+    let store = VoxelStore::from_quantized(&quant, &grid);
+    let budget = PageConfig {
+        slots_per_page: 8,
+        max_resident_pages: 2,
+        ..PageConfig::default()
+    };
+    let paged = store.paged_twin(budget);
+    assert!(paged.is_vq());
+    let mut l = TrafficLedger::new();
+    for slot in 0..store.len() as u32 {
+        assert_eq!(
+            paged.fetch_fine(slot, &mut l),
+            quant.decode_one(paged.id_of(slot) as usize)
+        );
+    }
+    // Two columns × two pages × 8 slots each is the residency ceiling.
+    let per_page = 8 * (COARSE_BYTES as u64).max(paged.fine_bytes_per_gaussian());
+    assert!(paged.resident_column_bytes() <= 4 * per_page);
+    // The budget forces evictions: more faults than distinct pages.
+    let distinct = 2 * (store.len() as u64).div_ceil(8);
+    assert!(
+        paged.page_faults() >= distinct,
+        "faults {} < distinct pages {}",
+        paged.page_faults(),
+        distinct
+    );
+}
+
+#[test]
+fn v1_images_remain_readable_without_verification() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let v1 = VoxelStore::open_paged_bytes(store.to_scene_bytes_v1(), PageConfig::default())
+        .expect("v1 image must stay readable");
+    // Verification was requested (default) but the image has no tables:
+    // the effective config flags it off.
+    assert!(!v1.page_config().unwrap().verify_checksums);
+    let mut la = TrafficLedger::new();
+    let mut lb = TrafficLedger::new();
+    for slot in 0..store.len() as u32 {
+        assert_eq!(
+            store.fetch_fine(slot, &mut la),
+            v1.fetch_fine(slot, &mut lb)
+        );
+    }
+    assert_eq!(la, lb);
+}
+
+#[test]
+fn corrupt_column_byte_surfaces_as_corrupt_page() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let mut image = store.to_scene_bytes();
+    let n = store.len();
+    // Flip one byte in the middle of the coarse column (the columns sit at
+    // the very end of the image: coarse then fine).
+    let coarse_off = image.len() - n * FINE_BYTES_RAW - n * COARSE_BYTES;
+    let at = coarse_off + (n / 2) * COARSE_BYTES;
+    image[at] ^= 0x40;
+    // Metadata is untouched, so the image still opens…
+    let paged = VoxelStore::open_paged_bytes(image.clone(), PageConfig::default())
+        .expect("column corruption is detected at fetch, not open");
+    // …but fetching the affected voxel reports the corrupt chunk.
+    let mut l = TrafficLedger::new();
+    let mut saw_corrupt = false;
+    for v in 0..paged.voxel_count() as u32 {
+        match paged.try_fetch_coarse(v, &mut l).map(|it| it.count()) {
+            Ok(_) => {}
+            Err(StoreError::CorruptPage { column, .. }) => {
+                assert_eq!(column, ColumnKind::Coarse);
+                saw_corrupt = true;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(saw_corrupt, "the corrupted chunk was never touched");
+    // Persistent corruption burns the retry budget each time.
+    assert!(paged.fault_snapshot().retries > 0);
+    // With verification off the corruption goes undetected — but must
+    // still never panic (it decodes to a wrong Gaussian, by contract).
+    let blind = VoxelStore::open_paged_bytes(
+        image,
+        PageConfig {
+            verify_checksums: false,
+            ..PageConfig::default()
+        },
+    )
+    .expect("open");
+    for v in 0..blind.voxel_count() as u32 {
+        let _ = blind.try_fetch_coarse(v, &mut l).map(|it| it.count());
+    }
+}
+
+#[test]
+fn metadata_corruption_is_rejected_at_open() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let good = store.to_scene_bytes();
+    // A flipped byte inside the range table breaks the metadata CRC.
+    let mut evil = good.clone();
+    evil[30] ^= 0x01;
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+}
+
+#[test]
+fn transient_faults_recover_bit_exactly_and_count_retries() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let paged = store
+        .paged_twin_with_faults(
+            PageConfig {
+                slots_per_page: 8,
+                max_read_attempts: 8,
+                ..PageConfig::default()
+            },
+            FaultPolicy::transient(0xDECAF, 150),
+        )
+        .expect("open with faults");
+    let mut la = TrafficLedger::new();
+    let mut lb = TrafficLedger::new();
+    for v in 0..store.voxel_count() as u32 {
+        let a: Vec<_> = store.fetch_coarse(v, &mut la).collect();
+        let b: Vec<_> = paged
+            .try_fetch_coarse(v, &mut lb)
+            .expect("transient faults must recover")
+            .collect();
+        assert_eq!(a, b);
+    }
+    for slot in 0..store.len() as u32 {
+        assert_eq!(
+            store.fetch_fine(slot, &mut la),
+            paged.try_fetch_fine(slot, &mut lb).expect("recover")
+        );
+    }
+    assert_eq!(la, lb, "recovered fetches meter identically");
+    let snap = paged.fault_snapshot();
+    assert!(snap.injected.transient > 0, "no faults were injected");
+    // Every injected (non-permanent) fault is exactly one retry.
+    assert_eq!(
+        snap.retries,
+        snap.injected.total() - snap.injected.permanent
+    );
+    assert_eq!(snap.dead_pages, 0);
+}
+
+#[test]
+fn permanent_faults_mark_pages_dead_and_stay_dead() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let paged = store
+        .paged_twin_with_faults(
+            PageConfig {
+                slots_per_page: 4,
+                ..PageConfig::default()
+            },
+            FaultPolicy {
+                seed: 7,
+                permanent_per_mille: 300,
+                ..FaultPolicy::default()
+            },
+        )
+        .expect("open with faults");
+    let mut l = TrafficLedger::new();
+    let mut lost = Vec::new();
+    for v in 0..paged.voxel_count() as u32 {
+        if let Err(e) = paged.try_fetch_coarse(v, &mut l).map(|it| it.count()) {
+            match e {
+                StoreError::PageLost { .. } => lost.push(v),
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+    assert!(!lost.is_empty(), "no pages went permanently dark at 30%");
+    let snap = paged.fault_snapshot();
+    assert!(snap.dead_pages > 0);
+    // Dead pages fail fast on re-fetch without new injector draws.
+    let before = paged.fault_snapshot().injected;
+    for &v in &lost {
+        assert!(matches!(
+            paged.try_fetch_coarse(v, &mut l).map(|it| it.count()),
+            Err(StoreError::PageLost { .. })
+        ));
+    }
+    assert_eq!(paged.fault_snapshot().injected, before);
+}
+
+#[test]
+fn scene_file_round_trips_on_disk() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let path = std::env::temp_dir().join("gsvs_store_roundtrip.gsvs");
+    store.write_scene_file(&path).expect("write scene file");
+    let paged = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("open");
+    let mut la = TrafficLedger::new();
+    let mut lb = TrafficLedger::new();
+    for slot in 0..store.len() as u32 {
+        assert_eq!(
+            store.fetch_fine(slot, &mut la),
+            paged.fetch_fine(slot, &mut lb)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn write_scene_file_leaves_no_temp_litter() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let dir = std::env::temp_dir().join("gsvs_atomic_write_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("scene.gsvs");
+    store.write_scene_file(&path).expect("first write");
+    // Overwriting an existing image is atomic: the destination always
+    // holds either the old or the new complete image.
+    store.write_scene_file(&path).expect("overwrite");
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read_dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    VoxelStore::open_paged_file(&path, PageConfig::default()).expect("reopen");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rewriting_a_file_paged_store_over_its_own_backing_is_safe() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let path = std::env::temp_dir().join("gsvs_rewrite_self.gsvs");
+    store.write_scene_file(&path).expect("initial write");
+    let paged = VoxelStore::open_paged_file(
+        &path,
+        PageConfig {
+            slots_per_page: 8,
+            max_resident_pages: 2,
+            ..PageConfig::default()
+        },
+    )
+    .expect("open");
+    let mut l = TrafficLedger::new();
+    let g0 = paged.fetch_fine(0, &mut l);
+    // Re-writing over the store's own backing file must serialize
+    // (paging everything in) before touching the destination.
+    paged.write_scene_file(&path).expect("rewrite over self");
+    assert_eq!(paged.fetch_fine(0, &mut l), g0);
+    let reopened = VoxelStore::open_paged_file(&path, PageConfig::default()).expect("reopen");
+    assert_eq!(reopened.fetch_fine(0, &mut l), g0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_rejects_garbage() {
+    let err = VoxelStore::open_paged_bytes(vec![0u8; 16], PageConfig::default());
+    assert!(err.is_err());
+    let err = VoxelStore::open_paged_bytes(Vec::new(), PageConfig::default());
+    assert!(err.is_err());
+}
+
+#[test]
+fn open_rejects_hostile_headers_without_allocating() {
+    let (cloud, grid) = scene_cloud();
+    let good = VoxelStore::from_cloud(&cloud, &grid).to_scene_bytes();
+    // Huge n_voxels: must fail the length check, not allocate ~34 GB.
+    let mut evil = good.clone();
+    evil[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+    // A slot range pointing past the slot column must fail at open, not
+    // out-of-bounds at render time (the v2 range table starts at byte 28;
+    // this clobbers voxel 0's end bound).
+    let mut evil = good.clone();
+    evil[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+    // Truncated columns fail at open too.
+    let mut evil = good.clone();
+    evil.truncate(good.len() - 100);
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+    // Trailing garbage violates the strict framing check.
+    let mut evil = good.clone();
+    evil.extend_from_slice(&[0u8; 3]);
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+    // Unknown flag bits reject (forward compatibility).
+    let mut evil = good.clone();
+    evil[8] |= 0x80;
+    assert!(VoxelStore::open_paged_bytes(evil, PageConfig::default()).is_err());
+}
+
+#[test]
+fn clone_of_paged_store_starts_cold_but_reads_identically() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let paged = store.paged_twin(PageConfig::default());
+    let mut l = TrafficLedger::new();
+    let g0 = paged.fetch_fine(0, &mut l);
+    let cold = paged.clone();
+    assert_eq!(cold.page_faults(), 0, "clones share no page state");
+    assert_eq!(cold.fetch_fine(0, &mut l), g0);
+}

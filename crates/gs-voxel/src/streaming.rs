@@ -31,12 +31,29 @@
 //! pixel walk) survives temporarily as
 //! [`StreamingScene::render_reference_loop`], the `streaming` bench's
 //! timing and byte-exactness twin.
+//!
+//! ## Fault tolerance (PR 6)
+//!
+//! When the store's backing is paged, a page read can fail: the fallible
+//! twins [`StreamingScene::try_render`]/[`StreamingScene::try_render_into`]
+//! surface [`StoreError`]s instead of panicking. With
+//! [`StreamingConfig::degrade_on_fault`] set (the default), an unavailable
+//! coarse column skips the voxel and an unavailable fine record blends its
+//! coarse approximation (position + bounding scale as a grey isotropic
+//! stand-in) or is dropped; every such event is counted in the frame's
+//! [`DegradationReport`], which — like the ledger — is **thread-invariant**.
+//! With degradation off, the first failing group (in deterministic group
+//! order) aborts the frame with its error.
+
+// Render-time paths must propagate faults, not panic (tests are exempt
+// via a mod-level allow).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::dda::{traverse_append, traverse_into};
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::{topological_order_into, OrderScratch};
-use crate::store::{PageConfig, VoxelStore};
+use crate::store::{lock_unpoisoned, FaultPolicy, FaultStats, PageConfig, StoreError, VoxelStore};
 use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
@@ -95,6 +112,15 @@ pub struct StreamingConfig {
     /// worker-thread counts. `None` (the default) meters every fetch as
     /// its own burst-rounded DRAM transaction.
     pub cache: Option<CacheConfig>,
+    /// Degrade instead of failing when a paged fetch errors mid-frame:
+    /// an unavailable coarse column skips the voxel, an unavailable fine
+    /// record blends its coarse approximation (or is dropped when even
+    /// that is unreadable), and the frame completes with the events
+    /// counted in [`StreamingOutput::degradation`]. When `false`, the
+    /// first failing group (deterministic group order) aborts
+    /// [`StreamingScene::try_render`] with the error. Resident stores
+    /// never fault, so the flag is inert for them. Default `true`.
+    pub degrade_on_fault: bool,
 }
 
 impl Default for StreamingConfig {
@@ -110,6 +136,7 @@ impl Default for StreamingConfig {
             ray_stride: 1,
             threads: 0,
             cache: None,
+            degrade_on_fault: true,
         }
     }
 }
@@ -205,6 +232,40 @@ impl ViolationReport {
     }
 }
 
+/// Fault-recovery accounting of one rendered frame.
+///
+/// Thread-invariant like the ledger: per-voxel events are summed over the
+/// worker chunks (order-independent) and the page/fault counters are a
+/// snapshot delta over the store, whose page materializations happen in a
+/// deterministic set regardless of which worker triggers them first.
+/// All-zero (see [`DegradationReport::is_clean`]) on resident stores and
+/// on fault-free paged frames.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Page-read attempts that failed and were retried (or exhausted)
+    /// during this frame, both columns.
+    pub page_retries: u64,
+    /// Pages newly marked dead by permanent faults during this frame.
+    pub pages_lost: u64,
+    /// Voxels skipped because their coarse column was unavailable.
+    pub voxels_skipped: u64,
+    /// Fine records replaced by their coarse approximation.
+    pub fine_degraded: u64,
+    /// Fine records dropped entirely (coarse fallback also unreadable).
+    pub fine_skipped: u64,
+    /// Faults injected by the store's [`FaultPolicy`] wrapper during this
+    /// frame (zero without one).
+    pub injected: FaultStats,
+}
+
+impl DegradationReport {
+    /// `true` when the frame rendered without any fault, retry or
+    /// degradation — the output is the exact fault-free image.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationReport::default()
+    }
+}
+
 /// One rendered frame from the streaming pipeline.
 #[derive(Clone, Debug)]
 pub struct StreamingOutput {
@@ -227,6 +288,10 @@ pub struct StreamingOutput {
     /// Per-stage working-set cache accounting of this frame (hit rates,
     /// fill traffic); `None` when no cache is configured.
     pub cache: Option<CacheReport>,
+    /// Fault-recovery accounting of this frame (retries performed, pages
+    /// lost, voxels degraded/skipped). Thread-invariant; all-zero on
+    /// resident stores and fault-free paged frames.
+    pub degradation: DegradationReport,
 }
 
 impl Default for StreamingOutput {
@@ -239,6 +304,7 @@ impl Default for StreamingOutput {
             violations: ViolationReport::default(),
             ledger: TrafficLedger::new(),
             cache: None,
+            degradation: DegradationReport::default(),
         }
     }
 }
@@ -369,6 +435,26 @@ impl StreamingScene {
         self.store = self.store.paged_twin(config);
     }
 
+    /// [`StreamingScene::page_out`] with a deterministic [`FaultPolicy`]
+    /// wrapped around the paged backing's page reads — the fault-injection
+    /// harness for the recovery suites and the `robust` bench.
+    pub fn page_out_with_faults(
+        &mut self,
+        config: PageConfig,
+        policy: FaultPolicy,
+    ) -> Result<(), StoreError> {
+        self.store = self.store.paged_twin_with_faults(config, policy)?;
+        Ok(())
+    }
+
+    /// [`StreamingScene::page_out`] over a pre-checksum version-1 scene
+    /// image — the back-compat twin (verification flagged off); kept
+    /// doc-hidden for the robustness suites and the `robust` bench.
+    #[doc(hidden)]
+    pub fn page_out_v1(&mut self, config: PageConfig) {
+        self.store = self.store.paged_twin_v1(config);
+    }
+
     /// Serializes the store to `path` and reopens it demand-paged from
     /// that file — the columns now live on disk and only materialized
     /// pages occupy host memory.
@@ -381,7 +467,7 @@ impl StreamingScene {
     /// Evicts the working-set cache model (the next frame starts cold).
     /// No-op when no cache is configured.
     pub fn reset_cache(&self) {
-        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = lock_unpoisoned(&self.scratch);
         guard.cache = None;
     }
 
@@ -410,10 +496,28 @@ impl StreamingScene {
     /// and the group workers run on a persistent pool, both reused across
     /// frames: steady-state rendering allocates only the returned
     /// image/workload ([`StreamingScene::render_into`] reuses even those).
+    ///
+    /// # Panics
+    ///
+    /// On a [`StoreError`] from a paged backing (impossible for resident
+    /// stores). Paged callers that need to survive faults use
+    /// [`StreamingScene::try_render`].
     pub fn render(&self, cam: &Camera) -> StreamingOutput {
         let mut out = StreamingOutput::default();
         self.render_into(cam, &mut out);
         out
+    }
+
+    /// Fallible twin of [`StreamingScene::render`]: surfaces paged-store
+    /// faults as [`StoreError`] instead of panicking. With
+    /// [`StreamingConfig::degrade_on_fault`] (the default), only faults
+    /// that defeat retry **and** degradation reach the error path; the
+    /// recovery that did happen is reported in
+    /// [`StreamingOutput::degradation`].
+    pub fn try_render(&self, cam: &Camera) -> Result<StreamingOutput, StoreError> {
+        let mut out = StreamingOutput::default();
+        self.try_render_into(cam, &mut out)?;
+        Ok(out)
     }
 
     /// [`StreamingScene::render`] into a caller-owned output: the image,
@@ -422,8 +526,27 @@ impl StreamingScene {
     /// loop through here performs **zero** heap allocations
     /// (`tests/alloc_free_streaming.rs` proves it with a counting
     /// allocator).
+    ///
+    /// # Panics
+    ///
+    /// On a [`StoreError`] from a paged backing, like
+    /// [`StreamingScene::render`].
     pub fn render_into(&self, cam: &Camera, out: &mut StreamingOutput) {
-        self.render_frame(cam, &FetchPath::Store, GroupLoop::Csr, out);
+        if let Err(e) = self.try_render_into(cam, out) {
+            panic!("streaming render failed: {e}");
+        }
+    }
+
+    /// Fallible twin of [`StreamingScene::render_into`]. On `Err` the
+    /// frame was abandoned: `out`'s contents are unspecified (buffers are
+    /// reusable, values meaningless) and the frame-persistent cache model
+    /// did not advance.
+    pub fn try_render_into(
+        &self,
+        cam: &Camera,
+        out: &mut StreamingOutput,
+    ) -> Result<(), StoreError> {
+        self.render_frame(cam, &FetchPath::Store, GroupLoop::Csr, out)
     }
 
     /// Renders one frame through the **pre-CSR** group loop (hash-map
@@ -436,7 +559,9 @@ impl StreamingScene {
     #[doc(hidden)]
     pub fn render_reference_loop(&self, cam: &Camera) -> StreamingOutput {
         let mut out = StreamingOutput::default();
-        self.render_frame(cam, &FetchPath::Store, GroupLoop::Legacy, &mut out);
+        if let Err(e) = self.render_frame(cam, &FetchPath::Store, GroupLoop::Legacy, &mut out) {
+            panic!("reference loop render failed: {e}");
+        }
         out
     }
 
@@ -458,12 +583,14 @@ impl StreamingScene {
             None => &self.source,
         };
         let mut out = StreamingOutput::default();
-        self.render_frame(
+        if let Err(e) = self.render_frame(
             cam,
             &FetchPath::CloudTwin { render },
             GroupLoop::Csr,
             &mut out,
-        );
+        ) {
+            panic!("cloud-twin render failed: {e}");
+        }
         out
     }
 
@@ -473,7 +600,10 @@ impl StreamingScene {
         path: &FetchPath<'_>,
         mode: GroupLoop,
         out: &mut StreamingOutput,
-    ) {
+    ) -> Result<(), StoreError> {
+        // The frame's degradation counters are deltas over this snapshot
+        // (retries/dead pages/injected faults accumulate in the store).
+        let fault_base = self.store.fault_snapshot();
         let width = cam.width();
         let height = cam.height();
         let gsz = self.config.group_size;
@@ -505,7 +635,7 @@ impl StreamingScene {
         };
         let chunk = n_groups.div_ceil(chunks);
 
-        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = lock_unpoisoned(&self.scratch);
         let StreamScratch {
             pool,
             pixels,
@@ -527,6 +657,8 @@ impl StreamingScene {
             group_scratch.violating.clear();
             group_scratch.ledger.clear();
             group_scratch.trace.clear();
+            group_scratch.degradation = DegradationReport::default();
+            group_scratch.error = None;
             let mut ray_pool = if ray_parallel {
                 Some(WorkerPool::ensure(pool, threads))
             } else {
@@ -568,6 +700,9 @@ impl StreamingScene {
                 };
                 workloads[t] = w;
                 vblends[t] = vb;
+                if group_scratch.error.is_some() {
+                    break; // fail-fast: the frame is aborted below
+                }
             }
         } else {
             // Chunk c renders groups [c·chunk, (c+1)·chunk): disjoint slices
@@ -590,6 +725,8 @@ impl StreamingScene {
                 group_scratch.violating.clear();
                 group_scratch.ledger.clear();
                 group_scratch.trace.clear();
+                group_scratch.degradation = DegradationReport::default();
+                group_scratch.error = None;
                 if lo >= hi {
                     return;
                 }
@@ -622,8 +759,30 @@ impl StreamingScene {
                     );
                     workloads[t - lo] = w;
                     vblends[t - lo] = vb;
+                    if group_scratch.error.is_some() {
+                        return; // fail-fast: the frame is aborted below
+                    }
                 }
             });
+        }
+
+        // A failed group aborts the frame *before* the assembly and cache
+        // replay — the cache model never advances on an abandoned frame.
+        // The globally-first failing group wins (chunks cover contiguous
+        // increasing group ranges, so the per-chunk first error with the
+        // smallest group index is the error the serial walk would hit),
+        // keeping the surfaced error identical for any worker count.
+        let mut first_err: Option<(usize, StoreError)> = None;
+        for chunk_scratch in groups[..chunks].iter_mut() {
+            if let Some((gi, e)) = chunk_scratch.error.take() {
+                match &first_err {
+                    Some((best, _)) if *best <= gi => {}
+                    _ => first_err = Some((gi, e)),
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
         }
 
         // Assemble image, workload and violations (serial, deterministic)
@@ -667,12 +826,25 @@ impl StreamingScene {
         // agree exactly).
         let ledger = &mut out.ledger;
         ledger.clear();
+        let mut degradation = DegradationReport::default();
         for chunk_scratch in &groups[..chunks] {
             for &gi in &chunk_scratch.violating {
                 violations.flags[gi as usize] = true;
             }
             ledger.merge(&chunk_scratch.ledger);
+            degradation.voxels_skipped += chunk_scratch.degradation.voxels_skipped;
+            degradation.fine_degraded += chunk_scratch.degradation.fine_degraded;
+            degradation.fine_skipped += chunk_scratch.degradation.fine_skipped;
         }
+        // Page/fault counters come from the store itself as a snapshot
+        // delta: which pages materialize (and therefore which reads fault)
+        // is a deterministic set for the frame, so the delta is invariant
+        // across worker counts like the per-voxel sums above.
+        let snap = self.store.fault_snapshot().since(fault_base);
+        degradation.page_retries = snap.retries;
+        degradation.pages_lost = snap.dead_pages;
+        degradation.injected = snap.injected;
+        out.degradation = degradation;
 
         // Working-set cache simulation: replay the recorded coarse/fine
         // fetch trace through the frame-persistent caches. Chunks cover
@@ -730,6 +902,7 @@ impl StreamingScene {
             workload.totals().dram_transaction_bytes()
         );
         debug_assert_eq!(ledger.hit_total(), workload.totals().cache_hit_bytes());
+        Ok(())
     }
 
     /// Renders several views and merges their violation reports — the
@@ -783,7 +956,12 @@ impl StreamingScene {
             violating,
             ledger,
             trace,
+            degradation,
+            error,
         } = scratch;
+        // Global index of this group, for deterministic first-error
+        // selection across worker chunks.
+        let group_index = (gy * width.div_ceil(gsz) + gx) as usize;
         // With a cache configured, coarse/fine fetches are recorded in the
         // trace and their DRAM/hit accounting happens in the frame-end
         // replay; without one, each fetch is its own burst-rounded DRAM
@@ -899,28 +1077,45 @@ impl StreamingScene {
                 continue;
             }
             let count = self.store.slots_of(vid).len() as u64;
-            w.voxels_processed += 1;
-            w.gaussians_streamed += count;
-            // One whole-voxel coarse burst: trace it for the cache replay,
-            // or meter it as an uncached DRAM transaction now.
-            if cached {
-                trace.push(TraceOp::Coarse(vid));
-            } else {
-                ledger.note_dram(
-                    Stage::VoxelCoarse,
-                    Direction::Read,
-                    round_to_burst(count * coarse_bpg, burst),
-                );
-            }
 
             // Phase 1: coarse filter — streams the voxel's first-half
             // column (16 B/Gaussian burst, metered by the fetch).
             // Survivors are store *slots* (voxel-contiguous positions);
             // `store.id_of` maps a slot back to its global Gaussian id.
+            // Counters and the trace/DRAM meter run only after the fetch
+            // succeeds, so a skipped voxel leaves no trace — all ledger
+            // adds are commutative sums and the trace-op order is
+            // unchanged, keeping fault-free frames bit-identical to the
+            // pre-fault-path renderer.
             survivors.clear();
             match path {
                 FetchPath::Store => {
-                    let column = self.store.fetch_coarse(vid, ledger);
+                    let column = match self.store.try_fetch_coarse(vid, ledger) {
+                        Ok(column) => column,
+                        Err(e) => {
+                            if self.config.degrade_on_fault {
+                                degradation.voxels_skipped += 1;
+                                continue;
+                            }
+                            if error.is_none() {
+                                *error = Some((group_index, e));
+                            }
+                            break;
+                        }
+                    };
+                    w.voxels_processed += 1;
+                    w.gaussians_streamed += count;
+                    // One whole-voxel coarse burst: trace it for the cache
+                    // replay, or meter it as an uncached DRAM transaction.
+                    if cached {
+                        trace.push(TraceOp::Coarse(vid));
+                    } else {
+                        ledger.note_dram(
+                            Stage::VoxelCoarse,
+                            Direction::Read,
+                            round_to_burst(count * coarse_bpg, burst),
+                        );
+                    }
                     if self.config.use_coarse_filter {
                         survivors.extend(column.filter_map(|(slot, pos, s_max)| {
                             coarse_test(cam, pos, s_max, &rect).map(|_| slot)
@@ -932,6 +1127,17 @@ impl StreamingScene {
                     }
                 }
                 FetchPath::CloudTwin { .. } => {
+                    w.voxels_processed += 1;
+                    w.gaussians_streamed += count;
+                    if cached {
+                        trace.push(TraceOp::Coarse(vid));
+                    } else {
+                        ledger.note_dram(
+                            Stage::VoxelCoarse,
+                            Direction::Read,
+                            round_to_burst(count * coarse_bpg, burst),
+                        );
+                    }
                     ledger.add(Stage::VoxelCoarse, Direction::Read, count * coarse_bpg);
                     let slots = self.store.slots_of(vid);
                     if self.config.use_coarse_filter {
@@ -947,27 +1153,65 @@ impl StreamingScene {
             w.coarse_survivors += survivors.len() as u64;
 
             // Phase 2: fine filter — fetches (and for VQ, decodes) each
-            // survivor's second-half record, metered per record.
+            // survivor's second-half record, metered per record. A record
+            // whose page is unavailable degrades to its coarse
+            // approximation (grey isotropic stand-in at the filter's
+            // position/extent) or is dropped — never a panic.
             splats.clear();
             let fine_dram_rec = round_to_burst(fine_bpg, burst);
-            splats.extend(survivors.iter().filter_map(|&slot| {
+            let mut abort = false;
+            for &slot in survivors.iter() {
                 let gi = self.store.id_of(slot);
-                // Each record is one scattered fetch: traced for the cache
-                // replay, or one burst-rounded DRAM transaction.
-                if cached {
-                    trace.push(TraceOp::Fine(slot));
-                } else {
-                    ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
-                }
                 let g: Gaussian = match path {
-                    FetchPath::Store => self.store.fetch_fine(slot, ledger),
+                    FetchPath::Store => match self.store.try_fetch_fine(slot, ledger) {
+                        Ok(g) => {
+                            // Each record is one scattered fetch: traced
+                            // for the cache replay, or one burst-rounded
+                            // DRAM transaction.
+                            if cached {
+                                trace.push(TraceOp::Fine(slot));
+                            } else {
+                                ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
+                            }
+                            g
+                        }
+                        Err(e) => {
+                            if !self.config.degrade_on_fault {
+                                if error.is_none() {
+                                    *error = Some((group_index, e));
+                                }
+                                abort = true;
+                                break;
+                            }
+                            match self.store.try_coarse_of(slot) {
+                                Ok((pos, s_max)) => {
+                                    degradation.fine_degraded += 1;
+                                    Gaussian::isotropic(pos, s_max, Vec3::new(0.5, 0.5, 0.5), 0.5)
+                                }
+                                Err(_) => {
+                                    degradation.fine_skipped += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    },
                     FetchPath::CloudTwin { render } => {
+                        if cached {
+                            trace.push(TraceOp::Fine(slot));
+                        } else {
+                            ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
+                        }
                         ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
                         render.as_slice()[gi as usize].clone()
                     }
                 };
-                fine_test(cam, &g, &rect, self.config.sh_degree).map(|s| (gi, s))
-            }));
+                if let Some(s) = fine_test(cam, &g, &rect, self.config.sh_degree) {
+                    splats.push((gi, s));
+                }
+            }
+            if abort {
+                break;
+            }
             w.fine_survivors += splats.len() as u64;
             w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
 
@@ -1020,7 +1264,8 @@ impl StreamingScene {
     /// float-compared pixel walk. Shares the ordering/filter/ledger
     /// scratch (those costs did not change); owns the parts the CSR loop
     /// deleted. Serial only; slated for removal once the CSR loop has
-    /// soaked.
+    /// soaked. Fault-free paths only: it keeps the panicking store
+    /// wrappers, so drive it on resident or un-faulted paged backings.
     #[allow(clippy::too_many_arguments)]
     fn render_group_into_legacy(
         &self,
@@ -1314,6 +1559,13 @@ struct GroupScratch {
     /// replayed through the frame's cache simulation in deterministic
     /// group order. Empty when no cache is configured.
     trace: Vec<TraceOp>,
+    /// This worker's per-voxel degradation counters, summed into the
+    /// frame's [`DegradationReport`] after the parallel section.
+    degradation: DegradationReport,
+    /// First store fault this worker hit with degradation disabled,
+    /// tagged with its global group index so the frame surfaces the
+    /// error the serial walk would have hit first.
+    error: Option<(usize, StoreError)>,
 }
 
 /// One DDA job's contiguous slice of a group's ray grid: the rays' voxel
@@ -1817,6 +2069,7 @@ impl LegacyBlender {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_render::{RenderConfig, TileRenderer};
@@ -2118,6 +2371,7 @@ mod tests {
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.ledger, b.ledger);
         assert_eq!(a.cache, b.cache);
+        assert_eq!(a.degradation, b.degradation);
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn warm_paged_render_performs_zero_allocations() {
     scene.page_out(PageConfig {
         slots_per_page: 64,
         max_resident_pages: 0,
+        ..PageConfig::default()
     });
     assert_eq!(
         allocs_over_warm_frames(&scene, 4),
@@ -127,6 +128,7 @@ fn warm_paged_coarse_fetches_perform_zero_allocations() {
     let paged = scene.store().paged_twin(PageConfig {
         slots_per_page: 32,
         max_resident_pages: 0,
+        ..PageConfig::default()
     });
     let mut ledger = TrafficLedger::new();
     let mut checksum = 0u64;

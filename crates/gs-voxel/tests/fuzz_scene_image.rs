@@ -1,0 +1,129 @@
+//! Fuzzing the scene-image open path (`open_paged_bytes`) and the
+//! fetch-time integrity checks.
+//!
+//! Contract under test (the PR 6 robustness bar):
+//!
+//! * **truncated prefixes** of a valid image must always fail `open` with
+//!   a typed [`StoreError`] — never panic, never allocate from an
+//!   unvalidated length field (the header's counts are bounds-checked
+//!   against the source length before any table is sized);
+//! * **arbitrary single-byte mutations** of a valid image must never
+//!   panic: either `open` rejects the image (metadata is covered by the
+//!   prefix CRC) or a full coarse+fine scan of the opened store surfaces
+//!   the corruption as a typed error (column payloads are covered by the
+//!   per-chunk CRC tables, and CRC-32 detects every single-byte change).
+
+use gs_mem::TrafficLedger;
+use gs_voxel::{PageConfig, VoxelStore};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+use gs_scene::{SceneConfig, SceneKind};
+use gs_voxel::{StreamingConfig, StreamingScene};
+use gs_vq::VqConfig;
+
+/// One raw and one VQ scene image, built once (codebook training is the
+/// slow part; the properties only mutate bytes).
+fn images() -> &'static [Vec<u8>; 2] {
+    static IMAGES: OnceLock<[Vec<u8>; 2]> = OnceLock::new();
+    IMAGES.get_or_init(|| {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let raw = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
+        );
+        let vq = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                use_vq: true,
+                vq: VqConfig::tiny(),
+                ..Default::default()
+            },
+        );
+        [raw.store().to_scene_bytes(), vq.store().to_scene_bytes()]
+    })
+}
+
+/// Scans every voxel's coarse column and every slot's fine record,
+/// returning whether any fetch surfaced an error (and panicking never).
+fn full_scan_errs(store: &VoxelStore) -> bool {
+    let mut ledger = TrafficLedger::new();
+    let mut any_err = false;
+    for v in 0..store.voxel_count() as u32 {
+        match store.try_fetch_coarse(v, &mut ledger) {
+            Ok(it) => {
+                it.count();
+            }
+            Err(_) => any_err = true,
+        }
+    }
+    for slot in 0..store.len() as u32 {
+        if store.try_fetch_fine(slot, &mut ledger).is_err() {
+            any_err = true;
+        }
+    }
+    any_err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_prefixes_always_err(which in 0usize..2, frac in 0.0f64..1.0) {
+        let img = &images()[which];
+        // Any strict prefix, from empty to one byte short.
+        let len = ((frac * img.len() as f64) as usize).min(img.len() - 1);
+        let trunc = img[..len].to_vec();
+        prop_assert!(
+            VoxelStore::open_paged_bytes(trunc, PageConfig::default()).is_err(),
+            "a {len}-byte prefix of a {}-byte image opened",
+            img.len()
+        );
+    }
+
+    #[test]
+    fn single_byte_mutations_are_always_detected(
+        which in 0usize..2,
+        pos_frac in 0.0f64..1.0,
+        xor_m1 in 0u8..255,
+    ) {
+        let img = &images()[which];
+        let pos = ((pos_frac * img.len() as f64) as usize).min(img.len() - 1);
+        let xor = xor_m1 + 1; // 1..=255: always a different byte value
+        let mut evil = img.clone();
+        evil[pos] ^= xor;
+        // Small pages so the scan materializes many pages (each page read
+        // verifies its covering chunks).
+        let config = PageConfig {
+            slots_per_page: 8,
+            ..PageConfig::default()
+        };
+        match VoxelStore::open_paged_bytes(evil, config) {
+            Err(_) => {} // metadata corruption: rejected at open
+            Ok(store) => prop_assert!(
+                full_scan_errs(&store),
+                "mutation at byte {pos} (xor {xor:#04x}) went undetected"
+            ),
+        }
+    }
+
+    #[test]
+    fn mutated_headers_never_panic_or_overallocate(
+        word in 0usize..7,
+        value in 0u32..u32::MAX,
+    ) {
+        // Overwrite a whole header word with an arbitrary value — the
+        // hostile-length case: counts must be bounds-checked against the
+        // image length *before* sizing any allocation (an OOM aborts the
+        // process, which this test would surface as a crash, not a
+        // failure).
+        let img = &images()[0];
+        let mut evil = img.clone();
+        evil[word * 4..word * 4 + 4].copy_from_slice(&value.to_le_bytes());
+        let _ = VoxelStore::open_paged_bytes(evil, PageConfig::default());
+    }
+}

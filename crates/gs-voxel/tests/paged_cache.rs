@@ -40,6 +40,11 @@ fn assert_outputs_identical(a: &StreamingOutput, b: &StreamingOutput, what: &str
     assert_eq!(a.ledger, b.ledger, "ledger diverged: {what}");
     assert_eq!(a.cache, b.cache, "cache report diverged: {what}");
     assert_eq!(a.violations.flags, b.violations.flags, "flags: {what}");
+    assert_eq!(a.degradation, b.degradation, "degradation diverged: {what}");
+    assert!(
+        a.degradation.is_clean(),
+        "fault-free frame degraded: {what}"
+    );
 }
 
 #[test]
@@ -54,12 +59,14 @@ fn paged_store_is_byte_identical_on_all_scene_kinds_raw_and_vq() {
             paged.page_out(PageConfig {
                 slots_per_page: 64,
                 max_resident_pages: 0,
+                ..PageConfig::default()
             });
             assert!(paged.store().is_paged());
             let mut bounded = resident.clone();
             bounded.page_out(PageConfig {
                 slots_per_page: 32,
                 max_resident_pages: 3,
+                ..PageConfig::default()
             });
             let r = resident.render(cam);
             assert_outputs_identical(
@@ -197,6 +204,7 @@ fn paged_and_resident_backings_agree_under_caching() {
     paged.page_out(PageConfig {
         slots_per_page: 16,
         max_resident_pages: 4,
+        ..PageConfig::default()
     });
     for (i, cam) in cams.iter().take(2).enumerate() {
         assert_outputs_identical(

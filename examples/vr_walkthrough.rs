@@ -16,7 +16,7 @@ use streaminggs::mem::CacheConfig;
 use streaminggs::render::{RenderConfig, TileRenderer};
 use streaminggs::scene::trajectory::{walkthrough, RigSpec};
 use streaminggs::scene::{SceneConfig, SceneKind};
-use streaminggs::voxel::{PageConfig, StreamingConfig, StreamingScene};
+use streaminggs::voxel::{FaultPolicy, PageConfig, StreamingConfig, StreamingScene};
 
 const VR_TARGET_FPS: f64 = 90.0;
 
@@ -94,5 +94,38 @@ fn main() -> Result<(), Box<dyn Error>> {
         "(stand-in scene at 1/300th of the native workload — both models scale together; \
          the paper's dataset-average speedup is 45.7x)"
     );
+
+    // Same walkthrough, hostile storage: reopen the paged store with a
+    // seeded fault injector (2 % transient read faults plus occasional
+    // permanent page losses) and let the renderer absorb them — transient
+    // faults retry invisibly, dead pages degrade to coarse stand-ins, and
+    // every event lands in the frame's DegradationReport.
+    println!("\n--- fault injection: 2% transient + 0.8% permanent page faults ---");
+    let mut hostile = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            ..Default::default()
+        },
+    );
+    hostile.page_out_with_faults(
+        PageConfig {
+            slots_per_page: 32,
+            ..PageConfig::default()
+        },
+        FaultPolicy {
+            permanent_per_mille: 8,
+            ..FaultPolicy::transient(0x57AB1E, 20)
+        },
+    )?;
+    println!("frame  retries  pages_lost  vox_skip  fine_degraded  fine_skip");
+    for (i, cam) in path.iter().enumerate() {
+        let out = hostile.try_render(cam)?;
+        let d = out.degradation;
+        println!(
+            "{:>5}  {:>7}  {:>10}  {:>8}  {:>13}  {:>9}",
+            i, d.page_retries, d.pages_lost, d.voxels_skipped, d.fine_degraded, d.fine_skipped
+        );
+    }
     Ok(())
 }
