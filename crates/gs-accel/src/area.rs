@@ -89,6 +89,7 @@ pub fn area_table(cfg: &AccelConfig) -> AreaTable {
 pub const GSCORE_TOTAL_MM2: f64 = 5.53;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -107,11 +107,12 @@ pub fn bitonic_sort_by_key<T, K: Ord + Copy, F: Fn(&T) -> K>(
     let order: Vec<usize> = lane.iter().flatten().map(|(_, i)| *i).collect();
     debug_assert_eq!(order.len(), n);
     let mut taken: Vec<Option<T>> = items.drain(..).map(Some).collect();
-    items.extend(
-        order
-            .into_iter()
-            .map(|i| taken[i].take().expect("permutation")),
-    );
+    items.extend(order.into_iter().map(|i| match taken[i].take() {
+        Some(item) => item,
+        // `order` is a permutation of 0..n by construction, so each slot
+        // is taken exactly once.
+        None => unreachable!("bitonic order visits each index once"),
+    }));
     stats
 }
 

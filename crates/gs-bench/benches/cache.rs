@@ -23,6 +23,9 @@
 //! miss traffic exactly). CI persists the line as `BENCH_cache.json` next
 //! to `BENCH_hotpath.json` / `BENCH_traffic.json`.
 
+// Benches may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_accel::StreamingGsModel;
 use gs_bench::fmt::{banner, mb, pct, Table};
 use gs_bench::setup::{bench_scale, build_scene, BenchScale};

@@ -7,6 +7,9 @@
 //! The scaled-down default runs 4× the Table II iteration budget; set
 //! `GS_BENCH_SCALE=full` for the long run.
 
+// Benches may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_bench::fmt::{banner, Table};
 use gs_bench::setup::{bench_scale, build_scene, ground_truth_targets};
 use gs_scene::SceneKind;

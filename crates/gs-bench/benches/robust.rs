@@ -18,6 +18,9 @@
 //!   trajectory without panicking, losing pages and degrading voxels
 //!   (counted, nonzero) instead of failing the frame.
 
+// Benches may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_bench::fmt::{banner, Table};
 use gs_bench::setup::build_scene;
 use gs_scene::SceneKind;

@@ -14,19 +14,24 @@
 //!   real frame: build the voxel→pixel map, then per ordered voxel build
 //!   the dilated ray mask and evaluate the any-live test. The new side is
 //!   the production `VoxelPixelCsr`/`MaskScratch`; the old side is the
-//!   PR 4 mechanism reconstructed inline (`HashMap<u32, Vec<u32>>` with
-//!   spare-list recycling, `Vec<bool>` mask with a stride² dilation loop
-//!   and a byte-per-pixel live scan).
-//! * **whole frames** (context, not gated) — `render` vs
-//!   `render_reference_loop` single-threaded ms/frame, plus the all-core
-//!   production loop. At bench scale the shared payload dominates these,
-//!   which is exactly why the mechanism is timed in isolation.
+//!   PR 4 mechanism reconstructed inline as the *recorded baseline*
+//!   (`HashMap<u32, Vec<u32>>` with spare-list recycling, `Vec<bool>`
+//!   mask with a stride² dilation loop and a byte-per-pixel live scan).
+//!   The in-tree legacy whole-frame loop (`render_reference_loop`) soaked
+//!   for a release and has been deleted; this inline reconstruction is
+//!   what the gate compares against now.
+//! * **whole frames** (context, not gated) — the store-path `render` vs
+//!   the `render_cloud_twin` exactness reference single-threaded
+//!   ms/frame, plus the all-core production loop. At bench scale the
+//!   shared payload dominates these, which is exactly why the mechanism
+//!   is timed in isolation.
 //!
-//! The two loops' byte-exactness (image, workload, ledger, cache stats —
-//! raw and VQ, cached and uncached) is asserted along the way. Ends with
-//! one machine-readable `STREAM_JSON {...}` line; CI persists it as
-//! `BENCH_streaming.json` and gates on `speedup_ok` (Truck group-loop
-//! mechanism ≥ 1.5× single-threaded) and `exact_ok`.
+//! The store path's byte-exactness against the cloud twin (image,
+//! workload, ledger, cache stats — raw and VQ, cached and uncached) is
+//! asserted along the way. Ends with one machine-readable
+//! `STREAM_JSON {...}` line; CI persists it as `BENCH_streaming.json` and
+//! gates on `speedup_ok` (Truck group-loop mechanism ≥ 1.5×
+//! single-threaded) and `exact_ok`.
 
 use gs_bench::fmt::{banner, Table};
 use gs_bench::setup::{bench_scale, build_scene, BenchScale};
@@ -220,7 +225,7 @@ impl CsrMechanism {
 fn main() {
     let scale = bench_scale();
     let stride = 1u32;
-    banner("Streaming — CSR/bitset group loop vs the PR 4 reference loop");
+    banner("Streaming — CSR/bitset group loop vs the recorded PR 4 mechanism");
     println!(
         "loop = voxel→pixel map + per-voxel mask/any-live mechanism on captured rays ({GROUP}px groups);\nframe = whole render, single-threaded (payload-dominated, context only); bar: Truck loop >= {TRUCK_SPEEDUP_BAR:.1}x\n"
     );
@@ -230,7 +235,7 @@ fn main() {
         "loop old(ms)",
         "loop csr(ms)",
         "loop speedup",
-        "frame old(ms)",
+        "frame twin(ms)",
         "frame csr(ms)",
         "frame mt(ms)",
         "exact",
@@ -250,9 +255,10 @@ fn main() {
         };
         let st = StreamingScene::new(scene.trained.clone(), cfg);
 
-        // Byte-exactness of the two loops: raw, VQ, and cached (each loop
-        // advances its own frame-persistent cache over a revisit).
-        let mut exact = identical(&st.render(&cam), &st.render_reference_loop(&cam));
+        // Byte-exactness of the store path against the cloud-twin
+        // reference: raw, VQ, and cached (each path advances its own
+        // frame-persistent cache over a revisit).
+        let mut exact = identical(&st.render(&cam), &st.render_cloud_twin(&cam));
         let vq = StreamingScene::new(
             scene.trained.clone(),
             StreamingConfig {
@@ -265,7 +271,7 @@ fn main() {
                 ..cfg
             },
         );
-        exact &= identical(&vq.render(&cam), &vq.render_reference_loop(&cam));
+        exact &= identical(&vq.render(&cam), &vq.render_cloud_twin(&cam));
         let cached_cfg = StreamingConfig {
             cache: Some(CacheConfig::default()),
             ..cfg
@@ -273,7 +279,7 @@ fn main() {
         let ca = StreamingScene::new(scene.trained.clone(), cached_cfg);
         let cb = StreamingScene::new(scene.trained.clone(), cached_cfg);
         for _ in 0..2 {
-            exact &= identical(&ca.render(&cam), &cb.render_reference_loop(&cam));
+            exact &= identical(&ca.render(&cam), &cb.render_cloud_twin(&cam));
         }
         all_exact &= exact;
 
@@ -299,9 +305,10 @@ fn main() {
             truck_speedup = speedup;
         }
 
-        // Whole-frame context: old loop, new loop, all-core new loop.
-        let frame_old_ms = ms_of(10, || {
-            black_box(st.render_reference_loop(&cam));
+        // Whole-frame context: cloud-twin reference, store path, all-core
+        // store path.
+        let frame_twin_ms = ms_of(10, || {
+            black_box(st.render_cloud_twin(&cam));
         });
         let mut out = StreamingOutput::default();
         let frame_csr_ms = ms_of(10, || {
@@ -320,18 +327,18 @@ fn main() {
             format!("{loop_old_ms:.4}"),
             format!("{loop_csr_ms:.4}"),
             format!("{speedup:.2}x"),
-            format!("{frame_old_ms:.3}"),
+            format!("{frame_twin_ms:.3}"),
             format!("{frame_csr_ms:.3}"),
             format!("{frame_mt_ms:.3}"),
             exact.to_string(),
         ]);
         rows.push(format!(
-            "{{\"scene\":\"{}\",\"loop_legacy_ms\":{:.5},\"loop_csr_ms\":{:.5},\"loop_speedup\":{:.3},\"frame_legacy_ms\":{:.4},\"frame_csr_ms\":{:.4},\"frame_mt_ms\":{:.4},\"exact\":{}}}",
+            "{{\"scene\":\"{}\",\"loop_legacy_ms\":{:.5},\"loop_csr_ms\":{:.5},\"loop_speedup\":{:.3},\"frame_twin_ms\":{:.4},\"frame_csr_ms\":{:.4},\"frame_mt_ms\":{:.4},\"exact\":{}}}",
             kind.name(),
             loop_old_ms,
             loop_csr_ms,
             speedup,
-            frame_old_ms,
+            frame_twin_ms,
             frame_csr_ms,
             frame_mt_ms,
             exact,

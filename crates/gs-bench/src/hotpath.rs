@@ -200,6 +200,7 @@ fn report_from_text(path: &str, text: &str) -> Option<HotpathReport> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -190,7 +190,10 @@ pub fn evaluate_scene(
         kill_rate,
         vq_reduction: quant.fine_traffic_reduction(),
         render_stats: stats_acc,
-        sample_workload: sample.expect("at least one eval view"),
+        sample_workload: match sample {
+            Some(s) => s,
+            None => unreachable!("eval rigs always contain at least one camera"),
+        },
     }
 }
 

@@ -194,6 +194,7 @@ impl Camera {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::approx_eq;

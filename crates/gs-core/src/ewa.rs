@@ -206,6 +206,7 @@ pub fn falloff(conic: Sym2, d: Vec2) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::approx_eq;

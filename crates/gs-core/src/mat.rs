@@ -171,6 +171,7 @@ impl fmt::Display for Mat3 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::approx_eq;

@@ -221,6 +221,7 @@ impl Mul<f32> for Sym3 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::approx_eq;

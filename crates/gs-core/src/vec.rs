@@ -293,6 +293,11 @@ impl Neg for Vec3 {
 
 impl Index<usize> for Vec3 {
     type Output = f32;
+    /// Component by index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// If `i > 2`.
     fn index(&self, i: usize) -> &f32 {
         match i {
             0 => &self.x,
@@ -304,6 +309,11 @@ impl Index<usize> for Vec3 {
 }
 
 impl IndexMut<usize> for Vec3 {
+    /// Mutable component by index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// If `i > 2`.
     fn index_mut(&mut self, i: usize) -> &mut f32 {
         match i {
             0 => &mut self.x,

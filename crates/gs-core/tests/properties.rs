@@ -1,5 +1,8 @@
 //! Property-based tests for the math substrate.
 
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_core::camera::Camera;
 use gs_core::ewa::{covariance3d, project_coarse, project_gaussian};
 use gs_core::geom::{Aabb, Ray};

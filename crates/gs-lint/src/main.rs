@@ -1,0 +1,69 @@
+//! Workspace lint driver: `cargo run -p gs-lint`.
+//!
+//! Walks every `.rs` file under `crates/` and `src/` at the workspace
+//! root (skipping `target/` and `vendor/` — vendored stubs are not ours
+//! to lint), runs the [`gs_lint::Analyzer`], prints the human report,
+//! and emits a single machine-readable `LINT_JSON` line for CI to
+//! persist. Exit status is nonzero on any violation (unjustified allows
+//! included) or unreadable file.
+
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    // `cargo run -p gs-lint` may be invoked from any directory; anchor on
+    // this crate's manifest (crates/gs-lint) and walk up to the root.
+    let root = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map_or(p.clone(), Path::to_path_buf)
+        }
+        None => PathBuf::from("."),
+    };
+    let mut files: Vec<PathBuf> = Vec::new();
+    for sub in ["crates", "src"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    files.sort();
+
+    let mut analyzer = gs_lint::Analyzer::new();
+    let mut unreadable = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(file) {
+            Ok(src) => analyzer.add_file(&rel, &src),
+            Err(e) => {
+                eprintln!("gs-lint: cannot read {rel}: {e}");
+                unreadable += 1;
+            }
+        }
+    }
+    let report = analyzer.finish();
+    print!("{}", report.human());
+    println!("{}", report.json_line());
+    if !report.ok() || unreadable > 0 {
+        std::process::exit(1);
+    }
+}

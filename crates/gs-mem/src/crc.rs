@@ -19,15 +19,15 @@ const POLY: u32 = 0xEDB8_8320;
 
 const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i: u32 = 0;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i;
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        table[i as usize] = c;
         i += 1;
     }
     table
@@ -66,7 +66,7 @@ impl Crc32 {
     #[must_use]
     pub fn update(mut self, bytes: &[u8]) -> Crc32 {
         for &b in bytes {
-            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
             self.state = TABLE[idx] ^ (self.state >> 8);
         }
         self

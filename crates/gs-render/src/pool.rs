@@ -17,8 +17,29 @@
 //! `(closure pointer, index counter)` guarded by a mutex/condvar pair.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Locks `state`, recovering the payload if a previous holder panicked.
+/// Every critical section in this module is panic-free (job closures run
+/// *outside* the lock behind `catch_unwind`), so a poisoned `PoolState` is
+/// never mid-update and is safe to keep using — recovery is what lets the
+/// pool survive a panicking job (see `job_panic_propagates_and_pool_survives`).
+fn lock_unpoisoned<T>(state: &Mutex<T>) -> MutexGuard<'_, T> {
+    match state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// `Condvar::wait` with the same poison-recovery rationale as
+/// [`lock_unpoisoned`].
+fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Type-erased pointer to the frame's job closure plus its call shim.
 #[derive(Copy, Clone)]
@@ -104,14 +125,22 @@ impl WorkerPool {
     /// frames.
     pub fn ensure(slot: &mut Option<WorkerPool>, threads: usize) -> &mut WorkerPool {
         if slot.as_ref().is_none_or(|p| p.size() < threads) {
-            *slot = Some(WorkerPool::new(threads));
+            return slot.insert(WorkerPool::new(threads));
         }
-        slot.as_mut().expect("just ensured")
+        match slot.as_mut() {
+            Some(pool) => pool,
+            None => unreachable!("non-empty checked above"),
+        }
     }
 
     /// Runs `f(0) … f(jobs-1)` across the workers and blocks until all
-    /// indices completed. Panics (after the frame drains) if any job
-    /// panicked. Takes `&mut self`, so frames never overlap on one pool.
+    /// indices completed. Takes `&mut self`, so frames never overlap on
+    /// one pool.
+    ///
+    /// # Panics
+    ///
+    /// After the frame fully drains, if any job panicked (the panic is
+    /// re-raised on the dispatching thread; the pool itself survives).
     ///
     /// The calling thread **participates**: instead of sleeping on the
     /// completion condvar while the workers drain the index counter, it
@@ -130,7 +159,7 @@ impl WorkerPool {
             data: &f as *const F as *const (),
         };
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.shared.state);
             debug_assert!(st.task.is_none(), "WorkerPool::run re-entered");
             st.task = Some(task);
             st.next = 0;
@@ -144,7 +173,7 @@ impl WorkerPool {
         // before `f` can be dropped (workers may still hold `task.data`).
         loop {
             let index = {
-                let mut st = self.shared.state.lock().unwrap();
+                let mut st = lock_unpoisoned(&self.shared.state);
                 if st.next >= st.jobs {
                     break;
                 }
@@ -156,15 +185,15 @@ impl WorkerPool {
                 // SAFETY: see `Task` — the closure outlives the frame.
                 unsafe { (task.call)(task.data, index) }
             }));
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.shared.state);
             if result.is_err() {
                 st.panicked = true;
             }
             st.unfinished -= 1;
         }
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         while st.unfinished > 0 {
-            st = self.shared.done.wait(st).unwrap();
+            st = wait_unpoisoned(&self.shared.done, st);
         }
         st.task = None;
         let panicked = st.panicked;
@@ -179,7 +208,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.shared.state);
             st.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -200,19 +229,20 @@ impl std::fmt::Debug for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let (task, index) = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_unpoisoned(&shared.state);
             loop {
                 if st.shutdown {
                     return;
                 }
-                if st.task.is_some() && st.next < st.jobs {
-                    break;
+                if let Some(task) = st.task {
+                    if st.next < st.jobs {
+                        let index = st.next;
+                        st.next += 1;
+                        break (task, index);
+                    }
                 }
-                st = shared.work.wait(st).unwrap();
+                st = wait_unpoisoned(&shared.work, st);
             }
-            let index = st.next;
-            st.next += 1;
-            (st.task.expect("checked above"), index)
         };
 
         // Execute outside the lock; never lose the `unfinished` decrement.
@@ -221,7 +251,7 @@ fn worker_loop(shared: &PoolShared) {
             unsafe { (task.call)(task.data, index) }
         }));
 
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&shared.state);
         if result.is_err() {
             st.panicked = true;
         }

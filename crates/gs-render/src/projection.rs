@@ -245,6 +245,7 @@ fn project_each(cloud: &[Gaussian], cam: &Camera, sh_degree: u8, mut emit: impl 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_core::vec::Vec3;

@@ -176,6 +176,7 @@ pub fn rasterize_tile(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::projection::{support_bbox, FULL_BBOX};

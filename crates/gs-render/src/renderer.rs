@@ -319,6 +319,7 @@ pub(crate) fn tile_origin(tile_index: usize, tiles_x: u32) -> (u32, u32) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_scene::{Gaussian, SceneConfig, SceneKind};

@@ -185,7 +185,14 @@ impl Gaussian {
     ///
     /// Panics when `bytes` is shorter than [`COARSE_BYTES`].
     pub fn decode_coarse(bytes: &[u8]) -> (Vec3, f32) {
-        let f = |i: usize| f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        let f = |i: usize| {
+            f32::from_le_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ])
+        };
         (Vec3::new(f(0), f(1), f(2)), f(3))
     }
 
@@ -225,7 +232,14 @@ impl Gaussian {
     pub fn from_split_record(coarse: &[u8], fine: &[u8], max_axis: u8) -> Gaussian {
         assert!(max_axis < 3, "max_axis out of range");
         let (pos, s_max) = Self::decode_coarse(coarse);
-        let f = |i: usize| f32::from_le_bytes(fine[i * 4..i * 4 + 4].try_into().unwrap());
+        let f = |i: usize| {
+            f32::from_le_bytes([
+                fine[i * 4],
+                fine[i * 4 + 1],
+                fine[i * 4 + 2],
+                fine[i * 4 + 3],
+            ])
+        };
         let mut scale = [0.0f32; 3];
         let mut k = 0;
         for (a, s) in scale.iter_mut().enumerate() {

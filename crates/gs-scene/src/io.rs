@@ -131,6 +131,7 @@ pub fn load_cloud<P: AsRef<Path>>(path: P) -> Result<GaussianCloud, ReadCloudErr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_core::vec::Vec3;

@@ -154,6 +154,7 @@ fn measure(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_render::{RenderConfig, TileRenderer};

@@ -182,6 +182,7 @@ pub fn fine_test(cam: &Camera, g: &Gaussian, rect: &TileRect, sh_degree: u8) -> 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gs_core::Quat;

@@ -234,7 +234,12 @@ where
                         best = Some(cand);
                     }
                 }
-                let l = best.expect("unemitted nodes exist while order is incomplete");
+                let l = match best {
+                    Some(l) => l,
+                    // `out.len() < n` ⇒ some node is unemitted, so the
+                    // scan above always finds a candidate.
+                    None => unreachable!("unemitted nodes exist while order is incomplete"),
+                };
                 // Zeroing the in-degree mirrors the seed's removal from the
                 // `remaining` map: later decrements are ignored and the node
                 // never re-enters the ready set.
@@ -298,6 +303,7 @@ pub fn count_order_violations(ray_lists: &[Vec<u32>], order: &[u32]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1132,6 +1132,24 @@ impl VoxelStore {
         snap
     }
 
+    /// Per-page health map of `column`: `map[i]` is `true` when page `i`
+    /// was marked dead by a permanent fault, so every fetch touching its
+    /// slots fails fast with [`StoreError::PageLost`]. Pages never heal —
+    /// a dead mark is sticky for the store's lifetime (clones re-derive
+    /// their own marks from their own reads). Resident columns have no
+    /// pages: the map is empty and [`StoreFaultSnapshot::dead_pages`] is
+    /// the matching aggregate count.
+    pub fn dead_page_map(&self, column: ColumnKind) -> Vec<bool> {
+        let col = match column {
+            ColumnKind::Coarse => &self.coarse,
+            ColumnKind::Fine => &self.fine,
+        };
+        match col {
+            Column::Resident(_) => Vec::new(),
+            Column::Paged(p) => lock_unpoisoned(&p.state).dead.clone(),
+        }
+    }
+
     /// Bytes currently held by materialized pages across both columns
     /// (equals the column totals for resident backings).
     pub fn resident_column_bytes(&self) -> u64 {
@@ -1347,9 +1365,9 @@ impl VoxelStore {
             SCENE_MAGIC,
             version,
             if self.is_vq() { FLAG_VQ } else { 0 },
-            self.voxel_count() as u32,
-            n_slots as u32,
-            width as u32,
+            header_u32(self.voxel_count(), "voxel count exceeds u32 header field")?,
+            header_u32(n_slots, "slot count exceeds u32 header field")?,
+            header_u32(width, "record width exceeds u32 header field")?,
         ];
         if version >= SCENE_VERSION {
             header.push(CRC_CHUNK_SLOTS);
@@ -1715,10 +1733,19 @@ fn wrap_faulty(source: PageSource, policy: FaultPolicy) -> PageSource {
     })
 }
 
+/// All on-disk header fields are `u32`; a scene whose counts exceed that
+/// cannot be expressed in the image format and must fail serialization
+/// instead of silently truncating.
+fn header_u32(n: usize, what: &'static str) -> Result<u32, StoreError> {
+    u32::try_from(n).map_err(|_| StoreError::Malformed { what })
+}
+
 /// Serializes the six feature codebooks (dim, entries, centroid f32s each).
 fn write_codebooks(cb: &FeatureCodebooks, out: &mut Vec<u8>) {
     for book in [&cb.scale, &cb.rot, &cb.dc, &cb.sh[0], &cb.sh[1], &cb.sh[2]] {
+        // gs-lint: allow(D004) codebook dim is ≤ 4 and entries ≤ 2^16 by VqConfig validation
         out.extend_from_slice(&(book.dim() as u32).to_le_bytes());
+        // gs-lint: allow(D004) codebook dim is ≤ 4 and entries ≤ 2^16 by VqConfig validation
         out.extend_from_slice(&(book.len() as u32).to_le_bytes());
         for v in book.centroids() {
             out.extend_from_slice(&v.to_le_bytes());
@@ -1784,10 +1811,13 @@ fn layout_of(grid: &VoxelGrid) -> (Vec<(u32, u32)>, Vec<u32>) {
     let mut ranges = Vec::with_capacity(grid.voxel_count());
     let mut ids = Vec::new();
     let mut at = 0u32;
+    // gs-lint: allow(D004) the grid names voxels and gaussians with u32 ids, so both counts fit
     for v in 0..grid.voxel_count() as u32 {
         let g = grid.gaussians_of(v);
+        // gs-lint: allow(D004) per-voxel gaussian lists are slices of u32 ids
         ranges.push((at, at + g.len() as u32));
         ids.extend_from_slice(g);
+        // gs-lint: allow(D004) per-voxel gaussian lists are slices of u32 ids
         at += g.len() as u32;
     }
     (ranges, ids)

@@ -28,9 +28,9 @@
 //!   contract as the parallel front-end in `gs_render`.
 //!
 //! The pre-CSR loop (hash-map voxel→pixels, `Vec<bool>` masks, float
-//! pixel walk) survives temporarily as
-//! [`StreamingScene::render_reference_loop`], the `streaming` bench's
-//! timing and byte-exactness twin.
+//! pixel walk) soaked for a release as `render_reference_loop` and has
+//! been deleted; the `streaming` bench reconstructs its mechanism inline
+//! and pins byte-exactness against recorded frame digests.
 //!
 //! ## Fault tolerance (PR 6)
 //!
@@ -45,15 +45,17 @@
 //! With degradation off, the first failing group (in deterministic group
 //! order) aborts the frame with its error.
 
-// Render-time paths must propagate faults, not panic (tests are exempt
-// via a mod-level allow).
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// Render-time paths must propagate faults, not panic — enforced
+// workspace-wide by `[workspace.lints]` (tests are exempt via a
+// mod-level allow).
 
-use crate::dda::{traverse_append, traverse_into};
+use crate::dda::traverse_append;
 use crate::filter::{coarse_test, fine_test, FineSplat, TileRect};
 use crate::grid::VoxelGrid;
 use crate::order::{topological_order_into, OrderScratch};
-use crate::store::{lock_unpoisoned, FaultPolicy, FaultStats, PageConfig, StoreError, VoxelStore};
+use crate::store::{
+    lock_unpoisoned, ColumnKind, FaultPolicy, FaultStats, PageConfig, StoreError, VoxelStore,
+};
 use crate::workload::{FrameWorkload, TileWorkload};
 use gs_core::camera::Camera;
 use gs_core::image::ImageRgb;
@@ -66,7 +68,6 @@ use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
 use gs_scene::{Gaussian, GaussianCloud};
 use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::io;
 use std::sync::Mutex;
 
@@ -309,17 +310,6 @@ impl Default for StreamingOutput {
     }
 }
 
-/// Which group-loop implementation a frame runs.
-#[derive(Copy, Clone, Debug)]
-enum GroupLoop {
-    /// The production loop: counting-sort CSR voxel→pixel map, packed
-    /// bitset masks/saturation, optional intra-group ray parallelism.
-    Csr,
-    /// The PR 4 loop (hash map, byte masks, float pixel walk), serial
-    /// only — the `streaming` bench's reference twin.
-    Legacy,
-}
-
 /// Where the per-voxel streaming phases fetch Gaussian data from.
 ///
 /// The production path is [`FetchPath::Store`]: both phases read only the
@@ -464,6 +454,28 @@ impl StreamingScene {
         Ok(())
     }
 
+    /// [`StreamingScene::page_out_file`] with a deterministic
+    /// [`FaultPolicy`] wrapped around the on-disk page reads — the
+    /// file-backed half of the fault-injection harness
+    /// (`tests/fault_injection.rs` drives both backings through it).
+    pub fn page_out_file_with_faults(
+        &mut self,
+        path: &std::path::Path,
+        config: PageConfig,
+        policy: FaultPolicy,
+    ) -> Result<(), StoreError> {
+        self.store.write_scene_file(path)?;
+        self.store = VoxelStore::open_paged_file_with_faults(path, config, policy)?;
+        Ok(())
+    }
+
+    /// Per-page health map of the store's `column`
+    /// ([`VoxelStore::dead_page_map`]): `true` marks a page lost to a
+    /// permanent fault. Empty for resident backings.
+    pub fn dead_page_map(&self, column: ColumnKind) -> Vec<bool> {
+        self.store.dead_page_map(column)
+    }
+
     /// Evicts the working-set cache model (the next frame starts cold).
     /// No-op when no cache is configured.
     pub fn reset_cache(&self) {
@@ -546,23 +558,7 @@ impl StreamingScene {
         cam: &Camera,
         out: &mut StreamingOutput,
     ) -> Result<(), StoreError> {
-        self.render_frame(cam, &FetchPath::Store, GroupLoop::Csr, out)
-    }
-
-    /// Renders one frame through the **pre-CSR** group loop (hash-map
-    /// voxel→pixel map, byte-per-pixel masks, float-compared pixel walk —
-    /// the PR 4 inner loop, serial only). Kept temporarily as the
-    /// `streaming` bench's timing and byte-exactness reference twin; it
-    /// must produce output identical to [`StreamingScene::render`] on
-    /// every scene. Not a steady-state path — it allocates per group the
-    /// way the old loop did.
-    #[doc(hidden)]
-    pub fn render_reference_loop(&self, cam: &Camera) -> StreamingOutput {
-        let mut out = StreamingOutput::default();
-        if let Err(e) = self.render_frame(cam, &FetchPath::Store, GroupLoop::Legacy, &mut out) {
-            panic!("reference loop render failed: {e}");
-        }
-        out
+        self.render_frame(cam, &FetchPath::Store, out)
     }
 
     /// Byte-exactness reference twin of [`StreamingScene::render`]: fetches
@@ -573,6 +569,11 @@ impl StreamingScene {
     /// ledgers — `tests/store_ledger.rs` asserts it on every scene kind.
     /// Not a steady-state path (the VQ decode allocates a full cloud per
     /// call); use it for validation only.
+    ///
+    /// # Panics
+    ///
+    /// On a [`StoreError`] from a paged backing, like
+    /// [`StreamingScene::render`] (drive it on resident backings).
     pub fn render_cloud_twin(&self, cam: &Camera) -> StreamingOutput {
         let decoded;
         let render = match &self.quant {
@@ -583,12 +584,7 @@ impl StreamingScene {
             None => &self.source,
         };
         let mut out = StreamingOutput::default();
-        if let Err(e) = self.render_frame(
-            cam,
-            &FetchPath::CloudTwin { render },
-            GroupLoop::Csr,
-            &mut out,
-        ) {
+        if let Err(e) = self.render_frame(cam, &FetchPath::CloudTwin { render }, &mut out) {
             panic!("cloud-twin render failed: {e}");
         }
         out
@@ -598,7 +594,6 @@ impl StreamingScene {
         &self,
         cam: &Camera,
         path: &FetchPath<'_>,
-        mode: GroupLoop,
         out: &mut StreamingOutput,
     ) -> Result<(), StoreError> {
         // The frame's degradation counters are deltas over this snapshot
@@ -624,11 +619,9 @@ impl StreamingScene {
         // parallelism instead: groups run serially (in deterministic group
         // order) and each group's DDA ray grid fans out across the pool.
         // Both modes are bit-identical for any thread count, so the
-        // crossover is purely a scheduling choice. The legacy reference
-        // loop is always serial.
-        let legacy_mode = matches!(mode, GroupLoop::Legacy);
-        let ray_parallel = !legacy_mode && threads > 1 && n_groups < threads;
-        let chunks = if legacy_mode || ray_parallel {
+        // crossover is purely a scheduling choice.
+        let ray_parallel = threads > 1 && n_groups < threads;
+        let chunks = if ray_parallel {
             1
         } else {
             threads.min(n_groups).max(1)
@@ -643,7 +636,6 @@ impl StreamingScene {
             vblends,
             groups,
             cache,
-            legacy,
         } = &mut *guard;
         pixels.resize(n_groups * gp, Vec3::ZERO);
         workloads.resize(n_groups, TileWorkload::default());
@@ -664,40 +656,21 @@ impl StreamingScene {
             } else {
                 None
             };
-            let legacy_scratch = if legacy_mode {
-                Some(legacy.get_or_insert_with(Default::default))
-            } else {
-                None
-            };
-            let mut legacy_scratch = legacy_scratch.map(|b| &mut **b);
             for t in 0..n_groups {
                 let gx = t as u32 % groups_x;
                 let gy = t as u32 / groups_x;
                 let buf = &mut pixels[t * gp..(t + 1) * gp];
-                let (w, vb) = match legacy_scratch.as_deref_mut() {
-                    None => self.render_group_into(
-                        cam,
-                        gx,
-                        gy,
-                        width,
-                        height,
-                        path,
-                        group_scratch,
-                        buf,
-                        ray_pool.as_deref_mut(),
-                    ),
-                    Some(ls) => self.render_group_into_legacy(
-                        cam,
-                        gx,
-                        gy,
-                        width,
-                        height,
-                        path,
-                        group_scratch,
-                        ls,
-                        buf,
-                    ),
-                };
+                let (w, vb) = self.render_group_into(
+                    cam,
+                    gx,
+                    gy,
+                    width,
+                    height,
+                    path,
+                    group_scratch,
+                    buf,
+                    ray_pool.as_deref_mut(),
+                );
                 workloads[t] = w;
                 vblends[t] = vb;
                 if group_scratch.error.is_some() {
@@ -1256,232 +1229,6 @@ impl StreamingScene {
         blend.finish(self.config.background, pixels);
         (w, violating_blends)
     }
-
-    /// The PR 4 group loop, kept verbatim as the `streaming` bench's
-    /// timing + byte-exactness twin of [`StreamingScene::render_group_into`]:
-    /// hash-map voxel→pixel lists with spare-list recycling, a
-    /// byte-per-pixel mask filled by a stride² dilation loop, and the
-    /// float-compared pixel walk. Shares the ordering/filter/ledger
-    /// scratch (those costs did not change); owns the parts the CSR loop
-    /// deleted. Serial only; slated for removal once the CSR loop has
-    /// soaked. Fault-free paths only: it keeps the panicking store
-    /// wrappers, so drive it on resident or un-faulted paged backings.
-    #[allow(clippy::too_many_arguments)]
-    fn render_group_into_legacy(
-        &self,
-        cam: &Camera,
-        gx: u32,
-        gy: u32,
-        width: u32,
-        height: u32,
-        path: &FetchPath<'_>,
-        scratch: &mut GroupScratch,
-        legacy: &mut LegacyScratch,
-        pixels: &mut [Vec3],
-    ) -> (TileWorkload, u64) {
-        let gsz = self.config.group_size;
-        let rect = TileRect::of_tile(gx, gy, gsz, width, height);
-        let mut w = TileWorkload::default();
-        let mut violating_blends = 0u64;
-        let GroupScratch {
-            order,
-            order_out,
-            survivors,
-            splats,
-            violating,
-            ledger,
-            trace,
-            ..
-        } = scratch;
-        let LegacyScratch {
-            ray_lists,
-            voxel_pixels,
-            spare_lists,
-            mask,
-            blend,
-        } = legacy;
-        let cached = self.config.cache.is_some();
-        let burst = self
-            .config
-            .cache
-            .map(|c| c.burst_bytes)
-            .unwrap_or(DEFAULT_BURST_BYTES);
-        let base_coarse = ledger.get(Stage::VoxelCoarse, Direction::Read);
-        let base_fine = ledger.get(Stage::VoxelFine, Direction::Read);
-        let base_pixel = ledger.get(Stage::PixelOut, Direction::Write);
-        let base_coarse_dram = ledger.dram(Stage::VoxelCoarse, Direction::Read);
-        let base_fine_dram = ledger.dram(Stage::VoxelFine, Direction::Read);
-        let base_pixel_dram = ledger.dram(Stage::PixelOut, Direction::Write);
-
-        // --- VSU: ray sampling + voxel ordering (seed bookkeeping) -------
-        let (dx, dy, dz) = self.grid.dims();
-        let max_steps = 3 * (dx + dy + dz) + 6;
-        let stride = self.config.ray_stride;
-        for (_, mut list) in voxel_pixels.drain() {
-            list.clear();
-            spare_lists.push(list);
-        }
-        let mut n_rays = 0usize;
-        let mut py = rect.y0 as u32;
-        while (py as f32) < rect.y1 {
-            let mut px = rect.x0 as u32;
-            while (px as f32) < rect.x1 {
-                let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
-                if n_rays == ray_lists.len() {
-                    ray_lists.push(Vec::new());
-                }
-                let voxels = &mut ray_lists[n_rays];
-                w.dda_steps += traverse_into(&self.grid, &ray, max_steps, voxels) as u64;
-                w.rays += 1;
-                let pixel_index = (py - rect.y0 as u32) * gsz + (px - rect.x0 as u32);
-                for &v in voxels.iter() {
-                    voxel_pixels
-                        .entry(v)
-                        .or_insert_with(|| spare_lists.pop().unwrap_or_default())
-                        .push(pixel_index);
-                }
-                if !voxels.is_empty() {
-                    n_rays += 1; // keep this slot; empty slots are reused
-                }
-                px += stride;
-            }
-            py += stride;
-        }
-        let order_stats = topological_order_into(
-            &ray_lists[..n_rays],
-            |v| cam.world_to_camera(self.grid.voxel_center(v)).z,
-            order,
-            order_out,
-        );
-        w.voxels_intersected = order_out.len() as u32;
-        w.dag_edges = order_stats.edges;
-        w.cycle_breaks = order_stats.cycle_breaks;
-        w.order_ops = order_stats.ops;
-
-        // --- per-voxel streaming ------------------------------------------
-        let fine_bpg = self.store.fine_bytes_per_gaussian();
-        let coarse_bpg = self.store.coarse_bytes_per_gaussian();
-
-        blend.reset(rect, gsz, self.config.voxel_size);
-        mask.clear();
-        mask.resize((gsz * gsz) as usize, false);
-        for &vid in order_out.iter() {
-            if blend.live == 0 {
-                break; // every pixel saturated: stop streaming voxels
-            }
-            mask.fill(false);
-            let mut any_live = false;
-            if let Some(pixels) = voxel_pixels.get(&vid) {
-                for &pi in pixels {
-                    let (bx, by) = (pi % gsz, pi / gsz);
-                    for dy in 0..stride {
-                        for dx in 0..stride {
-                            let (mx, my) = (bx + dx, by + dy);
-                            if mx < gsz && my < gsz {
-                                let mi = (my * gsz + mx) as usize;
-                                mask[mi] = true;
-                                any_live |= !blend.done[mi];
-                            }
-                        }
-                    }
-                }
-            }
-            if !any_live {
-                continue;
-            }
-            let count = self.store.slots_of(vid).len() as u64;
-            w.voxels_processed += 1;
-            w.gaussians_streamed += count;
-            if cached {
-                trace.push(TraceOp::Coarse(vid));
-            } else {
-                ledger.note_dram(
-                    Stage::VoxelCoarse,
-                    Direction::Read,
-                    round_to_burst(count * coarse_bpg, burst),
-                );
-            }
-
-            survivors.clear();
-            match path {
-                FetchPath::Store => {
-                    let column = self.store.fetch_coarse(vid, ledger);
-                    if self.config.use_coarse_filter {
-                        survivors.extend(column.filter_map(|(slot, pos, s_max)| {
-                            coarse_test(cam, pos, s_max, &rect).map(|_| slot)
-                        }));
-                    } else {
-                        survivors.extend(column.map(|(slot, _, _)| slot));
-                    }
-                }
-                FetchPath::CloudTwin { .. } => {
-                    ledger.add(Stage::VoxelCoarse, Direction::Read, count * coarse_bpg);
-                    let slots = self.store.slots_of(vid);
-                    if self.config.use_coarse_filter {
-                        survivors.extend(slots.filter(|&slot| {
-                            let g = &self.source.as_slice()[self.store.id_of(slot) as usize];
-                            coarse_test(cam, g.pos, g.max_scale(), &rect).is_some()
-                        }));
-                    } else {
-                        survivors.extend(slots);
-                    }
-                }
-            }
-            w.coarse_survivors += survivors.len() as u64;
-
-            splats.clear();
-            let fine_dram_rec = round_to_burst(fine_bpg, burst);
-            splats.extend(survivors.iter().filter_map(|&slot| {
-                let gi = self.store.id_of(slot);
-                if cached {
-                    trace.push(TraceOp::Fine(slot));
-                } else {
-                    ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
-                }
-                let g: Gaussian = match path {
-                    FetchPath::Store => self.store.fetch_fine(slot, ledger),
-                    FetchPath::CloudTwin { render } => {
-                        ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
-                        render.as_slice()[gi as usize].clone()
-                    }
-                };
-                fine_test(cam, &g, &rect, self.config.sh_degree).map(|s| (gi, s))
-            }));
-            w.fine_survivors += splats.len() as u64;
-            w.max_sort_batch = w.max_sort_batch.max(splats.len() as u32);
-
-            splats.sort_unstable_by(|a, b| a.1.depth.total_cmp(&b.1.depth));
-
-            for (gi, s) in splats.iter() {
-                let frag = blend.blend(s, mask);
-                w.blend_lanes += frag.lanes;
-                w.blend_fragments += frag.blended;
-                if frag.violations > 0 {
-                    violating.push(*gi);
-                    violating_blends += frag.violations;
-                }
-                if blend.live == 0 {
-                    break;
-                }
-            }
-        }
-
-        let live_pixels = ((rect.x1 - rect.x0) * (rect.y1 - rect.y0)) as u64;
-        ledger.add_transfer(Stage::PixelOut, Direction::Write, live_pixels * 16, burst);
-        if cached {
-            trace.push(TraceOp::GroupEnd);
-        }
-
-        w.coarse_bytes = ledger.get(Stage::VoxelCoarse, Direction::Read) - base_coarse;
-        w.fine_bytes = ledger.get(Stage::VoxelFine, Direction::Read) - base_fine;
-        w.pixel_bytes = ledger.get(Stage::PixelOut, Direction::Write) - base_pixel;
-        w.coarse_dram_bytes = ledger.dram(Stage::VoxelCoarse, Direction::Read) - base_coarse_dram;
-        w.fine_dram_bytes = ledger.dram(Stage::VoxelFine, Direction::Read) - base_fine_dram;
-        w.pixel_dram_bytes = ledger.dram(Stage::PixelOut, Direction::Write) - base_pixel_dram;
-
-        blend.finish(self.config.background, pixels);
-        (w, violating_blends)
-    }
 }
 
 /// Frame-persistent render state: the worker pool plus the frame arena
@@ -1503,9 +1250,6 @@ struct StreamScratch {
     /// [`StreamingConfig::cache`]); carries state across frames so
     /// trajectories exercise temporal locality.
     cache: Option<FrameCacheSim>,
-    /// Working state of the legacy reference loop (allocated only when
-    /// [`StreamingScene::render_reference_loop`] runs).
-    legacy: Option<Box<LegacyScratch>>,
 }
 
 /// One working-set cache per cached pipeline stage.
@@ -1812,24 +1556,6 @@ impl MaskScratch {
     }
 }
 
-/// Working state of the legacy (PR 4) group loop — everything the CSR
-/// rework deleted from [`GroupScratch`], kept only for
-/// [`StreamingScene::render_reference_loop`].
-#[derive(Debug, Default)]
-struct LegacyScratch {
-    /// Per-ray voxel lists; only the first `n_rays` slots of a group are
-    /// live, the rest keep their capacity for reuse.
-    ray_lists: Vec<Vec<u32>>,
-    /// voxel id → indices of group pixels whose rays intersect it.
-    voxel_pixels: HashMap<u32, Vec<u32>>,
-    /// Recycled value-lists for `voxel_pixels`.
-    spare_lists: Vec<Vec<u32>>,
-    /// Per-pixel ray-intersection mask of the current voxel.
-    mask: Vec<bool>,
-    /// The byte-per-pixel blender.
-    blend: LegacyBlender,
-}
-
 struct FragOutcome {
     lanes: u64,
     blended: u64,
@@ -1939,113 +1665,6 @@ impl GroupBlender {
                 out.blended += 1;
                 if self.transmittance[pi] < TRANSMITTANCE_EPS {
                     self.set_done(pi);
-                    self.live -= 1;
-                }
-            }
-        }
-        out
-    }
-
-    fn finish(&self, background: Vec3, pixels: &mut [Vec3]) {
-        let n = self.size;
-        for ly in 0..n {
-            for lx in 0..n {
-                let pi = ly * n + lx;
-                let px = self.rect.x0 + lx as f32;
-                let py = self.rect.y0 + ly as f32;
-                if px < self.rect.x1 && py < self.rect.y1 {
-                    pixels[pi] = self.color[pi] + background * self.transmittance[pi];
-                }
-            }
-        }
-    }
-}
-
-/// The PR 4 blender, byte-per-pixel `done` array and all — the legacy
-/// loop's counterpart of [`GroupBlender`]. Identical arithmetic; kept so
-/// the `streaming` bench times the old bookkeeping faithfully.
-#[derive(Debug, Default)]
-struct LegacyBlender {
-    rect: TileRect,
-    size: usize,
-    violation_slack: f32,
-    color: Vec<Vec3>,
-    transmittance: Vec<f32>,
-    done: Vec<bool>,
-    max_depth: Vec<f32>,
-    live: u32,
-}
-
-impl LegacyBlender {
-    fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
-        let n = group_size as usize;
-        self.rect = rect;
-        self.size = n;
-        self.violation_slack = VIOLATION_VOXEL_FRACTION * voxel_size;
-        self.color.clear();
-        self.color.resize(n * n, Vec3::ZERO);
-        self.transmittance.clear();
-        self.transmittance.resize(n * n, 1.0);
-        self.max_depth.clear();
-        self.max_depth.resize(n * n, 0.0);
-        self.done.clear();
-        self.done.resize(n * n, false);
-        let mut live = 0u32;
-        for ly in 0..n {
-            for lx in 0..n {
-                let px = rect.x0 + lx as f32;
-                let py = rect.y0 + ly as f32;
-                if px >= rect.x1 || py >= rect.y1 {
-                    self.done[ly * n + lx] = true;
-                } else {
-                    live += 1;
-                }
-            }
-        }
-        self.live = live;
-    }
-
-    fn blend(&mut self, s: &FineSplat, mask: &[bool]) -> FragOutcome {
-        let n = self.size;
-        let mut out = FragOutcome {
-            lanes: 0,
-            blended: 0,
-            violations: 0,
-        };
-        let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
-        let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
-        let y_lo = (s.mean_px.y - s.radius_px).max(self.rect.y0).floor() as i64;
-        let y_hi = (s.mean_px.y + s.radius_px).min(self.rect.y1 - 1.0).ceil() as i64;
-        for py in y_lo..=y_hi {
-            for px in x_lo..=x_hi {
-                if px < self.rect.x0 as i64 || py < self.rect.y0 as i64 {
-                    continue;
-                }
-                let lx = px as usize - self.rect.x0 as usize;
-                let ly = py as usize - self.rect.y0 as usize;
-                if lx >= n || ly >= n {
-                    continue;
-                }
-                let pi = ly * n + lx;
-                out.lanes += 1;
-                if self.done[pi] {
-                    continue;
-                }
-                let d = Vec2::new(px as f32 + 0.5 - s.mean_px.x, py as f32 + 0.5 - s.mean_px.y);
-                let alpha = (s.opacity * gs_core::ewa::falloff(s.conic, d)).min(ALPHA_MAX);
-                if alpha < ALPHA_EPS {
-                    continue;
-                }
-                if mask[pi] && s.depth + self.violation_slack < self.max_depth[pi] {
-                    out.violations += 1;
-                }
-                let t = self.transmittance[pi];
-                self.color[pi] += s.color * (alpha * t);
-                self.transmittance[pi] = t * (1.0 - alpha);
-                self.max_depth[pi] = self.max_depth[pi].max(s.depth);
-                out.blended += 1;
-                if self.transmittance[pi] < TRANSMITTANCE_EPS {
-                    self.done[pi] = true;
                     self.live -= 1;
                 }
             }
@@ -2375,9 +1994,11 @@ mod tests {
     }
 
     #[test]
-    fn reference_loop_is_byte_identical_to_csr_loop() {
-        // The legacy (hash-map + byte-mask) twin must agree bit-for-bit
-        // with the CSR/bitset loop: image, workload, ledger, violations.
+    fn store_path_is_byte_identical_to_cloud_twin() {
+        // With the legacy loop deleted, the cloud twin (same group loop,
+        // different fetch path) is the in-process exactness reference:
+        // image, workload, ledger, violations must agree bit-for-bit on
+        // raw and VQ stores.
         for kind in [SceneKind::Truck, SceneKind::Lego] {
             let scene = kind.build(&SceneConfig::tiny());
             for use_vq in [false, true] {
@@ -2390,17 +2011,18 @@ mod tests {
                 };
                 let s = StreamingScene::new(scene.trained.clone(), cfg);
                 for cam in &scene.eval_cameras[..2.min(scene.eval_cameras.len())] {
-                    outputs_identical(&s.render(cam), &s.render_reference_loop(cam));
+                    outputs_identical(&s.render(cam), &s.render_cloud_twin(cam));
                 }
             }
         }
     }
 
     #[test]
-    fn reference_loop_is_byte_identical_with_cache_and_stride() {
+    fn cached_strided_store_path_matches_cloud_twin() {
         // Cached + strided configuration: the trace-replayed cache
-        // accounting and the dilated masks must agree across loops. Two
-        // separate scenes so each loop advances its own persistent cache.
+        // accounting and the dilated masks must agree across fetch paths.
+        // Two separate scenes so each path advances its own persistent
+        // cache.
         let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
         let cfg = StreamingConfig {
             voxel_size: scene.voxel_size,
@@ -2412,7 +2034,7 @@ mod tests {
         let a = StreamingScene::new(scene.trained.clone(), cfg);
         let b = StreamingScene::new(scene.trained.clone(), cfg);
         for cam in &scene.eval_cameras[..2.min(scene.eval_cameras.len())] {
-            outputs_identical(&a.render(cam), &b.render_reference_loop(cam));
+            outputs_identical(&a.render(cam), &b.render_cloud_twin(cam));
         }
     }
 

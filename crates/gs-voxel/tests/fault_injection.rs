@@ -16,6 +16,15 @@
 //!     count.
 //! (e) **Version-1 images** — still render identically, with checksum
 //!     verification flagged off in the effective `PageConfig`.
+//! (f) **File-backed faults** — the same transient-recovery contract
+//!     holds when the faulty pages are read from an on-disk scene image
+//!     (`page_out_file_with_faults` / `open_paged_file_with_faults`).
+//! (g) **Dead-page map** — `dead_page_map` starts all-healthy, marks
+//!     pages lost to permanent faults, and agrees with the aggregate
+//!     `fault_snapshot().dead_pages` count.
+
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gs_scene::{SceneConfig, SceneKind};
 use gs_voxel::{
@@ -207,6 +216,102 @@ fn fail_fast_mode_surfaces_the_same_error_for_any_worker_count() {
             Some(r) => assert_eq!(r, &err, "error diverged at threads={threads}"),
         }
     }
+}
+
+#[test]
+fn file_backed_transient_faults_recover_bit_identically() {
+    let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+    let cam = &scene.eval_cameras[0];
+    let path = std::env::temp_dir().join(format!("gs_fault_file_{}.scene", std::process::id()));
+
+    // Fault-free file-backed reference (exercises `open_paged_file`).
+    let mut clean = StreamingScene::new(scene.trained.clone(), vq_config(scene.voxel_size, 1));
+    clean
+        .page_out_file(&path, page_config())
+        .expect("serialize + reopen from file");
+    let clean_frame = clean
+        .try_render(cam)
+        .expect("fault-free file-backed render");
+    assert!(
+        clean_frame.degradation.is_clean(),
+        "fault-free file-backed frame degraded"
+    );
+
+    // Same image, same file, transient faults on the positional reads.
+    let policy = FaultPolicy::transient(0xFA17_5EED, 20);
+    let mut faulty = StreamingScene::new(scene.trained.clone(), vq_config(scene.voxel_size, 1));
+    faulty
+        .page_out_file_with_faults(&path, page_config(), policy)
+        .expect("serialize + reopen from file with faults");
+    let frame = faulty
+        .try_render(cam)
+        .expect("transient faults must recover");
+    outputs_identical(&frame, &clean_frame, "file-backed transient faults");
+    let d = frame.degradation;
+    assert!(
+        d.injected.total() > 0,
+        "the policy never fired — the test is vacuous"
+    );
+    assert_eq!(
+        d.page_retries,
+        d.injected.total(),
+        "retries must count injected faults exactly"
+    );
+    assert_eq!(d.pages_lost, 0, "transient-only policy");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dead_page_map_exposes_permanent_faults() {
+    use gs_voxel::ColumnKind;
+    let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+    let cam = &scene.eval_cameras[0];
+
+    // Resident backings have no pages at all.
+    let resident = StreamingScene::new(scene.trained.clone(), vq_config(scene.voxel_size, 1));
+    assert!(resident.dead_page_map(ColumnKind::Coarse).is_empty());
+    assert!(resident.dead_page_map(ColumnKind::Fine).is_empty());
+
+    let mut faulty = resident.clone();
+    faulty
+        .page_out_with_faults(
+            page_config(),
+            FaultPolicy {
+                seed: 0xDEAD_BEEF,
+                permanent_per_mille: 150,
+                ..FaultPolicy::default()
+            },
+        )
+        .expect("reopen with faults");
+    // Faults fire on page reads, never at open: everything starts healthy.
+    let coarse0 = faulty.dead_page_map(ColumnKind::Coarse);
+    let fine0 = faulty.dead_page_map(ColumnKind::Fine);
+    assert!(
+        !coarse0.is_empty() || !fine0.is_empty(),
+        "paged columns must expose page tables"
+    );
+    assert!(
+        coarse0.iter().chain(&fine0).all(|&dead| !dead),
+        "pages must start healthy"
+    );
+
+    let out = faulty
+        .try_render(cam)
+        .expect("degradation must absorb permanent faults");
+    assert!(
+        out.degradation.pages_lost > 0,
+        "no page went dead — the test is vacuous"
+    );
+    let dead: u64 = [ColumnKind::Coarse, ColumnKind::Fine]
+        .iter()
+        .map(|&c| faulty.dead_page_map(c).iter().filter(|&&dead| dead).count() as u64)
+        .sum();
+    assert!(dead > 0, "permanent faults must surface in the map");
+    assert_eq!(
+        dead,
+        faulty.store().fault_snapshot().dead_pages,
+        "map must agree with the aggregate snapshot"
+    );
 }
 
 #[test]

@@ -12,6 +12,9 @@
 //!    warm frames hit; DRAM transaction bytes shrink to burst-rounded
 //!    miss fills.
 
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_mem::cache::CacheConfig;
 use gs_mem::{Direction, Stage};
 use gs_scene::{SceneConfig, SceneKind};

@@ -1,5 +1,8 @@
 //! Property-based tests for the streaming pipeline's data structures.
 
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gs_core::camera::Camera;
 use gs_core::geom::Ray;
 use gs_core::vec::Vec3;

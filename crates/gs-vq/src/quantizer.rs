@@ -150,11 +150,13 @@ impl FeatureCodebooks {
                  serializes 1- or 2-byte indices only)"
             );
             assert!(
-                idx < 1u32 << (8 * width as u32),
+                idx < 1u32 << (8 * width),
                 "codebook index {idx} overflows its {width}-byte record slot"
             );
             match width {
+                // gs-lint: allow(D004) lossless: the assert above pins idx below 2^(8·width)
                 1 => out.push(idx as u8),
+                // gs-lint: allow(D004) lossless: the assert above pins idx below 2^(8·width)
                 _ => out.extend_from_slice(&(idx as u16).to_le_bytes()),
             }
         };
@@ -186,8 +188,8 @@ impl FeatureCodebooks {
                  deserializes 1- or 2-byte indices only)"
             );
             let v = match width {
-                1 => bytes[at] as u32,
-                _ => u16::from_le_bytes([bytes[at], bytes[at + 1]]) as u32,
+                1 => u32::from(bytes[at]),
+                _ => u32::from(u16::from_le_bytes([bytes[at], bytes[at + 1]])),
             };
             at += width as usize;
             v
@@ -333,6 +335,7 @@ impl QuantizedCloud {
             rot,
             dc,
             sh,
+            // gs-lint: allow(D004) deliberate 8-bit quantization; clamp pins the value to [0, 255]
             opacity_q: (g.opacity.clamp(0.0, 1.0) * 255.0).round() as u8,
         }
     }

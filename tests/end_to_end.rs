@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: the full StreamingGS flow on stand-in
 //! scenes, exercising every workspace crate through the facade.
 
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use streaminggs::accel::area::area_table;
 use streaminggs::accel::config::AccelConfig;
 use streaminggs::accel::{GpuModel, GscoreModel, StreamingGsModel};
