@@ -194,7 +194,8 @@ fn main() {
 
     let hit_ok = min_warm_coarse >= WARM_COARSE_HIT_BAR;
     println!(
-        "CACHE_JSON {{\"bench\":\"cache\",\"scenes\":[{}],\"min_warm_coarse_hit\":{:.4},\"hit_ok\":{},\"exact_ok\":{},\"priced_ok\":{}}}",
+        "CACHE_JSON {{\"bench\":\"cache\",\"cores\":{},\"scenes\":[{}],\"min_warm_coarse_hit\":{:.4},\"hit_ok\":{},\"exact_ok\":{},\"priced_ok\":{}}}",
+        gs_bench::setup::cores(),
         rows.join(","),
         min_warm_coarse,
         hit_ok,

@@ -221,8 +221,10 @@ fn bench_hotpath(c: &mut Criterion) {
     );
 
     // Machine-readable summary (one line, greppable).
-    let mut json =
-        format!("{{\"bench\":\"hotpath\",\"threads\":1,\"mt_threads\":{mt_threads},\"scenes\":[");
+    let cores = gs_bench::setup::cores();
+    let mut json = format!(
+        "{{\"bench\":\"hotpath\",\"cores\":{cores},\"threads\":1,\"mt_threads\":{mt_threads},\"scenes\":["
+    );
     let mut truck_speedup = 0.0;
     for (i, (name, naive, opt, mt)) in rows.iter().enumerate() {
         let speedup = opt / naive;

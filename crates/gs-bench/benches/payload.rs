@@ -1,0 +1,332 @@
+//! Payload kernel benchmark: the overhauled DDA marcher and lane-wise EWA
+//! blender vs their kept bit-exact reference twins.
+//!
+//! PR 5 proved the group-loop *mechanism* (CSR maps, bitset masks) is no
+//! longer where frames go; the payload is: DDA marching is ≈half the frame
+//! and EWA blending most of the rest. This PR overhauls exactly those two
+//! kernels — incremental linear cell index + branch-lighter axis select in
+//! [`gs_voxel::dda`], and live-word iteration + row-hoisted conic +
+//! exp-cull in `GroupBlender::blend` — while keeping the previous code as
+//! reference twins ([`gs_voxel::dda::reference`],
+//! `GroupBlender::blend_reference`). Two measurements:
+//!
+//! * **kernel microbench** (the gated number) — both twins run over the
+//!   *same captured inputs* of a real frame: every pixel ray marched
+//!   through the scene grid (DDA), and every group's depth-sorted
+//!   [`FineSplat`] list replayed through a [`GroupBlender`] (blend).
+//!   Before timing, the replay asserts the production kernels produce
+//!   identical voxel lists / step counts and an identical full blender
+//!   state (`GroupBlender: PartialEq`). The gate is the **combined**
+//!   DDA+blend time ratio on Truck: ≥ 1.3×.
+//! * **whole-frame exactness** — the production `render` vs
+//!   `render_payload_twin` (same store fetch path, reference kernels) must
+//!   agree byte-for-byte on image, workload, violations, ledger and cache
+//!   stats: raw and VQ, resident and demand-paged, single- and
+//!   multi-threaded, on all six scene kinds.
+//!
+//! Ends with one machine-readable `PAYLOAD_JSON {...}` line; CI persists
+//! it as `BENCH_payload.json` and gates on `speedup_ok` and `exact_ok`.
+
+use gs_bench::fmt::{banner, Table};
+use gs_bench::setup::{bench_scale, build_scene, BenchScale};
+use gs_core::geom::Ray;
+use gs_scene::SceneKind;
+use gs_voxel::dda;
+use gs_voxel::filter::{coarse_test, fine_test, FineSplat, TileRect};
+use gs_voxel::grid::VoxelGrid;
+use gs_voxel::streaming::GroupBlender;
+use gs_voxel::{PageConfig, StreamingConfig, StreamingOutput, StreamingScene};
+use gs_vq::VqConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Combined (DDA + blend) Truck kernel speedup gate vs the twins.
+const SPEEDUP_BAR: f64 = 1.3;
+/// The paper's pixel-group edge (matches the streaming bench).
+const GROUP: u32 = 64;
+
+/// Milliseconds per call of `f`, measured over at least `min_calls` calls
+/// and 0.2 s.
+fn ms_of(min_calls: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut calls = 0u32;
+    while calls < min_calls || start.elapsed().as_secs_f64() < 0.2 {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e3 / calls as f64
+}
+
+fn identical(a: &StreamingOutput, b: &StreamingOutput) -> bool {
+    a.image == b.image
+        && a.workload == b.workload
+        && a.violations == b.violations
+        && a.ledger == b.ledger
+        && a.cache == b.cache
+}
+
+/// Every pixel ray of one frame (the DDA microbench input).
+fn frame_rays(cam: &gs_core::camera::Camera) -> Vec<Ray> {
+    let mut rays = Vec::with_capacity((cam.width() * cam.height()) as usize);
+    for py in 0..cam.height() {
+        for px in 0..cam.width() {
+            rays.push(cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5));
+        }
+    }
+    rays
+}
+
+/// Sum of steps over all rays through one DDA entry point (`f` is either
+/// the production or the reference `traverse_append`).
+fn dda_pass(
+    f: fn(&VoxelGrid, &Ray, u32, &mut Vec<u32>) -> u32,
+    grid: &VoxelGrid,
+    rays: &[Ray],
+    max_steps: u32,
+    buf: &mut Vec<u32>,
+) -> u64 {
+    let mut steps = 0u64;
+    for ray in rays {
+        buf.clear();
+        steps += f(grid, ray, max_steps, buf) as u64;
+    }
+    steps
+}
+
+/// One group's captured blend inputs: the group rect and its depth-sorted
+/// fine splats (the per-splat stream `GroupBlender` consumes).
+struct BlendStream {
+    rect: TileRect,
+    splats: Vec<FineSplat>,
+}
+
+/// Captures every group's depth-sorted splat stream for one frame. The
+/// production loop builds these per voxel with an in-voxel sort; for a
+/// kernel microbench a flat per-group depth sort feeds the identical
+/// arithmetic and both twins the identical stream.
+fn capture_blend(
+    cloud: &gs_scene::GaussianCloud,
+    cam: &gs_core::camera::Camera,
+    sh_degree: u8,
+) -> Vec<BlendStream> {
+    let (width, height) = (cam.width(), cam.height());
+    let mut streams = Vec::new();
+    for gy in 0..height.div_ceil(GROUP) {
+        for gx in 0..width.div_ceil(GROUP) {
+            let rect = TileRect::of_tile(gx, gy, GROUP, width, height);
+            let mut splats: Vec<FineSplat> = cloud
+                .as_slice()
+                .iter()
+                .filter(|g| coarse_test(cam, g.pos, g.max_scale(), &rect).is_some())
+                .filter_map(|g| fine_test(cam, g, &rect, sh_degree))
+                .collect();
+            splats.sort_unstable_by(|a, b| a.depth.total_cmp(&b.depth));
+            streams.push(BlendStream { rect, splats });
+        }
+    }
+    streams
+}
+
+/// Replays all captured streams through one blend kernel, mirroring the
+/// production loop's `live == 0` early exit. Returns total fragments.
+fn blend_pass(
+    blender: &mut GroupBlender,
+    streams: &[BlendStream],
+    mask: &[u64],
+    voxel_size: f32,
+    production: bool,
+) -> u64 {
+    let mut blended = 0u64;
+    for st in streams {
+        blender.reset(st.rect, GROUP, voxel_size);
+        for s in &st.splats {
+            let frag = if production {
+                blender.blend(s, mask)
+            } else {
+                blender.blend_reference(s, mask)
+            };
+            blended += frag.blended;
+            if blender.live() == 0 {
+                break;
+            }
+        }
+    }
+    blended
+}
+
+fn main() {
+    let scale = bench_scale();
+    banner("Payload — incremental DDA + lane-wise blend vs reference twins");
+    println!(
+        "dda = all pixel rays marched through the scene grid; blend = per-group depth-sorted splat replay ({GROUP}px groups);\nexact = whole-frame render vs payload twin (raw/VQ, resident/paged, 1 and all threads); bar: Truck combined >= {SPEEDUP_BAR:.1}x\n"
+    );
+
+    let mut table = Table::new(&[
+        "scene",
+        "dda ref(ms)",
+        "dda new(ms)",
+        "blend ref(ms)",
+        "blend new(ms)",
+        "combined",
+        "exact",
+    ]);
+    let mut rows = Vec::new();
+    let mut truck_speedup = 0.0f64;
+    let mut all_exact = true;
+    for kind in SceneKind::ALL {
+        let scene = build_scene(kind);
+        let cam = scene.eval_cameras[0];
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            group_size: GROUP,
+            threads: 1,
+            ..Default::default()
+        };
+        let st = StreamingScene::new(scene.trained.clone(), cfg);
+
+        // --- DDA microbench on the frame's rays -------------------------
+        let grid = st.grid();
+        let (dx, dy, dz) = grid.dims();
+        let max_steps = 3 * (dx + dy + dz) + 6;
+        let rays = frame_rays(&cam);
+        // Production marcher must reproduce the twin exactly: same voxel
+        // list, same step count, on every ray of the frame.
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        for ray in &rays {
+            va.clear();
+            vb.clear();
+            let sa = dda::traverse_append(grid, ray, max_steps, &mut va);
+            let sb = dda::reference::traverse_append(grid, ray, max_steps, &mut vb);
+            assert_eq!(sa, sb, "step counts diverge");
+            assert_eq!(va, vb, "voxel lists diverge");
+        }
+        let mut buf = Vec::new();
+        let dda_ref_ms = ms_of(10, || {
+            black_box(dda_pass(
+                dda::reference::traverse_append,
+                grid,
+                &rays,
+                max_steps,
+                &mut buf,
+            ));
+        });
+        let dda_new_ms = ms_of(10, || {
+            black_box(dda_pass(
+                dda::traverse_append,
+                grid,
+                &rays,
+                max_steps,
+                &mut buf,
+            ));
+        });
+
+        // --- Blend microbench on the frame's splat streams --------------
+        let streams = capture_blend(&scene.trained, &cam, cfg.sh_degree);
+        let mask = vec![!0u64; ((GROUP * GROUP) as usize).div_ceil(64)];
+        // Replayed state equality: after every group both kernels must
+        // hold the identical full pixel state (PartialEq on the blender).
+        {
+            let (mut pa, mut pb) = (GroupBlender::default(), GroupBlender::default());
+            for stream in &streams {
+                let a = blend_pass(
+                    &mut pa,
+                    std::slice::from_ref(stream),
+                    &mask,
+                    scene.voxel_size,
+                    true,
+                );
+                let b = blend_pass(
+                    &mut pb,
+                    std::slice::from_ref(stream),
+                    &mask,
+                    scene.voxel_size,
+                    false,
+                );
+                assert_eq!(a, b, "fragment counts diverge");
+                assert_eq!(pa, pb, "blender states diverge");
+            }
+        }
+        let mut blender = GroupBlender::default();
+        let blend_ref_ms = ms_of(10, || {
+            black_box(blend_pass(
+                &mut blender,
+                &streams,
+                &mask,
+                scene.voxel_size,
+                false,
+            ));
+        });
+        let blend_new_ms = ms_of(10, || {
+            black_box(blend_pass(
+                &mut blender,
+                &streams,
+                &mask,
+                scene.voxel_size,
+                true,
+            ));
+        });
+        let dda_speedup = dda_ref_ms / dda_new_ms;
+        let blend_speedup = blend_ref_ms / blend_new_ms;
+        let combined = (dda_ref_ms + blend_ref_ms) / (dda_new_ms + blend_new_ms);
+        if kind == SceneKind::Truck {
+            truck_speedup = combined;
+        }
+
+        // --- Whole-frame exactness vs the payload twin ------------------
+        let mut exact = identical(&st.render(&cam), &st.render_payload_twin(&cam));
+        let mt = StreamingScene::new(scene.trained.clone(), StreamingConfig { threads: 0, ..cfg });
+        exact &= identical(&mt.render(&cam), &mt.render_payload_twin(&cam));
+        let vq = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                use_vq: true,
+                vq: if scale == BenchScale::Tiny {
+                    VqConfig::tiny()
+                } else {
+                    scale.vq_config()
+                },
+                ..cfg
+            },
+        );
+        exact &= identical(&vq.render(&cam), &vq.render_payload_twin(&cam));
+        let mut paged = StreamingScene::new(scene.trained.clone(), cfg);
+        paged.page_out(PageConfig::default());
+        exact &= identical(&paged.render(&cam), &paged.render_payload_twin(&cam));
+        all_exact &= exact;
+
+        table.row(&[
+            kind.name().to_string(),
+            format!("{dda_ref_ms:.4}"),
+            format!("{dda_new_ms:.4}"),
+            format!("{blend_ref_ms:.4}"),
+            format!("{blend_new_ms:.4}"),
+            format!("{combined:.2}x"),
+            exact.to_string(),
+        ]);
+        rows.push(format!(
+            "{{\"scene\":\"{}\",\"dda_ref_ms\":{:.5},\"dda_new_ms\":{:.5},\"blend_ref_ms\":{:.5},\"blend_new_ms\":{:.5},\"dda_speedup\":{:.3},\"blend_speedup\":{:.3},\"combined_speedup\":{:.3},\"exact\":{}}}",
+            kind.name(),
+            dda_ref_ms,
+            dda_new_ms,
+            blend_ref_ms,
+            blend_new_ms,
+            dda_speedup,
+            blend_speedup,
+            combined,
+            exact,
+        ));
+    }
+    println!("{table}");
+    println!("ref = pre-overhaul kernels kept as bit-exact twins (dda::reference, blend_reference); new = incremental-index DDA + lane-wise exp-culled blend (production).");
+
+    let speedup_ok = truck_speedup >= SPEEDUP_BAR;
+    println!(
+        "PAYLOAD_JSON {{\"bench\":\"payload\",\"cores\":{},\"group\":{GROUP},\"scenes\":[{}],\"truck_speedup\":{:.3},\"speedup_bar\":{SPEEDUP_BAR},\"speedup_ok\":{},\"exact_ok\":{}}}",
+        gs_bench::setup::cores(),
+        rows.join(","),
+        truck_speedup,
+        speedup_ok,
+        all_exact
+    );
+}

@@ -200,7 +200,8 @@ fn main() {
     println!("{table}");
 
     println!(
-        "ROBUST_JSON {{\"bench\":\"robust\",\"scene\":\"{}\",\"warm_verified_ms\":{:.4},\"warm_unverified_ms\":{:.4},\"overhead\":{:.4},\"overhead_bar\":{OVERHEAD_BAR},\"cold_v2_ms\":{:.3},\"cold_v1_ms\":{:.3},\"recover_ms\":{:.4},\"retries\":{},\"injected\":{},\"pages_lost\":{},\"degraded_voxels\":{},\"overhead_ok\":{},\"recovery_ok\":{},\"survive_ok\":{}}}",
+        "ROBUST_JSON {{\"bench\":\"robust\",\"cores\":{},\"scene\":\"{}\",\"warm_verified_ms\":{:.4},\"warm_unverified_ms\":{:.4},\"overhead\":{:.4},\"overhead_bar\":{OVERHEAD_BAR},\"cold_v2_ms\":{:.3},\"cold_v1_ms\":{:.3},\"recover_ms\":{:.4},\"retries\":{},\"injected\":{},\"pages_lost\":{},\"degraded_voxels\":{},\"overhead_ok\":{},\"recovery_ok\":{},\"survive_ok\":{}}}",
+        gs_bench::setup::cores(),
         SceneKind::Truck.name(),
         warm_v2,
         warm_v1,

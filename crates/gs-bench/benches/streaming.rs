@@ -349,7 +349,8 @@ fn main() {
 
     let speedup_ok = truck_speedup >= TRUCK_SPEEDUP_BAR;
     println!(
-        "STREAM_JSON {{\"bench\":\"streaming\",\"group\":{GROUP},\"scenes\":[{}],\"truck_speedup\":{:.3},\"speedup_bar\":{TRUCK_SPEEDUP_BAR},\"speedup_ok\":{},\"exact_ok\":{}}}",
+        "STREAM_JSON {{\"bench\":\"streaming\",\"cores\":{},\"group\":{GROUP},\"scenes\":[{}],\"truck_speedup\":{:.3},\"speedup_bar\":{TRUCK_SPEEDUP_BAR},\"speedup_ok\":{},\"exact_ok\":{}}}",
+        gs_bench::setup::cores(),
         rows.join(","),
         truck_speedup,
         speedup_ok,

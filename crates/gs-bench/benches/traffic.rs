@@ -148,7 +148,8 @@ fn main() {
 
     let reduction_ok = mean_reduction >= 0.9;
     println!(
-        "TRAFFIC_JSON {{\"bench\":\"traffic\",\"scenes\":[{}],\"mean_reduction\":{:.4},\"reduction_ok\":{},\"ledger_ok\":{}}}",
+        "TRAFFIC_JSON {{\"bench\":\"traffic\",\"cores\":{},\"scenes\":[{}],\"mean_reduction\":{:.4},\"reduction_ok\":{},\"ledger_ok\":{}}}",
+        gs_bench::setup::cores(),
         rows.join(","),
         mean_reduction,
         reduction_ok,

@@ -198,11 +198,80 @@ pub fn project_coarse(cam: &Camera, pos: Vec3, s_max: f32) -> Option<CoarseProje
 /// `exp(-½ dᵀ conic d)`, or 0 when the power is positive (numerically
 /// invalid), mirroring the reference rasterizer.
 pub fn falloff(conic: Sym2, d: Vec2) -> f32 {
-    let power = -0.5 * conic.quadratic_form(d);
+    falloff_from_power(falloff_power(conic, d))
+}
+
+/// The exponent of [`falloff`]: `-½ dᵀ conic d`.
+pub fn falloff_power(conic: Sym2, d: Vec2) -> f32 {
+    -0.5 * conic.quadratic_form(d)
+}
+
+/// Completes [`falloff`] from a precomputed [`falloff_power`] exponent.
+pub fn falloff_from_power(power: f32) -> f32 {
     if power > 0.0 {
         return 0.0;
     }
     power.exp()
+}
+
+/// Row-hoisted conic evaluation for lane-wise blenders.
+///
+/// For a fixed pixel-row offset `dy`, the quadratic form
+/// `a·dx² + 2b·dx·dy + c·dy²` shares the subterms `2b` (per splat) and
+/// `(c·dy)·dy` (per row) across every pixel of the row. [`Self::power_at`]
+/// hoists exactly those subtrees and keeps the remaining operations in the
+/// same association order as [`Sym2::quadratic_form`]
+/// (`((a·dx)·dx + ((2b)·dx)·dy) + (c·dy)·dy`), so the result is
+/// **bit-identical** to the scalar `falloff_power(conic, Vec2::new(dx, dy))`
+/// — hoisting is caching identical subtree evaluations, never re-associating
+/// them. (A forward-differenced quadratic would be cheaper still, but its
+/// running sums round differently and break byte-exactness.)
+#[derive(Copy, Clone, Debug)]
+pub struct RowFalloff {
+    a: f32,
+    tb: f32,
+    dy: f32,
+    cyy: f32,
+}
+
+impl RowFalloff {
+    /// Prepares a row at vertical offset `dy` from the splat mean.
+    pub fn new(conic: Sym2, dy: f32) -> RowFalloff {
+        RowFalloff {
+            a: conic.a,
+            tb: 2.0 * conic.b,
+            dy,
+            cyy: (conic.c * dy) * dy,
+        }
+    }
+
+    /// `falloff_power(conic, Vec2::new(dx, self.dy))`, bit-identically.
+    #[inline(always)]
+    pub fn power_at(self, dx: f32) -> f32 {
+        -0.5 * (self.a * dx * dx + self.tb * dx * self.dy + self.cyy)
+    }
+}
+
+/// Safety margin of [`cull_power_threshold`], in nats. Far larger than the
+/// combined rounding error of `ln` and `exp` (a few ulps), far smaller than
+/// the spacing of interesting power values.
+pub const CULL_MARGIN: f32 = 0.0625;
+
+/// Power threshold below which `opacity * falloff` is **guaranteed** to be
+/// below `alpha_eps`, so a blender may skip the pixel without evaluating
+/// `exp` — taking exactly the branch the scalar code takes at its
+/// `alpha < alpha_eps` test.
+///
+/// Conservative by construction: `power < ln(alpha_eps/opacity) − margin`
+/// implies `exp(power) < (alpha_eps/opacity)·e^−margin`, and the margin
+/// absorbs every rounding error in `ln`/`exp`/the final multiply. Edge
+/// cases degrade to "never cull" or "always cull" soundly: a negative
+/// `opacity` yields a NaN threshold (every `<` comparison false — the
+/// caller's exact path handles it), while a zero or denormal-positive
+/// `opacity` yields `+∞` (always cull — correct, since
+/// `alpha ≤ opacity < alpha_eps` already).
+pub fn cull_power_threshold(opacity: f32, alpha_eps: f32) -> f32 {
+    (alpha_eps / opacity).ln() - CULL_MARGIN
 }
 
 #[cfg(test)]
@@ -315,6 +384,77 @@ mod tests {
         let far = falloff(conic, Vec2::new(3.0, 0.0));
         assert!(near > far);
         assert!(far > 0.0);
+    }
+
+    #[test]
+    fn row_falloff_is_bit_identical_to_scalar() {
+        // The hoisted row evaluation must reproduce the scalar falloff to
+        // the last bit — this is what lets the lane-wise blender keep
+        // byte-identical images.
+        let conics = [
+            Sym2::new(0.5, 0.0, 0.5),
+            Sym2::new(1.7, -0.3, 0.9),
+            Sym2::new(0.02, 0.013, 3.5),
+            Sym2::new(123.0, 45.0, 67.0),
+        ];
+        for conic in conics {
+            for iy in -7..=7 {
+                let dy = iy as f32 * 0.83 + 0.5;
+                let row = RowFalloff::new(conic, dy);
+                for ix in -9..=9 {
+                    let dx = ix as f32 * 1.21 + 0.5;
+                    let d = Vec2::new(dx, dy);
+                    let scalar = falloff_power(conic, d);
+                    let hoisted = row.power_at(dx);
+                    assert_eq!(
+                        scalar.to_bits(),
+                        hoisted.to_bits(),
+                        "row-hoisted power diverged at d={d:?} conic={conic:?}"
+                    );
+                    assert_eq!(
+                        falloff(conic, d).to_bits(),
+                        falloff_from_power(hoisted).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cull_threshold_is_conservative() {
+        let alpha_eps = 1.0 / 255.0;
+        for &opacity in &[1.0f32, 0.99, 0.5, 0.1, 0.004, 1e-6] {
+            let thr = cull_power_threshold(opacity, alpha_eps);
+            // Any power below the threshold must yield alpha < eps — walk a
+            // band just under it.
+            for i in 1..100 {
+                let power = thr - i as f32 * 0.01;
+                if power < thr {
+                    let alpha = opacity * falloff_from_power(power);
+                    assert!(
+                        alpha < alpha_eps,
+                        "culled power {power} gave alpha {alpha} >= {alpha_eps} \
+                         (opacity {opacity})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cull_threshold_degrades_on_hostile_opacity() {
+        let alpha_eps = 1.0 / 255.0;
+        // Negative opacity: NaN threshold — `power < thr` always false,
+        // so the caller falls through to the exact path.
+        let thr = cull_power_threshold(-0.5, alpha_eps);
+        assert!(thr.is_nan(), "threshold must be NaN, got {thr}");
+        // Zero or denormal-positive opacity: +inf threshold — always cull,
+        // and that is correct because alpha <= opacity < eps everywhere.
+        let tiny = f32::from_bits(1);
+        for &opacity in &[0.0f32, tiny] {
+            assert_eq!(cull_power_threshold(opacity, alpha_eps), f32::INFINITY);
+            assert!(opacity * 1.0 < alpha_eps);
+        }
     }
 
     #[test]

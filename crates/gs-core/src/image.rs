@@ -125,6 +125,7 @@ impl ImageRgb {
         let mut acc = 0.0f64;
         for (a, b) in self.data.iter().zip(&other.data) {
             let d = *a - *b;
+            // gs-lint: allow(D006) fixed row-major pixel order; f64 quality metric, not render output
             acc += (d.x as f64).powi(2) + (d.y as f64).powi(2) + (d.z as f64).powi(2);
         }
         acc / (self.data.len() as f64 * 3.0)
@@ -147,6 +148,7 @@ impl ImageRgb {
         let mut acc = 0.0f64;
         for (a, b) in self.data.iter().zip(&other.data) {
             let d = (*a - *b).abs();
+            // gs-lint: allow(D006) fixed row-major pixel order; f64 quality metric, not render output
             acc += (d.x + d.y + d.z) as f64;
         }
         acc / (self.data.len() as f64 * 3.0)

@@ -104,6 +104,7 @@ impl Mat3 {
         for r in 0..3 {
             for c in 0..3 {
                 let d = self.m[r][c] - other.m[r][c];
+                // gs-lint: allow(D006) fixed row-major element order; diagnostic norm helper
                 acc += d * d;
             }
         }

@@ -4,7 +4,7 @@
 //! until a scene happens to trigger it.
 //!
 //! The analyzer tokenizes every `.rs` file (it never executes or expands
-//! anything) and checks five project-specific rules that clippy cannot
+//! anything) and checks six project-specific rules that clippy cannot
 //! express:
 //!
 //! | rule | hazard |
@@ -14,6 +14,7 @@
 //! | D003 | lock-order cycles in the static acquisition graph (`.lock()`/`.read()`/`.write()`/`lock_unpoisoned`) |
 //! | D004 | narrowing `as` casts in the serialization/format modules |
 //! | D005 | wall clock (`Instant::now`/`SystemTime`) or `thread::spawn` outside `gs-bench` and the `WorkerPool` internals |
+//! | D006 | float accumulation in reduction loops outside the blessed blend kernels (docs/DETERMINISM.md) |
 //!
 //! A violation can be suppressed only by an inline
 //! `// gs-lint: allow(D00x) <reason>` comment on the same line or the
@@ -361,7 +362,7 @@ fn lex_quoted(chars: &[char], i: usize, mut line: u32) -> (usize, u32) {
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `D001`..`D005`, or `A000` for a bad allow directive.
+    /// Rule id: `D001`..`D006`, or `A000` for a bad allow directive.
     pub rule: &'static str,
     pub path: String,
     pub line: u32,
@@ -395,6 +396,7 @@ impl LintReport {
             ("D003", 0),
             ("D004", 0),
             ("D005", 0),
+            ("D006", 0),
             ("A000", 0),
         ]
         .into_iter()
@@ -454,7 +456,7 @@ struct Allow {
     justified: bool,
 }
 
-const RULE_IDS: [&str; 5] = ["D001", "D002", "D003", "D004", "D005"];
+const RULE_IDS: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"];
 
 /// Parses `gs-lint: allow(D00x) <reason>` directives out of the comment
 /// list. Malformed directives and unknown rule ids become `A000`
@@ -718,7 +720,7 @@ fn fn_spans(toks: &[Tok], comments: &[Comment]) -> Vec<FnSpan> {
 }
 
 // ---------------------------------------------------------------------------
-// Rules D001 / D002 / D004 / D005 (per-file)
+// Rules D001 / D002 / D004 / D005 / D006 (per-file)
 // ---------------------------------------------------------------------------
 
 const D001_CRATES: [&str; 4] = ["gs-render", "gs-voxel", "gs-mem", "streaminggs"];
@@ -953,6 +955,200 @@ fn rule_d005(scope: &Scope, toks: &[Tok], tests: &[(usize, usize)], out: &mut Ve
     }
 }
 
+/// Crates whose float-summation order is part of the determinism contract:
+/// a reordered reduction changes output bytes, so every float accumulation
+/// loop there must be a blessed blend kernel or carry a justified allow.
+const D006_CRATES: [&str; 4] = ["gs-core", "gs-render", "gs-voxel", "streaminggs"];
+
+/// The blessed blend kernels — the only functions permitted to `+=`-reduce
+/// floats inside a loop without an inline allow. Each entry is
+/// (workspace-relative path suffix, fn name); the list is mirrored (with
+/// the *why*) in `docs/DETERMINISM.md`, so additions must touch both.
+const D006_BLESSED: [(&str, &str); 4] = [
+    ("gs-voxel/src/streaming.rs", "blend"),
+    ("gs-voxel/src/streaming.rs", "blend_reference"),
+    ("gs-render/src/rasterize.rs", "rasterize_tile"),
+    ("gs-render/src/reference.rs", "rasterize_tile_reference"),
+];
+
+/// Float scalar/vector types whose bindings seed the D006 name set.
+const D006_FLOAT_TYPES: [&str; 4] = ["f32", "f64", "Vec2", "Vec3"];
+
+/// Token-index ranges of `for`/`while`/`loop` bodies (brace inclusive).
+/// Braces nested in the loop *head* (closure bodies in iterator chains)
+/// are skipped; `impl Trait for Type` is filtered out by requiring an
+/// `in` keyword before a `for` body.
+fn loop_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let is_for = is_ident(t, "for");
+        if !(is_for || is_ident(t, "while") || is_ident(t, "loop")) {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut seen_in = false;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let u = &toks[j];
+            if is_punct(u, "(") || is_punct(u, "[") {
+                depth += 1;
+            } else if is_punct(u, ")") || is_punct(u, "]") {
+                depth -= 1;
+            } else if is_ident(u, "in") && depth == 0 {
+                seen_in = true;
+            } else if is_punct(u, "{") {
+                if depth == 0 {
+                    // `for` without `in` is `impl … for …` / an HRTB, not
+                    // a loop; its brace is an item body, not a loop body.
+                    if !is_for || seen_in {
+                        out.push((j, match_brace(toks, j)));
+                    }
+                    break;
+                }
+                // Closure body inside the head: step over it whole.
+                j = match_brace(toks, j);
+                continue;
+            } else if is_punct(u, ";") && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Pass 1 of D006: names bound to a float scalar/vector, via a type
+/// annotation (`acc: f32`, `out: &mut [Vec3]`, `color: Vec<Vec3>` — the
+/// walk-back skips reference/container wrappers) or a float-literal
+/// initialization (`let mut acc = 0.0`).
+fn d006_float_names(toks: &[Tok]) -> BTreeSet<&str> {
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && D006_FLOAT_TYPES.contains(&t.text.as_str()) {
+            let mut j = i;
+            while j > 0 {
+                let u = &toks[j - 1];
+                let wrapper = is_punct(u, "&")
+                    || is_punct(u, "<")
+                    || is_punct(u, "[")
+                    || is_ident(u, "mut")
+                    || is_ident(u, "Vec")
+                    || is_ident(u, "Box")
+                    || is_ident(u, "Arc");
+                if !wrapper {
+                    break;
+                }
+                j -= 1;
+            }
+            if j >= 2 && is_punct(&toks[j - 1], ":") && toks[j - 2].kind == TokKind::Ident {
+                names.insert(toks[j - 2].text.as_str());
+            }
+        }
+        // `acc = 1.0` / `= 1.0f32`. (`+=` spells `+`, `=` in this token
+        // stream and `==` spells `=`, `=`, so neither can bind a name
+        // here: the token two back is a punct, not an ident.)
+        if t.kind == TokKind::Num
+            && (t.text.contains('.') || t.text.contains("f32") || t.text.contains("f64"))
+            && i >= 2
+            && is_punct(&toks[i - 1], "=")
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            names.insert(toks[i - 2].text.as_str());
+        }
+    }
+    names
+}
+
+fn rule_d006(
+    scope: &Scope,
+    toks: &[Tok],
+    tests: &[(usize, usize)],
+    fns: &[FnSpan],
+    out: &mut Vec<Violation>,
+) {
+    if scope.is_test || !D006_CRATES.contains(&scope.crate_name.as_str()) {
+        return;
+    }
+    let names = d006_float_names(toks);
+    if names.is_empty() {
+        return;
+    }
+    let loops = loop_ranges(toks);
+    if loops.is_empty() {
+        return;
+    }
+    let blessed: Vec<(usize, usize)> = fns
+        .iter()
+        .filter(|f| {
+            D006_BLESSED
+                .iter()
+                .any(|(suffix, name)| scope.rel.ends_with(suffix) && f.name == *name)
+        })
+        .map(|f| f.body)
+        .collect();
+    for i in 0..toks.len() {
+        // `+=` / `-=` arrive as two adjacent punct tokens.
+        let op = if is_punct(&toks[i], "+") {
+            "+"
+        } else if is_punct(&toks[i], "-") {
+            "-"
+        } else {
+            continue;
+        };
+        if i + 1 >= toks.len() || !is_punct(&toks[i + 1], "=") {
+            continue;
+        }
+        if !in_ranges(i, &loops) || in_ranges(i, tests) || in_ranges(i, &blessed) {
+            continue;
+        }
+        // Receiver base: the identifier left of the operator, stepping
+        // back over index groups (`scores[i] +=`, `acc[p][q] +=`).
+        let mut j = i;
+        while j > 0 && is_punct(&toks[j - 1], "]") {
+            let mut depth = 0i64;
+            let mut k = j - 1;
+            loop {
+                if is_punct(&toks[k], "]") {
+                    depth += 1;
+                } else if is_punct(&toks[k], "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if depth != 0 {
+                break;
+            }
+            j = k;
+        }
+        if j == 0 {
+            continue;
+        }
+        let recv = &toks[j - 1];
+        if recv.kind != TokKind::Ident || !names.contains(recv.text.as_str()) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "D006",
+            path: scope.rel.clone(),
+            line: toks[i].line,
+            msg: format!(
+                "float accumulation: `{}` is `{}=`-reduced inside a loop — summation order \
+                 is part of the determinism contract; keep reductions in the blessed blend \
+                 kernels (docs/DETERMINISM.md) or justify the fixed order with an allow",
+                recv.text, op
+            ),
+        });
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Rule D003 (cross-file, per-crate lock-order graph)
 // ---------------------------------------------------------------------------
@@ -1156,6 +1352,7 @@ impl Analyzer {
         rule_d002(&scope, &toks, &tests, &fns, &mut self.pending);
         rule_d004(&scope, &toks, &tests, &mut self.pending);
         rule_d005(&scope, &toks, &tests, &mut self.pending);
+        rule_d006(&scope, &toks, &tests, &fns, &mut self.pending);
         self.locks
             .extend(collect_locks(&scope, &toks, &fns, &tests));
     }

@@ -310,6 +310,99 @@ pub fn f() { let _t = Instant::now(); let _h = std::thread::spawn(|| 0u32); }
     }
 }
 
+// ------------------------------------------------------------------ D006
+
+/// A blend-kernel-shaped accumulator: flagged everywhere except inside a
+/// blessed (path, fn) pair.
+const D006_BLEND: &str = r#"
+pub struct B { color: Vec<Vec3>, transmittance: Vec<f32> }
+impl B {
+    pub fn blend(&mut self, w: &[f32]) {
+        for (i, x) in w.iter().enumerate() {
+            self.color[i] += Vec3::splat(*x);
+            self.transmittance[i] -= *x;
+        }
+    }
+}
+"#;
+
+#[test]
+fn d006_flags_scalar_and_indexed_float_accumulation() {
+    let src = r#"
+pub fn reduce(xs: &[f32], scores: &mut [f32]) -> f32 {
+    let mut acc = 0.0;
+    for (i, x) in xs.iter().enumerate() {
+        acc += *x;
+        scores[i] += *x;
+    }
+    acc
+}
+"#;
+    let r = lint_one("crates/gs-render/src/fake.rs", src);
+    assert_eq!(rules(&r), vec!["D006", "D006"], "{:?}", r.violations);
+}
+
+#[test]
+fn d006_exempts_only_the_blessed_path_fn_pairs() {
+    // Inside the blessed kernel: clean.
+    let r = lint_one("crates/gs-voxel/src/streaming.rs", D006_BLEND);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+    // The same function body anywhere else is two violations.
+    let r = lint_one("crates/gs-voxel/src/other.rs", D006_BLEND);
+    assert_eq!(rules(&r), vec!["D006", "D006"], "{:?}", r.violations);
+}
+
+#[test]
+fn d006_ignores_integer_accumulation_and_non_loop_adds() {
+    let src = r#"
+pub fn scale(v: f32) -> f32 { v * 2.0 }
+pub fn count(xs: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for x in xs { total += *x as u64; }
+    total
+}
+pub fn bump(acc: &mut f32, x: f32) { *acc += x; }
+"#;
+    let r = lint_one("crates/gs-voxel/src/fake.rs", src);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d006_exempts_test_code_and_out_of_scope_crates() {
+    let r = lint_one("crates/gs-baselines/src/fake.rs", D006_BLEND);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut acc = 0.0f32;
+        for x in [1.0f32, 2.0] { acc += x; }
+        assert!(acc > 0.0);
+    }
+}
+"#;
+    let r = lint_one("crates/gs-core/src/fake.rs", src);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn d006_justified_allow_suppresses() {
+    let src = r#"
+pub fn mse(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in xs {
+        // gs-lint: allow(D006) fixed slice order; diagnostic metric only
+        acc += x * x;
+    }
+    acc
+}
+"#;
+    let r = lint_one("crates/gs-core/src/fake.rs", src);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows_used, 1);
+}
+
 // ------------------------------------------------ allow directives / A000
 
 #[test]

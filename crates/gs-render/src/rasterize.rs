@@ -12,7 +12,7 @@
 use crate::binning::TileKey;
 use crate::projection::Splat;
 use crate::{ALPHA_EPS, ALPHA_MAX, TILE_SIZE, TRANSMITTANCE_EPS};
-use gs_core::vec::{Vec2, Vec3};
+use gs_core::vec::Vec3;
 
 /// Per-tile rasterization counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -129,18 +129,27 @@ pub fn rasterize_tile(
             continue;
         }
 
+        // Margin-backed power threshold: any pixel whose Gaussian power
+        // falls below it is *proven* to blend at alpha < ALPHA_EPS, so the
+        // `exp` can be skipped while the `skipped` counter still advances
+        // exactly as the evaluate-then-compare path would.
+        let cull = gs_core::ewa::cull_power_threshold(s.opacity, ALPHA_EPS);
         for ly in ly0 as usize..=ly1 as usize {
             let row = ly * n;
+            let py = (origin.1 + ly as u32) as f32 + 0.5;
+            let rowf = gs_core::ewa::RowFalloff::new(s.conic, py - s.mean_px.y);
             for lx in lx0 as usize..=lx1 as usize {
                 let pi = row + lx;
                 if done[pi] {
                     continue;
                 }
                 let px = (origin.0 + lx as u32) as f32 + 0.5;
-                let py = (origin.1 + ly as u32) as f32 + 0.5;
-                let d = Vec2::new(px - s.mean_px.x, py - s.mean_px.y);
-                let w = gs_core::ewa::falloff(s.conic, d);
-                let alpha = (s.opacity * w).min(ALPHA_MAX);
+                let power = rowf.power_at(px - s.mean_px.x);
+                if power < cull {
+                    outcome.skipped += 1;
+                    continue;
+                }
+                let alpha = (s.opacity * gs_core::ewa::falloff_from_power(power)).min(ALPHA_MAX);
                 if alpha < ALPHA_EPS {
                     outcome.skipped += 1;
                     continue;

@@ -4,8 +4,20 @@
 //! (paper Sec. IV-B). We implement exact grid traversal rather than point
 //! sampling: it visits precisely the cells the ray passes through, in
 //! front-to-back order, which is what the renaming/ordering hardware needs.
+//!
+//! The public trio ([`traverse`] / [`traverse_into`] / [`traverse_append`])
+//! shares one core marcher ([`march`]) whose step loop carries an
+//! **incremental linear cell index** (one stride add per step instead of
+//! recomputing `(z*ny + y)*nx + x`) and replaces the post-step six-compare
+//! bounds test with per-axis remaining-step counters, leaving one
+//! remaining-cells check on the stepped axis as the only per-step branch
+//! beyond the axis cascade. Every transformation is
+//! step-for-step identical to the original loop — [`reference`] keeps that
+//! loop verbatim, and the `payload` bench plus the property suite pin the
+//! two against each other (same voxel lists, same step counts, on random
+//! grids and rays).
 
-use crate::grid::VoxelGrid;
+use crate::grid::{Cell, VoxelGrid, EMPTY_CELL};
 use gs_core::geom::Ray;
 
 /// Result of traversing one ray.
@@ -41,6 +53,59 @@ pub fn traverse_into(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut V
 /// the per-ray end offsets). This is the streaming renderer's ray-grid
 /// building block — each DDA worker chunk appends its rays back to back.
 pub fn traverse_append(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut Vec<u32>) -> u32 {
+    let table = grid.cell_table();
+    march(grid, ray, max_steps, |_, lin| {
+        let v = table[lin];
+        if v != EMPTY_CELL {
+            // A ray re-entering the same voxel id cannot happen in a convex
+            // cell walk, so no dedup needed.
+            voxels.push(v);
+        }
+    })
+}
+
+/// Instrumented marcher for the exactness suite: records every visited
+/// cell (occupied or empty) together with the incremental linear index the
+/// step loop carried at that step. The property tests recompute
+/// `(z*ny + y)*nx + x` from the recorded cell and assert equality.
+#[doc(hidden)]
+pub fn traverse_cells(
+    grid: &VoxelGrid,
+    ray: &Ray,
+    max_steps: u32,
+    out: &mut Vec<(Cell, usize)>,
+) -> u32 {
+    out.clear();
+    march(grid, ray, max_steps, |cell, lin| out.push((cell, lin)))
+}
+
+/// The core marcher every traversal entry point funnels into. Calls
+/// `visit(cell, lin)` once per DDA step — `lin` is the linear cell-table
+/// index, maintained incrementally — and returns the step count.
+///
+/// Bit-exactness notes (this loop must reproduce [`reference`] exactly):
+///
+/// - The `t_max`/`t_delta` setup keeps the **division** by `dir[a]`.
+///   Multiplying by a precomputed `1.0 / dir[a]` is not the same rounding
+///   (`vs * (1/d)` and `vs / d` can differ in the last ulp), and a one-ulp
+///   flip at a `t_max` tie changes which intermediate cell the walk visits
+///   — a different voxel list, hence different image bytes downstream.
+/// - The axis-select cascade is the original's, verbatim (same `<=`
+///   tie-toward-lower-axis rule); each arm updates its own scalar state,
+///   which keeps the whole step loop in registers (a dynamically indexed
+///   `t_max[axis]` forces the arrays onto the stack and costs more than
+///   the cascade's branches, which predict well on coherent camera rays).
+/// - The per-axis `rem` counters replace the original's post-step
+///   six-compare bounds test: the entry cell is in bounds and each step
+///   moves exactly one axis by ±1, so the walk leaves the grid precisely
+///   when the stepped axis has no remaining cells. Breaking *before* the
+///   final `t_max`/cell update (instead of after, as the original does) is
+///   unobservable — both loops have already counted the step and visited
+///   the cell, and the discarded updates touch only locals. An axis with
+///   `step == 0` keeps `rem == u32::MAX`; it is never selected before the
+///   `t_exit` break because its `t_max` stays infinite.
+#[inline(always)]
+fn march<F: FnMut(Cell, usize)>(grid: &VoxelGrid, ray: &Ray, max_steps: u32, mut visit: F) -> u32 {
     let mut steps = 0u32;
     let bounds = grid.bounds();
     let Some((t_enter, t_exit)) = bounds.intersect_ray(ray) else {
@@ -66,10 +131,18 @@ pub fn traverse_append(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut
     // does not cross. The seed instead nudged the whole point eps along the
     // ray and clamped the result into the grid — a grazing ray whose nudge
     // landed outside got clamped into a row of cells it never enters.
+    //
+    // The per-axis step direction, t to next boundary, t per cell, and
+    // remaining-cell counter are derived in the same pass (the setup only
+    // reads this axis's entry cell).
     let eps = 1e-5 * vs.max(1.0);
     let p = ray.at(t_start);
     let entry = [p.x, p.y, p.z];
     let mut cell = [0i32; 3];
+    let mut step = [0i32; 3];
+    let mut t_max = [f32::INFINITY; 3];
+    let mut t_delta = [f32::INFINITY; 3];
+    let mut rem = [u32::MAX; 3];
     for a in 0..3 {
         let nudge = if dir[a] > 1e-12 {
             eps
@@ -98,56 +171,185 @@ pub fn traverse_append(grid: &VoxelGrid, ray: &Ray, max_steps: u32, voxels: &mut
             }
         }
         cell[a] = c;
-    }
-
-    // Per-axis step direction, t to next boundary, and t per cell.
-    let mut step = [0i32; 3];
-    let mut t_max = [f32::INFINITY; 3];
-    let mut t_delta = [f32::INFINITY; 3];
-    for a in 0..3 {
         if dir[a] > 1e-12 {
             step[a] = 1;
-            let boundary = grid_org[a] + (cell[a] + 1) as f32 * vs;
+            let boundary = grid_org[a] + (c + 1) as f32 * vs;
             t_max[a] = (boundary - org[a]) / dir[a];
             t_delta[a] = vs / dir[a];
+            rem[a] = (hi - c) as u32;
         } else if dir[a] < -1e-12 {
             step[a] = -1;
-            let boundary = grid_org[a] + cell[a] as f32 * vs;
+            let boundary = grid_org[a] + c as f32 * vs;
             t_max[a] = (boundary - org[a]) / dir[a];
             t_delta[a] = vs / -dir[a];
+            rem[a] = c as u32;
         }
     }
 
+    // Incremental linear index: strides [1, nx, nx·ny], one add per step.
+    let mut lin =
+        (cell[2] as i64 * dims[1] as i64 + cell[1] as i64) * dims[0] as i64 + cell[0] as i64;
+    let dlx = step[0] as i64;
+    let dly = step[1] as i64 * dims[0] as i64;
+    let dlz = step[2] as i64 * dims[0] as i64 * dims[1] as i64;
+
+    // Scalar per-axis loop state (register-resident; see the doc above).
     let (mut cx, mut cy, mut cz) = (cell[0], cell[1], cell[2]);
+    let (mut tmx, mut tmy, mut tmz) = (t_max[0], t_max[1], t_max[2]);
+    let (tdx, tdy, tdz) = (t_delta[0], t_delta[1], t_delta[2]);
+    let (mut rx, mut ry, mut rz) = (rem[0], rem[1], rem[2]);
+
     for _ in 0..max_steps {
         steps += 1;
-        if let Some(v) = grid.voxel_at((cx, cy, cz)) {
-            // A ray re-entering the same voxel id cannot happen in a convex
-            // cell walk, so no dedup needed.
-            voxels.push(v);
-        }
-        // Advance along the axis with the nearest boundary.
-        let axis = if t_max[0] <= t_max[1] && t_max[0] <= t_max[2] {
-            0
-        } else if t_max[1] <= t_max[2] {
-            1
+        visit((cx, cy, cz), lin as usize);
+        // Advance along the axis with the nearest boundary (the original
+        // cascade; ties prefer the lower axis).
+        if tmx <= tmy && tmx <= tmz {
+            if tmx > t_exit || rx == 0 {
+                break;
+            }
+            rx -= 1;
+            tmx += tdx;
+            cx += step[0];
+            lin += dlx;
+        } else if tmy <= tmz {
+            if tmy > t_exit || ry == 0 {
+                break;
+            }
+            ry -= 1;
+            tmy += tdy;
+            cy += step[1];
+            lin += dly;
         } else {
-            2
-        };
-        if t_max[axis] > t_exit {
-            break;
-        }
-        t_max[axis] += t_delta[axis];
-        match axis {
-            0 => cx += step[0],
-            1 => cy += step[1],
-            _ => cz += step[2],
-        }
-        if cx < 0 || cy < 0 || cz < 0 || cx >= dx as i32 || cy >= dy as i32 || cz >= dz as i32 {
-            break;
+            if tmz > t_exit || rz == 0 {
+                break;
+            }
+            rz -= 1;
+            tmz += tdz;
+            cz += step[2];
+            lin += dlz;
         }
     }
     steps
+}
+
+/// The pre-overhaul traversal loop, kept verbatim as the bit-exact
+/// reference twin. The `payload` bench times [`traverse_append`] against
+/// [`reference::traverse_append`] and asserts identical voxel lists and
+/// step counts; the property suite does the same over random grids/rays.
+pub mod reference {
+    use super::{Ray, RayVoxels, VoxelGrid};
+
+    /// Reference twin of [`super::traverse`].
+    pub fn traverse(grid: &VoxelGrid, ray: &Ray, max_steps: u32) -> RayVoxels {
+        let mut out = RayVoxels::default();
+        out.steps = traverse_append(grid, ray, max_steps, &mut out.voxels);
+        out
+    }
+
+    /// Reference twin of [`super::traverse_append`]: the original step
+    /// loop — per-step `voxel_at` (recomputed `(z*ny + y)*nx + x` plus
+    /// six-compare bounds test) and the three-way axis cascade.
+    pub fn traverse_append(
+        grid: &VoxelGrid,
+        ray: &Ray,
+        max_steps: u32,
+        voxels: &mut Vec<u32>,
+    ) -> u32 {
+        let mut steps = 0u32;
+        let bounds = grid.bounds();
+        let Some((t_enter, t_exit)) = bounds.intersect_ray(ray) else {
+            return steps;
+        };
+        let t_start = t_enter.max(0.0);
+        if t_exit < t_start {
+            return steps;
+        }
+
+        let (dx, dy, dz) = grid.dims();
+        let vs = grid.voxel_size();
+        let origin = grid.origin();
+        let dir = [ray.dir.x, ray.dir.y, ray.dir.z];
+        let org = [ray.origin.x, ray.origin.y, ray.origin.z];
+        let grid_org = [origin.x, origin.y, origin.z];
+        let dims = [dx as i32, dy as i32, dz as i32];
+
+        let eps = 1e-5 * vs.max(1.0);
+        let p = ray.at(t_start);
+        let entry = [p.x, p.y, p.z];
+        let mut cell = [0i32; 3];
+        for a in 0..3 {
+            let nudge = if dir[a] > 1e-12 {
+                eps
+            } else if dir[a] < -1e-12 {
+                -eps
+            } else {
+                0.0
+            };
+            let mut c = ((entry[a] + nudge - grid_org[a]) / vs).floor() as i32;
+            let hi = dims[a] - 1;
+            if c < 0 {
+                if dir[a] >= -1e-12 && entry[a] >= grid_org[a] - eps {
+                    c = 0;
+                } else {
+                    return steps;
+                }
+            } else if c > hi {
+                let face = grid_org[a] + dims[a] as f32 * vs;
+                if dir[a] <= 1e-12 && entry[a] <= face + eps {
+                    c = hi;
+                } else {
+                    return steps;
+                }
+            }
+            cell[a] = c;
+        }
+
+        let mut step = [0i32; 3];
+        let mut t_max = [f32::INFINITY; 3];
+        let mut t_delta = [f32::INFINITY; 3];
+        for a in 0..3 {
+            if dir[a] > 1e-12 {
+                step[a] = 1;
+                let boundary = grid_org[a] + (cell[a] + 1) as f32 * vs;
+                t_max[a] = (boundary - org[a]) / dir[a];
+                t_delta[a] = vs / dir[a];
+            } else if dir[a] < -1e-12 {
+                step[a] = -1;
+                let boundary = grid_org[a] + cell[a] as f32 * vs;
+                t_max[a] = (boundary - org[a]) / dir[a];
+                t_delta[a] = vs / -dir[a];
+            }
+        }
+
+        let (mut cx, mut cy, mut cz) = (cell[0], cell[1], cell[2]);
+        for _ in 0..max_steps {
+            steps += 1;
+            if let Some(v) = grid.voxel_at((cx, cy, cz)) {
+                voxels.push(v);
+            }
+            let axis = if t_max[0] <= t_max[1] && t_max[0] <= t_max[2] {
+                0
+            } else if t_max[1] <= t_max[2] {
+                1
+            } else {
+                2
+            };
+            if t_max[axis] > t_exit {
+                break;
+            }
+            t_max[axis] += t_delta[axis];
+            match axis {
+                0 => cx += step[0],
+                1 => cy += step[1],
+                _ => cz += step[2],
+            }
+            if cx < 0 || cy < 0 || cz < 0 || cx >= dx as i32 || cy >= dy as i32 || cz >= dz as i32 {
+                break;
+            }
+        }
+        steps
+    }
 }
 
 #[cfg(test)]
@@ -358,5 +560,64 @@ mod tests {
         let r = traverse(&grid, &ray, 2);
         assert!(r.steps <= 2);
         assert!(r.voxels.len() <= 2);
+    }
+
+    #[test]
+    fn production_matches_reference_twin_on_awkward_rays() {
+        // The marcher must agree with the kept original loop step for step:
+        // identical voxel lists *and* identical step counts, including on
+        // the grazing / corner / truncated cases above.
+        let (_, grid) = row_grid();
+        let b = grid.bounds();
+        let z = 0.5 * (b.min.z + b.max.z);
+        let rays = [
+            Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X),
+            Ray::new(Vec3::new(5.0, 0.5, 0.5), -Vec3::X),
+            Ray::new(Vec3::new(1.5, 0.5, 0.5), Vec3::X),
+            Ray::new(Vec3::new(0.0, 10.0, 0.0), Vec3::X),
+            Ray::new(
+                Vec3::new(-0.8, 0.4, 0.62),
+                Vec3::new(1.0, 0.12, -0.07).normalized(),
+            ),
+            Ray::new(
+                Vec3::new(b.min.x - 1.0, b.max.y - 0.1, z),
+                Vec3::new(1.0, 0.1, 0.0),
+            ),
+            Ray::new(Vec3::new(b.min.x - 1.0, b.max.y, z), Vec3::X),
+            Ray::new(
+                Vec3::new(b.min.x - 1.0, b.max.y + 0.05, z),
+                Vec3::new(1.0, -0.05, 0.0),
+            ),
+        ];
+        for ray in &rays {
+            for max_steps in [2u32, 100] {
+                assert_eq!(
+                    traverse(&grid, ray, max_steps),
+                    reference::traverse(&grid, ray, max_steps),
+                    "marcher diverged from reference on {ray:?} (max_steps {max_steps})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_linear_index_matches_recomputation() {
+        let (_, grid) = row_grid();
+        let (nx, ny, _) = grid.dims();
+        let dir = Vec3::new(1.0, 0.12, -0.07).normalized();
+        let ray = Ray::new(Vec3::new(-0.8, 0.4, 0.62), dir);
+        let mut cells = Vec::new();
+        let steps = traverse_cells(&grid, &ray, 1000, &mut cells);
+        assert_eq!(steps as usize, cells.len());
+        assert!(!cells.is_empty());
+        for &((x, y, z), lin) in &cells {
+            let expect = (z as usize * ny as usize + y as usize) * nx as usize + x as usize;
+            assert_eq!(
+                lin,
+                expect,
+                "incremental index drifted at cell {:?}",
+                (x, y, z)
+            );
+        }
     }
 }

@@ -127,6 +127,13 @@ impl VoxelGrid {
         self.cell_table.len()
     }
 
+    /// The dense linear cell table (index `(z*ny + y)*nx + x` → renamed
+    /// voxel id or [`EMPTY_CELL`]). The DDA marcher indexes this directly
+    /// with its incrementally-maintained linear index.
+    pub(crate) fn cell_table(&self) -> &[u32] {
+        &self.cell_table
+    }
+
     /// World-space bounding box of the whole grid.
     pub fn bounds(&self) -> Aabb {
         let e = Vec3::new(

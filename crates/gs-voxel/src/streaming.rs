@@ -328,6 +328,23 @@ enum FetchPath<'a> {
     },
 }
 
+/// Which implementation of the two payload kernels (DDA march, EWA blend)
+/// a frame runs. [`PayloadKernels::Production`] is the overhauled pair;
+/// [`PayloadKernels::Reference`] runs the kept-verbatim originals
+/// ([`crate::dda::reference`] and [`GroupBlender::blend_reference`]).
+/// Everything else — filtering, ordering, fetching, metering — is shared,
+/// so the two selections must produce byte-identical frames; the `payload`
+/// bench and the exactness suite assert it on every scene kind, raw and
+/// VQ, resident and paged, for any worker count.
+#[doc(hidden)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PayloadKernels {
+    /// Incremental-index DDA marcher + lane-wise blender.
+    Production,
+    /// The pre-overhaul kernels, kept verbatim as bit-exact twins.
+    Reference,
+}
+
 /// A scene prepared for streaming: voxelized layout, the voxel-resident
 /// columnar store, and optional codebooks.
 ///
@@ -558,7 +575,29 @@ impl StreamingScene {
         cam: &Camera,
         out: &mut StreamingOutput,
     ) -> Result<(), StoreError> {
-        self.render_frame(cam, &FetchPath::Store, out)
+        self.render_frame(cam, &FetchPath::Store, PayloadKernels::Production, out)
+    }
+
+    /// Whole-frame twin of [`StreamingScene::render`] running the
+    /// kept-verbatim payload kernels ([`PayloadKernels::Reference`]):
+    /// the original DDA step loop and pixel-at-a-time blender. Exists
+    /// purely so the exactness suite and the `payload` bench can assert
+    /// that the overhauled kernels change no byte of any frame — image,
+    /// workload, violations and ledger must all compare equal.
+    ///
+    /// # Panics
+    ///
+    /// On a [`StoreError`] from a paged backing, like
+    /// [`StreamingScene::render`].
+    #[doc(hidden)]
+    pub fn render_payload_twin(&self, cam: &Camera) -> StreamingOutput {
+        let mut out = StreamingOutput::default();
+        if let Err(e) =
+            self.render_frame(cam, &FetchPath::Store, PayloadKernels::Reference, &mut out)
+        {
+            panic!("payload-twin render failed: {e}");
+        }
+        out
     }
 
     /// Byte-exactness reference twin of [`StreamingScene::render`]: fetches
@@ -584,7 +623,8 @@ impl StreamingScene {
             None => &self.source,
         };
         let mut out = StreamingOutput::default();
-        if let Err(e) = self.render_frame(cam, &FetchPath::CloudTwin { render }, &mut out) {
+        let path = FetchPath::CloudTwin { render };
+        if let Err(e) = self.render_frame(cam, &path, PayloadKernels::Production, &mut out) {
             panic!("cloud-twin render failed: {e}");
         }
         out
@@ -594,6 +634,7 @@ impl StreamingScene {
         &self,
         cam: &Camera,
         path: &FetchPath<'_>,
+        kernels: PayloadKernels,
         out: &mut StreamingOutput,
     ) -> Result<(), StoreError> {
         // The frame's degradation counters are deltas over this snapshot
@@ -667,6 +708,7 @@ impl StreamingScene {
                     width,
                     height,
                     path,
+                    kernels,
                     group_scratch,
                     buf,
                     ray_pool.as_deref_mut(),
@@ -726,6 +768,7 @@ impl StreamingScene {
                         width,
                         height,
                         path,
+                        kernels,
                         group_scratch,
                         buf,
                         None,
@@ -909,6 +952,7 @@ impl StreamingScene {
         width: u32,
         height: u32,
         path: &FetchPath<'_>,
+        kernels: PayloadKernels,
         scratch: &mut GroupScratch,
         pixels: &mut [Vec3],
         pool: Option<&mut WorkerPool>,
@@ -976,6 +1020,13 @@ impl StreamingScene {
         }
         let per = n_rays.div_ceil(ray_jobs);
         let grid = &self.grid;
+        // Kernel selection is a per-group fn-pointer / branch, not a code
+        // path split: everything around the two kernels is shared, which
+        // is what makes the production/reference comparison meaningful.
+        let dda: fn(&VoxelGrid, &gs_core::geom::Ray, u32, &mut Vec<u32>) -> u32 = match kernels {
+            PayloadKernels::Production => traverse_append,
+            PayloadKernels::Reference => crate::dda::reference::traverse_append,
+        };
         let fill = |chunk: &mut RayChunk, j: usize| {
             let r0 = (j * per).min(n_rays);
             let r1 = ((j + 1) * per).min(n_rays);
@@ -987,7 +1038,7 @@ impl StreamingScene {
                 let px = px0 + (r as u32 % nx) * stride;
                 let py = py0 + (r as u32 / nx) * stride;
                 let ray = cam.pixel_ray(px as f32 + 0.5, py as f32 + 0.5);
-                chunk.steps += traverse_append(grid, &ray, max_steps, &mut chunk.voxels) as u64;
+                chunk.steps += dda(grid, &ray, max_steps, &mut chunk.voxels) as u64;
                 chunk.ends.push(chunk.voxels.len() as u32);
             }
         };
@@ -1194,7 +1245,10 @@ impl StreamingScene {
             // Blend into the whole group; violations are counted on the
             // masked (ray-intersecting) pixels only.
             for (gi, s) in splats.iter() {
-                let frag = blend.blend(s, &mask.words);
+                let frag = match kernels {
+                    PayloadKernels::Production => blend.blend(s, &mask.words),
+                    PayloadKernels::Reference => blend.blend_reference(s, &mask.words),
+                };
                 w.blend_lanes += frag.lanes;
                 w.blend_fragments += frag.blended;
                 if frag.violations > 0 {
@@ -1554,12 +1608,24 @@ impl MaskScratch {
     pub fn any_live(&self, done_words: &[u64]) -> bool {
         self.words.iter().zip(done_words).any(|(m, d)| m & !d != 0)
     }
+
+    /// The packed mask words of the current voxel (for the `payload`
+    /// bench's blend replay).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
-struct FragOutcome {
-    lanes: u64,
-    blended: u64,
-    violations: u64,
+/// Per-splat blend outcome counters (exposed for the `payload` bench).
+#[doc(hidden)]
+#[derive(Debug, PartialEq, Eq)]
+pub struct FragOutcome {
+    /// Guard-passing bbox pixels considered (done or not).
+    pub lanes: u64,
+    /// Pixels actually blended (`alpha >= ALPHA_EPS`, not saturated).
+    pub blended: u64,
+    /// Blends that violated front-to-back order beyond the slack.
+    pub violations: u64,
 }
 
 /// On-chip partial pixel state for one group, persisting across voxels.
@@ -1568,8 +1634,14 @@ struct FragOutcome {
 /// packed `u64` bitset (`done_words`), shared with the per-voxel live test
 /// (`mask & !done`); blending arithmetic is bit-identical to the seed's
 /// byte-per-pixel version — only the bookkeeping representation changed.
-#[derive(Debug, Default)]
-struct GroupBlender {
+///
+/// [`GroupBlender::blend`] is the lane-wise production kernel;
+/// [`GroupBlender::blend_reference`] keeps the original pixel-at-a-time
+/// loop verbatim as its bit-exact twin (`PartialEq` compares the full
+/// pixel state, so the `payload` bench can assert replayed equality).
+#[doc(hidden)]
+#[derive(Debug, Default, PartialEq)]
+pub struct GroupBlender {
     rect: TileRect,
     size: usize,
     violation_slack: f32,
@@ -1593,7 +1665,8 @@ impl GroupBlender {
         self.done_words[pi >> 6] |= 1 << (pi & 63);
     }
 
-    fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
+    /// Re-initializes the blender for a group (buffers reused in place).
+    pub fn reset(&mut self, rect: TileRect, group_size: u32, voxel_size: f32) {
         let n = group_size as usize;
         self.rect = rect;
         self.size = n;
@@ -1621,7 +1694,110 @@ impl GroupBlender {
         self.live = live;
     }
 
-    fn blend(&mut self, s: &FineSplat, mask: &[u64]) -> FragOutcome {
+    /// Lane-wise production blend kernel: walks the row's `!done` words
+    /// directly (iterating set bits instead of testing pixels one at a
+    /// time), hoists the conic's per-row subterms
+    /// ([`gs_core::ewa::RowFalloff`]), and skips the `exp` for pixels whose
+    /// falloff power is provably below the `alpha < ALPHA_EPS` cutoff
+    /// ([`gs_core::ewa::cull_power_threshold`]).
+    ///
+    /// Byte-exactness vs [`GroupBlender::blend_reference`]:
+    ///
+    /// - Per-pixel state is independent (each bbox pixel is visited at
+    ///   most once per splat), so skipping done pixels by bitmask instead
+    ///   of a per-pixel `continue` reaches the same pixels in the same
+    ///   ascending order with the same values.
+    /// - `lanes` counts every guard-passing bbox pixel, done or not; the
+    ///   guards are separable per axis, so the count is the product of the
+    ///   clamped per-axis ranges — computed arithmetically, not by loop.
+    /// - The per-pixel alpha/violation/transmittance math is the original
+    ///   operation sequence: `RowFalloff::power_at` reproduces the scalar
+    ///   `falloff` exponent bit-for-bit (hoisting caches identical
+    ///   subtrees, never re-associates), and the exp-cull only skips
+    ///   pixels the scalar path would have dropped at `alpha < ALPHA_EPS`
+    ///   anyway (no state change, not counted as blended).
+    pub fn blend(&mut self, s: &FineSplat, mask: &[u64]) -> FragOutcome {
+        let n = self.size;
+        let mut out = FragOutcome {
+            lanes: 0,
+            blended: 0,
+            violations: 0,
+        };
+        // Restrict to the splat's bbox within the group (same float ops as
+        // the reference twin).
+        let x_lo = (s.mean_px.x - s.radius_px).max(self.rect.x0).floor() as i64;
+        let x_hi = (s.mean_px.x + s.radius_px).min(self.rect.x1 - 1.0).ceil() as i64;
+        let y_lo = (s.mean_px.y - s.radius_px).max(self.rect.y0).floor() as i64;
+        let y_hi = (s.mean_px.y + s.radius_px).min(self.rect.y1 - 1.0).ceil() as i64;
+        // Clamp to the guard-passing group-local pixel ranges: the twin
+        // skips `px < x0 || py < y0` and `lx >= n || ly >= n` per pixel;
+        // both conditions are per-axis, so they clamp the ranges instead.
+        let (x0, y0) = (self.rect.x0 as i64, self.rect.y0 as i64);
+        let lx_lo = (x_lo - x0).max(0);
+        let lx_hi = (x_hi - x0).min(n as i64 - 1);
+        let ly_lo = (y_lo - y0).max(0);
+        let ly_hi = (y_hi - y0).min(n as i64 - 1);
+        if lx_lo > lx_hi || ly_lo > ly_hi {
+            return out;
+        }
+        // Every guard-passing bbox pixel is one lane, done or not.
+        out.lanes = (lx_hi - lx_lo + 1) as u64 * (ly_hi - ly_lo + 1) as u64;
+
+        let cull = gs_core::ewa::cull_power_threshold(s.opacity, ALPHA_EPS);
+        for ly in ly_lo..=ly_hi {
+            let dy = (y0 + ly) as f32 + 0.5 - s.mean_px.y;
+            let row = gs_core::ewa::RowFalloff::new(s.conic, dy);
+            // Walk the set bits of `!done` within this row's lane range.
+            let (row_lo, row_hi) = (
+                ly as usize * n + lx_lo as usize,
+                ly as usize * n + lx_hi as usize,
+            );
+            for wi in (row_lo >> 6)..=(row_hi >> 6) {
+                let mut live = !self.done_words[wi];
+                if wi == row_lo >> 6 {
+                    live &= !0u64 << (row_lo & 63);
+                }
+                if wi == row_hi >> 6 {
+                    live &= !0u64 >> (63 - (row_hi & 63));
+                }
+                while live != 0 {
+                    let pi = (wi << 6) + live.trailing_zeros() as usize;
+                    live &= live - 1;
+                    let dx = (x0 + (pi - ly as usize * n) as i64) as f32 + 0.5 - s.mean_px.x;
+                    let power = row.power_at(dx);
+                    if power < cull {
+                        // Guaranteed alpha < ALPHA_EPS: the twin would have
+                        // skipped this pixel after the exp — skip before it.
+                        continue;
+                    }
+                    let alpha =
+                        (s.opacity * gs_core::ewa::falloff_from_power(power)).min(ALPHA_MAX);
+                    if alpha < ALPHA_EPS {
+                        continue;
+                    }
+                    if mask[pi >> 6] >> (pi & 63) & 1 != 0
+                        && s.depth + self.violation_slack < self.max_depth[pi]
+                    {
+                        out.violations += 1;
+                    }
+                    let t = self.transmittance[pi];
+                    self.color[pi] += s.color * (alpha * t);
+                    self.transmittance[pi] = t * (1.0 - alpha);
+                    self.max_depth[pi] = self.max_depth[pi].max(s.depth);
+                    out.blended += 1;
+                    if self.transmittance[pi] < TRANSMITTANCE_EPS {
+                        self.set_done(pi);
+                        self.live -= 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-overhaul pixel-at-a-time blend loop, kept verbatim as the
+    /// bit-exact reference twin of [`GroupBlender::blend`].
+    pub fn blend_reference(&mut self, s: &FineSplat, mask: &[u64]) -> FragOutcome {
         let n = self.size;
         let mut out = FragOutcome {
             lanes: 0,
@@ -1672,7 +1848,14 @@ impl GroupBlender {
         out
     }
 
-    fn finish(&self, background: Vec3, pixels: &mut [Vec3]) {
+    /// Count of not-yet-saturated pixels (for the `payload` bench's
+    /// early-exit replay).
+    pub fn live(&self) -> u32 {
+        self.live
+    }
+
+    /// Composites the background and writes the group's pixels out.
+    pub fn finish(&self, background: Vec3, pixels: &mut [Vec3]) {
         let n = self.size;
         for ly in 0..n {
             for lx in 0..n {

@@ -1,0 +1,82 @@
+//! Whole-frame exactness of the overhauled payload kernels.
+//!
+//! The incremental DDA marcher ([`gs_voxel::dda`]) and the lane-wise EWA
+//! blender (`GroupBlender::blend`) must be *byte-identical* to their kept
+//! reference twins — not approximately, not per-pixel-close: the same
+//! image bits, workload counters, traffic ledger and violation flags.
+//! `StreamingScene::render_payload_twin` renders through the identical
+//! store fetch path with only the two kernels swapped for the twins, so
+//! any divergence below is a payload-kernel bug by construction.
+//!
+//! Covered here: all six scene kinds, raw and VQ, resident and
+//! demand-paged stores, across worker counts {1, 2, 0 (= all cores)}.
+//! The `payload` bench asserts the same equivalence at kernel granularity
+//! (voxel lists, step counts, full blender state) and gates the speedup.
+
+// Tests may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gs_scene::{SceneConfig, SceneKind};
+use gs_voxel::{PageConfig, StreamingConfig, StreamingOutput, StreamingScene};
+use gs_vq::VqConfig;
+
+fn assert_identical(a: &StreamingOutput, b: &StreamingOutput, ctx: &str) {
+    assert_eq!(a.image, b.image, "image diverged: {ctx}");
+    assert_eq!(a.workload, b.workload, "workload diverged: {ctx}");
+    assert_eq!(a.ledger, b.ledger, "ledger diverged: {ctx}");
+    assert_eq!(
+        a.violations.violating_blends, b.violations.violating_blends,
+        "violating blends diverged: {ctx}"
+    );
+    assert_eq!(
+        a.violations.flags, b.violations.flags,
+        "violation flags diverged: {ctx}"
+    );
+    assert_eq!(a.cache, b.cache, "cache stats diverged: {ctx}");
+}
+
+#[test]
+fn lane_blend_is_byte_identical_to_scalar_on_all_scene_kinds() {
+    for kind in SceneKind::ALL {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        for use_vq in [false, true] {
+            for threads in [1usize, 2, 0] {
+                let cfg = StreamingConfig {
+                    voxel_size: scene.voxel_size,
+                    use_vq,
+                    vq: VqConfig::tiny(),
+                    threads,
+                    ..Default::default()
+                };
+                let st = StreamingScene::new(scene.trained.clone(), cfg);
+                assert_identical(
+                    &st.render(cam),
+                    &st.render_payload_twin(cam),
+                    &format!("{} vq={use_vq} threads={threads}", kind.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_twin_exactness_holds_on_paged_stores() {
+    for kind in SceneKind::ALL {
+        let scene = kind.build(&SceneConfig::tiny());
+        let cam = &scene.eval_cameras[0];
+        let mut st = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                ..Default::default()
+            },
+        );
+        st.page_out(PageConfig::default());
+        assert_identical(
+            &st.render(cam),
+            &st.render_payload_twin(cam),
+            &format!("{} paged", kind.name()),
+        );
+    }
+}
