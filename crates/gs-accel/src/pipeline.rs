@@ -11,7 +11,7 @@ use crate::config::{AccelConfig, EnergyConfig};
 use crate::report::PerfReport;
 use gs_core::{COARSE_FILTER_MACS, FINE_FILTER_MACS};
 use gs_mem::dram::DramModel;
-use gs_mem::{EnergyBreakdown, TrafficLedger};
+use gs_mem::{EnergyBreakdown, TrafficLedger, MAX_TIERS};
 use gs_voxel::{FrameWorkload, TileWorkload};
 
 /// Per-fragment blend cost in MACs (conic eval, alpha, colour accumulate).
@@ -84,6 +84,20 @@ impl TileCycles {
             name
         }
     }
+}
+
+/// What one LOD tier's fine-record traffic cost in a frame, priced from
+/// the measured per-tier ledger lanes (index 0 = full quality, 1.. = the
+/// extra tiers of [`gs_voxel::StreamingConfig::tiers`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct TierCost {
+    /// Demand bytes the tier's fine fetches asked for.
+    pub demand_bytes: u64,
+    /// Burst-rounded DRAM transaction bytes the tier actually moved
+    /// (cache-miss fills only when the renderer's cache is enabled).
+    pub dram_bytes: u64,
+    /// Dynamic DRAM energy of those transactions, in pJ.
+    pub dram_pj: f64,
 }
 
 impl StreamingGsModel {
@@ -203,6 +217,31 @@ impl StreamingGsModel {
             energy,
         }
     }
+
+    /// Prices each LOD tier's fine-record traffic from a measured frame
+    /// ledger: demand bytes, DRAM transaction bytes, and the dynamic DRAM
+    /// energy of those transactions. The lanes sum to the ledger's fine
+    /// traffic, so the per-tier energies are an exact decomposition of the
+    /// fine-stage share of [`Self::evaluate_measured`]'s DRAM energy.
+    /// Ledgers without transaction accounting price demand bytes (the same
+    /// fallback `evaluate_measured` uses).
+    pub fn price_tiers(&self, ledger: &TrafficLedger) -> [TierCost; MAX_TIERS] {
+        let demand = ledger.tier_demand_all();
+        let dram = if ledger.has_dram_accounting() {
+            ledger.tier_dram_all()
+        } else {
+            demand
+        };
+        let mut costs = [TierCost::default(); MAX_TIERS];
+        for t in 0..MAX_TIERS {
+            costs[t] = TierCost {
+                demand_bytes: demand[t],
+                dram_bytes: dram[t],
+                dram_pj: self.dram.dynamic_pj(dram[t]),
+            };
+        }
+        costs
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +275,40 @@ mod tests {
             scene_voxels: 100,
             scene_gaussians: 10_000,
         }
+    }
+
+    #[test]
+    fn tier_pricing_decomposes_measured_fine_traffic() {
+        use gs_mem::{Direction, Stage};
+        let m = StreamingGsModel::default();
+        let mut l = TrafficLedger::new();
+        l.add_transfer(Stage::VoxelFine, Direction::Read, 1500, 32);
+        l.note_tier(0, 1000);
+        l.note_tier(2, 500);
+        l.note_tier_dram(0, 992);
+        l.note_tier_dram(2, 512);
+        let costs = m.price_tiers(&l);
+        assert_eq!(costs[0].demand_bytes, 1000);
+        assert_eq!(costs[0].dram_bytes, 992);
+        assert_eq!(costs[2].demand_bytes, 500);
+        assert_eq!(costs[2].dram_bytes, 512);
+        assert_eq!(costs[1], TierCost::default());
+        assert_eq!(costs[3], TierCost::default());
+        // Dynamic DRAM energy is linear in bytes, so the per-tier energies
+        // decompose the fine total exactly.
+        let sum_pj: f64 = costs.iter().map(|c| c.dram_pj).sum();
+        let total: u64 = costs.iter().map(|c| c.dram_bytes).sum();
+        assert!((sum_pj - m.dram.dynamic_pj(total)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tier_pricing_falls_back_to_demand_without_transactions() {
+        let m = StreamingGsModel::default();
+        let mut l = TrafficLedger::new();
+        l.note_tier(1, 640);
+        let costs = m.price_tiers(&l);
+        assert_eq!(costs[1].dram_bytes, 640);
+        assert!((costs[1].dram_pj - m.dram.dynamic_pj(640)).abs() < 1e-9);
     }
 
     #[test]

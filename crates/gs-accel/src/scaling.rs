@@ -114,6 +114,8 @@ pub fn scale_frame_workload(frame: &FrameWorkload, f: &ScaleFactors) -> FrameWor
             pixel_dram_bytes: t.pixel_dram_bytes,
             coarse_hit_bytes: s(t.coarse_hit_bytes, g),
             fine_hit_bytes: s(t.fine_hit_bytes, g),
+            fine_tier_bytes: t.fine_tier_bytes.map(|b| s(b, g)),
+            fine_tier_dram_bytes: t.fine_tier_dram_bytes.map(|b| s(b, g)),
         })
         .collect::<Vec<_>>();
     // Tile count itself scales with pixels: replicate tiles cyclically.

@@ -192,11 +192,79 @@ fn main() {
     println!("{table}");
     println!("DRAM columns are burst-rounded transaction bytes; with the cache, miss fills only.");
 
+    // --- capacity-pressure sweep -----------------------------------------
+    // Shrinks/grows the working-set budget around the scale's nominal
+    // capacity on the Truck VQ trajectory and records where the warm
+    // coarse hit rate stops improving (the knee: the smallest capacity
+    // within 2 % of the sweep's best). Most meaningful at `full` scale,
+    // where the scene columns dwarf the smallest budgets; smaller scales
+    // run the same sweep as a smoke test.
+    let scene = build_scene(SceneKind::Truck);
+    let cams = walkthrough(
+        gs_core::vec::Vec3::new(-1.5, 0.8, -7.0),
+        gs_core::vec::Vec3::new(1.5, 1.1, -5.5),
+        gs_core::vec::Vec3::ZERO,
+        6,
+        &rig,
+    );
+    let base_cap = cache_cfg.capacity_bytes;
+    let sweep_caps = [
+        base_cap / 1024,
+        base_cap / 256,
+        base_cap / 64,
+        base_cap / 16,
+        base_cap / 4,
+        base_cap,
+        base_cap * 4,
+    ];
+    let mut sweep_table = Table::new(&["capacity", "warm coarse hit", "dram_$ (MB)"]);
+    let mut sweep_rows = Vec::new();
+    let mut sweep_hits = Vec::new();
+    for cap in sweep_caps {
+        let cfg = StreamingConfig {
+            voxel_size: scene.voxel_size,
+            use_vq: true,
+            vq: scale.vq_config(),
+            cache: Some(CacheConfig {
+                capacity_bytes: cap,
+                ..cache_cfg
+            }),
+            ..Default::default()
+        };
+        let st = StreamingScene::new(scene.trained.clone(), cfg);
+        let mut warm_hit = 1.0f64;
+        let mut dram = 0u64;
+        for (i, cam) in cams.iter().enumerate() {
+            let out = st.render(cam);
+            dram += out.ledger.dram_total();
+            if i >= 1 {
+                warm_hit = warm_hit.min(out.cache.expect("cache configured").coarse.hit_rate());
+            }
+        }
+        sweep_table.row(&[mb(cap), pct(warm_hit), mb(dram)]);
+        sweep_rows.push(format!(
+            "{{\"capacity_bytes\":{cap},\"warm_coarse_hit\":{warm_hit:.4},\"dram_cached\":{dram}}}"
+        ));
+        sweep_hits.push((cap, warm_hit));
+    }
+    let best_hit = sweep_hits.iter().map(|(_, h)| *h).fold(0.0f64, f64::max);
+    let knee = sweep_hits
+        .iter()
+        .find(|(_, h)| *h >= best_hit - 0.02)
+        .map_or(0, |(c, _)| *c);
+    println!("{sweep_table}");
+    println!(
+        "knee = smallest capacity within 2% of the sweep's best warm coarse hit rate: {}\n",
+        mb(knee)
+    );
+
     let hit_ok = min_warm_coarse >= WARM_COARSE_HIT_BAR;
     println!(
-        "CACHE_JSON {{\"bench\":\"cache\",\"cores\":{},\"scenes\":[{}],\"min_warm_coarse_hit\":{:.4},\"hit_ok\":{},\"exact_ok\":{},\"priced_ok\":{}}}",
+        "CACHE_JSON {{\"bench\":\"cache\",\"cores\":{},\"scenes\":[{}],\"capacity_sweep\":[{}],\"knee_capacity_bytes\":{},\"min_warm_coarse_hit\":{:.4},\"hit_ok\":{},\"exact_ok\":{},\"priced_ok\":{}}}",
         gs_bench::setup::cores(),
         rows.join(","),
+        sweep_rows.join(","),
+        knee,
         min_warm_coarse,
         hit_ok,
         all_exact,

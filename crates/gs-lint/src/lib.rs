@@ -1018,10 +1018,33 @@ fn loop_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     out
 }
 
+/// A float literal token: decimal point, `f32`/`f64` suffix, or exponent
+/// form (`1e6` — the tokenizer splits `1e-3` into `1e`, `-`, `3`, so the
+/// mantissa token still carries the `e`). The exponent test requires the
+/// `e`/`E` to directly follow the digits with only digits after it, so
+/// integer suffixes (`0usize`) and hex digits (`0xEE`) don't match.
+fn is_float_lit(t: &Tok) -> bool {
+    if t.kind != TokKind::Num {
+        return false;
+    }
+    let s = t.text.as_str();
+    if s.starts_with("0x") || s.starts_with("0X") {
+        return false;
+    }
+    if s.contains('.') || s.contains("f32") || s.contains("f64") {
+        return true;
+    }
+    let mantissa = s.trim_start_matches(|c: char| c.is_ascii_digit() || c == '_');
+    let mut exp = mantissa.chars();
+    matches!(exp.next(), Some('e' | 'E')) && exp.all(|c| c.is_ascii_digit() || c == '_')
+}
+
 /// Pass 1 of D006: names bound to a float scalar/vector, via a type
 /// annotation (`acc: f32`, `out: &mut [Vec3]`, `color: Vec<Vec3>` — the
-/// walk-back skips reference/container wrappers) or a float-literal
-/// initialization (`let mut acc = 0.0`).
+/// walk-back skips reference/container wrappers), a float-literal
+/// initialization (`let mut acc = 0.0`, `= -0.5`, `= 1e6`), or a flat
+/// tuple binding whose element carries a float literal
+/// (`let (mut a, b) = (0.0f32, other)`).
 fn d006_float_names(toks: &[Tok]) -> BTreeSet<&str> {
     let mut names: BTreeSet<&str> = BTreeSet::new();
     for i in 0..toks.len() {
@@ -1046,17 +1069,74 @@ fn d006_float_names(toks: &[Tok]) -> BTreeSet<&str> {
                 names.insert(toks[j - 2].text.as_str());
             }
         }
-        // `acc = 1.0` / `= 1.0f32`. (`+=` spells `+`, `=` in this token
-        // stream and `==` spells `=`, `=`, so neither can bind a name
-        // here: the token two back is a punct, not an ident.)
-        if t.kind == TokKind::Num
-            && (t.text.contains('.') || t.text.contains("f32") || t.text.contains("f64"))
-            && i >= 2
-            && is_punct(&toks[i - 1], "=")
-            && toks[i - 2].kind == TokKind::Ident
-        {
-            names.insert(toks[i - 2].text.as_str());
+        // Inferred bindings: `acc = 1.0`, `= 1.0f32`, `= 1e6`, `= -0.5` —
+        // the initializer literal types the name. (`+=` spells `+`, `=`
+        // in this token stream and `==` spells `=`, `=`, so neither can
+        // bind a name here: the token left of the `=` must be an ident.)
+        if is_float_lit(t) && i >= 2 {
+            let j = if is_punct(&toks[i - 1], "-") {
+                i - 1
+            } else {
+                i
+            };
+            if j >= 2 && is_punct(&toks[j - 1], "=") && toks[j - 2].kind == TokKind::Ident {
+                names.insert(toks[j - 2].text.as_str());
+            }
         }
+    }
+    // Tuple-bound accumulators: `let (mut a, b) = (0.0, next())`. Flat
+    // tuple patterns are matched positionally against the initializer
+    // elements; a name binds when its element carries a float literal
+    // anywhere (a conservative over-approximation — the name only
+    // matters if it is later `+=`-reduced inside a loop). Nested
+    // patterns are skipped: positional matching would misalign.
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if !is_ident(&toks[i], "let") || !is_punct(&toks[i + 1], "(") {
+            i += 1;
+            continue;
+        }
+        let mut pat_names: Vec<&str> = Vec::new();
+        let mut j = i + 2;
+        let mut flat = true;
+        while j < toks.len() && !is_punct(&toks[j], ")") {
+            let t = &toks[j];
+            if is_punct(t, "(") || is_punct(t, "[") {
+                flat = false;
+                break;
+            }
+            if t.kind == TokKind::Ident && !is_ident(t, "mut") && !is_ident(t, "ref") {
+                pat_names.push(t.text.as_str());
+            }
+            j += 1;
+        }
+        if !flat
+            || j + 2 >= toks.len()
+            || !is_punct(&toks[j + 1], "=")
+            || !is_punct(&toks[j + 2], "(")
+        {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1i64;
+        let mut elem = 0usize;
+        let mut k = j + 3;
+        while k < toks.len() && depth > 0 {
+            let t = &toks[k];
+            if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") {
+                depth += 1;
+            } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") {
+                depth -= 1;
+            } else if is_punct(t, ",") && depth == 1 {
+                elem += 1;
+            } else if is_float_lit(t) {
+                if let Some(name) = pat_names.get(elem) {
+                    names.insert(name);
+                }
+            }
+            k += 1;
+        }
+        i = k;
     }
     names
 }

@@ -343,6 +343,66 @@ pub fn reduce(xs: &[f32], scores: &mut [f32]) -> f32 {
 }
 
 #[test]
+fn d006_flags_tuple_bound_float_accumulators() {
+    let src = r#"
+pub fn minmax(xs: &[f32]) -> (f32, f32) {
+    let (mut lo, mut hi) = (0.0f32, -1.0);
+    for x in xs {
+        lo += x.min(0.0);
+        hi += x.max(0.0);
+    }
+    (lo, hi)
+}
+"#;
+    let r = lint_one("crates/gs-core/src/fake.rs", src);
+    assert_eq!(rules(&r), vec!["D006", "D006"], "{:?}", r.violations);
+    // Positional matching: only the float element's name binds.
+    let src = r#"
+pub fn mixed(xs: &[f32]) -> f32 {
+    let (mut n, mut acc) = (0u32, 0.0);
+    for x in xs {
+        n += 1;
+        acc += *x;
+    }
+    acc / n as f32
+}
+"#;
+    let r = lint_one("crates/gs-core/src/fake.rs", src);
+    assert_eq!(rules(&r), vec!["D006"], "{:?}", r.violations);
+}
+
+#[test]
+fn d006_flags_inferred_negative_and_exponent_initializers() {
+    let src = r#"
+pub fn drift(xs: &[f32]) -> (f32, f32) {
+    let mut bias = -0.5;
+    let mut tiny = 1e-6;
+    for x in xs {
+        bias += *x;
+        tiny += *x;
+    }
+    (bias, tiny)
+}
+"#;
+    let r = lint_one("crates/gs-voxel/src/fake.rs", src);
+    assert_eq!(rules(&r), vec!["D006", "D006"], "{:?}", r.violations);
+    // Hex literals can spell `E` without being floats; integer tuple
+    // elements stay unbound.
+    let src = r#"
+pub fn mask(xs: &[u32]) -> u32 {
+    let (mut bits, mut seen) = (0xEE, 0u32);
+    for x in xs {
+        bits += *x;
+        seen += 1;
+    }
+    bits + seen
+}
+"#;
+    let r = lint_one("crates/gs-voxel/src/fake.rs", src);
+    assert!(rules(&r).is_empty(), "{:?}", r.violations);
+}
+
+#[test]
 fn d006_exempts_only_the_blessed_path_fn_pairs() {
     // Inside the blessed kernel: clean.
     let r = lint_one("crates/gs-voxel/src/streaming.rs", D006_BLEND);

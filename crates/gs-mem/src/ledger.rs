@@ -31,6 +31,12 @@ pub enum Stage {
     PixelOut,
 }
 
+/// Number of quality tiers the ledger tracks for the fine (second-half)
+/// stage: tier 0 is full quality (today's raw/VQ records); tiers 1+ are
+/// the coarsened LOD columns of a tiered scene image. Sized one above the
+/// maximum extra-tier count so `tier 0 + extras` always fits.
+pub const MAX_TIERS: usize = 4;
+
 impl Stage {
     /// All stages, in display order.
     pub const ALL: [Stage; 6] = [
@@ -106,6 +112,14 @@ pub struct TrafficLedger {
     dram: [[u64; 2]; Stage::ALL.len()],
     /// Demand bytes served on-chip by a working-set cache.
     hits: [[u64; 2]; Stage::ALL.len()],
+    /// Fine-stage (second-half) demand bytes per quality tier. Tier 0 is
+    /// the full-quality column; tiers 1+ are LOD columns. The sum over
+    /// tiers equals the `VoxelFine` read demand counter whenever every
+    /// fine fetch is tier-attributed (the streaming renderer's contract).
+    tier_bytes: [u64; MAX_TIERS],
+    /// Fine-stage DRAM transaction bytes per quality tier (burst-rounded,
+    /// cache misses only when a cache fronts the stage).
+    tier_dram: [u64; MAX_TIERS],
 }
 
 impl TrafficLedger {
@@ -136,6 +150,49 @@ impl TrafficLedger {
     /// itself was metered separately via [`TrafficLedger::add`]).
     pub fn note_hit(&mut self, stage: Stage, dir: Direction, bytes: u64) {
         self.hits[stage as usize][dir as usize] += bytes;
+    }
+
+    /// Attributes fine-stage demand bytes to quality tier `tier` (the
+    /// aggregate `VoxelFine` demand is metered separately via
+    /// [`TrafficLedger::add`]; this records the per-tier breakdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tier >= MAX_TIERS` — tier indices come from the store's
+    /// validated tier directory, so an out-of-range index is a logic bug.
+    pub fn note_tier(&mut self, tier: usize, bytes: u64) {
+        self.tier_bytes[tier] += bytes;
+    }
+
+    /// Attributes fine-stage DRAM transaction bytes (already burst-rounded
+    /// by the caller) to quality tier `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tier >= MAX_TIERS` (logic bug, as in
+    /// [`TrafficLedger::note_tier`]).
+    pub fn note_tier_dram(&mut self, tier: usize, bytes: u64) {
+        self.tier_dram[tier] += bytes;
+    }
+
+    /// Fine-stage demand bytes attributed to quality tier `tier`.
+    pub fn tier_demand(&self, tier: usize) -> u64 {
+        self.tier_bytes[tier]
+    }
+
+    /// Fine-stage DRAM transaction bytes attributed to quality tier `tier`.
+    pub fn tier_dram(&self, tier: usize) -> u64 {
+        self.tier_dram[tier]
+    }
+
+    /// The full per-tier fine DRAM transaction breakdown (tier 0 first).
+    pub fn tier_dram_all(&self) -> [u64; MAX_TIERS] {
+        self.tier_dram
+    }
+
+    /// The full per-tier fine demand breakdown (tier 0 first).
+    pub fn tier_demand_all(&self) -> [u64; MAX_TIERS] {
+        self.tier_bytes
     }
 
     /// Reads a demand counter.
@@ -201,6 +258,12 @@ impl TrafficLedger {
                 *m += *t;
             }
         }
+        for (m, t) in self.tier_bytes.iter_mut().zip(&other.tier_bytes) {
+            *m += *t;
+        }
+        for (m, t) in self.tier_dram.iter_mut().zip(&other.tier_dram) {
+            *m += *t;
+        }
     }
 
     /// Zeroes every counter in place (no allocation, no deallocation —
@@ -210,6 +273,8 @@ impl TrafficLedger {
         self.bytes = Default::default();
         self.dram = Default::default();
         self.hits = Default::default();
+        self.tier_bytes = Default::default();
+        self.tier_dram = Default::default();
     }
 
     /// Iterates non-zero `(stage, direction, bytes)` entries in stable
@@ -337,6 +402,33 @@ mod tests {
         m.clear();
         assert_eq!(m, TrafficLedger::new());
         assert!(!m.has_dram_accounting());
+    }
+
+    #[test]
+    fn tier_counters_merge_clear_and_compare() {
+        let mut a = TrafficLedger::new();
+        a.add(Stage::VoxelFine, Direction::Read, 220);
+        a.note_tier(0, 220);
+        a.note_tier_dram(0, 224);
+        let mut b = TrafficLedger::new();
+        b.note_tier(2, 76);
+        b.note_tier_dram(2, 96);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.tier_demand(0), 220);
+        assert_eq!(m.tier_demand(2), 76);
+        assert_eq!(m.tier_dram(0), 224);
+        assert_eq!(m.tier_dram(2), 96);
+        assert_eq!(m.tier_demand_all(), [220, 0, 76, 0]);
+        assert_eq!(m.tier_dram_all(), [224, 0, 96, 0]);
+        // Tier counters participate in equality and clearing like every
+        // other counter class (they are part of the determinism surface).
+        let mut c = m.clone();
+        assert_eq!(c, m);
+        c.note_tier(1, 1);
+        assert_ne!(c, m);
+        m.clear();
+        assert_eq!(m, TrafficLedger::new());
     }
 
     #[test]

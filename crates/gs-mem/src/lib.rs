@@ -48,5 +48,5 @@ pub mod sram;
 pub use cache::{CacheConfig, CacheReport, CacheStats, WorkingSetCache};
 pub use dram::DramModel;
 pub use energy::EnergyBreakdown;
-pub use ledger::{Direction, Stage, TrafficLedger};
+pub use ledger::{Direction, Stage, TrafficLedger, MAX_TIERS};
 pub use sram::SramBuffer;

@@ -118,5 +118,12 @@ pub use store::{
     CoarseIter, ColumnKind, FaultPolicy, FaultStats, PageConfig, StoreError, StoreFaultSnapshot,
     VoxelStore,
 };
-pub use streaming::{DegradationReport, StreamingConfig, StreamingOutput, StreamingScene};
+pub use streaming::{
+    DegradationReport, QualityPolicy, StreamingConfig, StreamingOutput, StreamingScene,
+    TierUsageReport, MAX_EXTRA_TIERS,
+};
 pub use workload::{FrameWorkload, TileWorkload};
+
+// The tier layout type lives in `gs-vq` (the codec layer); re-exported
+// here because `StreamingConfig::tiers` is the usual way to name one.
+pub use gs_vq::TierSpec;

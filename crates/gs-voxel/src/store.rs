@@ -87,6 +87,20 @@
 //! verification is skipped and the effective [`PageConfig`] reports
 //! `verify_checksums: false` (see [`VoxelStore::page_config`]).
 //!
+//! ## Scene-image format (version 3): LOD tiers
+//!
+//! A store that carries extra LOD tiers ([`VoxelStore::build_tiers`])
+//! serializes as **version 3**: the v2 layout with an eighth header word
+//! (`n_extra_tiers`), a per-tier directory between the fine CRC table and
+//! the metadata CRC — six descriptor words (kind, SH degree, keep‰,
+//! codebook shift, record width, tier slot count), the tier's per-voxel
+//! ranges and slot table, its codebooks (VQ tiers) and its own CRC chunk
+//! table — and the tier record columns appended after the fine column.
+//! Every tier column pages, verifies and dead-marks independently
+//! (`ColumnKind::Tier(n)`), per (tier, page). The full spec lives in
+//! `docs/SCENE_IMAGE.md`. Tierless stores keep writing v2, bit-identically
+//! to before; v2/v1 images open as single-tier stores.
+//!
 //! ## Error contract
 //!
 //! Render-time page machinery never panics: the fallible twins
@@ -111,10 +125,14 @@
 use crate::grid::VoxelGrid;
 use gs_core::vec::Vec3;
 use gs_mem::crc::crc32;
-use gs_mem::{Direction, Stage, TrafficLedger};
+use gs_mem::{Direction, Stage, TrafficLedger, MAX_TIERS};
 use gs_scene::gaussian::{COARSE_BYTES, FINE_BYTES_RAW};
 use gs_scene::{Gaussian, GaussianCloud};
-use gs_vq::{Codebook, FeatureCodebooks, QuantizedCloud};
+use gs_vq::tier::{
+    decode_vq_tier_record, expand_raw_record, raw_tier_bytes, read_vq_tier_record,
+    truncate_raw_record, vq_tier_bytes, write_vq_tier_record, TierSpec, MAX_SH_DEGREE,
+};
+use gs_vq::{Codebook, FeatureCodebooks, GaussianQuantizer, QuantizedCloud, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Write};
@@ -123,11 +141,22 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Magic tag of the serialized scene image (`"GSVS"`).
 const SCENE_MAGIC: u32 = 0x4753_5653;
-/// Current serialized scene format version (per-chunk CRC tables).
+/// The single-tier checksummed format version (written for stores with no
+/// extra tiers; still the most common image on disk).
 const SCENE_VERSION: u32 = 2;
 /// The pre-checksum format version (still readable, never written by
 /// default).
 const SCENE_VERSION_V1: u32 = 1;
+/// The tiered format version: a v2-shaped body plus a tier directory and
+/// per-tier second-half columns with their own CRC chunk tables (see the
+/// `docs/SCENE_IMAGE.md` spec). Written whenever the store carries extra
+/// tiers; a tierless v3 image is byte-compatible with v2 except for the
+/// version word and a zero tier count.
+const SCENE_VERSION_V3: u32 = 3;
+/// Serialized tier-directory kind tag: raw (SH-truncated prefix) records.
+const TIER_KIND_RAW: u32 = 0;
+/// Serialized tier-directory kind tag: VQ records through tier codebooks.
+const TIER_KIND_VQ: u32 = 1;
 /// Header flag: the second half holds VQ index records.
 const FLAG_VQ: u32 = 1;
 /// Every header flag this build understands; unknown bits reject at open.
@@ -152,16 +181,21 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub enum ColumnKind {
     /// The 16 B first-half column.
     Coarse,
-    /// The raw/VQ second-half column.
+    /// The raw/VQ second-half column (tier 0: full quality).
     Fine,
+    /// An extra LOD tier's second-half column; the payload is the extra
+    /// tier index (0 = the first tier after full quality, i.e. overall
+    /// tier 1).
+    Tier(u8),
 }
 
 impl fmt::Display for ColumnKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ColumnKind::Coarse => "coarse",
-            ColumnKind::Fine => "fine",
-        })
+        match self {
+            ColumnKind::Coarse => f.write_str("coarse"),
+            ColumnKind::Fine => f.write_str("fine"),
+            ColumnKind::Tier(t) => write!(f, "tier{}", u32::from(*t) + 1),
+        }
     }
 }
 
@@ -934,6 +968,37 @@ enum FineFormat {
     },
 }
 
+/// How an extra tier's records decode (mirrors the store's [`FineFormat`]:
+/// raw stores carry raw tiers, VQ stores carry VQ tiers).
+#[derive(Clone, Debug)]
+enum TierCodec {
+    /// SH-truncated byte prefixes of the raw fine record; decoding
+    /// zero-fills the truncated tail and reuses the per-slot max-axis tag
+    /// of the full-quality column.
+    Raw,
+    /// Tier-trained codebooks (entries shrunk by
+    /// [`TierSpec::codebook_shift`]) decoding SH-truncated index records.
+    Vq(FeatureCodebooks),
+}
+
+/// One extra LOD tier: a pruned, SH-truncated second-half column plus the
+/// slot directory mapping its compact slot space back to global slots.
+#[derive(Clone, Debug)]
+struct TierColumn {
+    /// The layout this tier was built with.
+    spec: TierSpec,
+    codec: TierCodec,
+    /// Serialized bytes per tier record.
+    record_bytes: usize,
+    /// Per-voxel ranges in *tier-slot* space (same indexing as the store's
+    /// global ranges; empty for voxels the tier pruned entirely).
+    ranges: Vec<(u32, u32)>,
+    /// Tier slot → global slot, strictly ascending within each voxel.
+    slots: Vec<u32>,
+    /// The tier's record column (resident or demand-paged).
+    column: Column,
+}
+
 /// The decoded coarse stream of one voxel, returned by
 /// [`VoxelStore::fetch_coarse`] / [`VoxelStore::try_fetch_coarse`].
 ///
@@ -1001,6 +1066,9 @@ pub struct VoxelStore {
     fine: Column,
     /// Second-half record format (shared by both backings).
     format: FineFormat,
+    /// Extra LOD tiers (tier 1..), coarsest last. Empty for single-tier
+    /// stores — the legacy shape, serialized as a v2 image.
+    tiers: Vec<TierColumn>,
     /// Recycled staging buffers for paged whole-voxel coarse fetches
     /// (unused by resident columns; clones start empty).
     staging: StagingPool,
@@ -1028,6 +1096,7 @@ impl VoxelStore {
             coarse: Column::Resident(coarse),
             fine: Column::Resident(bytes),
             format: FineFormat::Raw { max_axis },
+            tiers: Vec::new(),
             staging: StagingPool::default(),
         }
     }
@@ -1063,6 +1132,7 @@ impl VoxelStore {
                 codebooks: quant.codebooks.clone(),
                 record_bytes,
             },
+            tiers: Vec::new(),
             staging: StagingPool::default(),
         }
     }
@@ -1110,14 +1180,17 @@ impl VoxelStore {
             Column::Resident(_) => 0,
             Column::Paged(p) => p.faults(),
         };
-        of(&self.coarse) + of(&self.fine)
+        of(&self.coarse) + of(&self.fine) + self.tiers.iter().map(|t| of(&t.column)).sum::<u64>()
     }
 
     /// Retry/dead/injection counters, cheap enough to snapshot per frame
     /// (all zeros for resident backings). Allocation-free.
     pub fn fault_snapshot(&self) -> StoreFaultSnapshot {
         let mut snap = StoreFaultSnapshot::default();
-        for col in [&self.coarse, &self.fine] {
+        for col in [&self.coarse, &self.fine]
+            .into_iter()
+            .chain(self.tiers.iter().map(|t| &t.column))
+        {
             if let Column::Paged(p) = col {
                 let st = lock_unpoisoned(&p.state);
                 snap.retries += st.retries;
@@ -1143,6 +1216,7 @@ impl VoxelStore {
         let col = match column {
             ColumnKind::Coarse => &self.coarse,
             ColumnKind::Fine => &self.fine,
+            ColumnKind::Tier(t) => &self.tiers[t as usize].column,
         };
         match col {
             Column::Resident(_) => Vec::new(),
@@ -1150,14 +1224,14 @@ impl VoxelStore {
         }
     }
 
-    /// Bytes currently held by materialized pages across both columns
-    /// (equals the column totals for resident backings).
+    /// Bytes currently held by materialized pages across every column,
+    /// tiers included (equals the column totals for resident backings).
     pub fn resident_column_bytes(&self) -> u64 {
         let of = |c: &Column| match c {
             Column::Resident(b) => b.len() as u64,
             Column::Paged(p) => p.resident_bytes(),
         };
-        of(&self.coarse) + of(&self.fine)
+        of(&self.coarse) + of(&self.fine) + self.tiers.iter().map(|t| of(&t.column)).sum::<u64>()
     }
 
     /// DRAM bytes of one first-half record (16).
@@ -1280,6 +1354,7 @@ impl VoxelStore {
             buf
         };
         ledger.add(Stage::VoxelFine, Direction::Read, width as u64);
+        ledger.note_tier(0, width as u64);
         Ok(match &self.format {
             FineFormat::Raw { max_axis } => Gaussian::from_split_record(coarse, fine, max_axis[s]),
             FineFormat::Vq { codebooks, .. } => {
@@ -1319,15 +1394,280 @@ impl VoxelStore {
         Ok(Gaussian::decode_coarse(rec))
     }
 
+    // --- LOD tiers --------------------------------------------------------
+
+    /// Builds the extra LOD tiers of this store in place (tier 1.. —
+    /// tier 0, the full-quality column, already exists and is never
+    /// touched). Each [`TierSpec`] coarsens along three axes: SH-degree
+    /// truncation, importance pruning ([`TierSpec::keep_permille`] of the
+    /// slots survive, highest importance first) and — for VQ stores —
+    /// codebooks shrunk by [`TierSpec::codebook_shift`] and retrained
+    /// deterministically (seed offset per tier, so tier contents are a
+    /// pure function of `(source, vq, specs, importance)`).
+    ///
+    /// `importance` scores are indexed by **global Gaussian id** (the
+    /// `gs-baselines` view-importance convention); when absent, a pure
+    /// per-Gaussian fallback (opacity × s_max²) ranks the pruning instead.
+    /// Ties rank by ascending slot, so pruning is total-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged (tiers are built at scene-preparation
+    /// time, before serialization), when more than
+    /// [`gs_mem::MAX_TIERS`] − 1 specs are given, when a VQ store is given
+    /// no `vq` config to retrain from, or when `importance` does not cover
+    /// the source cloud.
+    pub fn build_tiers(
+        &mut self,
+        source: &GaussianCloud,
+        vq: Option<&VqConfig>,
+        specs: &[TierSpec],
+        importance: Option<&[f64]>,
+    ) {
+        assert!(
+            !self.is_paged(),
+            "tiers are built on resident stores before serialization"
+        );
+        assert!(
+            specs.len() < MAX_TIERS,
+            "at most {} extra tiers (gs_mem::MAX_TIERS covers tier 0 + extras)",
+            MAX_TIERS - 1
+        );
+        let max_id = self.ids.iter().copied().max().map_or(0, |m| m as usize + 1);
+        assert!(
+            max_id <= source.len(),
+            "source cloud must cover every Gaussian id in the store"
+        );
+        if let Some(imp) = importance {
+            assert_eq!(
+                imp.len(),
+                source.len(),
+                "importance scores must cover the source cloud"
+            );
+        }
+        let gs = source.as_slice();
+        // Pruning rank of every slot: importance descending, slot ascending
+        // on ties. The fallback score is a pure per-Gaussian map — no
+        // accumulation — so ranking is order-free.
+        let score = |slot: u32| -> f64 {
+            let g = &gs[self.ids[slot as usize] as usize];
+            match importance {
+                Some(imp) => imp[self.ids[slot as usize] as usize],
+                None => {
+                    let s_max = g.scale.x.max(g.scale.y).max(g.scale.z);
+                    f64::from(g.opacity) * f64::from(s_max) * f64::from(s_max)
+                }
+            }
+        };
+        // gs-lint: allow(D004) slot count fits u32 (the image header stores it as one)
+        let mut rank: Vec<u32> = (0..self.ids.len() as u32).collect();
+        rank.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then_with(|| a.cmp(&b)));
+        self.tiers = specs
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| {
+                let spec = spec.validated();
+                // Tier-trained codebooks for VQ stores: every feature
+                // codebook keeps entries >> codebook_shift centroids, with
+                // a per-tier seed offset so tiers train independently.
+                let quant = match &self.format {
+                    FineFormat::Raw { .. } => None,
+                    FineFormat::Vq { .. } => {
+                        let Some(base) = vq else {
+                            panic!("a VQ store needs a VqConfig to retrain tier codebooks")
+                        };
+                        let shift = u32::from(spec.codebook_shift);
+                        let cfg = VqConfig {
+                            scale_entries: (base.scale_entries >> shift).max(1),
+                            rot_entries: (base.rot_entries >> shift).max(1),
+                            dc_entries: (base.dc_entries >> shift).max(1),
+                            sh_entries: (base.sh_entries >> shift).max(1),
+                            // gs-lint: allow(D004) tier index is < MAX_TIERS
+                            seed: base.seed.wrapping_add(1000 * (t as u64 + 1)),
+                            ..*base
+                        };
+                        Some(GaussianQuantizer::train(source, &cfg))
+                    }
+                };
+                let keep = (self.ids.len() * spec.keep_permille as usize).div_ceil(1000);
+                let mut kept = vec![false; self.ids.len()];
+                for &slot in rank.iter().take(keep) {
+                    kept[slot as usize] = true;
+                }
+                // Tier slots in ascending global order: voxel-contiguous by
+                // construction (global slots already are), so the per-voxel
+                // tier ranges are plain prefix sums over the kept counts.
+                let mut ranges = Vec::with_capacity(self.ranges.len());
+                let mut slots = Vec::with_capacity(keep);
+                let mut col = Vec::new();
+                for &(a, b) in &self.ranges {
+                    // gs-lint: allow(D004) tier slot count ≤ global slot count, which fits u32
+                    let start = slots.len() as u32;
+                    for slot in a..b {
+                        if !kept[slot as usize] {
+                            continue;
+                        }
+                        slots.push(slot);
+                        match (&self.format, &quant) {
+                            (FineFormat::Raw { .. }, _) => {
+                                // Resident by the method's entry assertion.
+                                let Column::Resident(bytes) = &self.fine else {
+                                    unreachable!("build_tiers asserted a resident store")
+                                };
+                                let rec =
+                                    &bytes[slot as usize * FINE_BYTES_RAW..][..FINE_BYTES_RAW];
+                                truncate_raw_record(rec, spec.sh_degree, &mut col);
+                            }
+                            (FineFormat::Vq { .. }, Some(q)) => {
+                                let gi = self.ids[slot as usize] as usize;
+                                write_vq_tier_record(
+                                    &q.codebooks,
+                                    spec.sh_degree,
+                                    &q.records[gi],
+                                    &mut col,
+                                );
+                            }
+                            (FineFormat::Vq { .. }, None) => unreachable!(),
+                        }
+                    }
+                    // gs-lint: allow(D004) tier slot count ≤ global slot count, which fits u32
+                    ranges.push((start, slots.len() as u32));
+                }
+                let (codec, record_bytes) = match quant {
+                    None => (TierCodec::Raw, raw_tier_bytes(spec.sh_degree) as usize),
+                    Some(q) => {
+                        let rb = vq_tier_bytes(&q.codebooks, spec.sh_degree) as usize;
+                        (TierCodec::Vq(q.codebooks), rb)
+                    }
+                };
+                debug_assert_eq!(col.len(), slots.len() * record_bytes);
+                TierColumn {
+                    spec,
+                    codec,
+                    record_bytes,
+                    ranges,
+                    slots,
+                    column: Column::Resident(col),
+                }
+            })
+            .collect();
+    }
+
+    /// Number of extra LOD tiers (0 for a legacy single-tier store; the
+    /// full-quality column is tier 0 and not counted here).
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Layout of extra tier `t` (0-based over the extras — overall tier
+    /// `t + 1`).
+    pub fn tier_spec(&self, t: usize) -> TierSpec {
+        self.tiers[t].spec
+    }
+
+    /// Serialized bytes per record of extra tier `t`.
+    pub fn tier_record_bytes(&self, t: usize) -> u64 {
+        self.tiers[t].record_bytes as u64
+    }
+
+    /// Total bytes of extra tier `t`'s record column.
+    pub fn tier_column_bytes(&self, t: usize) -> u64 {
+        self.tiers[t].column.len_bytes()
+    }
+
+    /// Voxel `vid`'s slot range in extra tier `t`'s compact slot space
+    /// (empty when the tier pruned the voxel entirely).
+    pub fn tier_slots_of(&self, t: usize, vid: u32) -> std::ops::Range<u32> {
+        let (a, b) = self.tiers[t].ranges[vid as usize];
+        a..b
+    }
+
+    /// The global slot behind extra tier `t`'s slot `tslot`.
+    pub fn tier_global_slot(&self, t: usize, tslot: u32) -> u32 {
+        self.tiers[t].slots[tslot as usize]
+    }
+
+    /// Fetches and decodes extra tier `t`'s record at tier slot `tslot`,
+    /// metering its bytes into `ledger` (`VoxelFine`/read demand plus the
+    /// overall tier's per-tier counter, `t + 1`) only on success. Decodes
+    /// are deterministic: the kept feature groups run the same float
+    /// operations as the full-quality decode; truncated SH bands are exact
+    /// zeros.
+    pub fn try_fetch_tier_fine(
+        &self,
+        t: usize,
+        tslot: u32,
+        ledger: &mut TrafficLedger,
+    ) -> Result<Gaussian, StoreError> {
+        let tier = &self.tiers[t];
+        let width = tier.record_bytes;
+        let global = tier.slots[tslot as usize] as usize;
+        let mut tbuf = [0u8; FINE_BYTES_RAW];
+        let rec: &[u8] = if let Column::Resident(bytes) = &tier.column {
+            &bytes[tslot as usize * width..(tslot as usize + 1) * width]
+        } else {
+            let buf = &mut tbuf[..width];
+            tier.column.read_slot(tslot as usize, width, buf)?;
+            buf
+        };
+        let mut cbuf = [0u8; COARSE_BYTES];
+        let coarse: &[u8] = if let Column::Resident(bytes) = &self.coarse {
+            &bytes[global * COARSE_BYTES..(global + 1) * COARSE_BYTES]
+        } else {
+            self.coarse.read_slot(global, COARSE_BYTES, &mut cbuf)?;
+            &cbuf
+        };
+        let g = match (&tier.codec, &self.format) {
+            (TierCodec::Raw, FineFormat::Raw { max_axis }) => {
+                let mut full = [0u8; FINE_BYTES_RAW];
+                expand_raw_record(rec, &mut full);
+                Gaussian::from_split_record(coarse, &full, max_axis[global])
+            }
+            (TierCodec::Vq(cb), _) => {
+                let (pos, _) = Gaussian::decode_coarse(coarse);
+                let r = read_vq_tier_record(cb, tier.spec.sh_degree, rec);
+                decode_vq_tier_record(cb, tier.spec.sh_degree, pos, &r)
+            }
+            (TierCodec::Raw, FineFormat::Vq { .. }) => {
+                return Err(StoreError::Malformed {
+                    what: "raw tier records inside a VQ scene image",
+                })
+            }
+        };
+        ledger.add(Stage::VoxelFine, Direction::Read, width as u64);
+        ledger.note_tier(t + 1, width as u64);
+        Ok(g)
+    }
+
     // --- serialized scene image ------------------------------------------
 
-    /// Serializes the store into its compact scene image (current format,
-    /// with per-chunk CRC tables — see the module docs for the layout).
+    /// Serializes the store into its compact scene image (see the module
+    /// docs for the layout): version 2 when the store is single-tier, the
+    /// tiered version 3 when extra LOD tiers were built — so legacy stores
+    /// keep producing bit-identical v2 images.
     /// [`VoxelStore::open_paged_bytes`] / [`VoxelStore::open_paged_file`]
     /// reopen the image with demand-paged columns, bit-exactly. Fails only
     /// when `self` is itself paged and a page read fails.
     pub fn try_to_scene_bytes(&self) -> Result<Vec<u8>, StoreError> {
-        self.serialize_scene(SCENE_VERSION)
+        if self.tiers.is_empty() {
+            self.serialize_scene(SCENE_VERSION)
+        } else {
+            self.serialize_scene(SCENE_VERSION_V3)
+        }
+    }
+
+    /// Serializes a **version-3** image even for a single-tier store (zero
+    /// extra tiers in the directory) — the compatibility-suite shape
+    /// proving v3 ⊇ v2.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged and a page read fails.
+    pub fn to_scene_bytes_v3(&self) -> Vec<u8> {
+        match self.serialize_scene(SCENE_VERSION_V3) {
+            Ok(image) => image,
+            Err(e) => panic!("to_scene_bytes_v3: {e}"),
+        }
     }
 
     /// [`VoxelStore::try_to_scene_bytes`], panicking on error —
@@ -1360,6 +1700,13 @@ impl VoxelStore {
     fn serialize_scene(&self, version: u32) -> Result<Vec<u8>, StoreError> {
         let n_slots = self.len();
         let width = self.fine_bytes_per_gaussian() as usize;
+        // Serializing a tiered store as v2/v1 silently drops the tiers —
+        // those formats cannot express them and remain bit-compatible.
+        let tiers: &[TierColumn] = if version >= SCENE_VERSION_V3 {
+            &self.tiers
+        } else {
+            &[]
+        };
         let mut out = Vec::new();
         let mut header = vec![
             SCENE_MAGIC,
@@ -1371,6 +1718,12 @@ impl VoxelStore {
         ];
         if version >= SCENE_VERSION {
             header.push(CRC_CHUNK_SLOTS);
+        }
+        if version >= SCENE_VERSION_V3 {
+            header.push(header_u32(
+                tiers.len(),
+                "tier count exceeds u32 header field",
+            )?);
         }
         for v in header {
             out.extend_from_slice(&v.to_le_bytes());
@@ -1401,6 +1754,15 @@ impl VoxelStore {
             self.fine.read_slot(s, width, &mut rec[..width])?;
             fine_col.extend_from_slice(&rec[..width]);
         }
+        let mut tier_cols = Vec::with_capacity(tiers.len());
+        for t in tiers {
+            let rb = t.record_bytes;
+            let mut col = vec![0u8; t.slots.len() * rb];
+            for s in 0..t.slots.len() {
+                t.column.read_slot(s, rb, &mut col[s * rb..(s + 1) * rb])?;
+            }
+            tier_cols.push(col);
+        }
         if version >= SCENE_VERSION {
             // Chunks are slot-aligned, so `chunks()` over the raw column
             // yields exactly ceil(n_slots / CRC_CHUNK_SLOTS) windows.
@@ -1409,11 +1771,47 @@ impl VoxelStore {
                     out.extend_from_slice(&crc32(chunk).to_le_bytes());
                 }
             }
+            // v3 tier directory: per tier, a six-word descriptor, the
+            // tier-slot tables, the tier codebooks (VQ images), then the
+            // tier column's own CRC chunk table — all covered by the one
+            // metadata CRC below.
+            for (t, col) in tiers.iter().zip(&tier_cols) {
+                let kind = match &t.codec {
+                    TierCodec::Raw => TIER_KIND_RAW,
+                    TierCodec::Vq(_) => TIER_KIND_VQ,
+                };
+                for v in [
+                    kind,
+                    u32::from(t.spec.sh_degree),
+                    u32::from(t.spec.keep_permille),
+                    u32::from(t.spec.codebook_shift),
+                    header_u32(t.record_bytes, "tier record width exceeds u32")?,
+                    header_u32(t.slots.len(), "tier slot count exceeds u32")?,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                for &(a, b) in &t.ranges {
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+                for &slot in &t.slots {
+                    out.extend_from_slice(&slot.to_le_bytes());
+                }
+                if let TierCodec::Vq(cb) = &t.codec {
+                    write_codebooks(cb, &mut out);
+                }
+                for chunk in col.chunks((CRC_CHUNK_SLOTS as usize * t.record_bytes).max(1)) {
+                    out.extend_from_slice(&crc32(chunk).to_le_bytes());
+                }
+            }
             let meta = crc32(&out);
             out.extend_from_slice(&meta.to_le_bytes());
         }
         out.extend_from_slice(&coarse_col);
         out.extend_from_slice(&fine_col);
+        for col in &tier_cols {
+            out.extend_from_slice(col);
+        }
         Ok(out)
     }
 
@@ -1526,7 +1924,7 @@ impl VoxelStore {
             return Err(malformed("not a serialized voxel-store scene image"));
         }
         let version = u32_at(&source, &mut at)?;
-        if version != SCENE_VERSION && version != SCENE_VERSION_V1 {
+        if !matches!(version, SCENE_VERSION_V1 | SCENE_VERSION | SCENE_VERSION_V3) {
             return Err(malformed("unsupported scene image version"));
         }
         let flags = u32_at(&source, &mut at)?;
@@ -1548,6 +1946,16 @@ impl VoxelStore {
             Some(ccs)
         } else {
             None
+        };
+        let n_extra_tiers = if version >= SCENE_VERSION_V3 {
+            fits(at, 4, "tier count header word")?;
+            let n = u32_at(&source, &mut at)? as usize;
+            if n > MAX_TIERS - 1 {
+                return Err(malformed("tier count exceeds the ledger's tier capacity"));
+            }
+            n
+        } else {
+            0
         };
 
         fits(at, n_voxels as u64 * 8, "voxel range table")?;
@@ -1594,12 +2002,24 @@ impl VoxelStore {
             FineFormat::Raw { max_axis }
         };
 
-        // Version ≥ 2: per-chunk CRC tables for both columns, then a
-        // metadata CRC over everything read so far.
+        // Parsed-but-unplaced tier metadata: the directory is read (and
+        // validated) with the checksum tables; the column offsets are only
+        // known once the whole metadata prefix has been walked.
+        struct PendingTier {
+            spec: TierSpec,
+            codec: TierCodec,
+            record_bytes: usize,
+            ranges: Vec<(u32, u32)>,
+            slots: Vec<u32>,
+            crc: ColumnCrc,
+        }
+        let mut pending: Vec<PendingTier> = Vec::new();
+
+        // Version ≥ 2: per-chunk CRC tables for both columns — and, for
+        // version ≥ 3, the tier directory with its per-tier CRC tables —
+        // then a metadata CRC over everything read so far.
         let crc_tables = if let Some(ccs) = crc_chunk_slots {
-            let n_chunks = n_slots.div_ceil(ccs as usize);
-            fits(at, n_chunks as u64 * 8 + 4, "checksum tables")?;
-            let read_table = |at: &mut u64| -> Result<Arc<[u32]>, StoreError> {
+            let read_table = |at: &mut u64, n_chunks: usize| -> Result<Arc<[u32]>, StoreError> {
                 let mut buf = vec![0u8; n_chunks * 4];
                 source.read_at(*at, &mut buf)?;
                 *at += buf.len() as u64;
@@ -1608,9 +2028,112 @@ impl VoxelStore {
                     .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect())
             };
-            let coarse_crc = read_table(&mut at)?;
-            let fine_crc = read_table(&mut at)?;
+            let n_chunks = n_slots.div_ceil(ccs as usize);
+            fits(at, n_chunks as u64 * 8, "checksum tables")?;
+            let coarse_crc = read_table(&mut at, n_chunks)?;
+            let fine_crc = read_table(&mut at, n_chunks)?;
+            for _ in 0..n_extra_tiers {
+                fits(at, 24, "tier directory entry")?;
+                let kind = u32_at(&source, &mut at)?;
+                let sh_degree = u32_at(&source, &mut at)?;
+                let keep_permille = u32_at(&source, &mut at)?;
+                let codebook_shift = u32_at(&source, &mut at)?;
+                let record_bytes = u32_at(&source, &mut at)? as usize;
+                let n_tier_slots = u32_at(&source, &mut at)? as usize;
+                let vq_tier = match kind {
+                    TIER_KIND_RAW if flags & FLAG_VQ == 0 => false,
+                    TIER_KIND_VQ if flags & FLAG_VQ != 0 => true,
+                    TIER_KIND_RAW | TIER_KIND_VQ => {
+                        return Err(malformed("tier kind disagrees with the store format"));
+                    }
+                    _ => return Err(malformed("unknown tier kind")),
+                };
+                let spec = TierSpec {
+                    sh_degree: u8::try_from(sh_degree)
+                        .map_err(|_| malformed("tier SH degree out of range"))?,
+                    keep_permille: u16::try_from(keep_permille)
+                        .map_err(|_| malformed("tier keep_permille out of range"))?,
+                    codebook_shift: u8::try_from(codebook_shift)
+                        .map_err(|_| malformed("tier codebook shift out of range"))?,
+                };
+                if spec.sh_degree > MAX_SH_DEGREE || spec.validated() != spec {
+                    return Err(malformed("tier spec outside its valid domain"));
+                }
+                if n_tier_slots > n_slots {
+                    return Err(malformed("tier has more slots than the store"));
+                }
+                fits(at, n_voxels as u64 * 8, "tier range table")?;
+                let mut buf = vec![0u8; n_voxels * 8];
+                source.read_at(at, &mut buf)?;
+                at += buf.len() as u64;
+                let mut tranges = Vec::with_capacity(n_voxels);
+                let mut expect = 0u32;
+                for c in buf.chunks_exact(8) {
+                    let (a, b) = (
+                        u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                        u32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+                    );
+                    if a != expect || a > b || b as usize > n_tier_slots {
+                        return Err(malformed("tier slot ranges do not tile the tier column"));
+                    }
+                    expect = b;
+                    tranges.push((a, b));
+                }
+                if expect as usize != n_tier_slots {
+                    return Err(malformed("tier slot ranges do not tile the tier column"));
+                }
+                fits(at, n_tier_slots as u64 * 4, "tier slot table")?;
+                let mut buf = vec![0u8; n_tier_slots * 4];
+                source.read_at(at, &mut buf)?;
+                at += buf.len() as u64;
+                let tslots: Vec<u32> = buf
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                // Each voxel's tier slots must be a strictly ascending
+                // subsequence of its global slot range — the two-pointer
+                // merge in the renderer depends on it.
+                for (v, &(ta, tb)) in tranges.iter().enumerate() {
+                    let (ga, gb) = ranges[v];
+                    let mut prev: Option<u32> = None;
+                    for &s in &tslots[ta as usize..tb as usize] {
+                        if s < ga || s >= gb || prev.is_some_and(|p| s <= p) {
+                            return Err(malformed(
+                                "tier slots not ascending within their voxel's range",
+                            ));
+                        }
+                        prev = Some(s);
+                    }
+                }
+                let codec = if vq_tier {
+                    TierCodec::Vq(read_codebooks(&source, &mut at, src_len)?)
+                } else {
+                    TierCodec::Raw
+                };
+                let expect_rb = match &codec {
+                    TierCodec::Raw => raw_tier_bytes(spec.sh_degree),
+                    TierCodec::Vq(cb) => vq_tier_bytes(cb, spec.sh_degree),
+                };
+                if record_bytes as u64 != expect_rb {
+                    return Err(malformed("tier record width disagrees with its codec"));
+                }
+                let n_tchunks = n_tier_slots.div_ceil(ccs as usize);
+                fits(at, n_tchunks as u64 * 4, "tier checksum table")?;
+                let tier_crc = read_table(&mut at, n_tchunks)?;
+                pending.push(PendingTier {
+                    spec,
+                    codec,
+                    record_bytes,
+                    ranges: tranges,
+                    slots: tslots,
+                    crc: ColumnCrc {
+                        chunk_slots: ccs,
+                        chunks: tier_crc,
+                    },
+                });
+            }
             let meta_end = at;
+            fits(at, 4, "metadata checksum")?;
             let meta_crc = u32_at(&source, &mut at)?;
             let mut prefix = vec![0u8; meta_end as usize];
             source.read_at(0, &mut prefix)?;
@@ -1634,11 +2157,6 @@ impl VoxelStore {
         let coarse_off = at;
         let fine_off = coarse_off + (n_slots * COARSE_BYTES) as u64;
         fits(fine_off, n_slots as u64 * width as u64, "fine column")?;
-        // Strict framing: nothing may trail the fine column (a torn or
-        // padded image fails here, not later at render time).
-        if fine_off + n_slots as u64 * width as u64 != src_len {
-            return Err(malformed("image length disagrees with the header"));
-        }
         let config = PageConfig {
             verify_checksums: config.verify_checksums && crc_tables.is_some(),
             ..config
@@ -1649,6 +2167,36 @@ impl VoxelStore {
             None => (None, None),
         };
         let source = Arc::new(source);
+        let mut tier_off = fine_off + n_slots as u64 * width as u64;
+        let mut tiers = Vec::with_capacity(pending.len());
+        for (i, pt) in pending.into_iter().enumerate() {
+            let n_tier_slots = pt.slots.len();
+            let len = n_tier_slots as u64 * pt.record_bytes as u64;
+            fits(tier_off, len, "tier column")?;
+            tiers.push(TierColumn {
+                spec: pt.spec,
+                codec: pt.codec,
+                record_bytes: pt.record_bytes,
+                ranges: pt.ranges,
+                slots: pt.slots,
+                column: Column::Paged(Box::new(PagedColumn::new(
+                    Arc::clone(&source),
+                    tier_off,
+                    pt.record_bytes,
+                    n_tier_slots,
+                    config,
+                    // gs-lint: allow(D004) tier index < MAX_TIERS − 1 fits u8
+                    ColumnKind::Tier(i as u8),
+                    Some(pt.crc),
+                ))),
+            });
+            tier_off += len;
+        }
+        // Strict framing: nothing may trail the last column (a torn or
+        // padded image fails here, not later at render time).
+        if tier_off != src_len {
+            return Err(malformed("image length disagrees with the header"));
+        }
         Ok(VoxelStore {
             ranges,
             ids,
@@ -1671,6 +2219,7 @@ impl VoxelStore {
                 fine_crc,
             ))),
             format,
+            tiers,
             staging: StagingPool::default(),
         })
     }
@@ -1701,6 +2250,26 @@ impl VoxelStore {
         policy: FaultPolicy,
     ) -> Result<VoxelStore, StoreError> {
         VoxelStore::open_paged_bytes_with_faults(self.try_to_scene_bytes()?, config, policy)
+    }
+
+    /// A paged twin over a forced **version-3** image (zero extra tiers
+    /// when none were built) — the compatibility-suite shape proving a
+    /// single-tier v3 image opens and renders identically to its v2
+    /// sibling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is paged and a page read fails, or when the
+    /// serialized image fails to open.
+    #[doc(hidden)]
+    pub fn paged_twin_v3(&self, config: PageConfig) -> VoxelStore {
+        match self
+            .serialize_scene(SCENE_VERSION_V3)
+            .and_then(|image| VoxelStore::open_paged_bytes(image, config))
+        {
+            Ok(store) => store,
+            Err(e) => panic!("paged_twin_v3: {e}"),
+        }
     }
 
     /// A paged twin over the pre-checksum version-1 image — back-compat

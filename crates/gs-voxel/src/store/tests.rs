@@ -430,3 +430,197 @@ fn clone_of_paged_store_starts_cold_but_reads_identically() {
     assert_eq!(cold.page_faults(), 0, "clones share no page state");
     assert_eq!(cold.fetch_fine(0, &mut l), g0);
 }
+
+// --- LOD tiers (scene image v3) ------------------------------------------
+
+/// A two-tier ladder exercising SH truncation, pruning and (for VQ)
+/// codebook shrinking.
+fn tier_ladder() -> [TierSpec; 2] {
+    [
+        TierSpec {
+            sh_degree: 1,
+            keep_permille: 1000,
+            codebook_shift: 1,
+        },
+        TierSpec {
+            sh_degree: 0,
+            keep_permille: 500,
+            codebook_shift: 2,
+        },
+    ]
+}
+
+#[test]
+fn tiered_raw_store_round_trips_through_v3() {
+    let (cloud, grid) = scene_cloud();
+    let mut store = VoxelStore::from_cloud(&cloud, &grid);
+    store.build_tiers(&cloud, None, &tier_ladder(), None);
+    assert_eq!(store.tier_count(), 2);
+    assert_eq!(store.tier_record_bytes(0), 76); // SH degree 1
+    assert_eq!(store.tier_record_bytes(1), 40); // SH degree 0
+                                                // keep_permille prunes globally: tier 1 keeps ceil(n/2) slots.
+    let n = store.len();
+    let t1_slots: usize = (0..store.voxel_count() as u32)
+        .map(|v| store.tier_slots_of(1, v).len())
+        .sum();
+    assert_eq!(t1_slots, n.div_ceil(2));
+    let image = store.to_scene_bytes();
+    assert_eq!(u32::from_le_bytes(image[4..8].try_into().unwrap()), 3);
+    let paged = VoxelStore::open_paged_bytes(
+        image,
+        PageConfig {
+            slots_per_page: 7,
+            ..PageConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(paged.tier_count(), 2);
+    for t in 0..2 {
+        assert_eq!(paged.tier_spec(t), store.tier_spec(t));
+        assert_eq!(paged.tier_record_bytes(t), store.tier_record_bytes(t));
+        let (mut a, mut b) = (TrafficLedger::new(), TrafficLedger::new());
+        for v in 0..store.voxel_count() as u32 {
+            assert_eq!(paged.tier_slots_of(t, v), store.tier_slots_of(t, v));
+            for ts in store.tier_slots_of(t, v) {
+                assert_eq!(paged.tier_global_slot(t, ts), store.tier_global_slot(t, ts));
+                assert_eq!(
+                    paged.try_fetch_tier_fine(t, ts, &mut a).unwrap(),
+                    store.try_fetch_tier_fine(t, ts, &mut b).unwrap()
+                );
+            }
+        }
+        assert_eq!(a, b, "paged tier fetches meter identically");
+        assert_eq!(
+            a.tier_demand(t + 1),
+            store.tier_record_bytes(t)
+                * (0..store.voxel_count() as u32)
+                    .map(|v| store.tier_slots_of(t, v).len() as u64)
+                    .sum::<u64>()
+        );
+    }
+    // Tier decodes equal the SH-truncated source for unpruned slots.
+    for ts in store.tier_slots_of(0, 3) {
+        let slot = store.tier_global_slot(0, ts);
+        let g = &cloud.as_slice()[store.id_of(slot) as usize];
+        let mut l = TrafficLedger::new();
+        let dec = store.try_fetch_tier_fine(0, ts, &mut l).unwrap();
+        assert_eq!(dec, gs_vq::tier::truncate_sh(g.clone(), 1));
+    }
+}
+
+#[test]
+fn tiered_vq_store_round_trips_through_v3() {
+    let (cloud, grid) = scene_cloud();
+    let cfg = VqConfig::tiny();
+    let quant = GaussianQuantizer::train(&cloud, &cfg);
+    let mut store = VoxelStore::from_quantized(&quant, &grid);
+    store.build_tiers(&cloud, Some(&cfg), &tier_ladder(), None);
+    assert_eq!(store.tier_count(), 2);
+    // Tier records are strictly narrower than full-quality VQ records.
+    assert!(store.tier_record_bytes(0) < store.fine_bytes_per_gaussian());
+    assert!(store.tier_record_bytes(1) < store.tier_record_bytes(0));
+    let paged = store
+        .try_paged_twin(PageConfig {
+            slots_per_page: 5,
+            max_resident_pages: 3,
+            ..PageConfig::default()
+        })
+        .unwrap();
+    assert_eq!(paged.tier_count(), 2);
+    for t in 0..2 {
+        let (mut a, mut b) = (TrafficLedger::new(), TrafficLedger::new());
+        for v in 0..store.voxel_count() as u32 {
+            for ts in store.tier_slots_of(t, v) {
+                assert_eq!(
+                    paged.try_fetch_tier_fine(t, ts, &mut a).unwrap(),
+                    store.try_fetch_tier_fine(t, ts, &mut b).unwrap()
+                );
+            }
+        }
+        assert_eq!(a, b);
+    }
+    // Tier columns page independently: the eviction budget above forces
+    // re-faults, and the dead-page maps exist per tier.
+    assert!(paged.page_faults() > 0);
+    assert!(!paged.dead_page_map(ColumnKind::Tier(0)).is_empty());
+    assert!(!paged.dead_page_map(ColumnKind::Tier(1)).is_empty());
+    assert!(paged.dead_page_map(ColumnKind::Tier(0)).iter().all(|&d| !d));
+}
+
+#[test]
+fn tierless_v3_image_matches_v2_fetches() {
+    let (cloud, grid) = scene_cloud();
+    let store = VoxelStore::from_cloud(&cloud, &grid);
+    let v2 = store.to_scene_bytes();
+    let v3 = store.to_scene_bytes_v3();
+    assert_eq!(u32::from_le_bytes(v2[4..8].try_into().unwrap()), 2);
+    assert_eq!(u32::from_le_bytes(v3[4..8].try_into().unwrap()), 3);
+    let p2 = VoxelStore::open_paged_bytes(v2, PageConfig::default()).unwrap();
+    let p3 = VoxelStore::open_paged_bytes(v3, PageConfig::default()).unwrap();
+    assert_eq!(p3.tier_count(), 0);
+    let (mut a, mut b) = (TrafficLedger::new(), TrafficLedger::new());
+    for slot in 0..store.len() as u32 {
+        assert_eq!(p2.fetch_fine(slot, &mut a), p3.fetch_fine(slot, &mut b));
+    }
+    assert_eq!(a, b);
+}
+
+#[test]
+fn v3_tier_corruption_is_detected_per_tier_page() {
+    let (cloud, grid) = scene_cloud();
+    let mut store = VoxelStore::from_cloud(&cloud, &grid);
+    store.build_tiers(&cloud, None, &tier_ladder(), None);
+    let image = store.to_scene_bytes();
+    // Flip one byte in the *last* tier's column (the image tail).
+    let mut evil = image.clone();
+    let at = evil.len() - 10;
+    evil[at] ^= 0xFF;
+    let paged = VoxelStore::open_paged_bytes(evil, PageConfig::default()).unwrap();
+    let last = paged.tier_count() - 1;
+    let n_tier_slots: u32 = (0..paged.voxel_count() as u32)
+        .map(|v| paged.tier_slots_of(last, v).len() as u32)
+        .sum();
+    let mut l = TrafficLedger::new();
+    let err = (0..n_tier_slots)
+        .find_map(|ts| paged.try_fetch_tier_fine(last, ts, &mut l).err())
+        .expect("a corrupt tier page must fail its checksum");
+    assert!(
+        matches!(err, StoreError::CorruptPage { column: ColumnKind::Tier(t), .. } if t as usize == last),
+        "unexpected error: {err}"
+    );
+    // Tier 0 and the other tier still fetch fine.
+    assert!(paged.try_fetch_fine(0, &mut l).is_ok());
+    assert!(paged.try_fetch_tier_fine(0, 0, &mut l).is_ok());
+}
+
+#[test]
+fn importance_scores_steer_tier_pruning() {
+    let (cloud, grid) = scene_cloud();
+    let mut by_imp = VoxelStore::from_cloud(&cloud, &grid);
+    // Rank Gaussian ids by descending id: the kept half is the upper ids.
+    let imp: Vec<f64> = (0..cloud.len()).map(|i| i as f64).collect();
+    by_imp.build_tiers(
+        &cloud,
+        None,
+        &[TierSpec {
+            sh_degree: 0,
+            keep_permille: 500,
+            codebook_shift: 0,
+        }],
+        Some(&imp),
+    );
+    let kept: Vec<u32> = (0..by_imp.voxel_count() as u32)
+        .flat_map(|v| {
+            by_imp
+                .tier_slots_of(0, v)
+                .map(|ts| by_imp.id_of(by_imp.tier_global_slot(0, ts)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(kept.len(), cloud.len().div_ceil(2));
+    let cutoff = cloud.len() as u32 - kept.len() as u32;
+    assert!(
+        kept.iter().all(|&id| id >= cutoff),
+        "importance pruning must keep the top-ranked ids"
+    );
+}

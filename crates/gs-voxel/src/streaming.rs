@@ -62,11 +62,11 @@ use gs_core::image::ImageRgb;
 use gs_core::vec::{Vec2, Vec3};
 use gs_mem::cache::{CacheConfig, CacheReport, WorkingSetCache};
 use gs_mem::dram::{round_to_burst, DEFAULT_BURST_BYTES};
-use gs_mem::{Direction, Stage, TrafficLedger};
+use gs_mem::{Direction, Stage, TrafficLedger, MAX_TIERS};
 use gs_render::pool::WorkerPool;
 use gs_render::{ALPHA_EPS, ALPHA_MAX, TRANSMITTANCE_EPS};
 use gs_scene::{Gaussian, GaussianCloud};
-use gs_vq::{GaussianQuantizer, QuantizedCloud, VqConfig};
+use gs_vq::{GaussianQuantizer, QuantizedCloud, TierSpec, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::sync::Mutex;
@@ -76,6 +76,50 @@ use std::sync::Mutex;
 /// are benign co-located-splat noise that even tiny ordering jitter
 /// produces, not the cross-boundary errors of paper Fig. 6.
 const VIOLATION_VOXEL_FRACTION: f32 = 0.1;
+
+/// How the renderer picks a quality tier per voxel per frame (ISSUE 9).
+///
+/// Tier 0 is the full-quality second-half column every store carries;
+/// tiers 1.. are the extra LOD columns built from
+/// [`StreamingConfig::tiers`]. Selection happens once per frame in a
+/// **serial pre-pass over scene voxels in ascending voxel id** — a pure
+/// function of `(camera, policy, store layout)` — so the per-voxel tier
+/// map is invariant across worker-thread counts, like every other frame
+/// output. [`QualityPolicy::FullQuality`] skips the pre-pass entirely and
+/// renders bit-identically to a tierless scene.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum QualityPolicy {
+    /// Always fetch tier 0 (the default): byte-identical to the renderer
+    /// before tiers existed, even on a store that carries extra tiers.
+    #[default]
+    FullQuality,
+    /// Pick the tier from the voxel's projected screen-space footprint
+    /// (`voxel_size · fy / depth`, in pixels): footprints at or above
+    /// `threshold` render full quality, and each halving of the footprint
+    /// below it drops one more tier (clamped to the coarsest built).
+    /// Voxels behind the camera render full quality (their rays never
+    /// reach them anyway).
+    ScreenSpaceError {
+        /// Footprint (pixels) at which quality starts dropping.
+        threshold: f32,
+    },
+    /// Spend at most `bytes` of second-half demand per frame: voxels are
+    /// ranked by projected footprint (descending, voxel id ascending on
+    /// ties) and each takes the finest tier whose whole-voxel cost still
+    /// fits the remaining budget, falling back to the coarsest tier when
+    /// nothing fits.
+    ByteBudget {
+        /// Frame budget for fine-record demand bytes.
+        bytes: u64,
+    },
+    /// Every voxel renders tier `tier` (clamped to the coarsest built) —
+    /// the ablation knob the `lod` bench sweeps to isolate one tier's
+    /// quality/traffic point.
+    ForcedTier {
+        /// Overall tier index (0 = full quality).
+        tier: u8,
+    },
+}
 
 /// Configuration of the streaming pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -122,6 +166,24 @@ pub struct StreamingConfig {
     /// [`StreamingScene::try_render`] with the error. Resident stores
     /// never fault, so the flag is inert for them. Default `true`.
     pub degrade_on_fault: bool,
+    /// Extra LOD tiers to build at scene preparation (tier 0, full
+    /// quality, always exists). `Some` entries become tiers 1.. in order;
+    /// `None` slots are skipped. Default: no extra tiers — the store
+    /// stays single-tier and serializes to the bit-identical v2 image.
+    /// (The length is a literal — [`MAX_EXTRA_TIERS`] — because rustc
+    /// 1.95's borrowck ICEs on named-const field array lengths captured
+    /// by closures across crates.)
+    pub tiers: [Option<TierSpec>; 3],
+    /// Per-frame tier selection policy (see [`QualityPolicy`]). Inert
+    /// without built tiers; the default [`QualityPolicy::FullQuality`] is
+    /// byte-identical to the pre-tier renderer either way.
+    pub quality: QualityPolicy,
+    /// DRAM burst (transaction) size in bytes: every uncached fetch and
+    /// the pixel writeback round up to a multiple of it. When
+    /// [`StreamingConfig::cache`] is set, the cache's `burst_bytes` wins
+    /// (one knob governs the line-fill size) — [`StreamingConfig::validated`]
+    /// copies it over. Default [`gs_mem::dram::DEFAULT_BURST_BYTES`].
+    pub burst_bytes: u64,
 }
 
 impl Default for StreamingConfig {
@@ -138,9 +200,21 @@ impl Default for StreamingConfig {
             threads: 0,
             cache: None,
             degrade_on_fault: true,
+            tiers: [None; MAX_EXTRA_TIERS],
+            quality: QualityPolicy::FullQuality,
+            burst_bytes: DEFAULT_BURST_BYTES,
         }
     }
 }
+
+/// Extra LOD tiers a config can ask for (tier 0 plus these fill
+/// [`gs_mem::MAX_TIERS`] accounting lanes). A literal, not
+/// `MAX_TIERS - 1`, so the array length in [`StreamingConfig::tiers`] is
+/// a plain constant (rustc 1.95 ICEs on cross-crate const expressions in
+/// field array lengths captured by closures); the assert keeps the two in
+/// lockstep.
+pub const MAX_EXTRA_TIERS: usize = 3;
+const _: () = assert!(MAX_EXTRA_TIERS == MAX_TIERS - 1);
 
 impl StreamingConfig {
     /// Smallest supported pixel-group edge. Below 16 px the per-group fixed
@@ -150,14 +224,50 @@ impl StreamingConfig {
     pub const MIN_GROUP_SIZE: u32 = 16;
 
     /// Normalizes the configuration once: clamps `group_size` up to
-    /// [`Self::MIN_GROUP_SIZE`] and `ray_stride` up to 1. Called by
+    /// [`Self::MIN_GROUP_SIZE`], `ray_stride` up to 1 and `burst_bytes`
+    /// up to 1, and lets a configured cache's `burst_bytes` override the
+    /// standalone knob (one knob governs the line-fill size). Called by
     /// [`StreamingScene::new`]/[`StreamingScene::with_quantization`], so
     /// every use site downstream can rely on the invariants instead of
     /// re-clamping.
     pub fn validated(mut self) -> StreamingConfig {
         self.group_size = self.group_size.max(Self::MIN_GROUP_SIZE);
         self.ray_stride = self.ray_stride.max(1);
+        if let Some(c) = self.cache {
+            self.burst_bytes = c.burst_bytes;
+        }
+        self.burst_bytes = self.burst_bytes.max(1);
         self
+    }
+
+    /// The configured extra tiers, in tier order (`Some` slots only).
+    pub fn tier_specs(&self) -> Vec<TierSpec> {
+        self.tiers.iter().flatten().copied().collect()
+    }
+
+    /// A three-step coarsening ladder (SH 2 / SH 1 / SH 0, each pruning
+    /// harder and, for VQ stores, shrinking the codebooks one shift per
+    /// step) — the shape the `lod` bench sweeps and a reasonable starting
+    /// point for real scenes. Every step prunes at least some records so
+    /// each tier moves strictly fewer DRAM transactions than the last.
+    pub fn default_tier_ladder() -> [Option<TierSpec>; MAX_EXTRA_TIERS] {
+        [
+            Some(TierSpec {
+                sh_degree: 2,
+                keep_permille: 900,
+                codebook_shift: 1,
+            }),
+            Some(TierSpec {
+                sh_degree: 1,
+                keep_permille: 700,
+                codebook_shift: 2,
+            }),
+            Some(TierSpec {
+                sh_degree: 0,
+                keep_permille: 400,
+                codebook_shift: 3,
+            }),
+        ]
     }
 
     /// The paper's full-fledged configuration (VQ + coarse filter) for a
@@ -267,6 +377,22 @@ impl DegradationReport {
     }
 }
 
+/// Per-tier usage of one rendered frame, indexed by overall tier (0 =
+/// full quality, 1.. = the extra LOD tiers). Thread-invariant: the voxel
+/// counts come from the serial tier-map pre-pass and the byte counters
+/// from the merged frame ledger's per-tier lanes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierUsageReport {
+    /// Scene voxels assigned to each tier this frame (sums to the scene's
+    /// voxel count; all in lane 0 under [`QualityPolicy::FullQuality`]).
+    pub voxels: [u64; MAX_TIERS],
+    /// Fine-record demand bytes fetched from each tier.
+    pub fetched_bytes: [u64; MAX_TIERS],
+    /// Fine-record DRAM transaction bytes each tier moved (burst-rounded;
+    /// cache-miss fills only when a cache is configured).
+    pub dram_bytes: [u64; MAX_TIERS],
+}
+
 /// One rendered frame from the streaming pipeline.
 #[derive(Clone, Debug)]
 pub struct StreamingOutput {
@@ -293,6 +419,10 @@ pub struct StreamingOutput {
     /// lost, voxels degraded/skipped). Thread-invariant; all-zero on
     /// resident stores and fault-free paged frames.
     pub degradation: DegradationReport,
+    /// Per-tier usage: which tier each voxel rendered at and what each
+    /// tier cost in demand/DRAM bytes. All traffic sits in lane 0 for
+    /// tierless scenes and under [`QualityPolicy::FullQuality`].
+    pub tiers: TierUsageReport,
 }
 
 impl Default for StreamingOutput {
@@ -306,6 +436,7 @@ impl Default for StreamingOutput {
             ledger: TrafficLedger::new(),
             cache: None,
             degradation: DegradationReport::default(),
+            tiers: TierUsageReport::default(),
         }
     }
 }
@@ -380,19 +511,51 @@ impl Clone for StreamingScene {
 
 impl StreamingScene {
     /// Prepares a cloud for streaming. Trains VQ codebooks when
-    /// `config.use_vq` is set and builds the voxel-resident store (raw or
-    /// VQ-indexed second halves). The configuration is normalized via
-    /// [`StreamingConfig::validated`].
+    /// `config.use_vq` is set, builds the voxel-resident store (raw or
+    /// VQ-indexed second halves), and — when [`StreamingConfig::tiers`]
+    /// names any — builds the extra LOD tiers with the store's pure
+    /// per-Gaussian importance fallback. The configuration is normalized
+    /// via [`StreamingConfig::validated`].
     pub fn new(cloud: GaussianCloud, config: StreamingConfig) -> StreamingScene {
+        Self::build(cloud, config, None)
+    }
+
+    /// [`StreamingScene::new`] with externally computed per-Gaussian
+    /// importance scores (global Gaussian id order — the
+    /// `gs-baselines` view-importance convention) steering each tier's
+    /// pruning instead of the opacity × extent fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tiers are configured and `importance` does not cover
+    /// the cloud.
+    pub fn new_with_importance(
+        cloud: GaussianCloud,
+        config: StreamingConfig,
+        importance: &[f64],
+    ) -> StreamingScene {
+        Self::build(cloud, config, Some(importance))
+    }
+
+    fn build(
+        cloud: GaussianCloud,
+        config: StreamingConfig,
+        importance: Option<&[f64]>,
+    ) -> StreamingScene {
         let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
-        let (quant, store) = if config.use_vq {
+        let (quant, mut store) = if config.use_vq {
             let q = GaussianQuantizer::train(&cloud, &config.vq);
             let store = VoxelStore::from_quantized(&q, &grid);
             (Some(q), store)
         } else {
             (None, VoxelStore::from_cloud(&cloud, &grid))
         };
+        let specs = config.tier_specs();
+        if !specs.is_empty() {
+            let vq = config.use_vq.then_some(&config.vq);
+            store.build_tiers(&cloud, vq, &specs, importance);
+        }
         StreamingScene {
             grid,
             source: cloud,
@@ -404,7 +567,10 @@ impl StreamingScene {
     }
 
     /// Prepares with an externally trained quantizer (e.g. after
-    /// quantization-aware fine-tuning).
+    /// quantization-aware fine-tuning). Extra LOD tiers from
+    /// [`StreamingConfig::tiers`] are built like in
+    /// [`StreamingScene::new`] (tier codebooks retrain from
+    /// [`StreamingConfig::vq`]).
     pub fn with_quantization(
         cloud: GaussianCloud,
         quant: QuantizedCloud,
@@ -413,7 +579,11 @@ impl StreamingScene {
         config.use_vq = true;
         let config = config.validated();
         let grid = VoxelGrid::build(&cloud, config.voxel_size);
-        let store = VoxelStore::from_quantized(&quant, &grid);
+        let mut store = VoxelStore::from_quantized(&quant, &grid);
+        let specs = config.tier_specs();
+        if !specs.is_empty() {
+            store.build_tiers(&cloud, Some(&config.vq), &specs, None);
+        }
         StreamingScene {
             grid,
             source: cloud,
@@ -460,6 +630,14 @@ impl StreamingScene {
     #[doc(hidden)]
     pub fn page_out_v1(&mut self, config: PageConfig) {
         self.store = self.store.paged_twin_v1(config);
+    }
+
+    /// [`StreamingScene::page_out`] over a forced version-3 scene image
+    /// (zero tiers when none were built) — the forward-compat twin for
+    /// the v3 ⊇ v2 suites and the `lod` bench.
+    #[doc(hidden)]
+    pub fn page_out_v3(&mut self, config: PageConfig) {
+        self.store = self.store.paged_twin_v3(config);
     }
 
     /// Serializes the store to `path` and reopens it demand-paged from
@@ -677,6 +855,7 @@ impl StreamingScene {
             vblends,
             groups,
             cache,
+            tier_map,
         } = &mut *guard;
         pixels.resize(n_groups * gp, Vec3::ZERO);
         workloads.resize(n_groups, TileWorkload::default());
@@ -684,6 +863,23 @@ impl StreamingScene {
         if groups.len() < chunks {
             groups.resize_with(chunks, GroupScratch::default);
         }
+
+        // Serial per-voxel tier selection (ascending voxel id): a pure
+        // function of camera + policy + store layout, so the map — and
+        // therefore every tiered fetch — is invariant across worker
+        // counts. `FullQuality` (and the cloud twin, which has no tier
+        // columns to read) skips the pre-pass entirely: the group loop
+        // then takes the legacy fetch path untouched, which is what makes
+        // `FullQuality` bit-identical to the pre-tier renderer.
+        let use_tiers = matches!(path, FetchPath::Store)
+            && self.store.tier_count() > 0
+            && self.config.quality != QualityPolicy::FullQuality;
+        let tmap: Option<&[u8]> = if use_tiers {
+            self.fill_tier_map(cam, tier_map);
+            Some(tier_map.as_slice())
+        } else {
+            None
+        };
 
         if chunks <= 1 {
             let group_scratch = &mut groups[0];
@@ -709,6 +905,7 @@ impl StreamingScene {
                     height,
                     path,
                     kernels,
+                    tmap,
                     group_scratch,
                     buf,
                     ray_pool.as_deref_mut(),
@@ -769,6 +966,7 @@ impl StreamingScene {
                         height,
                         path,
                         kernels,
+                        tmap,
                         group_scratch,
                         buf,
                         None,
@@ -877,6 +1075,18 @@ impl StreamingScene {
             });
             let fine_bpg = self.store.fine_bytes_per_gaussian();
             let coarse_bpg = self.store.coarse_bytes_per_gaussian();
+            // Each tier's records live in their own address region past
+            // the tier-0 fine column, mirroring the v3 scene image's
+            // column order — so tiers never alias in the fine cache.
+            let mut tier_base = [0u64; MAX_TIERS];
+            let mut tier_width = [0u64; MAX_TIERS];
+            tier_width[0] = fine_bpg;
+            let mut base = self.store.fine_column_bytes();
+            for tt in 0..self.store.tier_count() {
+                tier_base[tt + 1] = base;
+                tier_width[tt + 1] = self.store.tier_record_bytes(tt);
+                base += self.store.tier_column_bytes(tt);
+            }
             let mut rep = CacheReport::default();
             let mut t = 0usize;
             for chunk_scratch in &groups[..chunks] {
@@ -899,9 +1109,26 @@ impl StreamingScene {
                                     .access(slot as u64 * fine_bpg, fine_bpg, &mut rep.fine);
                             ledger.note_hit(Stage::VoxelFine, Direction::Read, o.hit_bytes);
                             ledger.note_dram(Stage::VoxelFine, Direction::Read, o.fill_bytes);
+                            ledger.note_tier_dram(0, o.fill_bytes);
                             let w = &mut workload.tiles[t];
                             w.fine_hit_bytes += o.hit_bytes;
                             w.fine_dram_bytes += o.fill_bytes;
+                            w.fine_tier_dram_bytes[0] += o.fill_bytes;
+                        }
+                        TraceOp::TierFine { tier, slot } => {
+                            let tu = tier as usize;
+                            let o = sim.fine.access(
+                                tier_base[tu] + slot as u64 * tier_width[tu],
+                                tier_width[tu],
+                                &mut rep.fine,
+                            );
+                            ledger.note_hit(Stage::VoxelFine, Direction::Read, o.hit_bytes);
+                            ledger.note_dram(Stage::VoxelFine, Direction::Read, o.fill_bytes);
+                            ledger.note_tier_dram(tu, o.fill_bytes);
+                            let w = &mut workload.tiles[t];
+                            w.fine_hit_bytes += o.hit_bytes;
+                            w.fine_dram_bytes += o.fill_bytes;
+                            w.fine_tier_dram_bytes[tu] += o.fill_bytes;
                         }
                         TraceOp::GroupEnd => t += 1,
                     }
@@ -910,6 +1137,21 @@ impl StreamingScene {
             debug_assert_eq!(t, n_groups, "trace group markers out of sync");
             rep
         });
+
+        // Per-tier usage: voxel assignments from the serial pre-pass, byte
+        // counters from the merged ledger's tier lanes.
+        let mut tiers = TierUsageReport::default();
+        match tmap {
+            Some(m) => {
+                for &tt in m {
+                    tiers.voxels[tt as usize] += 1;
+                }
+            }
+            None => tiers.voxels[0] = self.grid.voxel_count() as u64,
+        }
+        tiers.fetched_bytes = out.ledger.tier_demand_all();
+        tiers.dram_bytes = out.ledger.tier_dram_all();
+        out.tiers = tiers;
 
         let (ledger, workload) = (&out.ledger, &out.workload);
         debug_assert_eq!(ledger.total(), workload.dram_bytes());
@@ -930,6 +1172,74 @@ impl StreamingScene {
             merged.merge(&o.violations);
         }
         (outputs, merged)
+    }
+
+    /// Fills `map[vid]` with each scene voxel's tier for this frame
+    /// (0 = full quality, `t` = extra tier `t - 1`), per
+    /// [`StreamingConfig::quality`]. Serial, ascending voxel id; every
+    /// float it consumes is a pure per-voxel projection, so the result is
+    /// a deterministic function of `(camera, policy, store layout)`.
+    fn fill_tier_map(&self, cam: &Camera, map: &mut Vec<u8>) {
+        // gs-lint: allow(D004) tier count < MAX_TIERS
+        let n_tiers = self.store.tier_count() as u8;
+        let nv = self.grid.voxel_count();
+        map.clear();
+        map.resize(nv, 0);
+        // Projected screen-space edge of a voxel, in pixels; voxels at or
+        // behind the camera plane report an infinite footprint (full
+        // quality — their rays never march them anyway).
+        let fy = cam.intrinsics.fy;
+        let footprint = |v: u32| -> f32 {
+            let c = cam.world_to_camera(self.grid.voxel_center(v));
+            if c.z > 1e-6 {
+                self.config.voxel_size * fy / c.z
+            } else {
+                f32::INFINITY
+            }
+        };
+        match self.config.quality {
+            QualityPolicy::FullQuality => {}
+            QualityPolicy::ForcedTier { tier } => map.fill(tier.min(n_tiers)),
+            QualityPolicy::ScreenSpaceError { threshold } => {
+                for (v, slot) in map.iter_mut().enumerate() {
+                    let fp = footprint(v as u32);
+                    let mut t = 0u8;
+                    while t < n_tiers && fp < threshold * 0.5f32.powi(i32::from(t)) {
+                        t += 1;
+                    }
+                    *slot = t;
+                }
+            }
+            QualityPolicy::ByteBudget { bytes } => {
+                // Voxels claim budget in descending-footprint order (voxel
+                // id breaks ties), each taking the finest tier whose
+                // whole-voxel fine cost still fits.
+                // gs-lint: allow(D004) voxel count fits u32 (grid ids are u32)
+                let mut order: Vec<u32> = (0..nv as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    footprint(b)
+                        .total_cmp(&footprint(a))
+                        .then_with(|| a.cmp(&b))
+                });
+                let fine_bpg = self.store.fine_bytes_per_gaussian();
+                let cost = |v: u32, t: u8| -> u64 {
+                    if t == 0 {
+                        self.store.slots_of(v).len() as u64 * fine_bpg
+                    } else {
+                        let tr = self.store.tier_slots_of(usize::from(t) - 1, v);
+                        tr.len() as u64 * self.store.tier_record_bytes(usize::from(t) - 1)
+                    }
+                };
+                let mut remaining = bytes;
+                for &v in &order {
+                    let chosen = (0..=n_tiers)
+                        .find(|&t| cost(v, t) <= remaining)
+                        .unwrap_or(n_tiers);
+                    remaining = remaining.saturating_sub(cost(v, chosen));
+                    map[v as usize] = chosen;
+                }
+            }
+        }
     }
 
     /// Renders one pixel group into `pixels` (a `group_size²` buffer from
@@ -953,6 +1263,7 @@ impl StreamingScene {
         height: u32,
         path: &FetchPath<'_>,
         kernels: PayloadKernels,
+        tier_map: Option<&[u8]>,
         scratch: &mut GroupScratch,
         pixels: &mut [Vec3],
         pool: Option<&mut WorkerPool>,
@@ -984,11 +1295,9 @@ impl StreamingScene {
         // replay; without one, each fetch is its own burst-rounded DRAM
         // transaction, metered right here.
         let cached = self.config.cache.is_some();
-        let burst = self
-            .config
-            .cache
-            .map(|c| c.burst_bytes)
-            .unwrap_or(DEFAULT_BURST_BYTES);
+        // One knob: `validated()` already copied a configured cache's
+        // line-fill size into `burst_bytes`.
+        let burst = self.config.burst_bytes;
         // The worker ledger accumulates across groups; this group's byte
         // counters are the deltas over these baselines.
         let base_coarse = ledger.get(Stage::VoxelCoarse, Direction::Read);
@@ -997,6 +1306,8 @@ impl StreamingScene {
         let base_coarse_dram = ledger.dram(Stage::VoxelCoarse, Direction::Read);
         let base_fine_dram = ledger.dram(Stage::VoxelFine, Direction::Read);
         let base_pixel_dram = ledger.dram(Stage::PixelOut, Direction::Write);
+        let base_tier = ledger.tier_demand_all();
+        let base_tier_dram = ledger.tier_dram_all();
 
         // --- VSU: ray sampling + voxel ordering --------------------------
         let (dx, dy, dz) = self.grid.dims();
@@ -1183,19 +1494,103 @@ impl StreamingScene {
             // position/extent) or is dropped — never a panic.
             splats.clear();
             let fine_dram_rec = round_to_burst(fine_bpg, burst);
+            let tier = tier_map.map_or(0usize, |m| usize::from(m[vid as usize]));
             let mut abort = false;
-            for &slot in survivors.iter() {
-                let gi = self.store.id_of(slot);
-                let g: Gaussian = match path {
-                    FetchPath::Store => match self.store.try_fetch_fine(slot, ledger) {
-                        Ok(g) => {
-                            // Each record is one scattered fetch: traced
-                            // for the cache replay, or one burst-rounded
-                            // DRAM transaction.
+            if tier == 0 {
+                for &slot in survivors.iter() {
+                    let gi = self.store.id_of(slot);
+                    let g: Gaussian = match path {
+                        FetchPath::Store => match self.store.try_fetch_fine(slot, ledger) {
+                            Ok(g) => {
+                                // Each record is one scattered fetch: traced
+                                // for the cache replay, or one burst-rounded
+                                // DRAM transaction.
+                                if cached {
+                                    trace.push(TraceOp::Fine(slot));
+                                } else {
+                                    ledger.note_dram(
+                                        Stage::VoxelFine,
+                                        Direction::Read,
+                                        fine_dram_rec,
+                                    );
+                                    ledger.note_tier_dram(0, fine_dram_rec);
+                                }
+                                g
+                            }
+                            Err(e) => {
+                                if !self.config.degrade_on_fault {
+                                    if error.is_none() {
+                                        *error = Some((group_index, e));
+                                    }
+                                    abort = true;
+                                    break;
+                                }
+                                match self.store.try_coarse_of(slot) {
+                                    Ok((pos, s_max)) => {
+                                        degradation.fine_degraded += 1;
+                                        Gaussian::isotropic(
+                                            pos,
+                                            s_max,
+                                            Vec3::new(0.5, 0.5, 0.5),
+                                            0.5,
+                                        )
+                                    }
+                                    Err(_) => {
+                                        degradation.fine_skipped += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                        },
+                        FetchPath::CloudTwin { render } => {
                             if cached {
                                 trace.push(TraceOp::Fine(slot));
                             } else {
                                 ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
+                                ledger.note_tier_dram(0, fine_dram_rec);
+                            }
+                            ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
+                            ledger.note_tier(0, fine_bpg);
+                            render.as_slice()[gi as usize].clone()
+                        }
+                    };
+                    if let Some(s) = fine_test(cam, &g, &rect, self.config.sh_degree) {
+                        splats.push((gi, s));
+                    }
+                }
+            } else {
+                // LOD path (tier map is only ever built for the store
+                // fetch path): walk the ascending survivors against the
+                // voxel's ascending tier slots with a two-pointer merge —
+                // survivors the tier pruned fetch nothing and vanish from
+                // the frame, the rest fetch the tier's narrower record.
+                let t = tier - 1;
+                let twidth = self.store.tier_record_bytes(t);
+                let tier_dram_rec = round_to_burst(twidth, burst);
+                let trange = self.store.tier_slots_of(t, vid);
+                let mut ts = trange.start;
+                let te = trange.end;
+                for &slot in survivors.iter() {
+                    while ts < te && self.store.tier_global_slot(t, ts) < slot {
+                        ts += 1;
+                    }
+                    if ts >= te || self.store.tier_global_slot(t, ts) != slot {
+                        continue; // pruned at this tier
+                    }
+                    let tslot = ts;
+                    ts += 1;
+                    let gi = self.store.id_of(slot);
+                    let g: Gaussian = match self.store.try_fetch_tier_fine(t, tslot, ledger) {
+                        Ok(g) => {
+                            if cached {
+                                trace.push(TraceOp::TierFine {
+                                    // gs-lint: allow(D004) tier index < MAX_TIERS
+                                    tier: tier as u8,
+                                    slot: tslot,
+                                });
+                            } else {
+                                ledger.note_dram(Stage::VoxelFine, Direction::Read, tier_dram_rec);
+                                ledger.note_tier_dram(tier, tier_dram_rec);
                             }
                             g
                         }
@@ -1218,19 +1613,10 @@ impl StreamingScene {
                                 }
                             }
                         }
-                    },
-                    FetchPath::CloudTwin { render } => {
-                        if cached {
-                            trace.push(TraceOp::Fine(slot));
-                        } else {
-                            ledger.note_dram(Stage::VoxelFine, Direction::Read, fine_dram_rec);
-                        }
-                        ledger.add(Stage::VoxelFine, Direction::Read, fine_bpg);
-                        render.as_slice()[gi as usize].clone()
+                    };
+                    if let Some(s) = fine_test(cam, &g, &rect, self.config.sh_degree) {
+                        splats.push((gi, s));
                     }
-                };
-                if let Some(s) = fine_test(cam, &g, &rect, self.config.sh_degree) {
-                    splats.push((gi, s));
                 }
             }
             if abort {
@@ -1279,6 +1665,12 @@ impl StreamingScene {
         w.coarse_dram_bytes = ledger.dram(Stage::VoxelCoarse, Direction::Read) - base_coarse_dram;
         w.fine_dram_bytes = ledger.dram(Stage::VoxelFine, Direction::Read) - base_fine_dram;
         w.pixel_dram_bytes = ledger.dram(Stage::PixelOut, Direction::Write) - base_pixel_dram;
+        let tier_now = ledger.tier_demand_all();
+        let tier_dram_now = ledger.tier_dram_all();
+        for tt in 0..MAX_TIERS {
+            w.fine_tier_bytes[tt] = tier_now[tt] - base_tier[tt];
+            w.fine_tier_dram_bytes[tt] = tier_dram_now[tt] - base_tier_dram[tt];
+        }
 
         blend.finish(self.config.background, pixels);
         (w, violating_blends)
@@ -1304,6 +1696,9 @@ struct StreamScratch {
     /// [`StreamingConfig::cache`]); carries state across frames so
     /// trajectories exercise temporal locality.
     cache: Option<FrameCacheSim>,
+    /// This frame's per-voxel tier assignment (serial pre-pass output;
+    /// empty under [`QualityPolicy::FullQuality`] and on tierless scenes).
+    tier_map: Vec<u8>,
 }
 
 /// One working-set cache per cached pipeline stage.
@@ -1319,8 +1714,17 @@ struct FrameCacheSim {
 enum TraceOp {
     /// A whole-voxel first-half burst.
     Coarse(u32),
-    /// One second-half record fetch.
+    /// One second-half record fetch (tier 0, global slot addressing).
     Fine(u32),
+    /// One LOD-tier record fetch: overall tier index (≥ 1) plus the
+    /// tier-local slot; the replay addresses it past the tier-0 column so
+    /// tiers never alias in the fine cache.
+    TierFine {
+        /// Overall tier (1.. — tier 0 uses [`TraceOp::Fine`]).
+        tier: u8,
+        /// Tier-local slot index.
+        slot: u32,
+    },
     /// Group boundary (advances the per-tile accounting cursor).
     GroupEnd,
 }

@@ -7,7 +7,7 @@
 //! workload totals agree exactly by construction. [`FrameWorkload::to_ledger`]
 //! converts in the other direction (e.g. after workload extrapolation).
 
-use gs_mem::{Direction, Stage, TrafficLedger};
+use gs_mem::{Direction, Stage, TrafficLedger, MAX_TIERS};
 use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
@@ -62,6 +62,15 @@ pub struct TileWorkload {
     pub coarse_hit_bytes: u64,
     /// Fine-phase demand bytes served on-chip by the working-set cache.
     pub fine_hit_bytes: u64,
+    /// Fine-phase demand bytes split by quality tier (lane 0 = the
+    /// full-quality column, lanes 1.. = the LOD tiers); the lanes sum to
+    /// `fine_bytes` on tiered-renderer tiles and are all-zero on legacy
+    /// tiles, where [`FrameWorkload::to_ledger`] attributes the fine
+    /// demand to tier 0.
+    pub fine_tier_bytes: [u64; MAX_TIERS],
+    /// Fine-phase DRAM transaction bytes split by quality tier (see
+    /// `fine_tier_bytes`; lanes sum to `fine_dram_bytes` on tiered tiles).
+    pub fine_tier_dram_bytes: [u64; MAX_TIERS],
 }
 
 impl AddAssign for TileWorkload {
@@ -87,6 +96,10 @@ impl AddAssign for TileWorkload {
         self.pixel_dram_bytes += o.pixel_dram_bytes;
         self.coarse_hit_bytes += o.coarse_hit_bytes;
         self.fine_hit_bytes += o.fine_hit_bytes;
+        for t in 0..MAX_TIERS {
+            self.fine_tier_bytes[t] += o.fine_tier_bytes[t];
+            self.fine_tier_dram_bytes[t] += o.fine_tier_dram_bytes[t];
+        }
     }
 }
 
@@ -232,6 +245,31 @@ impl FrameWorkload {
         l.note_dram(Stage::PixelOut, Direction::Write, pixel_dram);
         l.note_hit(Stage::VoxelCoarse, Direction::Read, t.coarse_hit_bytes);
         l.note_hit(Stage::VoxelFine, Direction::Read, t.fine_hit_bytes);
+        // Per-tier fine lanes, decided tile by tile like the DRAM bytes:
+        // tiles with recorded lanes replay them; legacy tiles (all lanes
+        // zero) attribute their whole fine phase to tier 0 — the column
+        // every pre-tier renderer actually read.
+        for w in &self.tiles {
+            if w.fine_tier_bytes == [0; MAX_TIERS] {
+                l.note_tier(0, w.fine_bytes);
+            } else {
+                for tt in 0..MAX_TIERS {
+                    l.note_tier(tt, w.fine_tier_bytes[tt]);
+                }
+            }
+            if w.fine_tier_dram_bytes == [0; MAX_TIERS] {
+                let dram = if w.has_transaction_accounting() {
+                    w.fine_dram_bytes
+                } else {
+                    w.synthesized_dram_bytes().1
+                };
+                l.note_tier_dram(0, dram);
+            } else {
+                for tt in 0..MAX_TIERS {
+                    l.note_tier_dram(tt, w.fine_tier_dram_bytes[tt]);
+                }
+            }
+        }
         l
     }
 }

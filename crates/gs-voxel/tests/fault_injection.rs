@@ -22,6 +22,9 @@
 //! (g) **Dead-page map** — `dead_page_map` starts all-healthy, marks
 //!     pages lost to permanent faults, and agrees with the aggregate
 //!     `fault_snapshot().dead_pages` count.
+//! (h) **Tier columns are fault domains** — a paged v3 store's extra LOD
+//!     tier columns recover from transient faults bit-identically and
+//!     dead-mark per (tier, page), agreeing with the snapshot.
 
 // Tests may unwrap: a panic is exactly the right failure mode here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -327,4 +330,72 @@ fn v1_images_render_identically_with_verification_flagged_off() {
         "a v1 image has no checksums to verify"
     );
     outputs_identical(&resident.render(cam), &v1.render(cam), "v1 paged");
+}
+
+/// (h) Tier columns are first-class fault domains: a paged tiered (v3)
+/// store exposes a per-tier page table, transient faults on the render's
+/// tier reads recover bit-identically, and permanent faults dead-mark
+/// per (tier, page) in agreement with the aggregate snapshot.
+#[test]
+fn tier_columns_recover_and_dead_mark_like_the_fine_column() {
+    use gs_voxel::{ColumnKind, QualityPolicy, StreamingConfig};
+    let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+    let cam = &scene.eval_cameras[0];
+    // Force the coarsest tier so every fine fetch goes through a tier
+    // column — the fault draws land where this test looks.
+    let cfg = StreamingConfig {
+        tiers: StreamingConfig::default_tier_ladder(),
+        quality: QualityPolicy::ForcedTier { tier: 3 },
+        ..vq_config(scene.voxel_size, 1)
+    };
+    let resident = StreamingScene::new(scene.trained.clone(), cfg);
+    let n_tiers = resident.store().tier_count();
+    assert!(n_tiers >= 2, "ladder must build multiple tiers");
+    let clean = resident.render(cam);
+    assert!(
+        clean.tiers.fetched_bytes[3] > 0,
+        "forced tier 3 must fetch tier records"
+    );
+
+    // Transient faults: bit-identical recovery, retries counted.
+    let mut transient = resident.clone();
+    transient
+        .page_out_with_faults(page_config(), FaultPolicy::transient(0x7151_0001, 200))
+        .expect("reopen with faults");
+    let out = transient.try_render(cam).expect("transient faults retry");
+    outputs_identical(&clean, &out, "tiered + transient faults");
+    assert!(out.degradation.page_retries > 0, "no fault fired — vacuous");
+
+    // Permanent faults: pages die per (tier, page), others stay healthy,
+    // and the per-column maps agree with the aggregate count.
+    let mut perma = resident.clone();
+    perma
+        .page_out_with_faults(
+            page_config(),
+            FaultPolicy {
+                seed: 0x7151_0002,
+                permanent_per_mille: 150,
+                ..FaultPolicy::default()
+            },
+        )
+        .expect("reopen with faults");
+    for t in 0..n_tiers {
+        let map = perma.dead_page_map(ColumnKind::Tier(t as u8));
+        assert!(!map.is_empty(), "paged tier {t} must expose a page table");
+        assert!(map.iter().all(|&dead| !dead), "pages must start healthy");
+    }
+    let out = perma
+        .try_render(cam)
+        .expect("degradation must absorb permanent faults");
+    assert!(out.degradation.pages_lost > 0, "no page died — vacuous");
+    let dead: u64 = (0..n_tiers)
+        .map(|t| ColumnKind::Tier(t as u8))
+        .chain([ColumnKind::Coarse, ColumnKind::Fine])
+        .map(|c| perma.dead_page_map(c).iter().filter(|&&d| d).count() as u64)
+        .sum();
+    assert_eq!(
+        dead,
+        perma.store().fault_snapshot().dead_pages,
+        "per-column maps must agree with the aggregate snapshot"
+    );
 }

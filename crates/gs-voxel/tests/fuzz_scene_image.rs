@@ -22,10 +22,11 @@ use gs_scene::{SceneConfig, SceneKind};
 use gs_voxel::{StreamingConfig, StreamingScene};
 use gs_vq::VqConfig;
 
-/// One raw and one VQ scene image, built once (codebook training is the
-/// slow part; the properties only mutate bytes).
-fn images() -> &'static [Vec<u8>; 2] {
-    static IMAGES: OnceLock<[Vec<u8>; 2]> = OnceLock::new();
+/// One raw, one VQ, and one tiered-VQ (v3) scene image, built once
+/// (codebook training is the slow part; the properties only mutate
+/// bytes).
+fn images() -> &'static [Vec<u8>; 3] {
+    static IMAGES: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
     IMAGES.get_or_init(|| {
         let scene = SceneKind::Lego.build(&SceneConfig::tiny());
         let raw = StreamingScene::new(
@@ -44,12 +45,27 @@ fn images() -> &'static [Vec<u8>; 2] {
                 ..Default::default()
             },
         );
-        [raw.store().to_scene_bytes(), vq.store().to_scene_bytes()]
+        let tiered = StreamingScene::new(
+            scene.trained.clone(),
+            StreamingConfig {
+                voxel_size: scene.voxel_size,
+                use_vq: true,
+                vq: VqConfig::tiny(),
+                tiers: StreamingConfig::default_tier_ladder(),
+                ..Default::default()
+            },
+        );
+        [
+            raw.store().to_scene_bytes(),
+            vq.store().to_scene_bytes(),
+            tiered.store().to_scene_bytes(),
+        ]
     })
 }
 
-/// Scans every voxel's coarse column and every slot's fine record,
-/// returning whether any fetch surfaced an error (and panicking never).
+/// Scans every voxel's coarse column, every slot's fine record, and every
+/// extra tier's record column, returning whether any fetch surfaced an
+/// error (and panicking never).
 fn full_scan_errs(store: &VoxelStore) -> bool {
     let mut ledger = TrafficLedger::new();
     let mut any_err = false;
@@ -66,6 +82,15 @@ fn full_scan_errs(store: &VoxelStore) -> bool {
             any_err = true;
         }
     }
+    for t in 0..store.tier_count() {
+        for v in 0..store.voxel_count() as u32 {
+            for tslot in store.tier_slots_of(t, v) {
+                if store.try_fetch_tier_fine(t, tslot, &mut ledger).is_err() {
+                    any_err = true;
+                }
+            }
+        }
+    }
     any_err
 }
 
@@ -73,7 +98,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn truncated_prefixes_always_err(which in 0usize..2, frac in 0.0f64..1.0) {
+    fn truncated_prefixes_always_err(which in 0usize..3, frac in 0.0f64..1.0) {
         let img = &images()[which];
         // Any strict prefix, from empty to one byte short.
         let len = ((frac * img.len() as f64) as usize).min(img.len() - 1);
@@ -87,7 +112,7 @@ proptest! {
 
     #[test]
     fn single_byte_mutations_are_always_detected(
-        which in 0usize..2,
+        which in 0usize..3,
         pos_frac in 0.0f64..1.0,
         xor_m1 in 0u8..255,
     ) {
@@ -113,15 +138,17 @@ proptest! {
 
     #[test]
     fn mutated_headers_never_panic_or_overallocate(
-        word in 0usize..7,
+        which in 0usize..3,
+        word in 0usize..8,
         value in 0u32..u32::MAX,
     ) {
         // Overwrite a whole header word with an arbitrary value — the
         // hostile-length case: counts must be bounds-checked against the
         // image length *before* sizing any allocation (an OOM aborts the
         // process, which this test would surface as a crash, not a
-        // failure).
-        let img = &images()[0];
+        // failure). The v3 image has 8 header words; on v2 the eighth
+        // word lands in the slot-range table, which is equally fair game.
+        let img = &images()[which];
         let mut evil = img.clone();
         evil[word * 4..word * 4 + 4].copy_from_slice(&value.to_le_bytes());
         let _ = VoxelStore::open_paged_bytes(evil, PageConfig::default());

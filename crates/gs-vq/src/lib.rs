@@ -32,7 +32,12 @@
 pub mod codebook;
 pub mod kmeans;
 pub mod quantizer;
+pub mod tier;
 
 pub use codebook::Codebook;
 pub use kmeans::{kmeans, KmeansResult};
 pub use quantizer::{FeatureCodebooks, GaussianQuantizer, QuantRecord, QuantizedCloud, VqConfig};
+pub use tier::{
+    decode_vq_tier_record, expand_raw_record, raw_tier_bytes, read_vq_tier_record, sh_floats,
+    truncate_raw_record, truncate_sh, vq_tier_bytes, write_vq_tier_record, TierSpec, MAX_SH_DEGREE,
+};

@@ -244,7 +244,7 @@ fn scale_feature(g: &Gaussian) -> [f32; 3] {
     [g.scale.x.ln(), g.scale.y.ln(), g.scale.z.ln()]
 }
 
-fn scale_from_feature(f: &[f32]) -> Vec3 {
+pub(crate) fn scale_from_feature(f: &[f32]) -> Vec3 {
     Vec3::new(f[0].exp(), f[1].exp(), f[2].exp())
 }
 

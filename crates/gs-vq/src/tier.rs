@@ -1,0 +1,385 @@
+//! Tier-aware record codecs for LOD scene images.
+//!
+//! A tiered scene image carries the full-quality second half (tier 0 —
+//! today's raw 220 B or VQ index records, bit-exact) plus up to
+//! [`gs_mem`-sized] extra tiers, each cheaper along two axes:
+//!
+//! * **SH-degree truncation** (MEGS²-style): a tier keeps spherical
+//!   harmonics only up to `sh_degree`; the truncated tail decodes as
+//!   zero. A raw tier record is a byte *prefix* of the full fine record
+//!   (the SH bands are its tail), so tier 0 (`sh_degree = 3`) is the
+//!   identity codec.
+//! * **Codebook shrinking** (VQ tiers): each per-feature codebook keeps
+//!   `entries >> codebook_shift` centroids, which can also narrow the
+//!   serialized index width (≤ 256 entries → 1 B).
+//!
+//! The third axis — importance pruning, which Gaussians a tier keeps at
+//! all — lives in the store's tier directory, not in the record codec;
+//! [`TierSpec::keep_permille`] only *describes* it.
+//!
+//! Everything here is a pure function of its inputs: encode → decode
+//! round-trips bit-exactly to the truncated source for every tier, and
+//! tier 0 round-trips losslessly (`tests` + `tests/tier_roundtrip.rs`).
+
+use crate::codebook::Codebook;
+use crate::quantizer::{scale_from_feature, FeatureCodebooks, QuantRecord, SH_BAND_RANGES};
+use gs_core::sh::SH_COEFFS;
+use gs_core::vec::Vec3;
+use gs_core::Quat;
+use gs_scene::gaussian::FINE_BYTES_RAW;
+use gs_scene::Gaussian;
+use serde::{Deserialize, Serialize};
+
+/// Highest SH degree a record can carry (degree 3 = all 48 coefficients).
+pub const MAX_SH_DEGREE: u8 = 3;
+
+/// Leading non-SH floats of a raw fine record: two non-max scale axes,
+/// four rotation components, and opacity (`gs_scene::Gaussian::fine_record`
+/// layout) — everything before the SH tail that tiers truncate.
+pub const RAW_HEAD_FLOATS: usize = 7;
+
+/// One quality tier's layout: how much of the second half it keeps.
+///
+/// Tier 0 is always `TierSpec::tier0()` (full quality); extra tiers
+/// coarsen monotonically in the ladders the benches sweep, though the
+/// codec itself accepts any combination.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// SH degree kept by this tier (0–3; bands above it decode as zero).
+    pub sh_degree: u8,
+    /// Per-mille of Gaussians the tier keeps, by importance rank
+    /// (1000 = no pruning). Applied by the store's tier builder.
+    pub keep_permille: u16,
+    /// VQ tiers: every codebook keeps `entries >> codebook_shift`
+    /// centroids (ignored for raw tiers).
+    pub codebook_shift: u8,
+}
+
+impl TierSpec {
+    /// The full-quality tier: today's records, bit-exact.
+    pub fn tier0() -> TierSpec {
+        TierSpec {
+            sh_degree: MAX_SH_DEGREE,
+            keep_permille: 1000,
+            codebook_shift: 0,
+        }
+    }
+
+    /// Clamps the spec into its valid domain (degree ≤ 3, keep ≥ 1 ‰).
+    pub fn validated(self) -> TierSpec {
+        TierSpec {
+            sh_degree: self.sh_degree.min(MAX_SH_DEGREE),
+            keep_permille: self.keep_permille.clamp(1, 1000),
+            codebook_shift: self.codebook_shift,
+        }
+    }
+
+    /// `true` when this spec describes the lossless full-quality layout.
+    pub fn is_tier0(&self) -> bool {
+        self.validated() == TierSpec::tier0()
+    }
+}
+
+impl Default for TierSpec {
+    fn default() -> TierSpec {
+        TierSpec::tier0()
+    }
+}
+
+/// SH coefficients kept at `sh_degree` (3 colour channels × (d+1)²
+/// basis functions).
+pub fn sh_floats(sh_degree: u8) -> usize {
+    let d = sh_degree.min(MAX_SH_DEGREE) as usize;
+    3 * (d + 1) * (d + 1)
+}
+
+/// Serialized bytes of one **raw** tier record at `sh_degree`: the seven
+/// head floats plus the kept SH prefix, 4 B each (220 B at degree 3 —
+/// exactly the full fine record).
+pub fn raw_tier_bytes(sh_degree: u8) -> u64 {
+    (4 * (RAW_HEAD_FLOATS + sh_floats(sh_degree))) as u64
+}
+
+/// Encodes one raw tier record: the byte prefix of the full fine record
+/// that survives SH truncation (the identity at degree 3). Appends
+/// exactly [`raw_tier_bytes`] bytes to `out`.
+///
+/// # Panics
+///
+/// Panics when `full` is not a whole fine record — truncating a partial
+/// record would silently corrupt the column.
+pub fn truncate_raw_record(full: &[u8], sh_degree: u8, out: &mut Vec<u8>) {
+    assert_eq!(
+        full.len(),
+        FINE_BYTES_RAW,
+        "raw tier source must be a whole fine record"
+    );
+    out.extend_from_slice(&full[..raw_tier_bytes(sh_degree) as usize]);
+}
+
+/// Decodes a raw tier record back to full fine-record shape: the kept
+/// prefix verbatim, the truncated SH tail as zero bytes (0.0f32 exactly,
+/// so degree-3 expansion is the identity and every tier's decode equals
+/// the SH-truncated source bit-for-bit).
+pub fn expand_raw_record(tier: &[u8], out: &mut [u8; FINE_BYTES_RAW]) {
+    out.fill(0);
+    out[..tier.len()].copy_from_slice(tier);
+}
+
+/// Zeroes `g`'s SH coefficients above `sh_degree` — the exact Gaussian a
+/// raw tier record decodes to (the round-trip reference the proptests
+/// compare against).
+pub fn truncate_sh(mut g: Gaussian, sh_degree: u8) -> Gaussian {
+    for c in g.sh[sh_floats(sh_degree)..].iter_mut() {
+        *c = 0.0;
+    }
+    g
+}
+
+/// Serialized bytes of one **VQ** tier record at `sh_degree` against
+/// `cb`: scale + rotation + DC indices, the SH band indices of bands
+/// `1..=sh_degree`, and the opacity byte. At degree 3 this is exactly
+/// [`FeatureCodebooks::record_bytes`].
+pub fn vq_tier_bytes(cb: &FeatureCodebooks, sh_degree: u8) -> u64 {
+    cb.scale.index_bytes()
+        + cb.rot.index_bytes()
+        + cb.dc.index_bytes()
+        + cb.sh
+            .iter()
+            .take(sh_degree.min(MAX_SH_DEGREE) as usize)
+            .map(Codebook::index_bytes)
+            .sum::<u64>()
+        + 1 // opacity byte
+}
+
+/// Appends the byte image of `r` truncated to `sh_degree`: like
+/// [`FeatureCodebooks::write_record`] but skipping the SH band indices
+/// above the tier's degree — exactly [`vq_tier_bytes`] bytes (and the
+/// identical bytes at degree 3).
+///
+/// # Panics
+///
+/// Panics on an index that does not fit its codebook's narrow width, or
+/// an unsupported index width — the same losslessness guards as the
+/// full-record codec.
+pub fn write_vq_tier_record(
+    cb: &FeatureCodebooks,
+    sh_degree: u8,
+    r: &QuantRecord,
+    out: &mut Vec<u8>,
+) {
+    let put = |out: &mut Vec<u8>, idx: u32, width: u64| {
+        assert!(
+            matches!(width, 1 | 2),
+            "unsupported codebook index width {width} (the tier codec \
+             serializes 1- or 2-byte indices only)"
+        );
+        assert!(
+            idx < 1u32 << (8 * width),
+            "codebook index {idx} overflows its {width}-byte record slot"
+        );
+        match width {
+            // gs-lint: allow(D004) lossless: the assert above pins idx below 2^(8·width)
+            1 => out.push(idx as u8),
+            // gs-lint: allow(D004) lossless: the assert above pins idx below 2^(8·width)
+            _ => out.extend_from_slice(&(idx as u16).to_le_bytes()),
+        }
+    };
+    put(out, r.scale, cb.scale.index_bytes());
+    put(out, r.rot, cb.rot.index_bytes());
+    put(out, r.dc, cb.dc.index_bytes());
+    for (b, book) in cb
+        .sh
+        .iter()
+        .enumerate()
+        .take(sh_degree.min(MAX_SH_DEGREE) as usize)
+    {
+        put(out, r.sh[b], book.index_bytes());
+    }
+    out.push(r.opacity_q);
+}
+
+/// Decodes a [`write_vq_tier_record`] byte image back to the record,
+/// bit-exactly; SH band indices above the tier's degree come back as 0
+/// (the decoder never consults them — [`decode_vq_tier_record`] zeroes
+/// those bands outright).
+///
+/// # Panics
+///
+/// Panics when `bytes` is shorter than [`vq_tier_bytes`] or a codebook
+/// reports an unsupported index width — symmetric with the writer.
+pub fn read_vq_tier_record(cb: &FeatureCodebooks, sh_degree: u8, bytes: &[u8]) -> QuantRecord {
+    let mut at = 0usize;
+    let mut get = |width: u64| -> u32 {
+        assert!(
+            matches!(width, 1 | 2),
+            "unsupported codebook index width {width} (the tier codec \
+             deserializes 1- or 2-byte indices only)"
+        );
+        let v = match width {
+            1 => u32::from(bytes[at]),
+            _ => u32::from(u16::from_le_bytes([bytes[at], bytes[at + 1]])),
+        };
+        at += width as usize;
+        v
+    };
+    let scale = get(cb.scale.index_bytes());
+    let rot = get(cb.rot.index_bytes());
+    let dc = get(cb.dc.index_bytes());
+    let mut sh = [0u32; 3];
+    for (b, book) in cb
+        .sh
+        .iter()
+        .enumerate()
+        .take(sh_degree.min(MAX_SH_DEGREE) as usize)
+    {
+        sh[b] = get(book.index_bytes());
+    }
+    let opacity_q = bytes[at];
+    QuantRecord {
+        scale,
+        rot,
+        dc,
+        sh,
+        opacity_q,
+    }
+}
+
+/// Decodes a tier record into a full Gaussian: the kept feature groups
+/// through their codebooks (the identical float operations as
+/// [`FeatureCodebooks::decode_record`], so degree 3 is bit-exact with the
+/// full decode path), the truncated SH bands as exact zeros.
+pub fn decode_vq_tier_record(
+    cb: &FeatureCodebooks,
+    sh_degree: u8,
+    pos: Vec3,
+    r: &QuantRecord,
+) -> Gaussian {
+    let scale = scale_from_feature(cb.scale.decode(r.scale));
+    let q = cb.rot.decode(r.rot);
+    let rot = Quat::new(q[0], q[1], q[2], q[3]).normalized();
+    let mut sh = [0.0f32; SH_COEFFS];
+    sh[0..3].copy_from_slice(cb.dc.decode(r.dc));
+    for (b, range) in SH_BAND_RANGES
+        .iter()
+        .enumerate()
+        .take(sh_degree.min(MAX_SH_DEGREE) as usize)
+    {
+        sh[range.clone()].copy_from_slice(cb.sh[b].decode(r.sh[b]));
+    }
+    Gaussian {
+        pos,
+        scale,
+        rot,
+        opacity: r.opacity_q as f32 / 255.0,
+        sh,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::quantizer::{GaussianQuantizer, VqConfig};
+    use gs_scene::{SceneConfig, SceneKind};
+
+    #[test]
+    fn raw_tier_widths() {
+        assert_eq!(raw_tier_bytes(3), FINE_BYTES_RAW as u64); // 220
+        assert_eq!(raw_tier_bytes(2), 4 * (7 + 27)); // 136
+        assert_eq!(raw_tier_bytes(1), 4 * (7 + 12)); // 76
+        assert_eq!(raw_tier_bytes(0), 4 * (7 + 3)); // 40
+        assert_eq!(raw_tier_bytes(9), raw_tier_bytes(3), "degree clamps");
+    }
+
+    #[test]
+    fn tier0_raw_codec_is_the_identity() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let mut out = Vec::new();
+        let mut full = [0u8; FINE_BYTES_RAW];
+        for g in scene.trained.iter() {
+            let (rec, _tag) = g.fine_record();
+            out.clear();
+            truncate_raw_record(&rec, 3, &mut out);
+            assert_eq!(out.as_slice(), rec.as_slice());
+            expand_raw_record(&out, &mut full);
+            assert_eq!(full, rec);
+        }
+    }
+
+    #[test]
+    fn raw_truncation_decodes_to_sh_truncated_source() {
+        let scene = SceneKind::Truck.build(&SceneConfig::tiny());
+        let mut out = Vec::new();
+        let mut full = [0u8; FINE_BYTES_RAW];
+        for g in scene.trained.iter().take(64) {
+            let coarse = g.coarse_record();
+            let (rec, tag) = g.fine_record();
+            for d in 0..=MAX_SH_DEGREE {
+                out.clear();
+                truncate_raw_record(&rec, d, &mut out);
+                assert_eq!(out.len() as u64, raw_tier_bytes(d));
+                expand_raw_record(&out, &mut full);
+                let dec = Gaussian::from_split_record(&coarse, &full, tag);
+                assert_eq!(dec, truncate_sh(g.clone(), d));
+            }
+        }
+    }
+
+    #[test]
+    fn vq_tier_codec_matches_full_codec_at_degree_3() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let q = GaussianQuantizer::train(&scene.trained, &VqConfig::tiny());
+        assert_eq!(vq_tier_bytes(&q.codebooks, 3), q.codebooks.record_bytes());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for (i, r) in q.records.iter().enumerate().take(64) {
+            a.clear();
+            b.clear();
+            q.codebooks.write_record(r, &mut a);
+            write_vq_tier_record(&q.codebooks, 3, r, &mut b);
+            assert_eq!(a, b, "degree-3 tier bytes must equal the full codec");
+            assert_eq!(read_vq_tier_record(&q.codebooks, 3, &b), *r);
+            let (pos, _) = q.coarse[i];
+            assert_eq!(
+                decode_vq_tier_record(&q.codebooks, 3, pos, r),
+                q.codebooks.decode_record(pos, r)
+            );
+        }
+    }
+
+    #[test]
+    fn vq_tier_truncation_zeroes_upper_bands() {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        let q = GaussianQuantizer::train(&scene.trained, &VqConfig::tiny());
+        let mut buf = Vec::new();
+        for (i, r) in q.records.iter().enumerate().take(64) {
+            let (pos, _) = q.coarse[i];
+            for d in 0..MAX_SH_DEGREE {
+                buf.clear();
+                write_vq_tier_record(&q.codebooks, d, r, &mut buf);
+                assert_eq!(buf.len() as u64, vq_tier_bytes(&q.codebooks, d));
+                assert!(vq_tier_bytes(&q.codebooks, d) < q.codebooks.record_bytes());
+                let back = read_vq_tier_record(&q.codebooks, d, &buf);
+                let dec = decode_vq_tier_record(&q.codebooks, d, pos, &back);
+                // The kept bands agree with the full decode; the rest is 0.
+                let full = q.codebooks.decode_record(pos, r);
+                assert_eq!(dec, truncate_sh(full, d));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_validation_clamps() {
+        let s = TierSpec {
+            sh_degree: 9,
+            keep_permille: 0,
+            codebook_shift: 2,
+        }
+        .validated();
+        assert_eq!(s.sh_degree, 3);
+        assert_eq!(s.keep_permille, 1);
+        assert!(TierSpec::tier0().is_tier0());
+        assert!(!s.is_tier0());
+        assert_eq!(TierSpec::default(), TierSpec::tier0());
+    }
+}

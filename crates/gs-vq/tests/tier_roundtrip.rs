@@ -1,0 +1,126 @@
+//! Property-based round-trips for the tier-aware record codecs (ISSUE 9):
+//! for **every** tier degree, encode → decode must equal the SH-truncated
+//! source bit-for-bit, and tier 0 must be lossless (identical bytes and
+//! identical decode to the full-quality codec).
+
+use std::sync::OnceLock;
+
+use gs_core::vec::Vec3;
+use gs_scene::gaussian::FINE_BYTES_RAW;
+use gs_scene::{Gaussian, SceneConfig, SceneKind};
+use gs_vq::quantizer::{GaussianQuantizer, QuantRecord, VqConfig};
+use gs_vq::tier::{
+    decode_vq_tier_record, expand_raw_record, raw_tier_bytes, read_vq_tier_record,
+    truncate_raw_record, truncate_sh, vq_tier_bytes, write_vq_tier_record, MAX_SH_DEGREE,
+};
+use gs_vq::QuantizedCloud;
+use proptest::prelude::*;
+
+/// Codebooks trained once on a small deterministic scene; the proptests
+/// exercise them with arbitrary in-range index records.
+fn trained() -> &'static QuantizedCloud {
+    static Q: OnceLock<QuantizedCloud> = OnceLock::new();
+    Q.get_or_init(|| {
+        let scene = SceneKind::Lego.build(&SceneConfig::tiny());
+        GaussianQuantizer::train(&scene.trained, &VqConfig::tiny())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw tier codec: at every degree, truncate → expand → decode equals
+    /// the SH-truncated canonical decode of the full record; at degree 3
+    /// the tier bytes are the full record verbatim.
+    #[test]
+    fn raw_tier_roundtrip_equals_truncated_source(
+        p in proptest::collection::vec(-4.0f32..4.0, 3..4),
+        s in proptest::collection::vec(0.01f32..2.0, 3..4),
+        q in proptest::collection::vec(-1.0f32..1.0, 4..5),
+        op in 0.0f32..1.0,
+        sh_raw in proptest::collection::vec(-1.5f32..1.5, 48..49),
+    ) {
+        let norm = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2] + q[3] * q[3]).sqrt();
+        prop_assume!(norm > 1e-3);
+        let mut sh = [0.0f32; 48];
+        sh.copy_from_slice(&sh_raw);
+        let g = Gaussian {
+            pos: Vec3::new(p[0], p[1], p[2]),
+            scale: Vec3::new(s[0], s[1], s[2]),
+            rot: gs_core::Quat::new(q[0], q[1], q[2], q[3]).normalized(),
+            opacity: op,
+            sh,
+        };
+        let coarse = g.coarse_record();
+        let (rec, tag) = g.fine_record();
+        // Canonical full-quality decode (the baseline every tier truncates).
+        let full = Gaussian::from_split_record(&coarse, &rec, tag);
+        let mut tier = Vec::new();
+        let mut expanded = [0u8; FINE_BYTES_RAW];
+        for d in 0..=MAX_SH_DEGREE {
+            tier.clear();
+            truncate_raw_record(&rec, d, &mut tier);
+            prop_assert_eq!(tier.len() as u64, raw_tier_bytes(d));
+            expand_raw_record(&tier, &mut expanded);
+            let dec = Gaussian::from_split_record(&coarse, &expanded, tag);
+            prop_assert_eq!(dec, truncate_sh(full.clone(), d));
+        }
+        // Tier 0 is lossless: identical bytes, not merely identical decode.
+        tier.clear();
+        truncate_raw_record(&rec, MAX_SH_DEGREE, &mut tier);
+        prop_assert_eq!(tier.as_slice(), rec.as_slice());
+    }
+
+    /// VQ tier codec: arbitrary in-range index records round-trip through
+    /// every tier's byte image, and the tier decode equals the SH-truncated
+    /// full decode.
+    #[test]
+    fn vq_tier_roundtrip_equals_truncated_source(
+        feat_idx in proptest::collection::vec(0u32..u32::MAX, 3..4),
+        sh_idx in proptest::collection::vec(0u32..u32::MAX, 3..4),
+        opacity_raw in 0u32..256,
+        px in -3.0f32..3.0,
+    ) {
+        let q = trained();
+        let cb = &q.codebooks;
+        let r = QuantRecord {
+            scale: feat_idx[0] % cb.scale.len() as u32,
+            rot: feat_idx[1] % cb.rot.len() as u32,
+            dc: feat_idx[2] % cb.dc.len() as u32,
+            sh: [
+                sh_idx[0] % cb.sh[0].len() as u32,
+                sh_idx[1] % cb.sh[1].len() as u32,
+                sh_idx[2] % cb.sh[2].len() as u32,
+            ],
+            // gs-lint: allow(D004) lossless: opacity_raw is drawn from 0..256
+            opacity_q: opacity_raw as u8,
+        };
+        let pos = Vec3::new(px, -px, 0.5 * px);
+        let full = cb.decode_record(pos, &r);
+        let mut buf = Vec::new();
+        for d in 0..=MAX_SH_DEGREE {
+            buf.clear();
+            write_vq_tier_record(cb, d, &r, &mut buf);
+            prop_assert_eq!(buf.len() as u64, vq_tier_bytes(cb, d));
+            let back = read_vq_tier_record(cb, d, &buf);
+            // Indices of kept bands survive bit-exactly; truncated bands
+            // read back as zero (the decoder never consults them).
+            prop_assert_eq!(back.scale, r.scale);
+            prop_assert_eq!(back.rot, r.rot);
+            prop_assert_eq!(back.dc, r.dc);
+            for b in 0..3 {
+                let expect = if b < d as usize { r.sh[b] } else { 0 };
+                prop_assert_eq!(back.sh[b], expect);
+            }
+            prop_assert_eq!(back.opacity_q, r.opacity_q);
+            let dec = decode_vq_tier_record(cb, d, pos, &back);
+            prop_assert_eq!(dec, truncate_sh(full.clone(), d));
+        }
+        // Tier 0 bytes are the full-quality record codec verbatim.
+        buf.clear();
+        write_vq_tier_record(cb, MAX_SH_DEGREE, &r, &mut buf);
+        let mut full_bytes = Vec::new();
+        cb.write_record(&r, &mut full_bytes);
+        prop_assert_eq!(buf, full_bytes);
+    }
+}
