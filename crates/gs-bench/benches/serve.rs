@@ -1,0 +1,216 @@
+//! Multi-client serving load bench: what the `gs-serve` scheduler
+//! delivers over serial one-client-at-a-time rendering (ISSUE 10).
+//!
+//! Closed-loop load generator: `CLIENTS` sessions share one paged+VQ
+//! scene shard, each replaying its own camera trajectory. Every round
+//! submits one frame per client and drains the batch; the drain wall
+//! time is the round's frame latency sample. Three gated numbers, one
+//! `SERVE_JSON {...}` line for CI (`BENCH_serve.json`):
+//!
+//! * **exact_ok** — every client's scheduled frames are byte-identical
+//!   (image, workload, ledger) to replaying the same trajectory on a
+//!   fully private scene. The serving determinism contract, end to end.
+//! * **throughput_ok** — aggregate scheduled frames/sec ≥ 1.2× the
+//!   serial baseline (same shard, same sessions, rendered one client at
+//!   a time). Needs real hardware parallelism: CI enforces it only where
+//!   ≥ 2 cores exist; the JSON records it everywhere (`cores` tells a
+//!   starved host from a regression).
+//! * **p99_ok** — tail latency stays bounded: p99 round latency ≤ 3× p50
+//!   over the timed rounds.
+//!
+//! Shared-page amortization is reported alongside: the shard's store
+//! faults each page once for all clients, so the sum of private solo
+//! page faults divided by the shard's is ~`CLIENTS`× on overlapping
+//! trajectories.
+
+// Benches may unwrap: a panic is exactly the right failure mode here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gs_bench::fmt::{banner, Table};
+use gs_bench::setup::{bench_scale, build_scene, BenchScale};
+use gs_core::camera::Camera;
+use gs_mem::cache::CacheConfig;
+use gs_scene::SceneKind;
+use gs_serve::{FrameScheduler, SceneShard};
+use gs_voxel::{PageConfig, StreamingConfig, StreamingOutput, StreamingScene};
+use std::time::Instant;
+
+/// Concurrent camera streams (the CI gate's reference point).
+const CLIENTS: usize = 4;
+
+/// Aggregate-throughput bar vs the serial baseline (multi-core hosts).
+const SPEEDUP_BAR: f64 = 1.2;
+
+/// Tail-latency bar: p99 ≤ 3× p50.
+const TAIL_BAR: f64 = 3.0;
+
+/// Per-client trajectory: an offset, strided walk over the eval cameras,
+/// so clients stream different sequences over overlapping pages.
+fn trajectory(cams: &[Camera], client: usize, frames: usize) -> Vec<Camera> {
+    (0..frames)
+        .map(|f| cams[(client + 2 * f) % cams.len()])
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn main() {
+    banner("Serving — multi-client scheduler throughput, tail latency, exactness");
+    let scale = bench_scale();
+    let (frames_per_client, timed_replays) = match scale {
+        BenchScale::Tiny => (6, 3),
+        BenchScale::Small => (10, 5),
+        BenchScale::Full => (16, 8),
+    };
+    let scene = build_scene(SceneKind::Truck);
+    let cfg = StreamingConfig {
+        voxel_size: scene.voxel_size,
+        use_vq: true,
+        vq: scale.vq_config(),
+        cache: Some(CacheConfig::default()),
+        ..Default::default()
+    };
+    let mut prepared = StreamingScene::new(scene.trained.clone(), cfg);
+    prepared.page_out(PageConfig::default());
+    let trajs: Vec<Vec<Camera>> = (0..CLIENTS)
+        .map(|c| trajectory(&scene.eval_cameras, c, frames_per_client))
+        .collect();
+
+    // --- Scheduled: closed-loop rounds on one shared shard. ------------
+    let mut shard = SceneShard::new("truck", prepared.clone());
+    let mut sessions: Vec<_> = (0..CLIENTS).map(|_| shard.open_session()).collect();
+    let mut scheduler = FrameScheduler::new(0);
+    // Warmup replay: materializes shard pages, spins up the pool, warms
+    // per-session caches and scratch. Excluded from the timings.
+    for f in 0..frames_per_client {
+        for (c, traj) in trajs.iter().enumerate() {
+            scheduler.submit(c, &traj[f]);
+        }
+        scheduler.drain(&mut sessions).expect("warmup drain");
+    }
+    let mut round_ms = Vec::with_capacity(timed_replays * frames_per_client);
+    let sched_t = Instant::now();
+    for _ in 0..timed_replays {
+        for f in 0..frames_per_client {
+            for (c, traj) in trajs.iter().enumerate() {
+                scheduler.submit(c, &traj[f]);
+            }
+            let t = Instant::now();
+            scheduler.drain(&mut sessions).expect("timed drain");
+            round_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let sched_s = sched_t.elapsed().as_secs_f64();
+    let timed_frames = (timed_replays * frames_per_client * CLIENTS) as f64;
+    let fps = timed_frames / sched_s;
+    round_ms.sort_by(f64::total_cmp);
+    let p50 = percentile(&round_ms, 0.50);
+    let p99 = percentile(&round_ms, 0.99);
+    let p99_ok = p99 <= TAIL_BAR * p50;
+
+    // --- Serial baseline: same sessions, one client at a time. ---------
+    let mut serial_shard = SceneShard::new("truck-serial", prepared.clone());
+    let mut serial_sessions: Vec<_> = (0..CLIENTS).map(|_| serial_shard.open_session()).collect();
+    let mut serial_scheduler = FrameScheduler::new(1);
+    for f in 0..frames_per_client {
+        for (c, traj) in trajs.iter().enumerate() {
+            serial_scheduler.submit(c, &traj[f]);
+        }
+        serial_scheduler
+            .drain(&mut serial_sessions)
+            .expect("warmup");
+    }
+    let serial_t = Instant::now();
+    for _ in 0..timed_replays {
+        for f in 0..frames_per_client {
+            // One client at a time: each drain carries a single request.
+            for (c, traj) in trajs.iter().enumerate() {
+                serial_scheduler.submit(c, &traj[f]);
+                serial_scheduler
+                    .drain(&mut serial_sessions)
+                    .expect("serial");
+            }
+        }
+    }
+    let serial_s = serial_t.elapsed().as_secs_f64();
+    let serial_fps = timed_frames / serial_s;
+    let speedup = fps / serial_fps;
+    let throughput_ok = speedup >= SPEEDUP_BAR;
+
+    // --- Exactness + amortization (untimed). ---------------------------
+    // A fresh shard replay vs fully private solo replays of the same
+    // trajectories: every frame must match byte-for-byte, and the solo
+    // clones pay the cold page cost CLIENTS times over.
+    let mut exact_shard = SceneShard::new("truck-exact", prepared.clone());
+    let mut exact_sessions: Vec<_> = (0..CLIENTS).map(|_| exact_shard.open_session()).collect();
+    let mut exact_scheduler = FrameScheduler::new(0);
+    let mut scheduled: Vec<Vec<StreamingOutput>> = vec![Vec::new(); CLIENTS];
+    for f in 0..frames_per_client {
+        for (c, traj) in trajs.iter().enumerate() {
+            exact_scheduler.submit(c, &traj[f]);
+        }
+        exact_scheduler.drain(&mut exact_sessions).expect("exact");
+        for (c, s) in exact_sessions.iter().enumerate() {
+            scheduled[c].extend(s.frames().iter().cloned());
+        }
+    }
+    let shard_faults = exact_shard.page_faults();
+    let mut solo_faults = 0u64;
+    let mut exact_ok = true;
+    for (c, traj) in trajs.iter().enumerate() {
+        let mut private = prepared.clone();
+        private.set_threads(1);
+        for (f, cam) in traj.iter().enumerate() {
+            let solo = private.render(cam);
+            let batched = &scheduled[c][f];
+            exact_ok &= solo.image == batched.image
+                && solo.workload == batched.workload
+                && solo.ledger == batched.ledger;
+        }
+        solo_faults += private.store().page_faults();
+    }
+    let amortization = solo_faults as f64 / shard_faults.max(1) as f64;
+
+    let mut table = Table::new(&["measurement", "value"]);
+    table.row(&[
+        "clients x frames".into(),
+        format!("{CLIENTS} x {frames_per_client} ({timed_replays} timed replays)"),
+    ]);
+    table.row(&["scheduled fps (aggregate)".into(), format!("{fps:.1}")]);
+    table.row(&["serial fps (aggregate)".into(), format!("{serial_fps:.1}")]);
+    table.row(&[
+        "speedup".into(),
+        format!("{speedup:.2}x (bar {SPEEDUP_BAR:.1}x on multi-core)"),
+    ]);
+    table.row(&[
+        "round latency p50 / p99 (ms)".into(),
+        format!("{p50:.2} / {p99:.2}"),
+    ]);
+    table.row(&[
+        "shard / solo page faults".into(),
+        format!("{shard_faults} / {solo_faults} ({amortization:.1}x amortized)"),
+    ]);
+    table.row(&["scheduled == solo".into(), exact_ok.to_string()]);
+    println!("{table}");
+
+    println!(
+        "SERVE_JSON {{\"bench\":\"serve\",\"cores\":{},\"scene\":\"{}\",\"clients\":{CLIENTS},\"frames_per_client\":{frames_per_client},\"timed_rounds\":{},\"fps\":{:.2},\"serial_fps\":{:.2},\"speedup\":{:.4},\"speedup_bar\":{SPEEDUP_BAR},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"tail_bar\":{TAIL_BAR},\"shard_page_faults\":{},\"solo_page_faults\":{},\"amortization\":{:.3},\"exact_ok\":{},\"throughput_ok\":{},\"p99_ok\":{}}}",
+        gs_bench::setup::cores(),
+        SceneKind::Truck.name(),
+        round_ms.len(),
+        fps,
+        serial_fps,
+        speedup,
+        p50,
+        p99,
+        shard_faults,
+        solo_faults,
+        amortization,
+        exact_ok,
+        throughput_ok,
+        p99_ok
+    );
+}

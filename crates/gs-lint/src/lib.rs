@@ -723,7 +723,7 @@ fn fn_spans(toks: &[Tok], comments: &[Comment]) -> Vec<FnSpan> {
 // Rules D001 / D002 / D004 / D005 / D006 (per-file)
 // ---------------------------------------------------------------------------
 
-const D001_CRATES: [&str; 4] = ["gs-render", "gs-voxel", "gs-mem", "streaminggs"];
+const D001_CRATES: [&str; 5] = ["gs-render", "gs-voxel", "gs-mem", "gs-serve", "streaminggs"];
 const D001_METHODS: [&str; 10] = [
     "iter",
     "iter_mut",
@@ -958,7 +958,13 @@ fn rule_d005(scope: &Scope, toks: &[Tok], tests: &[(usize, usize)], out: &mut Ve
 /// Crates whose float-summation order is part of the determinism contract:
 /// a reordered reduction changes output bytes, so every float accumulation
 /// loop there must be a blessed blend kernel or carry a justified allow.
-const D006_CRATES: [&str; 4] = ["gs-core", "gs-render", "gs-voxel", "streaminggs"];
+const D006_CRATES: [&str; 5] = [
+    "gs-core",
+    "gs-render",
+    "gs-voxel",
+    "gs-serve",
+    "streaminggs",
+];
 
 /// The blessed blend kernels — the only functions permitted to `+=`-reduce
 /// floats inside a loop without an inline allow. Each entry is

@@ -410,6 +410,9 @@ pub struct StoreFaultSnapshot {
     pub retries: u64,
     /// Pages currently marked dead by permanent faults, both columns.
     pub dead_pages: u64,
+    /// Dead pages re-fetched and healed from an attached replica over the
+    /// store's lifetime ([`VoxelStore::attach_replica_bytes`]).
+    pub pages_healed: u64,
     /// Faults injected by the wrapped source (zero without a
     /// [`FaultPolicy`]).
     pub injected: FaultStats,
@@ -421,6 +424,7 @@ impl StoreFaultSnapshot {
         StoreFaultSnapshot {
             retries: self.retries.saturating_sub(base.retries),
             dead_pages: self.dead_pages.saturating_sub(base.dead_pages),
+            pages_healed: self.pages_healed.saturating_sub(base.pages_healed),
             injected: self.injected.since(base.injected),
         }
     }
@@ -591,6 +595,8 @@ struct PageState {
     faults: u64,
     /// Failed page-read attempts that were retried (or exhausted).
     retries: u64,
+    /// Dead pages re-fetched and healed from the attached replica.
+    healed: u64,
     /// Reusable chunk-cover staging for checksum verification, so warm
     /// verified fills allocate nothing once grown.
     verify: Vec<u8>,
@@ -614,6 +620,13 @@ impl From<ReadFault> for FillError {
     }
 }
 
+/// The store-wide fallback page source for replica-read healing: one slot
+/// shared by every column (and every [`Column::clone`]) of a store, filled
+/// by [`VoxelStore::attach_replica_bytes`]. `None` until a replica is
+/// attached; a dead page then re-fetches from it through the same
+/// CRC-verified fill path as the primary.
+type ReplicaSlot = Arc<Mutex<Option<Arc<PageSource>>>>;
+
 /// One demand-paged column.
 #[derive(Debug)]
 struct PagedColumn {
@@ -628,10 +641,14 @@ struct PagedColumn {
     kind: ColumnKind,
     /// Per-chunk CRC table (absent on version-1 images).
     crc: Option<ColumnCrc>,
+    /// Store-wide replica source for healing dead pages (shared with the
+    /// store's other columns; `None` inside until one is attached).
+    replica: ReplicaSlot,
     state: Mutex<PageState>,
 }
 
 impl PagedColumn {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         source: Arc<PageSource>,
         offset: u64,
@@ -640,6 +657,7 @@ impl PagedColumn {
         config: PageConfig,
         kind: ColumnKind,
         crc: Option<ColumnCrc>,
+        replica: ReplicaSlot,
     ) -> PagedColumn {
         let config = config.validated();
         let n_pages = slots.div_ceil(config.slots_per_page as usize).max(1);
@@ -652,6 +670,7 @@ impl PagedColumn {
             config,
             kind,
             crc,
+            replica,
             state: Mutex::new(PageState {
                 pages: (0..n_pages).map(|_| None).collect(),
                 stamp: vec![0; n_pages],
@@ -711,17 +730,29 @@ impl PagedColumn {
     /// resident page when a budget is set (an O(budget) scan of the
     /// resident list; stamps are unique, so the victim is deterministic),
     /// then fills the page with up to [`PageConfig::max_read_attempts`]
-    /// verified reads. Permanent faults mark the page dead.
+    /// verified reads. Permanent faults mark the page dead; with a
+    /// replica attached, a dead page is re-fetched (and CRC-re-verified)
+    /// from it instead of failing fast — healing is counted, never
+    /// rendered: replica bytes are validated identical to the primary's
+    /// metadata, so a healed page holds the exact fault-free bytes.
     fn ensure_page(&self, st: &mut PageState, page: usize) -> Result<(), StoreError> {
         if st.pages[page].is_some() {
             return Ok(());
         }
-        if st.dead[page] {
-            return Err(StoreError::PageLost {
-                column: self.kind,
-                page: page as u64,
-            });
-        }
+        let lost = || StoreError::PageLost {
+            column: self.kind,
+            page: page as u64,
+        };
+        // A dead page only ever retries against an attached replica: one
+        // clean verified fill heals it, anything else keeps it dead.
+        let heal_from: Option<Arc<PageSource>> = if st.dead[page] {
+            match lock_unpoisoned(&self.replica).clone() {
+                Some(r) => Some(r),
+                None => return Err(lost()),
+            }
+        } else {
+            None
+        };
         let budget = self.config.max_resident_pages as usize;
         if budget > 0 && st.resident_ids.len() >= budget {
             let mut at = 0usize;
@@ -737,17 +768,49 @@ impl PagedColumn {
         let first_slot = page * spp;
         let n_slots = spp.min(self.slots - first_slot);
         let mut bytes = vec![0u8; n_slots * self.record_bytes].into_boxed_slice();
+        if let Some(replica) = heal_from {
+            // Healing path: a single verified fill from the replica (no
+            // retry loop — the replica is the last resort; its fill is
+            // clean and CRC-checked, or the page stays dead).
+            let healed = self
+                .fill_page(&replica, &mut st.verify, &mut bytes, first_slot, n_slots, 0)
+                .is_ok();
+            if !healed {
+                return Err(lost());
+            }
+            st.dead[page] = false;
+            st.healed += 1;
+            st.pages[page] = Some(bytes);
+            st.resident_ids.push(page);
+            st.faults += 1;
+            return Ok(());
+        }
         let max_attempts = self.config.max_read_attempts.max(1);
         let mut attempt = 0u32;
         loop {
-            match self.fill_page(&mut st.verify, &mut bytes, first_slot, n_slots, attempt) {
+            match self.fill_page(
+                &self.source,
+                &mut st.verify,
+                &mut bytes,
+                first_slot,
+                n_slots,
+                attempt,
+            ) {
                 Ok(()) => break,
                 Err(FillError::Permanent) => {
                     st.dead[page] = true;
-                    return Err(StoreError::PageLost {
-                        column: self.kind,
-                        page: page as u64,
+                    // With a replica attached, heal the freshly-dead page
+                    // inline: the frame sees a healed page, not a lost one.
+                    let healed = lock_unpoisoned(&self.replica).clone().is_some_and(|r| {
+                        self.fill_page(&r, &mut st.verify, &mut bytes, first_slot, n_slots, 0)
+                            .is_ok()
                     });
+                    if !healed {
+                        return Err(lost());
+                    }
+                    st.dead[page] = false;
+                    st.healed += 1;
+                    break;
                 }
                 Err(cause) => {
                     st.retries += 1;
@@ -780,12 +843,14 @@ impl PagedColumn {
         Ok(())
     }
 
-    /// One fill attempt. With checksums on, reads the chunk-aligned cover
-    /// of the page's slots into `verify`, checks every covered chunk's
-    /// CRC, and copies the page's window out; otherwise reads the page
-    /// directly.
+    /// One fill attempt from `source` (the primary, or the attached
+    /// replica when healing). With checksums on, reads the chunk-aligned
+    /// cover of the page's slots into `verify`, checks every covered
+    /// chunk's CRC, and copies the page's window out; otherwise reads the
+    /// page directly.
     fn fill_page(
         &self,
+        source: &PageSource,
         verify: &mut Vec<u8>,
         out: &mut [u8],
         first_slot: usize,
@@ -796,8 +861,7 @@ impl PagedColumn {
         let crc = match &self.crc {
             Some(crc) if self.config.verify_checksums => crc,
             _ => {
-                return self
-                    .source
+                return source
                     .read_page(self.offset + (first_slot * rb) as u64, out, attempt)
                     .map_err(FillError::from);
             }
@@ -809,7 +873,7 @@ impl PagedColumn {
         let cover_last = (c1 * cs).min(self.slots);
         verify.clear();
         verify.resize((cover_last - cover_first) * rb, 0);
-        self.source
+        source
             .read_page(self.offset + (cover_first * rb) as u64, verify, attempt)
             .map_err(FillError::from)?;
         for c in c0..c1 {
@@ -877,9 +941,10 @@ impl Column {
 }
 
 impl Clone for Column {
-    /// Cloning a paged column shares the source image and CRC tables but
-    /// starts with a cold page set (page state is never shared between
-    /// clones — including dead-page marks, which re-derive from the same
+    /// Cloning a paged column shares the source image, CRC tables and the
+    /// replica slot (an attached replica keeps healing clones) but starts
+    /// with a cold page set (page state is never shared between clones —
+    /// including dead-page marks, which re-derive from the same
     /// deterministic fault stream).
     fn clone(&self) -> Column {
         match self {
@@ -892,6 +957,7 @@ impl Clone for Column {
                 p.config,
                 p.kind,
                 p.crc.clone(),
+                Arc::clone(&p.replica),
             ))),
         }
     }
@@ -1195,6 +1261,7 @@ impl VoxelStore {
                 let st = lock_unpoisoned(&p.state);
                 snap.retries += st.retries;
                 snap.dead_pages += st.dead.iter().filter(|&&d| d).count() as u64;
+                snap.pages_healed += st.healed;
             }
         }
         if let Column::Paged(p) = &self.coarse {
@@ -1207,11 +1274,14 @@ impl VoxelStore {
 
     /// Per-page health map of `column`: `map[i]` is `true` when page `i`
     /// was marked dead by a permanent fault, so every fetch touching its
-    /// slots fails fast with [`StoreError::PageLost`]. Pages never heal —
-    /// a dead mark is sticky for the store's lifetime (clones re-derive
-    /// their own marks from their own reads). Resident columns have no
-    /// pages: the map is empty and [`StoreFaultSnapshot::dead_pages`] is
-    /// the matching aggregate count.
+    /// slots fails fast with [`StoreError::PageLost`]. A dead mark is
+    /// sticky unless a replica is attached (see
+    /// [`VoxelStore::attach_replica_bytes`]): the next fetch touching a
+    /// dead page then re-reads it from the replica, re-verifies its CRC
+    /// chunks, and clears the mark on success. Clones re-derive their own
+    /// marks from their own reads. Resident columns have no pages: the
+    /// map is empty and [`StoreFaultSnapshot::dead_pages`] is the
+    /// matching aggregate count.
     pub fn dead_page_map(&self, column: ColumnKind) -> Vec<bool> {
         let col = match column {
             ColumnKind::Coarse => &self.coarse,
@@ -1222,6 +1292,68 @@ impl VoxelStore {
             Column::Resident(_) => Vec::new(),
             Column::Paged(p) => lock_unpoisoned(&p.state).dead.clone(),
         }
+    }
+
+    /// Attaches an in-memory replica scene image as the fallback page
+    /// source for every paged column. Once attached, a fetch touching a
+    /// page marked dead re-reads the page from the replica instead of
+    /// failing with [`StoreError::PageLost`]; the healed bytes re-verify
+    /// their CRC chunks (when the store verifies checksums) and the heal
+    /// is counted in [`StoreFaultSnapshot::pages_healed`]. The replica
+    /// must be byte-compatible with the primary image: same length and an
+    /// identical metadata prefix (header, tables, checksums). The column
+    /// payloads are *not* compared up front — a replica whose payload
+    /// diverges is caught page-by-page by CRC verification at heal time.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Malformed`] when the store is not paged or the
+    /// replica is not byte-compatible with the primary image.
+    pub fn attach_replica_bytes(&self, image: Vec<u8>) -> Result<(), StoreError> {
+        self.attach_replica(PageSource::Memory(image))
+    }
+
+    /// [`VoxelStore::attach_replica_bytes`] reading the replica image
+    /// from a file on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened, plus every
+    /// [`VoxelStore::attach_replica_bytes`] error.
+    pub fn attach_replica_file(&self, path: &Path) -> Result<(), StoreError> {
+        self.attach_replica(PageSource::File(Mutex::new(std::fs::File::open(path)?)))
+    }
+
+    fn attach_replica(&self, replica: PageSource) -> Result<(), StoreError> {
+        let Column::Paged(p) = &self.coarse else {
+            return Err(StoreError::Malformed {
+                what: "replica attached to a resident store",
+            });
+        };
+        let primary_len = p.source.len()?;
+        if replica.len()? != primary_len {
+            return Err(StoreError::Malformed {
+                what: "replica length disagrees with the primary image",
+            });
+        }
+        // The metadata prefix (everything before the coarse column) must
+        // match byte-for-byte: it pins the layout every paged column's
+        // offsets were derived from, so a replica that passes is
+        // structurally interchangeable with the primary.
+        let meta = p.offset as usize;
+        let mut a = vec![0u8; meta];
+        let mut b = vec![0u8; meta];
+        p.source.read_at(0, &mut a)?;
+        replica.read_at(0, &mut b)?;
+        if a != b {
+            return Err(StoreError::Malformed {
+                what: "replica metadata disagrees with the primary image",
+            });
+        }
+        // One store-wide slot shared by every column (and every clone of
+        // this store), so a single attach heals all columns.
+        *lock_unpoisoned(&p.replica) = Some(Arc::new(replica));
+        Ok(())
     }
 
     /// Bytes currently held by materialized pages across every column,
@@ -2167,6 +2299,7 @@ impl VoxelStore {
             None => (None, None),
         };
         let source = Arc::new(source);
+        let replica: ReplicaSlot = Arc::new(Mutex::new(None));
         let mut tier_off = fine_off + n_slots as u64 * width as u64;
         let mut tiers = Vec::with_capacity(pending.len());
         for (i, pt) in pending.into_iter().enumerate() {
@@ -2188,6 +2321,7 @@ impl VoxelStore {
                     // gs-lint: allow(D004) tier index < MAX_TIERS − 1 fits u8
                     ColumnKind::Tier(i as u8),
                     Some(pt.crc),
+                    Arc::clone(&replica),
                 ))),
             });
             tier_off += len;
@@ -2208,6 +2342,7 @@ impl VoxelStore {
                 config,
                 ColumnKind::Coarse,
                 coarse_crc,
+                Arc::clone(&replica),
             ))),
             fine: Column::Paged(Box::new(PagedColumn::new(
                 source,
@@ -2217,6 +2352,7 @@ impl VoxelStore {
                 config,
                 ColumnKind::Fine,
                 fine_crc,
+                replica,
             ))),
             format,
             tiers,

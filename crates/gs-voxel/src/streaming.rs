@@ -69,7 +69,7 @@ use gs_scene::{Gaussian, GaussianCloud};
 use gs_vq::{GaussianQuantizer, QuantizedCloud, TierSpec, VqConfig};
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// An out-of-order blend counts as a violation only when the depth
 /// inversion exceeds this fraction of the voxel size — smaller inversions
@@ -102,6 +102,24 @@ pub enum QualityPolicy {
     ScreenSpaceError {
         /// Footprint (pixels) at which quality starts dropping.
         threshold: f32,
+    },
+    /// [`QualityPolicy::ScreenSpaceError`] with a temporal enter/exit
+    /// margin: the tier a voxel rendered at last frame persists while its
+    /// footprint stays inside `threshold · (1 ∓ margin)`, so boundary
+    /// voxels stop flickering between adjacent tiers across adjacent
+    /// trajectory frames. The first frame (and any frame after
+    /// [`StreamingScene::set_quality`]) selects exactly like
+    /// `ScreenSpaceError`; later frames clamp the previous tier into the
+    /// `[finer-bound, coarser-bound]` window the margin opens. The
+    /// previous-tier map lives in the scene's per-session scratch, so the
+    /// selection depends only on this session's own frame sequence —
+    /// shared-store serving stays bit-identical to rendering solo.
+    Hysteresis {
+        /// Footprint (pixels) at which quality starts dropping.
+        threshold: f32,
+        /// Enter/exit margin as a fraction of `threshold` (clamped to
+        /// `[0, 0.9]`); `0.0` degenerates to plain `ScreenSpaceError`.
+        margin: f32,
     },
     /// Spend at most `bytes` of second-half demand per frame: voxels are
     /// ranked by projected footprint (descending, voxel id ascending on
@@ -358,6 +376,11 @@ pub struct DegradationReport {
     pub page_retries: u64,
     /// Pages newly marked dead by permanent faults during this frame.
     pub pages_lost: u64,
+    /// Dead pages re-fetched and healed from an attached replica during
+    /// this frame ([`StreamingScene::attach_replica_bytes`]); healed
+    /// pages re-verified their CRC chunks, so the frame's bytes are the
+    /// exact fault-free bytes.
+    pub pages_healed: u64,
     /// Voxels skipped because their coarse column was unavailable.
     pub voxels_skipped: u64,
     /// Fine records replaced by their coarse approximation.
@@ -484,24 +507,37 @@ pub enum PayloadKernels {
 /// whose intermediate buffers and worker threads persist across frames
 /// (zero-alloc steady state; the returned image/workload/ledger are the
 /// caller-owned outputs).
+///
+/// The immutable prepared state (grid, source cloud, store, codebooks) is
+/// `Arc`-shared: [`StreamingScene::fork_session`] hands out sessions that
+/// read the **same** store (paged columns included — pages one session
+/// materializes are warm for all, see `gs-serve`), while [`Clone`] keeps
+/// its historical deep-copy semantics for the store so clones stay fully
+/// independent (cold page state, separate fault counters).
 #[derive(Debug)]
 pub struct StreamingScene {
-    grid: VoxelGrid,
-    source: GaussianCloud,
-    store: VoxelStore,
-    quant: Option<QuantizedCloud>,
+    grid: Arc<VoxelGrid>,
+    source: Arc<GaussianCloud>,
+    store: Arc<VoxelStore>,
+    quant: Option<Arc<QuantizedCloud>>,
     config: StreamingConfig,
     scratch: Mutex<StreamScratch>,
 }
 
 impl Clone for StreamingScene {
     /// Clones the prepared scene; the clone starts with a fresh frame
-    /// arena and worker pool (frame state is never shared).
+    /// arena and worker pool (frame state is never shared). The immutable
+    /// grid/cloud/codebooks are `Arc`-shared (indistinguishable from a
+    /// deep copy), but the store is deep-cloned: a paged clone starts with
+    /// **cold, independent** page state — the suites and benches that
+    /// clone a scene to measure it twice rely on that. To share the store
+    /// (and its page warmth) instead, use
+    /// [`StreamingScene::fork_session`].
     fn clone(&self) -> Self {
         StreamingScene {
-            grid: self.grid.clone(),
-            source: self.source.clone(),
-            store: self.store.clone(),
+            grid: Arc::clone(&self.grid),
+            source: Arc::clone(&self.source),
+            store: Arc::new(VoxelStore::clone(&self.store)),
             quant: self.quant.clone(),
             config: self.config,
             scratch: Mutex::new(StreamScratch::default()),
@@ -557,10 +593,10 @@ impl StreamingScene {
             store.build_tiers(&cloud, vq, &specs, importance);
         }
         StreamingScene {
-            grid,
-            source: cloud,
-            store,
-            quant,
+            grid: Arc::new(grid),
+            source: Arc::new(cloud),
+            store: Arc::new(store),
+            quant: quant.map(Arc::new),
             config,
             scratch: Mutex::new(StreamScratch::default()),
         }
@@ -585,13 +621,53 @@ impl StreamingScene {
             store.build_tiers(&cloud, Some(&config.vq), &specs, None);
         }
         StreamingScene {
-            grid,
-            source: cloud,
-            store,
-            quant: Some(quant),
+            grid: Arc::new(grid),
+            source: Arc::new(cloud),
+            store: Arc::new(store),
+            quant: Some(Arc::new(quant)),
             config,
             scratch: Mutex::new(StreamScratch::default()),
         }
+    }
+
+    /// Forks a per-client **session** over this scene: the grid, source
+    /// cloud, codebooks **and the store itself** are `Arc`-shared (a paged
+    /// store's page state included — pages any session materializes are
+    /// warm for every session), while all frame-persistent state (frame
+    /// arena, worker pool, working-set cache, tier-hysteresis history)
+    /// starts fresh and stays private to the fork.
+    ///
+    /// Rendered output is bit-identical to a deep [`Clone`]: pixels depend
+    /// only on the store's *bytes*, which paging never changes (paged ≡
+    /// resident is the determinism contract), and the cache/hysteresis
+    /// models depend only on the session's own frame sequence. Sharing
+    /// changes who pays the page-fill cost, never what any session
+    /// renders — `gs-serve` builds on exactly this.
+    pub fn fork_session(&self) -> StreamingScene {
+        StreamingScene {
+            grid: Arc::clone(&self.grid),
+            source: Arc::clone(&self.source),
+            store: Arc::clone(&self.store),
+            quant: self.quant.clone(),
+            config: self.config,
+            scratch: Mutex::new(StreamScratch::default()),
+        }
+    }
+
+    /// Overrides the per-frame tier-selection policy for this scene (or
+    /// session — forks carry their own config copy, so per-client quality
+    /// never leaks across sessions sharing a store). Clears the
+    /// tier-hysteresis history: the next frame selects as a first frame.
+    pub fn set_quality(&mut self, quality: QualityPolicy) {
+        self.config.quality = quality;
+        lock_unpoisoned(&self.scratch).prev_tiers.clear();
+    }
+
+    /// Overrides the worker-thread count for this scene (or session).
+    /// Purely a scheduling knob: every frame output is bit-identical for
+    /// any value (0 = all cores).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
     }
 
     /// The voxel grid.
@@ -609,7 +685,7 @@ impl StreamingScene {
     /// Rendering stays byte-identical — paging is host-memory management,
     /// not modeled traffic.
     pub fn page_out(&mut self, config: PageConfig) {
-        self.store = self.store.paged_twin(config);
+        self.store = Arc::new(self.store.paged_twin(config));
     }
 
     /// [`StreamingScene::page_out`] with a deterministic [`FaultPolicy`]
@@ -620,7 +696,7 @@ impl StreamingScene {
         config: PageConfig,
         policy: FaultPolicy,
     ) -> Result<(), StoreError> {
-        self.store = self.store.paged_twin_with_faults(config, policy)?;
+        self.store = Arc::new(self.store.paged_twin_with_faults(config, policy)?);
         Ok(())
     }
 
@@ -629,7 +705,7 @@ impl StreamingScene {
     /// doc-hidden for the robustness suites and the `robust` bench.
     #[doc(hidden)]
     pub fn page_out_v1(&mut self, config: PageConfig) {
-        self.store = self.store.paged_twin_v1(config);
+        self.store = Arc::new(self.store.paged_twin_v1(config));
     }
 
     /// [`StreamingScene::page_out`] over a forced version-3 scene image
@@ -637,7 +713,7 @@ impl StreamingScene {
     /// the v3 ⊇ v2 suites and the `lod` bench.
     #[doc(hidden)]
     pub fn page_out_v3(&mut self, config: PageConfig) {
-        self.store = self.store.paged_twin_v3(config);
+        self.store = Arc::new(self.store.paged_twin_v3(config));
     }
 
     /// Serializes the store to `path` and reopens it demand-paged from
@@ -645,7 +721,7 @@ impl StreamingScene {
     /// pages occupy host memory.
     pub fn page_out_file(&mut self, path: &std::path::Path, config: PageConfig) -> io::Result<()> {
         self.store.write_scene_file(path)?;
-        self.store = VoxelStore::open_paged_file(path, config)?;
+        self.store = Arc::new(VoxelStore::open_paged_file(path, config)?);
         Ok(())
     }
 
@@ -660,8 +736,25 @@ impl StreamingScene {
         policy: FaultPolicy,
     ) -> Result<(), StoreError> {
         self.store.write_scene_file(path)?;
-        self.store = VoxelStore::open_paged_file_with_faults(path, config, policy)?;
+        self.store = Arc::new(VoxelStore::open_paged_file_with_faults(
+            path, config, policy,
+        )?);
         Ok(())
+    }
+
+    /// Attaches a fallback (replica) scene image to the paged store so
+    /// pages lost to permanent faults can be re-fetched and healed
+    /// ([`VoxelStore::attach_replica_bytes`]). Errors on resident
+    /// backings and on replicas whose length or metadata prefix disagrees
+    /// with the primary image.
+    pub fn attach_replica_bytes(&self, image: Vec<u8>) -> Result<(), StoreError> {
+        self.store.attach_replica_bytes(image)
+    }
+
+    /// [`StreamingScene::attach_replica_bytes`] over an on-disk replica
+    /// file ([`VoxelStore::attach_replica_file`]).
+    pub fn attach_replica_file(&self, path: &std::path::Path) -> Result<(), StoreError> {
+        self.store.attach_replica_file(path)
     }
 
     /// Per-page health map of the store's `column`
@@ -690,7 +783,16 @@ impl StreamingScene {
 
     /// The trained quantizer, if VQ is enabled.
     pub fn quantized(&self) -> Option<&QuantizedCloud> {
-        self.quant.as_ref()
+        self.quant.as_deref()
+    }
+
+    /// This frame's per-voxel tier map (the serial pre-pass output of the
+    /// last rendered frame; empty under [`QualityPolicy::FullQuality`],
+    /// on tierless scenes, and before the first frame). Exposed for the
+    /// LOD suites to measure tier flicker across trajectory frames.
+    #[doc(hidden)]
+    pub fn last_tier_map(&self) -> Vec<u8> {
+        lock_unpoisoned(&self.scratch).tier_map.clone()
     }
 
     /// Renders one frame. The coarse and fine phases read **only** from the
@@ -798,7 +900,7 @@ impl StreamingScene {
                 decoded = q.decode();
                 &decoded
             }
-            None => &self.source,
+            None => &*self.source,
         };
         let mut out = StreamingOutput::default();
         let path = FetchPath::CloudTwin { render };
@@ -856,6 +958,7 @@ impl StreamingScene {
             groups,
             cache,
             tier_map,
+            prev_tiers,
         } = &mut *guard;
         pixels.resize(n_groups * gp, Vec3::ZERO);
         workloads.resize(n_groups, TileWorkload::default());
@@ -875,7 +978,7 @@ impl StreamingScene {
             && self.store.tier_count() > 0
             && self.config.quality != QualityPolicy::FullQuality;
         let tmap: Option<&[u8]> = if use_tiers {
-            self.fill_tier_map(cam, tier_map);
+            self.fill_tier_map(cam, tier_map, prev_tiers);
             Some(tier_map.as_slice())
         } else {
             None
@@ -1057,6 +1160,7 @@ impl StreamingScene {
         let snap = self.store.fault_snapshot().since(fault_base);
         degradation.page_retries = snap.retries;
         degradation.pages_lost = snap.dead_pages;
+        degradation.pages_healed = snap.pages_healed;
         degradation.injected = snap.injected;
         out.degradation = degradation;
 
@@ -1178,8 +1282,11 @@ impl StreamingScene {
     /// (0 = full quality, `t` = extra tier `t - 1`), per
     /// [`StreamingConfig::quality`]. Serial, ascending voxel id; every
     /// float it consumes is a pure per-voxel projection, so the result is
-    /// a deterministic function of `(camera, policy, store layout)`.
-    fn fill_tier_map(&self, cam: &Camera, map: &mut Vec<u8>) {
+    /// a deterministic function of `(camera, policy, store layout)` —
+    /// plus, for [`QualityPolicy::Hysteresis`], the previous frame's map
+    /// (`prev`, private to this scene/session), which keeps the result
+    /// thread-invariant and solo-identical under shared-store serving.
+    fn fill_tier_map(&self, cam: &Camera, map: &mut Vec<u8>, prev: &mut Vec<u8>) {
         // gs-lint: allow(D004) tier count < MAX_TIERS
         let n_tiers = self.store.tier_count() as u8;
         let nv = self.grid.voxel_count();
@@ -1197,18 +1304,45 @@ impl StreamingScene {
                 f32::INFINITY
             }
         };
+        // The SSE rule shared by the plain and hysteresis policies: each
+        // halving of the footprint below `thr` drops one more tier.
+        let sse_tier = |fp: f32, thr: f32| -> u8 {
+            let mut t = 0u8;
+            while t < n_tiers && fp < thr * 0.5f32.powi(i32::from(t)) {
+                t += 1;
+            }
+            t
+        };
         match self.config.quality {
             QualityPolicy::FullQuality => {}
             QualityPolicy::ForcedTier { tier } => map.fill(tier.min(n_tiers)),
             QualityPolicy::ScreenSpaceError { threshold } => {
                 for (v, slot) in map.iter_mut().enumerate() {
-                    let fp = footprint(v as u32);
-                    let mut t = 0u8;
-                    while t < n_tiers && fp < threshold * 0.5f32.powi(i32::from(t)) {
-                        t += 1;
-                    }
-                    *slot = t;
+                    *slot = sse_tier(footprint(v as u32), threshold);
                 }
+            }
+            QualityPolicy::Hysteresis { threshold, margin } => {
+                let m = margin.clamp(0.0, 0.9);
+                // First frame of a session (or after `set_quality`): no
+                // history, select exactly like plain SSE at the unscaled
+                // threshold.
+                let has_prev = prev.len() == nv;
+                for (v, slot) in map.iter_mut().enumerate() {
+                    let fp = footprint(v as u32);
+                    *slot = if has_prev {
+                        // The margin opens a window: a larger threshold
+                        // drops tiers earlier (coarser bound), a smaller
+                        // one later (finer bound). The previous tier
+                        // persists while it stays inside the window.
+                        let finest = sse_tier(fp, threshold * (1.0 - m));
+                        let coarsest = sse_tier(fp, threshold * (1.0 + m));
+                        prev[v].clamp(finest, coarsest)
+                    } else {
+                        sse_tier(fp, threshold)
+                    };
+                }
+                prev.clear();
+                prev.extend_from_slice(map);
             }
             QualityPolicy::ByteBudget { bytes } => {
                 // Voxels claim budget in descending-footprint order (voxel
@@ -1699,6 +1833,12 @@ struct StreamScratch {
     /// This frame's per-voxel tier assignment (serial pre-pass output;
     /// empty under [`QualityPolicy::FullQuality`] and on tierless scenes).
     tier_map: Vec<u8>,
+    /// The previous frame's tier map, feeding
+    /// [`QualityPolicy::Hysteresis`]'s enter/exit window. Per-session
+    /// (forks start empty), so hysteresis depends only on this session's
+    /// own frame sequence. Empty before the first tiered frame and after
+    /// [`StreamingScene::set_quality`].
+    prev_tiers: Vec<u8>,
 }
 
 /// One working-set cache per cached pipeline stage.

@@ -289,6 +289,132 @@ fn smaller_bursts_move_fewer_dram_bytes_for_identical_pixels() {
     );
 }
 
+/// Renders an alternating two-camera dolly sequence and returns, per
+/// frame, the tier map the policy chose (plus the rendered images for
+/// exactness checks).
+fn dolly_tier_maps(
+    scene: &gs_scene::Scene,
+    quality: QualityPolicy,
+    threads: usize,
+    frames: usize,
+) -> (Vec<Vec<u8>>, Vec<gs_core::image::ImageRgb>) {
+    let cfg = StreamingConfig {
+        tiers: ladder(),
+        quality,
+        threads,
+        ..raw_config(scene.voxel_size)
+    };
+    let streaming = StreamingScene::new(scene.trained.clone(), cfg);
+    let near = scene.eval_cameras[0];
+    let mut far = near;
+    // A small dolly along the view axis: footprints wobble a few percent,
+    // flipping SSE tier choices for voxels near a tier boundary.
+    far.pose.translation.z += 0.35 * scene.voxel_size;
+    let mut maps = Vec::with_capacity(frames);
+    let mut images = Vec::with_capacity(frames);
+    for f in 0..frames {
+        let cam = if f % 2 == 0 { &near } else { &far };
+        images.push(streaming.render(cam).image);
+        maps.push(streaming.last_tier_map());
+    }
+    (maps, images)
+}
+
+/// Per-voxel tier changes between consecutive frames, summed.
+fn flicker_count(maps: &[Vec<u8>]) -> u64 {
+    maps.windows(2)
+        .map(|w| w[0].iter().zip(&w[1]).filter(|(a, b)| a != b).count() as u64)
+        .sum()
+}
+
+#[test]
+fn hysteresis_reduces_tier_flicker_on_a_dolly_sequence() {
+    let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+    let frames = 8;
+    let (sse_maps, _) = dolly_tier_maps(
+        &scene,
+        QualityPolicy::ScreenSpaceError { threshold: 64.0 },
+        1,
+        frames,
+    );
+    let (hyst_maps, _) = dolly_tier_maps(
+        &scene,
+        QualityPolicy::Hysteresis {
+            threshold: 64.0,
+            margin: 0.25,
+        },
+        1,
+        frames,
+    );
+    let sse_flicker = flicker_count(&sse_maps);
+    let hyst_flicker = flicker_count(&hyst_maps);
+    // The dolly must actually provoke flicker under plain SSE, and the
+    // policies must actually mix tiers (no vacuous pass).
+    assert!(
+        sse_flicker > 0,
+        "dolly sequence never flipped an SSE tier — widen the dolly"
+    );
+    assert!(sse_maps[0].iter().any(|&t| t > 0));
+    assert!(
+        hyst_flicker < sse_flicker,
+        "hysteresis did not reduce flicker ({hyst_flicker} vs {sse_flicker})"
+    );
+    // Frame 0 has no history: hysteresis degenerates to plain SSE.
+    assert_eq!(sse_maps[0], hyst_maps[0]);
+}
+
+#[test]
+fn hysteresis_is_thread_invariant_across_the_whole_sequence() {
+    let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+    let quality = QualityPolicy::Hysteresis {
+        threshold: 64.0,
+        margin: 0.25,
+    };
+    let frames = 6;
+    let (ref_maps, ref_images) = dolly_tier_maps(&scene, quality, 1, frames);
+    assert!(
+        ref_maps.iter().any(|m| m.iter().any(|&t| t > 0)),
+        "hysteresis never left tier 0 — threshold too lax for the test scene"
+    );
+    for threads in [2usize, 0] {
+        let (maps, images) = dolly_tier_maps(&scene, quality, threads, frames);
+        // The per-frame tier history is sequence state: every frame of the
+        // sequence (not just the last) must match the single-thread run.
+        assert_eq!(
+            ref_maps, maps,
+            "hysteresis tier maps diverged at threads={threads}"
+        );
+        assert_eq!(
+            ref_images, images,
+            "hysteresis images diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn zero_margin_hysteresis_matches_screen_space_error() {
+    let scene = SceneKind::Playroom.build(&SceneConfig::tiny());
+    let frames = 4;
+    let (sse_maps, sse_images) = dolly_tier_maps(
+        &scene,
+        QualityPolicy::ScreenSpaceError { threshold: 64.0 },
+        1,
+        frames,
+    );
+    let (hyst_maps, hyst_images) = dolly_tier_maps(
+        &scene,
+        QualityPolicy::Hysteresis {
+            threshold: 64.0,
+            margin: 0.0,
+        },
+        1,
+        frames,
+    );
+    // With no margin the clamp window collapses to the SSE choice itself.
+    assert_eq!(sse_maps, hyst_maps);
+    assert_eq!(sse_images, hyst_images);
+}
+
 #[test]
 fn importance_scores_flow_from_constructor_to_tier_pruning() {
     let scene = SceneKind::Lego.build(&SceneConfig::tiny());

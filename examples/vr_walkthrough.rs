@@ -16,6 +16,7 @@ use streaminggs::mem::CacheConfig;
 use streaminggs::render::{RenderConfig, TileRenderer};
 use streaminggs::scene::trajectory::{walkthrough, RigSpec};
 use streaminggs::scene::{SceneConfig, SceneKind};
+use streaminggs::serve::{FrameScheduler, SceneShard};
 use streaminggs::voxel::{FaultPolicy, PageConfig, StreamingConfig, StreamingScene};
 
 const VR_TARGET_FPS: f64 = 90.0;
@@ -127,5 +128,89 @@ fn main() -> Result<(), Box<dyn Error>> {
             i, d.page_retries, d.pages_lost, d.voxels_skipped, d.fine_degraded, d.fine_skipped
         );
     }
+
+    // Two clients, one shard: both sessions walk the same path (the
+    // second a few frames behind) against a single paged store. Pages the
+    // leader faults in are already warm for the follower — that is the
+    // shared-page amortization the gs-serve scheduler exists for — while
+    // each session keeps its *own* working-set cache and frame state, so
+    // every frame stays bit-identical to rendering solo.
+    println!("\n--- multi-client: 2 sessions sharing one paged shard (gs-serve) ---");
+    let mut prepared = StreamingScene::new(
+        scene.trained.clone(),
+        StreamingConfig {
+            voxel_size: scene.voxel_size,
+            cache: Some(CacheConfig::default()),
+            ..Default::default()
+        },
+    );
+    prepared.page_out(PageConfig::default());
+    // What one client alone would fault in over the whole path — the
+    // yardstick for amortization below.
+    let solo = prepared.clone();
+    for cam in &path {
+        solo.render(cam);
+    }
+    let solo_faults = solo.store().page_faults();
+
+    let mut shard = SceneShard::new("playroom", prepared);
+    let mut sessions = vec![shard.open_session(), shard.open_session()];
+    let mut scheduler = FrameScheduler::new(0);
+    let lag = 2usize;
+    let mut hits = [(0.0f64, 0usize); 2];
+    println!("round  s0_frame  s1_frame  s0_hit  s1_hit  shard_faults");
+    for round in 0..path.len() + lag {
+        if round < path.len() {
+            scheduler.submit(0, &path[round]);
+        }
+        if round >= lag {
+            scheduler.submit(1, &path[round - lag]);
+        }
+        scheduler.drain(&mut sessions)?;
+        let mut frame_hit = [None, None];
+        for (s, session) in sessions.iter().enumerate() {
+            for out in session.frames() {
+                let hit = out.cache.map(|c| c.coarse.hit_rate()).unwrap_or_default();
+                hits[s].0 += hit;
+                hits[s].1 += 1;
+                frame_hit[s] = Some(hit);
+            }
+        }
+        let fmt = |h: Option<f64>| match h {
+            Some(h) => format!("{:>5.1}%", h * 100.0),
+            None => "     -".into(),
+        };
+        println!(
+            "{:>5}  {:>8}  {:>8}  {}  {}  {:>12}",
+            round,
+            if round < path.len() {
+                round.to_string()
+            } else {
+                "-".into()
+            },
+            if round >= lag {
+                (round - lag).to_string()
+            } else {
+                "-".into()
+            },
+            fmt(frame_hit[0]),
+            fmt(frame_hit[1]),
+            shard.page_faults()
+        );
+    }
+    let shard_faults = shard.page_faults();
+    for (s, (sum, n)) in hits.iter().enumerate() {
+        println!(
+            "session {s}: {} frames, avg coarse cache hit {:.1}%",
+            n,
+            100.0 * sum / (*n).max(1) as f64
+        );
+    }
+    println!(
+        "shared-page amortization: 2 clients faulted {shard_faults} pages on one shard \
+         vs {} if each paged privately ({:.1}x saved)",
+        2 * solo_faults,
+        2.0 * solo_faults as f64 / shard_faults.max(1) as f64
+    );
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`baselines`] | `gs-baselines` | Mini-Splatting, LightGaussian |
 //! | [`mem`] | `gs-mem` | DRAM/SRAM/energy models |
 //! | [`accel`] | `gs-accel` | StreamingGS / GSCore / Orin NX models |
+//! | [`serve`] | `gs-serve` | multi-client frame scheduler over shared shards |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use gs_core as core;
 pub use gs_mem as mem;
 pub use gs_render as render;
 pub use gs_scene as scene;
+pub use gs_serve as serve;
 pub use gs_tune as tune;
 pub use gs_voxel as voxel;
 pub use gs_vq as vq;
